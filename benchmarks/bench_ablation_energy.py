@@ -1,0 +1,57 @@
+"""Ablation: energy to solution (§6's "waste energy" + Table 1's perf/W).
+
+Prices every execution strategy in joules on both machines: the GPU path
+finishes so much sooner that it wins on energy despite burning more watts,
+and on Hertz the balanced schedulers cut the idle-GPU waste of the equal
+split.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import MultiGpuExecutor
+from repro.experiments.trace import analytic_trace
+from repro.hardware.energy import energy_report
+from repro.hardware.node import hertz, jupiter
+
+from conftest import emit
+
+MODES = ("openmp", "gpu-homogeneous", "gpu-heterogeneous", "gpu-dynamic")
+
+
+def _sweep(node):
+    trace = analytic_trace("M2", 919, 3264, 45)
+    executor = MultiGpuExecutor(node, seed=9)
+    rows = []
+    for mode in MODES:
+        timing, _ = executor.replay(trace, mode)
+        report = energy_report(node, timing, gpus_used=mode != "openmp")
+        rows.append((mode, timing.total_s, report))
+    return rows
+
+
+def _format(rows) -> str:
+    return "\n".join(
+        f"{mode:20s} {t:9.2f} s  {r.total_j / 1e3:9.2f} kJ  "
+        f"(idle waste {r.waste_fraction:5.1%})"
+        for mode, t, r in rows
+    )
+
+
+def test_energy_hertz(benchmark):
+    rows = benchmark.pedantic(lambda: _sweep(hertz()), rounds=1, iterations=1)
+    emit("Ablation: energy to solution on Hertz (M2/2BSM)", _format(rows))
+    energy = {mode: r.total_j for mode, _, r in rows}
+    # GPUs beat the CPU on energy, not just time.
+    assert energy["gpu-heterogeneous"] < energy["openmp"] / 5
+    # Balancing also saves energy (less idle waste on the K40c).
+    assert energy["gpu-heterogeneous"] < energy["gpu-homogeneous"]
+
+
+def test_energy_jupiter(benchmark):
+    rows = benchmark.pedantic(lambda: _sweep(jupiter()), rounds=1, iterations=1)
+    emit("Ablation: energy to solution on Jupiter (M2/2BSM)", _format(rows))
+    energy = {mode: r.total_j for mode, _, r in rows}
+    assert energy["gpu-heterogeneous"] < energy["openmp"] / 5
+    # Near-equal GPUs: balancing changes energy only marginally.
+    ratio = energy["gpu-homogeneous"] / energy["gpu-heterogeneous"]
+    assert 0.9 < ratio < 1.15

@@ -1,0 +1,80 @@
+"""Paper Eq. 1 and §3.3: the warm-up phase.
+
+Regenerates the Percent computation on both machines and checks its
+properties: the slowest GPU anchors at 1.0, shares are inversely
+proportional, and — the paper's claim — "five to ten iterations" suffice
+(more iterations barely change the weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.warmup import run_warmup
+from repro.hardware.node import hertz, jupiter
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+from conftest import emit
+
+FLOPS = 3264 * 45 * OPS_PER_LJ_PAIR
+
+
+def _format(node, result) -> str:
+    lines = [f"{'device':20s} {'measured (ms)':>14s} {'Percent':>8s} {'share':>7s}"]
+    for gpu, t, p, w in zip(
+        node.gpus, result.measured_times, result.percent, result.weights
+    ):
+        lines.append(f"{gpu.name:20s} {t * 1e3:14.3f} {p:8.3f} {w:7.3f}")
+    lines.append(f"warm-up elapsed: {result.elapsed_s * 1e3:.2f} ms")
+    return "\n".join(lines)
+
+
+def test_eq1_percent_hertz(benchmark):
+    node = hertz()
+    rng = np.random.default_rng(7)
+    result = benchmark.pedantic(
+        lambda: run_warmup(node.gpus, FLOPS, rng=np.random.default_rng(7)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Eq. 1 warm-up — Hertz (K40c + GTX 580)", _format(node, result))
+    assert result.percent.max() == 1.0
+    assert result.percent[0] < result.percent[1]  # K40c faster
+    assert result.weights[0] > 0.55  # K40c takes most of the work
+    del rng
+
+
+def test_eq1_percent_jupiter(benchmark):
+    node = jupiter()
+    result = benchmark.pedantic(
+        lambda: run_warmup(node.gpus, FLOPS, rng=np.random.default_rng(8)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Eq. 1 warm-up — Jupiter (4× GTX 590 + 2× C2075)", _format(node, result))
+    # Near-uniform shares: the Fermi cards are nearly equal.
+    assert result.weights.max() / result.weights.min() < 1.3
+
+
+def test_five_to_ten_iterations_suffice(benchmark):
+    """§3.3: warm-up runs 'five to ten' iterations. Verify that weights
+    computed from 5–10 iterations already sit within a few percent of a
+    100-iteration reference (noise averages out fast)."""
+    node = hertz()
+
+    def weights_at(iters, seed=0):
+        return run_warmup(
+            node.gpus, FLOPS, iterations=iters, rng=np.random.default_rng(seed)
+        ).weights
+
+    reference = benchmark.pedantic(
+        lambda: weights_at(100), rounds=1, iterations=1
+    )
+    rows = []
+    for iters in (1, 2, 5, 8, 10, 20):
+        w = weights_at(iters)
+        err = float(np.abs(w - reference).max())
+        rows.append(f"{iters:4d} iterations: shares {w.round(3)}  max dev {err:.4f}")
+        if 5 <= iters <= 10:
+            assert err < 0.03
+    emit("Warm-up length sweep (deviation from 100-iteration reference)", "\n".join(rows))

@@ -1,0 +1,88 @@
+"""Future work (§6): multi-node message-passing clusters.
+
+"adapt our virtual screening method to more complex systems comprising
+several computational nodes working together with the message-passing
+paradigm". Simulates the M4/2BSM workload on clusters built from Jupiter
+and Hertz nodes, reporting scaling and the communication share.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cluster import ClusterSpec, simulate_cluster_run
+from repro.engine.executor import MultiGpuExecutor
+from repro.experiments.datasets import get_dataset
+from repro.experiments.trace import analytic_trace
+from repro.hardware.node import hertz, jupiter
+
+from conftest import emit
+
+
+def _workload():
+    dataset = get_dataset("2BSM")
+    trace = analytic_trace(
+        "M4", dataset.n_spots, dataset.receptor_atoms, dataset.ligand_atoms
+    )
+    # Broadcast payload: receptor + ligand coordinates and parameters (SP).
+    structure_bytes = (dataset.receptor_atoms + dataset.ligand_atoms) * 5 * 4
+    return dataset, trace, structure_bytes
+
+
+def test_multinode_scaling(benchmark):
+    dataset, trace, payload = _workload()
+
+    def sweep():
+        rows = []
+        for label, nodes in (
+            ("1x Jupiter", (jupiter(),)),
+            ("2x Jupiter", (jupiter(),) * 2),
+            ("4x Jupiter", (jupiter(),) * 4),
+            ("8x Jupiter", (jupiter(),) * 8),
+        ):
+            cluster = ClusterSpec(name=label, nodes=nodes)
+            timing = simulate_cluster_run(
+                cluster, trace, dataset.n_spots, payload
+            )
+            rows.append((label, timing))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = rows[0][1].total_s
+    emit(
+        "Future work: multi-node scaling (M4/2BSM, heterogeneous computation)",
+        "\n".join(
+            f"{label:12s} {t.total_s:9.2f} s  speed-up {base / t.total_s:5.2f}x  "
+            f"comm {(t.broadcast_s + t.gather_s) * 1e3:7.3f} ms  balance {t.balance:5.3f}"
+            for label, t in rows
+        ),
+    )
+    speedups = [base / t.total_s for _, t in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[2] > 3.2  # 4 nodes near-linear
+    # Communication is negligible against the compute (spot independence).
+    for _, timing in rows:
+        assert timing.broadcast_s + timing.gather_s < 0.01 * timing.total_s
+
+
+def test_mixed_cluster_balances_by_node_power(benchmark):
+    dataset, trace, payload = _workload()
+
+    def run():
+        cluster = ClusterSpec(
+            name="jupiter+hertz", nodes=(jupiter(), hertz())
+        )
+        return simulate_cluster_run(cluster, trace, dataset.n_spots, payload)
+
+    timing = benchmark.pedantic(run, rounds=1, iterations=1)
+    solo_jupiter, _ = MultiGpuExecutor(jupiter(), seed=0).replay(
+        trace, "gpu-heterogeneous"
+    )
+    emit(
+        "Future work: mixed Jupiter+Hertz cluster (M4/2BSM)",
+        f"spot shares: {timing.spot_shares.tolist()}\n"
+        f"node compute: {timing.node_compute_s.round(2).tolist()} s\n"
+        f"total {timing.total_s:.2f} s vs Jupiter alone {solo_jupiter.total_s:.2f} s",
+    )
+    # Adding a Hertz node must help, proportionally to its GPU power.
+    assert timing.total_s < solo_jupiter.total_s
+    assert timing.spot_shares[0] > timing.spot_shares[1]
+    assert timing.balance > 0.8

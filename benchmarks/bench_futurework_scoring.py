@@ -1,0 +1,85 @@
+"""Future work (§6): "many other types of scoring functions still to be
+explored".
+
+Runs the same M2 search under every scoring function in the registry on one
+synthetic complex, comparing docking quality, host throughput and the
+modelled kernel cost per pose. Also demonstrates the AutoDock-style grid
+trade-off: a much cheaper kernel bought with a precomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.evaluation import SerialEvaluator
+from repro.metaheuristics.presets import make_preset
+from repro.metaheuristics.rng import SpotRngPool
+from repro.metaheuristics.template import run_metaheuristic
+from repro.scoring.composite import CompositeScoring, make_lj_coulomb
+from repro.scoring.coulomb import CoulombScoring
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+from repro.scoring.gridmap import GridMapScoring
+from repro.scoring.hbond import HydrogenBondScoring
+from repro.scoring.lennard_jones import LennardJonesScoring
+from repro.scoring.softcore import SoftcoreLJScoring
+
+from conftest import emit
+
+SCORINGS = {
+    "lennard-jones": lambda: LennardJonesScoring(),
+    "lj-cutoff-f32": lambda: CutoffLennardJonesScoring(dtype=np.float32),
+    "lj-softcore": lambda: SoftcoreLJScoring(),
+    "coulomb": lambda: CoulombScoring(),
+    "lj+coulomb": lambda: make_lj_coulomb(),
+    "hbond-12-10": lambda: HydrogenBondScoring(),
+    "lj+hbond": lambda: CompositeScoring(
+        [(1.0, LennardJonesScoring()), (1.0, HydrogenBondScoring())]
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCORINGS))
+def test_scoring_function_search(benchmark, name, bench_receptor, bench_ligand, bench_spots):
+    scorer = SCORINGS[name]().bind(bench_receptor, bench_ligand)
+
+    def run():
+        ctx = SearchContext(
+            spots=bench_spots,
+            evaluator=SerialEvaluator(scorer),
+            rng=SpotRngPool(5, [s.index for s in bench_spots]),
+        )
+        return run_metaheuristic(make_preset("M2", workload_scale=0.05), ctx)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"Future work: scoring function '{name}'",
+        f"best score {result.best.score:12.4f}   "
+        f"modelled kernel cost {scorer.flops_per_pose / 1e6:8.3f} MFLOP/pose",
+    )
+    assert np.isfinite(result.best.score)
+    if name not in ("coulomb", "hbond-12-10"):  # LJ-family landscapes must find attraction
+        assert result.best.score < 0
+
+
+def test_gridmap_tradeoff(benchmark, bench_receptor, bench_ligand, bench_spots):
+    """AutoDock's design point: expensive precomputation, cheap kernel."""
+    spot = bench_spots[0]
+
+    def build():
+        return GridMapScoring(
+            box_center=spot.center, box_half=spot.radius + 4.0, spacing=0.5
+        ).bind(bench_receptor, bench_ligand)
+
+    grid = benchmark.pedantic(build, rounds=1, iterations=1)
+    dense = LennardJonesScoring().bind(bench_receptor, bench_ligand)
+    emit(
+        "Future work: grid-map trade-off",
+        f"grid memory {grid.grid_bytes / 1e6:8.2f} MB, kernel "
+        f"{grid.flops_per_pose:8.0f} FLOP/pose vs dense "
+        f"{dense.flops_per_pose:12.0f} FLOP/pose "
+        f"({dense.flops_per_pose / grid.flops_per_pose:.0f}x cheaper per pose)",
+    )
+    assert grid.flops_per_pose < dense.flops_per_pose / 100
+    assert grid.grid_bytes > 1e5  # the memory price

@@ -1,0 +1,79 @@
+"""Scalability: speed-up versus GPU count on Jupiter (§5).
+
+"the multiGPU versions prove to be scalable" — this bench grows Jupiter's
+GPU set from 1 GTX 590 to the full 4× GTX 590 + 2× C2075 heterogeneous
+configuration and reports OpenMP-relative speed-ups for both datasets,
+asserting near-linear scaling (the workload is embarrassingly parallel; the
+serial host overhead is the only Amdahl term).
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import MultiGpuExecutor
+from repro.experiments.datasets import get_dataset
+from repro.experiments.trace import analytic_trace
+from repro.hardware.node import jupiter
+from repro.hardware.registry import get_gpu
+
+from conftest import emit
+
+
+def _sweep(dataset_name: str):
+    dataset = get_dataset(dataset_name)
+    trace = analytic_trace(
+        "M2", dataset.n_spots, dataset.receptor_atoms, dataset.ligand_atoms
+    )
+    base = jupiter()
+    openmp, _ = MultiGpuExecutor(base, seed=3).replay(trace, "openmp")
+
+    gtx = get_gpu("GeForce GTX 590")
+    c2075 = get_gpu("Tesla C2075")
+    configurations = {
+        "1x GTX590": [gtx],
+        "2x GTX590": [gtx] * 2,
+        "4x GTX590": [gtx] * 4,
+        "4x GTX590 + 1x C2075": [gtx] * 4 + [c2075],
+        "4x GTX590 + 2x C2075": [gtx] * 4 + [c2075] * 2,
+    }
+    rows = []
+    for label, gpus in configurations.items():
+        node = base.with_gpus(gpus)
+        timing, _ = MultiGpuExecutor(node, seed=3).replay(trace, "gpu-heterogeneous")
+        rows.append((label, len(gpus), timing.total_s, openmp.total_s / timing.total_s))
+    return openmp.total_s, rows
+
+
+def test_gpu_scaling_2bsm(benchmark):
+    openmp_s, rows = benchmark.pedantic(
+        lambda: _sweep("2BSM"), rounds=1, iterations=1
+    )
+    emit(
+        f"Scalability on Jupiter — 2BSM, M2 (OpenMP baseline {openmp_s:.1f}s)",
+        "\n".join(
+            f"{label:24s} {t:8.2f} s   speed-up {s:6.1f}x" for label, _, t, s in rows
+        ),
+    )
+    speedups = [s for *_, s in rows]
+    assert speedups == sorted(speedups)  # monotone in device count
+    # 4 GPUs ≥ 3.2× of 1 GPU (near-linear; host overhead is the Amdahl term).
+    assert speedups[2] / speedups[0] > 3.2
+    # Adding the two C2075s keeps helping.
+    assert speedups[4] > speedups[2] * 1.25
+
+
+def test_gpu_scaling_grows_with_problem_size(benchmark):
+    """§5: 'the speed-up increases with the problem size'."""
+    _, rows_small = _sweep("2BSM")
+    _, rows_large = benchmark.pedantic(
+        lambda: _sweep("2BXG"), rounds=1, iterations=1
+    )
+    emit(
+        "Scalability on Jupiter — 2BXG, M2",
+        "\n".join(
+            f"{label:24s} {t:8.2f} s   speed-up {s:6.1f}x"
+            for label, _, t, s in rows_large
+        ),
+    )
+    for (label_s, _, _, su_s), (label_l, _, _, su_l) in zip(rows_small, rows_large):
+        assert label_s == label_l
+        assert su_l > su_s

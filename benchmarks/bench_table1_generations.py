@@ -1,0 +1,85 @@
+"""Paper Table 1: CUDA generation summary.
+
+Regenerates the hardware-generation table from the spec registry and
+verifies the paper's derived claims: peak performance grows monotonically
+and performance-per-watt doubles (or better) per generation. The benchmark
+times the modelled kernel across generations — a device of each generation
+scoring the same 2BSM-sized batch — confirming the modelled ordering.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.perf_model import gpu_launch_time
+from repro.hardware.specs import (
+    ARCH_PAIRS_PER_CORE_CYCLE,
+    CUDA_GENERATIONS,
+    GpuArchitecture,
+    GpuSpec,
+)
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+from conftest import emit
+
+FLOPS_2BSM = 3264 * 45 * OPS_PER_LJ_PAIR
+
+
+def _representative_gpu(gen) -> GpuSpec:
+    """A synthetic device with the generation's headline configuration."""
+    return GpuSpec(
+        name=f"{gen.name} (Table 1 flagship)",
+        architecture=GpuArchitecture(gen.name.lower()),
+        multiprocessors=gen.max_multiprocessors,
+        cores_per_sm=gen.cores_per_sm,
+        clock_mhz=1000.0 if gen.name != "Kepler" else 745.0,
+        memory_mb=4096,
+        bandwidth_gbs=200.0,
+        ccc=gen.ccc.replace("x", "0"),
+    )
+
+
+def _format_table1() -> str:
+    header = (
+        f"{'generation':12s} {'year':>5s} {'SMs':>4s} {'cores/SM':>9s} "
+        f"{'cores':>6s} {'shared KB':>10s} {'CCC':>5s} {'GFLOPS':>7s} {'perf/W':>7s}"
+    )
+    lines = [header]
+    for g in CUDA_GENERATIONS:
+        lines.append(
+            f"{g.name:12s} {g.year:5d} {g.max_multiprocessors:4d} "
+            f"{g.cores_per_sm:9d} {g.max_cores:6d} {g.shared_kb:10d} "
+            f"{g.ccc:>5s} {g.peak_sp_gflops:7d} {g.perf_per_watt:7d}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(_format_table1)
+    emit("Paper Table 1 — CUDA summary by generation", text)
+    # Derived claims the paper draws from this table.
+    peaks = [g.peak_sp_gflops for g in CUDA_GENERATIONS]
+    assert peaks == sorted(peaks)
+    ppw = [g.perf_per_watt for g in CUDA_GENERATIONS]
+    assert all(b >= 2 * a for a, b in zip(ppw[:2], ppw[1:3]))
+
+
+def test_modelled_generation_ordering(benchmark):
+    """Scoring the same batch gets faster with each generation that has an
+    architecture constant in the model."""
+
+    def run():
+        out = {}
+        for gen in CUDA_GENERATIONS:
+            gpu = _representative_gpu(gen)
+            out[gen.name] = gpu_launch_time(gpu, 50_000, FLOPS_2BSM).total_s
+        return out
+
+    times = benchmark(run)
+    emit(
+        "Modelled 50k-conformation launch time by generation (s)",
+        "\n".join(f"{name:10s} {t:10.4f}" for name, t in times.items()),
+    )
+    assert times["Fermi"] < times["Tesla"]
+    assert times["Kepler"] < times["Fermi"]
+    assert times["Maxwell"] < times["Kepler"]
+    # Architecture constants exist for every generation in Table 1.
+    assert set(ARCH_PAIRS_PER_CORE_CYCLE) == set(GpuArchitecture)

@@ -1,0 +1,68 @@
+"""Paper Table 4: the four metaheuristic configurations.
+
+Regenerates the parameter table and verifies the calibrated workloads
+reproduce the paper's relative OpenMP costs (M1 : M2 : M3 : M4). The
+benchmark times a real (scaled) run of each preset on the host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.evaluation import SerialEvaluator
+from repro.metaheuristics.presets import (
+    PRESET_TABLE,
+    expected_evaluations_per_spot,
+    make_preset,
+    preset_names,
+)
+from repro.metaheuristics.rng import SpotRngPool
+from repro.metaheuristics.template import run_metaheuristic
+
+from conftest import emit
+
+
+def _format_table4() -> str:
+    lines = [
+        f"{'MH':4s} {'initial S':>12s} {'% selected':>11s} {'% improved':>11s} "
+        f"{'iters':>6s} {'LS steps':>9s} {'evals/spot':>11s}"
+    ]
+    for name in preset_names():
+        p = PRESET_TABLE[name]
+        initial = f"{p.population}*spots"
+        sel = "n/a" if name == "M4" else f"{p.select_fraction:.0%}"
+        lines.append(
+            f"{name:4s} {initial:>12s} {sel:>11s} {p.improve_fraction:>10.0%} "
+            f"{p.iterations:6d} {p.local_search_steps:9d} "
+            f"{expected_evaluations_per_spot(name):11d}"
+        )
+    return "\n".join(lines)
+
+
+def test_table4_regeneration(benchmark):
+    text = benchmark(_format_table4)
+    emit("Paper Table 4 — metaheuristic parameters (plus calibrated loops)", text)
+    e = {m: expected_evaluations_per_spot(m) for m in preset_names()}
+    # Paper Table 6 OpenMP ratios: 436.36/269.45, 136.71/269.45, 13557.29/269.45.
+    assert e["M2"] / e["M1"] == pytest.approx(1.619, rel=0.05)
+    assert e["M3"] / e["M1"] == pytest.approx(0.507, rel=0.10)
+    assert e["M4"] / e["M1"] == pytest.approx(50.31, rel=0.05)
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_preset_host_run(benchmark, name, bench_spots, bench_scorer):
+    """Time one real (1/20-scale) run of each preset on the host."""
+
+    def run():
+        ctx = SearchContext(
+            spots=bench_spots,
+            evaluator=SerialEvaluator(bench_scorer),
+            rng=SpotRngPool(0, [s.index for s in bench_spots]),
+        )
+        return run_metaheuristic(make_preset(name, workload_scale=0.05), ctx)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.best.score < 0
+    assert np.isfinite(result.best.score)

@@ -1,0 +1,28 @@
+"""Paper Table 7: 2BXG on Jupiter — execution times and speed-ups.
+
+Regenerates the table at full paper scale (analytic trace + calibrated
+performance model) and asserts the reproduction contract: speed-up bands,
+heterogeneous gains, the intensification ordering, and per-cell agreement
+with the paper's measured seconds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import jupiter_table
+from repro.experiments.tables import format_jupiter_table
+
+from conftest import emit
+from table_utils import assert_table_shape
+
+
+def test_table7(benchmark):
+    table = benchmark.pedantic(
+        lambda: jupiter_table("2BXG"), rounds=1, iterations=1
+    )
+    emit("Paper Table 7 — PDB:2BXG on Jupiter (ours vs paper)", format_jupiter_table(table))
+    assert_table_shape(
+        table,
+        "jupiter",
+        speedup_band=(70,105),
+        gain_band=(0.95,1.10),
+    )

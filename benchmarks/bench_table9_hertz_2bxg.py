@@ -1,0 +1,33 @@
+"""Paper Table 9: 2BXG on Hertz — execution times and speed-ups.
+
+Regenerates the table at full paper scale (analytic trace + calibrated
+performance model) and asserts the reproduction contract: speed-up bands,
+heterogeneous gains, the intensification ordering, and per-cell agreement
+with the paper's measured seconds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import hertz_table
+from repro.experiments.tables import format_hertz_table
+
+from conftest import emit
+from table_utils import assert_table_shape
+
+
+def test_table9(benchmark):
+    table = benchmark.pedantic(
+        lambda: hertz_table("2BXG"), rounds=1, iterations=1
+    )
+    emit("Paper Table 9 — PDB:2BXG on Hertz (ours vs paper)", format_hertz_table(table))
+    assert_table_shape(
+        table,
+        "hertz",
+        speedup_band=(95,140),
+        gain_band=(1.25,1.65),
+    skip_absolute=(
+        ("M1", "openmp"),
+        ("M2", "openmp"),
+        ("M3", "openmp"),
+    ),
+    )

@@ -1,0 +1,52 @@
+"""Paper Tables 2–3: Jupiter and Hertz hardware descriptions.
+
+Regenerates the node descriptions from the device registry and checks them
+against the spec values transcribed from the paper.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.node import NodeSpec, hertz, jupiter
+
+from conftest import emit
+
+
+def _format_node(node: NodeSpec) -> str:
+    lines = [
+        node.describe(),
+        f"{'device':20s} {'arch':8s} {'SMs':>4s} {'cores':>6s} {'MHz':>6s} "
+        f"{'mem MB':>7s} {'GB/s':>7s} {'CCC':>5s} {'Gpairs/s':>9s}",
+    ]
+    for gpu in node.gpus:
+        lines.append(
+            f"{gpu.name:20s} {gpu.architecture.value:8s} {gpu.multiprocessors:4d} "
+            f"{gpu.total_cores:6d} {gpu.clock_mhz:6.0f} {gpu.memory_mb:7d} "
+            f"{gpu.bandwidth_gbs:7.1f} {gpu.ccc:>5s} {gpu.pairs_per_sec / 1e9:9.1f}"
+        )
+    lines.append(
+        f"{node.cpu.name:20s} {'cpu':8s} {'-':>4s} "
+        f"{node.total_cpu_cores:6d} {node.cpu.clock_mhz:6.0f}"
+    )
+    return "\n".join(lines)
+
+
+def test_table2_jupiter(benchmark):
+    node = benchmark(jupiter)
+    emit("Paper Table 2 — Jupiter", _format_node(node))
+    assert node.total_cpu_cores == 12
+    assert sum(g.name == "GeForce GTX 590" for g in node.gpus) == 4
+    assert sum(g.name == "Tesla C2075" for g in node.gpus) == 2
+    gtx = next(g for g in node.gpus if g.name == "GeForce GTX 590")
+    assert (gtx.total_cores, gtx.clock_mhz, gtx.memory_mb) == (512, 1215, 1536)
+    c2075 = next(g for g in node.gpus if g.name == "Tesla C2075")
+    assert (c2075.total_cores, c2075.multiprocessors) == (448, 14)
+
+
+def test_table3_hertz(benchmark):
+    node = benchmark(hertz)
+    emit("Paper Table 3 — Hertz", _format_node(node))
+    assert node.total_cpu_cores == 4
+    k40, gtx580 = node.gpus
+    assert (k40.total_cores, k40.cores_per_sm, k40.multiprocessors) == (2880, 192, 15)
+    assert k40.memory_mb == 11520
+    assert (gtx580.total_cores, gtx580.clock_mhz) == (512, 1544)

@@ -1,0 +1,102 @@
+"""Scientific validation: re-docking and metaheuristic-vs-random search.
+
+Two checks that the engine *docks*, not just times:
+
+1. **Re-docking** (the classic validation every docking engine runs):
+   manufacture a synthetic co-crystal with
+   :func:`repro.molecules.synthetic.generate_bound_complex`, strip the
+   ligand, and search the site region. The engine must recover a pose at
+   least as good as the molded reference, placed inside the site.
+2. **Metaheuristics beat random search** — the premise of the whole paper
+   (§2.2: metaheuristics "focus only on the most promising areas"). Same
+   complex, same spots, same evaluation budget: M2 must find substantially
+   deeper minima than uniform random sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.molecules.spots import Spot
+from repro.molecules.synthetic import generate_bound_complex, generate_ligand
+from repro.molecules.transforms import random_quaternion
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+from repro.vs.docking import dock
+
+from conftest import emit
+
+
+def _complex(seed):
+    ligand = generate_ligand(20, seed=seed + 100)
+    receptor, position, orientation = generate_bound_complex(1500, ligand, seed=seed)
+    scorer = CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand)
+    return ligand, receptor, position, orientation, scorer
+
+
+def test_redocking_recovers_reference_quality(benchmark):
+    def run():
+        rows = []
+        for seed in (1, 2, 3):
+            ligand, receptor, position, orientation, scorer = _complex(seed)
+            reference = scorer.score(position[None, :], orientation[None, :])[0]
+            normal = position / np.linalg.norm(position)
+            site = Spot(index=0, center=position, normal=normal, radius=5.0, anchor_atom=0)
+            result = dock(
+                receptor, ligand, spots=[site],
+                metaheuristic="M2", workload_scale=0.4, seed=seed,
+            )
+            displacement = float(
+                np.linalg.norm(result.best.translation - position)
+            )
+            rows.append((seed, float(reference), result.best_score, displacement))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Validation: re-docking into molded sites (synthetic co-crystals)",
+        "\n".join(
+            f"seed {seed}: reference {ref:8.2f}  recovered {rec:8.2f}  "
+            f"centroid displacement {disp:4.1f} Å"
+            for seed, ref, rec, disp in rows
+        ),
+    )
+    for _, reference, recovered, displacement in rows:
+        assert recovered <= reference + 1e-6  # at least as good as molded
+        assert displacement <= 5.0 * np.sqrt(3) + 1e-6  # inside the site box
+
+
+def test_metaheuristic_beats_random_search(benchmark):
+    def run():
+        rows = []
+        for seed in (1, 2, 3):
+            ligand, receptor, position, orientation, scorer = _complex(seed)
+            normal = position / np.linalg.norm(position)
+            site = Spot(index=0, center=position, normal=normal, radius=5.0, anchor_atom=0)
+            result = dock(
+                receptor, ligand, spots=[site],
+                metaheuristic="M2", workload_scale=0.4, seed=seed,
+            )
+            # Random search: identical budget, identical search box.
+            rng = np.random.default_rng(seed)
+            n = result.evaluations
+            t = position[None, :] + (2 * rng.random((n, 3)) - 1) * 5.0
+            q = random_quaternion(rng, n)
+            random_best = float(scorer.score(t, q).min())
+            rows.append((seed, result.best_score, random_best, n))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Validation: M2 vs uniform random search at equal budget",
+        "\n".join(
+            f"seed {seed}: M2 {m2:8.2f}   random {rnd:8.2f}   "
+            f"(budget {n} evaluations)"
+            for seed, m2, rnd, n in rows
+        ),
+    )
+    for _, m2, rnd, _ in rows:
+        assert m2 < rnd  # strictly deeper minima
+    # And not marginally: at least 20 % deeper on average.
+    assert np.mean([m2 for _, m2, _, _ in rows]) < 1.2 * np.mean(
+        [rnd for _, _, rnd, _ in rows]
+    )

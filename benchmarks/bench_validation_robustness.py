@@ -1,0 +1,47 @@
+"""Reproduction robustness: the qualitative conclusions are structural.
+
+Perturbs every calibration constant of the performance model by ±25 % and
+re-derives all four tables each time, checking that the paper's headline
+claims survive. Also reports the warm-up-seed spread of the Hertz balancing
+gain against the paper's observed band.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.validation import (
+    PERTURBABLE_PARAMS,
+    seed_stability,
+    sensitivity_sweep,
+)
+
+from conftest import emit
+
+
+def test_sensitivity_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sensitivity_sweep(factors=(0.75, 1.25)), rounds=1, iterations=1
+    )
+    lines = []
+    for row in rows:
+        verdict = "all claims hold" if row.claims.all_hold() else (
+            "BREAKS " + ", ".join(row.claims.failed())
+        )
+        lines.append(f"{row.parameter:26s} × {row.factor:4.2f}: {verdict}")
+    emit(
+        "Robustness: shape claims under ±25 % calibration perturbations",
+        "\n".join(lines),
+    )
+    assert len(rows) == 2 * len(PERTURBABLE_PARAMS)
+    assert all(row.claims.all_hold() for row in rows)
+
+
+def test_warmup_seed_band(benchmark):
+    spread = benchmark.pedantic(
+        lambda: seed_stability(n_seeds=12), rounds=1, iterations=1
+    )
+    lo, hi = spread["hertz_m2_gain"]
+    emit(
+        "Robustness: Hertz M2 heterogeneous gain across 12 warm-up seeds",
+        f"gain ∈ [{lo:.3f}, {hi:.3f}]   (paper's Tables 8–9 band: 1.31–1.57)",
+    )
+    assert 1.25 < lo <= hi < 1.65

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one paper artifact (table or figure) and
+prints it next to the paper's measured values, so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the whole evaluation section. The
+``benchmark`` fixture times the regeneration itself (analytic replays are
+milliseconds; host-math kernels are the real compute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.molecules.spots import find_spots
+from repro.molecules.synthetic import generate_ligand, generate_receptor
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+
+
+def emit(title: str, body: str) -> None:
+    """Print one regenerated artifact with a banner."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def bench_receptor():
+    """A mid-size receptor for host-math benchmarks (kept below paper scale
+    so the suite stays minutes, not hours)."""
+    return generate_receptor(800, seed=101, title="bench receptor")
+
+
+@pytest.fixture(scope="session")
+def bench_ligand():
+    return generate_ligand(24, seed=102, title="bench ligand")
+
+
+@pytest.fixture(scope="session")
+def bench_spots(bench_receptor):
+    return find_spots(bench_receptor, 8)
+
+
+@pytest.fixture(scope="session")
+def bench_scorer(bench_receptor, bench_ligand):
+    return CutoffLennardJonesScoring(dtype=np.float32).bind(
+        bench_receptor, bench_ligand
+    )

@@ -1,0 +1,55 @@
+"""Shared assertions for the Tables 6–9 benchmarks."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import TableResult
+from repro.experiments.tables import paper_reference
+
+
+def speedup(row, base="openmp", target="het_system_het_comp") -> float:
+    """OpenMP-vs-heterogeneous speed-up for one row."""
+    return row.seconds(base) / row.seconds(target)
+
+
+def balance_gain(row) -> float:
+    """Heterogeneous-vs-homogeneous computation gain for one row."""
+    return row.seconds("het_system_hom_comp") / row.seconds("het_system_het_comp")
+
+
+def assert_table_shape(
+    table: TableResult,
+    node: str,
+    speedup_band: tuple[float, float],
+    gain_band: tuple[float, float],
+    absolute_rel: float = 0.25,
+    skip_absolute: tuple[tuple[str, str], ...] = (),
+) -> None:
+    """The reproduction contract for one table.
+
+    * every per-metaheuristic speed-up lies in ``speedup_band``;
+    * every heterogeneous gain lies in ``gain_band``;
+    * M4 posts the highest speed-up (the paper's intensification claim);
+    * each cell is within ``absolute_rel`` of the paper's measured seconds,
+      except the cells named in ``skip_absolute`` (documented deviations).
+    """
+    ref = paper_reference(node, table.dataset_name)
+    speedups = {}
+    for row in table.rows:
+        s = speedup(row)
+        g = balance_gain(row)
+        speedups[row.preset] = s
+        assert speedup_band[0] < s < speedup_band[1], (
+            f"{row.preset}: speed-up {s:.1f} outside {speedup_band}"
+        )
+        assert gain_band[0] < g < gain_band[1], (
+            f"{row.preset}: gain {g:.2f} outside {gain_band}"
+        )
+        for column, paper_value in ref[row.preset].items():
+            if (row.preset, column) in skip_absolute:
+                continue
+            ours = row.seconds(column)
+            assert abs(ours - paper_value) / paper_value < absolute_rel, (
+                f"{row.preset}/{column}: {ours:.2f} vs paper {paper_value:.2f}"
+            )
+    assert speedups["M4"] == max(speedups.values()), "M4 must post the best speed-up"
+    assert speedups["M2"] > speedups["M1"], "intensification must raise the speed-up"

@@ -1,0 +1,46 @@
+"""Flexible-ligand docking (future-work extension): search ligand torsions
+alongside the rigid pose, then analyse the resulting pose families.
+
+Run:
+    python examples/flexible_docking.py
+"""
+
+import numpy as np
+
+from repro.molecules import FlexibleLigand, generate_ligand, generate_receptor, topology_summary
+from repro.vs import dock, dock_flexible
+
+
+def main() -> None:
+    receptor = generate_receptor(1200, seed=41, title="flexible-demo receptor")
+    ligand = generate_ligand(36, seed=42, title="flexible-demo ligand")
+
+    topo = topology_summary(ligand)
+    flex = FlexibleLigand(ligand, max_torsions=6)
+    print(f"ligand: {ligand.n_atoms} atoms, {topo['n_bonds']} bonds, "
+          f"{topo['n_rotatable_bonds']} rotatable bonds "
+          f"({flex.n_torsions} searched)\n")
+
+    rigid = dock(receptor, ligand, n_spots=6, metaheuristic="M2",
+                 workload_scale=0.2, seed=7)
+    flexible = dock_flexible(receptor, ligand, n_spots=6, max_torsions=6,
+                             walkers_per_spot=10, steps=40, seed=7)
+
+    print(f"{'engine':10s} {'best score':>11s} {'evaluations':>12s}")
+    print(f"{'rigid':10s} {rigid.best_score:11.2f} {rigid.evaluations:12d}")
+    print(f"{'flexible':10s} {flexible.best_score:11.2f} {flexible.evaluations:12d}")
+
+    best = flexible.best
+    print(f"\nbest flexible pose (spot {best.spot_index}):")
+    print(f"  position  {np.round(best.translation, 2)}")
+    print(f"  torsions  {np.round(np.degrees(best.torsions), 1)} deg")
+    conformer = flex.conformer(best.torsions)
+    shift = np.linalg.norm(conformer - flex.base_coords, axis=1)
+    print(f"  largest internal atom displacement vs input geometry: "
+          f"{shift.max():.2f} Å")
+    print(f"  covalent geometry preserved: "
+          f"{flex.bond_lengths_preserved(conformer, atol=1e-5)}")
+
+
+if __name__ == "__main__":
+    main()

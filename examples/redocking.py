@@ -1,0 +1,72 @@
+"""Re-docking validation: recover a known binding pose.
+
+The classic docking sanity check: manufacture a synthetic co-crystal (a
+receptor whose binding site is molded around a reference ligand pose),
+strip the ligand, and ask the engine to find it again — then compare the
+recovered pose against the ground truth.
+
+Run:
+    python examples/redocking.py
+"""
+
+import numpy as np
+
+from repro.metaheuristics.individual import Conformation
+from repro.molecules import Spot, generate_ligand
+from repro.molecules.synthetic import generate_bound_complex
+from repro.scoring import CutoffLennardJonesScoring
+from repro.vs import dock, pose_rmsd, sparkline
+
+
+def main() -> None:
+    ligand = generate_ligand(22, seed=51, title="reference ligand")
+    receptor, ref_position, ref_orientation = generate_bound_complex(
+        1500, ligand, seed=52, title="synthetic co-crystal"
+    )
+    scorer = CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand)
+    ref_score = scorer.score(ref_position[None, :], ref_orientation[None, :])[0]
+    print(f"co-crystal: {receptor.n_atoms}-atom receptor, "
+          f"{ligand.n_atoms}-atom ligand")
+    print(f"reference pose score: {ref_score:.2f} kcal/mol\n")
+
+    site = Spot(
+        index=0,
+        center=ref_position,
+        normal=ref_position / np.linalg.norm(ref_position),
+        radius=5.0,
+        anchor_atom=0,
+    )
+    result = dock(
+        receptor, ligand, spots=[site],
+        metaheuristic="M2", workload_scale=0.5, seed=53,
+    )
+
+    reference = Conformation(
+        spot_index=0,
+        translation=ref_position,
+        quaternion=ref_orientation,
+        score=float(ref_score),
+    )
+    rmsd = pose_rmsd(ligand, result.best, reference)
+    displacement = float(np.linalg.norm(result.best.translation - ref_position))
+
+    print(f"recovered pose score:  {result.best_score:.2f} kcal/mol "
+          f"({'better than' if result.best_score < ref_score else 'matches'} the reference)")
+    print(f"centroid displacement: {displacement:.2f} Å")
+    print(f"pose RMSD vs reference: {rmsd:.2f} Å")
+    print(f"evaluations spent: {result.evaluations}")
+
+    # Show how the engine converged (re-run to capture the history).
+    from repro.metaheuristics import (
+        SearchContext, SerialEvaluator, SpotRngPool, make_preset, run_metaheuristic,
+    )
+    ctx = SearchContext(
+        spots=[site], evaluator=SerialEvaluator(scorer), rng=SpotRngPool(53, [0])
+    )
+    trajectory = run_metaheuristic(make_preset("M2", workload_scale=0.5), ctx)
+    print(f"\nconvergence: {sparkline(trajectory.best_history)} "
+          f"({trajectory.best_history[0]:.1f} -> {trajectory.best_history[-1]:.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Regenerate the paper's Tables 6–9 side by side with the published
+values (also available as `repro-vs tables`).
+
+Run:
+    python examples/reproduce_tables.py
+"""
+
+from repro.experiments import (
+    format_hertz_table,
+    format_jupiter_table,
+    hertz_table,
+    jupiter_table,
+)
+
+
+def main() -> None:
+    for number, build, fmt, dataset in (
+        (6, jupiter_table, format_jupiter_table, "2BSM"),
+        (7, jupiter_table, format_jupiter_table, "2BXG"),
+        (8, hertz_table, format_hertz_table, "2BSM"),
+        (9, hertz_table, format_hertz_table, "2BXG"),
+    ):
+        print(f"\n================ Paper Table {number} ================")
+        print(fmt(build(dataset)))
+
+
+if __name__ == "__main__":
+    main()

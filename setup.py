@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs (which build a wheel) fail. With this shim and no
+[build-system] table in pyproject.toml, `pip install -e .` takes the legacy
+`setup.py develop` path, which works fully offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — Metaheuristic-based Virtual Screening on Massively Parallel and
+Heterogeneous Systems.
+
+A from-scratch Python reproduction of Imbernón, Cecilia & Giménez
+(PMAM/PPoPP 2016). The package contains:
+
+* :mod:`repro.molecules` — structures, force field, PDB I/O, synthetic
+  2BSM/2BXG-like generators, surface spots;
+* :mod:`repro.scoring` — Lennard-Jones (dense/tiled/cutoff/soft-core),
+  Coulomb, composite and grid-map scoring functions;
+* :mod:`repro.metaheuristics` — the six-function Algorithm 1 template, the
+  paper's M1–M4 presets, and PSO/SA/Tabu/GRASP/VNS extensions;
+* :mod:`repro.hardware` — the devices of Tables 1–3, a CUDA
+  warp/block/occupancy model and a calibrated performance model;
+* :mod:`repro.engine` — the multicore+multiGPU runtime: warm-up (Eq. 1),
+  static and dynamic cooperative schedulers, simulated execution;
+* :mod:`repro.vs` — the user-facing docking/screening pipeline;
+* :mod:`repro.experiments` — the harness regenerating Tables 6–9.
+
+Quickstart::
+
+    from repro.molecules import generate_receptor, generate_ligand
+    from repro.vs import VirtualScreeningPipeline
+
+    pipe = VirtualScreeningPipeline()
+    receptor = generate_receptor(3264, seed=1)
+    ligand = generate_ligand(45, seed=2)
+    result = pipe.dock(receptor, ligand)
+    print(result.best_score, result.simulated_seconds)
+"""
+
+from repro.errors import (
+    DeviceFailure,
+    ExperimentError,
+    ForceFieldError,
+    HardwareModelError,
+    MetaheuristicError,
+    MoleculeError,
+    PDBParseError,
+    ReproError,
+    SchedulingError,
+    ScoringError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceFailure",
+    "ExperimentError",
+    "ForceFieldError",
+    "HardwareModelError",
+    "MetaheuristicError",
+    "MoleculeError",
+    "PDBParseError",
+    "ReproError",
+    "SchedulingError",
+    "ScoringError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,272 @@
+"""Command-line interface (``repro-vs``).
+
+Subcommands:
+
+* ``dock`` — dock a synthetic (or PDB-file) complex and print the pose
+  ranking per spot.
+* ``screen`` — screen a synthetic ligand library.
+* ``tables`` — regenerate the paper's Tables 6–9 (simulated seconds).
+* ``devices`` — list the modelled hardware (Tables 1–3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-vs",
+        description="Metaheuristic virtual screening on modelled heterogeneous nodes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dock = sub.add_parser("dock", help="dock one ligand against a receptor surface")
+    dock.add_argument("--receptor-pdb", help="receptor PDB file (default: synthetic)")
+    dock.add_argument("--ligand-pdb", help="ligand PDB file (default: synthetic)")
+    dock.add_argument("--receptor-atoms", type=int, default=1000)
+    dock.add_argument("--ligand-atoms", type=int, default=32)
+    dock.add_argument("--spots", type=int, default=16)
+    dock.add_argument("--metaheuristic", default="M2", help="M1-M4 preset name")
+    dock.add_argument("--scale", type=float, default=0.25, help="workload scale")
+    dock.add_argument("--seed", type=int, default=0)
+    dock.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
+    dock.add_argument("--out-pdb", help="write the best docked complex here")
+    dock.add_argument(
+        "--flexible",
+        action="store_true",
+        help="search ligand torsions too (flexible-ligand extension)",
+    )
+    dock.add_argument("--max-torsions", type=int, default=6)
+
+    scr = sub.add_parser("screen", help="screen a synthetic ligand library")
+    scr.add_argument("--receptor-atoms", type=int, default=1000)
+    scr.add_argument("--ligands", type=int, default=8)
+    scr.add_argument("--spots", type=int, default=8)
+    scr.add_argument("--metaheuristic", default="M2")
+    scr.add_argument("--scale", type=float, default=0.1)
+    scr.add_argument("--seed", type=int, default=0)
+    scr.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
+
+    tab = sub.add_parser("tables", help="regenerate the paper's Tables 6-9")
+    tab.add_argument(
+        "--table",
+        choices=("6", "7", "8", "9", "all"),
+        default="all",
+        help="which paper table to regenerate",
+    )
+    tab.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("devices", help="list the modelled hardware")
+
+    trc = sub.add_parser(
+        "trace", help="write a full-scale analytic launch trace to a file"
+    )
+    trc.add_argument("--preset", default="M2", help="M1-M4")
+    trc.add_argument("--dataset", choices=("2BSM", "2BXG"), default="2BSM")
+    trc.add_argument("--scale", type=float, default=1.0)
+    trc.add_argument("--out", required=True, help="output JSON path")
+
+    rep = sub.add_parser("replay", help="time a saved launch trace on a node")
+    rep.add_argument("--trace", required=True, help="trace JSON path")
+    rep.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
+    rep.add_argument(
+        "--mode",
+        choices=("openmp", "gpu-homogeneous", "gpu-heterogeneous", "gpu-dynamic"),
+        default="gpu-heterogeneous",
+    )
+    rep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_dock(args: argparse.Namespace) -> int:
+    from repro.hardware.node import hertz, jupiter
+    from repro.molecules.pdb import read_pdb, write_pdb
+    from repro.molecules.synthetic import generate_ligand, generate_receptor
+    from repro.vs.docking import dock
+
+    receptor = (
+        read_pdb(args.receptor_pdb, kind="receptor")
+        if args.receptor_pdb
+        else generate_receptor(args.receptor_atoms, seed=args.seed)
+    )
+    ligand = (
+        read_pdb(args.ligand_pdb, kind="ligand")
+        if args.ligand_pdb
+        else generate_ligand(args.ligand_atoms, seed=args.seed + 1)
+    )
+    node = jupiter() if args.node == "jupiter" else hertz()
+    if args.flexible:
+        from repro.vs.flexible import dock_flexible
+
+        flex_result = dock_flexible(
+            receptor,
+            ligand,
+            n_spots=args.spots,
+            max_torsions=args.max_torsions,
+            seed=args.seed,
+        )
+        print(
+            f"flexible best score {flex_result.best_score:.3f} kcal/mol at "
+            f"spot {flex_result.best.spot_index} "
+            f"({flex_result.n_torsions} torsions, "
+            f"{flex_result.evaluations} evaluations)"
+        )
+        for pose in sorted(flex_result.per_spot, key=lambda p: p.score):
+            print(f"  spot {pose.spot_index:3d}: {pose.score:12.3f}")
+        return 0
+    result = dock(
+        receptor,
+        ligand,
+        n_spots=args.spots,
+        metaheuristic=args.metaheuristic,
+        seed=args.seed,
+        workload_scale=args.scale,
+        node=node,
+    )
+    print(
+        f"best score {result.best_score:.3f} kcal/mol at spot "
+        f"{result.best.spot_index} ({result.evaluations} evaluations, "
+        f"simulated {result.simulated_seconds:.3f}s on {node.name})"
+    )
+    print("per-spot best scores:")
+    for conf in sorted(result.per_spot, key=lambda c: c.score):
+        print(f"  spot {conf.spot_index:3d}: {conf.score:12.3f}")
+    if args.out_pdb:
+        write_pdb(result.complex_molecule(), args.out_pdb)
+        print(f"wrote docked complex to {args.out_pdb}")
+    return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    from repro.hardware.node import hertz, jupiter
+    from repro.molecules.synthetic import generate_receptor
+    from repro.vs.screening import screen, synthetic_library
+
+    receptor = generate_receptor(args.receptor_atoms, seed=args.seed)
+    ligands = synthetic_library(args.ligands, seed=args.seed + 10)
+    node = jupiter() if args.node == "jupiter" else hertz()
+    report = screen(
+        receptor,
+        ligands,
+        n_spots=args.spots,
+        metaheuristic=args.metaheuristic,
+        seed=args.seed,
+        workload_scale=args.scale,
+        node=node,
+    )
+    print(report.to_text())
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import hertz_table, jupiter_table
+    from repro.experiments.tables import format_hertz_table, format_jupiter_table
+
+    plans = {
+        "6": lambda: format_jupiter_table(jupiter_table("2BSM", args.scale)),
+        "7": lambda: format_jupiter_table(jupiter_table("2BXG", args.scale)),
+        "8": lambda: format_hertz_table(hertz_table("2BSM", args.scale)),
+        "9": lambda: format_hertz_table(hertz_table("2BXG", args.scale)),
+    }
+    wanted = plans.keys() if args.table == "all" else [args.table]
+    for key in wanted:
+        print(f"=== Paper Table {key} ===")
+        print(plans[key]())
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.engine.traceio import dump_trace
+    from repro.experiments.datasets import get_dataset
+    from repro.experiments.trace import analytic_trace
+
+    dataset = get_dataset(args.dataset)
+    trace = analytic_trace(
+        args.preset,
+        dataset.n_spots,
+        dataset.receptor_atoms,
+        dataset.ligand_atoms,
+        args.scale,
+    )
+    dump_trace(
+        trace,
+        args.out,
+        metadata={
+            "preset": args.preset,
+            "dataset": args.dataset,
+            "workload_scale": args.scale,
+        },
+    )
+    poses = sum(r.n_conformations for r in trace)
+    print(f"wrote {len(trace)} launches ({poses:,} conformations) to {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.engine.executor import MultiGpuExecutor
+    from repro.engine.traceio import load_trace
+    from repro.hardware.node import hertz, jupiter
+
+    trace, metadata = load_trace(args.trace)
+    node = jupiter() if args.node == "jupiter" else hertz()
+    executor = MultiGpuExecutor(node, seed=args.seed)
+    timing, scheduler = executor.replay(trace, args.mode)
+    if metadata:
+        print(f"trace metadata: {metadata}")
+    print(
+        f"{args.mode} on {node.name} ({scheduler}): "
+        f"{timing.total_s:.3f}s simulated "
+        f"(scoring {timing.scoring_s:.3f}s, host {timing.host_s:.3f}s, "
+        f"warm-up {timing.warmup_s:.3f}s, balance {timing.balance:.3f})"
+    )
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    from repro.hardware.registry import CPUS, GPUS
+    from repro.hardware.specs import CUDA_GENERATIONS
+
+    print("CUDA generations (paper Table 1):")
+    for g in CUDA_GENERATIONS:
+        print(
+            f"  {g.name:8s} {g.year}  {g.max_cores:5d} cores  "
+            f"{g.peak_sp_gflops:5d} GFLOPS  perf/W {g.perf_per_watt}"
+        )
+    print("\nGPUs (Tables 2-3 + extensions):")
+    for gpu in GPUS.values():
+        print(
+            f"  {gpu.name:18s} {gpu.architecture.value:8s} "
+            f"{gpu.total_cores:5d} cores @ {gpu.clock_mhz:.0f} MHz  "
+            f"CCC {gpu.ccc}  sustained {gpu.pairs_per_sec / 1e9:.1f} Gpairs/s"
+        )
+    print("\nCPUs:")
+    for cpu in CPUS.values():
+        print(f"  {cpu.name:18s} {cpu.cores} cores @ {cpu.clock_mhz:.0f} MHz")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    commands = {
+        "dock": _cmd_dock,
+        "screen": _cmd_screen,
+        "tables": _cmd_tables,
+        "devices": _cmd_devices,
+        "trace": _cmd_trace,
+        "replay": _cmd_replay,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Parallel runtime: schedulers, warm-up, simulated execution, reporting."""
+
+from repro.engine.async_mode import partition_spots_by_weight, simulate_async_trace
+from repro.engine.clock import VirtualClock
+from repro.engine.cluster import (
+    ClusterSpec,
+    ClusterTiming,
+    Interconnect,
+    simulate_cluster_run,
+)
+from repro.engine.device_worker import Job, QueueResult, SimulatedDevice, run_job_queue
+from repro.engine.events import Event, EventLoop
+from repro.engine.executor import (
+    EXECUTION_MODES,
+    MultiGpuExecutor,
+    host_overhead_s,
+    simulate_cpu_trace,
+    simulate_gpu_trace,
+)
+from repro.engine.openmp import ThreadedCpuEvaluator
+from repro.engine.partition import equal_partition, proportional_partition
+from repro.engine.reporting import ExecutionReport, TimingBreakdown
+from repro.engine.screening_schedule import (
+    LigandWorkload,
+    ScreeningSchedule,
+    dynamic_screening_makespan,
+    static_screening_makespan,
+)
+from repro.engine.traceio import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.engine.scheduler import (
+    DynamicSpotQueueScheduler,
+    Scheduler,
+    StaticEqualScheduler,
+    StaticProportionalScheduler,
+)
+from repro.engine.warmup import (
+    DEFAULT_WARMUP_ITERATIONS,
+    WarmupResult,
+    run_warmup,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterTiming",
+    "Interconnect",
+    "simulate_cluster_run",
+    "DEFAULT_WARMUP_ITERATIONS",
+    "EXECUTION_MODES",
+    "DynamicSpotQueueScheduler",
+    "Event",
+    "EventLoop",
+    "ExecutionReport",
+    "Job",
+    "LigandWorkload",
+    "MultiGpuExecutor",
+    "QueueResult",
+    "Scheduler",
+    "SimulatedDevice",
+    "StaticEqualScheduler",
+    "ScreeningSchedule",
+    "StaticProportionalScheduler",
+    "ThreadedCpuEvaluator",
+    "TimingBreakdown",
+    "VirtualClock",
+    "WarmupResult",
+    "dump_trace",
+    "dumps_trace",
+    "dynamic_screening_makespan",
+    "equal_partition",
+    "host_overhead_s",
+    "load_trace",
+    "partition_spots_by_weight",
+    "loads_trace",
+    "proportional_partition",
+    "run_job_queue",
+    "run_warmup",
+    "simulate_async_trace",
+    "simulate_cpu_trace",
+    "simulate_gpu_trace",
+    "static_screening_makespan",
+]

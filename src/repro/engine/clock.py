@@ -1,0 +1,46 @@
+"""Virtual clock for the simulated runtime.
+
+The scoring math runs for real on the host; *time* is an accumulator fed by
+the performance model. The clock enforces monotonicity so model bugs
+(negative durations) surface immediately.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotone simulated-time accumulator (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move time forward by ``duration`` seconds; returns the new time."""
+        if duration < 0 or not duration == duration:  # NaN check
+            raise SimulationError(f"cannot advance clock by {duration}")
+        self._now += duration
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (must not go backwards)."""
+        if timestamp < self._now:
+            raise SimulationError(
+                f"clock cannot go backwards: {self._now} -> {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def reset(self) -> None:
+        """Back to zero (new simulation)."""
+        self._now = 0.0

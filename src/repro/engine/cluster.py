@@ -1,0 +1,198 @@
+"""Multi-node cluster extension (the paper's future work, §6).
+
+"it could be convenient to adapt our virtual screening method to more
+complex systems comprising several computational nodes working together
+with the message-passing paradigm, and each node with several computational
+components".
+
+This module models exactly that: a :class:`ClusterSpec` of heterogeneous
+nodes joined by an interconnect. Spots are *independent* (§3.1), so the
+natural decomposition is spot-level: every node receives the structures
+(broadcast), runs its share of spots with its own multicore+multiGPU
+executor, and the best conformations are gathered at the root. Communication
+is modelled with the standard α–β (latency–bandwidth) cost model that MPI
+collectives follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.executor import MultiGpuExecutor
+from repro.engine.partition import proportional_partition
+from repro.errors import SchedulingError
+from repro.hardware.node import NodeSpec
+from repro.metaheuristics.evaluation import LaunchRecord
+
+__all__ = ["Interconnect", "ClusterSpec", "ClusterTiming", "simulate_cluster_run"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interconnect:
+    """α–β model of the cluster network.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency (α).
+    bandwidth_gbs:
+        Point-to-point bandwidth in GB/s (1/β).
+    """
+
+    latency_s: float = 2.0e-6
+    bandwidth_gbs: float = 5.0  # ~QDR InfiniBand of the paper's era
+
+    def transfer_s(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` point-to-point."""
+        if n_bytes < 0:
+            raise SchedulingError(f"cannot transfer {n_bytes} bytes")
+        return self.latency_s + n_bytes / (self.bandwidth_gbs * 1e9)
+
+    def broadcast_s(self, n_bytes: float, n_nodes: int) -> float:
+        """Binomial-tree broadcast: ceil(log2(n)) rounds."""
+        if n_nodes < 1:
+            raise SchedulingError("broadcast needs at least one node")
+        rounds = int(np.ceil(np.log2(max(n_nodes, 2))))
+        return rounds * self.transfer_s(n_bytes)
+
+    def gather_s(self, n_bytes_per_node: float, n_nodes: int) -> float:
+        """Binomial-tree gather of equal contributions."""
+        if n_nodes < 1:
+            raise SchedulingError("gather needs at least one node")
+        rounds = int(np.ceil(np.log2(max(n_nodes, 2))))
+        return rounds * self.transfer_s(n_bytes_per_node)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Several heterogeneous nodes plus their interconnect."""
+
+    name: str
+    nodes: tuple[NodeSpec, ...]
+    interconnect: Interconnect = field(default_factory=Interconnect)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise SchedulingError("a cluster needs at least one node")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    def node_gpu_throughputs(self) -> np.ndarray:
+        """Aggregate sustained GPU throughput per node (pairs/s)."""
+        return np.array(
+            [sum(g.pairs_per_sec for g in node.gpus) for node in self.nodes]
+        )
+
+
+@dataclass
+class ClusterTiming:
+    """Breakdown of a simulated cluster run.
+
+    ``total = broadcast + max(node compute) + gather`` — nodes work
+    independently between the collectives (no mid-run communication, as the
+    paper's independent-executions design implies).
+    """
+
+    broadcast_s: float
+    gather_s: float
+    node_compute_s: np.ndarray
+    spot_shares: np.ndarray
+
+    @property
+    def compute_s(self) -> float:
+        """Slowest node's compute time (the barrier)."""
+        return float(self.node_compute_s.max())
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end cluster wall time."""
+        return self.broadcast_s + self.compute_s + self.gather_s
+
+    @property
+    def balance(self) -> float:
+        """Mean/max node compute (1.0 = perfect)."""
+        if self.node_compute_s.max() <= 0:
+            return 1.0
+        return float(self.node_compute_s.mean() / self.node_compute_s.max())
+
+
+def _scale_trace(trace: list[LaunchRecord], factor: float) -> list[LaunchRecord]:
+    """Scale a per-spot-uniform trace's conformation counts by ``factor``
+    (the node's share of the spots)."""
+    scaled = []
+    for record in trace:
+        n = max(1, int(round(record.n_conformations * factor)))
+        scaled.append(
+            LaunchRecord(
+                n_conformations=n,
+                flops_per_pose=record.flops_per_pose,
+                spot_counts=record.spot_counts,
+                kind=record.kind,
+                n_receptor_atoms=record.n_receptor_atoms,
+            )
+        )
+    return scaled
+
+
+def simulate_cluster_run(
+    cluster: ClusterSpec,
+    trace: list[LaunchRecord],
+    n_spots: int,
+    structure_bytes: float,
+    mode: str = "gpu-heterogeneous",
+    seed: int = 0,
+) -> ClusterTiming:
+    """Time a whole-surface screening run across the cluster.
+
+    Spots are dealt to nodes proportionally to their aggregate GPU
+    throughput; each node replays its share of the (per-spot-uniform)
+    launch trace under ``mode``; collectives bracket the computation.
+
+    Parameters
+    ----------
+    trace:
+        Full-run launch trace (e.g. from
+        :func:`repro.experiments.trace.analytic_trace`).
+    n_spots:
+        Spots the trace covers (the unit of distribution).
+    structure_bytes:
+        Receptor+ligand payload broadcast to every node.
+    """
+    if n_spots < 1:
+        raise SchedulingError(f"n_spots must be >= 1, got {n_spots}")
+    if not trace:
+        raise SchedulingError("cannot simulate an empty trace")
+
+    weights = cluster.node_gpu_throughputs()
+    if mode == "openmp":
+        weights = np.array(
+            [
+                node.total_cpu_cores * node.cpu.clock_mhz
+                for node in cluster.nodes
+            ],
+            dtype=float,
+        )
+    shares = proportional_partition(n_spots, weights)
+
+    node_times = np.zeros(cluster.n_nodes)
+    for i, node in enumerate(cluster.nodes):
+        if shares[i] == 0:
+            continue
+        executor = MultiGpuExecutor(node, seed=seed + i)
+        node_trace = _scale_trace(trace, shares[i] / n_spots)
+        timing, _ = executor.replay(node_trace, mode)
+        node_times[i] = timing.total_s
+
+    # Best-conformation gather: 8 floats (pose + score) per spot, SP.
+    gather_bytes = float(max(shares.max(), 1)) * 8 * 4
+    return ClusterTiming(
+        broadcast_s=cluster.interconnect.broadcast_s(structure_bytes, cluster.n_nodes),
+        gather_s=cluster.interconnect.gather_s(gather_bytes, cluster.n_nodes),
+        node_compute_s=node_times,
+        spot_shares=shares,
+    )

@@ -1,0 +1,203 @@
+"""Event-driven simulated devices pulling from a cooperative job queue.
+
+This is the full discrete-event counterpart of the closed-form LPT plan in
+:class:`repro.engine.scheduler.DynamicSpotQueueScheduler`: devices *pull*
+per-spot jobs when they become free, which (with deterministic job times)
+produces the same assignment — a property the tests assert. Unlike the
+closed form it also models **device failure**: a device that dies mid-job
+requeues the job and stops pulling, and the remaining devices absorb the
+work. That is the failure-injection substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.events import EventLoop
+from repro.errors import SchedulingError
+from repro.hardware.cuda import KernelConfig
+from repro.hardware.perf_model import DEFAULT_PARAMS, PerfModelParams, gpu_launch_time
+from repro.hardware.specs import GpuSpec
+
+__all__ = ["Job", "SimulatedDevice", "QueueResult", "run_job_queue"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One independent unit of work.
+
+    Either a single scoring launch (``count`` conformations at
+    ``flops_per_pose``) or — for coarse jobs like a whole per-ligand docking
+    run — an explicit ``launches`` sequence of ``(count, flops_per_pose)``
+    entries whose device time is the sum of the individual launch times
+    (small launches pay their wave floors individually, as they would in a
+    real run).
+    """
+
+    spot: int
+    count: int
+    flops_per_pose: float
+    launches: tuple[tuple[int, float], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SchedulingError(f"job needs count >= 1, got {self.count}")
+        if self.flops_per_pose <= 0:
+            raise SchedulingError("job needs positive flops_per_pose")
+        if self.launches is not None:
+            if not self.launches:
+                raise SchedulingError("explicit launches must be non-empty")
+            for count, flops in self.launches:
+                if count < 1 or flops <= 0:
+                    raise SchedulingError(
+                        f"invalid launch entry ({count}, {flops})"
+                    )
+
+
+@dataclass
+class SimulatedDevice:
+    """One GPU worker in the queue simulation.
+
+    Attributes
+    ----------
+    index:
+        Slot number on the node.
+    gpu:
+        Device spec (drives job times via the performance model).
+    fail_at:
+        Simulated time at which the device dies (None = never). A job in
+        flight at that moment is lost and requeued.
+    """
+
+    index: int
+    gpu: GpuSpec
+    fail_at: float | None = None
+    busy_s: float = field(default=0.0, init=False)
+    jobs_done: list[Job] = field(default_factory=list, init=False)
+    failed: bool = field(default=False, init=False)
+    idle: bool = field(default=True, init=False)
+
+    def job_time(
+        self, job: Job, params: PerfModelParams, config: KernelConfig | None
+    ) -> float:
+        """Modelled time for this device to run ``job``."""
+        if job.launches is not None:
+            return sum(
+                gpu_launch_time(self.gpu, count, flops, params, config).total_s
+                for count, flops in job.launches
+            )
+        return gpu_launch_time(
+            self.gpu, job.count, job.flops_per_pose, params, config
+        ).total_s
+
+
+@dataclass
+class QueueResult:
+    """Outcome of one queue drain.
+
+    Attributes
+    ----------
+    makespan_s:
+        Time the last job finished.
+    assignments:
+        ``spot -> device index`` for every completed job.
+    requeues:
+        Jobs that had to be re-executed after a device failure.
+    busy_s:
+        Per-device busy time (completed work only).
+    """
+
+    makespan_s: float
+    assignments: dict[int, int]
+    requeues: list[Job]
+    busy_s: np.ndarray
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-device busy fraction of the makespan."""
+        if self.makespan_s <= 0:
+            return np.zeros_like(self.busy_s)
+        return self.busy_s / self.makespan_s
+
+
+def run_job_queue(
+    jobs: list[Job],
+    devices: list[SimulatedDevice],
+    params: PerfModelParams = DEFAULT_PARAMS,
+    config: KernelConfig | None = None,
+) -> QueueResult:
+    """Drain ``jobs`` through ``devices`` with an event-driven pull queue.
+
+    Jobs are served largest-first (LPT). Every free, alive device pulls the
+    next job; completion events re-trigger pulls. A device whose
+    ``fail_at`` falls inside a job's execution window requeues that job at
+    the failure instant.
+
+    Raises
+    ------
+    SchedulingError
+        When all devices fail before the queue drains.
+    """
+    if not jobs:
+        raise SchedulingError("job queue needs at least one job")
+    if not devices:
+        raise SchedulingError("job queue needs at least one device")
+
+    queue: list[Job] = sorted(jobs, key=lambda j: (-j.count, j.spot))
+    loop = EventLoop()
+    assignments: dict[int, int] = {}
+    requeues: list[Job] = []
+    outstanding = {"jobs": len(queue)}
+
+    def try_pull(device: SimulatedDevice) -> None:
+        if device.failed or not device.idle or not queue:
+            return
+        job = queue.pop(0)
+        device.idle = False
+        duration = device.job_time(job, params, config)
+        start = loop.now
+        end = start + duration
+        if device.fail_at is not None and device.fail_at < end:
+            # The device dies mid-job: the job is lost and requeued at the
+            # failure instant; the device never pulls again.
+            fail_time = max(device.fail_at, start)
+
+            def on_fail(_loop: EventLoop, device=device, job=job) -> None:
+                device.failed = True
+                requeues.append(job)
+                queue.insert(0, job)
+                # Wake every idle survivor — one of them takes the job.
+                for other in devices:
+                    if not other.failed and other is not device:
+                        try_pull(other)
+
+            loop.schedule_at(fail_time, on_fail)
+            return
+
+        def on_done(_loop: EventLoop, device=device, job=job, duration=duration) -> None:
+            device.busy_s += duration
+            device.jobs_done.append(job)
+            device.idle = True
+            assignments[job.spot] = device.index
+            outstanding["jobs"] -= 1
+            try_pull(device)
+
+        loop.schedule_at(end, on_done)
+
+    for device in devices:
+        try_pull(device)
+    loop.run()
+
+    if outstanding["jobs"] > 0:
+        raise SchedulingError(
+            f"{outstanding['jobs']} jobs undrained — every device failed"
+        )
+    busy = np.array([d.busy_s for d in devices])
+    return QueueResult(
+        makespan_s=loop.now,
+        assignments=assignments,
+        requeues=requeues,
+        busy_s=busy,
+    )

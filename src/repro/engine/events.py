@@ -1,0 +1,100 @@
+"""Discrete-event simulation core.
+
+A minimal but complete event-heap simulator: events are ``(time, seq,
+callback)`` triples; callbacks may schedule further events. Used by the
+dynamic cooperative scheduler (job queue over heterogeneous devices) and by
+the failure-injection tests; the static schedulers use closed-form math and
+do not need it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventLoop"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback. Ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    callback: Callable[["EventLoop"], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventLoop:
+    """Deterministic event-heap simulator."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[["EventLoop"], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0 or delay != delay:
+            raise SimulationError(f"cannot schedule an event {delay} s in the past")
+        event = Event(time=self._now + delay, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[["EventLoop"], None]) -> Event:
+        """Schedule ``callback`` at an absolute time (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self.schedule(time - self._now, callback)
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event cancelled (lazy removal)."""
+        event.cancelled = True
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Drain the heap; returns the final simulation time.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies beyond this time (it stays queued).
+        max_events:
+            Runaway guard.
+        """
+        while self._heap:
+            if self._processed >= max_events:
+                raise SimulationError(f"event budget exhausted ({max_events})")
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event at {event.time} before current time {self._now}"
+                )
+            self._now = event.time
+            self._processed += 1
+            event.callback(self)
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,82 @@
+"""Run records: simulated timing breakdowns and execution reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metaheuristics.template import MetaheuristicResult
+
+__all__ = ["TimingBreakdown", "ExecutionReport"]
+
+
+@dataclass
+class TimingBreakdown:
+    """Where the simulated seconds went.
+
+    Attributes
+    ----------
+    scoring_s:
+        Device time on scoring launches (per launch: the slowest device's
+        share, since Algorithm 2 synchronises after each launch).
+    host_s:
+        Serial host time (template bookkeeping + per-launch marshalling).
+    warmup_s:
+        Warm-up phase cost (heterogeneous algorithm only).
+    n_launches, n_conformations:
+        Workload totals.
+    device_busy_s:
+        Per-device accumulated busy time (load-balance diagnostics).
+    """
+
+    scoring_s: float = 0.0
+    host_s: float = 0.0
+    warmup_s: float = 0.0
+    n_launches: int = 0
+    n_conformations: int = 0
+    device_busy_s: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end simulated wall time."""
+        return self.scoring_s + self.host_s + self.warmup_s
+
+    @property
+    def balance(self) -> float:
+        """Mean device busy time over max (1.0 = perfectly balanced)."""
+        if self.device_busy_s.size == 0 or self.device_busy_s.max() <= 0:
+            return 1.0
+        return float(self.device_busy_s.mean() / self.device_busy_s.max())
+
+
+@dataclass
+class ExecutionReport:
+    """One executed configuration: timing plus (optionally) the search result.
+
+    Attributes
+    ----------
+    mode:
+        ``"openmp"``, ``"gpu-homogeneous"``, ``"gpu-heterogeneous"`` or
+        ``"gpu-dynamic"``.
+    node_name:
+        Which machine was modelled.
+    scheduler_name:
+        Scheduler used for GPU modes ("-" for the CPU baseline).
+    timing:
+        Simulated wall-clock breakdown.
+    result:
+        The metaheuristic outcome when the run executed real host math
+        (None for trace-replay runs).
+    """
+
+    mode: str
+    node_name: str
+    scheduler_name: str
+    timing: TimingBreakdown
+    result: MetaheuristicResult | None = None
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Convenience accessor for the table harness."""
+        return self.timing.total_s

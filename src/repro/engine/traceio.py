@@ -1,0 +1,94 @@
+"""Launch-trace serialization.
+
+A launch trace fully determines a run's modelled cost, so saving traces
+makes timing studies repeatable without re-running host math: record once
+on any machine, replay against any node model later. Format: one JSON
+document with a version tag and a list of launch records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import SimulationError
+from repro.metaheuristics.evaluation import LaunchRecord
+
+__all__ = ["dump_trace", "load_trace", "dumps_trace", "loads_trace", "TRACE_FORMAT_VERSION"]
+
+#: Bumped on any incompatible schema change.
+TRACE_FORMAT_VERSION: int = 1
+
+
+def _record_to_dict(record: LaunchRecord) -> dict:
+    return {
+        "n_conformations": record.n_conformations,
+        "flops_per_pose": record.flops_per_pose,
+        "spot_counts": {str(k): v for k, v in record.spot_counts.items()},
+        "kind": record.kind,
+        "n_receptor_atoms": record.n_receptor_atoms,
+    }
+
+
+def _record_from_dict(data: dict, index: int) -> LaunchRecord:
+    try:
+        return LaunchRecord(
+            n_conformations=int(data["n_conformations"]),
+            flops_per_pose=float(data["flops_per_pose"]),
+            spot_counts={int(k): int(v) for k, v in data["spot_counts"].items()},
+            kind=str(data.get("kind", "population")),
+            n_receptor_atoms=int(data.get("n_receptor_atoms", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(f"malformed launch record #{index}: {exc}") from exc
+
+
+def dumps_trace(trace: list[LaunchRecord], metadata: dict | None = None) -> str:
+    """Serialise a trace (plus free-form metadata) to a JSON string."""
+    return json.dumps(
+        {
+            "format_version": TRACE_FORMAT_VERSION,
+            "metadata": metadata or {},
+            "launches": [_record_to_dict(r) for r in trace],
+        },
+        indent=1,
+    )
+
+
+def loads_trace(text: str) -> tuple[list[LaunchRecord], dict]:
+    """Parse a trace document; returns ``(launches, metadata)``."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"invalid trace JSON: {exc}") from exc
+    version = doc.get("format_version")
+    if version != TRACE_FORMAT_VERSION:
+        raise SimulationError(
+            f"unsupported trace format version {version!r} "
+            f"(this library reads {TRACE_FORMAT_VERSION})"
+        )
+    launches = [
+        _record_from_dict(d, i) for i, d in enumerate(doc.get("launches", []))
+    ]
+    return launches, doc.get("metadata", {})
+
+
+def dump_trace(
+    trace: list[LaunchRecord],
+    destination: str | Path | TextIO,
+    metadata: dict | None = None,
+) -> None:
+    """Write a trace document to a path or open handle."""
+    text = dumps_trace(trace, metadata)
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text, encoding="utf-8")
+    else:
+        destination.write(text)
+
+
+def load_trace(source: str | Path | TextIO) -> tuple[list[LaunchRecord], dict]:
+    """Read a trace document from a path or open handle."""
+    if isinstance(source, (str, Path)):
+        return loads_trace(Path(source).read_text(encoding="utf-8"))
+    return loads_trace(source.read())

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so downstream users can
+catch a single base class. Subclasses map onto the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class MoleculeError(ReproError):
+    """Invalid molecular structure or structure-construction failure."""
+
+
+class PDBParseError(MoleculeError):
+    """Malformed PDB input."""
+
+
+class ForceFieldError(ReproError):
+    """Missing or inconsistent force-field parameters."""
+
+
+class ScoringError(ReproError):
+    """Scoring-function evaluation failure."""
+
+
+class MetaheuristicError(ReproError):
+    """Invalid metaheuristic configuration or template misuse."""
+
+
+class HardwareModelError(ReproError):
+    """Invalid device/node specification or CUDA-model parameters."""
+
+
+class SchedulingError(ReproError):
+    """Work partitioning or job scheduling failure."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation inconsistency (e.g. time going backwards)."""
+
+
+class DeviceFailure(SimulationError):
+    """A simulated device dropped out mid-run (failure injection)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment/benchmark harness misconfiguration."""

@@ -1,0 +1,62 @@
+"""Experiment harness: datasets, analytic traces, table runners."""
+
+from repro.experiments.datasets import (
+    DATASETS,
+    BoundDataset,
+    DatasetSpec,
+    dataset_names,
+    get_dataset,
+    materialize_dataset,
+    paper_spot_count,
+)
+from repro.experiments.runner import (
+    CellResult,
+    TableResult,
+    TableRow,
+    cell_seed,
+    hertz_table,
+    jupiter_table,
+    run_cell,
+)
+from repro.experiments.tables import (
+    PAPER_TABLES,
+    format_hertz_table,
+    format_jupiter_table,
+    paper_reference,
+)
+from repro.experiments.trace import analytic_trace, trace_totals
+from repro.experiments.validation import (
+    PERTURBABLE_PARAMS,
+    ShapeClaims,
+    check_shape_claims,
+    seed_stability,
+    sensitivity_sweep,
+)
+
+__all__ = [
+    "DATASETS",
+    "PAPER_TABLES",
+    "PERTURBABLE_PARAMS",
+    "BoundDataset",
+    "CellResult",
+    "DatasetSpec",
+    "TableResult",
+    "TableRow",
+    "ShapeClaims",
+    "analytic_trace",
+    "cell_seed",
+    "check_shape_claims",
+    "dataset_names",
+    "format_hertz_table",
+    "format_jupiter_table",
+    "get_dataset",
+    "hertz_table",
+    "jupiter_table",
+    "materialize_dataset",
+    "paper_reference",
+    "paper_spot_count",
+    "run_cell",
+    "seed_stability",
+    "sensitivity_sweep",
+    "trace_totals",
+]

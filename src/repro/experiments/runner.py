@@ -1,0 +1,213 @@
+"""Experiment runner: regenerates the cells of Tables 6–9.
+
+Two modes:
+
+* **analytic** (default for the benchmark harness): build the full-scale
+  launch trace with :func:`repro.experiments.trace.analytic_trace` and
+  replay it through the performance model. Fast (milliseconds per cell),
+  exact for timing purposes, and scale-faithful to the paper's absolute
+  seconds.
+* **measured**: actually run the metaheuristic (scaled down) on the
+  synthetic structures, then replay the *recorded* trace. Slower; returns
+  docking quality too. Tests verify the two modes' traces agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.executor import MultiGpuExecutor
+from repro.engine.reporting import TimingBreakdown
+from repro.errors import ExperimentError
+from repro.experiments.datasets import DatasetSpec, get_dataset, materialize_dataset
+from repro.experiments.trace import analytic_trace
+from repro.hardware.cuda import KernelConfig
+from repro.hardware.node import NodeSpec, hertz, jupiter
+from repro.hardware.perf_model import DEFAULT_PARAMS, PerfModelParams
+from repro.hardware.registry import get_gpu
+from repro.metaheuristics.presets import make_preset, preset_names
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+
+__all__ = [
+    "CellResult",
+    "TableRow",
+    "TableResult",
+    "run_cell",
+    "jupiter_table",
+    "hertz_table",
+    "cell_seed",
+]
+
+
+def cell_seed(node_name: str, dataset_name: str, preset_name: str) -> int:
+    """Deterministic warm-up noise seed per table cell.
+
+    The paper's heterogeneous gains vary between metaheuristics because the
+    warm-up measurement is noisy; seeding per cell reproduces that spread
+    deterministically.
+    """
+    key = f"{node_name}/{dataset_name}/{preset_name}"
+    h = 2166136261
+    for ch in key.encode():
+        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+    return h
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (node, dataset, preset, mode) measurement."""
+
+    mode: str
+    seconds: float
+    timing: TimingBreakdown
+
+
+@dataclass
+class TableRow:
+    """One metaheuristic's row of a results table."""
+
+    preset: str
+    cells: dict[str, CellResult] = field(default_factory=dict)
+
+    def seconds(self, mode_key: str) -> float:
+        """Simulated seconds for one column."""
+        return self.cells[mode_key].seconds
+
+
+@dataclass
+class TableResult:
+    """One full table (Tables 6–9)."""
+
+    node_name: str
+    dataset_name: str
+    workload_scale: float
+    rows: list[TableRow] = field(default_factory=list)
+
+    def row(self, preset: str) -> TableRow:
+        """Fetch a row by preset name."""
+        for r in self.rows:
+            if r.preset == preset:
+                return r
+        raise ExperimentError(f"no row for preset {preset!r}")
+
+
+def run_cell(
+    node: NodeSpec,
+    dataset: DatasetSpec,
+    preset_name: str,
+    mode: str,
+    workload_scale: float = 1.0,
+    params: PerfModelParams = DEFAULT_PARAMS,
+    config: KernelConfig | None = None,
+    measured: bool = False,
+    measured_spots: int = 8,
+    search_seed: int = 0,
+) -> CellResult:
+    """Produce one table cell.
+
+    Parameters
+    ----------
+    mode:
+        One of :data:`repro.engine.executor.EXECUTION_MODES`.
+    measured:
+        When True, runs the real (scaled) search on the synthetic complex
+        with ``measured_spots`` spots instead of replaying the analytic
+        full-scale trace.
+    """
+    executor = MultiGpuExecutor(
+        node,
+        params=params,
+        config=config,
+        seed=cell_seed(node.name, dataset.name, preset_name),
+    )
+    if measured:
+        bound = materialize_dataset(dataset.name, n_spots=measured_spots)
+        scorer = CutoffLennardJonesScoring(dtype="float32").bind(
+            bound.receptor, bound.ligand
+        )
+        spec = make_preset(preset_name, workload_scale)
+        report = executor.run(
+            spec, bound.spots, scorer, mode, search_seed=search_seed
+        )
+        return CellResult(mode=mode, seconds=report.simulated_seconds, timing=report.timing)
+
+    trace = analytic_trace(
+        preset_name,
+        dataset.n_spots,
+        dataset.receptor_atoms,
+        dataset.ligand_atoms,
+        workload_scale,
+    )
+    timing, _ = executor.replay(trace, mode)
+    return CellResult(mode=mode, seconds=timing.total_s, timing=timing)
+
+
+def _build_table(
+    node: NodeSpec,
+    columns: dict[str, tuple[NodeSpec, str]],
+    dataset_name: str,
+    workload_scale: float,
+    params: PerfModelParams,
+    measured: bool,
+) -> TableResult:
+    dataset = get_dataset(dataset_name)
+    table = TableResult(
+        node_name=node.name, dataset_name=dataset_name, workload_scale=workload_scale
+    )
+    for preset in preset_names():
+        row = TableRow(preset=preset)
+        for key, (col_node, mode) in columns.items():
+            row.cells[key] = run_cell(
+                col_node,
+                dataset,
+                preset,
+                mode,
+                workload_scale=workload_scale,
+                params=params,
+                measured=measured,
+            )
+        table.rows.append(row)
+    return table
+
+
+def jupiter_table(
+    dataset_name: str,
+    workload_scale: float = 1.0,
+    params: PerfModelParams = DEFAULT_PARAMS,
+    measured: bool = False,
+) -> TableResult:
+    """Regenerate Table 6 (2BSM) or Table 7 (2BXG).
+
+    Columns: OpenMP baseline; homogeneous system (4× GTX 590, equal split);
+    heterogeneous system (6 GPUs) under the homogeneous and the
+    heterogeneous computation.
+    """
+    node = jupiter()
+    homogeneous_system = node.with_gpus([get_gpu("GeForce GTX 590")] * 4)
+    columns = {
+        "openmp": (node, "openmp"),
+        "hom_system": (homogeneous_system, "gpu-homogeneous"),
+        "het_system_hom_comp": (node, "gpu-homogeneous"),
+        "het_system_het_comp": (node, "gpu-heterogeneous"),
+    }
+    return _build_table(node, columns, dataset_name, workload_scale, params, measured)
+
+
+def hertz_table(
+    dataset_name: str,
+    workload_scale: float = 1.0,
+    params: PerfModelParams = DEFAULT_PARAMS,
+    measured: bool = False,
+) -> TableResult:
+    """Regenerate Table 8 (2BSM) or Table 9 (2BXG).
+
+    Columns: OpenMP baseline; K40c + GTX 580 under the homogeneous and the
+    heterogeneous computation.
+    """
+    node = hertz()
+    columns = {
+        "openmp": (node, "openmp"),
+        "het_system_hom_comp": (node, "gpu-homogeneous"),
+        "het_system_het_comp": (node, "gpu-heterogeneous"),
+    }
+    return _build_table(node, columns, dataset_name, workload_scale, params, measured)

@@ -1,0 +1,116 @@
+"""Paper-style table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import TableResult
+
+__all__ = [
+    "format_jupiter_table",
+    "format_hertz_table",
+    "PAPER_TABLES",
+    "paper_reference",
+]
+
+#: The paper's measured values (seconds), for side-by-side comparison.
+#: Keys: (node, dataset) -> preset -> column -> seconds.
+PAPER_TABLES: dict[tuple[str, str], dict[str, dict[str, float]]] = {
+    ("jupiter", "2BSM"): {
+        "M1": {"openmp": 269.45, "hom_system": 7.01, "het_system_hom_comp": 5.13, "het_system_het_comp": 4.98},
+        "M2": {"openmp": 436.36, "hom_system": 10.68, "het_system_hom_comp": 7.92, "het_system_het_comp": 7.68},
+        "M3": {"openmp": 136.71, "hom_system": 3.69, "het_system_hom_comp": 2.71, "het_system_het_comp": 2.54},
+        "M4": {"openmp": 13557.29, "hom_system": 298.27, "het_system_hom_comp": 212.42, "het_system_het_comp": 211.07},
+    },
+    ("jupiter", "2BXG"): {
+        "M1": {"openmp": 1402.63, "hom_system": 23.45, "het_system_hom_comp": 16.96, "het_system_het_comp": 16.77},
+        "M2": {"openmp": 2272.71, "hom_system": 35.37, "het_system_hom_comp": 26.57, "het_system_het_comp": 25.43},
+        "M3": {"openmp": 711.01, "hom_system": 11.81, "het_system_hom_comp": 8.72, "het_system_het_comp": 8.46},
+        "M4": {"openmp": 70505.22, "hom_system": 1113.91, "het_system_hom_comp": 764.131, "het_system_het_comp": 757.32},
+    },
+    ("hertz", "2BSM"): {
+        "M1": {"openmp": 580.23, "het_system_hom_comp": 10.57, "het_system_het_comp": 6.74},
+        "M2": {"openmp": 937.45, "het_system_hom_comp": 16.47, "het_system_het_comp": 12.37},
+        "M3": {"openmp": 294.21, "het_system_hom_comp": 5.41, "het_system_het_comp": 4.09},
+        "M4": {"openmp": 29144.06, "het_system_hom_comp": 470.51, "het_system_het_comp": 334.41},
+    },
+    ("hertz", "2BXG"): {
+        "M1": {"openmp": 2327.60, "het_system_hom_comp": 33.92, "het_system_het_comp": 22.82},
+        "M2": {"openmp": 3908.46, "het_system_hom_comp": 55.56, "het_system_het_comp": 41.58},
+        "M3": {"openmp": 1336.40, "het_system_hom_comp": 18.13, "het_system_het_comp": 13.64},
+        "M4": {"openmp": 150958.75, "het_system_hom_comp": 1735.73, "het_system_het_comp": 1253.64},
+    },
+}
+
+
+def paper_reference(node_name: str, dataset_name: str) -> dict[str, dict[str, float]]:
+    """The paper's measured table for one (node, dataset)."""
+    try:
+        return PAPER_TABLES[(node_name, dataset_name)]
+    except KeyError:
+        raise ExperimentError(
+            f"no paper reference for ({node_name!r}, {dataset_name!r})"
+        ) from None
+
+
+def _speedups(cells: dict[str, float]) -> tuple[float, float]:
+    """(het-comp vs hom-comp, OpenMP vs het-comp) speed-up factors."""
+    het = cells["het_system_het_comp"]
+    return cells["het_system_hom_comp"] / het, cells["openmp"] / het
+
+
+def format_jupiter_table(table: TableResult, compare_paper: bool = True) -> str:
+    """Render a Jupiter table (Tables 6/7 layout) as fixed-width text."""
+    ref = (
+        paper_reference("jupiter", table.dataset_name) if compare_paper else None
+    )
+    lines = [
+        f"PDB:{table.dataset_name} on Jupiter "
+        f"(workload_scale={table.workload_scale:g}) — simulated seconds",
+        f"{'MH':4s} {'OpenMP':>12s} {'Hom.System':>12s} {'Het/HomComp':>12s} "
+        f"{'Het/HetComp':>12s} {'SU het/hom':>11s} {'SU omp/het':>11s}",
+    ]
+    for row in table.rows:
+        cells = {k: c.seconds for k, c in row.cells.items()}
+        su_bal, su_omp = _speedups(cells)
+        lines.append(
+            f"{row.preset:4s} {cells['openmp']:12.2f} {cells['hom_system']:12.2f} "
+            f"{cells['het_system_hom_comp']:12.2f} {cells['het_system_het_comp']:12.2f} "
+            f"{su_bal:11.2f} {su_omp:11.2f}"
+        )
+        if ref is not None:
+            p = ref[row.preset]
+            p_bal, p_omp = _speedups(p)
+            lines.append(
+                f"  ↳paper {p['openmp']:10.2f} {p['hom_system']:12.2f} "
+                f"{p['het_system_hom_comp']:12.2f} {p['het_system_het_comp']:12.2f} "
+                f"{p_bal:11.2f} {p_omp:11.2f}"
+            )
+    return "\n".join(lines)
+
+
+def format_hertz_table(table: TableResult, compare_paper: bool = True) -> str:
+    """Render a Hertz table (Tables 8/9 layout) as fixed-width text."""
+    ref = paper_reference("hertz", table.dataset_name) if compare_paper else None
+    lines = [
+        f"PDB:{table.dataset_name} on Hertz "
+        f"(workload_scale={table.workload_scale:g}) — simulated seconds",
+        f"{'MH':4s} {'OpenMP':>12s} {'Het/HomComp':>12s} {'Het/HetComp':>12s} "
+        f"{'SU het/hom':>11s} {'SU omp/het':>11s}",
+    ]
+    for row in table.rows:
+        cells = {k: c.seconds for k, c in row.cells.items()}
+        su_bal, su_omp = _speedups(cells)
+        lines.append(
+            f"{row.preset:4s} {cells['openmp']:12.2f} "
+            f"{cells['het_system_hom_comp']:12.2f} {cells['het_system_het_comp']:12.2f} "
+            f"{su_bal:11.2f} {su_omp:11.2f}"
+        )
+        if ref is not None:
+            p = ref[row.preset]
+            p_bal, p_omp = _speedups(p)
+            lines.append(
+                f"  ↳paper {p['openmp']:10.2f} "
+                f"{p['het_system_hom_comp']:12.2f} {p['het_system_het_comp']:12.2f} "
+                f"{p_bal:11.2f} {p_omp:11.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Analytic launch-trace construction.
+
+A preset's scoring workload is fully determined by its structure: which
+launches happen, in what order, with how many conformations each. This
+module writes that trace down *without running the search* — which is how
+the benchmark harness reproduces the paper's full-scale tables in seconds
+instead of days of host math.
+
+The tests in ``tests/experiments/test_trace.py`` pin the contract: for any
+workload scale, the analytic trace is **identical** (launch by launch) to
+the trace a real :func:`repro.metaheuristics.template.run_metaheuristic`
+records through its evaluator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.metaheuristics.combination import NoCombination
+from repro.metaheuristics.evaluation import LaunchRecord
+from repro.metaheuristics.improvement import HillClimb, NoImprovement
+from repro.metaheuristics.presets import PRESET_TABLE, make_preset
+from repro.metaheuristics.template import MetaheuristicSpec
+from repro.metaheuristics.termination import MaxIterations
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+__all__ = ["analytic_trace", "trace_totals"]
+
+
+def _uniform_spot_counts(n_spots: int, per_spot: int) -> dict[int, int]:
+    return {s: per_spot for s in range(n_spots)}
+
+
+def analytic_trace(
+    preset_name: str,
+    n_spots: int,
+    n_receptor_atoms: int,
+    n_ligand_atoms: int,
+    workload_scale: float = 1.0,
+) -> list[LaunchRecord]:
+    """Construct the launch trace of one preset run, launch by launch.
+
+    Parameters
+    ----------
+    preset_name:
+        ``"M1"`` … ``"M4"``.
+    n_spots:
+        Spots the run covers (each carries its own sub-population).
+    n_receptor_atoms, n_ligand_atoms:
+        Complex size (fixes ``flops_per_pose``).
+    workload_scale:
+        Same semantics as :func:`repro.metaheuristics.presets.make_preset`.
+    """
+    if n_spots < 1:
+        raise ExperimentError(f"n_spots must be >= 1, got {n_spots}")
+    if preset_name not in PRESET_TABLE:
+        raise ExperimentError(f"unknown preset {preset_name!r}")
+    spec: MetaheuristicSpec = make_preset(preset_name, workload_scale)
+    params = PRESET_TABLE[preset_name]
+    flops_per_pose = float(n_receptor_atoms * n_ligand_atoms * OPS_PER_LJ_PAIR)
+
+    def record(per_spot: int, kind: str) -> LaunchRecord:
+        return LaunchRecord(
+            n_conformations=per_spot * n_spots,
+            flops_per_pose=flops_per_pose,
+            spot_counts=_uniform_spot_counts(n_spots, per_spot),
+            kind=kind,
+            n_receptor_atoms=n_receptor_atoms,
+        )
+
+    trace: list[LaunchRecord] = [record(spec.population_size, "population")]
+
+    if not isinstance(spec.end, MaxIterations):  # pragma: no cover
+        raise ExperimentError("analytic traces require MaxIterations presets")
+    iterations = spec.end.limit
+
+    has_fresh_offspring = not isinstance(spec.combine, NoCombination)
+    improve_launch_size = 0
+    improve_steps = 0
+    if isinstance(spec.improve, HillClimb):
+        k = spec.offspring_size
+        improve_launch_size = max(
+            1, min(k, int(round(k * spec.improve.fraction)))
+        )
+        improve_steps = spec.improve.steps
+    elif not isinstance(spec.improve, NoImprovement):  # pragma: no cover
+        raise ExperimentError(
+            f"analytic traces not defined for {type(spec.improve).__name__}"
+        )
+
+    for _ in range(iterations):
+        if has_fresh_offspring:
+            trace.append(record(spec.offspring_size, "population"))
+        for _ in range(improve_steps):
+            trace.append(record(improve_launch_size, "improve"))
+    return trace
+
+
+def trace_totals(trace: list[LaunchRecord]) -> dict[str, float]:
+    """Aggregate workload statistics of a trace."""
+    return {
+        "n_launches": float(len(trace)),
+        "n_conformations": float(sum(r.n_conformations for r in trace)),
+        "total_flops": float(
+            sum(r.n_conformations * r.flops_per_pose for r in trace)
+        ),
+    }

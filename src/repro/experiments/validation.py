@@ -1,0 +1,191 @@
+"""Reproduction-robustness validation.
+
+A reproduction whose qualitative conclusions only hold at one magic
+parameter setting has not reproduced anything. This module stress-tests the
+*shape claims* of the paper's evaluation against (a) perturbations of the
+performance-model calibration constants and (b) different warm-up noise
+seeds, and reports where each claim starts to break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import TableResult, hertz_table, jupiter_table
+from repro.hardware.perf_model import DEFAULT_PARAMS, PerfModelParams
+
+__all__ = ["ShapeClaims", "check_shape_claims", "sensitivity_sweep", "PERTURBABLE_PARAMS"]
+
+#: Calibration constants the sensitivity sweep perturbs.
+PERTURBABLE_PARAMS: tuple[str, ...] = (
+    "cpu_pairs_per_core_ghz",
+    "cpu_cache_n0",
+    "host_op_cost_s",
+    "launch_host_overhead_s",
+    "improve_host_factor",
+    "partial_wave_floor",
+)
+
+
+@dataclass
+class ShapeClaims:
+    """The paper's qualitative findings, evaluated on one table pair.
+
+    Attributes
+    ----------
+    gpu_speedup_large:
+        Every OpenMP-vs-heterogeneous speed-up exceeds 20× (order of
+        magnitude of the paper's weakest cell).
+    speedup_grows_with_size:
+        Every metaheuristic speeds up more on 2BXG than on 2BSM.
+    hertz_gains_exceed_jupiter:
+        Heterogeneous balancing gains are larger on Hertz than Jupiter for
+        every metaheuristic.
+    m4_highest_speedup:
+        M4 posts the maximum speed-up in every table.
+    m2_beats_m1:
+        M2's speed-up exceeds M1's in every table.
+    """
+
+    gpu_speedup_large: bool = True
+    speedup_grows_with_size: bool = True
+    hertz_gains_exceed_jupiter: bool = True
+    m4_highest_speedup: bool = True
+    m2_beats_m1: bool = True
+
+    def all_hold(self) -> bool:
+        """True when every claim holds."""
+        return all(
+            (
+                self.gpu_speedup_large,
+                self.speedup_grows_with_size,
+                self.hertz_gains_exceed_jupiter,
+                self.m4_highest_speedup,
+                self.m2_beats_m1,
+            )
+        )
+
+    def failed(self) -> list[str]:
+        """Names of broken claims."""
+        return [
+            name
+            for name, value in vars(self).items()
+            if isinstance(value, bool) and not value
+        ]
+
+
+def _speedup(row) -> float:
+    return row.seconds("openmp") / row.seconds("het_system_het_comp")
+
+
+def _gain(row) -> float:
+    return row.seconds("het_system_hom_comp") / row.seconds("het_system_het_comp")
+
+
+def check_shape_claims(
+    jup_small: TableResult,
+    jup_large: TableResult,
+    her_small: TableResult,
+    her_large: TableResult,
+) -> ShapeClaims:
+    """Evaluate the claims on a full set of four regenerated tables."""
+    claims = ShapeClaims()
+    tables = (jup_small, jup_large, her_small, her_large)
+    presets = [row.preset for row in jup_small.rows]
+
+    for table in tables:
+        speedups = {row.preset: _speedup(row) for row in table.rows}
+        if min(speedups.values()) <= 20.0:
+            claims.gpu_speedup_large = False
+        if max(speedups.values()) != speedups["M4"]:
+            claims.m4_highest_speedup = False
+        if speedups["M2"] <= speedups["M1"]:
+            claims.m2_beats_m1 = False
+
+    for small, large in ((jup_small, jup_large), (her_small, her_large)):
+        for preset in presets:
+            if _speedup(large.row(preset)) <= _speedup(small.row(preset)):
+                claims.speedup_grows_with_size = False
+
+    for jup, her in ((jup_small, her_small), (jup_large, her_large)):
+        for preset in presets:
+            if _gain(her.row(preset)) <= _gain(jup.row(preset)):
+                claims.hertz_gains_exceed_jupiter = False
+    return claims
+
+
+@dataclass
+class SensitivityRow:
+    """Outcome for one perturbed parameter setting."""
+
+    parameter: str
+    factor: float
+    claims: ShapeClaims = field(default_factory=ShapeClaims)
+
+
+def _tables_for(params: PerfModelParams, workload_scale: float):
+    return (
+        jupiter_table("2BSM", workload_scale, params),
+        jupiter_table("2BXG", workload_scale, params),
+        hertz_table("2BSM", workload_scale, params),
+        hertz_table("2BXG", workload_scale, params),
+    )
+
+
+def sensitivity_sweep(
+    factors: tuple[float, ...] = (0.75, 1.25),
+    parameters: tuple[str, ...] = PERTURBABLE_PARAMS,
+    workload_scale: float = 1.0,
+    base: PerfModelParams = DEFAULT_PARAMS,
+) -> list[SensitivityRow]:
+    """Re-derive all four tables under perturbed calibrations.
+
+    Each listed parameter is scaled by each factor (one at a time); the
+    shape claims are re-evaluated on the perturbed tables.
+    """
+    if not factors:
+        raise ExperimentError("need at least one perturbation factor")
+    rows: list[SensitivityRow] = []
+    for name in parameters:
+        if not hasattr(base, name):
+            raise ExperimentError(f"unknown perf-model parameter {name!r}")
+        for factor in factors:
+            if factor <= 0:
+                raise ExperimentError(f"factors must be positive, got {factor}")
+            value = getattr(base, name) * factor
+            params = base.with_overrides(**{name: value})
+            claims = check_shape_claims(*_tables_for(params, workload_scale))
+            rows.append(SensitivityRow(parameter=name, factor=factor, claims=claims))
+    return rows
+
+
+def seed_stability(
+    n_seeds: int = 8, workload_scale: float = 1.0
+) -> dict[str, tuple[float, float]]:
+    """Spread of the Hertz M2 heterogeneous gain across warm-up seeds.
+
+    Exercises the one stochastic element of the timing model (warm-up
+    measurement noise). Returns ``{"hertz_m2_gain": (min, max), ...}``.
+    """
+    if n_seeds < 2:
+        raise ExperimentError("need at least two seeds")
+    from repro.engine.executor import MultiGpuExecutor
+    from repro.experiments.datasets import get_dataset
+    from repro.experiments.trace import analytic_trace
+    from repro.hardware.node import hertz
+
+    dataset = get_dataset("2BSM")
+    trace = analytic_trace(
+        "M2", dataset.n_spots, dataset.receptor_atoms, dataset.ligand_atoms,
+        workload_scale,
+    )
+    gains = []
+    for seed in range(n_seeds):
+        executor = MultiGpuExecutor(hertz(), seed=seed)
+        hom, _ = executor.replay(trace, "gpu-homogeneous")
+        het, _ = executor.replay(trace, "gpu-heterogeneous")
+        gains.append(hom.total_s / het.total_s)
+    return {"hertz_m2_gain": (float(min(gains)), float(max(gains)))}

@@ -1,0 +1,61 @@
+"""Hardware substrate: device specs, CUDA execution model, performance model."""
+
+from repro.hardware.cuda import (
+    DEFAULT_WARPS_PER_BLOCK,
+    KernelConfig,
+    LaunchGeometry,
+    launch_geometry,
+    occupancy_blocks_per_sm,
+)
+from repro.hardware.node import NodeSpec, custom_node, hertz, jupiter
+from repro.hardware.perf_model import (
+    DEFAULT_PARAMS,
+    LaunchTime,
+    PerfModelParams,
+    cpu_batch_time,
+    cpu_pair_rate,
+    gpu_launch_time,
+    transfer_time,
+)
+from repro.hardware.registry import CPUS, GPUS, cpu_names, get_cpu, get_gpu, gpu_names
+from repro.hardware.specs import (
+    ARCH_PAIRS_PER_CORE_CYCLE,
+    CUDA_GENERATIONS,
+    WARP_SIZE,
+    CpuSpec,
+    GenerationSummary,
+    GpuArchitecture,
+    GpuSpec,
+)
+
+__all__ = [
+    "ARCH_PAIRS_PER_CORE_CYCLE",
+    "CPUS",
+    "CUDA_GENERATIONS",
+    "DEFAULT_PARAMS",
+    "DEFAULT_WARPS_PER_BLOCK",
+    "GPUS",
+    "WARP_SIZE",
+    "CpuSpec",
+    "GenerationSummary",
+    "GpuArchitecture",
+    "GpuSpec",
+    "KernelConfig",
+    "LaunchGeometry",
+    "LaunchTime",
+    "NodeSpec",
+    "PerfModelParams",
+    "cpu_batch_time",
+    "cpu_names",
+    "cpu_pair_rate",
+    "custom_node",
+    "get_cpu",
+    "get_gpu",
+    "gpu_launch_time",
+    "gpu_names",
+    "hertz",
+    "jupiter",
+    "launch_geometry",
+    "occupancy_blocks_per_sm",
+    "transfer_time",
+]

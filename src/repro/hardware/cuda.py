@@ -1,0 +1,149 @@
+"""CUDA execution-model arithmetic: warps, blocks, occupancy, waves.
+
+§3.2: "we identify each candidate solution to a CUDA warp, and warps are
+grouped into blocks depending on the CUDA thread block granularity." This
+module turns a launch of ``C`` conformations into the grid geometry the
+modelled GPU executes: blocks of ``warps_per_block`` warps, scheduled over
+the SMs in *waves* bounded by the occupancy limits of the device's compute
+capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hardware.specs import WARP_SIZE, GpuSpec
+
+__all__ = ["KernelConfig", "LaunchGeometry", "occupancy_blocks_per_sm", "launch_geometry"]
+
+#: Default thread-block granularity: 8 warps = 256 threads per block — the
+#: configuration that reaches 100 % occupancy on both Fermi (6 blocks × 256
+#: = 1536 resident threads) and Kepler (8 × 256 = 2048) with a 20-register
+#: scoring kernel.
+DEFAULT_WARPS_PER_BLOCK: int = 8
+
+
+@dataclass(frozen=True, slots=True)
+class KernelConfig:
+    """Tunable kernel launch parameters.
+
+    Attributes
+    ----------
+    warps_per_block:
+        Conformations (warps) per thread block.
+    registers_per_thread:
+        Register pressure of the scoring kernel (bounds occupancy together
+        with the CCC limits; 20 matches a tight tiled LJ kernel of this
+        era and sustains full occupancy on Fermi).
+    shared_bytes_per_block:
+        Shared memory consumed by the receptor tile staging.
+    """
+
+    warps_per_block: int = DEFAULT_WARPS_PER_BLOCK
+    registers_per_thread: int = 20
+    shared_bytes_per_block: int = 2560  # 128-atom tile × 5 floats
+
+    def __post_init__(self) -> None:
+        if self.warps_per_block < 1:
+            raise HardwareModelError(
+                f"warps_per_block must be >= 1, got {self.warps_per_block}"
+            )
+        if self.registers_per_thread < 1:
+            raise HardwareModelError("registers_per_thread must be >= 1")
+        if self.shared_bytes_per_block < 0:
+            raise HardwareModelError("shared_bytes_per_block must be >= 0")
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads in one block."""
+        return self.warps_per_block * WARP_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class LaunchGeometry:
+    """Resolved geometry of one kernel launch on one device.
+
+    Attributes
+    ----------
+    n_conformations:
+        Poses (warps) requested.
+    blocks:
+        Thread blocks in the grid.
+    blocks_per_sm:
+        Concurrently resident blocks per SM under occupancy limits.
+    concurrent_warps:
+        Device-wide concurrently executing warps.
+    waves:
+        Sequential scheduling rounds needed to drain the grid.
+    occupancy:
+        Fraction of the device's resident-thread capacity used by a full
+        wave, in (0, 1].
+    """
+
+    n_conformations: int
+    blocks: int
+    blocks_per_sm: int
+    concurrent_warps: int
+    waves: int
+    occupancy: float
+
+
+def occupancy_blocks_per_sm(gpu: GpuSpec, config: KernelConfig) -> int:
+    """Concurrent blocks per SM under thread / block-slot / register /
+    shared-memory limits.
+
+    Register file: ``registers_per_sm`` is 32768 for CCC 2.x and 65536 for
+    3.x+ (Tables 2–3). Shared memory: 48 KB configurations.
+    """
+    if config.threads_per_block > gpu.max_threads_per_block:
+        raise HardwareModelError(
+            f"block of {config.threads_per_block} threads exceeds the "
+            f"{gpu.max_threads_per_block}-thread limit of {gpu.name}"
+        )
+    by_threads = gpu.max_threads_per_sm // config.threads_per_block
+    by_slots = gpu.max_blocks_per_sm
+    registers_per_sm = 65536 if gpu.ccc_major >= 3 else 32768
+    by_regs = registers_per_sm // (
+        config.registers_per_thread * config.threads_per_block
+    )
+    shared_per_sm = 48 * 1024
+    by_shared = (
+        shared_per_sm // config.shared_bytes_per_block
+        if config.shared_bytes_per_block > 0
+        else by_slots
+    )
+    blocks = min(by_threads, by_slots, by_regs, by_shared)
+    if blocks < 1:
+        raise HardwareModelError(
+            f"kernel config {config} cannot fit a single block on {gpu.name}"
+        )
+    return int(blocks)
+
+
+def launch_geometry(
+    gpu: GpuSpec, n_conformations: int, config: KernelConfig | None = None
+) -> LaunchGeometry:
+    """Resolve grid geometry for scoring ``n_conformations`` poses."""
+    if n_conformations < 1:
+        raise HardwareModelError(
+            f"a launch needs at least one conformation, got {n_conformations}"
+        )
+    config = config if config is not None else KernelConfig()
+    blocks = -(-n_conformations // config.warps_per_block)
+    per_sm = occupancy_blocks_per_sm(gpu, config)
+    concurrent_blocks = per_sm * gpu.multiprocessors
+    waves = -(-blocks // concurrent_blocks)
+    concurrent_warps = concurrent_blocks * config.warps_per_block
+    occupancy = min(
+        1.0,
+        (per_sm * config.threads_per_block) / gpu.max_threads_per_sm,
+    )
+    return LaunchGeometry(
+        n_conformations=n_conformations,
+        blocks=blocks,
+        blocks_per_sm=per_sm,
+        concurrent_warps=concurrent_warps,
+        waves=waves,
+        occupancy=occupancy,
+    )

@@ -1,0 +1,118 @@
+"""Energy-to-solution model.
+
+§6: "Heterogeneity may limit acceleration and **waste energy** unless
+programmers develop smarter applications", and Table 1 tracks
+performance-per-watt doubling across GPU generations. This module prices a
+simulated run in joules: each device contributes ``TDP × busy_time`` plus an
+idle floor while the node waits for stragglers, and the host CPU burns its
+package power for the whole run.
+
+Board powers are the public TDP numbers for the paper's devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.reporting import TimingBreakdown
+from repro.errors import HardwareModelError
+from repro.hardware.node import NodeSpec
+
+__all__ = ["DEVICE_TDP_W", "CPU_TDP_W", "EnergyReport", "energy_report"]
+
+#: Board TDP in watts (vendor datasheets; GTX 590 is per-GPU: 365 W board /2).
+DEVICE_TDP_W: dict[str, float] = {
+    "GeForce GTX 590": 182.0,
+    "Tesla C2075": 225.0,
+    "GeForce GTX 580": 244.0,
+    "Tesla K40c": 235.0,
+    "Tesla K20": 225.0,
+    "Tesla K20X": 235.0,
+    "Tesla K40": 235.0,
+    "Tesla K80 (half)": 150.0,
+    "GeForce GTX 980": 165.0,
+}
+
+#: CPU package TDP in watts (per socket).
+CPU_TDP_W: dict[str, float] = {
+    "Xeon E5-2620": 95.0,
+    "Xeon E3-1220": 80.0,
+}
+
+#: Idle power as a fraction of TDP (Fermi/Kepler-era boards idled high).
+IDLE_FRACTION: float = 0.25
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for one simulated run.
+
+    Attributes
+    ----------
+    gpu_active_j:
+        Joules burned by GPUs while scoring.
+    gpu_idle_j:
+        Joules burned by GPUs waiting for stragglers/host.
+    cpu_j:
+        Host CPU joules over the whole run.
+    """
+
+    gpu_active_j: float
+    gpu_idle_j: float
+    cpu_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total energy to solution."""
+        return self.gpu_active_j + self.gpu_idle_j + self.cpu_j
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of total energy spent idling — the §6 'waste'."""
+        if self.total_j <= 0:
+            return 0.0
+        return self.gpu_idle_j / self.total_j
+
+
+def _gpu_tdp(name: str) -> float:
+    try:
+        return DEVICE_TDP_W[name]
+    except KeyError:
+        raise HardwareModelError(f"no TDP tabulated for GPU {name!r}") from None
+
+
+def _cpu_tdp(name: str) -> float:
+    try:
+        return CPU_TDP_W[name]
+    except KeyError:
+        raise HardwareModelError(f"no TDP tabulated for CPU {name!r}") from None
+
+
+def energy_report(node: NodeSpec, timing: TimingBreakdown, gpus_used: bool = True) -> EnergyReport:
+    """Price a simulated run on ``node`` in joules.
+
+    Parameters
+    ----------
+    timing:
+        The run's timing breakdown (per-device busy times + total).
+    gpus_used:
+        False for the OpenMP baseline: GPUs idle for the whole run (they
+        are plugged in either way — the paper's era had no deep sleep).
+    """
+    total_s = timing.total_s
+    if total_s < 0:
+        raise HardwareModelError("timing cannot be negative")
+    cpu_j = _cpu_tdp(node.cpu.name) * node.cpu_sockets * total_s
+
+    active_j = 0.0
+    idle_j = 0.0
+    busy = timing.device_busy_s if gpus_used else np.zeros(node.n_gpus)
+    for i, gpu in enumerate(node.gpus):
+        tdp = _gpu_tdp(gpu.name)
+        busy_s = float(busy[i]) if i < len(busy) else 0.0
+        busy_s = min(busy_s, total_s)
+        active_j += tdp * busy_s
+        idle_j += IDLE_FRACTION * tdp * (total_s - busy_s)
+    return EnergyReport(gpu_active_j=active_j, gpu_idle_j=idle_j, cpu_j=cpu_j)

@@ -1,0 +1,228 @@
+"""Calibrated analytic performance model for scoring workloads.
+
+No GPUs exist in this environment, so wall-clock fidelity comes from an
+analytic model driven by the devices' public specs plus a small set of
+constants calibrated against the paper's *own measurements*. Calibration
+derivation (all from Tables 6–9; workload ``W`` in atom pairs):
+
+1. **GPU sustained throughputs.** Hertz homogeneous-algorithm rows put the
+   GTX 580 at ≈18.4 Gpairs/s; heterogeneous rows then give K40c ≈ 2.15 ×
+   GTX 580 ≈ 39.5 Gpairs/s. Fermi core-clock scaling maps the GTX 580 to
+   GTX 590 ≈ 14.5 Gpairs/s; Jupiter's ≤6 % heterogeneous gains place the
+   C2075 just below it at ≈13.6 Gpairs/s. (Stored per card in
+   :mod:`repro.hardware.registry`.)
+
+2. **CPU throughput and its receptor-size dependence.** Solving the
+   Jupiter M4 rows (where overheads are negligible) for the 12-core CPU
+   rate gives 110.5 Mpairs/s/core on the 3264-atom receptor and 76.3 on the
+   8609-atom one — the large receptor overflows cache. The two points fix
+   the model ``rate = c₀ · clock_GHz / (1 + n_rec/n₀)`` at
+   ``c₀ = 76.06 Mpairs/s per core per GHz`` and ``n₀ = 8667`` atoms.
+   Cross-validation: the fit predicts Hertz M4 speed-ups of 84.5× (2BSM,
+   paper: 87.2×) and 122.4× (2BXG, paper: 120.4×) with *no* Hertz data
+   used in the fit.
+
+3. **Host-side overheads.** The paper's per-metaheuristic speed-up spread
+   (M1 52.5× < M2 55.1× < M4 63.8× on Jupiter/2BSM) implies serial host
+   work per template iteration. Charging ~0.4 µs per individual for the
+   Select/Combine/Include stages plus ~1.5 ms per kernel launch for
+   marshalling/launch/sync reproduces that ordering and spread.
+
+The model's outputs are *simulated seconds*; EXPERIMENTS.md reports them
+against the paper's measured seconds table by table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import HardwareModelError
+from repro.hardware.cuda import KernelConfig, launch_geometry
+from repro.hardware.specs import CpuSpec, GpuSpec
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+__all__ = ["PerfModelParams", "LaunchTime", "gpu_launch_time", "cpu_batch_time", "transfer_time", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True, slots=True)
+class PerfModelParams:
+    """Calibration constants (see module docstring for provenance).
+
+    Attributes
+    ----------
+    launch_host_overhead_s:
+        Serial host cost per kernel launch (marshalling + launch + sync).
+    kernel_latency_s:
+        Device-side launch latency.
+    pcie_bandwidth_gbs:
+        Effective host↔device bandwidth (GB/s).
+    pcie_latency_s:
+        Per-transfer latency.
+    host_op_cost_s:
+        Serial host cost per individual for one template stage
+        (Select/Combine/Include bookkeeping).
+    improve_host_factor:
+        Relative host cost of a local-search step versus a full template
+        stage (perturb+accept is cheaper than sort+crossover).
+    cpu_pairs_per_core_ghz:
+        CPU scoring throughput per core per GHz on a cache-resident
+        receptor (atom pairs/s).
+    cpu_cache_n0:
+        Receptor size (atoms) at which CPU throughput halves.
+    occupancy_floor:
+        Lower bound of the smooth occupancy penalty: effective rate =
+        rate × (floor + (1-floor)·occupancy).
+    partial_wave_floor:
+        Minimum cost of a trailing partial wave, as a fraction of a full
+        wave (latency-hiding floor for under-filled devices).
+    """
+
+    launch_host_overhead_s: float = 1.5e-3
+    kernel_latency_s: float = 1.0e-5
+    pcie_bandwidth_gbs: float = 6.0
+    pcie_latency_s: float = 1.0e-5
+    host_op_cost_s: float = 0.4e-6
+    improve_host_factor: float = 0.15
+    cpu_pairs_per_core_ghz: float = 76.06e6
+    cpu_cache_n0: float = 8667.0
+    occupancy_floor: float = 0.5
+    partial_wave_floor: float = 0.3
+
+    def with_overrides(self, **kwargs) -> "PerfModelParams":
+        """Copy with selected constants replaced."""
+        return replace(self, **kwargs)
+
+
+#: Shared default parameter set used across the experiment harness.
+DEFAULT_PARAMS = PerfModelParams()
+
+
+@dataclass(frozen=True, slots=True)
+class LaunchTime:
+    """Breakdown of one modelled kernel launch.
+
+    ``total = max(compute, memory) + transfer + latency`` — the roofline
+    applied at launch granularity, plus fixed costs.
+    """
+
+    compute_s: float
+    memory_s: float
+    transfer_s: float
+    latency_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end device time for the launch."""
+        return max(self.compute_s, self.memory_s) + self.transfer_s + self.latency_s
+
+
+def transfer_time(n_poses: int, params: PerfModelParams) -> float:
+    """PCIe time: poses in (7 floats), scores out (1 float), SP on the wire."""
+    bytes_moved = n_poses * (7 + 1) * 4
+    return 2 * params.pcie_latency_s + bytes_moved / (params.pcie_bandwidth_gbs * 1e9)
+
+
+def gpu_launch_time(
+    gpu: GpuSpec,
+    n_poses: int,
+    flops_per_pose: float,
+    params: PerfModelParams = DEFAULT_PARAMS,
+    config: KernelConfig | None = None,
+    bytes_per_pose: float | None = None,
+) -> LaunchTime:
+    """Model one scoring launch of ``n_poses`` conformations on ``gpu``.
+
+    Parameters
+    ----------
+    flops_per_pose:
+        Modelled arithmetic per conformation (scorer-reported).
+    bytes_per_pose:
+        DRAM traffic per conformation for memory-bound kernels (e.g. the
+        grid-map scorer). Defaults to the tiled-LJ estimate, which is
+        compute-bound on every device of the paper.
+    """
+    if n_poses < 1:
+        raise HardwareModelError(f"n_poses must be >= 1, got {n_poses}")
+    if flops_per_pose <= 0:
+        raise HardwareModelError(f"flops_per_pose must be positive, got {flops_per_pose}")
+    config = config if config is not None else KernelConfig()
+    geom = launch_geometry(gpu, n_poses, config)
+
+    sustained_flops = gpu.pairs_per_sec * OPS_PER_LJ_PAIR
+    occupancy_scale = params.occupancy_floor + (1.0 - params.occupancy_floor) * geom.occupancy
+    effective_flops = sustained_flops * occupancy_scale
+
+    # Wave quantization: full waves run at the sustained rate; a trailing
+    # partial wave still pays a latency floor (a near-empty device cannot
+    # hide memory latency), modelled as at least ``partial_wave_floor`` of
+    # a full wave's time.
+    concurrent_blocks = geom.concurrent_warps // max(1, config.warps_per_block)
+    full_waves, rem_blocks = divmod(geom.blocks, max(1, concurrent_blocks))
+    partial = 0.0
+    if rem_blocks:
+        partial = max(rem_blocks / concurrent_blocks, params.partial_wave_floor)
+    wave_flops = geom.concurrent_warps * flops_per_pose
+    compute_s = (full_waves + partial) * wave_flops / effective_flops
+
+    if bytes_per_pose is None:
+        # Tiled LJ: each *block* streams the receptor tiles once (the tile
+        # staging is shared by the block's warps): ~20 B per receptor atom,
+        # receptor atoms ≈ flops_per_pose / (OPS_PER_LJ_PAIR · n_lig); we
+        # approximate traffic per pose as flops/OPS_PER_LJ_PAIR · 20 / 8
+        # (8 ligand atoms amortised per tile row) — orders of magnitude
+        # below the compute time on all modelled devices.
+        bytes_per_pose = flops_per_pose / OPS_PER_LJ_PAIR * 20.0 / 8.0 / config.warps_per_block
+    memory_s = n_poses * bytes_per_pose / (gpu.bandwidth_gbs * 1e9)
+
+    return LaunchTime(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        transfer_s=transfer_time(n_poses, params),
+        latency_s=params.kernel_latency_s,
+    )
+
+
+def cpu_pair_rate(
+    cpu: CpuSpec,
+    n_cores: int,
+    n_receptor_atoms: int,
+    params: PerfModelParams = DEFAULT_PARAMS,
+) -> float:
+    """Aggregate CPU scoring rate (atom pairs/s) for ``n_cores`` workers.
+
+    The ``1/(1 + n_rec/n₀)`` factor models the cache-capacity degradation
+    the paper observes: GPU-vs-CPU speed-ups grow with receptor size
+    because the GPU's shared-memory tiling keeps its working set on chip
+    while the CPU's does not.
+    """
+    if n_cores < 1:
+        raise HardwareModelError(f"n_cores must be >= 1, got {n_cores}")
+    if n_receptor_atoms < 1:
+        raise HardwareModelError(
+            f"n_receptor_atoms must be >= 1, got {n_receptor_atoms}"
+        )
+    clock_ghz = cpu.clock_mhz / 1000.0
+    base = (
+        cpu.pairs_per_core_ghz
+        if getattr(cpu, "pairs_per_core_ghz", 0.0) > 0
+        else params.cpu_pairs_per_core_ghz
+    )
+    per_core = base * clock_ghz
+    per_core /= 1.0 + n_receptor_atoms / params.cpu_cache_n0
+    return per_core * n_cores
+
+
+def cpu_batch_time(
+    cpu: CpuSpec,
+    n_cores: int,
+    n_poses: int,
+    flops_per_pose: float,
+    n_receptor_atoms: int,
+    params: PerfModelParams = DEFAULT_PARAMS,
+) -> float:
+    """Time for the OpenMP-style CPU backend to score ``n_poses``."""
+    if n_poses < 1:
+        raise HardwareModelError(f"n_poses must be >= 1, got {n_poses}")
+    pairs_per_pose = flops_per_pose / OPS_PER_LJ_PAIR
+    rate = cpu_pair_rate(cpu, n_cores, n_receptor_atoms, params)
+    return n_poses * pairs_per_pose / rate

@@ -1,0 +1,179 @@
+"""The concrete devices of the paper's Tables 2 and 3 (plus Kepler family
+extras mentioned in §3 for extension experiments).
+
+Sustained throughputs are calibrated against the paper's own measured
+relative speeds (derivation in :mod:`repro.hardware.perf_model`):
+
+* GTX 580 ≈ 18.4 Gpairs/s (from Hertz homogeneous-algorithm rows),
+* K40c ≈ 39.5 Gpairs/s (Hertz heterogeneous rows ⇒ K40c/GTX580 ≈ 2.15),
+* GTX 590 ≈ 14.5 Gpairs/s (Fermi core-clock scaling from GTX 580),
+* C2075 ≈ 13.6 Gpairs/s (Jupiter's ≤6 % heterogeneous gains ⇒ just below
+  the GTX 590).
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareModelError
+from repro.hardware.specs import CpuSpec, GpuArchitecture, GpuSpec
+
+__all__ = ["GPUS", "CPUS", "get_gpu", "get_cpu", "gpu_names", "cpu_names"]
+
+
+GPUS: dict[str, GpuSpec] = {
+    spec.name: spec
+    for spec in (
+        GpuSpec(
+            name="GeForce GTX 590",
+            architecture=GpuArchitecture.FERMI,
+            multiprocessors=16,
+            cores_per_sm=32,
+            clock_mhz=1215,
+            memory_mb=1536,
+            bandwidth_gbs=163.85,
+            ccc="2.0",
+            sustained_pairs_per_sec=14.5e9,
+        ),
+        GpuSpec(
+            name="Tesla C2075",
+            architecture=GpuArchitecture.FERMI,
+            multiprocessors=14,
+            cores_per_sm=32,
+            clock_mhz=1147,
+            memory_mb=5375,
+            bandwidth_gbs=144.0,
+            ccc="2.0",
+            sustained_pairs_per_sec=13.6e9,
+        ),
+        GpuSpec(
+            name="GeForce GTX 580",
+            architecture=GpuArchitecture.FERMI,
+            multiprocessors=16,
+            cores_per_sm=32,
+            clock_mhz=1544,
+            memory_mb=1536,
+            bandwidth_gbs=192.4,
+            ccc="2.0",
+            sustained_pairs_per_sec=18.4e9,
+        ),
+        GpuSpec(
+            name="Tesla K40c",
+            architecture=GpuArchitecture.KEPLER,
+            multiprocessors=15,
+            cores_per_sm=192,
+            clock_mhz=745,
+            memory_mb=11520,
+            bandwidth_gbs=288.38,
+            ccc="3.5",
+            sustained_pairs_per_sec=39.5e9,
+        ),
+        # §3 name-drops the rest of the Kepler Tesla family; these use the
+        # architecture constant (no per-card calibration data in the paper).
+        GpuSpec(
+            name="Tesla K20",
+            architecture=GpuArchitecture.KEPLER,
+            multiprocessors=13,
+            cores_per_sm=192,
+            clock_mhz=706,
+            memory_mb=5120,
+            bandwidth_gbs=208.0,
+            ccc="3.5",
+        ),
+        GpuSpec(
+            name="Tesla K20X",
+            architecture=GpuArchitecture.KEPLER,
+            multiprocessors=14,
+            cores_per_sm=192,
+            clock_mhz=732,
+            memory_mb=6144,
+            bandwidth_gbs=250.0,
+            ccc="3.5",
+        ),
+        GpuSpec(
+            name="Tesla K40",
+            architecture=GpuArchitecture.KEPLER,
+            multiprocessors=15,
+            cores_per_sm=192,
+            clock_mhz=745,
+            memory_mb=12288,
+            bandwidth_gbs=288.0,
+            ccc="3.5",
+        ),
+        # One K80 chip (the paper: "the K80 model even reaches 30
+        # multiprocessors split into two chips" — model one half).
+        GpuSpec(
+            name="Tesla K80 (half)",
+            architecture=GpuArchitecture.KEPLER,
+            multiprocessors=13,
+            cores_per_sm=192,
+            clock_mhz=562,
+            memory_mb=12288,
+            bandwidth_gbs=240.0,
+            ccc="3.7",
+        ),
+        GpuSpec(
+            name="GeForce GTX 980",
+            architecture=GpuArchitecture.MAXWELL,
+            multiprocessors=16,
+            cores_per_sm=128,
+            clock_mhz=1126,
+            memory_mb=4096,
+            bandwidth_gbs=224.0,
+            ccc="5.2",
+        ),
+    )
+}
+
+
+CPUS: dict[str, CpuSpec] = {
+    spec.name: spec
+    for spec in (
+        # Jupiter: "two hexa-cores (12 cores) Intel Xeon E5-2620 at 2 GHz".
+        CpuSpec(
+            name="Xeon E5-2620",
+            cores=6,
+            clock_mhz=2000,
+            l2_kb=256,
+            l3_mb=15,
+            pairs_per_core_ghz=76.06e6,
+        ),
+        # Hertz: Table 3 reports 4 cores at 3100 MHz.
+        CpuSpec(
+            name="Xeon E3-1220",
+            cores=4,
+            clock_mhz=3100,
+            l2_kb=256,
+            l3_mb=8,
+            pairs_per_core_ghz=68.5e6,
+        ),
+    )
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU by exact marketing name."""
+    try:
+        return GPUS[name]
+    except KeyError:
+        raise HardwareModelError(
+            f"unknown GPU {name!r}; known: {sorted(GPUS)}"
+        ) from None
+
+
+def get_cpu(name: str) -> CpuSpec:
+    """Look up a CPU by exact model name."""
+    try:
+        return CPUS[name]
+    except KeyError:
+        raise HardwareModelError(
+            f"unknown CPU {name!r}; known: {sorted(CPUS)}"
+        ) from None
+
+
+def gpu_names() -> tuple[str, ...]:
+    """All registered GPU names."""
+    return tuple(sorted(GPUS))
+
+
+def cpu_names() -> tuple[str, ...]:
+    """All registered CPU names."""
+    return tuple(sorted(CPUS))

@@ -1,0 +1,200 @@
+"""Device specifications (CPUs and GPUs) and the Table 1 generation data.
+
+These dataclasses carry the *public spec-sheet* numbers from the paper's
+Tables 1–3, plus one calibrated quantity: the sustained application-level
+scoring throughput (atom pairs per second). See
+:mod:`repro.hardware.perf_model` for how calibration was derived from the
+paper's own measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import HardwareModelError
+
+__all__ = [
+    "GpuArchitecture",
+    "GpuSpec",
+    "CpuSpec",
+    "GenerationSummary",
+    "CUDA_GENERATIONS",
+]
+
+
+class GpuArchitecture(str, Enum):
+    """Nvidia hardware generations of the paper's Table 1."""
+
+    TESLA = "tesla"
+    FERMI = "fermi"
+    KEPLER = "kepler"
+    MAXWELL = "maxwell"
+
+
+#: Architecture-level sustained scoring throughput in atom pairs per core
+#: per clock cycle. Calibrated so that inter-card ratios reproduce the
+#: paper's measured relative speeds (see perf_model docstring):
+#: K40c/GTX580 ≈ 2.15, GTX580/GTX590 ≈ clock ratio. Tesla and Maxwell are
+#: extrapolations used only by extension benches.
+ARCH_PAIRS_PER_CORE_CYCLE: dict[GpuArchitecture, float] = {
+    GpuArchitecture.TESLA: 0.0120,
+    GpuArchitecture.FERMI: 0.02327,
+    GpuArchitecture.KEPLER: 0.0184,
+    GpuArchitecture.MAXWELL: 0.0260,
+}
+
+#: Hardware limits per CUDA Compute Capability major version.
+_CCC_LIMITS: dict[int, dict[str, int]] = {
+    1: {"max_threads_per_sm": 1024, "max_blocks_per_sm": 8, "max_threads_per_block": 512},
+    2: {"max_threads_per_sm": 1536, "max_blocks_per_sm": 8, "max_threads_per_block": 1024},
+    3: {"max_threads_per_sm": 2048, "max_blocks_per_sm": 16, "max_threads_per_block": 1024},
+    5: {"max_threads_per_sm": 2048, "max_blocks_per_sm": 32, "max_threads_per_block": 1024},
+}
+
+#: Warp size, constant across all CUDA generations.
+WARP_SIZE: int = 32
+
+
+@dataclass(frozen=True, slots=True)
+class GpuSpec:
+    """One GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (``"GeForce GTX 590"``).
+    architecture:
+        Hardware generation.
+    multiprocessors:
+        Streaming multiprocessors on the die.
+    cores_per_sm:
+        CUDA cores per SM.
+    clock_mhz:
+        Shader clock in MHz.
+    memory_mb:
+        Global memory in MB.
+    bandwidth_gbs:
+        Memory bandwidth in GB/s.
+    ccc:
+        CUDA Compute Capability (e.g. ``"2.0"``, ``"3.5"``).
+    sustained_pairs_per_sec:
+        Calibrated application-level scoring throughput at full occupancy
+        (atom pairs/s). When 0, derived from the architecture constant:
+        ``cores × clock × ARCH_PAIRS_PER_CORE_CYCLE[arch]``.
+    """
+
+    name: str
+    architecture: GpuArchitecture
+    multiprocessors: int
+    cores_per_sm: int
+    clock_mhz: float
+    memory_mb: int
+    bandwidth_gbs: float
+    ccc: str
+    sustained_pairs_per_sec: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.multiprocessors < 1 or self.cores_per_sm < 1:
+            raise HardwareModelError(f"invalid SM configuration for {self.name}")
+        if self.clock_mhz <= 0:
+            raise HardwareModelError(f"invalid clock for {self.name}")
+
+    @property
+    def total_cores(self) -> int:
+        """CUDA cores on the die."""
+        return self.multiprocessors * self.cores_per_sm
+
+    @property
+    def ccc_major(self) -> int:
+        """Major compute-capability version."""
+        return int(self.ccc.split(".")[0])
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        """Resident-thread limit per SM for this CCC."""
+        return self._limits()["max_threads_per_sm"]
+
+    @property
+    def max_blocks_per_sm(self) -> int:
+        """Resident-block limit per SM for this CCC."""
+        return self._limits()["max_blocks_per_sm"]
+
+    @property
+    def max_threads_per_block(self) -> int:
+        """Per-block thread limit for this CCC."""
+        return self._limits()["max_threads_per_block"]
+
+    def _limits(self) -> dict[str, int]:
+        try:
+            return _CCC_LIMITS[self.ccc_major]
+        except KeyError:
+            raise HardwareModelError(
+                f"no hardware limits tabulated for CCC {self.ccc!r}"
+            ) from None
+
+    @property
+    def pairs_per_sec(self) -> float:
+        """Sustained scoring throughput (calibrated or architecture-derived)."""
+        if self.sustained_pairs_per_sec > 0:
+            return self.sustained_pairs_per_sec
+        k = ARCH_PAIRS_PER_CORE_CYCLE[self.architecture]
+        return self.total_cores * self.clock_mhz * 1e6 * k
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSpec:
+    """One CPU model (one socket).
+
+    Attributes
+    ----------
+    name:
+        Model (``"Xeon E5-2620"``).
+    cores:
+        Physical cores per socket.
+    clock_mhz:
+        Base clock in MHz.
+    l2_kb, l3_mb:
+        Cache sizes (documentation; the perf model uses a fitted
+        receptor-size degradation constant instead of explicit cache math).
+    pairs_per_core_ghz:
+        Calibrated scoring throughput per core per GHz on a cache-resident
+        receptor (atom pairs/s). 0 selects the perf-model default.
+    """
+
+    name: str
+    cores: int
+    clock_mhz: float
+    l2_kb: int = 256
+    l3_mb: int = 15
+    pairs_per_core_ghz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise HardwareModelError(f"invalid core count for {self.name}")
+        if self.clock_mhz <= 0:
+            raise HardwareModelError(f"invalid clock for {self.name}")
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationSummary:
+    """One column of the paper's Table 1."""
+
+    name: str
+    year: int
+    max_multiprocessors: int
+    cores_per_sm: int
+    max_cores: int
+    shared_kb: int
+    ccc: str
+    peak_sp_gflops: int
+    perf_per_watt: int
+
+
+#: The paper's Table 1, verbatim.
+CUDA_GENERATIONS: tuple[GenerationSummary, ...] = (
+    GenerationSummary("Tesla", 2007, 30, 8, 240, 16, "1.x", 672, 1),
+    GenerationSummary("Fermi", 2010, 16, 32, 512, 48, "2.x", 1178, 2),
+    GenerationSummary("Kepler", 2012, 15, 192, 2880, 48, "3.x", 4290, 6),
+    GenerationSummary("Maxwell", 2014, 16, 128, 2048, 64, "5.x", 4980, 12),
+)

@@ -1,0 +1,88 @@
+"""Shared search context handed to every template operator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.evaluation import Evaluator
+from repro.metaheuristics.population import Population
+from repro.metaheuristics.rng import SpotRngPool
+from repro.molecules.spots import Spot
+
+__all__ = ["SearchContext"]
+
+
+@dataclass
+class SearchContext:
+    """Everything operators need: spots, bounds, RNG streams, the evaluator.
+
+    Attributes
+    ----------
+    spots:
+        The receptor spots this search covers (may be a subset of the full
+        spot list when a device owns a spot partition).
+    evaluator:
+        Scores flat pose batches; also the accounting seam for the runtime.
+    rng:
+        Per-spot random streams (see :class:`repro.metaheuristics.rng.SpotRngPool`).
+    """
+
+    spots: list[Spot]
+    evaluator: Evaluator
+    rng: SpotRngPool
+
+    def __post_init__(self) -> None:
+        if not self.spots:
+            raise MetaheuristicError("search context needs at least one spot")
+        if self.rng.n_spots != len(self.spots):
+            raise MetaheuristicError(
+                f"rng pool covers {self.rng.n_spots} spots but context has "
+                f"{len(self.spots)}"
+            )
+        #: (n_spots, 3) spot centres.
+        self.centers = np.stack([s.center for s in self.spots]).astype(FLOAT_DTYPE)
+        #: (n_spots,) translation search half-widths.
+        self.radii = np.array([s.radius for s in self.spots], dtype=FLOAT_DTYPE)
+        #: (n_spots,) global spot indices (for evaluator accounting).
+        self.global_ids = np.array([s.index for s in self.spots], dtype=np.int64)
+
+    @property
+    def n_spots(self) -> int:
+        """Number of spots in this context."""
+        return len(self.spots)
+
+    def clip_to_bounds(self, translations: np.ndarray) -> np.ndarray:
+        """Clamp ``(n_spots, k, 3)`` translations into each spot's search box."""
+        lo = (self.centers - self.radii[:, None])[:, None, :]
+        hi = (self.centers + self.radii[:, None])[:, None, :]
+        return np.clip(translations, lo, hi)
+
+    def evaluate_population(self, population: Population, kind: str = "population") -> None:
+        """Score every individual in place (one evaluator launch)."""
+        spot_local, translations, quaternions = population.flat()
+        spot_ids = self.global_ids[spot_local]
+        population.set_scores_flat(
+            self.evaluator.evaluate(spot_ids, translations, quaternions, kind=kind)
+        )
+
+    def evaluate_arrays(
+        self, translations: np.ndarray, quaternions: np.ndarray, kind: str = "improve"
+    ) -> np.ndarray:
+        """Score ``(n_spots, k, …)`` arrays, returning ``(n_spots, k)`` scores."""
+        s, k = translations.shape[:2]
+        if s != self.n_spots:
+            raise MetaheuristicError(
+                f"arrays cover {s} spots, context has {self.n_spots}"
+            )
+        spot_ids = np.repeat(self.global_ids, k)
+        scores = self.evaluator.evaluate(
+            spot_ids,
+            translations.reshape(s * k, 3),
+            quaternions.reshape(s * k, 4),
+            kind=kind,
+        )
+        return scores.reshape(s, k)

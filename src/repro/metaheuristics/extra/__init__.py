@@ -1,0 +1,41 @@
+"""Extension metaheuristics built from the same Algorithm 1 template."""
+
+from repro.metaheuristics.extra.annealing import (
+    AnnealingImprovement,
+    ReplaceInclusion,
+    make_simulated_annealing,
+)
+from repro.metaheuristics.extra.ant_colony import AntColonySampling, make_ant_colony
+from repro.metaheuristics.extra.differential_evolution import (
+    DifferentialMove,
+    GreedyPairInclusion,
+    make_differential_evolution,
+)
+from repro.metaheuristics.extra.grasp import GreedyRandomizedConstruction, make_grasp
+from repro.metaheuristics.extra.hybrid import hybridize, make_memetic_ga, make_pso_annealing
+from repro.metaheuristics.extra.pso import PsoInclusion, PsoMove, make_pso
+from repro.metaheuristics.extra.tabu import TabuImprovement, make_tabu_search
+from repro.metaheuristics.extra.variable_neighborhood import VnsImprovement, make_vns
+
+__all__ = [
+    "AnnealingImprovement",
+    "AntColonySampling",
+    "DifferentialMove",
+    "GreedyPairInclusion",
+    "GreedyRandomizedConstruction",
+    "PsoInclusion",
+    "PsoMove",
+    "ReplaceInclusion",
+    "TabuImprovement",
+    "VnsImprovement",
+    "hybridize",
+    "make_ant_colony",
+    "make_differential_evolution",
+    "make_grasp",
+    "make_memetic_ga",
+    "make_pso",
+    "make_pso_annealing",
+    "make_simulated_annealing",
+    "make_tabu_search",
+    "make_vns",
+]

@@ -1,0 +1,135 @@
+"""Differential Evolution as a template instantiation.
+
+DE/rand/1/bin on the translation channel plus nlerp-style difference moves
+on orientations: for each target ``x`` pick distinct ``a, b, c`` and build
+
+    mutant = a + F · (b − c),   child = crossover(x, mutant, CR)
+
+Greedy per-index replacement happens in the Include stage (the canonical DE
+selection), so the Combine stage emits one trial vector per individual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.combination import Combination
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.improvement import NoImprovement
+from repro.metaheuristics.inclusion import Inclusion
+from repro.metaheuristics.initialization import UniformSpotInitializer
+from repro.metaheuristics.population import Population
+from repro.metaheuristics.selection import IdentitySelection
+from repro.metaheuristics.template import MetaheuristicSpec
+from repro.metaheuristics.termination import MaxIterations
+from repro.molecules.transforms import quaternion_multiply
+
+__all__ = ["DifferentialMove", "GreedyPairInclusion", "make_differential_evolution"]
+
+
+class DifferentialMove(Combination):
+    """DE/rand/1/bin trial-vector construction.
+
+    Parameters
+    ----------
+    weight:
+        Differential weight F.
+    crossover:
+        Binomial crossover rate CR.
+    rotation_angle:
+        Orientation mutation magnitude (quaternion-difference analogue).
+    """
+
+    def __init__(
+        self, weight: float = 0.7, crossover: float = 0.9, rotation_angle: float = 0.4
+    ) -> None:
+        if not 0.0 < weight <= 2.0:
+            raise MetaheuristicError(f"weight must be in (0, 2], got {weight}")
+        if not 0.0 <= crossover <= 1.0:
+            raise MetaheuristicError(f"crossover must be in [0, 1], got {crossover}")
+        self.weight = float(weight)
+        self.crossover = float(crossover)
+        self.rotation_angle = float(rotation_angle)
+
+    def combine(
+        self, ctx: SearchContext, selected: Population, n_offspring: int
+    ) -> Population:
+        k = selected.size_per_spot
+        if n_offspring != k:
+            raise MetaheuristicError("DE produces exactly one trial per individual")
+        if k < 4:
+            raise MetaheuristicError("DE needs a population of at least 4")
+
+        # Distinct a, b, c per target: draw offsets in [1, k) and shift.
+        base = np.arange(k)
+        off = ctx.rng.integers(1, k, (3, k))  # (s, 3, k)
+        a = (base + off[:, 0]) % k
+        b = (base + off[:, 1]) % k
+        c = (base + off[:, 2]) % k
+        # Repair collisions between b and c (a vs b/c collisions are rare
+        # and harmless; b == c would zero the differential).
+        collide = b == c
+        c = np.where(collide, (c + 1) % k, c)
+
+        rows = np.arange(selected.n_spots)[:, None]
+        ta = selected.translations[rows, a]
+        tb = selected.translations[rows, b]
+        tc = selected.translations[rows, c]
+        mutant = ta + self.weight * (tb - tc)
+
+        cross = ctx.rng.random((k, 3)) < self.crossover  # (s, k, 3)
+        # Guarantee at least one mutated component per individual.
+        force = ctx.rng.integers(0, 3, (k,))  # (s, k)
+        axis_idx = np.arange(3)[None, None, :]
+        cross = cross | (axis_idx == force[:, :, None])
+        trial_t = np.where(cross, mutant, selected.translations)
+        trial_t = ctx.clip_to_bounds(trial_t)
+
+        # Orientation: spin the target by a small random rotation scaled by
+        # whether its translation mutated (keeps pose channels coupled).
+        spins = ctx.rng.small_rotations(k, self.rotation_angle)
+        trial_q = quaternion_multiply(spins, selected.quaternions[rows, a])
+        return Population(trial_t, trial_q)
+
+
+class GreedyPairInclusion(Inclusion):
+    """Canonical DE selection: trial ``i`` replaces parent ``i`` iff better."""
+
+    def include(
+        self, ctx: SearchContext, offspring: Population, current: Population
+    ) -> Population:
+        if offspring.size_per_spot != current.size_per_spot:
+            raise MetaheuristicError("DE trial count must equal the population size")
+        if not (offspring.is_evaluated() and current.is_evaluated()):
+            raise MetaheuristicError("DE inclusion needs evaluated populations")
+        better = offspring.scores < current.scores
+        nxt = current.copy()
+        nxt.translations = np.where(
+            better[:, :, None], offspring.translations, current.translations
+        )
+        nxt.quaternions = np.where(
+            better[:, :, None], offspring.quaternions, current.quaternions
+        )
+        nxt.scores = np.where(better, offspring.scores, current.scores)
+        return nxt
+
+
+def make_differential_evolution(
+    population: int = 32,
+    iterations: int = 40,
+    weight: float = 0.7,
+    crossover: float = 0.9,
+) -> MetaheuristicSpec:
+    """Differential Evolution from the Algorithm 1 template."""
+    return MetaheuristicSpec(
+        name="DE",
+        population_size=population,
+        offspring_size=population,
+        initialize=UniformSpotInitializer(),
+        end=MaxIterations(iterations),
+        select=IdentitySelection(),
+        combine=DifferentialMove(weight=weight, crossover=crossover),
+        improve=NoImprovement(),
+        include=GreedyPairInclusion(),
+    )

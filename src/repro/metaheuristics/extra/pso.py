@@ -1,0 +1,155 @@
+"""Particle Swarm Optimization as a template instantiation.
+
+§2.2 lists PSO among the distributed metaheuristics the template covers.
+PSO keeps per-particle velocity and personal-best state; that state lives in
+the :class:`PsoMove` operator (the template functions are objects, so
+stateful metaheuristics fit the same six slots).
+
+Velocity update (standard inertia form, per spot, per particle)::
+
+    v ← ω v + c₁ r₁ (pbest − x) + c₂ r₂ (gbest − x)
+    x ← x + v
+
+Orientations follow the same rule in quaternion-difference space
+(nlerp-style pull toward the personal/global best orientation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.combination import Combination
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.improvement import NoImprovement
+from repro.metaheuristics.inclusion import Inclusion
+from repro.metaheuristics.initialization import UniformSpotInitializer
+from repro.metaheuristics.population import Population
+from repro.metaheuristics.selection import IdentitySelection
+from repro.metaheuristics.template import MetaheuristicSpec
+from repro.metaheuristics.termination import MaxIterations
+
+__all__ = ["PsoMove", "PsoInclusion", "make_pso"]
+
+
+class PsoMove(Combination):
+    """The PSO position/velocity update, as the Combine stage.
+
+    Holds the swarm state: velocities, personal bests, and their scores.
+    State initialises lazily on the first call (when the population shape
+    becomes known).
+    """
+
+    def __init__(
+        self,
+        inertia: float = 0.72,
+        cognitive: float = 1.49,
+        social: float = 1.49,
+        max_velocity: float = 2.0,
+    ) -> None:
+        if not 0.0 <= inertia <= 1.0:
+            raise MetaheuristicError(f"inertia must be in [0, 1], got {inertia}")
+        if cognitive < 0 or social < 0:
+            raise MetaheuristicError("cognitive/social factors must be >= 0")
+        self.inertia = float(inertia)
+        self.cognitive = float(cognitive)
+        self.social = float(social)
+        self.max_velocity = float(max_velocity)
+        self._velocity: np.ndarray | None = None
+        self._pbest_t: np.ndarray | None = None
+        self._pbest_q: np.ndarray | None = None
+        self._pbest_s: np.ndarray | None = None
+
+    def observe(self, population: Population) -> None:
+        """Update personal bests from an evaluated population."""
+        if self._pbest_s is None:
+            self._pbest_t = population.translations.copy()
+            self._pbest_q = population.quaternions.copy()
+            self._pbest_s = population.scores.copy()
+            return
+        better = population.scores < self._pbest_s
+        self._pbest_t = np.where(better[:, :, None], population.translations, self._pbest_t)
+        self._pbest_q = np.where(better[:, :, None], population.quaternions, self._pbest_q)
+        self._pbest_s = np.where(better, population.scores, self._pbest_s)
+
+    def combine(
+        self, ctx: SearchContext, selected: Population, n_offspring: int
+    ) -> Population:
+        if n_offspring != selected.size_per_spot:
+            raise MetaheuristicError("PSO keeps the swarm size constant")
+        if not selected.is_evaluated():
+            raise MetaheuristicError("PSO needs evaluated particles")
+        self.observe(selected)
+        assert self._pbest_t is not None and self._pbest_q is not None
+        assert self._pbest_s is not None
+
+        k = selected.size_per_spot
+        if self._velocity is None:
+            self._velocity = np.zeros_like(selected.translations)
+
+        gbest_idx = np.argmin(self._pbest_s, axis=1)
+        rows = np.arange(selected.n_spots)
+        gbest_t = self._pbest_t[rows, gbest_idx][:, None, :]
+        gbest_q = self._pbest_q[rows, gbest_idx][:, None, :]
+
+        r1 = ctx.rng.random((k, 3))
+        r2 = ctx.rng.random((k, 3))
+        self._velocity = (
+            self.inertia * self._velocity
+            + self.cognitive * r1 * (self._pbest_t - selected.translations)
+            + self.social * r2 * (gbest_t - selected.translations)
+        )
+        speed = np.linalg.norm(self._velocity, axis=2, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            scale = np.where(
+                speed > self.max_velocity, self.max_velocity / speed, 1.0
+            )
+        self._velocity = self._velocity * scale
+        translations = ctx.clip_to_bounds(selected.translations + self._velocity)
+
+        # Orientation: nlerp pull toward pbest then gbest (hemisphere-aligned).
+        w1 = 0.3 * ctx.rng.random((k,))[:, :, None]
+        w2 = 0.3 * ctx.rng.random((k,))[:, :, None]
+        q = selected.quaternions
+        pq = np.where(
+            np.einsum("skj,skj->sk", q, self._pbest_q)[:, :, None] < 0,
+            -self._pbest_q,
+            self._pbest_q,
+        )
+        q = (1 - w1) * q + w1 * pq
+        gq = np.where(np.einsum("skj,skj->sk", q, gbest_q)[:, :, None] < 0, -gbest_q, gbest_q)
+        q = (1 - w2) * q + w2 * gq
+        return Population(translations, q)
+
+
+class PsoInclusion(Inclusion):
+    """Swarm replacement: the moved particles *are* the next population
+    (bests are tracked inside :class:`PsoMove`, so no elitist merge)."""
+
+    def include(
+        self, ctx: SearchContext, offspring: Population, current: Population
+    ) -> Population:
+        if offspring.size_per_spot != current.size_per_spot:
+            raise MetaheuristicError("PSO swarm size must stay constant")
+        return offspring.copy()
+
+
+def make_pso(
+    swarm_size: int = 64,
+    iterations: int = 40,
+    inertia: float = 0.72,
+    cognitive: float = 1.49,
+    social: float = 1.49,
+) -> MetaheuristicSpec:
+    """Particle Swarm Optimization from the Algorithm 1 template."""
+    return MetaheuristicSpec(
+        name="PSO",
+        population_size=swarm_size,
+        offspring_size=swarm_size,
+        initialize=UniformSpotInitializer(),
+        end=MaxIterations(iterations),
+        select=IdentitySelection(),
+        combine=PsoMove(inertia=inertia, cognitive=cognitive, social=social),
+        improve=NoImprovement(),
+        include=PsoInclusion(),
+    )

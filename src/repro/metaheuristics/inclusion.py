@@ -1,0 +1,103 @@
+"""``Include(Scom, S)`` strategies.
+
+Inclusion decides the next reference set from the current one plus the
+combined/improved offspring. The paper's population metaheuristics "select
+the best configurations from those in the reference set and those generated
+by combination and improvement" (§4.2.1) — elitist truncation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.population import Population
+
+__all__ = ["Inclusion", "ElitistInclusion", "GenerationalInclusion", "SteadyStateInclusion"]
+
+
+class Inclusion(ABC):
+    """Merges offspring into the reference set."""
+
+    @abstractmethod
+    def include(
+        self, ctx: SearchContext, offspring: Population, current: Population
+    ) -> Population:
+        """Return the next reference set (same size as ``current``)."""
+
+
+def _require_evaluated(*populations: Population) -> None:
+    for p in populations:
+        if not p.is_evaluated():
+            raise MetaheuristicError("inclusion requires fully evaluated populations")
+
+
+class ElitistInclusion(Inclusion):
+    """Best-of-union truncation: next set = best ``k`` of ``S ∪ Scom``."""
+
+    def include(
+        self, ctx: SearchContext, offspring: Population, current: Population
+    ) -> Population:
+        _require_evaluated(offspring, current)
+        union = current.concat(offspring)
+        k = current.size_per_spot
+        order = np.argsort(union.scores, axis=1, kind="stable")[:, :k]
+        return union.take(order)
+
+
+class GenerationalInclusion(Inclusion):
+    """Full replacement with elitism: offspring replace the reference set,
+    except the best ``elites`` of the old set survive (replacing the worst
+    offspring)."""
+
+    def __init__(self, elites: int = 1) -> None:
+        if elites < 0:
+            raise MetaheuristicError(f"elites must be >= 0, got {elites}")
+        self.elites = int(elites)
+
+    def include(
+        self, ctx: SearchContext, offspring: Population, current: Population
+    ) -> Population:
+        _require_evaluated(offspring, current)
+        k = current.size_per_spot
+        if offspring.size_per_spot < k:
+            raise MetaheuristicError(
+                "generational inclusion needs at least as many offspring "
+                f"({offspring.size_per_spot}) as the reference size ({k})"
+            )
+        best_children = np.argsort(offspring.scores, axis=1, kind="stable")[:, :k]
+        nxt = offspring.take(best_children)
+        e = min(self.elites, k)
+        if e > 0:
+            elite_idx = np.argsort(current.scores, axis=1, kind="stable")[:, :e]
+            elites = current.take(elite_idx)
+            worst = np.argsort(nxt.scores, axis=1, kind="stable")[:, k - e :]
+            rows = np.arange(nxt.n_spots)[:, None]
+            nxt.translations[rows, worst] = elites.translations
+            nxt.quaternions[rows, worst] = elites.quaternions
+            nxt.scores[rows, worst] = elites.scores
+        return nxt
+
+
+class SteadyStateInclusion(Inclusion):
+    """Each offspring replaces the current worst individual if better."""
+
+    def include(
+        self, ctx: SearchContext, offspring: Population, current: Population
+    ) -> Population:
+        _require_evaluated(offspring, current)
+        nxt = current.copy()
+        rows = np.arange(nxt.n_spots)
+        for j in range(offspring.size_per_spot):
+            worst = np.argmax(nxt.scores, axis=1)
+            child_scores = offspring.scores[:, j]
+            replace = child_scores < nxt.scores[rows, worst]
+            w = worst[replace]
+            r = rows[replace]
+            nxt.translations[r, w] = offspring.translations[replace, j]
+            nxt.quaternions[r, w] = offspring.quaternions[replace, j]
+            nxt.scores[r, w] = child_scores[replace]
+        return nxt

@@ -1,0 +1,91 @@
+"""Candidate solutions (*conformations*) and their flat encoding.
+
+§3.1: "a candidate solution (or individual) is a conformation" — a placement
+of the ligand at one receptor spot, i.e. a translation plus an orientation.
+The flat encoding is 7 floats ``[tx, ty, tz, qw, qx, qy, qz]``; crossover and
+local-search operators work directly on the two components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MetaheuristicError
+from repro.molecules.transforms import normalize_quaternion
+
+__all__ = ["Conformation", "encode_pose", "decode_pose", "POSE_DIM"]
+
+#: Length of the flat pose vector (3 translation + 4 quaternion).
+POSE_DIM: int = 7
+
+
+@dataclass(frozen=True, slots=True)
+class Conformation:
+    """One candidate solution: a ligand pose anchored to a spot.
+
+    Attributes
+    ----------
+    spot_index:
+        Which receptor spot this conformation belongs to.
+    translation:
+        ``(3,)`` ligand-centroid position in receptor coordinates (Å).
+    quaternion:
+        ``(4,)`` unit orientation.
+    score:
+        Scoring-function value (kcal/mol, lower = better); ``nan`` when not
+        yet evaluated.
+    """
+
+    spot_index: int
+    translation: np.ndarray
+    quaternion: np.ndarray
+    score: float = float("nan")
+
+    def __post_init__(self) -> None:
+        t = np.ascontiguousarray(self.translation, dtype=FLOAT_DTYPE)
+        q = np.ascontiguousarray(self.quaternion, dtype=FLOAT_DTYPE)
+        if t.shape != (3,):
+            raise MetaheuristicError(f"translation must have shape (3,), got {t.shape}")
+        if q.shape != (4,):
+            raise MetaheuristicError(f"quaternion must have shape (4,), got {q.shape}")
+        object.__setattr__(self, "translation", t)
+        object.__setattr__(self, "quaternion", normalize_quaternion(q))
+
+    def encoded(self) -> np.ndarray:
+        """Flat 7-vector encoding."""
+        return encode_pose(self.translation, self.quaternion)
+
+    def evaluated(self, score: float) -> "Conformation":
+        """Copy with the score filled in."""
+        return Conformation(self.spot_index, self.translation, self.quaternion, score)
+
+
+def encode_pose(translation: np.ndarray, quaternion: np.ndarray) -> np.ndarray:
+    """Pack translation(s) and quaternion(s) into flat pose vector(s).
+
+    Accepts ``(3,)``/``(4,)`` or batched ``(..., 3)``/``(..., 4)``.
+    """
+    t = np.asarray(translation, dtype=FLOAT_DTYPE)
+    q = np.asarray(quaternion, dtype=FLOAT_DTYPE)
+    if t.shape[-1] != 3 or q.shape[-1] != 4 or t.shape[:-1] != q.shape[:-1]:
+        raise MetaheuristicError(
+            f"incompatible pose component shapes {t.shape} and {q.shape}"
+        )
+    return np.concatenate([t, q], axis=-1)
+
+
+def decode_pose(encoded: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack flat pose vector(s) into (translations, unit quaternions).
+
+    Quaternions are re-normalised on decode, so operators are free to produce
+    non-unit intermediate values.
+    """
+    encoded = np.asarray(encoded, dtype=FLOAT_DTYPE)
+    if encoded.shape[-1] != POSE_DIM:
+        raise MetaheuristicError(
+            f"pose vectors must have last dimension {POSE_DIM}, got {encoded.shape}"
+        )
+    return encoded[..., :3], normalize_quaternion(encoded[..., 3:])

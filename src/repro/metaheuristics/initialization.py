@@ -1,0 +1,74 @@
+"""``Initialize(S)`` strategies.
+
+Initial conformations scatter the ligand around each spot: translations in
+the spot's search box, orientations uniform on SO(3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.population import Population
+
+__all__ = ["Initializer", "UniformSpotInitializer", "ShellInitializer"]
+
+
+class Initializer(ABC):
+    """Produces the unevaluated initial population."""
+
+    @abstractmethod
+    def initialize(self, ctx: SearchContext, size_per_spot: int) -> Population:
+        """Create ``size_per_spot`` individuals for every spot."""
+
+
+def _check_size(size_per_spot: int) -> None:
+    if size_per_spot < 1:
+        raise MetaheuristicError(f"size_per_spot must be >= 1, got {size_per_spot}")
+
+
+class UniformSpotInitializer(Initializer):
+    """Translations uniform in each spot's cube, orientations uniform."""
+
+    def initialize(self, ctx: SearchContext, size_per_spot: int) -> Population:
+        _check_size(size_per_spot)
+        u = ctx.rng.random((size_per_spot, 3))  # (s, k, 3) in [0, 1)
+        offsets = (2.0 * u - 1.0) * ctx.radii[:, None, None]
+        translations = ctx.centers[:, None, :] + offsets
+        quaternions = ctx.rng.quaternions(size_per_spot)
+        return Population(translations, quaternions)
+
+
+class ShellInitializer(Initializer):
+    """Translations biased outward along the spot normal.
+
+    Places individuals in the outer half of the search region (between
+    ``bias`` and 1 of the radius along the normal, uniform sideways). Useful
+    when spots hug the surface and inward placements mostly clash.
+    """
+
+    def __init__(self, bias: float = 0.25) -> None:
+        if not 0.0 <= bias < 1.0:
+            raise MetaheuristicError(f"bias must be in [0, 1), got {bias}")
+        self.bias = float(bias)
+
+    def initialize(self, ctx: SearchContext, size_per_spot: int) -> Population:
+        _check_size(size_per_spot)
+        normals = np.stack([s.normal for s in ctx.spots])  # (s, 3)
+        u = ctx.rng.random((size_per_spot, 3))
+        sideways = (2.0 * u - 1.0) * ctx.radii[:, None, None]
+        # Replace the normal component with an outward-biased offset.
+        along = (self.bias + (1.0 - self.bias) * ctx.rng.random((size_per_spot,))) * ctx.radii[
+            :, None
+        ]
+        proj = np.einsum("skj,sj->sk", sideways, normals)
+        sideways = sideways - proj[:, :, None] * normals[:, None, :]
+        translations = (
+            ctx.centers[:, None, :] + sideways + along[:, :, None] * normals[:, None, :]
+        )
+        translations = ctx.clip_to_bounds(translations)
+        quaternions = ctx.rng.quaternions(size_per_spot)
+        return Population(translations, quaternions)

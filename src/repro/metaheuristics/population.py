@@ -1,0 +1,206 @@
+"""Population container: structure-of-arrays over (spot, individual).
+
+The paper maintains one sub-population per spot ("a population of 64
+individuals for each spot in the receptor", §4.2.1) and evolves all spots
+simultaneously. We store the whole population as ``(n_spots, k)`` arrays so
+every operator is vectorised across spots *and* individuals, mirroring the
+one-warp-per-conformation data layout of the CUDA kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.individual import Conformation
+from repro.molecules.transforms import normalize_quaternion
+
+__all__ = ["Population"]
+
+
+class Population:
+    """Candidate-solution set, grouped by spot.
+
+    Parameters
+    ----------
+    translations:
+        ``(n_spots, k, 3)``.
+    quaternions:
+        ``(n_spots, k, 4)`` — normalised on construction.
+    scores:
+        ``(n_spots, k)``; ``nan`` marks unevaluated individuals.
+    """
+
+    def __init__(
+        self,
+        translations: np.ndarray,
+        quaternions: np.ndarray,
+        scores: np.ndarray | None = None,
+    ) -> None:
+        translations = np.ascontiguousarray(translations, dtype=FLOAT_DTYPE)
+        quaternions = np.ascontiguousarray(quaternions, dtype=FLOAT_DTYPE)
+        if translations.ndim != 3 or translations.shape[2] != 3:
+            raise MetaheuristicError(
+                f"translations must have shape (s, k, 3), got {translations.shape}"
+            )
+        s, k = translations.shape[:2]
+        if quaternions.shape != (s, k, 4):
+            raise MetaheuristicError(
+                f"quaternions must have shape ({s}, {k}, 4), got {quaternions.shape}"
+            )
+        self.translations = translations
+        self.quaternions = normalize_quaternion(quaternions)
+        if scores is None:
+            self.scores = np.full((s, k), np.nan, dtype=FLOAT_DTYPE)
+        else:
+            self.scores = np.ascontiguousarray(scores, dtype=FLOAT_DTYPE)
+            if self.scores.shape != (s, k):
+                raise MetaheuristicError(
+                    f"scores must have shape ({s}, {k}), got {self.scores.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_spots(self) -> int:
+        """Number of spot groups."""
+        return int(self.translations.shape[0])
+
+    @property
+    def size_per_spot(self) -> int:
+        """Individuals per spot (k)."""
+        return int(self.translations.shape[1])
+
+    @property
+    def total(self) -> int:
+        """Total number of individuals across all spots."""
+        return self.n_spots * self.size_per_spot
+
+    def __repr__(self) -> str:
+        return (
+            f"<Population spots={self.n_spots} per_spot={self.size_per_spot} "
+            f"evaluated={int(np.isfinite(self.scores).sum())}/{self.total}>"
+        )
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "Population":
+        """Deep copy."""
+        return Population(
+            self.translations.copy(), self.quaternions.copy(), self.scores.copy()
+        )
+
+    def is_evaluated(self) -> bool:
+        """True when every individual has a finite score."""
+        return bool(np.all(np.isfinite(self.scores)))
+
+    def flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(spot_ids, translations, quaternions)`` flattened to 1-D batch.
+
+        The order is spot-major: all of spot 0's individuals first. This is
+        the layout handed to evaluators (and, in the modelled system, the
+        layout copied to the GPUs in Algorithm 2).
+        """
+        s, k = self.n_spots, self.size_per_spot
+        spot_ids = np.repeat(np.arange(s, dtype=np.int64), k)
+        return (
+            spot_ids,
+            self.translations.reshape(s * k, 3),
+            self.quaternions.reshape(s * k, 4),
+        )
+
+    def set_scores_flat(self, scores: np.ndarray) -> None:
+        """Write back a flat ``(total,)`` score vector from :meth:`flat` order."""
+        scores = np.asarray(scores, dtype=FLOAT_DTYPE)
+        if scores.shape != (self.total,):
+            raise MetaheuristicError(
+                f"expected {self.total} scores, got shape {scores.shape}"
+            )
+        self.scores = scores.reshape(self.n_spots, self.size_per_spot).copy()
+
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Population":
+        """Gather individuals per spot.
+
+        Parameters
+        ----------
+        indices:
+            ``(n_spots, m)`` integer array; row ``s`` selects individuals of
+            spot ``s``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 2 or indices.shape[0] != self.n_spots:
+            raise MetaheuristicError(
+                f"indices must have shape ({self.n_spots}, m), got {indices.shape}"
+            )
+        rows = np.arange(self.n_spots)[:, None]
+        return Population(
+            self.translations[rows, indices],
+            self.quaternions[rows, indices],
+            self.scores[rows, indices],
+        )
+
+    def concat(self, other: "Population") -> "Population":
+        """Concatenate along the per-spot axis (same spot count required)."""
+        if other.n_spots != self.n_spots:
+            raise MetaheuristicError(
+                f"cannot concat populations with {self.n_spots} and "
+                f"{other.n_spots} spots"
+            )
+        return Population(
+            np.concatenate([self.translations, other.translations], axis=1),
+            np.concatenate([self.quaternions, other.quaternions], axis=1),
+            np.concatenate([self.scores, other.scores], axis=1),
+        )
+
+    def sorted_by_score(self) -> "Population":
+        """Per-spot ascending score order (best first); nan sorts last."""
+        order = np.argsort(self.scores, axis=1, kind="stable")
+        return self.take(order)
+
+    # ------------------------------------------------------------------
+    def best_index_per_spot(self) -> np.ndarray:
+        """``(n_spots,)`` index of the best (lowest-score) individual per spot."""
+        if not self.is_evaluated():
+            raise MetaheuristicError("population must be fully evaluated first")
+        return np.argmin(self.scores, axis=1)
+
+    def best_score_per_spot(self) -> np.ndarray:
+        """``(n_spots,)`` best score per spot."""
+        if not self.is_evaluated():
+            raise MetaheuristicError("population must be fully evaluated first")
+        return self.scores.min(axis=1)
+
+    def best_conformation(self) -> Conformation:
+        """Globally best individual across all spots."""
+        if not self.is_evaluated():
+            raise MetaheuristicError("population must be fully evaluated first")
+        flat_idx = int(np.argmin(self.scores))
+        s, i = divmod(flat_idx, self.size_per_spot)
+        return Conformation(
+            spot_index=s,
+            translation=self.translations[s, i],
+            quaternion=self.quaternions[s, i],
+            score=float(self.scores[s, i]),
+        )
+
+    def best_conformation_per_spot(self) -> list[Conformation]:
+        """Best individual of every spot, as value objects."""
+        idx = self.best_index_per_spot()
+        return [
+            Conformation(
+                spot_index=s,
+                translation=self.translations[s, idx[s]],
+                quaternion=self.quaternions[s, idx[s]],
+                score=float(self.scores[s, idx[s]]),
+            )
+            for s in range(self.n_spots)
+        ]
+
+    def spot_subset(self, spot_indices: np.ndarray) -> "Population":
+        """Select whole spot groups (used by spot-level work partitioning)."""
+        spot_indices = np.asarray(spot_indices, dtype=np.int64)
+        return Population(
+            self.translations[spot_indices],
+            self.quaternions[spot_indices],
+            self.scores[spot_indices],
+        )

@@ -1,0 +1,176 @@
+"""The paper's four benchmark metaheuristics (Table 4).
+
+========= ============== ================= ====================
+ name      initial S      % selected        % improved
+========= ============== ================= ====================
+ M1        64 × spots     100 %             0 %   (genetic algorithm)
+ M2        64 × spots     100 %             100 % (scatter-search-like)
+ M3        64 × spots     100 %             20 %  (light local search)
+ M4        1024 × spots   does not apply    100 % (one-step neighbourhood)
+========= ============== ================= ====================
+
+The paper fixes the metaheuristic workloads but does not publish iteration
+counts; the defaults below are calibrated so the *relative* scoring workload
+(evaluations per spot) matches the relative OpenMP times of Table 6:
+M1 : M2 : M3 : M4 ≈ 1 : 1.6 : 0.5 : 50.
+
+``workload_scale`` shrinks or grows every preset proportionally (tests use
+small scales; the benchmark harness uses 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.combination import BlendCrossover, NoCombination
+from repro.metaheuristics.improvement import HillClimb, NoImprovement
+from repro.metaheuristics.inclusion import ElitistInclusion
+from repro.metaheuristics.initialization import UniformSpotInitializer
+from repro.metaheuristics.selection import BestFraction
+from repro.metaheuristics.template import MetaheuristicSpec
+from repro.metaheuristics.termination import MaxIterations
+
+__all__ = ["PresetParameters", "PRESET_TABLE", "make_preset", "preset_names", "expected_evaluations_per_spot"]
+
+
+@dataclass(frozen=True, slots=True)
+class PresetParameters:
+    """Table 4 row plus the calibrated loop counts.
+
+    Attributes
+    ----------
+    population:
+        Individuals per spot in the reference set.
+    select_fraction:
+        Fraction of S selected into Ssel (Table 4: 100 %).
+    improve_fraction:
+        Fraction of Scom improved by local search (Table 4).
+    iterations:
+        Template iterations (calibrated, see module docstring).
+    local_search_steps:
+        Hill-climb steps per Improve call (the intensification level).
+    """
+
+    population: int
+    select_fraction: float
+    improve_fraction: float
+    iterations: int
+    local_search_steps: int
+
+
+#: Calibrated parameters for the paper's four metaheuristics.
+PRESET_TABLE: dict[str, PresetParameters] = {
+    "M1": PresetParameters(
+        population=64,
+        select_fraction=1.0,
+        improve_fraction=0.0,
+        iterations=40,
+        local_search_steps=0,
+    ),
+    "M2": PresetParameters(
+        population=64,
+        select_fraction=1.0,
+        improve_fraction=1.0,
+        iterations=6,
+        local_search_steps=10,
+    ),
+    "M3": PresetParameters(
+        population=64,
+        select_fraction=1.0,
+        improve_fraction=0.2,
+        iterations=7,
+        local_search_steps=10,
+    ),
+    "M4": PresetParameters(
+        population=1024,
+        select_fraction=1.0,
+        improve_fraction=1.0,
+        iterations=1,
+        local_search_steps=128,
+    ),
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    """``("M1", "M2", "M3", "M4")``."""
+    return tuple(PRESET_TABLE)
+
+
+def make_preset(name: str, workload_scale: float = 1.0) -> MetaheuristicSpec:
+    """Build the :class:`MetaheuristicSpec` for one of M1–M4.
+
+    Parameters
+    ----------
+    name:
+        ``"M1"`` … ``"M4"``.
+    workload_scale:
+        Proportional scaling of iterations / local-search steps / (for M4)
+        population, with a floor of 1 on each. ``0.1`` gives a ~10× cheaper
+        run with the same algorithmic structure — used by tests and smoke
+        runs.
+    """
+    try:
+        p = PRESET_TABLE[name]
+    except KeyError:
+        raise MetaheuristicError(
+            f"unknown preset {name!r}; available: {sorted(PRESET_TABLE)}"
+        ) from None
+    if workload_scale <= 0:
+        raise MetaheuristicError(f"workload_scale must be positive, got {workload_scale}")
+
+    def scaled(x: int) -> int:
+        return max(1, int(round(x * workload_scale)))
+
+    if name == "M4":
+        population = scaled(p.population)
+        iterations = p.iterations  # M4 "applies only one step" (§4.2.1)
+        steps = scaled(p.local_search_steps)
+    else:
+        population = p.population if workload_scale >= 1.0 else max(4, scaled(p.population))
+        iterations = scaled(p.iterations)
+        steps = p.local_search_steps
+
+    if p.improve_fraction == 0.0:
+        improver = NoImprovement()
+    else:
+        improver = HillClimb(steps=steps, fraction=p.improve_fraction)
+
+    combiner = (
+        NoCombination() if name == "M4" else BlendCrossover()
+    )
+
+    return MetaheuristicSpec(
+        name=name,
+        population_size=population,
+        offspring_size=population,
+        initialize=UniformSpotInitializer(),
+        end=MaxIterations(iterations),
+        select=BestFraction(p.select_fraction),
+        combine=combiner,
+        improve=improver,
+        include=ElitistInclusion(),
+    )
+
+
+def expected_evaluations_per_spot(name: str, workload_scale: float = 1.0) -> int:
+    """Scoring evaluations one spot costs under a preset.
+
+    Used by tests (the evaluator's recorded totals must match) and by the
+    analytic workload model in the experiment configs.
+    """
+    spec = make_preset(name, workload_scale)
+    p = PRESET_TABLE[name]
+    # Initialization scores the whole reference set once.
+    total = spec.population_size
+    if isinstance(spec.end, MaxIterations):
+        iterations = spec.end.limit
+    else:  # pragma: no cover - presets always use MaxIterations
+        raise MetaheuristicError("preset uses a non-fixed end condition")
+    per_iter = 0
+    if not isinstance(spec.combine, NoCombination):
+        per_iter += spec.offspring_size  # fresh offspring get scored
+    if isinstance(spec.improve, HillClimb):
+        m = max(1, min(spec.offspring_size, int(round(spec.offspring_size * p.improve_fraction))))
+        per_iter += m * spec.improve.steps
+    return total + iterations * per_iter

@@ -1,0 +1,90 @@
+"""Per-spot random-number streams.
+
+Spots are "independent from each other" (§3.1) and the heterogeneous runtime
+may assign any subset of spots to any device. To make results *partition
+invariant* — the union of per-spot outcomes is identical no matter how spots
+are split across devices — every spot owns its own PCG64 stream, spawned
+deterministically from ``(seed, spot_index)``. Operators draw per spot and
+stack, so spot ``s`` consumes exactly the same random sequence whether it
+runs alone or alongside 31 others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MetaheuristicError
+from repro.molecules.transforms import random_quaternion, small_random_rotation
+
+__all__ = ["SpotRngPool"]
+
+
+class SpotRngPool:
+    """A deterministic bundle of per-spot generators.
+
+    Parameters
+    ----------
+    seed:
+        Base seed.
+    spot_indices:
+        The *global* indices of the spots this pool covers (a device working
+        on spots [3, 7] gets streams identical to the full run's streams for
+        those spots).
+    """
+
+    def __init__(self, seed: int, spot_indices: np.ndarray | list[int]) -> None:
+        self.seed = int(seed)
+        self.spot_indices = np.asarray(spot_indices, dtype=np.int64)
+        if self.spot_indices.ndim != 1 or self.spot_indices.size == 0:
+            raise MetaheuristicError("spot_indices must be a non-empty 1-D sequence")
+        self._rngs = [
+            np.random.Generator(np.random.PCG64(np.random.SeedSequence((self.seed, int(s)))))
+            for s in self.spot_indices
+        ]
+
+    @property
+    def n_spots(self) -> int:
+        """Number of per-spot streams."""
+        return len(self._rngs)
+
+    def generator(self, local_spot: int) -> np.random.Generator:
+        """The raw generator of one (locally indexed) spot."""
+        return self._rngs[local_spot]
+
+    # ------------------------------------------------------------------
+    # stacked draws: every method returns (n_spots, ...) arrays
+    # ------------------------------------------------------------------
+    def random(self, shape_per_spot: tuple[int, ...]) -> np.ndarray:
+        """Uniform [0, 1) draws, shape ``(n_spots, *shape_per_spot)``."""
+        return np.stack(
+            [rng.random(shape_per_spot) for rng in self._rngs]
+        ).astype(FLOAT_DTYPE)
+
+    def normal(
+        self, shape_per_spot: tuple[int, ...], scale: float = 1.0
+    ) -> np.ndarray:
+        """Gaussian draws, shape ``(n_spots, *shape_per_spot)``."""
+        return np.stack(
+            [rng.normal(0.0, scale, shape_per_spot) for rng in self._rngs]
+        ).astype(FLOAT_DTYPE)
+
+    def integers(self, low: int, high: int, shape_per_spot: tuple[int, ...]) -> np.ndarray:
+        """Integer draws in ``[low, high)``, shape ``(n_spots, *shape_per_spot)``."""
+        return np.stack(
+            [rng.integers(low, high, shape_per_spot) for rng in self._rngs]
+        )
+
+    def quaternions(self, k: int) -> np.ndarray:
+        """Uniform unit quaternions, shape ``(n_spots, k, 4)``."""
+        return np.stack([random_quaternion(rng, k) for rng in self._rngs])
+
+    def small_rotations(self, k: int, max_angle: float) -> np.ndarray:
+        """Perturbation quaternions, shape ``(n_spots, k, 4)``."""
+        return np.stack(
+            [small_random_rotation(rng, max_angle, k) for rng in self._rngs]
+        )
+
+    def permutations(self, k: int) -> np.ndarray:
+        """Independent permutations of ``range(k)``, shape ``(n_spots, k)``."""
+        return np.stack([rng.permutation(k) for rng in self._rngs])

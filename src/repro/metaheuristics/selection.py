@@ -1,0 +1,117 @@
+"""``Select(S, Ssel)`` strategies.
+
+All selectors operate per spot and return a new (still evaluated)
+:class:`~repro.metaheuristics.population.Population` holding the selected
+individuals. The paper's M1–M3 select 100 % of each reference set, "from the
+best ones" — i.e. rank-ordered truncation at fraction 1.0.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.population import Population
+
+__all__ = ["Selection", "IdentitySelection", "BestFraction", "Tournament", "RouletteWheel"]
+
+
+class Selection(ABC):
+    """Chooses ``Ssel`` from the evaluated population ``S``."""
+
+    @abstractmethod
+    def select(self, ctx: SearchContext, population: Population) -> Population:
+        """Return the selected sub-population (per spot)."""
+
+
+def _selected_count(k: int, fraction: float) -> int:
+    m = max(1, int(round(k * fraction)))
+    return min(m, k)
+
+
+class IdentitySelection(Selection):
+    """Select everything *in place* (no reordering).
+
+    Order-preserving selection matters for operators that hold per-index
+    state, e.g. PSO velocities: truncation selection sorts individuals,
+    which would scramble the index correspondence.
+    """
+
+    def select(self, ctx: SearchContext, population: Population) -> Population:
+        return population.copy()
+
+
+class BestFraction(Selection):
+    """Truncation selection: the best ``fraction`` of each spot group,
+    in ascending-score order."""
+
+    def __init__(self, fraction: float = 1.0) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise MetaheuristicError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def select(self, ctx: SearchContext, population: Population) -> Population:
+        m = _selected_count(population.size_per_spot, self.fraction)
+        order = np.argsort(population.scores, axis=1, kind="stable")[:, :m]
+        return population.take(order)
+
+
+class Tournament(Selection):
+    """k-way tournament with replacement, per spot.
+
+    Draws ``count`` tournaments of ``arity`` contestants each; the lowest
+    score wins. ``count`` defaults to the population size.
+    """
+
+    def __init__(self, arity: int = 2, count: int | None = None) -> None:
+        if arity < 2:
+            raise MetaheuristicError(f"tournament arity must be >= 2, got {arity}")
+        if count is not None and count < 1:
+            raise MetaheuristicError(f"tournament count must be >= 1, got {count}")
+        self.arity = int(arity)
+        self.count = count
+
+    def select(self, ctx: SearchContext, population: Population) -> Population:
+        k = population.size_per_spot
+        count = k if self.count is None else self.count
+        contestants = ctx.rng.integers(0, k, (count, self.arity))  # (s, count, arity)
+        rows = np.arange(population.n_spots)[:, None, None]
+        scores = population.scores[rows, contestants]  # (s, count, arity)
+        winners_pos = np.argmin(scores, axis=2)
+        winners = np.take_along_axis(contestants, winners_pos[:, :, None], axis=2)[
+            :, :, 0
+        ]
+        return population.take(winners)
+
+
+class RouletteWheel(Selection):
+    """Fitness-proportional selection on rank-transformed scores.
+
+    Raw LJ scores span many orders of magnitude (clashes), so proportional
+    selection on raw values collapses; we use linear rank weights instead
+    (best rank gets weight ``k``, worst gets 1).
+    """
+
+    def __init__(self, count: int | None = None) -> None:
+        if count is not None and count < 1:
+            raise MetaheuristicError(f"count must be >= 1, got {count}")
+        self.count = count
+
+    def select(self, ctx: SearchContext, population: Population) -> Population:
+        s, k = population.n_spots, population.size_per_spot
+        count = k if self.count is None else self.count
+        order = np.argsort(population.scores, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        np.put_along_axis(ranks, order, np.arange(k)[None, :].repeat(s, 0), axis=1)
+        weights = (k - ranks).astype(float)  # best -> k, worst -> 1
+        cdf = np.cumsum(weights, axis=1)
+        cdf /= cdf[:, -1:]
+        u = ctx.rng.random((count,))  # (s, count)
+        chosen = np.empty((s, count), dtype=np.int64)
+        for i in range(s):  # searchsorted is per-row; s is small
+            chosen[i] = np.searchsorted(cdf[i], u[i], side="right")
+        np.clip(chosen, 0, k - 1, out=chosen)
+        return population.take(chosen)

@@ -1,0 +1,121 @@
+"""End-condition strategies for the metaheuristic template.
+
+Algorithm 1 loops ``while not End(S)``. Implementations receive a
+:class:`TerminationState` snapshot each iteration and return True to stop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MetaheuristicError
+
+__all__ = [
+    "TerminationState",
+    "EndCondition",
+    "MaxIterations",
+    "TargetScore",
+    "Stagnation",
+    "AnyOf",
+    "AllOf",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TerminationState:
+    """What an end condition may inspect after each iteration.
+
+    Attributes
+    ----------
+    iteration:
+        Completed iterations so far (0 before the first).
+    best_score:
+        Globally best score seen so far (+inf before first evaluation).
+    best_history:
+        Best score after each completed iteration.
+    """
+
+    iteration: int
+    best_score: float
+    best_history: tuple[float, ...]
+
+
+class EndCondition(ABC):
+    """``End(S)`` strategy."""
+
+    @abstractmethod
+    def should_stop(self, state: TerminationState) -> bool:
+        """Return True to leave the template loop."""
+
+
+class MaxIterations(EndCondition):
+    """Stop after a fixed number of iterations (the paper's configuration:
+    workload per metaheuristic is fixed so timings are comparable)."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise MetaheuristicError(f"iteration limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+
+    def should_stop(self, state: TerminationState) -> bool:
+        return state.iteration >= self.limit
+
+
+class TargetScore(EndCondition):
+    """Stop as soon as the best score drops to/below a target."""
+
+    def __init__(self, target: float) -> None:
+        self.target = float(target)
+
+    def should_stop(self, state: TerminationState) -> bool:
+        return state.best_score <= self.target
+
+
+class Stagnation(EndCondition):
+    """Stop when the best score has not improved by ``min_delta`` over the
+    last ``patience`` iterations."""
+
+    def __init__(self, patience: int, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise MetaheuristicError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise MetaheuristicError(f"min_delta must be >= 0, got {min_delta}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+
+    def should_stop(self, state: TerminationState) -> bool:
+        h = state.best_history
+        if len(h) <= self.patience:
+            return False
+        recent_best = min(h[-self.patience :])
+        previous_best = min(h[: -self.patience])
+        return not (recent_best < previous_best - self.min_delta) and np.isfinite(
+            previous_best
+        )
+
+
+class AnyOf(EndCondition):
+    """Stop when *any* member condition fires."""
+
+    def __init__(self, *conditions: EndCondition) -> None:
+        if not conditions:
+            raise MetaheuristicError("AnyOf needs at least one condition")
+        self.conditions = conditions
+
+    def should_stop(self, state: TerminationState) -> bool:
+        return any(c.should_stop(state) for c in self.conditions)
+
+
+class AllOf(EndCondition):
+    """Stop only when *all* member conditions fire."""
+
+    def __init__(self, *conditions: EndCondition) -> None:
+        if not conditions:
+            raise MetaheuristicError("AllOf needs at least one condition")
+        self.conditions = conditions
+
+    def should_stop(self, state: TerminationState) -> bool:
+        return all(c.should_stop(state) for c in self.conditions)

@@ -1,0 +1,93 @@
+"""Periodic-table data for the elements that occur in protein–ligand systems.
+
+Only the biologically relevant subset is tabulated; requesting an unknown
+element raises :class:`~repro.errors.MoleculeError` rather than silently
+defaulting, because van-der-Waals parameters feed directly into the scoring
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MoleculeError
+
+
+@dataclass(frozen=True, slots=True)
+class Element:
+    """Immutable per-element data.
+
+    Attributes
+    ----------
+    symbol:
+        IUPAC symbol, canonical capitalisation (``"C"``, ``"Cl"``).
+    atomic_number:
+        Z.
+    mass:
+        Standard atomic weight in Dalton.
+    vdw_radius:
+        Bondi van-der-Waals radius in Å.
+    covalent_radius:
+        Single-bond covalent radius in Å (used by the synthetic structure
+        generator to place bonded atoms at realistic distances).
+    """
+
+    symbol: str
+    atomic_number: int
+    mass: float
+    vdw_radius: float
+    covalent_radius: float
+
+
+_ELEMENTS: dict[str, Element] = {
+    e.symbol: e
+    for e in (
+        Element("H", 1, 1.008, 1.20, 0.31),
+        Element("C", 6, 12.011, 1.70, 0.76),
+        Element("N", 7, 14.007, 1.55, 0.71),
+        Element("O", 8, 15.999, 1.52, 0.66),
+        Element("F", 9, 18.998, 1.47, 0.57),
+        Element("Na", 11, 22.990, 2.27, 1.66),
+        Element("Mg", 12, 24.305, 1.73, 1.41),
+        Element("P", 15, 30.974, 1.80, 1.07),
+        Element("S", 16, 32.06, 1.80, 1.05),
+        Element("Cl", 17, 35.45, 1.75, 1.02),
+        Element("K", 19, 39.098, 2.75, 2.03),
+        Element("Ca", 20, 40.078, 2.31, 1.76),
+        Element("Fe", 26, 55.845, 2.44, 1.32),
+        Element("Zn", 30, 65.38, 2.10, 1.22),
+        Element("Br", 35, 79.904, 1.85, 1.20),
+        Element("I", 53, 126.904, 1.98, 1.39),
+    )
+}
+
+#: Elements a receptor protein is allowed to contain.
+PROTEIN_ELEMENTS: tuple[str, ...] = ("H", "C", "N", "O", "S")
+
+#: Elements a drug-like ligand is allowed to contain.
+LIGAND_ELEMENTS: tuple[str, ...] = ("H", "C", "N", "O", "S", "P", "F", "Cl", "Br")
+
+
+def get_element(symbol: str) -> Element:
+    """Look up an element by symbol (case-insensitive).
+
+    Raises
+    ------
+    MoleculeError
+        If the element is not in the tabulated biological subset.
+    """
+    canonical = symbol.strip().capitalize()
+    try:
+        return _ELEMENTS[canonical]
+    except KeyError:
+        raise MoleculeError(f"unknown element symbol: {symbol!r}") from None
+
+
+def known_elements() -> tuple[str, ...]:
+    """Return all tabulated element symbols."""
+    return tuple(_ELEMENTS)
+
+
+def is_known(symbol: str) -> bool:
+    """Return True when *symbol* names a tabulated element."""
+    return symbol.strip().capitalize() in _ELEMENTS

@@ -1,0 +1,148 @@
+"""Torsional ligand flexibility.
+
+The paper docks rigid ligands and flags richer variants as future work
+(§6: "we have tested a relatively simple variant of the algorithm").
+AutoDock-class engines additionally search the ligand's *torsions* —
+rotations about acyclic single bonds. This module provides that degree of
+freedom: a :class:`FlexibleLigand` knows its rotatable bonds (from
+:mod:`repro.molecules.topology`) and builds conformer coordinates for any
+torsion-angle vector, which the pairwise scorers consume via
+:meth:`repro.scoring.base.BoundScorer.score_coords`.
+
+Convention: torsion ``k`` rotates the *smaller* fragment of bond
+``(i, j)`` about the ``i→j`` axis by ``angles[k]`` radians, relative to the
+input geometry. Torsions are applied independently (each moves a disjoint
+"downstream" atom set ordered away from the anchor), so application order
+does not matter for tree-shaped molecules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MoleculeError
+from repro.molecules.structures import Ligand
+from repro.molecules.topology import bond_graph, rotatable_bonds
+from repro.molecules.transforms import quaternion_from_axis_angle, quaternion_to_matrix
+
+__all__ = ["FlexibleLigand"]
+
+
+class FlexibleLigand:
+    """A ligand plus its torsional degrees of freedom.
+
+    Parameters
+    ----------
+    ligand:
+        The rigid template geometry (used as the zero-torsion reference).
+    max_torsions:
+        Cap on the torsion count (search-space control); the bonds moving
+        the largest fragments are kept — they change the shape most.
+    """
+
+    def __init__(self, ligand: Ligand, max_torsions: int | None = None) -> None:
+        self.ligand = ligand
+        self.base_coords = np.ascontiguousarray(
+            ligand.coords - ligand.coords.mean(axis=0), dtype=FLOAT_DTYPE
+        )
+        graph = bond_graph(ligand)
+        candidates = rotatable_bonds(ligand)
+
+        # For each rotatable bond, find the atom set downstream of j when
+        # the edge (i, j) is cut; rotate the smaller side.
+        torsions: list[tuple[int, int, np.ndarray]] = []
+        for i, j in candidates:
+            graph.remove_edge(i, j)
+            side_j = self._component(graph, j)
+            graph.add_edge(i, j)
+            side_other = set(range(ligand.n_atoms)) - side_j
+            if len(side_j) <= len(side_other):
+                axis_from, axis_to, moving = i, j, side_j - {j}
+            else:
+                axis_from, axis_to, moving = j, i, side_other - {i}
+            if not moving:
+                continue
+            torsions.append(
+                (axis_from, axis_to, np.array(sorted(moving), dtype=np.int64))
+            )
+
+        # Keep the torsions that move the most atoms (largest shape change).
+        torsions.sort(key=lambda t: len(t[2]), reverse=True)
+        if max_torsions is not None:
+            if max_torsions < 0:
+                raise MoleculeError(f"max_torsions must be >= 0, got {max_torsions}")
+            torsions = torsions[:max_torsions]
+        self._torsions = torsions
+
+    @staticmethod
+    def _component(graph, start: int) -> set[int]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for nb in graph.neighbors(node):
+                    if nb not in seen:
+                        seen.add(nb)
+                        nxt.append(nb)
+            frontier = nxt
+        return seen
+
+    # ------------------------------------------------------------------
+    @property
+    def n_torsions(self) -> int:
+        """Torsional degrees of freedom."""
+        return len(self._torsions)
+
+    @property
+    def torsion_bonds(self) -> list[tuple[int, int]]:
+        """The ``(axis_from, axis_to)`` atom pairs, one per torsion."""
+        return [(a, b) for a, b, _ in self._torsions]
+
+    def moving_atoms(self, torsion: int) -> np.ndarray:
+        """Atom indices torsion ``torsion`` rotates."""
+        return self._torsions[torsion][2].copy()
+
+    # ------------------------------------------------------------------
+    def conformer(self, angles: np.ndarray) -> np.ndarray:
+        """Coordinates (centred) for one torsion-angle vector (radians)."""
+        angles = np.asarray(angles, dtype=FLOAT_DTYPE)
+        if angles.shape != (self.n_torsions,):
+            raise MoleculeError(
+                f"expected {self.n_torsions} torsion angles, got {angles.shape}"
+            )
+        coords = self.base_coords.copy()
+        for (a, b, moving), angle in zip(self._torsions, angles):
+            if angle == 0.0:
+                continue
+            axis = coords[b] - coords[a]
+            norm = np.linalg.norm(axis)
+            if norm < 1e-9:  # pragma: no cover - degenerate bond geometry
+                continue
+            q = quaternion_from_axis_angle(axis, float(angle))
+            rot = quaternion_to_matrix(q)
+            pivot = coords[b]
+            coords[moving] = (coords[moving] - pivot) @ rot.T + pivot
+        return coords - coords.mean(axis=0)
+
+    def conformers(self, angle_batch: np.ndarray) -> np.ndarray:
+        """``(n, n_torsions)`` angle vectors → ``(n, n_atoms, 3)`` coords."""
+        angle_batch = np.asarray(angle_batch, dtype=FLOAT_DTYPE)
+        if angle_batch.ndim != 2 or angle_batch.shape[1] != self.n_torsions:
+            raise MoleculeError(
+                f"angle batch must have shape (n, {self.n_torsions}), "
+                f"got {angle_batch.shape}"
+            )
+        return np.stack([self.conformer(a) for a in angle_batch])
+
+    def bond_lengths_preserved(self, coords: np.ndarray, atol: float = 1e-6) -> bool:
+        """Sanity check: torsions are isometries of every bonded pair."""
+        from repro.molecules.topology import infer_bonds
+
+        for i, j in infer_bonds(self.ligand):
+            d_ref = np.linalg.norm(self.base_coords[i] - self.base_coords[j])
+            d_new = np.linalg.norm(coords[i] - coords[j])
+            if abs(d_ref - d_new) > atol:
+                return False
+        return True

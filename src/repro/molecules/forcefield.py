@@ -1,0 +1,148 @@
+"""Lennard-Jones force-field parameters and mixing rules.
+
+The paper scores poses with "a scoring function based on the Lennard-Jones
+potential" (§3.1). We parameterise LJ 12-6 per *atom class* (element-level
+granularity, AutoDock-style magnitudes) and combine unlike pairs with
+Lorentz–Berthelot mixing:
+
+* ``sigma_ij  = (sigma_i + sigma_j) / 2``
+* ``epsilon_ij = sqrt(epsilon_i * epsilon_j)``
+
+A :class:`ForceField` pre-computes dense per-pair parameter tables for a
+(receptor, ligand) atom-type pairing so the inner scoring loop is pure
+vectorised arithmetic with no dictionary lookups — the Python analogue of
+moving parameters into GPU constant memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import ForceFieldError
+
+__all__ = ["LJParameters", "ForceField", "default_forcefield"]
+
+
+@dataclass(frozen=True, slots=True)
+class LJParameters:
+    """Per-atom-class Lennard-Jones parameters.
+
+    Attributes
+    ----------
+    sigma:
+        Zero-crossing distance in Å (``r_min = 2^(1/6) * sigma``).
+    epsilon:
+        Well depth in kcal/mol.
+    """
+
+    sigma: float
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise ForceFieldError(f"sigma must be positive, got {self.sigma}")
+        if self.epsilon < 0.0:
+            raise ForceFieldError(f"epsilon must be non-negative, got {self.epsilon}")
+
+
+#: Element-class LJ parameters, AutoDock-like magnitudes (sigma from Rii/2^(1/6)).
+_DEFAULT_PARAMETERS: dict[str, LJParameters] = {
+    "H": LJParameters(sigma=1.78, epsilon=0.020),
+    "C": LJParameters(sigma=3.56, epsilon=0.150),
+    "N": LJParameters(sigma=3.12, epsilon=0.160),
+    "O": LJParameters(sigma=2.85, epsilon=0.200),
+    "F": LJParameters(sigma=2.74, epsilon=0.080),
+    "Na": LJParameters(sigma=2.09, epsilon=0.175),
+    "Mg": LJParameters(sigma=1.16, epsilon=0.875),
+    "P": LJParameters(sigma=3.74, epsilon=0.200),
+    "S": LJParameters(sigma=3.56, epsilon=0.200),
+    "Cl": LJParameters(sigma=3.65, epsilon=0.276),
+    "K": LJParameters(sigma=3.04, epsilon=0.035),
+    "Ca": LJParameters(sigma=2.68, epsilon=0.550),
+    "Fe": LJParameters(sigma=1.16, epsilon=0.010),
+    "Zn": LJParameters(sigma=1.75, epsilon=0.550),
+    "Br": LJParameters(sigma=3.92, epsilon=0.389),
+    "I": LJParameters(sigma=4.19, epsilon=0.550),
+}
+
+
+class ForceField:
+    """A table of LJ parameters plus Lorentz–Berthelot pair mixing.
+
+    Parameters
+    ----------
+    parameters:
+        Mapping from atom-class symbol to :class:`LJParameters`. Defaults to
+        the built-in AutoDock-like table.
+    """
+
+    def __init__(self, parameters: dict[str, LJParameters] | None = None) -> None:
+        self._parameters = dict(_DEFAULT_PARAMETERS if parameters is None else parameters)
+        if not self._parameters:
+            raise ForceFieldError("force field must define at least one atom class")
+
+    @property
+    def atom_classes(self) -> tuple[str, ...]:
+        """All atom-class symbols this force field parameterises."""
+        return tuple(self._parameters)
+
+    def lookup(self, atom_class: str) -> LJParameters:
+        """Return the LJ parameters for one atom class.
+
+        Raises
+        ------
+        ForceFieldError
+            If the class is not parameterised.
+        """
+        try:
+            return self._parameters[atom_class]
+        except KeyError:
+            raise ForceFieldError(
+                f"atom class {atom_class!r} is not parameterised; "
+                f"known classes: {sorted(self._parameters)}"
+            ) from None
+
+    def mix(self, class_a: str, class_b: str) -> LJParameters:
+        """Lorentz–Berthelot combination of two atom classes."""
+        a = self.lookup(class_a)
+        b = self.lookup(class_b)
+        return LJParameters(
+            sigma=0.5 * (a.sigma + b.sigma),
+            epsilon=float(np.sqrt(a.epsilon * b.epsilon)),
+        )
+
+    def pair_tables(
+        self, classes_a: list[str] | tuple[str, ...], classes_b: list[str] | tuple[str, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense (len(a), len(b)) arrays of mixed ``sigma`` and ``epsilon``.
+
+        This is the precomputation step the CUDA implementation performs once
+        per (receptor, ligand) pair before launching scoring kernels.
+        """
+        sig_a = np.array([self.lookup(c).sigma for c in classes_a], dtype=FLOAT_DTYPE)
+        sig_b = np.array([self.lookup(c).sigma for c in classes_b], dtype=FLOAT_DTYPE)
+        eps_a = np.array([self.lookup(c).epsilon for c in classes_a], dtype=FLOAT_DTYPE)
+        eps_b = np.array([self.lookup(c).epsilon for c in classes_b], dtype=FLOAT_DTYPE)
+        sigma = 0.5 * (sig_a[:, None] + sig_b[None, :])
+        epsilon = np.sqrt(eps_a[:, None] * eps_b[None, :])
+        return sigma, epsilon
+
+    def with_override(self, atom_class: str, parameters: LJParameters) -> "ForceField":
+        """Return a copy of this force field with one class replaced/added."""
+        table = dict(self._parameters)
+        table[atom_class] = parameters
+        return ForceField(table)
+
+
+_DEFAULT_FF: ForceField | None = None
+
+
+def default_forcefield() -> ForceField:
+    """Return the shared default force field (lazily constructed singleton)."""
+    global _DEFAULT_FF
+    if _DEFAULT_FF is None:
+        _DEFAULT_FF = ForceField()
+    return _DEFAULT_FF

@@ -1,0 +1,151 @@
+"""Binding-spot extraction on the receptor surface.
+
+Per the paper (§3.1): "Spots are identified by finding out a specific type of
+atoms in the protein. All these spots are independent from each other and,
+thus, they offer great opportunities for data-based parallelization."
+
+We therefore (1) find surface atoms of a chosen *anchor element* (oxygen by
+default — H-bond acceptors mark plausible binding hot spots), (2) thin them
+to ``n_spots`` well-separated representatives with greedy farthest-point
+sampling, and (3) attach to each spot an outward normal and a search radius
+defining the neighbourhood the metaheuristic explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MoleculeError
+from repro.molecules.structures import Receptor
+from repro.molecules.surface import surface_mask
+
+__all__ = ["Spot", "find_spots", "farthest_point_sample"]
+
+#: Default half-width (Å) of the translation search box around a spot centre.
+DEFAULT_SEARCH_RADIUS: float = 5.0
+
+#: How far outside the anchor atom the spot centre is placed (Å), so the
+#: ligand starts in solvent rather than inside the protein.
+DEFAULT_STANDOFF: float = 3.0
+
+
+@dataclass(frozen=True, slots=True)
+class Spot:
+    """One independent docking region on the receptor surface.
+
+    Attributes
+    ----------
+    index:
+        Stable spot id, ``0..n_spots-1``.
+    center:
+        ``(3,)`` search-region centre in receptor coordinates (Å), offset
+        outward from the anchor atom.
+    normal:
+        ``(3,)`` unit outward direction (from the receptor centroid through
+        the anchor atom).
+    radius:
+        Half-width of the translation search region (Å).
+    anchor_atom:
+        Index of the receptor atom that seeded this spot.
+    """
+
+    index: int
+    center: np.ndarray
+    normal: np.ndarray
+    radius: float
+    anchor_atom: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "center", np.ascontiguousarray(self.center, dtype=FLOAT_DTYPE)
+        )
+        object.__setattr__(
+            self, "normal", np.ascontiguousarray(self.normal, dtype=FLOAT_DTYPE)
+        )
+
+
+def farthest_point_sample(points: np.ndarray, k: int, start: int = 0) -> np.ndarray:
+    """Greedy farthest-point subsample of ``k`` indices from ``(n, 3)`` points.
+
+    Deterministic given ``start``. Classic 2-approximation of the k-center
+    objective; spreads spots evenly over the surface.
+    """
+    points = np.asarray(points, dtype=FLOAT_DTYPE)
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise MoleculeError(f"cannot sample {k} points from {n}")
+    chosen = np.empty(k, dtype=np.int64)
+    chosen[0] = start
+    dist = np.linalg.norm(points - points[start], axis=1)
+    for i in range(1, k):
+        nxt = int(np.argmax(dist))
+        chosen[i] = nxt
+        dist = np.minimum(dist, np.linalg.norm(points - points[nxt], axis=1))
+    return chosen
+
+
+def find_spots(
+    receptor: Receptor,
+    n_spots: int,
+    anchor_element: str = "O",
+    search_radius: float = DEFAULT_SEARCH_RADIUS,
+    standoff: float = DEFAULT_STANDOFF,
+) -> list[Spot]:
+    """Extract ``n_spots`` independent docking spots from a receptor surface.
+
+    Parameters
+    ----------
+    receptor:
+        Target structure.
+    n_spots:
+        Number of spots to return.
+    anchor_element:
+        Element symbol that marks candidate anchors ("a specific type of
+        atoms in the protein"). Falls back to *all* surface atoms when the
+        element yields fewer candidates than ``n_spots``.
+    search_radius:
+        Half-width of each spot's translation search region (Å).
+    standoff:
+        Outward offset of the spot centre from the anchor atom (Å).
+
+    Raises
+    ------
+    MoleculeError
+        If the receptor has fewer surface atoms than ``n_spots``.
+    """
+    if n_spots < 1:
+        raise MoleculeError(f"n_spots must be >= 1, got {n_spots}")
+    if search_radius <= 0:
+        raise MoleculeError(f"search_radius must be positive, got {search_radius}")
+
+    on_surface = surface_mask(receptor)
+    anchors = np.flatnonzero(on_surface & (receptor.elements.astype(str) == anchor_element))
+    if anchors.size < n_spots:
+        anchors = np.flatnonzero(on_surface)
+    if anchors.size < n_spots:
+        raise MoleculeError(
+            f"receptor exposes only {anchors.size} surface atoms; "
+            f"cannot place {n_spots} spots"
+        )
+
+    picked = anchors[farthest_point_sample(receptor.coords[anchors], n_spots)]
+    centroid = receptor.centroid()
+    spots: list[Spot] = []
+    for i, atom_index in enumerate(picked):
+        outward = receptor.coords[atom_index] - centroid
+        norm = np.linalg.norm(outward)
+        normal = outward / norm if norm > 1e-9 else np.array([0.0, 0.0, 1.0])
+        center = receptor.coords[atom_index] + standoff * normal
+        spots.append(
+            Spot(
+                index=i,
+                center=center,
+                normal=normal,
+                radius=search_radius,
+                anchor_atom=int(atom_index),
+            )
+        )
+    return spots

@@ -1,0 +1,220 @@
+"""Molecular structure containers.
+
+Structure-of-arrays layout: one :class:`numpy.ndarray` per attribute rather
+than a list of ``Atom`` objects, because every hot path (scoring, pose
+application, surface detection) operates on whole-molecule arrays. An
+:class:`Atom` view class exists for ergonomic single-atom access in tests and
+I/O code only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MoleculeError
+from repro.molecules.elements import get_element
+
+__all__ = ["Atom", "Molecule", "Receptor", "Ligand"]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A single-atom value object (a *copy* of one SoA row, not a view)."""
+
+    element: str
+    position: tuple[float, float, float]
+    charge: float = 0.0
+    name: str = ""
+    residue: str = ""
+    residue_index: int = 0
+
+
+class Molecule:
+    """A rigid molecule stored as structure-of-arrays.
+
+    Parameters
+    ----------
+    coords:
+        ``(n_atoms, 3)`` float array of positions in Å.
+    elements:
+        Sequence of ``n_atoms`` element symbols; validated against the
+        periodic-table subset in :mod:`repro.molecules.elements`.
+    charges:
+        Optional partial charges in e; defaults to zeros.
+    names:
+        Optional per-atom PDB names (e.g. ``"CA"``).
+    residues:
+        Optional per-atom residue names (e.g. ``"ALA"``).
+    residue_indices:
+        Optional per-atom residue sequence numbers.
+    title:
+        Free-form identifier (e.g. ``"2BSM-like receptor"``).
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        elements: Sequence[str],
+        charges: np.ndarray | None = None,
+        names: Sequence[str] | None = None,
+        residues: Sequence[str] | None = None,
+        residue_indices: np.ndarray | None = None,
+        title: str = "",
+    ) -> None:
+        coords = np.ascontiguousarray(coords, dtype=FLOAT_DTYPE)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise MoleculeError(f"coords must have shape (n, 3), got {coords.shape}")
+        n = coords.shape[0]
+        if n == 0:
+            raise MoleculeError("a molecule must contain at least one atom")
+        if len(elements) != n:
+            raise MoleculeError(
+                f"got {len(elements)} element symbols for {n} coordinates"
+            )
+        if not np.all(np.isfinite(coords)):
+            raise MoleculeError("coords contain non-finite values")
+
+        self.coords = coords
+        # Canonicalise symbols and validate against the periodic subset.
+        self.elements = np.array(
+            [get_element(sym).symbol for sym in elements], dtype=object
+        )
+        if charges is None:
+            self.charges = np.zeros(n, dtype=FLOAT_DTYPE)
+        else:
+            self.charges = np.ascontiguousarray(charges, dtype=FLOAT_DTYPE)
+            if self.charges.shape != (n,):
+                raise MoleculeError(
+                    f"charges must have shape ({n},), got {self.charges.shape}"
+                )
+        self.names = np.array(
+            list(names) if names is not None else [str(e) for e in self.elements],
+            dtype=object,
+        )
+        if self.names.shape != (n,):
+            raise MoleculeError(f"names must have length {n}")
+        self.residues = np.array(
+            list(residues) if residues is not None else ["UNK"] * n, dtype=object
+        )
+        if self.residues.shape != (n,):
+            raise MoleculeError(f"residues must have length {n}")
+        if residue_indices is None:
+            self.residue_indices = np.ones(n, dtype=np.int64)
+        else:
+            self.residue_indices = np.ascontiguousarray(residue_indices, dtype=np.int64)
+            if self.residue_indices.shape != (n,):
+                raise MoleculeError(f"residue_indices must have length {n}")
+        self.title = title
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms."""
+        return int(self.coords.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_atoms
+
+    def __repr__(self) -> str:
+        label = f" {self.title!r}" if self.title else ""
+        return f"<{type(self).__name__}{label} n_atoms={self.n_atoms}>"
+
+    def atom(self, index: int) -> Atom:
+        """Return a copy of one atom as an :class:`Atom` value object."""
+        if not -self.n_atoms <= index < self.n_atoms:
+            raise MoleculeError(f"atom index {index} out of range for {self.n_atoms}")
+        return Atom(
+            element=str(self.elements[index]),
+            position=tuple(float(x) for x in self.coords[index]),
+            charge=float(self.charges[index]),
+            name=str(self.names[index]),
+            residue=str(self.residues[index]),
+            residue_index=int(self.residue_indices[index]),
+        )
+
+    def atoms(self) -> Iterator[Atom]:
+        """Iterate over atoms as value objects (slow path; tests/I-O only)."""
+        for i in range(self.n_atoms):
+            yield self.atom(i)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def centroid(self) -> np.ndarray:
+        """Geometric centre (unweighted mean position), shape ``(3,)``."""
+        return self.coords.mean(axis=0)
+
+    def center_of_mass(self) -> np.ndarray:
+        """Mass-weighted centre, shape ``(3,)``."""
+        masses = np.array([get_element(str(e)).mass for e in self.elements])
+        return (self.coords * masses[:, None]).sum(axis=0) / masses.sum()
+
+    def radius_of_gyration(self) -> float:
+        """Root-mean-square distance of atoms from the centroid, in Å."""
+        d = self.coords - self.centroid()
+        return float(np.sqrt((d * d).sum(axis=1).mean()))
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(min_corner, max_corner)`` of the axis-aligned bounding box."""
+        return self.coords.min(axis=0), self.coords.max(axis=0)
+
+    def max_radius(self) -> float:
+        """Distance from the centroid to the farthest atom, in Å."""
+        d = self.coords - self.centroid()
+        return float(np.sqrt((d * d).sum(axis=1).max()))
+
+    # ------------------------------------------------------------------
+    # transformed copies (molecules themselves are treated as immutable)
+    # ------------------------------------------------------------------
+    def translated(self, offset: np.ndarray) -> "Molecule":
+        """Return a copy translated by ``offset`` (shape ``(3,)``)."""
+        offset = np.asarray(offset, dtype=FLOAT_DTYPE)
+        if offset.shape != (3,):
+            raise MoleculeError(f"offset must have shape (3,), got {offset.shape}")
+        return self._replace_coords(self.coords + offset)
+
+    def centered(self) -> "Molecule":
+        """Return a copy translated so the centroid sits at the origin."""
+        return self.translated(-self.centroid())
+
+    def _replace_coords(self, coords: np.ndarray) -> "Molecule":
+        clone = type(self).__new__(type(self))
+        clone.coords = np.ascontiguousarray(coords, dtype=FLOAT_DTYPE)
+        clone.elements = self.elements
+        clone.charges = self.charges
+        clone.names = self.names
+        clone.residues = self.residues
+        clone.residue_indices = self.residue_indices
+        clone.title = self.title
+        return clone
+
+    def element_counts(self) -> dict[str, int]:
+        """Histogram of element symbols (e.g. ``{"C": 1024, ...}``)."""
+        symbols, counts = np.unique(self.elements.astype(str), return_counts=True)
+        return {str(s): int(c) for s, c in zip(symbols, counts)}
+
+
+class Receptor(Molecule):
+    """The target macromolecule (protein) a ligand is docked against."""
+
+
+class Ligand(Molecule):
+    """A small molecule docked against a :class:`Receptor`.
+
+    Ligands are treated as rigid bodies, as in the paper: a *conformation*
+    is a (translation, orientation) placement of the whole ligand.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.n_atoms > 256:
+            raise MoleculeError(
+                f"ligand has {self.n_atoms} atoms; small molecules are expected "
+                "(<= 256 atoms). Did you mean Receptor?"
+            )

@@ -1,0 +1,205 @@
+"""Rigid-body transforms: unit quaternions and pose application.
+
+A *conformation* in the paper is a copy of the ligand with "a different
+position and orientation with respect to each spot" (§3.1). We encode a pose
+as 7 floats: a translation vector ``t ∈ R³`` and a unit quaternion
+``q = (w, x, y, z)``. All routines are vectorised: they accept arrays of
+poses and transform whole batches in one shot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import MoleculeError
+
+__all__ = [
+    "identity_quaternion",
+    "normalize_quaternion",
+    "random_quaternion",
+    "quaternion_from_axis_angle",
+    "quaternion_multiply",
+    "quaternion_conjugate",
+    "quaternion_to_matrix",
+    "rotate_points",
+    "apply_pose",
+    "apply_poses",
+    "small_random_rotation",
+]
+
+_QUAT_EPS = 1e-12
+
+
+def identity_quaternion() -> np.ndarray:
+    """The no-rotation quaternion ``(1, 0, 0, 0)``."""
+    return np.array([1.0, 0.0, 0.0, 0.0], dtype=FLOAT_DTYPE)
+
+
+def normalize_quaternion(q: np.ndarray) -> np.ndarray:
+    """Normalise quaternion(s) to unit length.
+
+    Accepts shape ``(4,)`` or ``(n, 4)``. Zero-norm quaternions raise.
+    """
+    q = np.asarray(q, dtype=FLOAT_DTYPE)
+    norm = np.linalg.norm(q, axis=-1, keepdims=True)
+    if np.any(norm < _QUAT_EPS):
+        raise MoleculeError("cannot normalise a zero quaternion")
+    return q / norm
+
+
+def random_quaternion(rng: np.random.Generator, n: int | None = None) -> np.ndarray:
+    """Uniformly distributed unit quaternion(s) (Shoemake's subgroup method).
+
+    Returns shape ``(4,)`` when ``n is None``, else ``(n, 4)``.
+    """
+    size = 1 if n is None else n
+    u1, u2, u3 = rng.random((3, size))
+    a = np.sqrt(1.0 - u1)
+    b = np.sqrt(u1)
+    q = np.stack(
+        [
+            a * np.sin(2 * np.pi * u2),
+            a * np.cos(2 * np.pi * u2),
+            b * np.sin(2 * np.pi * u3),
+            b * np.cos(2 * np.pi * u3),
+        ],
+        axis=-1,
+    ).astype(FLOAT_DTYPE)
+    return q[0] if n is None else q
+
+
+def quaternion_from_axis_angle(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Quaternion for a rotation of ``angle`` radians about ``axis``."""
+    axis = np.asarray(axis, dtype=FLOAT_DTYPE)
+    norm = np.linalg.norm(axis)
+    if norm < _QUAT_EPS:
+        raise MoleculeError("rotation axis must be non-zero")
+    axis = axis / norm
+    half = 0.5 * angle
+    return np.concatenate(([np.cos(half)], np.sin(half) * axis)).astype(FLOAT_DTYPE)
+
+
+def quaternion_multiply(q1: np.ndarray, q2: np.ndarray) -> np.ndarray:
+    """Hamilton product ``q1 * q2`` (composition: rotate by q2, then q1).
+
+    Broadcasts over leading dimensions; inputs shape ``(..., 4)``.
+    """
+    q1 = np.asarray(q1, dtype=FLOAT_DTYPE)
+    q2 = np.asarray(q2, dtype=FLOAT_DTYPE)
+    w1, x1, y1, z1 = np.moveaxis(q1, -1, 0)
+    w2, x2, y2, z2 = np.moveaxis(q2, -1, 0)
+    return np.stack(
+        [
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        ],
+        axis=-1,
+    )
+
+
+def quaternion_conjugate(q: np.ndarray) -> np.ndarray:
+    """Conjugate (= inverse for unit quaternions), shape-preserving."""
+    q = np.asarray(q, dtype=FLOAT_DTYPE)
+    out = q.copy()
+    out[..., 1:] *= -1.0
+    return out
+
+
+def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
+    """Rotation matrix/matrices for unit quaternion(s).
+
+    Input ``(4,)`` → ``(3, 3)``; input ``(n, 4)`` → ``(n, 3, 3)``.
+    """
+    q = normalize_quaternion(q)
+    single = q.ndim == 1
+    if single:
+        q = q[None, :]
+    w, x, y, z = q[:, 0], q[:, 1], q[:, 2], q[:, 3]
+    m = np.empty((q.shape[0], 3, 3), dtype=FLOAT_DTYPE)
+    m[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    m[:, 0, 1] = 2 * (x * y - z * w)
+    m[:, 0, 2] = 2 * (x * z + y * w)
+    m[:, 1, 0] = 2 * (x * y + z * w)
+    m[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    m[:, 1, 2] = 2 * (y * z - x * w)
+    m[:, 2, 0] = 2 * (x * z - y * w)
+    m[:, 2, 1] = 2 * (y * z + x * w)
+    m[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return m[0] if single else m
+
+
+def rotate_points(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Rotate ``(n, 3)`` points by one unit quaternion."""
+    return np.asarray(points, dtype=FLOAT_DTYPE) @ quaternion_to_matrix(q).T
+
+
+def apply_pose(points: np.ndarray, translation: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Rotate points about their origin by ``q`` then translate.
+
+    The convention throughout the library: ligand coordinates are stored
+    centred at the origin; a pose first orients the ligand, then places its
+    centroid at ``translation``.
+    """
+    return rotate_points(points, q) + np.asarray(translation, dtype=FLOAT_DTYPE)
+
+
+def apply_poses(
+    points: np.ndarray, translations: np.ndarray, quaternions: np.ndarray
+) -> np.ndarray:
+    """Apply a batch of poses to one point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n_atoms, 3)`` origin-centred coordinates.
+    translations:
+        ``(n_poses, 3)``.
+    quaternions:
+        ``(n_poses, 4)`` unit quaternions.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_poses, n_atoms, 3)`` transformed coordinates.
+    """
+    points = np.asarray(points, dtype=FLOAT_DTYPE)
+    translations = np.asarray(translations, dtype=FLOAT_DTYPE)
+    quaternions = np.asarray(quaternions, dtype=FLOAT_DTYPE)
+    if translations.ndim != 2 or translations.shape[1] != 3:
+        raise MoleculeError(
+            f"translations must have shape (n, 3), got {translations.shape}"
+        )
+    if quaternions.ndim != 2 or quaternions.shape[1] != 4:
+        raise MoleculeError(
+            f"quaternions must have shape (n, 4), got {quaternions.shape}"
+        )
+    if translations.shape[0] != quaternions.shape[0]:
+        raise MoleculeError("translations and quaternions must have equal length")
+    mats = quaternion_to_matrix(quaternions)  # (n_poses, 3, 3)
+    # (p,3,3) @ (a,3) -> einsum over the shared axis; result (p, a, 3)
+    rotated = np.einsum("pij,aj->pai", mats, points)
+    return rotated + translations[:, None, :]
+
+
+def small_random_rotation(
+    rng: np.random.Generator, max_angle: float, n: int | None = None
+) -> np.ndarray:
+    """Random rotation(s) with angle uniform in ``[0, max_angle]``.
+
+    Used by local-search moves: a perturbation quaternion composed onto the
+    current orientation.
+    """
+    size = 1 if n is None else n
+    axes = rng.normal(size=(size, 3))
+    norms = np.linalg.norm(axes, axis=1, keepdims=True)
+    # Resample degenerate axes is overkill at float64; nudge them instead.
+    axes = np.where(norms < _QUAT_EPS, np.array([1.0, 0.0, 0.0]), axes / np.maximum(norms, _QUAT_EPS))
+    angles = rng.random(size) * max_angle
+    half = 0.5 * angles
+    q = np.concatenate(
+        [np.cos(half)[:, None], np.sin(half)[:, None] * axes], axis=1
+    ).astype(FLOAT_DTYPE)
+    return q[0] if n is None else q

@@ -1,0 +1,204 @@
+"""Scoring-function abstractions.
+
+A :class:`ScoringFunction` is a *factory*: :meth:`ScoringFunction.bind`
+precomputes everything that depends only on the (receptor, ligand) pair —
+mixed LJ parameter tables, KD-trees, grids — and returns a
+:class:`BoundScorer` whose :meth:`BoundScorer.score` evaluates batches of
+poses. This mirrors the CUDA structure in the paper: per-complex constants
+are staged once on the device, then scoring kernels are launched repeatedly
+on candidate-solution batches.
+
+The bound scorer also reports ``flops_per_pose``: the arithmetic cost the
+*modelled* GPU kernel performs per conformation (always the full
+``n_receptor × n_ligand`` interaction count with tiling, regardless of any
+host-side pruning used to make the Python math fast). The hardware
+performance model consumes this number.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import apply_poses
+
+__all__ = [
+    "BoundScorer",
+    "ScoringFunction",
+    "register_scoring",
+    "get_scoring",
+    "available_scorings",
+    "OPS_PER_LJ_PAIR",
+]
+
+#: Floating-point operations per receptor-ligand atom pair in the tiled LJ
+#: kernel: 3 subs + 3 muls + 2 adds (distance²), rsqrt-free form uses the
+#: squared distance: 1 div, powers (~6), 4ε(..) (~4) ≈ 18; plus tile loads.
+OPS_PER_LJ_PAIR: int = 18
+
+
+class BoundScorer(ABC):
+    """A scoring function specialised to one (receptor, ligand) pair."""
+
+    #: Poses per evaluation chunk; bounds peak memory of the dense kernels.
+    chunk_size: int = 32
+
+    def __init__(self, receptor: Receptor, ligand: Ligand) -> None:
+        self.receptor = receptor
+        self.ligand = ligand
+        #: Ligand coordinates centred at the origin — poses are applied to
+        #: these (see :func:`repro.molecules.transforms.apply_pose`).
+        self.ligand_coords = np.ascontiguousarray(
+            ligand.coords - ligand.coords.mean(axis=0), dtype=FLOAT_DTYPE
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pairs(self) -> int:
+        """Full receptor×ligand interaction count (modelled kernel work)."""
+        return self.receptor.n_atoms * self.ligand.n_atoms
+
+    @property
+    def flops_per_pose(self) -> float:
+        """Modelled floating-point operations to score one conformation."""
+        return float(self.n_pairs * OPS_PER_LJ_PAIR)
+
+    # ------------------------------------------------------------------
+    def score(self, translations: np.ndarray, quaternions: np.ndarray) -> np.ndarray:
+        """Score a batch of poses; lower is better (free energy).
+
+        Parameters
+        ----------
+        translations:
+            ``(n_poses, 3)`` placements of the ligand centroid (Å).
+        quaternions:
+            ``(n_poses, 4)`` unit orientations.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_poses,)`` scores in kcal/mol.
+        """
+        translations = np.asarray(translations, dtype=FLOAT_DTYPE)
+        quaternions = np.asarray(quaternions, dtype=FLOAT_DTYPE)
+        if translations.ndim != 2 or translations.shape[1] != 3:
+            raise ScoringError(
+                f"translations must have shape (n, 3), got {translations.shape}"
+            )
+        if quaternions.shape != (translations.shape[0], 4):
+            raise ScoringError(
+                "quaternions must have shape "
+                f"({translations.shape[0]}, 4), got {quaternions.shape}"
+            )
+        n = translations.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=FLOAT_DTYPE)
+        out = np.empty(n, dtype=FLOAT_DTYPE)
+        for lo in range(0, n, self.chunk_size):
+            hi = min(lo + self.chunk_size, n)
+            out[lo:hi] = self._score_chunk(translations[lo:hi], quaternions[lo:hi])
+        if not np.all(np.isfinite(out)):
+            raise ScoringError("scoring produced non-finite values")
+        return out
+
+    def score_one(self, translation: np.ndarray, quaternion: np.ndarray) -> float:
+        """Score a single pose."""
+        return float(
+            self.score(
+                np.asarray(translation, dtype=FLOAT_DTYPE)[None, :],
+                np.asarray(quaternion, dtype=FLOAT_DTYPE)[None, :],
+            )[0]
+        )
+
+    def posed_ligand_coords(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        """``(n_poses, n_lig_atoms, 3)`` transformed ligand coordinates."""
+        return apply_poses(self.ligand_coords, translations, quaternions)
+
+    def score_coords(self, posed: np.ndarray) -> np.ndarray:
+        """Score pre-built ligand coordinate sets.
+
+        The flexible-ligand extension builds conformers whose *internal*
+        geometry varies per pose, so the rigid ``(translation, quaternion)``
+        channel is not enough; this entry point scores arbitrary
+        ``(n_poses, n_lig_atoms, 3)`` coordinate batches. Supported by the
+        pairwise scorers (dense/cutoff/tiled/soft-core); grid/composite
+        scorers raise.
+        """
+        posed = np.asarray(posed, dtype=FLOAT_DTYPE)
+        if posed.ndim != 3 or posed.shape[1:] != (self.ligand.n_atoms, 3):
+            raise ScoringError(
+                f"posed coords must have shape (n, {self.ligand.n_atoms}, 3), "
+                f"got {posed.shape}"
+            )
+        n = posed.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=FLOAT_DTYPE)
+        out = np.empty(n, dtype=FLOAT_DTYPE)
+        for lo in range(0, n, self.chunk_size):
+            hi = min(lo + self.chunk_size, n)
+            out[lo:hi] = self._score_posed_chunk(posed[lo:hi])
+        if not np.all(np.isfinite(out)):
+            raise ScoringError("scoring produced non-finite values")
+        return out
+
+    def _score_posed_chunk(self, posed: np.ndarray) -> np.ndarray:
+        """Score one chunk of pre-built coordinates (optional capability)."""
+        raise ScoringError(
+            f"{type(self).__name__} does not support scoring raw coordinates"
+        )
+
+    @abstractmethod
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        """Score one validated chunk of poses (implemented by subclasses)."""
+
+
+class ScoringFunction(ABC):
+    """Factory producing :class:`BoundScorer` instances for complexes."""
+
+    #: Registry key; subclasses override.
+    name: str = ""
+
+    @abstractmethod
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundScorer:
+        """Precompute pair data and return a bound scorer."""
+
+
+_REGISTRY: dict[str, Callable[[], ScoringFunction]] = {}
+
+
+def register_scoring(name: str) -> Callable[[type], type]:
+    """Class decorator registering a scoring function under ``name``."""
+
+    def decorate(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ScoringError(f"scoring function {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_scoring(name: str, **kwargs) -> ScoringFunction:
+    """Instantiate a registered scoring function by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ScoringError(
+            f"unknown scoring function {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_scorings() -> tuple[str, ...]:
+    """Names of all registered scoring functions."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,79 @@
+"""Weighted-sum composite scoring functions.
+
+Combines bound scorers term-by-term, e.g. ``E = w_lj·E_LJ + w_q·E_Coulomb``
+— the standard empirical-scoring-function shape (Jain 2006, the paper's
+[17]) and part of the "other scoring functions" future-work axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.scoring.base import BoundScorer, ScoringFunction, register_scoring
+
+__all__ = ["CompositeScoring", "BoundComposite", "make_lj_coulomb"]
+
+
+class BoundComposite(BoundScorer):
+    """Weighted sum of already-bound scorers."""
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        ligand: Ligand,
+        terms: list[tuple[float, BoundScorer]],
+    ) -> None:
+        super().__init__(receptor, ligand)
+        if not terms:
+            raise ScoringError("composite needs at least one term")
+        self.terms = terms
+        self.chunk_size = max(t.chunk_size for _, t in terms)
+
+    @property
+    def flops_per_pose(self) -> float:
+        """Sum of the member kernels' per-pose costs (they launch in turn)."""
+        return float(sum(t.flops_per_pose for _, t in self.terms))
+
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        total = np.zeros(translations.shape[0], dtype=FLOAT_DTYPE)
+        for weight, term in self.terms:
+            total += weight * term.score(translations, quaternions)
+        return total
+
+
+@register_scoring("composite")
+class CompositeScoring(ScoringFunction):
+    """Factory producing weighted sums of other scoring functions.
+
+    Parameters
+    ----------
+    terms:
+        Sequence of ``(weight, scoring_function)`` pairs. Each member is
+        bound to the complex independently.
+    """
+
+    def __init__(self, terms: list[tuple[float, ScoringFunction]] | None = None) -> None:
+        if not terms:
+            raise ScoringError("CompositeScoring requires a non-empty terms list")
+        self.terms = list(terms)
+
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundComposite:
+        bound = [(float(w), sf.bind(receptor, ligand)) for w, sf in self.terms]
+        return BoundComposite(receptor, ligand, bound)
+
+
+def make_lj_coulomb(
+    lj_weight: float = 1.0, coulomb_weight: float = 0.5
+) -> CompositeScoring:
+    """Convenience: the classic LJ + electrostatics empirical score."""
+    from repro.scoring.coulomb import CoulombScoring
+    from repro.scoring.lennard_jones import LennardJonesScoring
+
+    return CompositeScoring(
+        [(lj_weight, LennardJonesScoring()), (coulomb_weight, CoulombScoring())]
+    )

@@ -1,0 +1,89 @@
+"""Electrostatic (Coulomb) scoring term.
+
+§2.1: "The relevant non-bonded potentials used in VS calculations are the
+Coulomb, or electrostatic, and the Lennard-Jones potentials". The paper's
+evaluation uses LJ only; Coulomb is implemented here as one of the "many
+other types of scoring functions still to be explored" from the future-work
+section, and feeds the future-work benchmark.
+
+We use the distance-dependent dielectric common in docking codes:
+``ε(r) = ε₀ · r`` giving ``E = k q_i q_j / (ε₀ r²)`` — which conveniently
+needs only the squared distance, like the LJ kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    COULOMB_CONSTANT,
+    DEFAULT_DIELECTRIC,
+    FLOAT_DTYPE,
+    MIN_PAIR_DISTANCE,
+)
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.scoring.base import BoundScorer, ScoringFunction, register_scoring
+
+__all__ = ["CoulombScoring", "BoundCoulomb"]
+
+#: Modelled FLOPs per pair for the Coulomb kernel (dist² + div + mul).
+OPS_PER_COULOMB_PAIR: int = 12
+
+
+class BoundCoulomb(BoundScorer):
+    """Distance-dependent-dielectric Coulomb scorer for one complex."""
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        ligand: Ligand,
+        dielectric: float = DEFAULT_DIELECTRIC,
+        chunk_size: int = 16,
+    ) -> None:
+        super().__init__(receptor, ligand)
+        if dielectric <= 0:
+            raise ScoringError(f"dielectric must be positive, got {dielectric}")
+        self.chunk_size = int(chunk_size)
+        self.dielectric = float(dielectric)
+        self.receptor_coords = np.ascontiguousarray(receptor.coords, dtype=FLOAT_DTYPE)
+        self._rec_sq = np.einsum("ij,ij->i", self.receptor_coords, self.receptor_coords)
+        # Outer product of charges, scaled by k/ε₀ — precomputed per complex.
+        self._qq = (
+            COULOMB_CONSTANT
+            / self.dielectric
+            * np.outer(ligand.charges, receptor.charges)
+        ).astype(FLOAT_DTYPE)
+
+    @property
+    def flops_per_pose(self) -> float:
+        return float(self.n_pairs * OPS_PER_COULOMB_PAIR)
+
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        posed = self.posed_ligand_coords(translations, quaternions)
+        p, a, _ = posed.shape
+        flat = posed.reshape(p * a, 3)
+        lig_sq = np.einsum("ij,ij->i", flat, flat)
+        cross = flat @ self.receptor_coords.T
+        r2 = lig_sq[:, None] + self._rec_sq[None, :] - 2.0 * cross
+        np.maximum(r2, MIN_PAIR_DISTANCE * MIN_PAIR_DISTANCE, out=r2)
+        energy = self._qq[None, :, :] / r2.reshape(p, a, -1)
+        return energy.sum(axis=(1, 2))
+
+
+@register_scoring("coulomb")
+class CoulombScoring(ScoringFunction):
+    """Factory for distance-dependent-dielectric Coulomb scorers."""
+
+    def __init__(
+        self, dielectric: float = DEFAULT_DIELECTRIC, chunk_size: int = 16
+    ) -> None:
+        self.dielectric = dielectric
+        self.chunk_size = chunk_size
+
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundCoulomb:
+        return BoundCoulomb(
+            receptor, ligand, dielectric=self.dielectric, chunk_size=self.chunk_size
+        )

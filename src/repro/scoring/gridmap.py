@@ -1,0 +1,192 @@
+"""Precomputed potential-grid scoring (AutoDock-style affinity maps).
+
+Instead of summing over receptor atoms per pose, the receptor's LJ field is
+precomputed once per *ligand atom class* on a regular 3-D grid covering the
+search region; scoring a pose then costs only ``n_lig`` trilinear
+interpolations. This trades a large one-off precomputation plus memory for a
+much cheaper kernel — the design choice AutoDock ([24] in the paper) makes
+and BINDSURF does not. The ablation bench quantifies the trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import ScoringError
+from repro.molecules.forcefield import ForceField, default_forcefield
+from repro.molecules.structures import Ligand, Receptor
+from repro.scoring.base import BoundScorer, ScoringFunction, register_scoring
+from repro.scoring.lennard_jones import lj_energy_from_r2
+
+__all__ = ["GridMapScoring", "BoundGridMap"]
+
+#: Modelled FLOPs per ligand atom for one trilinear interpolation
+#: (8 gathers, 7 lerps ≈ 24 FLOPs + address math).
+OPS_PER_INTERPOLATION: int = 30
+
+
+class BoundGridMap(BoundScorer):
+    """Grid-interpolated LJ scorer for one complex.
+
+    Parameters
+    ----------
+    box_center, box_half:
+        The axis-aligned region the grid covers. Poses whose atoms leave the
+        box are scored via clamped coordinates plus a quadratic out-of-box
+        penalty, keeping the optimiser inside the mapped region.
+    spacing:
+        Grid spacing in Å.
+    """
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        ligand: Ligand,
+        forcefield: ForceField,
+        box_center: np.ndarray,
+        box_half: float,
+        spacing: float = 0.5,
+        chunk_size: int = 256,
+    ) -> None:
+        super().__init__(receptor, ligand)
+        if spacing <= 0:
+            raise ScoringError(f"spacing must be positive, got {spacing}")
+        if box_half <= 0:
+            raise ScoringError(f"box_half must be positive, got {box_half}")
+        self.chunk_size = int(chunk_size)
+        self.spacing = float(spacing)
+        self.box_center = np.asarray(box_center, dtype=FLOAT_DTYPE)
+        self.box_half = float(box_half)
+
+        # Unique ligand atom classes present — one grid per class.
+        lig_classes = [str(e) for e in ligand.elements]
+        self.classes = sorted(set(lig_classes))
+        self._class_of_atom = np.array(
+            [self.classes.index(c) for c in lig_classes], dtype=np.int64
+        )
+
+        n_side = int(np.ceil(2 * self.box_half / self.spacing)) + 1
+        self.n_side = n_side
+        axis = self.box_center[None, :] + (
+            np.arange(n_side, dtype=FLOAT_DTYPE)[:, None] * self.spacing - self.box_half
+        )
+        gx, gy, gz = np.meshgrid(axis[:, 0], axis[:, 1], axis[:, 2], indexing="ij")
+        grid_points = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3)
+
+        # Precompute per-class fields: sum over receptor atoms of LJ at each
+        # grid point. Chunk over grid points to bound memory.
+        rec = receptor.coords
+        rec_classes = [str(e) for e in receptor.elements]
+        self.maps = np.empty((len(self.classes), n_side, n_side, n_side), dtype=FLOAT_DTYPE)
+        for ci, cls in enumerate(self.classes):
+            sigma_row, eps_row = forcefield.pair_tables([cls], rec_classes)
+            field = np.empty(grid_points.shape[0], dtype=FLOAT_DTYPE)
+            step = 4096
+            for lo in range(0, grid_points.shape[0], step):
+                hi = min(lo + step, grid_points.shape[0])
+                diff = grid_points[lo:hi, None, :] - rec[None, :, :]
+                r2 = np.einsum("gij,gij->gi", diff, diff)
+                field[lo:hi] = lj_energy_from_r2(r2, sigma_row, eps_row).sum(axis=1)
+            self.maps[ci] = field.reshape(n_side, n_side, n_side)
+
+    # ------------------------------------------------------------------
+    @property
+    def flops_per_pose(self) -> float:
+        """Grid scoring is interpolation-bound: ~30 FLOPs per ligand atom."""
+        return float(self.ligand.n_atoms * OPS_PER_INTERPOLATION)
+
+    @property
+    def grid_bytes(self) -> int:
+        """Memory footprint of the precomputed maps (modelled as float32)."""
+        return int(self.maps.size * 4)
+
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        posed = self.posed_ligand_coords(translations, quaternions)  # (p, a, 3)
+        origin = self.box_center - self.box_half
+        frac = (posed - origin) / self.spacing
+        max_index = self.n_side - 1
+
+        clamped = np.clip(frac, 0.0, max_index - 1e-9)
+        # Quadratic penalty (kcal/mol per Å²) for atoms outside the box.
+        overshoot = (np.abs(frac - clamped) * self.spacing).sum(axis=-1)
+        penalty = 10.0 * (overshoot**2).sum(axis=-1)
+
+        i0 = clamped.astype(np.int64)
+        t = clamped - i0
+        i1 = np.minimum(i0 + 1, max_index)
+
+        maps = self.maps[self._class_of_atom]  # (a, n, n, n) gather per atom
+        a_idx = np.arange(posed.shape[1])[None, :]
+
+        def gather(ix, iy, iz):
+            return maps[a_idx, ix, iy, iz]
+
+        x0, y0, z0 = i0[..., 0], i0[..., 1], i0[..., 2]
+        x1, y1, z1 = i1[..., 0], i1[..., 1], i1[..., 2]
+        tx, ty, tz = t[..., 0], t[..., 1], t[..., 2]
+
+        c000 = gather(x0, y0, z0)
+        c100 = gather(x1, y0, z0)
+        c010 = gather(x0, y1, z0)
+        c110 = gather(x1, y1, z0)
+        c001 = gather(x0, y0, z1)
+        c101 = gather(x1, y0, z1)
+        c011 = gather(x0, y1, z1)
+        c111 = gather(x1, y1, z1)
+
+        c00 = c000 * (1 - tx) + c100 * tx
+        c10 = c010 * (1 - tx) + c110 * tx
+        c01 = c001 * (1 - tx) + c101 * tx
+        c11 = c011 * (1 - tx) + c111 * tx
+        c0 = c00 * (1 - ty) + c10 * ty
+        c1 = c01 * (1 - ty) + c11 * ty
+        values = c0 * (1 - tz) + c1 * tz  # (p, a)
+        return values.sum(axis=1) + penalty
+
+
+@register_scoring("gridmap")
+class GridMapScoring(ScoringFunction):
+    """Factory for AutoDock-style grid-interpolated scorers.
+
+    The grid covers a box around the *ligand-sized neighbourhood of the
+    receptor centroid* by default; pass ``box_center``/``box_half`` to map a
+    specific spot region instead.
+    """
+
+    def __init__(
+        self,
+        forcefield: ForceField | None = None,
+        box_center: np.ndarray | None = None,
+        box_half: float | None = None,
+        spacing: float = 0.5,
+        chunk_size: int = 256,
+    ) -> None:
+        self.forcefield = forcefield if forcefield is not None else default_forcefield()
+        self.box_center = box_center
+        self.box_half = box_half
+        self.spacing = spacing
+        self.chunk_size = chunk_size
+
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundGridMap:
+        center = (
+            np.asarray(self.box_center, dtype=FLOAT_DTYPE)
+            if self.box_center is not None
+            else receptor.centroid()
+        )
+        half = (
+            float(self.box_half)
+            if self.box_half is not None
+            else ligand.max_radius() + 8.0
+        )
+        return BoundGridMap(
+            receptor,
+            ligand,
+            self.forcefield,
+            box_center=center,
+            box_half=half,
+            spacing=self.spacing,
+            chunk_size=self.chunk_size,
+        )

@@ -1,0 +1,115 @@
+"""Hydrogen-bond scoring term (12-10 potential).
+
+Another entry in the paper's "many other types of scoring functions still
+to be explored" (§6). Classic docking codes (AutoDock's empirical free
+energy, the paper's [24]) model hydrogen bonds with a 12-10 potential
+between polar atoms:
+
+    E_hb = ε_hb [ 5 (r₀ / r)¹² − 6 (r₀ / r)¹⁰ ]
+
+which has its minimum ``−ε_hb`` exactly at ``r = r₀`` (≈2.9 Å for N/O
+pairs) and a much narrower well than LJ 12-6. We apply it between
+donor/acceptor-capable atoms only (N, O, S by element class — crystal
+structures carry no hydrogens, so the directional term is necessarily
+simplified; this is the standard heavy-atom approximation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE, MIN_PAIR_DISTANCE
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.scoring.base import BoundScorer, ScoringFunction, register_scoring
+
+__all__ = ["HydrogenBondScoring", "BoundHydrogenBond", "POLAR_ELEMENTS"]
+
+#: Elements treated as hydrogen-bond capable (heavy-atom approximation).
+POLAR_ELEMENTS: frozenset[str] = frozenset({"N", "O", "S"})
+
+#: Modelled FLOPs per polar pair (dist² + two powers + blend).
+OPS_PER_HBOND_PAIR: int = 16
+
+
+class BoundHydrogenBond(BoundScorer):
+    """12-10 polar-pair scorer for one complex."""
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        ligand: Ligand,
+        r0: float = 2.9,
+        strength: float = 5.0,
+        chunk_size: int = 64,
+    ) -> None:
+        super().__init__(receptor, ligand)
+        if r0 <= 0:
+            raise ScoringError(f"r0 must be positive, got {r0}")
+        if strength < 0:
+            raise ScoringError(f"strength must be >= 0, got {strength}")
+        self.chunk_size = int(chunk_size)
+        self.r0 = float(r0)
+        self.strength = float(strength)
+        self._lig_polar = np.flatnonzero(
+            np.isin(ligand.elements.astype(str), sorted(POLAR_ELEMENTS))
+        )
+        self._rec_polar = np.flatnonzero(
+            np.isin(receptor.elements.astype(str), sorted(POLAR_ELEMENTS))
+        )
+        self._rec_coords = np.ascontiguousarray(
+            receptor.coords[self._rec_polar], dtype=FLOAT_DTYPE
+        )
+
+    @property
+    def n_polar_pairs(self) -> int:
+        """Polar receptor-ligand pairs (the kernel's actual work)."""
+        return int(self._lig_polar.size * self._rec_polar.size)
+
+    @property
+    def flops_per_pose(self) -> float:
+        return float(self.n_polar_pairs * OPS_PER_HBOND_PAIR)
+
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        return self._score_posed_chunk(
+            self.posed_ligand_coords(translations, quaternions)
+        )
+
+    def _score_posed_chunk(self, posed: np.ndarray) -> np.ndarray:
+        if self._lig_polar.size == 0 or self._rec_polar.size == 0:
+            return np.zeros(posed.shape[0], dtype=FLOAT_DTYPE)
+        lig = posed[:, self._lig_polar, :]  # (p, a_p, 3)
+        diff = lig[:, :, None, :] - self._rec_coords[None, None, :, :]
+        r2 = np.einsum("pijk,pijk->pij", diff, diff)
+        np.maximum(r2, MIN_PAIR_DISTANCE * MIN_PAIR_DISTANCE, out=r2)
+        # (r0/r)^10 and ^12 from the squared distance.
+        s2 = (self.r0 * self.r0) / r2
+        s10 = s2**5
+        s12 = s10 * s2
+        energy = self.strength * (5.0 * s12 - 6.0 * s10)
+        return energy.sum(axis=(1, 2))
+
+
+@register_scoring("hydrogen-bond")
+class HydrogenBondScoring(ScoringFunction):
+    """Factory for the 12-10 hydrogen-bond term.
+
+    Parameters
+    ----------
+    r0:
+        Optimal donor–acceptor heavy-atom distance (Å).
+    strength:
+        Well depth ε_hb (kcal/mol).
+    """
+
+    def __init__(self, r0: float = 2.9, strength: float = 5.0, chunk_size: int = 64) -> None:
+        self.r0 = r0
+        self.strength = strength
+        self.chunk_size = chunk_size
+
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundHydrogenBond:
+        return BoundHydrogenBond(
+            receptor, ligand, r0=self.r0, strength=self.strength, chunk_size=self.chunk_size
+        )

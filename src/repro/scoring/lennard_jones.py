@@ -1,0 +1,141 @@
+"""Dense vectorised Lennard-Jones 12-6 scoring — the paper's function.
+
+"For simplicity our VS technique uses a scoring function based on the
+Lennard-Jones potential." (§3.1). The energy of a pose is
+
+    E = Σ_ij 4 ε_ij [ (σ_ij / r_ij)^12 − (σ_ij / r_ij)^6 ]
+
+over all receptor-atom i / ligand-atom j pairs, with Lorentz–Berthelot
+mixing. Distances are clamped at :data:`repro.constants.MIN_PAIR_DISTANCE`
+so clashed poses score very badly but stay finite.
+
+Implementation: squared distances via the expanded form
+``|a|² + |b|² − 2 a·b`` so the inner loop is one GEMM plus elementwise work —
+the NumPy analogue of the tiled CUDA kernel's arithmetic layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE, MIN_PAIR_DISTANCE
+from repro.molecules.forcefield import ForceField, default_forcefield
+from repro.molecules.structures import Ligand, Receptor
+from repro.scoring.base import BoundScorer, ScoringFunction, register_scoring
+
+__all__ = ["LennardJonesScoring", "BoundLennardJones", "lj_energy_from_r2"]
+
+
+def lj_energy_from_r2(
+    r2: np.ndarray, sigma: np.ndarray, epsilon: np.ndarray
+) -> np.ndarray:
+    """Elementwise LJ 12-6 energy given *squared* distances.
+
+    Broadcasts ``sigma``/``epsilon`` against ``r2``. Clamps ``r²`` at
+    ``MIN_PAIR_DISTANCE²``.
+    """
+    r2 = np.maximum(r2, MIN_PAIR_DISTANCE * MIN_PAIR_DISTANCE)
+    s2 = (sigma * sigma) / r2
+    s6 = s2 * s2 * s2
+    return 4.0 * epsilon * (s6 * s6 - s6)
+
+
+def lj_energy_sum_inplace(
+    r2: np.ndarray, sigma2: np.ndarray, epsilon4: np.ndarray
+) -> np.ndarray:
+    """Per-pose LJ sums with minimal temporaries. **Destroys** ``r2``.
+
+    The allocation-lean inner loop of the hot scorers: two temporaries
+    instead of five, all elementwise ops in place.
+
+    Parameters
+    ----------
+    r2:
+        ``(p, a, r)`` squared distances (consumed as scratch).
+    sigma2:
+        ``σ²`` table broadcastable against ``r2`` (e.g. ``(a, r)``).
+    epsilon4:
+        ``4ε`` table, same broadcast shape.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(p,)`` per-pose energy sums, in ``r2``'s dtype.
+    """
+    min_r2 = r2.dtype.type(MIN_PAIR_DISTANCE * MIN_PAIR_DISTANCE)
+    np.maximum(r2, min_r2, out=r2)
+    np.divide(sigma2, r2, out=r2)  # r2 := s²
+    s6 = r2 * r2
+    s6 *= r2  # s6 := s⁶
+    w = s6 - r2.dtype.type(1.0)
+    w *= s6  # w := s¹² − s⁶
+    w *= epsilon4  # w := 4ε (s¹² − s⁶)
+    return w.sum(axis=(1, 2))
+
+
+class BoundLennardJones(BoundScorer):
+    """Dense all-pairs LJ scorer for one complex."""
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        ligand: Ligand,
+        forcefield: ForceField,
+        chunk_size: int = 16,
+    ) -> None:
+        super().__init__(receptor, ligand)
+        self.chunk_size = int(chunk_size)
+        lig_classes = [str(e) for e in ligand.elements]
+        rec_classes = [str(e) for e in receptor.elements]
+        # (n_lig, n_rec) mixed parameter tables, precomputed once per complex.
+        self.sigma, self.epsilon = forcefield.pair_tables(lig_classes, rec_classes)
+        self._sigma2 = self.sigma * self.sigma
+        self._epsilon4 = 4.0 * self.epsilon
+        self.receptor_coords = np.ascontiguousarray(receptor.coords, dtype=FLOAT_DTYPE)
+        self._rec_sq = np.einsum("ij,ij->i", self.receptor_coords, self.receptor_coords)
+
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        return self._score_posed_chunk(
+            self.posed_ligand_coords(translations, quaternions)
+        )
+
+    def _score_posed_chunk(self, posed: np.ndarray) -> np.ndarray:
+        p, a, _ = posed.shape
+        flat = posed.reshape(p * a, 3)
+        # Squared distances: |lig|² + |rec|² − 2 lig·rec as one GEMM.
+        lig_sq = np.einsum("ij,ij->i", flat, flat)
+        r2 = flat @ self.receptor_coords.T  # (p*a, n_rec)
+        r2 *= -2.0
+        r2 += lig_sq[:, None]
+        r2 += self._rec_sq[None, :]
+        # lj_energy_sum_inplace clamps at MIN_PAIR_DISTANCE², which also
+        # absorbs tiny negative values from GEMM round-off.
+        return lj_energy_sum_inplace(
+            r2.reshape(p, a, -1), self._sigma2, self._epsilon4
+        )
+
+
+@register_scoring("lennard-jones")
+class LennardJonesScoring(ScoringFunction):
+    """Factory for dense LJ scorers.
+
+    Parameters
+    ----------
+    forcefield:
+        LJ parameter table; defaults to the built-in AutoDock-like set.
+    chunk_size:
+        Poses per dense evaluation chunk (memory/throughput trade-off).
+    """
+
+    def __init__(
+        self, forcefield: ForceField | None = None, chunk_size: int = 16
+    ) -> None:
+        self.forcefield = forcefield if forcefield is not None else default_forcefield()
+        self.chunk_size = chunk_size
+
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundLennardJones:
+        return BoundLennardJones(
+            receptor, ligand, self.forcefield, chunk_size=self.chunk_size
+        )

@@ -1,0 +1,90 @@
+"""Pure-Python reference scorer for cross-validation.
+
+Triple-loop, no vectorisation: the transparently correct implementation the
+fast kernels are tested against. Use on small inputs only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE, MIN_PAIR_DISTANCE
+from repro.molecules.forcefield import ForceField, default_forcefield
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import apply_pose
+from repro.scoring.base import BoundScorer, ScoringFunction
+
+__all__ = ["ReferenceLJScoring", "BoundReferenceLJ"]
+
+
+class BoundReferenceLJ(BoundScorer):
+    """Loop-based LJ scorer; O(n_poses × n_lig × n_rec) Python iterations."""
+
+    def __init__(
+        self, receptor: Receptor, ligand: Ligand, forcefield: ForceField
+    ) -> None:
+        super().__init__(receptor, ligand)
+        self.chunk_size = 1_000_000  # no chunking needed; scoring is per-pose
+        self._ff = forcefield
+        self._lig_classes = [str(e) for e in ligand.elements]
+        self._rec_classes = [str(e) for e in receptor.elements]
+
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        out = np.empty(translations.shape[0], dtype=FLOAT_DTYPE)
+        min_r2 = MIN_PAIR_DISTANCE * MIN_PAIR_DISTANCE
+        for p in range(translations.shape[0]):
+            posed = apply_pose(self.ligand_coords, translations[p], quaternions[p])
+            total = 0.0
+            for i in range(self.ligand.n_atoms):
+                xi, yi, zi = posed[i]
+                for j in range(self.receptor.n_atoms):
+                    xj, yj, zj = self.receptor.coords[j]
+                    r2 = (xi - xj) ** 2 + (yi - yj) ** 2 + (zi - zj) ** 2
+                    r2 = max(r2, min_r2)
+                    mixed = self._ff.mix(self._lig_classes[i], self._rec_classes[j])
+                    s6 = (mixed.sigma * mixed.sigma / r2) ** 3
+                    total += 4.0 * mixed.epsilon * (s6 * s6 - s6)
+            out[p] = total
+        return out
+
+
+class ReferenceLJScoring(ScoringFunction):
+    """Factory for the pure-Python reference scorer (tests only).
+
+    Deliberately *not* registered in the scoring registry: it is a testing
+    oracle, not a user-facing option.
+    """
+
+    name = "reference-lj"
+
+    def __init__(self, forcefield: ForceField | None = None) -> None:
+        self.forcefield = forcefield if forcefield is not None else default_forcefield()
+
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundReferenceLJ:
+        return BoundReferenceLJ(receptor, ligand, self.forcefield)
+
+
+def pairwise_lj(
+    r: float, sigma: float, epsilon: float
+) -> float:
+    """Scalar LJ 12-6 energy at distance ``r`` — used by analytic tests."""
+    r = max(r, MIN_PAIR_DISTANCE)
+    s6 = (sigma / r) ** 6
+    return 4.0 * epsilon * (s6 * s6 - s6)
+
+
+def lj_minimum(sigma: float, epsilon: float) -> tuple[float, float]:
+    """Analytic LJ minimum: ``(r_min, e_min) = (2^(1/6) σ, −ε)``."""
+    return (2.0 ** (1.0 / 6.0)) * sigma, -epsilon
+
+
+def lj_zero_crossing(sigma: float) -> float:
+    """Distance where the LJ energy crosses zero (= σ)."""
+    return sigma
+
+
+def well_depth_at(r: float, sigma: float, epsilon: float) -> float:
+    """Alias of :func:`pairwise_lj`, kept for test readability."""
+    return pairwise_lj(r, sigma, epsilon)

@@ -1,0 +1,95 @@
+"""Soft-core Lennard-Jones scoring.
+
+Hard LJ walls make early random poses astronomically bad, which flattens
+selection pressure (every clashed pose is "equally terrible" at float
+precision). The soft-core variant caps the repulsive singularity with the
+standard alchemical form
+
+    E = 4 ε [ (σ⁶ / (α σ⁶ + r⁶))² · σ⁻¹² … ]   →   4 ε [ u² − u ],
+    u = σ⁶ / (α σ⁶ + r⁶)
+
+which equals plain LJ at large ``r`` and saturates at ``4ε(1/α² − 1/α)`` as
+``r → 0``. Part of the future-work scoring-function sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE
+from repro.errors import ScoringError
+from repro.molecules.forcefield import ForceField, default_forcefield
+from repro.molecules.structures import Ligand, Receptor
+from repro.scoring.base import BoundScorer, ScoringFunction, register_scoring
+
+__all__ = ["SoftcoreLJScoring", "BoundSoftcoreLJ"]
+
+#: Modelled FLOPs per pair: comparable to plain LJ plus the softening add.
+OPS_PER_SOFTCORE_PAIR: int = 20
+
+
+class BoundSoftcoreLJ(BoundScorer):
+    """Soft-core LJ scorer for one complex."""
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        ligand: Ligand,
+        forcefield: ForceField,
+        alpha: float = 0.5,
+        chunk_size: int = 16,
+    ) -> None:
+        super().__init__(receptor, ligand)
+        if alpha <= 0:
+            raise ScoringError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+        self.chunk_size = int(chunk_size)
+        lig_classes = [str(e) for e in ligand.elements]
+        rec_classes = [str(e) for e in receptor.elements]
+        sigma, self.epsilon = forcefield.pair_tables(lig_classes, rec_classes)
+        self._sigma6 = sigma**6
+        self.receptor_coords = np.ascontiguousarray(receptor.coords, dtype=FLOAT_DTYPE)
+        self._rec_sq = np.einsum("ij,ij->i", self.receptor_coords, self.receptor_coords)
+
+    @property
+    def flops_per_pose(self) -> float:
+        return float(self.n_pairs * OPS_PER_SOFTCORE_PAIR)
+
+    def _score_chunk(
+        self, translations: np.ndarray, quaternions: np.ndarray
+    ) -> np.ndarray:
+        posed = self.posed_ligand_coords(translations, quaternions)
+        p, a, _ = posed.shape
+        flat = posed.reshape(p * a, 3)
+        lig_sq = np.einsum("ij,ij->i", flat, flat)
+        cross = flat @ self.receptor_coords.T
+        r2 = lig_sq[:, None] + self._rec_sq[None, :] - 2.0 * cross
+        np.maximum(r2, 0.0, out=r2)
+        r6 = (r2 * r2 * r2).reshape(p, a, -1)
+        u = self._sigma6[None] / (self.alpha * self._sigma6[None] + r6)
+        energy = 4.0 * self.epsilon[None] * (u * u - u)
+        return energy.sum(axis=(1, 2))
+
+
+@register_scoring("lennard-jones-softcore")
+class SoftcoreLJScoring(ScoringFunction):
+    """Factory for soft-core LJ scorers (clash-tolerant landscape)."""
+
+    def __init__(
+        self,
+        forcefield: ForceField | None = None,
+        alpha: float = 0.5,
+        chunk_size: int = 16,
+    ) -> None:
+        self.forcefield = forcefield if forcefield is not None else default_forcefield()
+        self.alpha = alpha
+        self.chunk_size = chunk_size
+
+    def bind(self, receptor: Receptor, ligand: Ligand) -> BoundSoftcoreLJ:
+        return BoundSoftcoreLJ(
+            receptor,
+            ligand,
+            self.forcefield,
+            alpha=self.alpha,
+            chunk_size=self.chunk_size,
+        )

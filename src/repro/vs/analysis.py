@@ -1,0 +1,147 @@
+"""Post-docking analysis: pose RMSD, clustering, convergence statistics.
+
+Docking engines report more than a single best score: pose families
+(clusters of similar placements), the spread of the surface score map, and
+how the search converged. These utilities operate on the result objects of
+:mod:`repro.vs.docking` and the metaheuristic histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.metaheuristics.individual import Conformation
+from repro.molecules.structures import Ligand
+from repro.molecules.transforms import apply_pose
+
+__all__ = [
+    "pose_rmsd",
+    "pairwise_rmsd_matrix",
+    "cluster_poses",
+    "PoseCluster",
+    "convergence_statistics",
+]
+
+
+def _posed_coords(ligand: Ligand, conformation: Conformation) -> np.ndarray:
+    centred = ligand.coords - ligand.coords.mean(axis=0)
+    return apply_pose(centred, conformation.translation, conformation.quaternion)
+
+
+def pose_rmsd(ligand: Ligand, a: Conformation, b: Conformation) -> float:
+    """Root-mean-square deviation (Å) between two placements of ``ligand``.
+
+    Plain coordinate RMSD with atom correspondence by index (standard
+    docking-pose RMSD; no symmetry correction).
+    """
+    ca = _posed_coords(ligand, a)
+    cb = _posed_coords(ligand, b)
+    return float(np.sqrt(((ca - cb) ** 2).sum(axis=1).mean()))
+
+
+def pairwise_rmsd_matrix(
+    ligand: Ligand, conformations: list[Conformation]
+) -> np.ndarray:
+    """Symmetric ``(n, n)`` RMSD matrix over a pose list."""
+    if not conformations:
+        raise ReproError("need at least one conformation")
+    coords = np.stack([_posed_coords(ligand, c) for c in conformations])
+    diff = coords[:, None, :, :] - coords[None, :, :, :]
+    return np.sqrt((diff**2).sum(axis=3).mean(axis=2))
+
+
+@dataclass(frozen=True)
+class PoseCluster:
+    """One family of similar poses.
+
+    Attributes
+    ----------
+    representative:
+        The best-scoring member.
+    members:
+        Indices into the input pose list.
+    """
+
+    representative: Conformation
+    members: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Cluster population."""
+        return len(self.members)
+
+
+def cluster_poses(
+    ligand: Ligand,
+    conformations: list[Conformation],
+    rmsd_cutoff: float = 2.0,
+) -> list[PoseCluster]:
+    """Greedy best-first RMSD clustering (the AutoDock convention).
+
+    Poses are visited best-score-first; each either joins the first
+    existing cluster whose representative lies within ``rmsd_cutoff`` or
+    founds a new one. Returns clusters sorted by representative score.
+    """
+    if rmsd_cutoff <= 0:
+        raise ReproError(f"rmsd_cutoff must be positive, got {rmsd_cutoff}")
+    if not conformations:
+        raise ReproError("need at least one conformation")
+    order = sorted(range(len(conformations)), key=lambda i: conformations[i].score)
+    reps: list[int] = []
+    assignment: dict[int, list[int]] = {}
+    for i in order:
+        placed = False
+        for rep in reps:
+            if pose_rmsd(ligand, conformations[i], conformations[rep]) <= rmsd_cutoff:
+                assignment[rep].append(i)
+                placed = True
+                break
+        if not placed:
+            reps.append(i)
+            assignment[i] = [i]
+    return [
+        PoseCluster(
+            representative=conformations[rep], members=tuple(assignment[rep])
+        )
+        for rep in reps
+    ]
+
+
+def convergence_statistics(best_history: list[float]) -> dict[str, float]:
+    """Summarise a metaheuristic's best-score trajectory.
+
+    Returns
+    -------
+    dict
+        ``initial``/``final`` scores, ``improvement`` (positive = better),
+        ``iterations_to_90pct`` (first iteration reaching 90 % of the total
+        improvement), and ``stagnant_tail`` (trailing iterations with no
+        improvement).
+    """
+    if not best_history:
+        raise ReproError("empty history")
+    h = np.asarray(best_history, dtype=float)
+    initial = float(h[0])
+    final = float(h[-1])
+    improvement = initial - final
+    if improvement > 0:
+        target = initial - 0.9 * improvement
+        to_90 = int(np.argmax(h <= target))
+    else:
+        to_90 = 0
+    stagnant = 0
+    for value in h[::-1]:
+        if value == final:
+            stagnant += 1
+        else:
+            break
+    return {
+        "initial": initial,
+        "final": final,
+        "improvement": improvement,
+        "iterations_to_90pct": float(to_90),
+        "stagnant_tail": float(stagnant - 1 if stagnant > 0 else 0),
+    }

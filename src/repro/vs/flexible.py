@@ -1,0 +1,182 @@
+"""Flexible-ligand docking (future-work extension).
+
+Extends the pose space from rigid ``(translation, orientation)`` to
+``(translation, orientation, torsions)``. The optimiser is a per-spot
+stochastic hill climber over the extended vector — the same local-search
+move structure the paper's Improve stage uses, with torsion moves added —
+scoring conformer batches through
+:meth:`repro.scoring.base.BoundScorer.score_coords`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FLOAT_DTYPE, default_rng
+from repro.errors import ReproError
+from repro.molecules.flexibility import FlexibleLigand
+from repro.molecules.spots import Spot, find_spots
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import (
+    apply_pose,
+    quaternion_multiply,
+    random_quaternion,
+    small_random_rotation,
+)
+from repro.scoring.base import BoundScorer, ScoringFunction
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+
+__all__ = ["FlexiblePose", "FlexibleDockingResult", "dock_flexible"]
+
+
+@dataclass(frozen=True)
+class FlexiblePose:
+    """One flexible conformation: rigid placement plus torsion angles."""
+
+    spot_index: int
+    translation: np.ndarray
+    quaternion: np.ndarray
+    torsions: np.ndarray
+    score: float
+
+
+@dataclass
+class FlexibleDockingResult:
+    """Outcome of a flexible docking run."""
+
+    best: FlexiblePose
+    per_spot: list[FlexiblePose]
+    evaluations: int
+    n_torsions: int
+
+    @property
+    def best_score(self) -> float:
+        """Best score found."""
+        return self.best.score
+
+
+def _score_flexible(
+    scorer: BoundScorer,
+    flex: FlexibleLigand,
+    translations: np.ndarray,
+    quaternions: np.ndarray,
+    torsions: np.ndarray,
+) -> np.ndarray:
+    conformers = flex.conformers(torsions) if flex.n_torsions else np.broadcast_to(
+        flex.base_coords, (translations.shape[0],) + flex.base_coords.shape
+    )
+    posed = np.stack(
+        [
+            apply_pose(conformers[p], translations[p], quaternions[p])
+            for p in range(translations.shape[0])
+        ]
+    )
+    return scorer.score_coords(posed)
+
+
+def dock_flexible(
+    receptor: Receptor,
+    ligand: Ligand,
+    n_spots: int = 8,
+    spots: list[Spot] | None = None,
+    scoring: ScoringFunction | None = None,
+    max_torsions: int | None = 6,
+    walkers_per_spot: int = 8,
+    steps: int = 40,
+    seed: int = 0,
+    translation_sigma: float = 0.4,
+    rotation_angle: float = 0.3,
+    torsion_sigma: float = 0.35,
+) -> FlexibleDockingResult:
+    """Dock a flexible ligand over the receptor surface.
+
+    Parameters
+    ----------
+    max_torsions:
+        Cap on torsional degrees of freedom (None = all rotatable bonds).
+    walkers_per_spot:
+        Parallel hill-climb walkers per spot.
+    steps:
+        Local-search steps per walker.
+
+    Returns
+    -------
+    FlexibleDockingResult
+        Best extended pose per spot and overall.
+    """
+    if walkers_per_spot < 1 or steps < 1:
+        raise ReproError("walkers_per_spot and steps must be >= 1")
+    if spots is None:
+        spots = find_spots(receptor, n_spots)
+    if not spots:
+        raise ReproError("flexible docking needs at least one spot")
+    scoring = scoring if scoring is not None else CutoffLennardJonesScoring(
+        dtype=np.float32
+    )
+    scorer = scoring.bind(receptor, ligand)
+    flex = FlexibleLigand(ligand, max_torsions=max_torsions)
+    rng = default_rng(seed)
+
+    s = len(spots)
+    w = walkers_per_spot
+    k = flex.n_torsions
+    centers = np.stack([sp.center for sp in spots]).astype(FLOAT_DTYPE)
+    radii = np.array([sp.radius for sp in spots], dtype=FLOAT_DTYPE)
+
+    # Flat (s*w) state arrays.
+    t = np.repeat(centers, w, axis=0) + (
+        (2 * rng.random((s * w, 3)) - 1) * np.repeat(radii, w)[:, None]
+    )
+    q = random_quaternion(rng, s * w)
+    tor = (
+        rng.uniform(-np.pi, np.pi, (s * w, k)).astype(FLOAT_DTYPE)
+        if k
+        else np.zeros((s * w, 0), dtype=FLOAT_DTYPE)
+    )
+    scores = _score_flexible(scorer, flex, t, q, tor)
+    evaluations = s * w
+
+    lo = np.repeat(centers - radii[:, None], w, axis=0)
+    hi = np.repeat(centers + radii[:, None], w, axis=0)
+
+    for step in range(steps):
+        scale = 1.0 - 0.8 * step / max(1, steps - 1)
+        cand_t = np.clip(
+            t + rng.normal(0, translation_sigma * scale, (s * w, 3)), lo, hi
+        )
+        cand_q = quaternion_multiply(
+            small_random_rotation(rng, rotation_angle * scale, s * w), q
+        )
+        if k:
+            cand_tor = tor + rng.normal(0, torsion_sigma * scale, (s * w, k))
+        else:
+            cand_tor = tor
+        cand_scores = _score_flexible(scorer, flex, cand_t, cand_q, cand_tor)
+        evaluations += s * w
+        better = cand_scores < scores
+        t = np.where(better[:, None], cand_t, t)
+        q = np.where(better[:, None], cand_q, q)
+        if k:
+            tor = np.where(better[:, None], cand_tor, tor)
+        scores = np.where(better, cand_scores, scores)
+
+    per_spot: list[FlexiblePose] = []
+    grid = scores.reshape(s, w)
+    for si in range(s):
+        wi = int(np.argmin(grid[si]))
+        flat = si * w + wi
+        per_spot.append(
+            FlexiblePose(
+                spot_index=si,
+                translation=t[flat].copy(),
+                quaternion=q[flat].copy(),
+                torsions=tor[flat].copy(),
+                score=float(scores[flat]),
+            )
+        )
+    best = min(per_spot, key=lambda p: p.score)
+    return FlexibleDockingResult(
+        best=best, per_spot=per_spot, evaluations=evaluations, n_torsions=k
+    )

@@ -1,0 +1,144 @@
+"""Result containers for docking and screening runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.metaheuristics.individual import Conformation
+from repro.molecules.structures import Ligand, Molecule, Receptor
+from repro.molecules.transforms import apply_pose
+
+__all__ = ["DockingResult", "ScreeningEntry", "ScreeningReport"]
+
+
+@dataclass
+class DockingResult:
+    """Outcome of docking one ligand against one receptor.
+
+    Attributes
+    ----------
+    receptor, ligand:
+        The complex partners.
+    best:
+        Best conformation over the whole surface.
+    per_spot:
+        Best conformation at every spot (BINDSURF's whole-surface scoring
+        distribution: "new spots found after examination of the
+        distribution of scoring function values").
+    evaluations:
+        Total scoring evaluations spent.
+    simulated_seconds:
+        Modelled wall time, when a node was attached (else ``nan``).
+    metaheuristic:
+        Preset/spec name used.
+    """
+
+    receptor: Receptor
+    ligand: Ligand
+    best: Conformation
+    per_spot: list[Conformation]
+    evaluations: int
+    metaheuristic: str
+    simulated_seconds: float = float("nan")
+
+    @property
+    def best_score(self) -> float:
+        """Best (lowest) binding score found."""
+        return self.best.score
+
+    def spot_scores(self) -> np.ndarray:
+        """``(n_spots,)`` best score per spot — the surface score map."""
+        return np.array([c.score for c in self.per_spot])
+
+    def hot_spots(self, k: int = 5) -> list[Conformation]:
+        """The ``k`` best spots, ascending score."""
+        if k < 1:
+            raise ReproError(f"k must be >= 1, got {k}")
+        ranked = sorted(self.per_spot, key=lambda c: c.score)
+        return ranked[: min(k, len(ranked))]
+
+    def docked_ligand(self, conformation: Conformation | None = None) -> Ligand:
+        """The ligand placed at a conformation (default: the best one)."""
+        conf = conformation if conformation is not None else self.best
+        centred = self.ligand.coords - self.ligand.coords.mean(axis=0)
+        coords = apply_pose(centred, conf.translation, conf.quaternion)
+        return Ligand(
+            coords=coords,
+            elements=[str(e) for e in self.ligand.elements],
+            charges=self.ligand.charges,
+            names=list(self.ligand.names),
+            residues=list(self.ligand.residues),
+            title=f"{self.ligand.title} docked (score {conf.score:.2f})",
+        )
+
+    def complex_molecule(self, conformation: Conformation | None = None) -> Molecule:
+        """Receptor + docked ligand merged into one structure (Figure 1)."""
+        docked = self.docked_ligand(conformation)
+        return Molecule(
+            coords=np.concatenate([self.receptor.coords, docked.coords]),
+            elements=[str(e) for e in self.receptor.elements]
+            + [str(e) for e in docked.elements],
+            charges=np.concatenate([self.receptor.charges, docked.charges]),
+            names=list(self.receptor.names) + list(docked.names),
+            residues=list(self.receptor.residues) + list(docked.residues),
+            residue_indices=np.concatenate(
+                [
+                    self.receptor.residue_indices,
+                    np.full(docked.n_atoms, int(self.receptor.residue_indices.max()) + 1),
+                ]
+            ),
+            title=f"{self.receptor.title} / {self.ligand.title} complex",
+        )
+
+
+@dataclass(frozen=True)
+class ScreeningEntry:
+    """One ligand's outcome within a library screen."""
+
+    ligand_title: str
+    best_score: float
+    best_spot: int
+    evaluations: int
+
+
+@dataclass
+class ScreeningReport:
+    """Ranked outcome of screening a ligand library.
+
+    Entries are kept in submission order; :meth:`ranked` sorts by affinity.
+    """
+
+    receptor_title: str
+    entries: list[ScreeningEntry] = field(default_factory=list)
+    simulated_seconds: float = 0.0
+
+    def add(self, entry: ScreeningEntry) -> None:
+        """Append one ligand result."""
+        self.entries.append(entry)
+
+    def ranked(self) -> list[ScreeningEntry]:
+        """Entries sorted best-first (ascending score)."""
+        return sorted(self.entries, key=lambda e: e.best_score)
+
+    def top(self, k: int = 10) -> list[ScreeningEntry]:
+        """The ``k`` best ligands."""
+        if k < 1:
+            raise ReproError(f"k must be >= 1, got {k}")
+        return self.ranked()[: min(k, len(self.entries))]
+
+    def to_text(self) -> str:
+        """Human-readable ranking table."""
+        lines = [
+            f"Screening report — receptor: {self.receptor_title}",
+            f"{'rank':>4s}  {'score':>12s}  {'spot':>5s}  ligand",
+        ]
+        for rank, e in enumerate(self.ranked(), start=1):
+            lines.append(
+                f"{rank:4d}  {e.best_score:12.3f}  {e.best_spot:5d}  {e.ligand_title}"
+            )
+        if np.isfinite(self.simulated_seconds) and self.simulated_seconds > 0:
+            lines.append(f"simulated wall time: {self.simulated_seconds:.2f} s")
+        return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Terminal visualisation utilities.
+
+No plotting dependencies exist in this environment, so the library renders
+its own artifacts as text: depth projections of complexes (the Figure 1
+stand-in), surface score maps, and convergence sparklines. All functions
+return strings; callers print or save them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.molecules.structures import Molecule
+
+__all__ = ["ascii_projection", "gantt", "score_map", "sparkline"]
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_projection(
+    layers: list[tuple[Molecule | np.ndarray, str]],
+    width: int = 64,
+    height: int = 24,
+    axes: tuple[int, int] = (0, 1),
+) -> str:
+    """Project molecule layers onto a character canvas.
+
+    Parameters
+    ----------
+    layers:
+        ``(molecule_or_coords, glyph)`` pairs, painted in order (later
+        layers overdraw earlier ones — put the ligand last).
+    axes:
+        Which two coordinate axes to project onto.
+
+    Returns
+    -------
+    str
+        ``height`` lines of ``width`` characters.
+    """
+    if not layers:
+        raise ReproError("need at least one layer")
+    if width < 2 or height < 2:
+        raise ReproError("canvas must be at least 2×2")
+    ax, ay = axes
+    point_sets = []
+    for source, glyph in layers:
+        coords = source.coords if isinstance(source, Molecule) else np.asarray(source)
+        if coords.ndim != 2 or coords.shape[1] < max(ax, ay) + 1:
+            raise ReproError(f"cannot project coordinates of shape {coords.shape}")
+        if len(glyph) != 1:
+            raise ReproError(f"glyph must be one character, got {glyph!r}")
+        point_sets.append((coords[:, [ax, ay]], glyph))
+
+    merged = np.vstack([pts for pts, _ in point_sets])
+    lo = merged.min(axis=0)
+    span = np.maximum(merged.max(axis=0) - lo, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+    for pts, glyph in point_sets:
+        cols = ((pts[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int)
+        rows = ((pts[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int)
+        for r, c in zip(rows, cols):
+            canvas[height - 1 - r][c] = glyph  # y grows upward
+    return "\n".join("".join(row) for row in canvas)
+
+
+def score_map(scores: np.ndarray, labels: list[str] | None = None, width: int = 40) -> str:
+    """Horizontal-bar rendering of per-spot scores (best = longest bar).
+
+    Scores are docking energies (lower = better); bars are scaled to the
+    best score's magnitude.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ReproError("scores must be a non-empty 1-D array")
+    if labels is not None and len(labels) != scores.size:
+        raise ReproError(f"{len(labels)} labels for {scores.size} scores")
+    best = scores.min()
+    lines = []
+    for i in np.argsort(scores):
+        label = labels[i] if labels is not None else f"spot {i:3d}"
+        magnitude = max(0.0, -float(scores[i]))
+        reference = max(1e-9, -float(best))
+        bar = "█" * int(round(width * magnitude / reference))
+        lines.append(f"{label:>10s} {scores[i]:10.2f} |{bar}")
+    return "\n".join(lines)
+
+
+def sparkline(history: list[float] | np.ndarray) -> str:
+    """One-line glyph rendering of a score trajectory (▁ best … █ worst)."""
+    h = np.asarray(history, dtype=float)
+    if h.size == 0:
+        raise ReproError("empty history")
+    if h.size == 1 or np.ptp(h) < 1e-12:
+        return _SPARK_GLYPHS[0] * h.size
+    normalised = (h - h.min()) / np.ptp(h)
+    indices = np.minimum(
+        (normalised * len(_SPARK_GLYPHS)).astype(int), len(_SPARK_GLYPHS) - 1
+    )
+    return "".join(_SPARK_GLYPHS[i] for i in indices)
+
+
+def gantt(
+    timeline: list[tuple[int, float, float, str]],
+    device_names: list[str] | None = None,
+    width: int = 72,
+) -> str:
+    """Render a device schedule as a text Gantt chart.
+
+    Parameters
+    ----------
+    timeline:
+        ``(device, start_s, end_s, kind)`` intervals, e.g. collected by
+        ``simulate_gpu_trace(..., timeline=[])``. ``kind`` selects the
+        glyph: ``population`` launches draw ``█``, ``improve`` launches
+        ``▒``, anything else ``░``.
+    device_names:
+        Row labels; defaults to ``dev 0`` …
+
+    Returns
+    -------
+    str
+        One row per device plus a time axis.
+    """
+    if not timeline:
+        raise ReproError("empty timeline")
+    n_devices = max(d for d, *_ in timeline) + 1
+    horizon = max(end for _, _, end, _ in timeline)
+    if horizon <= 0:
+        raise ReproError("timeline has zero duration")
+    if device_names is not None and len(device_names) < n_devices:
+        raise ReproError(
+            f"{len(device_names)} names for {n_devices} devices"
+        )
+    glyphs = {"population": "█", "improve": "▒"}
+    rows = [[" "] * width for _ in range(n_devices)]
+    for device, start, end, kind in timeline:
+        c0 = int(start / horizon * (width - 1))
+        c1 = max(c0 + 1, int(np.ceil(end / horizon * (width - 1))))
+        glyph = glyphs.get(kind, "░")
+        for c in range(c0, min(c1, width)):
+            rows[device][c] = glyph
+    lines = []
+    for d in range(n_devices):
+        label = device_names[d] if device_names else f"dev {d}"
+        lines.append(f"{label[:18]:>18s} |{''.join(rows[d])}|")
+    axis = f"{'':>18s} 0{'s':<{width - len(f'{horizon:.2f}s') - 1}s}{horizon:.2f}s"
+    lines.append(axis)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Shared fixtures: one small synthetic complex reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.molecules.spots import find_spots
+from repro.molecules.synthetic import generate_ligand, generate_receptor
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+from repro.scoring.lennard_jones import LennardJonesScoring
+
+
+@pytest.fixture(scope="session")
+def receptor():
+    """A 300-atom globular receptor (session-cached; treat as immutable)."""
+    return generate_receptor(300, seed=11, title="test receptor")
+
+
+@pytest.fixture(scope="session")
+def ligand():
+    """An 18-atom drug-like ligand (session-cached; treat as immutable)."""
+    return generate_ligand(18, seed=12, title="test ligand")
+
+
+@pytest.fixture(scope="session")
+def spots(receptor):
+    """Four spots on the test receptor."""
+    return find_spots(receptor, 4)
+
+
+@pytest.fixture(scope="session")
+def dense_scorer(receptor, ligand):
+    """Exact double-precision dense LJ scorer."""
+    return LennardJonesScoring().bind(receptor, ligand)
+
+
+@pytest.fixture(scope="session")
+def fast_scorer(receptor, ligand):
+    """The engine's fast path: float32 cutoff LJ."""
+    return CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def pose_batch(spots, rng):
+    """A spot-anchored batch of 12 random poses (translations, quaternions)."""
+    from repro.molecules.transforms import random_quaternion
+
+    centers = np.stack([s.center for s in spots])
+    translations = np.repeat(centers, 3, axis=0) + rng.normal(0, 1.0, (12, 3))
+    quaternions = random_quaternion(rng, 12)
+    return translations, quaternions

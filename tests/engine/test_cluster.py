@@ -1,0 +1,98 @@
+"""Multi-node cluster extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import (
+    ClusterSpec,
+    Interconnect,
+    simulate_cluster_run,
+)
+from repro.errors import SchedulingError
+from repro.experiments.trace import analytic_trace
+from repro.hardware.node import hertz, jupiter
+
+
+def _trace():
+    return analytic_trace("M1", n_spots=64, n_receptor_atoms=3264, n_ligand_atoms=45)
+
+
+def _cluster(n_jupiters=1, n_hertzes=1):
+    nodes = tuple([jupiter()] * n_jupiters + [hertz()] * n_hertzes)
+    return ClusterSpec(name="testcluster", nodes=nodes)
+
+
+def test_interconnect_costs():
+    net = Interconnect(latency_s=1e-6, bandwidth_gbs=10.0)
+    assert net.transfer_s(0) == pytest.approx(1e-6)
+    assert net.transfer_s(1e9) == pytest.approx(1e-6 + 0.1)
+    assert net.broadcast_s(1e6, 8) == pytest.approx(3 * net.transfer_s(1e6))
+    with pytest.raises(SchedulingError):
+        net.transfer_s(-1)
+    with pytest.raises(SchedulingError):
+        net.broadcast_s(1, 0)
+
+
+def test_cluster_validation():
+    with pytest.raises(SchedulingError):
+        ClusterSpec(name="empty", nodes=())
+
+
+def test_single_node_cluster_matches_node_time_plus_network():
+    cluster = ClusterSpec(name="solo", nodes=(hertz(),))
+    timing = simulate_cluster_run(cluster, _trace(), 64, structure_bytes=1e6)
+    from repro.engine.executor import MultiGpuExecutor
+
+    solo, _ = MultiGpuExecutor(hertz(), seed=0).replay(_trace(), "gpu-heterogeneous")
+    assert timing.compute_s == pytest.approx(solo.total_s, rel=1e-6)
+    assert timing.total_s > timing.compute_s  # collectives cost something
+    assert timing.total_s - timing.compute_s < 0.01  # but not much
+
+
+def test_two_nodes_faster_than_one():
+    trace = _trace()
+    one = simulate_cluster_run(_cluster(1, 0), trace, 64, 1e6)
+    two = simulate_cluster_run(_cluster(1, 1), trace, 64, 1e6)
+    assert two.total_s < one.total_s
+
+
+def test_shares_proportional_to_node_throughput():
+    cluster = _cluster(1, 1)
+    timing = simulate_cluster_run(cluster, _trace(), 64, 1e6)
+    throughputs = cluster.node_gpu_throughputs()
+    assert timing.spot_shares.sum() == 64
+    # Jupiter (6 GPUs) takes more spots than Hertz (2 GPUs).
+    assert timing.spot_shares[0] > timing.spot_shares[1]
+    ratio = timing.spot_shares[0] / timing.spot_shares[1]
+    assert ratio == pytest.approx(throughputs[0] / throughputs[1], rel=0.15)
+
+
+def test_cluster_balance_is_reasonable():
+    timing = simulate_cluster_run(_cluster(1, 1), _trace(), 64, 1e6)
+    assert timing.balance > 0.7
+
+
+def test_scaling_efficiency_decays_gracefully():
+    """4 identical nodes ≈ 4× one node on compute, modulo collectives."""
+    trace = _trace()
+    one = simulate_cluster_run(ClusterSpec(name="1", nodes=(hertz(),)), trace, 64, 1e6)
+    four = simulate_cluster_run(
+        ClusterSpec(name="4", nodes=(hertz(),) * 4), trace, 64, 1e6
+    )
+    speedup = one.total_s / four.total_s
+    assert 2.5 < speedup <= 4.05
+
+
+def test_openmp_mode_weights_by_cpu():
+    cluster = _cluster(1, 1)
+    timing = simulate_cluster_run(cluster, _trace(), 64, 1e6, mode="openmp")
+    # Jupiter: 12 cores @ 2 GHz beats Hertz: 4 @ 3.1.
+    assert timing.spot_shares[0] > timing.spot_shares[1]
+
+
+def test_cluster_run_validation():
+    cluster = _cluster()
+    with pytest.raises(SchedulingError):
+        simulate_cluster_run(cluster, [], 8, 1e6)
+    with pytest.raises(SchedulingError):
+        simulate_cluster_run(cluster, _trace(), 0, 1e6)

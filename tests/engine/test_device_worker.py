@@ -1,0 +1,109 @@
+"""Event-driven job-queue simulation tests, including failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.engine.device_worker import Job, SimulatedDevice, run_job_queue
+from repro.engine.scheduler import DynamicSpotQueueScheduler
+from repro.errors import SchedulingError
+from repro.hardware.node import hertz
+from repro.metaheuristics.evaluation import LaunchRecord
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+FLOPS = 3264 * 45 * OPS_PER_LJ_PAIR
+
+
+def _jobs(n_spots=12, per_spot=500):
+    return [Job(spot=i, count=per_spot, flops_per_pose=FLOPS) for i in range(n_spots)]
+
+
+def _devices(fail_at=None):
+    node = hertz()
+    return [
+        SimulatedDevice(index=i, gpu=g, fail_at=(fail_at or {}).get(i))
+        for i, g in enumerate(node.gpus)
+    ]
+
+
+def test_queue_drains_all_jobs():
+    jobs = _jobs()
+    result = run_job_queue(jobs, _devices())
+    assert len(result.assignments) == len(jobs)
+    assert result.makespan_s > 0
+    assert result.requeues == []
+
+
+def test_fast_device_takes_more_jobs():
+    result = run_job_queue(_jobs(n_spots=24), _devices())
+    counts = np.bincount(list(result.assignments.values()), minlength=2)
+    assert counts[0] > counts[1]  # K40c pulls more
+
+
+def test_utilization_is_high_with_many_jobs():
+    result = run_job_queue(_jobs(n_spots=48, per_spot=200), _devices())
+    assert result.utilization.min() > 0.8
+
+
+def test_queue_matches_closed_form_lpt_plan():
+    """The event-driven pull queue and the closed-form LPT scheduler must
+    agree on per-device totals (same job times, same tie-breaking)."""
+    node = hertz()
+    jobs = _jobs(n_spots=16, per_spot=300)
+    queue_result = run_job_queue(jobs, _devices())
+    record = LaunchRecord(
+        n_conformations=sum(j.count for j in jobs),
+        flops_per_pose=FLOPS,
+        spot_counts={j.spot: j.count for j in jobs},
+        n_receptor_atoms=3264,
+    )
+    plan = DynamicSpotQueueScheduler().plan(
+        record, node.gpus, np.ones(2, dtype=bool)
+    )
+    queue_shares = np.zeros(2, dtype=int)
+    for job in jobs:
+        queue_shares[queue_result.assignments[job.spot]] += job.count
+    np.testing.assert_array_equal(queue_shares, plan)
+
+
+def test_device_failure_requeues_job():
+    jobs = _jobs(n_spots=10, per_spot=500)
+    healthy = run_job_queue(jobs, _devices())
+    devices = _devices(fail_at={0: healthy.makespan_s * 0.3})
+    result = run_job_queue(jobs, devices)
+    assert len(result.requeues) >= 1
+    assert len(result.assignments) == len(jobs)  # all work still done
+    # Everything after the failure lands on the survivor.
+    assert devices[0].failed
+    assert result.makespan_s > healthy.makespan_s
+
+
+def test_failure_at_zero_means_device_never_works():
+    devices = _devices(fail_at={0: 0.0})
+    result = run_job_queue(_jobs(n_spots=6), devices)
+    assert all(d == 1 for d in result.assignments.values())
+
+
+def test_all_devices_failing_raises():
+    devices = _devices(fail_at={0: 0.0, 1: 0.0})
+    with pytest.raises(SchedulingError, match="undrained"):
+        run_job_queue(_jobs(n_spots=4), devices)
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(SchedulingError):
+        run_job_queue([], _devices())
+    with pytest.raises(SchedulingError):
+        run_job_queue(_jobs(), [])
+
+
+def test_job_validation():
+    with pytest.raises(SchedulingError):
+        Job(spot=0, count=0, flops_per_pose=FLOPS)
+    with pytest.raises(SchedulingError):
+        Job(spot=0, count=5, flops_per_pose=0.0)
+
+
+def test_busy_time_bookkeeping():
+    result = run_job_queue(_jobs(n_spots=20), _devices())
+    assert result.busy_s.sum() > 0
+    assert np.all(result.busy_s <= result.makespan_s + 1e-12)

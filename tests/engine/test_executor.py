@@ -1,0 +1,153 @@
+"""Executor tests: trace replay, mode semantics, equivalence, failures."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import (
+    EXECUTION_MODES,
+    MultiGpuExecutor,
+    host_overhead_s,
+    simulate_cpu_trace,
+    simulate_gpu_trace,
+)
+from repro.engine.scheduler import StaticEqualScheduler
+from repro.errors import SchedulingError
+from repro.hardware.node import hertz, jupiter
+from repro.hardware.perf_model import DEFAULT_PARAMS
+from repro.metaheuristics.evaluation import LaunchRecord
+from repro.metaheuristics.presets import make_preset
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+FLOPS = 3264 * 45 * OPS_PER_LJ_PAIR
+
+
+def _trace(n_launches=5, poses=4096, spots=16):
+    per = poses // spots
+    return [
+        LaunchRecord(
+            n_conformations=poses,
+            flops_per_pose=FLOPS,
+            spot_counts={i: per for i in range(spots)},
+            kind="population" if i % 2 == 0 else "improve",
+            n_receptor_atoms=3264,
+        )
+        for i in range(n_launches)
+    ]
+
+
+def test_host_overhead_by_kind():
+    pop = _trace(1)[0]
+    imp = LaunchRecord(4096, FLOPS, {}, kind="improve", n_receptor_atoms=3264)
+    assert host_overhead_s(pop, DEFAULT_PARAMS) > host_overhead_s(imp, DEFAULT_PARAMS)
+
+
+def test_cpu_trace_time_and_bookkeeping():
+    node = hertz()
+    timing = simulate_cpu_trace(_trace(), node)
+    assert timing.scoring_s > 0
+    assert timing.n_launches == 5
+    assert timing.n_conformations == 5 * 4096
+    assert timing.total_s == pytest.approx(timing.scoring_s + timing.host_s)
+
+
+def test_cpu_trace_requires_receptor_atoms():
+    node = hertz()
+    bad = [LaunchRecord(10, FLOPS, {})]
+    with pytest.raises(SchedulingError, match="n_receptor_atoms"):
+        simulate_cpu_trace(bad, node)
+
+
+def test_gpu_trace_barrier_semantics():
+    """Per-launch time is the slowest device's share (Algorithm 2 syncs)."""
+    node = hertz()
+    timing = simulate_gpu_trace(_trace(1), node, StaticEqualScheduler())
+    assert timing.scoring_s == pytest.approx(timing.device_busy_s.max())
+    # Equal split on unequal devices: the GTX 580 is the straggler.
+    assert timing.device_busy_s[1] > timing.device_busy_s[0]
+
+
+def test_gpu_trace_requires_gpus():
+    node = hertz().with_gpus([])
+    with pytest.raises(SchedulingError, match="no GPUs"):
+        simulate_gpu_trace(_trace(1), node, StaticEqualScheduler())
+
+
+def test_gpu_trace_with_failures_excludes_device():
+    node = jupiter()
+    healthy = simulate_gpu_trace(_trace(10), node, StaticEqualScheduler())
+    failing = simulate_gpu_trace(
+        _trace(10), node, StaticEqualScheduler(), failures={0: healthy.total_s * 0.3}
+    )
+    assert failing.total_s > healthy.total_s
+    assert failing.device_busy_s[0] < healthy.device_busy_s[0]
+
+
+def test_gpu_trace_all_failed_raises():
+    node = hertz()
+    with pytest.raises(SchedulingError, match="failed"):
+        simulate_gpu_trace(
+            _trace(3), node, StaticEqualScheduler(), failures={0: 0.0, 1: 0.0}
+        )
+
+
+def test_replay_modes(spots, fast_scorer):
+    executor = MultiGpuExecutor(hertz(), seed=5)
+    trace = _trace()
+    times = {}
+    for mode in EXECUTION_MODES:
+        timing, name = executor.replay(trace, mode)
+        times[mode] = timing.total_s
+        assert timing.total_s > 0
+    # GPU beats CPU at this workload size.
+    assert times["openmp"] > times["gpu-homogeneous"]
+    # Heterogeneous balancing beats the equal split on Hertz.
+    assert times["gpu-heterogeneous"] < times["gpu-homogeneous"]
+    # Dynamic scheduling also beats the equal split.
+    assert times["gpu-dynamic"] < times["gpu-homogeneous"]
+
+
+def test_replay_heterogeneous_includes_warmup_cost():
+    executor = MultiGpuExecutor(hertz(), seed=5)
+    timing, _ = executor.replay(_trace(), "gpu-heterogeneous")
+    assert timing.warmup_s > 0
+    timing_hom, _ = executor.replay(_trace(), "gpu-homogeneous")
+    assert timing_hom.warmup_s == 0.0
+
+
+def test_replay_validation():
+    executor = MultiGpuExecutor(hertz())
+    with pytest.raises(SchedulingError):
+        executor.replay(_trace(), "gpu-quantum")
+    with pytest.raises(SchedulingError):
+        executor.replay([], "openmp")
+
+
+def test_run_results_are_mode_invariant(spots, fast_scorer):
+    """The core experimental-design property: the search outcome does not
+    depend on which machine/mode timing is modelled."""
+    executor = MultiGpuExecutor(hertz(), seed=1)
+    spec = make_preset("M1", workload_scale=0.1)
+    reports = {
+        mode: executor.run(spec, spots, fast_scorer, mode, search_seed=9)
+        for mode in EXECUTION_MODES
+    }
+    scores = {r.result.best.score for r in reports.values()}
+    assert len(scores) == 1
+    # But the timings differ.
+    assert len({round(r.simulated_seconds, 9) for r in reports.values()}) > 1
+
+
+def test_run_across_nodes_same_results(spots, fast_scorer):
+    spec = make_preset("M1", workload_scale=0.1)
+    a = MultiGpuExecutor(hertz(), seed=1).run(spec, spots, fast_scorer, "openmp", search_seed=4)
+    b = MultiGpuExecutor(jupiter(), seed=1).run(spec, spots, fast_scorer, "openmp", search_seed=4)
+    assert a.result.best.score == b.result.best.score
+    # Jupiter's 12 cores beat Hertz's 4 on the CPU path.
+    assert b.simulated_seconds < a.simulated_seconds
+
+
+def test_balance_metric():
+    executor = MultiGpuExecutor(hertz(), seed=3)
+    het, _ = executor.replay(_trace(poses=16384), "gpu-heterogeneous")
+    hom, _ = executor.replay(_trace(poses=16384), "gpu-homogeneous")
+    assert het.balance > hom.balance  # proportional split balances better

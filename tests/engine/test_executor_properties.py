@@ -1,0 +1,108 @@
+"""Property-based invariants of the simulated executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.executor import simulate_gpu_trace
+from repro.engine.scheduler import (
+    DynamicSpotQueueScheduler,
+    StaticEqualScheduler,
+    StaticProportionalScheduler,
+)
+from repro.hardware.node import hertz, jupiter
+from repro.hardware.perf_model import gpu_launch_time
+from repro.metaheuristics.evaluation import LaunchRecord
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+FLOPS = 3264 * 45 * OPS_PER_LJ_PAIR
+
+
+def _trace(n_launches, poses, spots):
+    per = max(1, poses // spots)
+    counts = {i: per for i in range(spots)}
+    counts[0] += poses - per * spots
+    return [
+        LaunchRecord(
+            n_conformations=poses,
+            flops_per_pose=FLOPS,
+            spot_counts=counts,
+            kind="population",
+            n_receptor_atoms=3264,
+        )
+        for _ in range(n_launches)
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_launches=st.integers(1, 6),
+    poses=st.integers(64, 50_000),
+    spots=st.integers(1, 32),
+)
+def test_scoring_time_bounded_by_single_device_and_ideal(n_launches, poses, spots):
+    """Any schedule is at least as fast as the slowest device alone and at
+    least as slow as the zero-overhead ideal (total work / total rate)."""
+    node = hertz()
+    trace = _trace(n_launches, poses, spots)
+    for scheduler in (StaticEqualScheduler(), DynamicSpotQueueScheduler()):
+        timing = simulate_gpu_trace(trace, node, scheduler)
+        slowest_alone = sum(
+            gpu_launch_time(node.gpus[1], r.n_conformations, r.flops_per_pose).total_s
+            for r in trace
+        )
+        ideal = sum(
+            r.n_conformations * r.flops_per_pose for r in trace
+        ) / (sum(g.pairs_per_sec for g in node.gpus) * OPS_PER_LJ_PAIR)
+        assert timing.scoring_s <= slowest_alone + 1e-9
+        assert timing.scoring_s >= ideal - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(poses=st.integers(1_000, 200_000))
+def test_proportional_never_slower_than_equal_at_scale(poses):
+    """With exact throughput weights and big launches, the proportional
+    split's makespan is <= the equal split's (up to wave quantisation)."""
+    node = hertz()
+    trace = _trace(3, poses, 16)
+    weights = np.array([g.pairs_per_sec for g in node.gpus], dtype=float)
+    weights /= weights.sum()
+    equal = simulate_gpu_trace(trace, node, StaticEqualScheduler())
+    prop = simulate_gpu_trace(trace, node, StaticProportionalScheduler(weights))
+    # One wave of slack allowed for quantisation at small launch sizes.
+    wave_slack = gpu_launch_time(node.gpus[0], 960, FLOPS).total_s
+    assert prop.scoring_s <= equal.scoring_s + wave_slack
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    poses=st.integers(64, 20_000),
+    spots=st.integers(2, 24),
+)
+def test_busy_time_conservation(poses, spots):
+    """Per-device busy sums are consistent: every launch contributes each
+    device's share time, and the barrier time is their maximum."""
+    node = jupiter()
+    trace = _trace(2, poses, spots)
+    timing = simulate_gpu_trace(trace, node, StaticEqualScheduler())
+    assert timing.device_busy_s.shape == (node.n_gpus,)
+    assert np.all(timing.device_busy_s >= 0)
+    assert timing.scoring_s >= timing.device_busy_s.max() / 2  # 2 launches
+    assert timing.scoring_s <= timing.device_busy_s.sum() + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(poses=st.integers(64, 20_000))
+def test_more_devices_never_hurt(poses):
+    """Growing Jupiter's GPU set can only reduce (or keep) scoring time
+    under the equal split at fixed per-launch work."""
+    base = jupiter()
+    trace = _trace(2, poses, 8)
+    times = []
+    for k in (1, 2, 4, 6):
+        node = base.with_gpus(list(base.gpus[:k]))
+        timing = simulate_gpu_trace(trace, node, StaticEqualScheduler())
+        times.append(timing.scoring_s)
+    for a, b in zip(times, times[1:]):
+        assert b <= a + 1e-9

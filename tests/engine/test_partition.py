@@ -1,0 +1,99 @@
+"""Partitioner tests: conservation and proportionality (with hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.partition import equal_partition, proportional_partition
+from repro.errors import SchedulingError
+
+
+def test_equal_partition_basic():
+    np.testing.assert_array_equal(equal_partition(10, 3), [4, 3, 3])
+    np.testing.assert_array_equal(equal_partition(9, 3), [3, 3, 3])
+    np.testing.assert_array_equal(equal_partition(2, 4), [1, 1, 0, 0])
+    np.testing.assert_array_equal(equal_partition(0, 2), [0, 0])
+
+
+def test_equal_partition_validation():
+    with pytest.raises(SchedulingError):
+        equal_partition(-1, 2)
+    with pytest.raises(SchedulingError):
+        equal_partition(4, 0)
+
+
+def test_proportional_partition_exact_ratio():
+    shares = proportional_partition(100, np.array([3.0, 1.0]))
+    np.testing.assert_array_equal(shares, [75, 25])
+
+
+def test_proportional_partition_rounding_goes_to_largest_remainder():
+    shares = proportional_partition(10, np.array([1.0, 1.0, 1.0]))
+    assert shares.sum() == 10
+    assert sorted(shares.tolist()) == [3, 3, 4]
+
+
+def test_proportional_partition_zero_weight_gets_nothing():
+    shares = proportional_partition(10, np.array([1.0, 0.0]))
+    np.testing.assert_array_equal(shares, [10, 0])
+
+
+def test_proportional_partition_granularity():
+    shares = proportional_partition(100, np.array([2.0, 1.0]), granularity=32)
+    assert shares.sum() == 100
+    # The granular body is in 32-multiples; only the tail breaks it.
+    body = shares - shares % 32
+    assert body.sum() >= 64
+
+
+def test_proportional_partition_validation():
+    with pytest.raises(SchedulingError):
+        proportional_partition(10, np.array([]))
+    with pytest.raises(SchedulingError):
+        proportional_partition(10, np.array([0.0, 0.0]))
+    with pytest.raises(SchedulingError):
+        proportional_partition(10, np.array([-1.0, 2.0]))
+    with pytest.raises(SchedulingError):
+        proportional_partition(-1, np.array([1.0]))
+    with pytest.raises(SchedulingError):
+        proportional_partition(10, np.array([1.0]), granularity=0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    total=st.integers(0, 10**6),
+    n=st.integers(1, 16),
+)
+def test_equal_partition_conserves_and_balances(total, n):
+    shares = equal_partition(total, n)
+    assert shares.sum() == total
+    assert shares.max() - shares.min() <= 1
+    assert np.all(shares >= 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    total=st.integers(0, 10**6),
+    weights=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=8).filter(
+        lambda w: sum(w) > 1e-9
+    ),
+    granularity=st.sampled_from([1, 4, 32]),
+)
+def test_proportional_partition_conserves(total, weights, granularity):
+    shares = proportional_partition(total, np.array(weights), granularity)
+    assert shares.sum() == total
+    assert np.all(shares >= 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    total=st.integers(1000, 10**6),
+    w=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=6),
+)
+def test_proportional_partition_is_proportional(total, w):
+    """Large totals: each share within one item-per-part of exact."""
+    weights = np.array(w)
+    shares = proportional_partition(total, weights)
+    exact = total * weights / weights.sum()
+    assert np.all(np.abs(shares - exact) <= len(w) + 1)

@@ -1,0 +1,139 @@
+"""Scheduler tests: conservation, proportionality, dynamic LPT behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.scheduler import (
+    DynamicSpotQueueScheduler,
+    StaticEqualScheduler,
+    StaticProportionalScheduler,
+)
+from repro.engine.warmup import run_warmup
+from repro.errors import SchedulingError
+from repro.hardware.node import hertz, jupiter
+from repro.metaheuristics.evaluation import LaunchRecord
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+FLOPS = 3264 * 45 * OPS_PER_LJ_PAIR
+
+
+def _record(n, spots=8):
+    per = n // spots
+    counts = {i: per for i in range(spots)}
+    counts[0] += n - per * spots
+    return LaunchRecord(
+        n_conformations=n,
+        flops_per_pose=FLOPS,
+        spot_counts=counts,
+        n_receptor_atoms=3264,
+    )
+
+
+def _alive(n, dead=()):
+    alive = np.ones(n, dtype=bool)
+    for d in dead:
+        alive[d] = False
+    return alive
+
+
+def test_static_equal_splits_evenly():
+    node = hertz()
+    shares = StaticEqualScheduler().plan(_record(1000), node.gpus, _alive(2))
+    np.testing.assert_array_equal(shares, [500, 500])
+
+
+def test_static_equal_skips_dead_devices():
+    node = jupiter()
+    shares = StaticEqualScheduler().plan(
+        _record(1200), node.gpus, _alive(6, dead=(0, 3))
+    )
+    assert shares[0] == 0 and shares[3] == 0
+    assert shares.sum() == 1200
+    assert set(shares[[1, 2, 4, 5]]) == {300}
+
+
+def test_static_equal_all_dead_raises():
+    node = hertz()
+    with pytest.raises(SchedulingError):
+        StaticEqualScheduler().plan(_record(10), node.gpus, _alive(2, dead=(0, 1)))
+
+
+def test_static_proportional_follows_weights():
+    node = hertz()
+    warmup = run_warmup(node.gpus, FLOPS, noise=0.0)
+    shares = StaticProportionalScheduler(warmup.weights).plan(
+        _record(10_000), node.gpus, _alive(2)
+    )
+    assert shares.sum() == 10_000
+    assert shares[0] > shares[1]  # K40c gets more
+    ratio = shares[0] / shares[1]
+    assert ratio == pytest.approx(warmup.weights[0] / warmup.weights[1], rel=0.01)
+
+
+def test_static_proportional_wrong_length():
+    node = hertz()
+    with pytest.raises(SchedulingError):
+        StaticProportionalScheduler(np.array([1.0])).plan(
+            _record(10), node.gpus, _alive(2)
+        )
+
+
+def test_dynamic_scheduler_balances_heterogeneous():
+    node = hertz()
+    scheduler = DynamicSpotQueueScheduler()
+    shares = scheduler.plan(_record(10_000, spots=40), node.gpus, _alive(2))
+    assert shares.sum() == 10_000
+    # K40c is ~2.15× faster and must take roughly that share ratio.
+    assert 1.4 < shares[0] / shares[1] < 3.2
+
+
+def test_dynamic_scheduler_survives_dead_device():
+    node = hertz()
+    scheduler = DynamicSpotQueueScheduler()
+    shares = scheduler.plan(_record(1000, spots=10), node.gpus, _alive(2, dead=(0,)))
+    np.testing.assert_array_equal(shares, [0, 1000])
+
+
+def test_dynamic_scheduler_single_spot_cannot_split():
+    """With one giant job, dynamic scheduling degenerates (job granularity
+    bounds balance) — it all lands on the fastest device."""
+    node = hertz()
+    record = LaunchRecord(
+        n_conformations=5000,
+        flops_per_pose=FLOPS,
+        spot_counts={0: 5000},
+        n_receptor_atoms=3264,
+    )
+    shares = DynamicSpotQueueScheduler().plan(record, node.gpus, _alive(2))
+    assert shares[0] == 5000 and shares[1] == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_spots=st.integers(1, 30),
+    per_spot=st.integers(1, 200),
+    dead=st.sets(st.integers(0, 5), max_size=5),
+)
+def test_schedulers_never_lose_work(n_spots, per_spot, dead):
+    node = jupiter()
+    counts = {i: per_spot for i in range(n_spots)}
+    record = LaunchRecord(
+        n_conformations=n_spots * per_spot,
+        flops_per_pose=FLOPS,
+        spot_counts=counts,
+        n_receptor_atoms=3264,
+    )
+    alive = _alive(6, dead=tuple(dead))
+    if not alive.any():
+        return
+    for scheduler in (
+        StaticEqualScheduler(),
+        StaticProportionalScheduler(np.ones(6) / 6),
+        DynamicSpotQueueScheduler(),
+    ):
+        shares = scheduler.plan(record, node.gpus, alive)
+        assert shares.sum() == record.n_conformations
+        assert np.all(shares >= 0)
+        assert np.all(shares[~alive] == 0)

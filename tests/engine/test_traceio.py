@@ -1,0 +1,78 @@
+"""Trace-serialization tests."""
+
+import io
+
+import pytest
+
+from repro.engine.traceio import (
+    TRACE_FORMAT_VERSION,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+)
+from repro.errors import SimulationError
+from repro.experiments.trace import analytic_trace
+
+
+@pytest.fixture()
+def trace():
+    return analytic_trace("M2", 6, 3264, 45, workload_scale=0.2)
+
+
+def test_roundtrip_string(trace):
+    text = dumps_trace(trace, metadata={"preset": "M2"})
+    back, metadata = loads_trace(text)
+    assert metadata == {"preset": "M2"}
+    assert len(back) == len(trace)
+    for a, b in zip(trace, back):
+        assert a == b  # LaunchRecord is a frozen dataclass: full equality
+
+
+def test_roundtrip_file(trace, tmp_path):
+    path = tmp_path / "trace.json"
+    dump_trace(trace, path)
+    back, metadata = load_trace(path)
+    assert metadata == {}
+    assert back == trace
+
+
+def test_roundtrip_handle(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer, metadata={"note": "handle"})
+    back, metadata = loads_trace(buffer.getvalue())
+    assert back == trace
+    assert metadata["note"] == "handle"
+
+
+def test_replay_of_loaded_trace_matches(trace):
+    from repro.engine.executor import MultiGpuExecutor
+    from repro.hardware.node import hertz
+
+    executor = MultiGpuExecutor(hertz(), seed=4)
+    original, _ = executor.replay(trace, "gpu-heterogeneous")
+    back, _meta = loads_trace(dumps_trace(trace))
+    replayed, _ = executor.replay(back, "gpu-heterogeneous")
+    assert replayed.total_s == pytest.approx(original.total_s, rel=1e-12)
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(SimulationError, match="invalid trace JSON"):
+        loads_trace("{not json")
+
+
+def test_wrong_version_rejected(trace):
+    text = dumps_trace(trace).replace(
+        f'"format_version": {TRACE_FORMAT_VERSION}', '"format_version": 999'
+    )
+    with pytest.raises(SimulationError, match="version"):
+        loads_trace(text)
+
+
+def test_malformed_record_rejected():
+    doc = (
+        '{"format_version": 1, "metadata": {}, '
+        '"launches": [{"n_conformations": "many"}]}'
+    )
+    with pytest.raises(SimulationError, match="malformed launch record #0"):
+        loads_trace(doc)

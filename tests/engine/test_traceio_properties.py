@@ -1,0 +1,47 @@
+"""Property-based trace-serialization tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.traceio import dumps_trace, loads_trace
+from repro.metaheuristics.evaluation import LaunchRecord
+
+spot_counts_strategy = st.dictionaries(
+    st.integers(0, 500), st.integers(1, 10_000), min_size=1, max_size=12
+)
+
+record_strategy = st.builds(
+    lambda counts, flops, kind, rec: LaunchRecord(
+        n_conformations=sum(counts.values()),
+        flops_per_pose=flops,
+        spot_counts=counts,
+        kind=kind,
+        n_receptor_atoms=rec,
+    ),
+    counts=spot_counts_strategy,
+    flops=st.floats(1.0, 1e9, allow_nan=False, allow_infinity=False),
+    kind=st.sampled_from(["population", "improve"]),
+    rec=st.integers(1, 100_000),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace=st.lists(record_strategy, min_size=1, max_size=10))
+def test_roundtrip_is_lossless(trace):
+    """serialise → parse returns records equal to the originals."""
+    back, metadata = loads_trace(dumps_trace(trace))
+    assert metadata == {}
+    assert back == trace
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    trace=st.lists(record_strategy, min_size=1, max_size=5),
+    metadata=st.dictionaries(
+        st.text(min_size=1, max_size=12), st.integers(-100, 100), max_size=4
+    ),
+)
+def test_metadata_roundtrips(trace, metadata):
+    back_trace, back_meta = loads_trace(dumps_trace(trace, metadata))
+    assert back_meta == metadata
+    assert back_trace == trace

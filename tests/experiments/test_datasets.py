@@ -1,0 +1,63 @@
+"""Dataset-spec tests (Table 5 fidelity)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.datasets import (
+    dataset_names,
+    get_dataset,
+    materialize_dataset,
+    paper_spot_count,
+)
+
+
+def test_table5_atom_counts():
+    bsm = get_dataset("2BSM")
+    assert bsm.receptor_atoms == 3264
+    assert bsm.ligand_atoms == 45
+    bxg = get_dataset("2BXG")
+    assert bxg.receptor_atoms == 8609
+    assert bxg.ligand_atoms == 32
+
+
+def test_dataset_names():
+    assert dataset_names() == ("2BSM", "2BXG")
+
+
+def test_unknown_dataset():
+    with pytest.raises(ExperimentError):
+        get_dataset("1ABC")
+
+
+def test_pairs_per_pose():
+    assert get_dataset("2BSM").pairs_per_pose == 3264 * 45
+    assert get_dataset("2BXG").pairs_per_pose == 8609 * 32
+
+
+def test_spot_counts_scale_with_surface_area():
+    """2BXG's surface is (8609/3264)^(2/3) ≈ 1.91× larger: so is its spot
+    count (the workload-model premise)."""
+    s_bsm = get_dataset("2BSM").n_spots
+    s_bxg = get_dataset("2BXG").n_spots
+    assert s_bxg / s_bsm == pytest.approx((8609 / 3264) ** (2 / 3), rel=0.01)
+    assert 850 < s_bsm < 1000
+    assert 1650 < s_bxg < 1900
+
+
+def test_paper_spot_count_validation():
+    with pytest.raises(ExperimentError):
+        paper_spot_count(0)
+
+
+def test_materialize_builds_exact_structures():
+    bound = materialize_dataset("2BSM", n_spots=6)
+    assert bound.receptor.n_atoms == 3264
+    assert bound.ligand.n_atoms == 45
+    assert len(bound.spots) == 6
+    assert "2BSM" in bound.receptor.title
+
+
+def test_materialize_is_cached():
+    a = materialize_dataset("2BSM", n_spots=6)
+    b = materialize_dataset("2BSM", n_spots=6)
+    assert a is b

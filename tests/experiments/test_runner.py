@@ -1,0 +1,183 @@
+"""Table-runner tests: the headline reproduction claims, asserted.
+
+These tests regenerate Tables 6–9 (analytic mode, milliseconds per cell)
+and pin the paper's qualitative findings:
+
+1. multiGPU speed-ups of tens of × over OpenMP, growing with receptor size;
+2. heterogeneous-vs-homogeneous computation gains ≈1.3–1.6× on Hertz but
+   only ≈1.0–1.1× on Jupiter (GTX 590 ≈ C2075);
+3. more local-search intensification ⇒ higher speed-up (M4 max, M2 > M1);
+4. absolute simulated seconds within a modest factor of the paper's values.
+"""
+
+import pytest
+
+from repro.experiments.runner import cell_seed, hertz_table, jupiter_table, run_cell
+from repro.experiments.tables import paper_reference
+from repro.experiments.datasets import get_dataset
+from repro.hardware.node import hertz
+
+
+@pytest.fixture(scope="module")
+def t_jup_bsm():
+    return jupiter_table("2BSM")
+
+
+@pytest.fixture(scope="module")
+def t_jup_bxg():
+    return jupiter_table("2BXG")
+
+
+@pytest.fixture(scope="module")
+def t_her_bsm():
+    return hertz_table("2BSM")
+
+
+@pytest.fixture(scope="module")
+def t_her_bxg():
+    return hertz_table("2BXG")
+
+
+def _speedup(row, base="openmp", target="het_system_het_comp"):
+    return row.seconds(base) / row.seconds(target)
+
+
+def _gain(row):
+    return row.seconds("het_system_hom_comp") / row.seconds("het_system_het_comp")
+
+
+# ----------------------------------------------------------------------
+# Claim 1: GPU >> CPU, growing with receptor size
+# ----------------------------------------------------------------------
+def test_gpu_speedups_in_paper_band_jupiter(t_jup_bsm, t_jup_bxg):
+    for row in t_jup_bsm.rows:
+        assert 40 < _speedup(row) < 75  # paper: 50.4–64.2
+    for row in t_jup_bxg.rows:
+        assert 70 < _speedup(row) < 105  # paper: 81.5–93.1
+
+
+def test_gpu_speedups_in_paper_band_hertz(t_her_bsm, t_her_bxg):
+    for row in t_her_bsm.rows:
+        assert 60 < _speedup(row) < 100  # paper: 71.8–87.2
+    for row in t_her_bxg.rows:
+        assert 95 < _speedup(row) < 140  # paper: 94.0–120.4
+
+
+def test_speedup_grows_with_receptor_size(t_jup_bsm, t_jup_bxg, t_her_bsm, t_her_bxg):
+    """§5: 'the speed-up increases with the problem size'."""
+    for small, large in ((t_jup_bsm, t_jup_bxg), (t_her_bsm, t_her_bxg)):
+        for preset in ("M1", "M2", "M3", "M4"):
+            assert _speedup(large.row(preset)) > _speedup(small.row(preset))
+
+
+# ----------------------------------------------------------------------
+# Claim 2: heterogeneity gains by machine
+# ----------------------------------------------------------------------
+def test_hertz_heterogeneous_gains(t_her_bsm, t_her_bxg):
+    """Paper Table 8/9: gains 1.31–1.57 on K40c + GTX 580."""
+    for table in (t_her_bsm, t_her_bxg):
+        for row in table.rows:
+            assert 1.25 < _gain(row) < 1.65
+
+
+def test_jupiter_heterogeneous_gains_marginal(t_jup_bsm, t_jup_bxg):
+    """Paper Table 6/7: ≤6 % gains — GTX 590 and C2075 are near-equal."""
+    for table in (t_jup_bsm, t_jup_bxg):
+        for row in table.rows:
+            assert 0.97 < _gain(row) < 1.10
+
+
+def test_hertz_gains_exceed_jupiter_gains(t_jup_bsm, t_her_bsm):
+    for preset in ("M1", "M2", "M3", "M4"):
+        assert _gain(t_her_bsm.row(preset)) > _gain(t_jup_bsm.row(preset)) + 0.2
+
+
+# ----------------------------------------------------------------------
+# Claim 3: intensification raises speed-ups
+# ----------------------------------------------------------------------
+def test_m4_has_highest_speedup(t_jup_bsm, t_jup_bxg, t_her_bsm, t_her_bxg):
+    """§5: M4 achieves 'the best speed-up ratios'."""
+    for table in (t_jup_bsm, t_jup_bxg, t_her_bsm, t_her_bxg):
+        speedups = {row.preset: _speedup(row) for row in table.rows}
+        assert speedups["M4"] == max(speedups.values())
+
+
+def test_m2_beats_m1_speedup(t_jup_bsm, t_jup_bxg):
+    """§5: 'more intensive searches provide higher speed-up ratios'."""
+    for table in (t_jup_bsm, t_jup_bxg):
+        assert _speedup(table.row("M2")) > _speedup(table.row("M1"))
+
+
+# ----------------------------------------------------------------------
+# Claim 4: absolute magnitudes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "maker,node,dataset",
+    [
+        (jupiter_table, "jupiter", "2BSM"),
+        (jupiter_table, "jupiter", "2BXG"),
+        (hertz_table, "hertz", "2BSM"),
+    ],
+)
+def test_absolute_seconds_close_to_paper(maker, node, dataset, request):
+    cache = {
+        ("jupiter", "2BSM"): "t_jup_bsm",
+        ("jupiter", "2BXG"): "t_jup_bxg",
+        ("hertz", "2BSM"): "t_her_bsm",
+    }
+    table = request.getfixturevalue(cache[(node, dataset)])
+    ref = paper_reference(node, dataset)
+    for row in table.rows:
+        for column, paper_value in ref[row.preset].items():
+            ours = row.seconds(column)
+            assert ours == pytest.approx(paper_value, rel=0.25), (
+                f"{node}/{dataset}/{row.preset}/{column}: "
+                f"{ours:.2f} vs paper {paper_value:.2f}"
+            )
+
+
+def test_hertz_2bxg_known_deviation(t_her_bxg):
+    """Hertz/2BXG OpenMP rows for M1–M3 deviate (the paper's own numbers
+    are internally inconsistent there — see EXPERIMENTS.md); the GPU
+    columns and the M4 row still match."""
+    ref = paper_reference("hertz", "2BXG")
+    for row in t_her_bxg.rows:
+        for column in ("het_system_hom_comp", "het_system_het_comp"):
+            assert row.seconds(column) == pytest.approx(
+                ref[row.preset][column], rel=0.25
+            )
+    assert t_her_bxg.row("M4").seconds("openmp") == pytest.approx(
+        ref["M4"]["openmp"], rel=0.25
+    )
+
+
+# ----------------------------------------------------------------------
+# runner mechanics
+# ----------------------------------------------------------------------
+def test_cell_seed_is_deterministic_and_distinct():
+    a = cell_seed("hertz", "2BSM", "M1")
+    assert a == cell_seed("hertz", "2BSM", "M1")
+    assert a != cell_seed("hertz", "2BSM", "M2")
+    assert a != cell_seed("jupiter", "2BSM", "M1")
+
+
+def test_run_cell_measured_mode():
+    cell = run_cell(
+        hertz(),
+        get_dataset("2BSM"),
+        "M1",
+        "gpu-heterogeneous",
+        workload_scale=0.05,
+        measured=True,
+        measured_spots=3,
+    )
+    assert cell.seconds > 0
+    assert cell.timing.n_conformations > 0
+
+
+def test_workload_scale_shrinks_times():
+    full = run_cell(hertz(), get_dataset("2BSM"), "M1", "openmp")
+    tenth = run_cell(
+        hertz(), get_dataset("2BSM"), "M1", "openmp", workload_scale=0.1
+    )
+    assert tenth.seconds < full.seconds / 5

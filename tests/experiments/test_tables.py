@@ -1,0 +1,56 @@
+"""Table-formatting tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import hertz_table, jupiter_table
+from repro.experiments.tables import (
+    PAPER_TABLES,
+    format_hertz_table,
+    format_jupiter_table,
+    paper_reference,
+)
+
+
+def test_paper_tables_complete():
+    assert set(PAPER_TABLES) == {
+        ("jupiter", "2BSM"),
+        ("jupiter", "2BXG"),
+        ("hertz", "2BSM"),
+        ("hertz", "2BXG"),
+    }
+    for table in PAPER_TABLES.values():
+        assert set(table) == {"M1", "M2", "M3", "M4"}
+
+
+def test_paper_values_sanity():
+    """Spot-check the transcription against the paper."""
+    assert PAPER_TABLES[("jupiter", "2BSM")]["M1"]["openmp"] == 269.45
+    assert PAPER_TABLES[("jupiter", "2BXG")]["M4"]["het_system_het_comp"] == 757.32
+    assert PAPER_TABLES[("hertz", "2BSM")]["M4"]["openmp"] == 29144.06
+    assert PAPER_TABLES[("hertz", "2BXG")]["M2"]["het_system_hom_comp"] == 55.56
+
+
+def test_paper_reference_unknown():
+    with pytest.raises(ExperimentError):
+        paper_reference("saturn", "2BSM")
+
+
+def test_format_jupiter_table_layout():
+    table = jupiter_table("2BSM", workload_scale=0.02)
+    text = format_jupiter_table(table)
+    assert "PDB:2BSM on Jupiter" in text
+    assert "Hom.System" in text
+    for preset in ("M1", "M2", "M3", "M4"):
+        assert preset in text
+    assert "paper" in text  # reference rows interleaved
+    plain = format_jupiter_table(table, compare_paper=False)
+    assert "paper" not in plain
+
+
+def test_format_hertz_table_layout():
+    table = hertz_table("2BXG", workload_scale=0.02)
+    text = format_hertz_table(table)
+    assert "PDB:2BXG on Hertz" in text
+    assert "SU omp/het" in text
+    assert text.count("\n") >= 9

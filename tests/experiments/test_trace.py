@@ -1,0 +1,77 @@
+"""Analytic-trace tests: the harness contract.
+
+The key property: for any workload scale, the analytic trace equals —
+launch by launch — what a real metaheuristic run records. This is what
+makes the full-scale table regeneration trustworthy without running days
+of host math.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.trace import analytic_trace, trace_totals
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.evaluation import SerialEvaluator
+from repro.metaheuristics.presets import expected_evaluations_per_spot, make_preset
+from repro.metaheuristics.rng import SpotRngPool
+from repro.metaheuristics.template import run_metaheuristic
+
+
+@pytest.mark.parametrize("name", ["M1", "M2", "M3", "M4"])
+@pytest.mark.parametrize("scale", [0.05, 0.1])
+def test_analytic_trace_matches_recorded_trace(name, scale, spots, fast_scorer):
+    ctx = SearchContext(
+        spots=spots,
+        evaluator=SerialEvaluator(fast_scorer),
+        rng=SpotRngPool(0, [s.index for s in spots]),
+    )
+    run_metaheuristic(make_preset(name, scale), ctx)
+    recorded = ctx.evaluator.stats.launches
+
+    predicted = analytic_trace(
+        name,
+        n_spots=len(spots),
+        n_receptor_atoms=fast_scorer.receptor.n_atoms,
+        n_ligand_atoms=fast_scorer.ligand.n_atoms,
+        workload_scale=scale,
+    )
+    assert len(predicted) == len(recorded)
+    for p, r in zip(predicted, recorded):
+        assert p.n_conformations == r.n_conformations
+        assert p.kind == r.kind
+        assert p.flops_per_pose == pytest.approx(r.flops_per_pose)
+        assert p.n_receptor_atoms == r.n_receptor_atoms
+        assert sum(p.spot_counts.values()) == sum(r.spot_counts.values())
+
+
+@pytest.mark.parametrize("name", ["M1", "M2", "M3", "M4"])
+def test_full_scale_trace_totals(name):
+    trace = analytic_trace(name, n_spots=10, n_receptor_atoms=3264, n_ligand_atoms=45)
+    totals = trace_totals(trace)
+    assert totals["n_conformations"] == 10 * expected_evaluations_per_spot(name)
+    assert totals["total_flops"] == pytest.approx(
+        totals["n_conformations"] * 3264 * 45 * 18
+    )
+
+
+def test_trace_kind_structure_m1():
+    """M1 (no local search): init + one offspring launch per iteration."""
+    trace = analytic_trace("M1", 4, 3264, 45)
+    assert all(r.kind == "population" for r in trace)
+    assert len(trace) == 1 + 40
+
+
+def test_trace_kind_structure_m4():
+    """M4: one init launch + 128 improve launches, nothing else."""
+    trace = analytic_trace("M4", 4, 3264, 45)
+    assert trace[0].kind == "population"
+    assert all(r.kind == "improve" for r in trace[1:])
+    assert len(trace) == 1 + 128
+    assert trace[0].n_conformations == 4 * 1024
+
+
+def test_trace_validation():
+    with pytest.raises(ExperimentError):
+        analytic_trace("M9", 4, 100, 10)
+    with pytest.raises(ExperimentError):
+        analytic_trace("M1", 0, 100, 10)

@@ -1,0 +1,58 @@
+"""Reproduction-robustness tests: the shape claims are not knife-edge."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.validation import (
+    PERTURBABLE_PARAMS,
+    ShapeClaims,
+    check_shape_claims,
+    _tables_for,
+    seed_stability,
+    sensitivity_sweep,
+)
+from repro.hardware.perf_model import DEFAULT_PARAMS
+
+
+def test_baseline_claims_all_hold():
+    claims = check_shape_claims(*_tables_for(DEFAULT_PARAMS, 1.0))
+    assert claims.all_hold(), claims.failed()
+
+
+def test_claims_object_reports_failures():
+    claims = ShapeClaims()
+    assert claims.all_hold()
+    claims.m2_beats_m1 = False
+    assert not claims.all_hold()
+    assert claims.failed() == ["m2_beats_m1"]
+
+
+@pytest.mark.parametrize("parameter", PERTURBABLE_PARAMS)
+def test_claims_survive_25pct_perturbations(parameter):
+    """Every headline claim must survive ±25 % on every calibration
+    constant — the conclusions come from the structure, not the tuning."""
+    rows = sensitivity_sweep(
+        factors=(0.75, 1.25), parameters=(parameter,), workload_scale=1.0
+    )
+    for row in rows:
+        assert row.claims.all_hold(), (
+            f"{row.parameter} × {row.factor} broke {row.claims.failed()}"
+        )
+
+
+def test_warmup_seed_spread_within_paper_band():
+    """Across warm-up seeds the Hertz M2 gain stays inside the paper's
+    observed 1.31–1.57 band."""
+    lo, hi = seed_stability(n_seeds=8)["hertz_m2_gain"]
+    assert 1.25 < lo <= hi < 1.65
+
+
+def test_validation_input_checks():
+    with pytest.raises(ExperimentError):
+        sensitivity_sweep(factors=())
+    with pytest.raises(ExperimentError):
+        sensitivity_sweep(parameters=("warp_drive",))
+    with pytest.raises(ExperimentError):
+        sensitivity_sweep(factors=(-1.0,), parameters=("cpu_cache_n0",))
+    with pytest.raises(ExperimentError):
+        seed_stability(n_seeds=1)

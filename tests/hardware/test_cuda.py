@@ -1,0 +1,91 @@
+"""CUDA execution-model arithmetic tests."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.cuda import (
+    KernelConfig,
+    launch_geometry,
+    occupancy_blocks_per_sm,
+)
+from repro.hardware.registry import get_gpu
+
+
+def test_default_config_reaches_full_occupancy_fermi_and_kepler():
+    config = KernelConfig()
+    for name in ("GeForce GTX 580", "GeForce GTX 590", "Tesla C2075"):
+        gpu = get_gpu(name)
+        per_sm = occupancy_blocks_per_sm(gpu, config)
+        assert per_sm * config.threads_per_block == gpu.max_threads_per_sm
+    k40 = get_gpu("Tesla K40c")
+    per_sm = occupancy_blocks_per_sm(k40, config)
+    assert per_sm * config.threads_per_block == k40.max_threads_per_sm
+
+
+def test_register_pressure_limits_occupancy():
+    gpu = get_gpu("GeForce GTX 580")  # 32768 regs/SM on CCC 2.0
+    heavy = KernelConfig(registers_per_thread=64)
+    light = KernelConfig(registers_per_thread=20)
+    assert occupancy_blocks_per_sm(gpu, heavy) < occupancy_blocks_per_sm(gpu, light)
+
+
+def test_shared_memory_limits_occupancy():
+    gpu = get_gpu("Tesla K40c")
+    hungry = KernelConfig(shared_bytes_per_block=24 * 1024)
+    assert occupancy_blocks_per_sm(gpu, hungry) == 2  # 48 KB / 24 KB
+
+
+def test_block_too_large_raises():
+    gpu = get_gpu("GeForce GTX 580")
+    with pytest.raises(HardwareModelError, match="exceeds"):
+        occupancy_blocks_per_sm(gpu, KernelConfig(warps_per_block=64))
+
+
+def test_config_validation():
+    with pytest.raises(HardwareModelError):
+        KernelConfig(warps_per_block=0)
+    with pytest.raises(HardwareModelError):
+        KernelConfig(registers_per_thread=0)
+    with pytest.raises(HardwareModelError):
+        KernelConfig(shared_bytes_per_block=-1)
+
+
+def test_geometry_small_launch_single_wave():
+    gpu = get_gpu("GeForce GTX 580")
+    geom = launch_geometry(gpu, 8)
+    assert geom.blocks == 1
+    assert geom.waves == 1
+    assert geom.n_conformations == 8
+
+
+def test_geometry_blocks_round_up():
+    gpu = get_gpu("GeForce GTX 580")
+    config = KernelConfig(warps_per_block=8)
+    geom = launch_geometry(gpu, 17, config)
+    assert geom.blocks == 3  # ceil(17/8)
+
+
+def test_geometry_wave_count():
+    gpu = get_gpu("GeForce GTX 580")  # 16 SMs × 6 blocks = 96 concurrent
+    config = KernelConfig()
+    per_sm = occupancy_blocks_per_sm(gpu, config)
+    concurrent = per_sm * gpu.multiprocessors
+    n = concurrent * config.warps_per_block * 3  # exactly 3 waves of warps
+    geom = launch_geometry(gpu, n, config)
+    assert geom.waves == 3
+    geom_plus = launch_geometry(gpu, n + 1, config)
+    assert geom_plus.waves == 4
+
+
+def test_geometry_occupancy_value():
+    gpu = get_gpu("Tesla K40c")
+    geom = launch_geometry(gpu, 1024)
+    assert geom.occupancy == pytest.approx(1.0)
+    low = launch_geometry(gpu, 1024, KernelConfig(registers_per_thread=64))
+    assert low.occupancy < 1.0
+
+
+def test_geometry_validation():
+    gpu = get_gpu("Tesla K40c")
+    with pytest.raises(HardwareModelError):
+        launch_geometry(gpu, 0)

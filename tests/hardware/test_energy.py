@@ -1,0 +1,81 @@
+"""Energy-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import MultiGpuExecutor
+from repro.engine.reporting import TimingBreakdown
+from repro.errors import HardwareModelError
+from repro.experiments.trace import analytic_trace
+from repro.hardware.energy import (
+    CPU_TDP_W,
+    DEVICE_TDP_W,
+    energy_report,
+)
+from repro.hardware.node import custom_node, hertz, jupiter
+from repro.hardware.registry import GPUS
+
+
+def _run(node, mode):
+    trace = analytic_trace("M2", 919, 3264, 45)
+    timing, _ = MultiGpuExecutor(node, seed=5).replay(trace, mode)
+    return timing
+
+
+def test_all_registry_devices_have_tdp():
+    for name in GPUS:
+        assert name in DEVICE_TDP_W
+    assert "Xeon E5-2620" in CPU_TDP_W
+    assert "Xeon E3-1220" in CPU_TDP_W
+
+
+def test_energy_components_positive():
+    node = hertz()
+    report = energy_report(node, _run(node, "gpu-heterogeneous"))
+    assert report.gpu_active_j > 0
+    assert report.gpu_idle_j >= 0
+    assert report.cpu_j > 0
+    assert report.total_j == pytest.approx(
+        report.gpu_active_j + report.gpu_idle_j + report.cpu_j
+    )
+
+
+def test_balanced_run_wastes_less_energy():
+    """The §6 claim: heterogeneity wastes energy unless balanced — the
+    equal split leaves the K40c idle, burning idle watts."""
+    node = hertz()
+    hom = energy_report(node, _run(node, "gpu-homogeneous"))
+    het = energy_report(node, _run(node, "gpu-heterogeneous"))
+    assert het.total_j < hom.total_j
+    assert het.waste_fraction < hom.waste_fraction
+
+
+def test_gpu_run_uses_less_energy_than_openmp():
+    """GPUs burn more watts but finish ~60× sooner: energy to solution is
+    far lower — the era's GPU-computing selling point."""
+    node = jupiter()
+    gpu = energy_report(node, _run(node, "gpu-heterogeneous"))
+    cpu = energy_report(node, _run(node, "openmp"), gpus_used=False)
+    assert gpu.total_j < cpu.total_j / 5
+
+
+def test_openmp_energy_includes_idle_gpus():
+    node = hertz()
+    report = energy_report(node, _run(node, "openmp"), gpus_used=False)
+    assert report.gpu_active_j == 0.0
+    assert report.gpu_idle_j > 0.0  # boards idle but powered
+
+
+def test_unknown_device_raises():
+    from dataclasses import replace
+
+    from repro.hardware.registry import get_gpu
+
+    node = custom_node("x", "Xeon E3-1220", 1, ["Tesla K20"])
+    unknown = replace(get_gpu("Tesla K20"), name="Unknown GPU")
+    node = node.with_gpus([unknown])
+    timing = TimingBreakdown(
+        scoring_s=1.0, device_busy_s=np.array([1.0])
+    )
+    with pytest.raises(HardwareModelError):
+        energy_report(node, timing)

@@ -1,0 +1,58 @@
+"""Node-spec tests (Jupiter and Hertz)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.node import NodeSpec, custom_node, hertz, jupiter
+from repro.hardware.registry import get_cpu
+
+
+def test_jupiter_matches_table2():
+    node = jupiter()
+    assert node.total_cpu_cores == 12
+    assert node.n_gpus == 6
+    names = [g.name for g in node.gpus]
+    assert names.count("GeForce GTX 590") == 4
+    assert names.count("Tesla C2075") == 2
+    assert not node.is_gpu_homogeneous
+
+
+def test_hertz_matches_table3():
+    node = hertz()
+    assert node.total_cpu_cores == 4
+    assert node.n_gpus == 2
+    assert node.gpus[0].name == "Tesla K40c"
+    assert node.gpus[1].name == "GeForce GTX 580"
+    assert not node.is_gpu_homogeneous
+
+
+def test_with_gpus_carves_homogeneous_subsystem():
+    node = jupiter()
+    hom = node.with_gpus([g for g in node.gpus if g.name == "GeForce GTX 590"])
+    assert hom.n_gpus == 4
+    assert hom.is_gpu_homogeneous
+    assert hom.total_cpu_cores == 12  # CPUs unchanged
+    assert node.n_gpus == 6  # original untouched
+
+
+def test_custom_node():
+    node = custom_node("lab", "Xeon E3-1220", 2, ["Tesla K20", "Tesla K20"])
+    assert node.total_cpu_cores == 8
+    assert node.is_gpu_homogeneous
+    assert "lab" in node.describe()
+
+
+def test_custom_node_unknown_device():
+    with pytest.raises(HardwareModelError):
+        custom_node("bad", "Xeon E3-1220", 1, ["GTX 9999"])
+
+
+def test_node_validation():
+    with pytest.raises(HardwareModelError):
+        NodeSpec(name="x", cpu=get_cpu("Xeon E3-1220"), cpu_sockets=0)
+
+
+def test_describe_mentions_devices():
+    text = hertz().describe()
+    assert "K40c" in text
+    assert "E3-1220" in text

@@ -1,0 +1,185 @@
+"""Performance-model tests: monotonicity, roofline, calibration anchors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hardware.node import hertz, jupiter
+from repro.hardware.perf_model import (
+    DEFAULT_PARAMS,
+    PerfModelParams,
+    cpu_batch_time,
+    cpu_pair_rate,
+    gpu_launch_time,
+    transfer_time,
+)
+from repro.hardware.registry import get_cpu, get_gpu
+from repro.scoring.base import OPS_PER_LJ_PAIR
+
+FLOPS_2BSM = 3264 * 45 * OPS_PER_LJ_PAIR
+
+
+def test_gpu_time_monotone_in_poses():
+    gpu = get_gpu("GeForce GTX 580")
+    times = [
+        gpu_launch_time(gpu, n, FLOPS_2BSM).total_s
+        for n in (128, 1024, 8192, 65536)
+    ]
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+def test_gpu_time_scales_linearly_at_scale():
+    gpu = get_gpu("Tesla K40c")
+    t1 = gpu_launch_time(gpu, 100_000, FLOPS_2BSM).total_s
+    t2 = gpu_launch_time(gpu, 200_000, FLOPS_2BSM).total_s
+    assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+
+def test_faster_gpu_is_faster():
+    n = 50_000
+    slow = gpu_launch_time(get_gpu("Tesla C2075"), n, FLOPS_2BSM).total_s
+    fast = gpu_launch_time(get_gpu("Tesla K40c"), n, FLOPS_2BSM).total_s
+    assert fast < slow
+    assert slow / fast == pytest.approx(39.5 / 13.6, rel=0.1)
+
+
+def test_large_launch_efficiency_approaches_sustained():
+    """At scale, modelled throughput converges to the calibrated rate."""
+    gpu = get_gpu("GeForce GTX 590")
+    n = 1_000_000
+    t = gpu_launch_time(gpu, n, FLOPS_2BSM)
+    pairs = n * FLOPS_2BSM / OPS_PER_LJ_PAIR
+    rate = pairs / t.total_s
+    assert rate == pytest.approx(gpu.pairs_per_sec, rel=0.05)
+
+
+def test_small_launch_pays_partial_wave_floor():
+    gpu = get_gpu("Tesla K40c")
+    t1 = gpu_launch_time(gpu, 1, FLOPS_2BSM)
+    t64 = gpu_launch_time(gpu, 64, FLOPS_2BSM)
+    # 1 pose and 64 poses both fit one partial wave under the floor: equal.
+    assert t1.compute_s == pytest.approx(t64.compute_s)
+
+
+def test_compute_bound_for_tiled_lj():
+    gpu = get_gpu("GeForce GTX 580")
+    t = gpu_launch_time(gpu, 10_000, FLOPS_2BSM)
+    assert t.compute_s > 10 * t.memory_s
+
+
+def test_memory_bound_kernel_respects_roofline():
+    gpu = get_gpu("GeForce GTX 580")
+    # A kernel with tiny arithmetic but huge traffic is bandwidth-bound.
+    t = gpu_launch_time(gpu, 10_000, flops_per_pose=100.0, bytes_per_pose=1e6)
+    assert t.memory_s > t.compute_s
+    assert t.total_s >= t.memory_s
+
+
+def test_transfer_time_components():
+    params = DEFAULT_PARAMS
+    t = transfer_time(1000, params)
+    assert t > 2 * params.pcie_latency_s
+    assert t == pytest.approx(
+        2 * params.pcie_latency_s + 1000 * 32 / (params.pcie_bandwidth_gbs * 1e9)
+    )
+
+
+def test_gpu_launch_validation():
+    gpu = get_gpu("Tesla K40c")
+    with pytest.raises(HardwareModelError):
+        gpu_launch_time(gpu, 0, FLOPS_2BSM)
+    with pytest.raises(HardwareModelError):
+        gpu_launch_time(gpu, 10, 0.0)
+
+
+# ----------------------------------------------------------------------
+# CPU model
+# ----------------------------------------------------------------------
+def test_cpu_rate_scales_with_cores_and_clock():
+    cpu = get_cpu("Xeon E5-2620")
+    r6 = cpu_pair_rate(cpu, 6, 3264)
+    r12 = cpu_pair_rate(cpu, 12, 3264)
+    assert r12 == pytest.approx(2 * r6)
+
+
+def test_cpu_rate_degrades_with_receptor_size():
+    """The cache model: 8609-atom receptor ≈ 1.45× slower per pair than
+    3264 (the ratio implied by the paper's Jupiter M4 rows)."""
+    cpu = get_cpu("Xeon E5-2620")
+    ratio = cpu_pair_rate(cpu, 12, 3264) / cpu_pair_rate(cpu, 12, 8609)
+    assert ratio == pytest.approx(1.448, rel=0.02)
+
+
+def test_cpu_batch_time_is_work_over_rate():
+    cpu = get_cpu("Xeon E3-1220")
+    t = cpu_batch_time(cpu, 4, 1000, FLOPS_2BSM, 3264)
+    pairs = 1000 * 3264 * 45
+    assert t == pytest.approx(pairs / cpu_pair_rate(cpu, 4, 3264))
+
+
+def test_cpu_validation():
+    cpu = get_cpu("Xeon E3-1220")
+    with pytest.raises(HardwareModelError):
+        cpu_pair_rate(cpu, 0, 100)
+    with pytest.raises(HardwareModelError):
+        cpu_pair_rate(cpu, 4, 0)
+    with pytest.raises(HardwareModelError):
+        cpu_batch_time(cpu, 4, 0, FLOPS_2BSM, 3264)
+
+
+# ----------------------------------------------------------------------
+# Calibration anchors (the paper's headline ratios)
+# ----------------------------------------------------------------------
+def test_hertz_device_speed_ratio_supports_paper_gains():
+    """Perfect balancing on Hertz would gain (1+r)/2 ≈ 1.57 over the equal
+    split — the paper's best observed gain (M1, Table 8)."""
+    node = hertz()
+    r = node.gpus[0].pairs_per_sec / node.gpus[1].pairs_per_sec
+    assert (1 + r) / 2 == pytest.approx(1.57, abs=0.05)
+
+
+def test_jupiter_device_speeds_nearly_equal():
+    """GTX 590 vs C2075 within ~7 % — why Jupiter's heterogeneous gains
+    are marginal (≤6 %, §5)."""
+    node = jupiter()
+    speeds = sorted({g.pairs_per_sec for g in node.gpus})
+    assert speeds[-1] / speeds[0] < 1.10
+
+
+def test_gpu_vs_cpu_speedup_band():
+    """Aggregate GPU/CPU throughput ratio must land in the paper's
+    speed-up bands (50–95× for 2BSM at M4-like workloads)."""
+    node = jupiter()
+    gpu_rate = sum(g.pairs_per_sec for g in node.gpus)
+    cpu_rate = cpu_pair_rate(node.cpu, node.total_cpu_cores, 3264)
+    assert 40 < gpu_rate / cpu_rate < 90
+
+
+def test_params_with_overrides():
+    params = DEFAULT_PARAMS.with_overrides(pcie_bandwidth_gbs=12.0)
+    assert params.pcie_bandwidth_gbs == 12.0
+    assert DEFAULT_PARAMS.pcie_bandwidth_gbs == 6.0
+    assert params.host_op_cost_s == DEFAULT_PARAMS.host_op_cost_s
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 10**6),
+    flops=st.floats(1e3, 1e8),
+)
+def test_gpu_time_always_positive_and_finite(n, flops):
+    t = gpu_launch_time(get_gpu("Tesla K40c"), n, flops)
+    assert np.isfinite(t.total_s)
+    assert t.total_s > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(n1=st.integers(1, 10**5), n2=st.integers(1, 10**5))
+def test_gpu_time_monotone_property(n1, n2):
+    gpu = get_gpu("GeForce GTX 590")
+    t1 = gpu_launch_time(gpu, n1, FLOPS_2BSM).total_s
+    t2 = gpu_launch_time(gpu, n2, FLOPS_2BSM).total_s
+    if n1 <= n2:
+        assert t1 <= t2 + 1e-12

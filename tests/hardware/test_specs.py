@@ -1,0 +1,120 @@
+"""Device-spec and Table 1 data tests."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.registry import CPUS, GPUS, get_cpu, get_gpu
+from repro.hardware.specs import (
+    CUDA_GENERATIONS,
+    CpuSpec,
+    GpuArchitecture,
+    GpuSpec,
+)
+
+
+def test_table1_contents_match_paper():
+    by_name = {g.name: g for g in CUDA_GENERATIONS}
+    assert by_name["Tesla"].year == 2007
+    assert by_name["Tesla"].max_cores == 240
+    assert by_name["Fermi"].cores_per_sm == 32
+    assert by_name["Kepler"].max_cores == 2880
+    assert by_name["Kepler"].peak_sp_gflops == 4290
+    assert by_name["Maxwell"].shared_kb == 64
+    assert by_name["Maxwell"].perf_per_watt == 12
+
+
+def test_perf_per_watt_doubles_per_generation():
+    """Paper: 'power consumption has been reduced by a factor of 2 at each
+    new generation' — perf/W strictly increases, 1→2→6→12."""
+    values = [g.perf_per_watt for g in CUDA_GENERATIONS]
+    assert values == sorted(values)
+    assert values[0] == 1 and values[-1] == 12
+
+
+def test_table2_jupiter_devices():
+    gtx590 = get_gpu("GeForce GTX 590")
+    assert gtx590.total_cores == 512
+    assert gtx590.multiprocessors == 16
+    assert gtx590.clock_mhz == 1215
+    assert gtx590.ccc == "2.0"
+    c2075 = get_gpu("Tesla C2075")
+    assert c2075.total_cores == 448
+    assert c2075.multiprocessors == 14
+    assert c2075.memory_mb == 5375
+
+
+def test_table3_hertz_devices():
+    k40 = get_gpu("Tesla K40c")
+    assert k40.total_cores == 2880
+    assert k40.cores_per_sm == 192
+    assert k40.bandwidth_gbs == pytest.approx(288.38)
+    gtx580 = get_gpu("GeForce GTX 580")
+    assert gtx580.clock_mhz == 1544
+
+
+def test_ccc_limits():
+    k40 = get_gpu("Tesla K40c")
+    assert k40.max_threads_per_sm == 2048
+    assert k40.max_blocks_per_sm == 16
+    fermi = get_gpu("GeForce GTX 580")
+    assert fermi.max_threads_per_sm == 1536
+    assert fermi.max_blocks_per_sm == 8
+    assert fermi.max_threads_per_block == 1024
+
+
+def test_calibrated_throughput_ratios():
+    """The calibration must encode the paper's observed device ordering."""
+    k40 = get_gpu("Tesla K40c").pairs_per_sec
+    gtx580 = get_gpu("GeForce GTX 580").pairs_per_sec
+    gtx590 = get_gpu("GeForce GTX 590").pairs_per_sec
+    c2075 = get_gpu("Tesla C2075").pairs_per_sec
+    assert k40 / gtx580 == pytest.approx(2.15, rel=0.05)
+    assert gtx590 / c2075 == pytest.approx(1.066, rel=0.05)
+    assert k40 > gtx580 > gtx590 > c2075
+
+
+def test_uncalibrated_gpu_uses_architecture_constant():
+    k20 = get_gpu("Tesla K20")
+    assert k20.sustained_pairs_per_sec == 0.0
+    expected = k20.total_cores * k20.clock_mhz * 1e6 * 0.0184
+    assert k20.pairs_per_sec == pytest.approx(expected)
+
+
+def test_cpu_specs():
+    e5 = get_cpu("Xeon E5-2620")
+    assert e5.cores == 6
+    assert e5.clock_mhz == 2000
+    e3 = get_cpu("Xeon E3-1220")
+    assert e3.cores == 4
+    assert e3.clock_mhz == 3100
+
+
+def test_registry_lookups_raise_on_unknown():
+    with pytest.raises(HardwareModelError):
+        get_gpu("GeForce RTX 4090")
+    with pytest.raises(HardwareModelError):
+        get_cpu("Ryzen 9")
+
+
+def test_spec_validation():
+    with pytest.raises(HardwareModelError):
+        GpuSpec(
+            name="bad",
+            architecture=GpuArchitecture.FERMI,
+            multiprocessors=0,
+            cores_per_sm=32,
+            clock_mhz=1000,
+            memory_mb=1024,
+            bandwidth_gbs=100,
+            ccc="2.0",
+        )
+    with pytest.raises(HardwareModelError):
+        CpuSpec(name="bad", cores=0, clock_mhz=2000)
+
+
+def test_registries_are_consistent():
+    for name, gpu in GPUS.items():
+        assert gpu.name == name
+        assert gpu.pairs_per_sec > 0
+    for name, cpu in CPUS.items():
+        assert cpu.name == name

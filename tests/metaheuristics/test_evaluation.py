@@ -1,0 +1,58 @@
+"""Evaluator accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.evaluation import (
+    EvaluationStats,
+    Evaluator,
+    LaunchRecord,
+    SerialEvaluator,
+)
+from repro.molecules.transforms import random_quaternion
+
+
+def test_serial_evaluator_scores_match_scorer(fast_scorer, pose_batch):
+    translations, quaternions = pose_batch
+    ev = SerialEvaluator(fast_scorer)
+    spot_ids = np.zeros(len(translations), dtype=int)
+    scores = ev.evaluate(spot_ids, translations, quaternions)
+    np.testing.assert_allclose(scores, fast_scorer.score(translations, quaternions))
+
+
+def test_launch_records_accumulate(fast_scorer, rng):
+    ev = SerialEvaluator(fast_scorer)
+    t = rng.normal(size=(6, 3))
+    q = random_quaternion(rng, 6)
+    ev.evaluate(np.array([0, 0, 1, 1, 2, 2]), t, q, kind="population")
+    ev.evaluate(np.array([0, 1, 2, 0, 1, 2]), t, q, kind="improve")
+    stats = ev.stats
+    assert stats.n_launches == 2
+    assert stats.n_conformations == 12
+    assert stats.total_flops == pytest.approx(12 * fast_scorer.flops_per_pose)
+    assert stats.launches[0].kind == "population"
+    assert stats.launches[0].spot_counts == {0: 2, 1: 2, 2: 2}
+    assert stats.launches[1].kind == "improve"
+    assert stats.launches[0].n_receptor_atoms == fast_scorer.receptor.n_atoms
+
+
+def test_mismatched_spot_ids_raise(fast_scorer, rng):
+    ev = SerialEvaluator(fast_scorer)
+    t = rng.normal(size=(4, 3))
+    q = random_quaternion(rng, 4)
+    with pytest.raises(MetaheuristicError):
+        ev.evaluate(np.zeros(3, dtype=int), t, q)
+
+
+def test_serial_evaluator_satisfies_protocol(fast_scorer):
+    assert isinstance(SerialEvaluator(fast_scorer), Evaluator)
+
+
+def test_stats_record_manual():
+    stats = EvaluationStats()
+    stats.record(LaunchRecord(10, 100.0, {0: 10}))
+    stats.record(LaunchRecord(5, 100.0, {1: 5}, kind="improve"))
+    assert stats.n_launches == 2
+    assert stats.n_conformations == 15
+    assert stats.total_flops == 1500.0

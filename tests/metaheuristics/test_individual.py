@@ -1,0 +1,78 @@
+"""Conformation and pose-encoding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.individual import (
+    POSE_DIM,
+    Conformation,
+    decode_pose,
+    encode_pose,
+)
+
+
+def test_conformation_normalises_quaternion():
+    c = Conformation(
+        spot_index=0,
+        translation=np.zeros(3),
+        quaternion=np.array([2.0, 0.0, 0.0, 0.0]),
+    )
+    np.testing.assert_allclose(c.quaternion, [1.0, 0.0, 0.0, 0.0])
+
+
+def test_conformation_validates_shapes():
+    with pytest.raises(MetaheuristicError):
+        Conformation(0, np.zeros(2), np.array([1.0, 0, 0, 0]))
+    with pytest.raises(MetaheuristicError):
+        Conformation(0, np.zeros(3), np.zeros(3))
+
+
+def test_evaluated_copy():
+    c = Conformation(1, np.ones(3), np.array([1.0, 0, 0, 0]))
+    assert np.isnan(c.score)
+    e = c.evaluated(-4.5)
+    assert e.score == -4.5
+    assert e.spot_index == 1
+    assert np.isnan(c.score)  # original untouched
+
+
+def test_encode_decode_roundtrip_single():
+    t = np.array([1.0, -2.0, 3.0])
+    q = np.array([0.5, 0.5, 0.5, 0.5])
+    encoded = encode_pose(t, q)
+    assert encoded.shape == (POSE_DIM,)
+    t2, q2 = decode_pose(encoded)
+    np.testing.assert_allclose(t2, t)
+    np.testing.assert_allclose(q2, q)
+
+
+def test_encode_validates_shapes():
+    with pytest.raises(MetaheuristicError):
+        encode_pose(np.zeros(2), np.zeros(4))
+    with pytest.raises(MetaheuristicError):
+        encode_pose(np.zeros((2, 3)), np.zeros((3, 4)))
+
+
+def test_decode_validates_last_dim():
+    with pytest.raises(MetaheuristicError):
+        decode_pose(np.zeros(6))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    t=arrays(np.float64, (4, 3), elements=st.floats(-50, 50)),
+    q=arrays(np.float64, (4, 4), elements=st.floats(-1, 1)).filter(
+        lambda q: np.all(np.linalg.norm(q, axis=1) > 1e-3)
+    ),
+)
+def test_encode_decode_roundtrip_batched(t, q):
+    """decode(encode(t, q)) returns t exactly and q up to normalisation."""
+    encoded = encode_pose(t, q)
+    t2, q2 = decode_pose(encoded)
+    np.testing.assert_allclose(t2, t)
+    norm_q = q / np.linalg.norm(q, axis=1, keepdims=True)
+    np.testing.assert_allclose(q2, norm_q, atol=1e-12)

@@ -1,0 +1,102 @@
+"""Multi-start execution and hybrid-composition tests."""
+
+import pytest
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.extra.hybrid import (
+    hybridize,
+    make_memetic_ga,
+    make_pso_annealing,
+)
+from repro.metaheuristics.extra.pso import make_pso
+from repro.metaheuristics.improvement import HillClimb
+from repro.metaheuristics.multistart import run_multistart
+from repro.metaheuristics.presets import make_preset
+
+
+# ----------------------------------------------------------------------
+# multi-start
+# ----------------------------------------------------------------------
+def test_multistart_best_is_min_over_runs(spots, fast_scorer):
+    spec = make_preset("M1", workload_scale=0.05)
+    result = run_multistart(spec, spots, fast_scorer, n_runs=3, base_seed=1)
+    assert len(result.runs) == 3
+    assert result.best_score == min(r.best.score for r in result.runs)
+    assert result.total_evaluations > 0
+    assert result.score_spread >= 0
+
+
+def test_multistart_runs_are_independent(spots, fast_scorer):
+    spec = make_preset("M1", workload_scale=0.05)
+    result = run_multistart(spec, spots, fast_scorer, n_runs=3, base_seed=1)
+    finals = [r.best.score for r in result.runs]
+    assert len(set(finals)) > 1  # different seeds, different outcomes
+
+
+def test_multistart_never_worse_than_single(spots, fast_scorer):
+    """The first run of a multistart equals a standalone run with the same
+    derived seed, so more runs can only improve the best."""
+    spec = make_preset("M1", workload_scale=0.05)
+    one = run_multistart(spec, spots, fast_scorer, n_runs=1, base_seed=5)
+    three = run_multistart(spec, spots, fast_scorer, n_runs=3, base_seed=5)
+    assert three.best_score <= one.best_score
+    assert three.runs[0].best.score == one.runs[0].best.score
+
+
+def test_multistart_stateful_spec_needs_factory(spots, fast_scorer):
+    """PSO holds state in its operators; the factory gives each run a fresh
+    instance, and the first run must match a factory-free single run."""
+    result = run_multistart(
+        make_pso(swarm_size=8, iterations=4),
+        spots,
+        fast_scorer,
+        n_runs=2,
+        base_seed=2,
+        spec_factory=lambda: make_pso(swarm_size=8, iterations=4),
+    )
+    assert len(result.runs) == 2
+    assert result.best_score < 0
+
+
+def test_multistart_validation(spots, fast_scorer):
+    with pytest.raises(MetaheuristicError):
+        run_multistart(make_preset("M1", 0.05), spots, fast_scorer, n_runs=0)
+
+
+# ----------------------------------------------------------------------
+# hybrids
+# ----------------------------------------------------------------------
+def test_hybridize_replaces_fields():
+    base = make_preset("M1", workload_scale=0.1)
+    improved = hybridize("M1+LS", base, improve=HillClimb(steps=3, fraction=0.5))
+    assert improved.name == "M1+LS"
+    assert isinstance(improved.improve, HillClimb)
+    assert improved.combine is base.combine  # untouched fields shared
+
+
+def test_hybridize_rejects_unknown_fields():
+    with pytest.raises(MetaheuristicError, match="unknown spec fields"):
+        hybridize("x", make_preset("M1", 0.1), flux_capacitor=1)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: make_memetic_ga(population=8, iterations=4, local_search_steps=3),
+        lambda: make_pso_annealing(swarm_size=8, iterations=5, sa_steps=2),
+    ],
+)
+def test_hybrids_optimise(factory, spots, fast_scorer):
+    from repro.metaheuristics.context import SearchContext
+    from repro.metaheuristics.evaluation import SerialEvaluator
+    from repro.metaheuristics.rng import SpotRngPool
+    from repro.metaheuristics.template import run_metaheuristic
+
+    ctx = SearchContext(
+        spots=spots,
+        evaluator=SerialEvaluator(fast_scorer),
+        rng=SpotRngPool(7, [s.index for s in spots]),
+    )
+    result = run_metaheuristic(factory(), ctx)
+    assert result.best_history[-1] <= result.best_history[0]
+    assert result.best_history[-1] < -5.0

@@ -1,0 +1,119 @@
+"""Population container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.population import Population
+
+
+def _population(s=3, k=4, seed=0, scored=True):
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=(s, k)) if scored else None
+    q = rng.normal(size=(s, k, 4))
+    return Population(rng.normal(size=(s, k, 3)), q, scores)
+
+
+def test_shapes_and_properties():
+    p = _population()
+    assert p.n_spots == 3
+    assert p.size_per_spot == 4
+    assert p.total == 12
+    assert "spots=3" in repr(p)
+
+
+def test_quaternions_normalised_on_construction():
+    p = _population()
+    np.testing.assert_allclose(
+        np.linalg.norm(p.quaternions, axis=2), 1.0, atol=1e-12
+    )
+
+
+def test_validation():
+    rng = np.random.default_rng(1)
+    with pytest.raises(MetaheuristicError):
+        Population(rng.normal(size=(2, 3)), rng.normal(size=(2, 3, 4)))
+    with pytest.raises(MetaheuristicError):
+        Population(rng.normal(size=(2, 3, 3)), rng.normal(size=(2, 4, 4)))
+    with pytest.raises(MetaheuristicError):
+        Population(
+            rng.normal(size=(2, 3, 3)),
+            rng.normal(size=(2, 3, 4)),
+            rng.normal(size=(2, 2)),
+        )
+
+
+def test_unevaluated_by_default():
+    p = _population(scored=False)
+    assert not p.is_evaluated()
+    with pytest.raises(MetaheuristicError):
+        p.best_conformation()
+
+
+def test_flat_and_set_scores_roundtrip():
+    p = _population(scored=False)
+    spot_ids, t, q = p.flat()
+    assert t.shape == (12, 3)
+    np.testing.assert_array_equal(spot_ids, np.repeat([0, 1, 2], 4))
+    # spot-major: first 4 rows belong to spot 0
+    np.testing.assert_allclose(t[:4], p.translations[0])
+    p.set_scores_flat(np.arange(12, dtype=float))
+    assert p.is_evaluated()
+    np.testing.assert_allclose(p.scores[0], [0, 1, 2, 3])
+    with pytest.raises(MetaheuristicError):
+        p.set_scores_flat(np.zeros(5))
+
+
+def test_take_gathers_per_spot():
+    p = _population()
+    idx = np.array([[3, 0], [1, 1], [2, 3]])
+    sub = p.take(idx)
+    assert sub.size_per_spot == 2
+    np.testing.assert_allclose(sub.translations[0, 0], p.translations[0, 3])
+    np.testing.assert_allclose(sub.scores[2, 1], p.scores[2, 3])
+    with pytest.raises(MetaheuristicError):
+        p.take(np.zeros((2, 2), dtype=int))
+
+
+def test_concat():
+    a = _population(seed=0)
+    b = _population(seed=1)
+    c = a.concat(b)
+    assert c.size_per_spot == 8
+    np.testing.assert_allclose(c.scores[:, :4], a.scores)
+    np.testing.assert_allclose(c.scores[:, 4:], b.scores)
+    with pytest.raises(MetaheuristicError):
+        a.concat(_population(s=2))
+
+
+def test_sorted_by_score():
+    p = _population()
+    s = p.sorted_by_score()
+    assert np.all(np.diff(s.scores, axis=1) >= 0)
+
+
+def test_best_accessors():
+    p = _population()
+    idx = p.best_index_per_spot()
+    np.testing.assert_array_equal(idx, np.argmin(p.scores, axis=1))
+    np.testing.assert_allclose(p.best_score_per_spot(), p.scores.min(axis=1))
+    best = p.best_conformation()
+    assert best.score == pytest.approx(p.scores.min())
+    per_spot = p.best_conformation_per_spot()
+    assert len(per_spot) == 3
+    assert per_spot[1].spot_index == 1
+    assert per_spot[1].score == pytest.approx(p.scores[1].min())
+
+
+def test_copy_is_deep():
+    p = _population()
+    c = p.copy()
+    c.scores[0, 0] = 999.0
+    assert p.scores[0, 0] != 999.0
+
+
+def test_spot_subset():
+    p = _population()
+    sub = p.spot_subset(np.array([2, 0]))
+    assert sub.n_spots == 2
+    np.testing.assert_allclose(sub.translations[0], p.translations[2])

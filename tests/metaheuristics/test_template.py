@@ -1,0 +1,115 @@
+"""Template-loop tests: Algorithm 1 semantics, presets, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetaheuristicError
+from repro.metaheuristics.context import SearchContext
+from repro.metaheuristics.evaluation import SerialEvaluator
+from repro.metaheuristics.presets import (
+    PRESET_TABLE,
+    expected_evaluations_per_spot,
+    make_preset,
+    preset_names,
+)
+from repro.metaheuristics.rng import SpotRngPool
+from repro.metaheuristics.template import run_metaheuristic
+
+
+def _ctx(spots, scorer, seed=7):
+    return SearchContext(
+        spots=spots,
+        evaluator=SerialEvaluator(scorer),
+        rng=SpotRngPool(seed, [s.index for s in spots]),
+    )
+
+
+def test_preset_names():
+    assert preset_names() == ("M1", "M2", "M3", "M4")
+
+
+def test_preset_table_matches_paper_table4():
+    assert PRESET_TABLE["M1"].population == 64
+    assert PRESET_TABLE["M1"].improve_fraction == 0.0
+    assert PRESET_TABLE["M2"].improve_fraction == 1.0
+    assert PRESET_TABLE["M3"].improve_fraction == 0.2
+    assert PRESET_TABLE["M4"].population == 1024
+    assert PRESET_TABLE["M4"].improve_fraction == 1.0
+    assert all(p.select_fraction == 1.0 for p in PRESET_TABLE.values())
+
+
+def test_preset_workload_ratios_match_paper():
+    """Evaluations per spot must reproduce the Table 6 OpenMP time ratios:
+    M2/M1 ≈ 1.62, M3/M1 ≈ 0.51, M4/M1 ≈ 50.3."""
+    e = {m: expected_evaluations_per_spot(m) for m in preset_names()}
+    assert e["M2"] / e["M1"] == pytest.approx(1.62, rel=0.05)
+    assert e["M3"] / e["M1"] == pytest.approx(0.51, rel=0.10)
+    assert e["M4"] / e["M1"] == pytest.approx(50.3, rel=0.05)
+
+
+def test_unknown_preset():
+    with pytest.raises(MetaheuristicError):
+        make_preset("M9")
+    with pytest.raises(MetaheuristicError):
+        make_preset("M1", workload_scale=0.0)
+
+
+@pytest.mark.parametrize("name", ["M1", "M2", "M3", "M4"])
+def test_recorded_evaluations_match_prediction(name, spots, fast_scorer):
+    ctx = _ctx(spots, fast_scorer)
+    spec = make_preset(name, workload_scale=0.05)
+    run_metaheuristic(spec, ctx)
+    per_spot = ctx.evaluator.stats.n_conformations / len(spots)
+    assert per_spot == expected_evaluations_per_spot(name, 0.05)
+
+
+@pytest.mark.parametrize("name", ["M1", "M2", "M4"])
+def test_runs_improve_over_initialization(name, spots, fast_scorer):
+    ctx = _ctx(spots, fast_scorer)
+    result = run_metaheuristic(make_preset(name, workload_scale=0.1), ctx)
+    assert result.best_history[-1] <= result.best_history[0]
+    assert result.best_history[-1] < 0  # found some attraction
+
+
+def test_best_history_is_monotone(spots, fast_scorer):
+    ctx = _ctx(spots, fast_scorer)
+    result = run_metaheuristic(make_preset("M2", workload_scale=0.2), ctx)
+    assert all(b <= a + 1e-12 for a, b in zip(result.best_history, result.best_history[1:]))
+
+
+def test_result_structure(spots, fast_scorer):
+    ctx = _ctx(spots, fast_scorer)
+    result = run_metaheuristic(make_preset("M1", workload_scale=0.1), ctx)
+    assert result.spec_name == "M1"
+    assert result.iterations == 4  # 40 × 0.1
+    assert len(result.best_per_spot) == len(spots)
+    assert result.best.score == pytest.approx(result.best_score)
+    assert result.best.score == pytest.approx(min(c.score for c in result.best_per_spot))
+    assert result.population.is_evaluated()
+
+
+def test_determinism_same_seed(spots, fast_scorer):
+    a = run_metaheuristic(make_preset("M2", workload_scale=0.1), _ctx(spots, fast_scorer, 5))
+    b = run_metaheuristic(make_preset("M2", workload_scale=0.1), _ctx(spots, fast_scorer, 5))
+    assert a.best.score == b.best.score
+    np.testing.assert_array_equal(a.population.scores, b.population.scores)
+
+
+def test_different_seeds_differ(spots, fast_scorer):
+    a = run_metaheuristic(make_preset("M1", workload_scale=0.1), _ctx(spots, fast_scorer, 1))
+    b = run_metaheuristic(make_preset("M1", workload_scale=0.1), _ctx(spots, fast_scorer, 2))
+    assert a.best.score != b.best.score
+
+
+def test_spot_partition_invariance(spots, fast_scorer):
+    """Running spots {0,1,2,3} together equals running {0,1} and {2,3}
+    separately — the property the heterogeneous runtime relies on."""
+    spec = make_preset("M3", workload_scale=0.1)
+    full = run_metaheuristic(spec, _ctx(spots, fast_scorer, 31))
+    left = run_metaheuristic(spec, _ctx(spots[:2], fast_scorer, 31))
+    right = run_metaheuristic(spec, _ctx(spots[2:], fast_scorer, 31))
+    np.testing.assert_allclose(
+        [c.score for c in full.best_per_spot],
+        [c.score for c in left.best_per_spot] + [c.score for c in right.best_per_spot],
+        rtol=1e-6,
+    )

@@ -1,0 +1,57 @@
+"""Unit tests for the periodic-table subset."""
+
+import pytest
+
+from repro.errors import MoleculeError
+from repro.molecules.elements import (
+    LIGAND_ELEMENTS,
+    PROTEIN_ELEMENTS,
+    get_element,
+    is_known,
+    known_elements,
+)
+
+
+def test_lookup_common_elements():
+    carbon = get_element("C")
+    assert carbon.atomic_number == 6
+    assert carbon.symbol == "C"
+    assert 1.5 < carbon.vdw_radius < 2.0
+
+
+def test_lookup_is_case_insensitive():
+    assert get_element("cl").symbol == "Cl"
+    assert get_element("CL").symbol == "Cl"
+    assert get_element(" c ").symbol == "C"
+
+
+def test_unknown_element_raises():
+    with pytest.raises(MoleculeError, match="unknown element"):
+        get_element("Xx")
+
+
+def test_is_known():
+    assert is_known("S")
+    assert is_known("br")
+    assert not is_known("Qq")
+
+
+def test_known_elements_cover_protein_and_ligand_sets():
+    known = set(known_elements())
+    assert set(PROTEIN_ELEMENTS) <= known
+    assert set(LIGAND_ELEMENTS) <= known
+
+
+def test_vdw_radii_ordering_is_physical():
+    # H is the smallest; iodine among the largest of the tabulated set.
+    assert get_element("H").vdw_radius < get_element("C").vdw_radius
+    assert get_element("C").vdw_radius < get_element("I").vdw_radius
+
+
+def test_masses_increase_with_atomic_number_within_period():
+    assert get_element("C").mass < get_element("N").mass < get_element("O").mass
+
+
+def test_element_dataclass_is_frozen():
+    with pytest.raises(AttributeError):
+        get_element("C").mass = 1.0  # type: ignore[misc]

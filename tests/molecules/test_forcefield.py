@@ -1,0 +1,98 @@
+"""Unit and property tests for the Lennard-Jones force field."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ForceFieldError
+from repro.molecules.forcefield import ForceField, LJParameters, default_forcefield
+
+
+def test_default_forcefield_is_singleton():
+    assert default_forcefield() is default_forcefield()
+
+
+def test_lookup_known_class():
+    p = default_forcefield().lookup("C")
+    assert p.sigma > 0
+    assert p.epsilon > 0
+
+
+def test_lookup_unknown_class_raises():
+    with pytest.raises(ForceFieldError, match="not parameterised"):
+        default_forcefield().lookup("Xx")
+
+
+def test_lj_parameters_validation():
+    with pytest.raises(ForceFieldError):
+        LJParameters(sigma=-1.0, epsilon=0.1)
+    with pytest.raises(ForceFieldError):
+        LJParameters(sigma=1.0, epsilon=-0.1)
+
+
+def test_empty_forcefield_rejected():
+    with pytest.raises(ForceFieldError):
+        ForceField({})
+
+
+def test_mix_is_symmetric():
+    ff = default_forcefield()
+    ab = ff.mix("C", "O")
+    ba = ff.mix("O", "C")
+    assert ab.sigma == ba.sigma
+    assert ab.epsilon == ba.epsilon
+
+
+def test_mix_lorentz_berthelot():
+    ff = default_forcefield()
+    c = ff.lookup("C")
+    o = ff.lookup("O")
+    mixed = ff.mix("C", "O")
+    assert mixed.sigma == pytest.approx(0.5 * (c.sigma + o.sigma))
+    assert mixed.epsilon == pytest.approx(np.sqrt(c.epsilon * o.epsilon))
+
+
+def test_self_mix_is_identity():
+    ff = default_forcefield()
+    c = ff.lookup("C")
+    mixed = ff.mix("C", "C")
+    assert mixed.sigma == pytest.approx(c.sigma)
+    assert mixed.epsilon == pytest.approx(c.epsilon)
+
+
+def test_pair_tables_match_scalar_mixing():
+    ff = default_forcefield()
+    a = ["C", "N", "O"]
+    b = ["S", "H"]
+    sigma, epsilon = ff.pair_tables(a, b)
+    assert sigma.shape == (3, 2)
+    for i, ca in enumerate(a):
+        for j, cb in enumerate(b):
+            mixed = ff.mix(ca, cb)
+            assert sigma[i, j] == pytest.approx(mixed.sigma)
+            assert epsilon[i, j] == pytest.approx(mixed.epsilon)
+
+
+def test_with_override_creates_new_forcefield():
+    ff = default_forcefield()
+    custom = ff.with_override("C", LJParameters(sigma=9.0, epsilon=1.0))
+    assert custom.lookup("C").sigma == 9.0
+    assert ff.lookup("C").sigma != 9.0  # original untouched
+
+
+@given(
+    s1=st.floats(0.5, 5.0),
+    s2=st.floats(0.5, 5.0),
+    e1=st.floats(0.001, 2.0),
+    e2=st.floats(0.001, 2.0),
+)
+def test_mixing_bounds_property(s1, s2, e1, e2):
+    """Mixed sigma lies between the inputs; mixed epsilon is the geometric
+    mean, hence also between the inputs."""
+    ff = ForceField(
+        {"A": LJParameters(s1, e1), "B": LJParameters(s2, e2)}
+    )
+    mixed = ff.mix("A", "B")
+    assert min(s1, s2) <= mixed.sigma <= max(s1, s2)
+    assert min(e1, e2) - 1e-12 <= mixed.epsilon <= max(e1, e2) + 1e-12

@@ -1,0 +1,109 @@
+"""PDB reader/writer tests, including round-trips and malformed input."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PDBParseError
+from repro.molecules.pdb import dumps_pdb, loads_pdb, read_pdb, write_pdb
+from repro.molecules.structures import Ligand, Molecule, Receptor
+from repro.molecules.synthetic import generate_ligand, generate_receptor
+
+SAMPLE = """\
+TITLE     test molecule
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C
+HETATM    3  O1  LIG A   2       8.000   1.250   0.000  1.00  0.00           O
+END
+"""
+
+
+def test_parse_sample():
+    m = loads_pdb(SAMPLE)
+    assert m.n_atoms == 3
+    assert list(m.elements) == ["N", "C", "O"]
+    assert m.title == "test molecule"
+    np.testing.assert_allclose(m.coords[0], [11.104, 6.134, -6.504])
+    assert list(m.residues) == ["ALA", "ALA", "LIG"]
+    assert list(m.residue_indices) == [1, 1, 2]
+
+
+def test_parse_kind_selects_class():
+    assert isinstance(loads_pdb(SAMPLE, kind="receptor"), Receptor)
+    assert isinstance(loads_pdb(SAMPLE, kind="ligand"), Ligand)
+    assert type(loads_pdb(SAMPLE)) is Molecule
+    with pytest.raises(PDBParseError):
+        loads_pdb(SAMPLE, kind="protein")
+
+
+def test_element_inferred_from_name_when_column_missing():
+    line = "ATOM      1  CA  ALA A   1      11.104   6.134  -6.504"
+    m = loads_pdb(line + "\n")
+    # 'CA' prefers the 2-char symbol if tabulated: Ca (calcium) is known.
+    assert m.elements[0] in ("Ca", "C")
+
+
+def test_empty_document_raises():
+    with pytest.raises(PDBParseError, match="no ATOM"):
+        loads_pdb("TITLE     nothing\nEND\n")
+
+
+def test_short_atom_line_raises():
+    with pytest.raises(PDBParseError, match="too short"):
+        loads_pdb("ATOM      1  N   ALA A   1      11.104\n")
+
+
+def test_bad_coordinates_raise():
+    bad = SAMPLE.replace("11.104", "xx.xxx")
+    with pytest.raises(PDBParseError, match="bad coordinates"):
+        loads_pdb(bad)
+
+
+def test_unknown_element_raises():
+    bad = SAMPLE.replace(
+        "  1.00  0.00           N", "  1.00  0.00           Qq"
+    )
+    with pytest.raises(PDBParseError, match="unknown element"):
+        loads_pdb(bad)
+
+
+def test_endmdl_stops_parsing():
+    doc = SAMPLE.replace("END\n", "ENDMDL\n") + SAMPLE.replace("TITLE     test molecule\n", "")
+    m = loads_pdb(doc)
+    assert m.n_atoms == 3  # second model ignored
+
+
+def test_roundtrip_synthetic_receptor(tmp_path):
+    receptor = generate_receptor(120, seed=5, title="roundtrip receptor")
+    path = tmp_path / "receptor.pdb"
+    write_pdb(receptor, path)
+    back = read_pdb(path, kind="receptor")
+    assert isinstance(back, Receptor)
+    assert back.n_atoms == receptor.n_atoms
+    assert list(back.elements) == list(receptor.elements)
+    # PDB coordinates have 3 decimal places.
+    np.testing.assert_allclose(back.coords, receptor.coords, atol=5e-4)
+    assert back.title == "roundtrip receptor"
+    assert list(back.residue_indices) == list(receptor.residue_indices)
+
+
+def test_roundtrip_ligand_uses_hetatm():
+    ligand = generate_ligand(10, seed=6)
+    text = dumps_pdb(ligand)
+    assert "HETATM" in text
+    assert "ATOM  " not in text
+    back = loads_pdb(text, kind="ligand")
+    np.testing.assert_allclose(back.coords, ligand.coords, atol=5e-4)
+
+
+def test_write_rejects_out_of_range_coordinates():
+    m = Molecule(coords=np.array([[123456.0, 0, 0]]), elements=["C"])
+    with pytest.raises(PDBParseError, match="fixed-width"):
+        dumps_pdb(m)
+
+
+def test_write_path_variant(tmp_path):
+    ligand = generate_ligand(6, seed=7)
+    path = tmp_path / "lig.pdb"
+    write_pdb(ligand, str(path))
+    assert path.exists()
+    assert read_pdb(str(path)).n_atoms == 6

@@ -1,0 +1,113 @@
+"""Unit tests for the molecule containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MoleculeError
+from repro.molecules.structures import Ligand, Molecule, Receptor
+
+
+def _simple_molecule():
+    return Molecule(
+        coords=np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 2.0, 0.0]]),
+        elements=["C", "O", "N"],
+        charges=np.array([0.1, -0.3, 0.2]),
+        names=["C1", "O1", "N1"],
+        residues=["ALA", "ALA", "GLY"],
+        residue_indices=np.array([1, 1, 2]),
+        title="tri",
+    )
+
+
+def test_basic_properties():
+    m = _simple_molecule()
+    assert m.n_atoms == 3
+    assert len(m) == 3
+    assert "tri" in repr(m)
+
+
+def test_validation_rejects_bad_shapes():
+    with pytest.raises(MoleculeError):
+        Molecule(coords=np.zeros((3, 2)), elements=["C"] * 3)
+    with pytest.raises(MoleculeError):
+        Molecule(coords=np.zeros((3, 3)), elements=["C"] * 2)
+    with pytest.raises(MoleculeError):
+        Molecule(coords=np.zeros((3, 3)), elements=["C"] * 3, charges=np.zeros(2))
+
+
+def test_validation_rejects_empty_and_nonfinite():
+    with pytest.raises(MoleculeError):
+        Molecule(coords=np.zeros((0, 3)), elements=[])
+    bad = np.zeros((2, 3))
+    bad[1, 2] = np.nan
+    with pytest.raises(MoleculeError):
+        Molecule(coords=bad, elements=["C", "C"])
+
+
+def test_unknown_element_rejected():
+    with pytest.raises(MoleculeError):
+        Molecule(coords=np.zeros((1, 3)), elements=["Zz"])
+
+
+def test_atom_accessor_and_iteration():
+    m = _simple_molecule()
+    atom = m.atom(1)
+    assert atom.element == "O"
+    assert atom.position == (1.0, 0.0, 0.0)
+    assert atom.charge == pytest.approx(-0.3)
+    assert atom.residue == "ALA"
+    assert [a.element for a in m.atoms()] == ["C", "O", "N"]
+    with pytest.raises(MoleculeError):
+        m.atom(3)
+
+
+def test_centroid_and_center_of_mass_differ():
+    m = _simple_molecule()
+    centroid = m.centroid()
+    com = m.center_of_mass()
+    np.testing.assert_allclose(centroid, [1 / 3, 2 / 3, 0.0])
+    # O is heavier than C, so COM shifts toward O relative to the centroid.
+    assert com[0] > centroid[0] - 1e-12
+    assert not np.allclose(com, centroid)
+
+
+def test_translated_and_centered():
+    m = _simple_molecule()
+    t = m.translated(np.array([1.0, 1.0, 1.0]))
+    np.testing.assert_allclose(t.coords, m.coords + 1.0)
+    assert t.title == m.title
+    c = m.centered()
+    np.testing.assert_allclose(c.centroid(), 0.0, atol=1e-12)
+    # Original is untouched (transformed copies).
+    assert not np.allclose(m.centroid(), 0.0)
+
+
+def test_translated_rejects_bad_offset():
+    with pytest.raises(MoleculeError):
+        _simple_molecule().translated(np.zeros(2))
+
+
+def test_geometry_helpers():
+    m = _simple_molecule()
+    lo, hi = m.bounding_box()
+    np.testing.assert_allclose(lo, [0, 0, 0])
+    np.testing.assert_allclose(hi, [1, 2, 0])
+    assert m.radius_of_gyration() > 0
+    assert m.max_radius() >= m.radius_of_gyration()
+
+
+def test_element_counts():
+    m = _simple_molecule()
+    assert m.element_counts() == {"C": 1, "N": 1, "O": 1}
+
+
+def test_ligand_size_guard():
+    with pytest.raises(MoleculeError, match="small molecules"):
+        Ligand(coords=np.random.default_rng(0).normal(size=(300, 3)), elements=["C"] * 300)
+
+
+def test_receptor_is_molecule_subclass():
+    r = Receptor(coords=np.zeros((1, 3)), elements=["C"])
+    assert isinstance(r, Molecule)
+    # translated copies preserve the subclass
+    assert isinstance(r.translated(np.ones(3)), Receptor)

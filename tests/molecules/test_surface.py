@@ -1,0 +1,68 @@
+"""Surface-detection tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MoleculeError
+from repro.molecules.structures import Molecule
+from repro.molecules.surface import surface_atoms, surface_fraction, surface_mask
+from repro.molecules.synthetic import generate_receptor
+
+
+def test_surface_fraction_in_plausible_band():
+    r = generate_receptor(2000, seed=1)
+    frac = surface_fraction(r)
+    assert 0.15 < frac < 0.75
+
+
+def test_outermost_atoms_are_surface():
+    r = generate_receptor(1500, seed=2)
+    mask = surface_mask(r)
+    radii = np.linalg.norm(r.coords - r.centroid(), axis=1)
+    outer10 = np.argsort(radii)[-10:]
+    assert mask[outer10].all()
+
+
+def test_innermost_atoms_are_buried():
+    r = generate_receptor(1500, seed=3)
+    mask = surface_mask(r)
+    radii = np.linalg.norm(r.coords - r.centroid(), axis=1)
+    inner10 = np.argsort(radii)[:10]
+    assert not mask[inner10].any()
+
+
+def test_tiny_molecule_everything_is_surface():
+    m = Molecule(coords=np.eye(3) * 2.0, elements=["C", "C", "C"])
+    assert surface_mask(m).all()
+
+
+def test_absolute_threshold_override():
+    r = generate_receptor(400, seed=4)
+    none_buried = surface_mask(r, neighbor_threshold=10**6)
+    assert none_buried.all()
+    all_buried = surface_mask(r, neighbor_threshold=1)
+    assert not all_buried.any() or all_buried.mean() < 0.2
+
+
+def test_surface_atoms_returns_sorted_indices():
+    r = generate_receptor(300, seed=5)
+    idx = surface_atoms(r)
+    assert np.all(np.diff(idx) > 0)
+    assert surface_mask(r)[idx].all()
+
+
+def test_parameter_validation():
+    r = generate_receptor(100, seed=6)
+    with pytest.raises(MoleculeError):
+        surface_mask(r, probe_radius=-1.0)
+    with pytest.raises(MoleculeError):
+        surface_mask(r, neighbor_threshold=0)
+    with pytest.raises(MoleculeError):
+        surface_mask(r, threshold_fraction=0.0)
+
+
+def test_surface_fraction_shrinks_with_size():
+    """Bigger globules have proportionally less surface (area/volume)."""
+    small = surface_fraction(generate_receptor(300, seed=7))
+    large = surface_fraction(generate_receptor(5000, seed=7))
+    assert large < small + 0.1  # allow noise, but no large inversion

@@ -1,0 +1,106 @@
+"""Tests for the pocket and molded-site generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MoleculeError
+from repro.molecules.synthetic import (
+    generate_bound_complex,
+    generate_ligand,
+    generate_receptor_with_pocket,
+)
+
+
+# ----------------------------------------------------------------------
+# carved pocket
+# ----------------------------------------------------------------------
+def test_pocket_receptor_exact_count_and_cavity():
+    receptor, pocket = generate_receptor_with_pocket(800, pocket_radius=5.0, seed=1)
+    assert receptor.n_atoms == 800
+    d = np.linalg.norm(receptor.coords - pocket, axis=1)
+    assert d.min() > 5.0 - 1e-9  # the cavity is empty
+    # But walls exist close to the cavity boundary.
+    assert d.min() < 7.0
+
+
+def test_pocket_is_near_the_surface():
+    receptor, pocket = generate_receptor_with_pocket(800, pocket_radius=5.0, seed=2)
+    assert np.linalg.norm(pocket) > 0.5 * receptor.max_radius()
+
+
+def test_pocket_determinism():
+    a, pa = generate_receptor_with_pocket(500, seed=3)
+    b, pb = generate_receptor_with_pocket(500, seed=3)
+    np.testing.assert_array_equal(a.coords, b.coords)
+    np.testing.assert_array_equal(pa, pb)
+
+
+def test_pocket_validation():
+    with pytest.raises(MoleculeError):
+        generate_receptor_with_pocket(10)
+    with pytest.raises(MoleculeError):
+        generate_receptor_with_pocket(500, pocket_radius=-1.0)
+    with pytest.raises(MoleculeError, match="does not fit"):
+        generate_receptor_with_pocket(500, pocket_radius=30.0, seed=1)
+
+
+# ----------------------------------------------------------------------
+# molded co-crystal site
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def complex_fixture():
+    ligand = generate_ligand(18, seed=7)
+    receptor, position, orientation = generate_bound_complex(900, ligand, seed=8)
+    return ligand, receptor, position, orientation
+
+
+def test_bound_complex_exact_count(complex_fixture):
+    _, receptor, _, _ = complex_fixture
+    assert receptor.n_atoms == 900
+
+
+def test_reference_pose_has_no_clash(complex_fixture):
+    """Every receptor atom sits beyond the clearance from every ligand atom
+    of the reference pose — the molded pose is clash-free by construction."""
+    from repro.molecules.transforms import apply_pose
+
+    ligand, receptor, position, orientation = complex_fixture
+    centred = ligand.coords - ligand.coords.mean(axis=0)
+    placed = apply_pose(centred, position, orientation)
+    d = np.linalg.norm(
+        receptor.coords[:, None, :] - placed[None, :, :], axis=2
+    )
+    assert d.min() > 3.9 - 1e-6
+
+
+def test_reference_pose_is_in_contact(complex_fixture):
+    """...but the walls are close: the nearest receptor atom is within the
+    LJ attraction zone, and many atoms are in contact range."""
+    from repro.molecules.transforms import apply_pose
+
+    ligand, receptor, position, orientation = complex_fixture
+    centred = ligand.coords - ligand.coords.mean(axis=0)
+    placed = apply_pose(centred, position, orientation)
+    d = np.linalg.norm(
+        receptor.coords[:, None, :] - placed[None, :, :], axis=2
+    ).min(axis=1)
+    assert (d < 6.0).sum() >= 10  # a real cavity wall, not open solvent
+
+
+def test_reference_pose_scores_well(complex_fixture):
+    from repro.scoring.lennard_jones import LennardJonesScoring
+
+    ligand, receptor, position, orientation = complex_fixture
+    scorer = LennardJonesScoring().bind(receptor, ligand)
+    score = scorer.score(position[None, :], orientation[None, :])[0]
+    assert score < -3.0  # bound, not merely non-clashing
+
+
+def test_bound_complex_validation():
+    ligand = generate_ligand(10, seed=1)
+    with pytest.raises(MoleculeError):
+        generate_bound_complex(10, ligand)
+    with pytest.raises(MoleculeError):
+        generate_bound_complex(900, ligand, clearance=-1.0)
+    with pytest.raises(MoleculeError):
+        generate_bound_complex(900, ligand, burial=2.0)

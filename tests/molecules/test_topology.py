@@ -1,0 +1,101 @@
+"""Topology (bond graph) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MoleculeError
+from repro.molecules.structures import Ligand, Molecule
+from repro.molecules.synthetic import generate_ligand
+from repro.molecules.topology import (
+    bond_graph,
+    connected_components,
+    infer_bonds,
+    is_connected,
+    ring_atoms,
+    rotatable_bonds,
+    topology_summary,
+)
+
+
+def _chain(n, spacing=1.5):
+    """A straight carbon chain with ``spacing`` Å bonds."""
+    coords = np.zeros((n, 3))
+    coords[:, 0] = np.arange(n) * spacing
+    return Ligand(coords=coords, elements=["C"] * n)
+
+
+def _triangle():
+    """A 3-ring of carbons at bonding distance."""
+    coords = np.array([[0.0, 0, 0], [1.5, 0, 0], [0.75, 1.3, 0]])
+    return Ligand(coords=coords, elements=["C", "C", "C"])
+
+
+def test_infer_bonds_chain():
+    bonds = infer_bonds(_chain(4))
+    assert bonds == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_infer_bonds_respects_distance():
+    far = _chain(3, spacing=5.0)
+    assert infer_bonds(far) == []
+
+
+def test_infer_bonds_tolerance_validation():
+    with pytest.raises(MoleculeError):
+        infer_bonds(_chain(3), tolerance=-0.1)
+
+
+def test_bond_graph_nodes_carry_elements():
+    g = bond_graph(_chain(3))
+    assert g.number_of_nodes() == 3
+    assert g.nodes[0]["element"] == "C"
+
+
+def test_connectivity_checks():
+    assert is_connected(_chain(5))
+    two_parts = Ligand(
+        coords=np.array([[0.0, 0, 0], [1.5, 0, 0], [50.0, 0, 0], [51.5, 0, 0]]),
+        elements=["C"] * 4,
+    )
+    assert not is_connected(two_parts)
+    comps = connected_components(two_parts)
+    assert len(comps) == 2
+    assert all(len(c) == 2 for c in comps)
+
+
+def test_ring_detection():
+    assert ring_atoms(_triangle()) == {0, 1, 2}
+    assert ring_atoms(_chain(5)) == set()
+
+
+def test_rotatable_bonds_chain():
+    """In a 5-chain, only the middle bonds are rotatable (terminal bonds
+    rotate nothing)."""
+    assert rotatable_bonds(_chain(5)) == [(1, 2), (2, 3)]
+    assert rotatable_bonds(_chain(3)) == []  # all bonds touch terminals
+
+
+def test_ring_bonds_not_rotatable():
+    assert rotatable_bonds(_triangle()) == []
+
+
+def test_synthetic_ligands_are_connected():
+    for seed in range(5):
+        lig = generate_ligand(24, seed=seed)
+        assert is_connected(lig), f"seed {seed} produced a disconnected ligand"
+
+
+def test_topology_summary_fields():
+    summary = topology_summary(generate_ligand(30, seed=9))
+    assert summary["n_atoms"] == 30
+    assert summary["connected"] is True
+    assert summary["n_components"] == 1
+    assert summary["n_bonds"] >= 29  # spanning tree at minimum
+    assert summary["n_rotatable_bonds"] >= 0
+
+
+def test_single_atom_topology():
+    atom = Molecule(coords=np.zeros((1, 3)), elements=["C"])
+    summary = topology_summary(atom)
+    assert summary["n_bonds"] == 0
+    assert summary["connected"] is True  # one node is trivially connected

@@ -1,0 +1,145 @@
+"""Unit + property tests for quaternions and pose application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import MoleculeError
+from repro.molecules.transforms import (
+    apply_pose,
+    apply_poses,
+    identity_quaternion,
+    normalize_quaternion,
+    quaternion_conjugate,
+    quaternion_from_axis_angle,
+    quaternion_multiply,
+    quaternion_to_matrix,
+    random_quaternion,
+    rotate_points,
+    small_random_rotation,
+)
+
+finite_floats = st.floats(-10.0, 10.0, allow_nan=False)
+quat_strategy = arrays(np.float64, (4,), elements=st.floats(-1.0, 1.0)).filter(
+    lambda q: np.linalg.norm(q) > 1e-3
+)
+points_strategy = arrays(np.float64, (5, 3), elements=finite_floats)
+
+
+def test_identity_quaternion_rotates_nothing(rng):
+    pts = rng.normal(size=(7, 3))
+    np.testing.assert_allclose(rotate_points(pts, identity_quaternion()), pts)
+
+
+def test_normalize_rejects_zero():
+    with pytest.raises(MoleculeError):
+        normalize_quaternion(np.zeros(4))
+
+
+def test_normalize_batched():
+    q = np.array([[2.0, 0, 0, 0], [0, 0, 3.0, 0]])
+    n = normalize_quaternion(q)
+    np.testing.assert_allclose(np.linalg.norm(n, axis=1), 1.0)
+
+
+def test_axis_angle_quarter_turn():
+    q = quaternion_from_axis_angle(np.array([0.0, 0.0, 1.0]), np.pi / 2)
+    rotated = rotate_points(np.array([[1.0, 0.0, 0.0]]), q)
+    np.testing.assert_allclose(rotated, [[0.0, 1.0, 0.0]], atol=1e-12)
+
+
+def test_axis_angle_rejects_zero_axis():
+    with pytest.raises(MoleculeError):
+        quaternion_from_axis_angle(np.zeros(3), 1.0)
+
+
+def test_quaternion_multiply_composes_rotations(rng):
+    q1 = random_quaternion(rng)
+    q2 = random_quaternion(rng)
+    pts = rng.normal(size=(6, 3))
+    seq = rotate_points(rotate_points(pts, q2), q1)
+    composed = rotate_points(pts, quaternion_multiply(q1, q2))
+    np.testing.assert_allclose(seq, composed, atol=1e-10)
+
+
+def test_conjugate_inverts_rotation(rng):
+    q = random_quaternion(rng)
+    pts = rng.normal(size=(6, 3))
+    back = rotate_points(rotate_points(pts, q), quaternion_conjugate(q))
+    np.testing.assert_allclose(back, pts, atol=1e-10)
+
+
+def test_random_quaternion_shapes(rng):
+    assert random_quaternion(rng).shape == (4,)
+    assert random_quaternion(rng, 5).shape == (5, 4)
+    np.testing.assert_allclose(
+        np.linalg.norm(random_quaternion(rng, 100), axis=1), 1.0, atol=1e-12
+    )
+
+
+def test_small_random_rotation_angle_bound(rng):
+    qs = small_random_rotation(rng, max_angle=0.2, n=200)
+    angles = 2 * np.arccos(np.clip(np.abs(qs[:, 0]), -1, 1))
+    assert np.all(angles <= 0.2 + 1e-9)
+
+
+def test_apply_poses_matches_apply_pose(rng):
+    pts = rng.normal(size=(8, 3))
+    translations = rng.normal(size=(5, 3))
+    quats = random_quaternion(rng, 5)
+    batch = apply_poses(pts, translations, quats)
+    assert batch.shape == (5, 8, 3)
+    for i in range(5):
+        np.testing.assert_allclose(
+            batch[i], apply_pose(pts, translations[i], quats[i]), atol=1e-12
+        )
+
+
+def test_apply_poses_validates_shapes(rng):
+    pts = rng.normal(size=(4, 3))
+    with pytest.raises(MoleculeError):
+        apply_poses(pts, np.zeros((3, 2)), np.zeros((3, 4)))
+    with pytest.raises(MoleculeError):
+        apply_poses(pts, np.zeros((3, 3)), np.zeros((2, 4)))
+
+
+# ----------------------------------------------------------------------
+# property-based invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(q=quat_strategy, pts=points_strategy)
+def test_rotation_is_isometry(q, pts):
+    """Rotations preserve all pairwise distances."""
+    rotated = rotate_points(pts, q)
+    d_before = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+    d_after = np.linalg.norm(rotated[:, None] - rotated[None, :], axis=-1)
+    np.testing.assert_allclose(d_before, d_after, atol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(q=quat_strategy)
+def test_rotation_matrix_is_orthogonal(q):
+    m = quaternion_to_matrix(q)
+    np.testing.assert_allclose(m @ m.T, np.eye(3), atol=1e-10)
+    assert np.linalg.det(m) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(q=quat_strategy, pts=points_strategy, t=arrays(np.float64, (3,), elements=finite_floats))
+def test_pose_roundtrip(q, pts, t):
+    """Applying a pose then its inverse recovers the points."""
+    q = normalize_quaternion(q)
+    moved = apply_pose(pts, t, q)
+    back = rotate_points(moved - t, quaternion_conjugate(q))
+    np.testing.assert_allclose(back, pts, atol=1e-7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(q1=quat_strategy, q2=quat_strategy)
+def test_multiply_preserves_unit_norm(q1, q2):
+    q1 = normalize_quaternion(q1)
+    q2 = normalize_quaternion(q2)
+    prod = quaternion_multiply(q1, q2)
+    assert np.linalg.norm(prod) == pytest.approx(1.0, abs=1e-10)

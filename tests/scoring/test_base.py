@@ -1,0 +1,82 @@
+"""Tests for the scoring abstractions and registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.molecules.transforms import identity_quaternion
+from repro.scoring.base import available_scorings, get_scoring
+from repro.scoring.lennard_jones import LennardJonesScoring
+
+
+def test_registry_contains_all_builtin_scorings():
+    names = available_scorings()
+    for expected in (
+        "lennard-jones",
+        "lennard-jones-cutoff",
+        "lennard-jones-tiled",
+        "lennard-jones-softcore",
+        "coulomb",
+        "gridmap",
+    ):
+        assert expected in names
+
+
+def test_get_scoring_instantiates(receptor, ligand):
+    sf = get_scoring("lennard-jones")
+    assert isinstance(sf, LennardJonesScoring)
+    bound = sf.bind(receptor, ligand)
+    assert bound.n_pairs == receptor.n_atoms * ligand.n_atoms
+
+
+def test_get_scoring_unknown_name():
+    with pytest.raises(ScoringError, match="unknown scoring function"):
+        get_scoring("does-not-exist")
+
+
+def test_flops_per_pose_scales_with_pairs(receptor, ligand, dense_scorer):
+    assert dense_scorer.flops_per_pose == pytest.approx(
+        receptor.n_atoms * ligand.n_atoms * 18
+    )
+
+
+def test_score_validates_shapes(dense_scorer):
+    with pytest.raises(ScoringError):
+        dense_scorer.score(np.zeros((3, 2)), np.zeros((3, 4)))
+    with pytest.raises(ScoringError):
+        dense_scorer.score(np.zeros((3, 3)), np.zeros((2, 4)))
+
+
+def test_score_empty_batch(dense_scorer):
+    out = dense_scorer.score(np.zeros((0, 3)), np.zeros((0, 4)))
+    assert out.shape == (0,)
+
+
+def test_score_one_matches_batch(dense_scorer, pose_batch):
+    translations, quaternions = pose_batch
+    batch = dense_scorer.score(translations, quaternions)
+    single = dense_scorer.score_one(translations[0], quaternions[0])
+    assert single == pytest.approx(batch[0])
+
+
+def test_chunking_is_invisible(receptor, ligand, pose_batch):
+    """Different chunk sizes give identical dense results."""
+    translations, quaternions = pose_batch
+    a = LennardJonesScoring(chunk_size=1).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    b = LennardJonesScoring(chunk_size=7).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    c = LennardJonesScoring(chunk_size=100).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    np.testing.assert_allclose(a, b, rtol=1e-12)
+    np.testing.assert_allclose(a, c, rtol=1e-12)
+
+
+def test_posed_ligand_coords_center_convention(dense_scorer):
+    t = np.array([[5.0, 0.0, 0.0]])
+    q = identity_quaternion()[None, :]
+    posed = dense_scorer.posed_ligand_coords(t, q)
+    np.testing.assert_allclose(posed[0].mean(axis=0), [5.0, 0.0, 0.0], atol=1e-9)

@@ -1,0 +1,60 @@
+"""Composite scoring tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring.composite import CompositeScoring, make_lj_coulomb
+from repro.scoring.coulomb import CoulombScoring
+from repro.scoring.lennard_jones import LennardJonesScoring
+
+
+def test_composite_is_weighted_sum(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    lj = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    cb = CoulombScoring().bind(receptor, ligand).score(translations, quaternions)
+    comp = CompositeScoring(
+        [(1.0, LennardJonesScoring()), (0.5, CoulombScoring())]
+    ).bind(receptor, ligand).score(translations, quaternions)
+    np.testing.assert_allclose(comp, lj + 0.5 * cb, rtol=1e-10)
+
+
+def test_single_term_identity(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    lj = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    comp = CompositeScoring([(1.0, LennardJonesScoring())]).bind(
+        receptor, ligand
+    ).score(translations, quaternions)
+    np.testing.assert_allclose(comp, lj, rtol=1e-12)
+
+
+def test_zero_weight_erases_term(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    lj = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    comp = CompositeScoring(
+        [(1.0, LennardJonesScoring()), (0.0, CoulombScoring())]
+    ).bind(receptor, ligand).score(translations, quaternions)
+    np.testing.assert_allclose(comp, lj, rtol=1e-12)
+
+
+def test_empty_terms_rejected():
+    with pytest.raises(ScoringError):
+        CompositeScoring([])
+    with pytest.raises(ScoringError):
+        CompositeScoring(None)
+
+
+def test_flops_accumulate(receptor, ligand):
+    comp = make_lj_coulomb().bind(receptor, ligand)
+    lj = LennardJonesScoring().bind(receptor, ligand)
+    cb = CoulombScoring().bind(receptor, ligand)
+    assert comp.flops_per_pose == pytest.approx(lj.flops_per_pose + cb.flops_per_pose)
+
+
+def test_make_lj_coulomb_factory(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    scores = make_lj_coulomb(1.0, 0.25).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    assert scores.shape == (translations.shape[0],)
+    assert np.all(np.isfinite(scores))

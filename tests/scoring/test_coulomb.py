@@ -1,0 +1,83 @@
+"""Coulomb scoring tests: analytic checks and sign structure."""
+
+import numpy as np
+import pytest
+
+from repro.constants import COULOMB_CONSTANT
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import identity_quaternion
+from repro.scoring.coulomb import CoulombScoring
+
+
+def _charged_pair(q_rec: float, q_lig: float, distance: float):
+    receptor = Receptor(
+        coords=np.array([[0.0, 0.0, 0.0]]),
+        elements=["O"],
+        charges=np.array([q_rec]),
+    )
+    ligand = Ligand(
+        coords=np.array([[0.0, 0.0, 0.0]]),
+        elements=["N"],
+        charges=np.array([q_lig]),
+    )
+    t = np.array([[distance, 0.0, 0.0]])
+    q = identity_quaternion()[None, :]
+    return receptor, ligand, t, q
+
+
+def test_two_charge_energy_analytic():
+    dielectric = 4.0
+    for d in (2.0, 5.0, 10.0):
+        receptor, ligand, t, q = _charged_pair(0.5, -0.3, d)
+        score = CoulombScoring(dielectric=dielectric).bind(receptor, ligand).score(t, q)[0]
+        expected = COULOMB_CONSTANT / dielectric * 0.5 * (-0.3) / d**2
+        assert score == pytest.approx(expected, rel=1e-10)
+
+
+def test_opposite_charges_attract_like_repel():
+    receptor, ligand, t, q = _charged_pair(0.5, -0.5, 4.0)
+    attract = CoulombScoring().bind(receptor, ligand).score(t, q)[0]
+    assert attract < 0
+    receptor2, ligand2, t2, q2 = _charged_pair(0.5, 0.5, 4.0)
+    repel = CoulombScoring().bind(receptor2, ligand2).score(t2, q2)[0]
+    assert repel > 0
+    assert repel == pytest.approx(-attract, rel=1e-12)
+
+
+def test_energy_decays_with_distance_squared():
+    receptor, ligand, t4, q = _charged_pair(0.4, 0.4, 4.0)
+    _, _, t8, _ = _charged_pair(0.4, 0.4, 8.0)
+    scorer = CoulombScoring().bind(receptor, ligand)
+    e4 = scorer.score(t4, q)[0]
+    e8 = scorer.score(t8, q)[0]
+    assert e4 == pytest.approx(4.0 * e8, rel=1e-10)  # 1/r² dielectric model
+
+
+def test_neutral_ligand_scores_zero(receptor):
+    ligand = Ligand(
+        coords=np.zeros((1, 3)), elements=["C"], charges=np.array([0.0])
+    )
+    scorer = CoulombScoring().bind(receptor, ligand)
+    t = np.array([[5.0, 0.0, 0.0]])
+    q = identity_quaternion()[None, :]
+    assert scorer.score(t, q)[0] == pytest.approx(0.0)
+
+
+def test_clash_clamped_finite():
+    receptor, ligand, _, q = _charged_pair(1.0, 1.0, 0.0)
+    t = np.zeros((1, 3))
+    score = CoulombScoring().bind(receptor, ligand).score(t, q)[0]
+    assert np.isfinite(score)
+
+
+def test_dielectric_validation(receptor, ligand):
+    with pytest.raises(ScoringError):
+        CoulombScoring(dielectric=0.0).bind(receptor, ligand)
+
+
+def test_flops_per_pose(receptor, ligand):
+    bound = CoulombScoring().bind(receptor, ligand)
+    assert bound.flops_per_pose == pytest.approx(
+        receptor.n_atoms * ligand.n_atoms * 12
+    )

@@ -1,0 +1,91 @@
+"""Cutoff scorer: exactness at large cutoff, ranking fidelity at 12 Å."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+from repro.scoring.lennard_jones import LennardJonesScoring
+
+
+def test_huge_cutoff_matches_dense_exactly(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    dense = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    cutoff = CutoffLennardJonesScoring(cutoff=1e5).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    np.testing.assert_allclose(cutoff, dense, rtol=1e-9)
+
+
+def test_default_cutoff_preserves_ranking(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    dense = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    fast = CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    assert int(np.argmin(fast)) == int(np.argmin(dense))
+    # Spearman rank correlation must be near-perfect.
+    rank_a = np.argsort(np.argsort(dense))
+    rank_b = np.argsort(np.argsort(fast))
+    corr = np.corrcoef(rank_a, rank_b)[0, 1]
+    assert corr > 0.95
+
+
+def test_cutoff_truncation_error_is_bounded_tail(receptor, ligand, pose_batch):
+    """With a 12 Å cutoff the error equals the (attractive) LJ tail — small
+    relative to well depths, and strictly reduces binding energy magnitude
+    for non-clashed poses."""
+    translations, quaternions = pose_batch
+    dense = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    cut = CutoffLennardJonesScoring().bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    good = dense < 1e3
+    # Tail is attractive: removing it makes the score greater (less negative).
+    assert np.all(cut[good] >= dense[good] - 1e-6)
+    assert np.max(cut[good] - dense[good]) < 10.0
+
+
+def test_chunking_consistency(receptor, ligand, pose_batch):
+    """Cutoff zeroing makes results chunk-independent (to fp reduction)."""
+    translations, quaternions = pose_batch
+    a = CutoffLennardJonesScoring(chunk_size=2).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    b = CutoffLennardJonesScoring(chunk_size=12).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    np.testing.assert_allclose(a, b, rtol=1e-6)
+
+
+def test_far_away_pose_scores_zero(receptor, ligand):
+    scorer = CutoffLennardJonesScoring().bind(receptor, ligand)
+    t = np.array([[1000.0, 1000.0, 1000.0]])
+    q = np.array([[1.0, 0.0, 0.0, 0.0]])
+    assert scorer.score(t, q)[0] == 0.0
+
+
+def test_float32_path_close_to_float64(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    f64 = CutoffLennardJonesScoring(dtype=np.float64).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    f32 = CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    good = np.abs(f64) < 1e3
+    np.testing.assert_allclose(f32[good], f64[good], rtol=5e-2, atol=1e-2)
+
+
+def test_parameter_validation(receptor, ligand):
+    with pytest.raises(ScoringError):
+        CutoffLennardJonesScoring(cutoff=-1.0).bind(receptor, ligand)
+    with pytest.raises(ScoringError):
+        CutoffLennardJonesScoring(dtype=np.int32).bind(receptor, ligand)
+
+
+def test_flops_per_pose_models_full_sweep(receptor, ligand):
+    """Host-side pruning must NOT change the modelled kernel cost."""
+    cut = CutoffLennardJonesScoring().bind(receptor, ligand)
+    dense = LennardJonesScoring().bind(receptor, ligand)
+    assert cut.flops_per_pose == dense.flops_per_pose

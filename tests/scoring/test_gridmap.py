@@ -1,0 +1,89 @@
+"""Grid-map scorer tests: interpolation accuracy and the cheap-kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.synthetic import generate_ligand, generate_receptor
+from repro.molecules.transforms import random_quaternion
+from repro.scoring.gridmap import GridMapScoring
+from repro.scoring.lennard_jones import LennardJonesScoring
+
+
+@pytest.fixture(scope="module")
+def small_complex():
+    receptor = generate_receptor(150, seed=21)
+    ligand = generate_ligand(8, seed=22)
+    return receptor, ligand
+
+
+def test_grid_approximates_dense_in_smooth_region(small_complex):
+    receptor, ligand = small_complex
+    rng = np.random.default_rng(3)
+    # Poses safely outside the receptor core where the field is smooth.
+    direction = np.array([1.0, 0.0, 0.0])
+    base = receptor.coords[:, 0].max() + 4.0
+    t = direction * (base + rng.random((16, 1)) * 2.0)
+    t += rng.normal(0, 0.5, (16, 3)) * np.array([0, 1, 1])
+    q = random_quaternion(rng, 16)
+    center = t.mean(axis=0)
+    grid = GridMapScoring(box_center=center, box_half=8.0, spacing=0.25).bind(
+        receptor, ligand
+    )
+    dense = LennardJonesScoring().bind(receptor, ligand)
+    g = grid.score(t, q)
+    d = dense.score(t, q)
+    # Interpolation error on a smooth field at 0.25 Å spacing.
+    np.testing.assert_allclose(g, d, rtol=0.2, atol=0.5)
+
+
+def test_out_of_box_penalty_pushes_back():
+    """With the receptor far away (field ≈ 0 in the box), an out-of-box
+    pose scores the quadratic escape penalty, an in-box pose ≈ 0."""
+    receptor = Receptor(coords=np.array([[100.0, 0.0, 0.0]]), elements=["C"])
+    ligand = Ligand(coords=np.zeros((1, 3)), elements=["C"])
+    grid = GridMapScoring(
+        box_center=np.zeros(3), box_half=5.0, spacing=0.5
+    ).bind(receptor, ligand)
+    q = np.array([[1.0, 0.0, 0.0, 0.0]])
+    inside = grid.score(np.array([[2.0, 0.0, 0.0]]), q)[0]
+    outside = grid.score(np.array([[-12.0, 0.0, 0.0]]), q)[0]
+    assert abs(inside) < 1.0
+    assert outside > 10.0  # 7 Å overshoot × 10 kcal/Å² quadratic penalty
+
+
+def test_flops_per_pose_is_interpolation_bound(small_complex):
+    receptor, ligand = small_complex
+    grid = GridMapScoring(box_half=6.0).bind(receptor, ligand)
+    dense = LennardJonesScoring().bind(receptor, ligand)
+    assert grid.flops_per_pose == ligand.n_atoms * 30
+    assert grid.flops_per_pose < dense.flops_per_pose / 10
+
+
+def test_grid_bytes_scale_with_resolution(small_complex):
+    receptor, ligand = small_complex
+    coarse = GridMapScoring(box_half=5.0, spacing=1.0).bind(receptor, ligand)
+    fine = GridMapScoring(box_half=5.0, spacing=0.5).bind(receptor, ligand)
+    assert fine.grid_bytes > 6 * coarse.grid_bytes  # ~8× points
+
+
+def test_parameter_validation(small_complex):
+    receptor, ligand = small_complex
+    with pytest.raises(ScoringError):
+        GridMapScoring(spacing=-0.5).bind(receptor, ligand)
+    with pytest.raises(ScoringError):
+        GridMapScoring(box_half=-1.0, box_center=np.zeros(3)).bind(receptor, ligand)
+
+
+def test_one_map_per_ligand_atom_class():
+    receptor = Receptor(coords=np.zeros((1, 3)), elements=["C"])
+    ligand = Ligand(
+        coords=np.array([[0.0, 0, 0], [1.5, 0, 0], [0, 1.5, 0]]),
+        elements=["C", "C", "O"],
+    )
+    grid = GridMapScoring(box_center=np.zeros(3), box_half=4.0, spacing=1.0).bind(
+        receptor, ligand
+    )
+    assert grid.maps.shape[0] == 2  # C and O
+    assert sorted(grid.classes) == ["C", "O"]

@@ -1,0 +1,102 @@
+"""Hydrogen-bond (12-10) scorer tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import identity_quaternion
+from repro.scoring.hbond import POLAR_ELEMENTS, HydrogenBondScoring
+
+
+def _polar_pair(distance: float, rec_el="O", lig_el="N"):
+    receptor = Receptor(coords=np.array([[0.0, 0.0, 0.0]]), elements=[rec_el])
+    ligand = Ligand(coords=np.array([[0.0, 0.0, 0.0]]), elements=[lig_el])
+    t = np.array([[distance, 0.0, 0.0]])
+    q = identity_quaternion()[None, :]
+    return receptor, ligand, t, q
+
+
+def test_minimum_at_r0_with_depth_strength():
+    r0, strength = 2.9, 5.0
+    receptor, ligand, t, q = _polar_pair(r0)
+    scorer = HydrogenBondScoring(r0=r0, strength=strength).bind(receptor, ligand)
+    assert scorer.score(t, q)[0] == pytest.approx(-strength, rel=1e-10)
+    # Either side of r0 is higher.
+    for d in (r0 * 0.95, r0 * 1.05):
+        _, _, t2, _ = _polar_pair(d)
+        assert scorer.score(t2, q)[0] > -strength
+
+
+def test_well_is_narrower_than_lj():
+    """At 1.5 × r0 the 12-10 well retains far less depth than LJ 12-6 at
+    1.5 × r_min — the H-bond term is short-ranged."""
+    r0 = 2.9
+    receptor, ligand, _, q = _polar_pair(r0)
+    scorer = HydrogenBondScoring(r0=r0, strength=1.0).bind(receptor, ligand)
+    at_r0 = scorer.score(np.array([[r0, 0, 0]]), q)[0]
+    at_far = scorer.score(np.array([[1.5 * r0, 0, 0]]), q)[0]
+    assert at_far / at_r0 < 0.25  # LJ 12-6 retains ~0.33 at the same ratio
+
+
+def test_nonpolar_pairs_score_zero():
+    receptor, ligand, t, q = _polar_pair(2.9, rec_el="C", lig_el="C")
+    scorer = HydrogenBondScoring().bind(receptor, ligand)
+    assert scorer.score(t, q)[0] == 0.0
+
+
+def test_mixed_complex_counts_only_polar_pairs():
+    receptor = Receptor(
+        coords=np.array([[0.0, 0, 0], [3.0, 0, 0]]), elements=["C", "O"]
+    )
+    ligand = Ligand(
+        coords=np.array([[0.0, 0, 0], [1.5, 0, 0]]), elements=["N", "C"]
+    )
+    scorer = HydrogenBondScoring().bind(receptor, ligand)
+    assert scorer.n_polar_pairs == 1  # O(rec) × N(lig)
+    assert scorer.flops_per_pose == 16.0
+
+
+def test_polar_elements_set():
+    assert POLAR_ELEMENTS == {"N", "O", "S"}
+
+
+def test_clash_clamped_finite():
+    receptor, ligand, _, q = _polar_pair(0.0)
+    t = np.zeros((1, 3))
+    score = HydrogenBondScoring().bind(receptor, ligand).score(t, q)[0]
+    assert np.isfinite(score)
+    assert score > 0  # deep repulsion
+
+
+def test_validation():
+    receptor, ligand, _, _ = _polar_pair(2.9)
+    with pytest.raises(ScoringError):
+        HydrogenBondScoring(r0=0.0).bind(receptor, ligand)
+    with pytest.raises(ScoringError):
+        HydrogenBondScoring(strength=-1.0).bind(receptor, ligand)
+
+
+def test_composes_with_lj(receptor, ligand, pose_batch):
+    from repro.scoring.composite import CompositeScoring
+    from repro.scoring.lennard_jones import LennardJonesScoring
+
+    translations, quaternions = pose_batch
+    combined = CompositeScoring(
+        [(1.0, LennardJonesScoring()), (1.0, HydrogenBondScoring())]
+    ).bind(receptor, ligand)
+    scores = combined.score(translations, quaternions)
+    lj = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    hb = HydrogenBondScoring().bind(receptor, ligand).score(translations, quaternions)
+    np.testing.assert_allclose(scores, lj + hb, rtol=1e-10)
+
+
+def test_supports_posed_coords(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    scorer = HydrogenBondScoring().bind(receptor, ligand)
+    posed = scorer.posed_ligand_coords(translations, quaternions)
+    np.testing.assert_allclose(
+        scorer.score_coords(posed),
+        scorer.score(translations, quaternions),
+        rtol=1e-12,
+    )

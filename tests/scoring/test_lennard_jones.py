@@ -1,0 +1,143 @@
+"""LJ scoring: analytic two-atom checks, reference cross-validation,
+property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import MIN_PAIR_DISTANCE
+from repro.molecules.forcefield import default_forcefield
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import identity_quaternion, random_quaternion
+from repro.scoring.lennard_jones import (
+    LennardJonesScoring,
+    lj_energy_from_r2,
+    lj_energy_sum_inplace,
+)
+from repro.scoring.reference import (
+    ReferenceLJScoring,
+    lj_minimum,
+    pairwise_lj,
+)
+
+
+def _two_atom_complex(distance: float):
+    receptor = Receptor(coords=np.array([[0.0, 0.0, 0.0]]), elements=["C"])
+    ligand = Ligand(coords=np.array([[0.0, 0.0, 0.0]]), elements=["C"])
+    t = np.array([[distance, 0.0, 0.0]])
+    q = identity_quaternion()[None, :]
+    return receptor, ligand, t, q
+
+
+def test_two_atom_energy_matches_analytic_formula():
+    ff = default_forcefield()
+    p = ff.mix("C", "C")
+    for distance in (2.5, 3.0, 4.0, 6.0, 10.0):
+        receptor, ligand, t, q = _two_atom_complex(distance)
+        score = LennardJonesScoring().bind(receptor, ligand).score(t, q)[0]
+        assert score == pytest.approx(pairwise_lj(distance, p.sigma, p.epsilon), rel=1e-10)
+
+
+def test_energy_zero_at_sigma():
+    ff = default_forcefield()
+    p = ff.mix("C", "C")
+    receptor, ligand, t, q = _two_atom_complex(p.sigma)
+    score = LennardJonesScoring().bind(receptor, ligand).score(t, q)[0]
+    assert score == pytest.approx(0.0, abs=1e-9)
+
+
+def test_minimum_at_r_min_with_depth_epsilon():
+    ff = default_forcefield()
+    p = ff.mix("C", "C")
+    r_min, e_min = lj_minimum(p.sigma, p.epsilon)
+    receptor, ligand, t, q = _two_atom_complex(r_min)
+    score = LennardJonesScoring().bind(receptor, ligand).score(t, q)[0]
+    assert score == pytest.approx(e_min, rel=1e-10)
+    # Perturbing in either direction increases the energy.
+    for d in (r_min * 0.98, r_min * 1.02):
+        _, _, t2, q2 = _two_atom_complex(d)
+        assert LennardJonesScoring().bind(receptor, ligand).score(t2, q2)[0] > score
+
+
+def test_clash_is_clamped_finite():
+    receptor, ligand, t, q = _two_atom_complex(0.0)
+    score = LennardJonesScoring().bind(receptor, ligand).score(t, q)[0]
+    assert np.isfinite(score)
+    ff = default_forcefield()
+    p = ff.mix("C", "C")
+    assert score == pytest.approx(
+        pairwise_lj(MIN_PAIR_DISTANCE, p.sigma, p.epsilon), rel=1e-9
+    )
+
+
+def test_dense_matches_pure_python_reference(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    dense = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    reference = ReferenceLJScoring().bind(receptor, ligand).score(
+        translations[:3], quaternions[:3]
+    )
+    np.testing.assert_allclose(dense[:3], reference, rtol=1e-8)
+
+
+def test_rotation_invariance_of_spherical_ligand():
+    """A single-atom ligand's score is orientation independent."""
+    receptor = Receptor(
+        coords=np.random.default_rng(0).normal(0, 5, (50, 3)), elements=["C"] * 50
+    )
+    ligand = Ligand(coords=np.zeros((1, 3)), elements=["C"])
+    scorer = LennardJonesScoring().bind(receptor, ligand)
+    rng = np.random.default_rng(1)
+    t = np.tile([8.0, 0.0, 0.0], (20, 1))
+    q = random_quaternion(rng, 20)
+    scores = scorer.score(t, q)
+    np.testing.assert_allclose(scores, scores[0], rtol=1e-10)
+
+
+def test_energy_additivity_over_receptor_atoms():
+    """Score against a 2-atom receptor = sum of scores against each atom."""
+    rng = np.random.default_rng(2)
+    r1 = Receptor(coords=np.array([[0.0, 0, 0]]), elements=["O"])
+    r2 = Receptor(coords=np.array([[3.0, 1, 0]]), elements=["N"])
+    both = Receptor(coords=np.vstack([r1.coords, r2.coords]), elements=["O", "N"])
+    ligand = Ligand(coords=rng.normal(0, 1, (4, 3)), elements=["C", "C", "O", "H"])
+    t = np.array([[6.0, 0.0, 0.0]])
+    q = random_quaternion(rng)[None, :]
+    s1 = LennardJonesScoring().bind(r1, ligand).score(t, q)[0]
+    s2 = LennardJonesScoring().bind(r2, ligand).score(t, q)[0]
+    s12 = LennardJonesScoring().bind(both, ligand).score(t, q)[0]
+    assert s12 == pytest.approx(s1 + s2, rel=1e-10)
+
+
+def test_lj_energy_sum_inplace_matches_allocating_version(rng):
+    r2 = rng.random((3, 4, 10)) * 20 + 0.5
+    sigma = rng.random((4, 10)) + 1.0
+    epsilon = rng.random((4, 10)) * 0.3
+    expected = lj_energy_from_r2(r2, sigma, epsilon).sum(axis=(1, 2))
+    got = lj_energy_sum_inplace(r2.copy(), sigma * sigma, 4.0 * epsilon)
+    np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(distance=st.floats(0.1, 30.0))
+def test_two_atom_score_is_finite_everywhere(distance):
+    receptor, ligand, t, q = _two_atom_complex(distance)
+    score = LennardJonesScoring().bind(receptor, ligand).score(t, q)[0]
+    assert np.isfinite(score)
+
+
+@settings(max_examples=20, deadline=None)
+@given(distance=st.floats(4.0, 25.0))
+def test_energy_monotone_beyond_minimum(distance):
+    """Past r_min the LJ curve increases monotonically toward zero."""
+    ff = default_forcefield()
+    p = ff.mix("C", "C")
+    r_min, _ = lj_minimum(p.sigma, p.epsilon)
+    if distance <= r_min:
+        return
+    receptor, ligand, t1, q = _two_atom_complex(distance)
+    _, _, t2, _ = _two_atom_complex(distance + 0.5)
+    scorer = LennardJonesScoring().bind(receptor, ligand)
+    e1 = scorer.score(t1, q)[0]
+    e2 = scorer.score(t2, q)[0]
+    assert e1 <= e2 <= 0.0

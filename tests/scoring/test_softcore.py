@@ -1,0 +1,73 @@
+"""Soft-core LJ tests: agreement at range, saturation at clash."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.molecules.forcefield import default_forcefield
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import identity_quaternion
+from repro.scoring.lennard_jones import LennardJonesScoring
+from repro.scoring.softcore import SoftcoreLJScoring
+
+
+def _pair(distance: float):
+    receptor = Receptor(coords=np.array([[0.0, 0.0, 0.0]]), elements=["C"])
+    ligand = Ligand(coords=np.array([[0.0, 0.0, 0.0]]), elements=["C"])
+    t = np.array([[distance, 0.0, 0.0]])
+    q = identity_quaternion()[None, :]
+    return receptor, ligand, t, q
+
+
+def test_matches_plain_lj_at_long_range():
+    """Relative deviation is ασ⁶/r⁶ — about 0.4 % at 8 Å with α = 0.5."""
+    receptor, ligand, t, q = _pair(8.0)
+    soft = SoftcoreLJScoring(alpha=0.5).bind(receptor, ligand).score(t, q)[0]
+    hard = LennardJonesScoring().bind(receptor, ligand).score(t, q)[0]
+    assert soft == pytest.approx(hard, rel=1e-2)
+    # And the deviation shrinks with distance as predicted.
+    _, _, t12, _ = _pair(12.0)
+    soft12 = SoftcoreLJScoring(alpha=0.5).bind(receptor, ligand).score(t12, q)[0]
+    hard12 = LennardJonesScoring().bind(receptor, ligand).score(t12, q)[0]
+    assert abs(soft12 / hard12 - 1) < abs(soft / hard - 1)
+
+
+def test_saturates_at_zero_distance():
+    receptor, ligand, _, q = _pair(0.0)
+    t = np.zeros((1, 3))
+    alpha = 0.5
+    p = default_forcefield().mix("C", "C")
+    expected_cap = 4.0 * p.epsilon * (1.0 / alpha**2 - 1.0 / alpha)
+    score = SoftcoreLJScoring(alpha=alpha).bind(receptor, ligand).score(t, q)[0]
+    assert score == pytest.approx(expected_cap, rel=1e-9)
+
+
+def test_clash_much_milder_than_hard_lj():
+    receptor, ligand, t, q = _pair(0.5)
+    soft = SoftcoreLJScoring().bind(receptor, ligand).score(t, q)[0]
+    hard = LennardJonesScoring().bind(receptor, ligand).score(t, q)[0]
+    assert soft < hard / 1e3  # hard wall is astronomically larger
+
+
+def test_preserves_minimum_location_approximately():
+    receptor, ligand, _, q = _pair(0.0)
+    soft = SoftcoreLJScoring(alpha=0.2).bind(receptor, ligand)
+    hard = LennardJonesScoring().bind(receptor, ligand)
+    rs = np.linspace(3.0, 6.0, 200)
+    t = np.zeros((200, 3))
+    t[:, 0] = rs
+    qs = np.tile(q, (200, 1))
+    soft_min = rs[np.argmin(soft.score(t, qs))]
+    hard_min = rs[np.argmin(hard.score(t, qs))]
+    assert soft_min == pytest.approx(hard_min, abs=0.15)
+
+
+def test_alpha_validation(receptor, ligand):
+    with pytest.raises(ScoringError):
+        SoftcoreLJScoring(alpha=0.0).bind(receptor, ligand)
+
+
+def test_full_complex_is_finite(receptor, ligand, pose_batch):
+    translations, quaternions = pose_batch
+    scores = SoftcoreLJScoring().bind(receptor, ligand).score(translations, quaternions)
+    assert np.all(np.isfinite(scores))

@@ -1,0 +1,37 @@
+"""Tiled scorer: exact equivalence with dense, tile statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.scoring.lennard_jones import LennardJonesScoring
+from repro.scoring.tiled import TiledLennardJonesScoring
+
+
+@pytest.mark.parametrize("tile", [1, 7, 64, 128, 1000])
+def test_tiled_matches_dense_for_any_tile_size(receptor, ligand, pose_batch, tile):
+    translations, quaternions = pose_batch
+    dense = LennardJonesScoring().bind(receptor, ligand).score(translations, quaternions)
+    tiled = TiledLennardJonesScoring(tile=tile).bind(receptor, ligand).score(
+        translations, quaternions
+    )
+    np.testing.assert_allclose(tiled, dense, rtol=1e-9)
+
+
+def test_tile_statistics(receptor, ligand):
+    bound = TiledLennardJonesScoring(tile=128).bind(receptor, ligand)
+    assert bound.n_tiles == -(-receptor.n_atoms // 128)
+    assert bound.shared_bytes_per_tile == 128 * 5 * 4
+    # The default tile fits comfortably in 16 KB shared memory.
+    assert bound.shared_bytes_per_tile < 16 * 1024
+
+
+def test_invalid_tile_rejected(receptor, ligand):
+    with pytest.raises(ScoringError):
+        TiledLennardJonesScoring(tile=0).bind(receptor, ligand)
+
+
+def test_flops_match_dense(receptor, ligand):
+    tiled = TiledLennardJonesScoring().bind(receptor, ligand)
+    dense = LennardJonesScoring().bind(receptor, ligand)
+    assert tiled.flops_per_pose == dense.flops_per_pose

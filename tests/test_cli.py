@@ -1,0 +1,99 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["dock", "--spots", "3"])
+    assert args.command == "dock"
+    assert args.spots == 3
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_devices_command(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "Kepler" in out
+    assert "Tesla K40c" in out
+    assert "Xeon E5-2620" in out
+
+
+def test_dock_command(capsys, tmp_path):
+    out_pdb = tmp_path / "complex.pdb"
+    code = main(
+        [
+            "dock",
+            "--receptor-atoms", "200",
+            "--ligand-atoms", "12",
+            "--spots", "2",
+            "--scale", "0.05",
+            "--out-pdb", str(out_pdb),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "best score" in out
+    assert out_pdb.exists()
+
+
+def test_screen_command(capsys):
+    code = main(
+        [
+            "screen",
+            "--receptor-atoms", "200",
+            "--ligands", "2",
+            "--spots", "2",
+            "--scale", "0.05",
+        ]
+    )
+    assert code == 0
+    assert "Screening report" in capsys.readouterr().out
+
+
+def test_tables_command_single(capsys):
+    code = main(["tables", "--table", "8", "--scale", "0.02"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Paper Table 8" in out
+    assert "Hertz" in out
+
+
+def test_dock_flexible_flag(capsys):
+    code = main(
+        [
+            "dock",
+            "--receptor-atoms", "200",
+            "--ligand-atoms", "12",
+            "--spots", "2",
+            "--flexible",
+            "--max-torsions", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "flexible best score" in out
+    assert "torsions" in out
+
+
+def test_trace_and_replay_commands(capsys, tmp_path):
+    trace_path = tmp_path / "m3.json"
+    code = main(
+        ["trace", "--preset", "M3", "--dataset", "2BSM",
+         "--scale", "0.1", "--out", str(trace_path)]
+    )
+    assert code == 0
+    assert trace_path.exists()
+    assert "launches" in capsys.readouterr().out
+
+    code = main(
+        ["replay", "--trace", str(trace_path), "--node", "jupiter",
+         "--mode", "gpu-dynamic"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "gpu-dynamic on jupiter" in out
+    assert "balance" in out

@@ -1,0 +1,105 @@
+"""Pose-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metaheuristics.individual import Conformation
+from repro.vs.analysis import (
+    cluster_poses,
+    convergence_statistics,
+    pairwise_rmsd_matrix,
+    pose_rmsd,
+)
+
+
+def _conf(t, q=(1.0, 0, 0, 0), score=0.0, spot=0):
+    return Conformation(
+        spot_index=spot,
+        translation=np.asarray(t, dtype=float),
+        quaternion=np.asarray(q, dtype=float),
+        score=score,
+    )
+
+
+def test_rmsd_of_identical_poses_is_zero(ligand):
+    a = _conf([1.0, 2.0, 3.0])
+    assert pose_rmsd(ligand, a, a) == pytest.approx(0.0)
+
+
+def test_rmsd_of_pure_translation(ligand):
+    a = _conf([0.0, 0.0, 0.0])
+    b = _conf([3.0, 4.0, 0.0])
+    assert pose_rmsd(ligand, a, b) == pytest.approx(5.0)
+
+
+def test_rmsd_symmetry(ligand, rng):
+    from repro.molecules.transforms import random_quaternion
+
+    a = _conf(rng.normal(size=3), random_quaternion(rng))
+    b = _conf(rng.normal(size=3), random_quaternion(rng))
+    assert pose_rmsd(ligand, a, b) == pytest.approx(pose_rmsd(ligand, b, a))
+
+
+def test_rotation_changes_rmsd_but_not_centroid(ligand):
+    from repro.molecules.transforms import quaternion_from_axis_angle
+
+    a = _conf([0.0, 0.0, 0.0])
+    b = _conf([0.0, 0.0, 0.0], quaternion_from_axis_angle(np.array([0, 0, 1.0]), 1.5))
+    assert pose_rmsd(ligand, a, b) > 0.5
+
+
+def test_pairwise_matrix_properties(ligand):
+    poses = [_conf([0, 0, 0]), _conf([2, 0, 0]), _conf([0, 5, 0])]
+    m = pairwise_rmsd_matrix(ligand, poses)
+    assert m.shape == (3, 3)
+    np.testing.assert_allclose(np.diag(m), 0.0, atol=1e-12)
+    np.testing.assert_allclose(m, m.T)
+    assert m[0, 1] == pytest.approx(2.0)
+    with pytest.raises(ReproError):
+        pairwise_rmsd_matrix(ligand, [])
+
+
+def test_clustering_groups_nearby_poses(ligand):
+    poses = [
+        _conf([0.0, 0, 0], score=-10.0),
+        _conf([0.5, 0, 0], score=-8.0),  # within 2 Å of the first
+        _conf([20.0, 0, 0], score=-9.0),  # far away
+    ]
+    clusters = cluster_poses(ligand, poses, rmsd_cutoff=2.0)
+    assert len(clusters) == 2
+    # Best-first: first cluster is represented by the -10 pose.
+    assert clusters[0].representative.score == -10.0
+    assert clusters[0].size == 2
+    assert clusters[1].size == 1
+
+
+def test_clustering_validation(ligand):
+    with pytest.raises(ReproError):
+        cluster_poses(ligand, [], rmsd_cutoff=2.0)
+    with pytest.raises(ReproError):
+        cluster_poses(ligand, [_conf([0, 0, 0])], rmsd_cutoff=0.0)
+
+
+def test_clustering_singletons_when_cutoff_tiny(ligand):
+    poses = [_conf([i * 3.0, 0, 0], score=float(-i)) for i in range(4)]
+    clusters = cluster_poses(ligand, poses, rmsd_cutoff=0.1)
+    assert len(clusters) == 4
+    assert all(c.size == 1 for c in clusters)
+
+
+def test_convergence_statistics():
+    stats = convergence_statistics([0.0, -5.0, -9.0, -10.0, -10.0, -10.0])
+    assert stats["initial"] == 0.0
+    assert stats["final"] == -10.0
+    assert stats["improvement"] == 10.0
+    assert stats["iterations_to_90pct"] == 2.0  # -9.0 hits the 90% mark
+    assert stats["stagnant_tail"] == 2.0
+
+
+def test_convergence_statistics_flat_history():
+    stats = convergence_statistics([-1.0, -1.0])
+    assert stats["improvement"] == 0.0
+    assert stats["iterations_to_90pct"] == 0.0
+    with pytest.raises(ReproError):
+        convergence_statistics([])

@@ -1,0 +1,90 @@
+"""Flexible-docking extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.molecules.flexibility import FlexibleLigand
+from repro.vs.flexible import dock_flexible
+
+
+@pytest.fixture(scope="module")
+def flexible_result(request):
+    receptor = request.getfixturevalue("receptor")
+    ligand = request.getfixturevalue("ligand")
+    return dock_flexible(
+        receptor,
+        ligand,
+        n_spots=3,
+        walkers_per_spot=4,
+        steps=12,
+        seed=2,
+    )
+
+
+def test_flexible_docking_finds_binding(flexible_result):
+    assert flexible_result.best_score < -5.0
+    assert flexible_result.evaluations > 0
+    assert len(flexible_result.per_spot) == 3
+
+
+def test_best_is_min_over_spots(flexible_result):
+    assert flexible_result.best_score == min(
+        p.score for p in flexible_result.per_spot
+    )
+
+
+def test_poses_carry_torsions(flexible_result, ligand):
+    flex = FlexibleLigand(ligand, max_torsions=6)
+    assert flexible_result.n_torsions == flex.n_torsions
+    for pose in flexible_result.per_spot:
+        assert pose.torsions.shape == (flexible_result.n_torsions,)
+        assert np.all(np.isfinite(pose.torsions))
+
+
+def test_zero_torsions_match_rigid_scoring(receptor, ligand):
+    """With torsions frozen at zero the conformer equals the rigid ligand,
+    so the flexible scorer must agree with the rigid one pose by pose."""
+    import numpy as np
+
+    from repro.molecules.transforms import random_quaternion
+    from repro.scoring.cutoff import CutoffLennardJonesScoring
+    from repro.vs.flexible import _score_flexible
+
+    scorer = CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand)
+    flex = FlexibleLigand(ligand, max_torsions=4)
+    rng = np.random.default_rng(3)
+    t = rng.normal(0, 8, (6, 3))
+    q = random_quaternion(rng, 6)
+    zero_torsions = np.zeros((6, flex.n_torsions))
+    flexible_scores = _score_flexible(scorer, flex, t, q, zero_torsions)
+    rigid_scores = scorer.score(t, q)
+    np.testing.assert_allclose(flexible_scores, rigid_scores, rtol=1e-4)
+
+
+def test_frozen_torsion_run_comparable_to_flexible(receptor, ligand):
+    """Quality sanity: both searches land in the binding-well regime (the
+    extra dimensions neither break the optimiser nor explode the score)."""
+    frozen = dock_flexible(
+        receptor, ligand, n_spots=2, max_torsions=0,
+        walkers_per_spot=6, steps=20, seed=4,
+    )
+    flexible = dock_flexible(
+        receptor, ligand, n_spots=2, max_torsions=6,
+        walkers_per_spot=6, steps=20, seed=4,
+    )
+    assert frozen.best_score < -5.0
+    assert flexible.best_score < -5.0
+
+
+def test_determinism(receptor, ligand):
+    a = dock_flexible(receptor, ligand, n_spots=2, walkers_per_spot=3, steps=6, seed=9)
+    b = dock_flexible(receptor, ligand, n_spots=2, walkers_per_spot=3, steps=6, seed=9)
+    assert a.best_score == b.best_score
+
+
+def test_validation(receptor, ligand):
+    with pytest.raises(ReproError):
+        dock_flexible(receptor, ligand, walkers_per_spot=0)
+    with pytest.raises(ReproError):
+        dock_flexible(receptor, ligand, spots=[])

@@ -1,0 +1,62 @@
+"""Pipeline facade tests."""
+
+import pytest
+
+from repro.engine.executor import EXECUTION_MODES
+from repro.errors import ReproError
+from repro.hardware.node import jupiter
+from repro.vs.pipeline import PipelineConfig, VirtualScreeningPipeline
+from repro.vs.screening import synthetic_library
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return VirtualScreeningPipeline(
+        config=PipelineConfig(n_spots=3, metaheuristic="M1", workload_scale=0.05, seed=2)
+    )
+
+
+def test_default_node_is_hertz(pipe):
+    assert pipe.node.name == "hertz"
+
+
+def test_config_validation():
+    with pytest.raises(ReproError):
+        PipelineConfig(n_spots=0)
+    with pytest.raises(ReproError):
+        PipelineConfig(mode="warp-drive")
+
+
+def test_pipeline_dock(pipe, receptor, ligand):
+    result = pipe.dock(receptor, ligand)
+    assert result.best_score < 0
+    assert result.simulated_seconds > 0
+
+
+def test_pipeline_screen(pipe, receptor):
+    report = pipe.screen(receptor, synthetic_library(2, atoms_range=(8, 12), seed=9))
+    assert len(report.entries) == 2
+
+
+def test_pipeline_spec_resolution(pipe):
+    spec = pipe.spec()
+    assert spec.name == "M1"
+
+
+def test_compare_modes_covers_all(pipe, receptor, ligand):
+    reports = pipe.compare_modes(receptor, ligand)
+    assert set(reports) == set(EXECUTION_MODES)
+    # Identical search outcome in every mode.
+    assert len({r.result.best.score for r in reports.values()}) == 1
+    # openmp slowest at this (tiny) workload is not guaranteed, but all
+    # timings must be positive.
+    assert all(r.simulated_seconds > 0 for r in reports.values())
+
+
+def test_pipeline_with_jupiter(receptor, ligand):
+    pipe = VirtualScreeningPipeline(
+        node=jupiter(),
+        config=PipelineConfig(n_spots=2, metaheuristic="M1", workload_scale=0.05),
+    )
+    result = pipe.dock(receptor, ligand)
+    assert result.simulated_seconds > 0

@@ -1,0 +1,70 @@
+"""Library-screening tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hardware.node import hertz
+from repro.vs.screening import screen, synthetic_library
+
+
+def test_synthetic_library_properties():
+    lib = synthetic_library(6, atoms_range=(10, 20), seed=1)
+    assert len(lib) == 6
+    assert all(10 <= lig.n_atoms <= 20 for lig in lib)
+    assert len({lig.title for lig in lib}) == 6  # unique names
+    # Deterministic.
+    again = synthetic_library(6, atoms_range=(10, 20), seed=1)
+    assert [l.n_atoms for l in lib] == [l.n_atoms for l in again]
+
+
+def test_synthetic_library_validation():
+    with pytest.raises(ReproError):
+        synthetic_library(0)
+    with pytest.raises(ReproError):
+        synthetic_library(3, atoms_range=(20, 10))
+
+
+def test_screen_ranks_all_ligands(receptor):
+    lib = synthetic_library(4, atoms_range=(8, 16), seed=2)
+    report = screen(
+        receptor, lib, n_spots=3, metaheuristic="M1", workload_scale=0.05, seed=5
+    )
+    assert len(report.entries) == 4
+    ranked = report.ranked()
+    scores = [e.best_score for e in ranked]
+    assert scores == sorted(scores)
+    assert report.top(2)[0].best_score == scores[0]
+
+
+def test_screen_with_node_accumulates_time(receptor):
+    lib = synthetic_library(2, atoms_range=(8, 12), seed=3)
+    report = screen(
+        receptor,
+        lib,
+        n_spots=2,
+        metaheuristic="M1",
+        workload_scale=0.05,
+        node=hertz(),
+    )
+    assert report.simulated_seconds > 0
+
+
+def test_screen_empty_library_rejected(receptor):
+    with pytest.raises(ReproError):
+        screen(receptor, [])
+
+
+def test_report_to_text(receptor):
+    lib = synthetic_library(2, atoms_range=(8, 12), seed=4)
+    report = screen(receptor, lib, n_spots=2, metaheuristic="M1", workload_scale=0.05)
+    text = report.to_text()
+    assert "rank" in text
+    assert "LIG0000" in text
+
+
+def test_top_k_validation(receptor):
+    lib = synthetic_library(2, atoms_range=(8, 12), seed=4)
+    report = screen(receptor, lib, n_spots=2, metaheuristic="M1", workload_scale=0.05)
+    with pytest.raises(ReproError):
+        report.top(0)
+    assert len(report.top(100)) == 2  # clamped

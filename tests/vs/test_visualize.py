@@ -1,0 +1,134 @@
+"""Terminal-visualisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.vs.visualize import ascii_projection, score_map, sparkline
+
+
+def test_projection_dimensions(receptor, ligand):
+    art = ascii_projection([(receptor, "#"), (ligand, "@")], width=40, height=10)
+    lines = art.split("\n")
+    assert len(lines) == 10
+    assert all(len(line) == 40 for line in lines)
+    assert "#" in art
+
+
+def test_projection_later_layers_overdraw():
+    pts = np.zeros((1, 3))
+    art = ascii_projection([(pts, "#"), (pts, "@")], width=4, height=4)
+    assert "@" in art
+    assert "#" not in art
+
+
+def test_projection_axes_selection(receptor):
+    xy = ascii_projection([(receptor, "#")], axes=(0, 1))
+    xz = ascii_projection([(receptor, "#")], axes=(0, 2))
+    assert xy != xz
+
+
+def test_projection_validation(receptor):
+    with pytest.raises(ReproError):
+        ascii_projection([])
+    with pytest.raises(ReproError):
+        ascii_projection([(receptor, "##")])
+    with pytest.raises(ReproError):
+        ascii_projection([(receptor, "#")], width=1)
+    with pytest.raises(ReproError):
+        ascii_projection([(np.zeros((3,)), "#")])
+
+
+def test_score_map_ordering():
+    art = score_map(np.array([-1.0, -10.0, -5.0]))
+    lines = art.split("\n")
+    assert "spot   1" in lines[0]  # best first
+    assert lines[0].count("█") > lines[1].count("█") > lines[2].count("█")
+
+
+def test_score_map_labels_and_validation():
+    art = score_map(np.array([-2.0, -4.0]), labels=["ligA", "ligB"])
+    assert "ligB" in art.split("\n")[0]
+    with pytest.raises(ReproError):
+        score_map(np.array([]))
+    with pytest.raises(ReproError):
+        score_map(np.array([-1.0]), labels=["a", "b"])
+
+
+def test_score_map_positive_scores_have_empty_bars():
+    art = score_map(np.array([5.0, -5.0]))
+    lines = art.split("\n")
+    assert lines[1].endswith("|")  # the positive (unbound) score: no bar
+
+
+def test_sparkline_shape_and_monotone():
+    line = sparkline([0.0, -2.0, -4.0, -6.0, -8.0])
+    assert len(line) == 5
+    assert line[0] == "█"  # worst (highest) score
+    assert line[-1] == "▁"  # best
+
+
+def test_sparkline_flat_and_single():
+    assert sparkline([1.0]) == "▁"
+    assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+    with pytest.raises(ReproError):
+        sparkline([])
+
+
+# ----------------------------------------------------------------------
+# gantt
+# ----------------------------------------------------------------------
+def _timeline():
+    return [
+        (0, 0.0, 1.0, "population"),
+        (1, 0.0, 2.0, "population"),
+        (0, 2.0, 2.5, "improve"),
+        (1, 2.0, 4.0, "improve"),
+    ]
+
+
+def test_gantt_structure():
+    from repro.vs.visualize import gantt
+
+    art = gantt(_timeline(), ["K40c", "GTX580"], width=40)
+    lines = art.split("\n")
+    assert len(lines) == 3  # two devices + axis
+    assert "K40c" in lines[0]
+    assert "█" in lines[0] and "▒" in lines[1]
+    assert lines[2].strip().startswith("0")
+
+
+def test_gantt_idle_gap_is_visible():
+    from repro.vs.visualize import gantt
+
+    art = gantt(_timeline(), width=40)
+    # Device 0 idles between 1.0 and 2.0 while device 1 works.
+    row0 = art.split("\n")[0].split("|")[1]
+    assert " " in row0.strip("█▒░ ") or row0.count(" ") > 2
+
+
+def test_gantt_validation():
+    from repro.vs.visualize import gantt
+
+    with pytest.raises(ReproError):
+        gantt([])
+    with pytest.raises(ReproError):
+        gantt(_timeline(), device_names=["only-one"])
+    with pytest.raises(ReproError):
+        gantt([(0, 0.0, 0.0, "population")])
+
+
+def test_gantt_integrates_with_executor():
+    from repro.engine.executor import simulate_gpu_trace
+    from repro.engine.scheduler import StaticEqualScheduler
+    from repro.experiments.trace import analytic_trace
+    from repro.hardware.node import hertz
+    from repro.vs.visualize import gantt
+
+    node = hertz()
+    trace = analytic_trace("M1", 16, 3264, 45, workload_scale=0.2)
+    timeline = []
+    timing = simulate_gpu_trace(trace, node, StaticEqualScheduler(), timeline=timeline)
+    assert len(timeline) == timing.n_launches * node.n_gpus
+    art = gantt(timeline, [g.name for g in node.gpus])
+    assert "K40c" in art
