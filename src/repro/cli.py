@@ -19,6 +19,31 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_host_runtime_args(sub: argparse.ArgumentParser) -> None:
+    """Flags for the real process-parallel host runtime."""
+    sub.add_argument(
+        "--host-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="score on N real worker processes (0 = serial; results are "
+        "bitwise identical either way)",
+    )
+    sub.add_argument(
+        "--parallel-mode",
+        choices=("static", "dynamic"),
+        default="static",
+        help="static = warm-up-weighted shares (Eq. 1), "
+        "dynamic = work-stealing spot queue",
+    )
+    sub.add_argument(
+        "--prune-spots",
+        action="store_true",
+        help="score each spot against its active-site receptor subset "
+        "(exact for the default cutoff scoring)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -44,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="search ligand torsions too (flexible-ligand extension)",
     )
     dock.add_argument("--max-torsions", type=int, default=6)
+    _add_host_runtime_args(dock)
 
     scr = sub.add_parser("screen", help="screen a synthetic ligand library")
     scr.add_argument("--receptor-atoms", type=int, default=1000)
@@ -53,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     scr.add_argument("--scale", type=float, default=0.1)
     scr.add_argument("--seed", type=int, default=0)
     scr.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
+    _add_host_runtime_args(scr)
 
     tab = sub.add_parser("tables", help="regenerate the paper's Tables 6-9")
     tab.add_argument(
@@ -129,6 +156,9 @@ def _cmd_dock(args: argparse.Namespace) -> int:
         seed=args.seed,
         workload_scale=args.scale,
         node=node,
+        host_workers=args.host_workers,
+        parallel_mode=args.parallel_mode,
+        prune_spots=args.prune_spots,
     )
     print(
         f"best score {result.best_score:.3f} kcal/mol at spot "
@@ -160,6 +190,9 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         seed=args.seed,
         workload_scale=args.scale,
         node=node,
+        host_workers=args.host_workers,
+        parallel_mode=args.parallel_mode,
+        prune_spots=args.prune_spots,
     )
     print(report.to_text())
     return 0

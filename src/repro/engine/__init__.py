@@ -17,6 +17,13 @@ from repro.engine.executor import (
     simulate_cpu_trace,
     simulate_gpu_trace,
 )
+from repro.engine.host_runtime import (
+    HostWarmupResult,
+    ParallelSpotEvaluator,
+    SharedArrayStage,
+    rebuild_scorer,
+    stage_scorer,
+)
 from repro.engine.openmp import ThreadedCpuEvaluator
 from repro.engine.partition import equal_partition, proportional_partition
 from repro.engine.reporting import ExecutionReport, TimingBreakdown
@@ -50,6 +57,9 @@ __all__ = [
     "Event",
     "EventLoop",
     "ExecutionReport",
+    "HostWarmupResult",
+    "ParallelSpotEvaluator",
+    "SharedArrayStage",
     "Job",
     "LigandWorkload",
     "MultiGpuExecutor",
@@ -72,8 +82,10 @@ __all__ = [
     "partition_spots_by_weight",
     "loads_trace",
     "proportional_partition",
+    "rebuild_scorer",
     "run_job_queue",
     "run_warmup",
+    "stage_scorer",
     "simulate_async_trace",
     "simulate_cpu_trace",
     "simulate_gpu_trace",

@@ -1,0 +1,653 @@
+"""Process-parallel host runtime: real cores, same answers.
+
+Everything else in :mod:`repro.engine` *models* parallel hardware; this
+module actually uses the machine. A :class:`ParallelSpotEvaluator` shards a
+launch's poses across a persistent :class:`~concurrent.futures.ProcessPoolExecutor`,
+mirroring the paper's device strategy at the host level:
+
+* **Staging** — receptor coordinates and the precomputed σ²/4ε pair tables
+  are written once into :mod:`multiprocessing.shared_memory` segments and
+  attached zero-copy by every worker (the Python analogue of staging
+  per-complex constants on each GPU before launching scoring kernels; see
+  the bind/BoundScorer split in :mod:`repro.scoring.base`).
+* **Warm-up (Eq. 1)** — at pool start each worker times a few scoring
+  launches; shares are assigned ∝ 1/Percent, exactly the paper's
+  ``Percent = t_worker / t_slowest`` heterogeneous split, but with wall
+  clocks instead of the simulated performance model.
+* **Scheduling** — ``static`` mode LPT-packs per-spot jobs onto workers
+  weighted by measured throughput (one task per worker per launch);
+  ``dynamic`` mode submits jobs individually in LPT order
+  (largest-first, the ordering :mod:`repro.engine.device_worker` uses) so
+  whichever worker frees up first pulls the next job — a work-stealing
+  queue with no warm-up required.
+
+Determinism contract: for any scorer, ``ParallelSpotEvaluator`` returns
+*bitwise* the same energies as :class:`~repro.metaheuristics.evaluation.SerialEvaluator`
+with the same seed, for any worker count and either mode. Work is split only
+along boundaries the serial path already has — whole chunks of the serial
+chunk grid for plain scorers, whole per-spot groups for spot-aware scorers —
+and workers rebuild the scorer from the staged arrays, so every chunk's
+arithmetic is identical to its serial counterpart.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from secrets import token_hex
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.constants import DEFAULT_SEED, FLOAT_DTYPE
+from repro.errors import ScoringError
+from repro.metaheuristics.evaluation import EvaluationStats, LaunchRecord
+from repro.molecules.transforms import normalize_quaternion
+from repro.scoring.base import BoundScorer
+from repro.scoring.cutoff import BoundCutoffLennardJones
+from repro.scoring.lennard_jones import BoundLennardJones
+from repro.scoring.pruned import BoundSpotPruned
+
+__all__ = [
+    "ArrayHandle",
+    "SharedArrayStage",
+    "HostWarmupResult",
+    "ParallelSpotEvaluator",
+    "stage_scorer",
+    "rebuild_scorer",
+    "DEFAULT_WARMUP_POSES",
+    "DEFAULT_WARMUP_REPEATS",
+]
+
+#: Poses per warm-up timing launch ("a few candidate solutions", §3.3).
+DEFAULT_WARMUP_POSES: int = 64
+
+#: Timed launches per worker; the mean is the Eq. 1 measurement.
+DEFAULT_WARMUP_REPEATS: int = 3
+
+#: Give slow machines this long to spawn+warm every worker before falling
+#: back to equal shares.
+_WARMUP_TIMEOUT_S: float = 120.0
+
+
+# ----------------------------------------------------------------------
+# shared-memory staging
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrayHandle:
+    """Pickle-friendly reference to one staged array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArrayStage:
+    """Owner of a set of named shared-memory segments.
+
+    The parent process stages arrays once; workers attach read-only views.
+    The stage owns the segments' lifetime: :meth:`close` unlinks everything,
+    and is safe to call repeatedly (worker crashes, double shutdown).
+    """
+
+    def __init__(self) -> None:
+        self._prefix = f"repro{os.getpid():x}{token_hex(4)}"
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def stage(self, array: np.ndarray) -> ArrayHandle:
+        """Copy ``array`` into a new shared segment; return its handle."""
+        array = np.ascontiguousarray(array)
+        name = f"{self._prefix}n{len(self._segments)}"
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(array.nbytes, 1), name=name
+        )
+        self._segments.append(shm)
+        if array.size:
+            np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)[...] = array
+        return ArrayHandle(name=name, shape=tuple(array.shape), dtype=str(array.dtype))
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of every staged segment (tests probe these for leaks)."""
+        return tuple(shm.name for shm in self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment. Idempotent."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+            except OSError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _attach(handle: ArrayHandle) -> np.ndarray:
+    """Attach a read-only view of a staged array (worker side)."""
+    try:
+        shm = shared_memory.SharedMemory(name=handle.name, track=False)
+    except TypeError:  # Python < 3.13 has no track= parameter
+        # The parent owns the segments. On forked workers the resource
+        # tracker process is shared, so registering here (and unregistering
+        # later) would clobber the parent's own registration — suppress the
+        # attach-time registration instead.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name)
+        finally:
+            resource_tracker.register = original_register
+    _WORKER.setdefault("segments", []).append(shm)  # keep the mmap alive
+    view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    return view
+
+
+# ----------------------------------------------------------------------
+# scorer staging / rebuilding
+# ----------------------------------------------------------------------
+def stage_scorer(scorer: BoundScorer, stage: SharedArrayStage) -> dict:
+    """Describe ``scorer`` as a pickle-small spec with shared-memory handles.
+
+    The heavy per-complex arrays (receptor coordinates, σ²/4ε tables,
+    per-spot subsets) go through ``stage``; workers rebuild an equivalent
+    scorer with :func:`rebuild_scorer`. Scorer types without a dedicated
+    stager fall back to pickling the whole object (correct, just not
+    zero-copy).
+    """
+    if isinstance(scorer, BoundSpotPruned):
+        subset_offsets = np.zeros(len(scorer.spot_indices) + 1, dtype=np.int64)
+        ordered = [scorer.subsets[int(s)] for s in scorer.spot_indices]
+        np.cumsum([idx.size for idx in ordered], out=subset_offsets[1:])
+        subset_data = (
+            np.concatenate(ordered) if ordered else np.empty(0, dtype=np.int64)
+        )
+        return {
+            "kind": "pruned",
+            "inner": stage_scorer(scorer.inner, stage),
+            "mode": scorer.mode,
+            "prune_cutoff": scorer.prune_cutoff,
+            "lig_extent": scorer.lig_extent,
+            "margin": scorer.margin,
+            "spot_indices": stage.stage(scorer.spot_indices),
+            "spot_centers": stage.stage(scorer.spot_centers),
+            "spot_radii": stage.stage(scorer.spot_radii),
+            "subset_data": stage.stage(subset_data),
+            "subset_offsets": stage.stage(subset_offsets),
+        }
+    if isinstance(scorer, BoundCutoffLennardJones):
+        return {
+            "kind": "cutoff",
+            "n_receptor": scorer.receptor.n_atoms,
+            "n_ligand": scorer.ligand.n_atoms,
+            "cutoff": scorer.cutoff,
+            "chunk_size": scorer.chunk_size,
+            "dtype": str(scorer.dtype),
+            "receptor_coords": stage.stage(scorer.receptor_coords),
+            "tree_coords": stage.stage(scorer._tree_coords),
+            "sigma2": stage.stage(scorer._sigma2),
+            "epsilon4": stage.stage(scorer._epsilon4),
+            "ligand_coords": stage.stage(scorer.ligand_coords),
+        }
+    if isinstance(scorer, BoundLennardJones):
+        return {
+            "kind": "dense",
+            "n_receptor": scorer.receptor.n_atoms,
+            "n_ligand": scorer.ligand.n_atoms,
+            "chunk_size": scorer.chunk_size,
+            "receptor_coords": stage.stage(scorer.receptor_coords),
+            "rec_sq": stage.stage(scorer._rec_sq),
+            "sigma2": stage.stage(scorer._sigma2),
+            "epsilon4": stage.stage(scorer._epsilon4),
+            "ligand_coords": stage.stage(scorer.ligand_coords),
+        }
+    return {"kind": "pickle", "blob": pickle.dumps(scorer)}
+
+
+class _StagedMolecule:
+    """Stand-in for a Receptor/Ligand in workers.
+
+    After binding, scoring needs the molecules only for atom counts
+    (``flops_per_pose``, launch records); the coordinate payload lives in
+    the staged arrays.
+    """
+
+    def __init__(self, n_atoms: int) -> None:
+        self.n_atoms = int(n_atoms)
+
+
+def rebuild_scorer(spec: dict) -> BoundScorer:
+    """Reconstruct a bound scorer from a :func:`stage_scorer` spec."""
+    kind = spec["kind"]
+    if kind == "pickle":
+        return pickle.loads(spec["blob"])
+    if kind == "pruned":
+        inner = rebuild_scorer(spec["inner"])
+        spot_indices = _attach(spec["spot_indices"])
+        subset_data = _attach(spec["subset_data"])
+        subset_offsets = _attach(spec["subset_offsets"])
+        subsets = {
+            int(s): subset_data[subset_offsets[i] : subset_offsets[i + 1]]
+            for i, s in enumerate(spot_indices)
+        }
+        return BoundSpotPruned._from_parts(
+            inner,
+            mode=spec["mode"],
+            prune_cutoff=spec["prune_cutoff"],
+            lig_extent=spec["lig_extent"],
+            margin=spec["margin"],
+            subsets=subsets,
+            spot_indices=spot_indices,
+            spot_centers=_attach(spec["spot_centers"]),
+            spot_radii=_attach(spec["spot_radii"]),
+        )
+    if kind == "cutoff":
+        scorer = BoundCutoffLennardJones.__new__(BoundCutoffLennardJones)
+        scorer.receptor = _StagedMolecule(spec["n_receptor"])
+        scorer.ligand = _StagedMolecule(spec["n_ligand"])
+        scorer.cutoff = float(spec["cutoff"])
+        scorer.chunk_size = int(spec["chunk_size"])
+        scorer.dtype = np.dtype(spec["dtype"])
+        scorer.ligand_coords = _attach(spec["ligand_coords"])
+        scorer.receptor_coords = _attach(spec["receptor_coords"])
+        scorer._tree_coords = _attach(spec["tree_coords"])
+        scorer._sigma2 = _attach(spec["sigma2"])
+        scorer._epsilon4 = _attach(spec["epsilon4"])
+        # Same float64 input data as the parent's tree ⇒ identical gathers.
+        scorer._tree = cKDTree(scorer._tree_coords)
+        return scorer
+    if kind == "dense":
+        scorer = BoundLennardJones.__new__(BoundLennardJones)
+        scorer.receptor = _StagedMolecule(spec["n_receptor"])
+        scorer.ligand = _StagedMolecule(spec["n_ligand"])
+        scorer.chunk_size = int(spec["chunk_size"])
+        scorer.ligand_coords = _attach(spec["ligand_coords"])
+        scorer.receptor_coords = _attach(spec["receptor_coords"])
+        scorer._rec_sq = _attach(spec["rec_sq"])
+        scorer._sigma2 = _attach(spec["sigma2"])
+        scorer._epsilon4 = _attach(spec["epsilon4"])
+        scorer.sigma = None  # full tables stay in the parent
+        scorer.epsilon = None
+        return scorer
+    raise ScoringError(f"unknown staged scorer kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# worker process side
+# ----------------------------------------------------------------------
+#: Per-process state: scorer, worker index, shared counters, attached shm.
+_WORKER: dict = {}
+
+
+def _worker_init(spec, claim, ready, slots, warm) -> None:
+    """Pool initializer: attach staged arrays, rebuild the scorer, warm up.
+
+    ``claim`` hands out worker indices; ``ready`` counts workers that have
+    finished warming up (the parent's barrier waits on it); ``slots[i]``
+    receives worker ``i``'s mean warm-up launch time.
+    """
+    with claim.get_lock():
+        index = int(claim.value)
+        claim.value += 1
+    scorer = rebuild_scorer(spec)
+    _WORKER.update(
+        index=index, scorer=scorer, ready=ready, n_workers=len(slots) if slots else 0
+    )
+    if warm is not None:
+        translations, quaternions, repeats = warm
+        scorer.score(translations, quaternions)  # page in tables, warm BLAS
+        measured = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            scorer.score(translations, quaternions)
+            measured.append(time.perf_counter() - t0)
+        slots[index] = float(np.mean(measured))
+    if ready is not None:
+        with ready.get_lock():
+            ready.value += 1
+
+
+def _barrier_task(timeout_s: float) -> int:
+    """Block until every worker has initialised (or timeout).
+
+    Submitted once per worker at pool start: each blocked barrier keeps its
+    worker busy, which forces :class:`ProcessPoolExecutor` (on-demand
+    spawning since 3.9) to actually start all ``n`` processes.
+    """
+    ready = _WORKER["ready"]
+    n = _WORKER["n_workers"]
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        with ready.get_lock():
+            if int(ready.value) >= n:
+                break
+        time.sleep(0.002)
+    return _WORKER["index"]
+
+
+def _run_tasks(tasks: list[tuple[str, int, np.ndarray, np.ndarray]]) -> list[np.ndarray]:
+    """Score this worker's share of a launch: a list of (mode, spot, t, q)."""
+    scorer = _WORKER["scorer"]
+    out = []
+    for mode, spot, translations, quaternions in tasks:
+        if mode == "spot":
+            ids = np.full(translations.shape[0], spot, dtype=np.int64)
+            out.append(scorer.score_spots(ids, translations, quaternions))
+        else:
+            out.append(scorer.score(translations, quaternions))
+    return out
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HostWarmupResult:
+    """Eq. 1 over real worker processes.
+
+    ``percent[i] = measured_s[i] / measured_s.max()`` (1.0 for the slowest
+    worker); ``weights ∝ 1/percent`` and sum to 1.
+    """
+
+    measured_s: np.ndarray
+    percent: np.ndarray
+    weights: np.ndarray
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One indivisible unit of a launch: a contiguous slice or a spot group."""
+
+    mode: str  # "plain" (grid-aligned range) or "spot" (whole spot group)
+    spot: int
+    rows: np.ndarray  # positions in the launch's pose batch
+
+
+class ParallelSpotEvaluator:
+    """Evaluator that scores launches across a persistent process pool.
+
+    Implements the :class:`~repro.metaheuristics.evaluation.Evaluator`
+    protocol, so it drops into :class:`~repro.metaheuristics.context.SearchContext`
+    wherever a :class:`~repro.metaheuristics.evaluation.SerialEvaluator`
+    does — recording identical launch traces and returning bitwise identical
+    energies (see module docstring).
+
+    Parameters
+    ----------
+    scorer:
+        The bound scorer to parallelise. Staged into shared memory when it
+        is one of the known types; pickled otherwise.
+    n_workers:
+        Worker processes (≥ 1).
+    mode:
+        ``"static"`` (warm-up-weighted LPT packing, one task per worker per
+        launch) or ``"dynamic"`` (work-stealing job queue in LPT order).
+    warmup:
+        Set False to skip the timing phase (weights become equal). The pool
+        is still fully spawned up front.
+    warmup_poses, warmup_repeats:
+        Size of the Eq. 1 measurement.
+
+    Use as a context manager, or call :meth:`close`; shared segments are
+    unlinked on close and on worker-pool failure.
+    """
+
+    def __init__(
+        self,
+        scorer: BoundScorer,
+        n_workers: int,
+        mode: str = "static",
+        warmup: bool = True,
+        warmup_poses: int = DEFAULT_WARMUP_POSES,
+        warmup_repeats: int = DEFAULT_WARMUP_REPEATS,
+    ) -> None:
+        if n_workers < 1:
+            raise ScoringError(f"n_workers must be >= 1, got {n_workers}")
+        if mode not in ("static", "dynamic"):
+            raise ScoringError(f"mode must be 'static' or 'dynamic', got {mode!r}")
+        if "fork" not in mp.get_all_start_methods():  # pragma: no cover
+            raise ScoringError(
+                "the parallel host runtime requires the 'fork' start method "
+                "(shared counters are inherited, not pickled)"
+            )
+        self.scorer = scorer
+        self.n_workers = int(n_workers)
+        self.mode = mode
+        self.stats = EvaluationStats()
+        self._stage = SharedArrayStage()
+        self._pool: ProcessPoolExecutor | None = None
+        try:
+            spec = stage_scorer(scorer, self._stage)
+            ctx = mp.get_context("fork")
+            claim = ctx.Value("q", 0)
+            ready = ctx.Value("q", 0)
+            slots = ctx.Array("d", self.n_workers)
+            warm = self._warmup_batch(warmup_poses, warmup_repeats) if warmup else None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(spec, claim, ready, slots, warm),
+            )
+            self.warmup_result = self._spawn_and_warm(slots, timed=warmup)
+            self.weights = self.warmup_result.weights
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _warmup_batch(
+        self, n_poses: int, repeats: int
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Deterministic measurement poses spread over the receptor box."""
+        coords = self.scorer.receptor.coords
+        rng = np.random.default_rng(DEFAULT_SEED)
+        translations = rng.uniform(
+            coords.min(axis=0), coords.max(axis=0), size=(n_poses, 3)
+        ).astype(FLOAT_DTYPE)
+        quaternions = normalize_quaternion(rng.normal(size=(n_poses, 4)))
+        return translations, quaternions, int(repeats)
+
+    def _spawn_and_warm(self, slots, timed: bool) -> HostWarmupResult:
+        """Force-spawn all workers via blocking barriers; reduce Eq. 1."""
+        t0 = time.perf_counter()
+        barriers = [
+            self._pool.submit(_barrier_task, _WARMUP_TIMEOUT_S)
+            for _ in range(self.n_workers)
+        ]
+        try:
+            for future in barriers:
+                future.result(timeout=_WARMUP_TIMEOUT_S)
+        except BrokenProcessPool as exc:
+            raise ScoringError(
+                f"host worker pool died during warm-up: {exc}"
+            ) from exc
+        elapsed = time.perf_counter() - t0
+        measured = np.array(slots[:], dtype=np.float64)
+        if not timed or not np.all(measured > 0.0):
+            # untimed pool (or a straggler hit the barrier timeout): fall
+            # back to the homogeneous assumption
+            measured = np.ones(self.n_workers)
+        percent = measured / measured.max()
+        weights = 1.0 / percent
+        weights /= weights.sum()
+        return HostWarmupResult(
+            measured_s=measured, percent=percent, weights=weights, elapsed_s=elapsed
+        )
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _plan(self, spot_ids: np.ndarray) -> list[_Job]:
+        """Split one launch along serial-equivalent boundaries.
+
+        Spot-aware scorers group by spot serially, so the job unit is the
+        whole per-spot group. Plain scorers chunk the flat batch, so jobs
+        are runs of *whole* chunks from the serial chunk grid (ranges stay
+        grid-aligned: a worker rechunking its range reproduces exactly the
+        chunks the serial loop would have computed).
+        """
+        n = spot_ids.shape[0]
+        if self.scorer.supports_spot_scoring:
+            order = np.argsort(spot_ids, kind="stable")
+            sorted_ids = spot_ids[order]
+            jobs = []
+            start = 0
+            while start < n:
+                end = int(
+                    np.searchsorted(sorted_ids, sorted_ids[start], side="right")
+                )
+                jobs.append(
+                    _Job(mode="spot", spot=int(sorted_ids[start]), rows=order[start:end])
+                )
+                start = end
+            return jobs
+        chunk = self.scorer.chunk_size
+        jobs = []
+        run_lo = 0
+        run_spot = int(spot_ids[0])
+        for lo in range(chunk, n, chunk):
+            spot = int(spot_ids[lo])
+            if spot != run_spot:
+                jobs.append(
+                    _Job(mode="plain", spot=run_spot, rows=np.arange(run_lo, lo))
+                )
+                run_lo, run_spot = lo, spot
+        jobs.append(_Job(mode="plain", spot=run_spot, rows=np.arange(run_lo, n)))
+        return jobs
+
+    def _assign(self, jobs: list[_Job]) -> list[list[_Job]]:
+        """LPT-pack jobs onto workers weighted by measured throughput."""
+        order = sorted(range(len(jobs)), key=lambda i: (-jobs[i].rows.size, jobs[i].spot))
+        loads = np.zeros(self.n_workers)
+        buckets: list[list[_Job]] = [[] for _ in range(self.n_workers)]
+        for i in order:
+            finish = (loads + jobs[i].rows.size) / self.weights
+            worker = int(np.argmin(finish))
+            buckets[worker].append(jobs[i])
+            loads[worker] += jobs[i].rows.size
+        return buckets
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        spot_ids: np.ndarray,
+        translations: np.ndarray,
+        quaternions: np.ndarray,
+        kind: str = "population",
+    ) -> np.ndarray:
+        """Score one launch across the pool; record it like the serial path."""
+        if self._pool is None:
+            raise ScoringError("parallel evaluator is closed")
+        spot_ids = np.asarray(spot_ids)
+        translations = np.asarray(translations, dtype=FLOAT_DTYPE)
+        quaternions = np.asarray(quaternions, dtype=FLOAT_DTYPE)
+        if spot_ids.shape[0] != translations.shape[0]:
+            raise ScoringError(
+                f"{spot_ids.shape[0]} spot ids for {translations.shape[0]} poses"
+            )
+        unique, counts = np.unique(spot_ids, return_counts=True)
+        self.stats.record(
+            LaunchRecord(
+                n_conformations=int(translations.shape[0]),
+                flops_per_pose=self.scorer.flops_per_pose,
+                spot_counts={int(s): int(c) for s, c in zip(unique, counts)},
+                kind=kind,
+                n_receptor_atoms=self.scorer.receptor.n_atoms,
+            )
+        )
+        n = translations.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=FLOAT_DTYPE)
+        jobs = self._plan(spot_ids)
+        out = np.empty(n, dtype=FLOAT_DTYPE)
+        try:
+            if self.mode == "static":
+                buckets = self._assign(jobs)
+                futures = []
+                for bucket in buckets:
+                    if not bucket:
+                        continue
+                    tasks = [
+                        (job.mode, job.spot, translations[job.rows], quaternions[job.rows])
+                        for job in bucket
+                    ]
+                    futures.append((bucket, self._pool.submit(_run_tasks, tasks)))
+                for bucket, future in futures:
+                    for job, scores in zip(bucket, future.result()):
+                        out[job.rows] = scores
+            else:  # dynamic: one task per job, largest first, stolen freely
+                order = sorted(
+                    range(len(jobs)), key=lambda i: (-jobs[i].rows.size, jobs[i].spot)
+                )
+                futures = [
+                    (
+                        jobs[i],
+                        self._pool.submit(
+                            _run_tasks,
+                            [
+                                (
+                                    jobs[i].mode,
+                                    jobs[i].spot,
+                                    translations[jobs[i].rows],
+                                    quaternions[jobs[i].rows],
+                                )
+                            ],
+                        ),
+                    )
+                    for i in order
+                ]
+                for job, future in futures:
+                    out[job.rows] = future.result()[0]
+        except BrokenProcessPool as exc:
+            self.close()
+            raise ScoringError(
+                f"host worker pool crashed mid-launch ({exc}); shared-memory "
+                "segments have been released"
+            ) from exc
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment. Idempotent."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._stage.close()
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Shared-memory segment names owned by this evaluator."""
+        return self._stage.segment_names
+
+    def __enter__(self) -> "ParallelSpotEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,12 +1,20 @@
 """Scoring functions: the fitness landscape the metaheuristics optimise."""
 
 from repro.scoring.base import (
+    CHUNK_BUDGET_BYTES,
     OPS_PER_LJ_PAIR,
     BoundScorer,
     ScoringFunction,
+    auto_chunk_size,
     available_scorings,
     get_scoring,
     register_scoring,
+)
+from repro.scoring.pruned import (
+    BoundSpotPruned,
+    SpotPrunedScoring,
+    prune_bound,
+    spot_prune_indices,
 )
 from repro.scoring.composite import BoundComposite, CompositeScoring, make_lj_coulomb
 from repro.scoring.coulomb import BoundCoulomb, CoulombScoring
@@ -27,6 +35,7 @@ from repro.scoring.tiled import (
 )
 
 __all__ = [
+    "CHUNK_BUDGET_BYTES",
     "DEFAULT_TILE",
     "OPS_PER_LJ_PAIR",
     "BoundComposite",
@@ -38,6 +47,7 @@ __all__ = [
     "BoundReferenceLJ",
     "BoundScorer",
     "BoundSoftcoreLJ",
+    "BoundSpotPruned",
     "BoundTiledLennardJones",
     "CompositeScoring",
     "CoulombScoring",
@@ -48,10 +58,14 @@ __all__ = [
     "ReferenceLJScoring",
     "ScoringFunction",
     "SoftcoreLJScoring",
+    "SpotPrunedScoring",
     "TiledLennardJonesScoring",
+    "auto_chunk_size",
     "available_scorings",
     "get_scoring",
     "lj_energy_from_r2",
     "make_lj_coulomb",
+    "prune_bound",
     "register_scoring",
+    "spot_prune_indices",
 ]

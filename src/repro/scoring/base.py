@@ -33,7 +33,11 @@ __all__ = [
     "register_scoring",
     "get_scoring",
     "available_scorings",
+    "auto_chunk_size",
     "OPS_PER_LJ_PAIR",
+    "CHUNK_BUDGET_BYTES",
+    "MIN_CHUNK_SIZE",
+    "MAX_CHUNK_SIZE",
 ]
 
 #: Floating-point operations per receptor-ligand atom pair in the tiled LJ
@@ -41,12 +45,65 @@ __all__ = [
 #: squared distance: 1 div, powers (~6), 4ε(..) (~4) ≈ 18; plus tile loads.
 OPS_PER_LJ_PAIR: int = 18
 
+#: Target size of the per-chunk pair matrix (the ``(poses, n_lig, n_rec)``
+#: scratch that dominates the dense scorers' peak memory). 8 MiB keeps the
+#: working set inside L2/L3 on typical hosts while still filling the GEMM.
+CHUNK_BUDGET_BYTES: int = 8 * 1024 * 1024
+
+#: Chunk-size clamp: below this the GEMM degenerates into tiny matmuls …
+MIN_CHUNK_SIZE: int = 4
+
+#: … above this the chunk loop stops amortising anything and scratch arrays
+#: just grow.
+MAX_CHUNK_SIZE: int = 256
+
+
+def auto_chunk_size(
+    n_receptor: int,
+    n_ligand: int,
+    itemsize: int = 8,
+    budget_bytes: int = CHUNK_BUDGET_BYTES,
+) -> int:
+    """Poses per chunk so the pair matrix stays within ``budget_bytes``.
+
+    ``clamp(budget_bytes / (n_rec * n_lig * itemsize))`` — one rule for every
+    pairwise scorer, replacing the historical per-class constants (32 vs 16
+    vs 64) that let big receptors blow peak memory and small ones under-fill
+    the GEMM.
+    """
+    pair_bytes = max(1, int(n_receptor) * int(n_ligand) * int(itemsize))
+    return int(np.clip(budget_bytes // pair_bytes, MIN_CHUNK_SIZE, MAX_CHUNK_SIZE))
+
+
+def non_finite_error(out: np.ndarray, batch_shape: tuple[int, ...]) -> ScoringError:
+    """Build the diagnostic for a batch that scored to NaN/inf.
+
+    Names the offending pose indices (these surface from worker processes in
+    the parallel host runtime, where "something was non-finite" alone is
+    undebuggable) and the batch shape.
+    """
+    bad = np.flatnonzero(~np.isfinite(np.asarray(out)))
+    shown = ", ".join(str(int(i)) for i in bad[:10])
+    if bad.size > 10:
+        shown += f", … ({bad.size - 10} more)"
+    return ScoringError(
+        f"scoring produced non-finite values for {bad.size} of {out.size} "
+        f"poses (pose indices [{shown}]; batch shape {batch_shape})"
+    )
+
 
 class BoundScorer(ABC):
     """A scoring function specialised to one (receptor, ligand) pair."""
 
     #: Poses per evaluation chunk; bounds peak memory of the dense kernels.
+    #: Set per-instance in ``__init__`` from the memory budget; subclasses
+    #: may override with an explicit constructor argument.
     chunk_size: int = 32
+
+    #: True for scorers whose :meth:`score_spots` exploits the spot ids of a
+    #: batch (e.g. per-spot receptor pruning). Evaluators check this flag
+    #: and route through :meth:`score_spots` when set.
+    supports_spot_scoring: bool = False
 
     def __init__(self, receptor: Receptor, ligand: Ligand) -> None:
         self.receptor = receptor
@@ -55,6 +112,9 @@ class BoundScorer(ABC):
         #: these (see :func:`repro.molecules.transforms.apply_pose`).
         self.ligand_coords = np.ascontiguousarray(
             ligand.coords - ligand.coords.mean(axis=0), dtype=FLOAT_DTYPE
+        )
+        self.chunk_size = auto_chunk_size(
+            receptor.n_atoms, ligand.n_atoms, np.dtype(FLOAT_DTYPE).itemsize
         )
 
     # ------------------------------------------------------------------
@@ -103,8 +163,22 @@ class BoundScorer(ABC):
             hi = min(lo + self.chunk_size, n)
             out[lo:hi] = self._score_chunk(translations[lo:hi], quaternions[lo:hi])
         if not np.all(np.isfinite(out)):
-            raise ScoringError("scoring produced non-finite values")
+            raise non_finite_error(out, translations.shape)
         return out
+
+    def score_spots(
+        self,
+        spot_ids: np.ndarray,
+        translations: np.ndarray,
+        quaternions: np.ndarray,
+    ) -> np.ndarray:
+        """Score a batch whose poses are tagged with global spot indices.
+
+        The base implementation ignores the spot ids; scorers with
+        ``supports_spot_scoring = True`` override this to use per-spot
+        precomputation (receptor pruning).
+        """
+        return self.score(translations, quaternions)
 
     def score_one(self, translation: np.ndarray, quaternion: np.ndarray) -> float:
         """Score a single pose."""
@@ -145,7 +219,7 @@ class BoundScorer(ABC):
             hi = min(lo + self.chunk_size, n)
             out[lo:hi] = self._score_posed_chunk(posed[lo:hi])
         if not np.all(np.isfinite(out)):
-            raise ScoringError("scoring produced non-finite values")
+            raise non_finite_error(out, posed.shape)
         return out
 
     def _score_posed_chunk(self, posed: np.ndarray) -> np.ndarray:

@@ -39,12 +39,13 @@ class BoundCoulomb(BoundScorer):
         receptor: Receptor,
         ligand: Ligand,
         dielectric: float = DEFAULT_DIELECTRIC,
-        chunk_size: int = 16,
+        chunk_size: int | None = None,
     ) -> None:
         super().__init__(receptor, ligand)
         if dielectric <= 0:
             raise ScoringError(f"dielectric must be positive, got {dielectric}")
-        self.chunk_size = int(chunk_size)
+        if chunk_size is not None:
+            self.chunk_size = int(chunk_size)
         self.dielectric = float(dielectric)
         self.receptor_coords = np.ascontiguousarray(receptor.coords, dtype=FLOAT_DTYPE)
         self._rec_sq = np.einsum("ij,ij->i", self.receptor_coords, self.receptor_coords)
@@ -78,7 +79,7 @@ class CoulombScoring(ScoringFunction):
     """Factory for distance-dependent-dielectric Coulomb scorers."""
 
     def __init__(
-        self, dielectric: float = DEFAULT_DIELECTRIC, chunk_size: int = 16
+        self, dielectric: float = DEFAULT_DIELECTRIC, chunk_size: int | None = None
     ) -> None:
         self.dielectric = dielectric
         self.chunk_size = chunk_size

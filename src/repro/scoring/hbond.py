@@ -41,14 +41,15 @@ class BoundHydrogenBond(BoundScorer):
         ligand: Ligand,
         r0: float = 2.9,
         strength: float = 5.0,
-        chunk_size: int = 64,
+        chunk_size: int | None = None,
     ) -> None:
         super().__init__(receptor, ligand)
         if r0 <= 0:
             raise ScoringError(f"r0 must be positive, got {r0}")
         if strength < 0:
             raise ScoringError(f"strength must be >= 0, got {strength}")
-        self.chunk_size = int(chunk_size)
+        if chunk_size is not None:
+            self.chunk_size = int(chunk_size)
         self.r0 = float(r0)
         self.strength = float(strength)
         self._lig_polar = np.flatnonzero(
@@ -104,7 +105,7 @@ class HydrogenBondScoring(ScoringFunction):
         Well depth ε_hb (kcal/mol).
     """
 
-    def __init__(self, r0: float = 2.9, strength: float = 5.0, chunk_size: int = 64) -> None:
+    def __init__(self, r0: float = 2.9, strength: float = 5.0, chunk_size: int | None = None) -> None:
         self.r0 = r0
         self.strength = strength
         self.chunk_size = chunk_size

@@ -23,7 +23,12 @@ from repro.molecules.forcefield import ForceField, default_forcefield
 from repro.molecules.structures import Ligand, Receptor
 from repro.scoring.base import BoundScorer, ScoringFunction, register_scoring
 
-__all__ = ["LennardJonesScoring", "BoundLennardJones", "lj_energy_from_r2"]
+__all__ = [
+    "LennardJonesScoring",
+    "BoundLennardJones",
+    "lj_energy_from_r2",
+    "lj_energy_terms_inplace",
+]
 
 
 def lj_energy_from_r2(
@@ -40,18 +45,20 @@ def lj_energy_from_r2(
     return 4.0 * epsilon * (s6 * s6 - s6)
 
 
-def lj_energy_sum_inplace(
+def lj_energy_terms_inplace(
     r2: np.ndarray, sigma2: np.ndarray, epsilon4: np.ndarray
 ) -> np.ndarray:
-    """Per-pose LJ sums with minimal temporaries. **Destroys** ``r2``.
+    """Elementwise ``4ε (s¹² − s⁶)`` terms. **Destroys** ``r2``.
 
-    The allocation-lean inner loop of the hot scorers: two temporaries
-    instead of five, all elementwise ops in place.
+    The allocation-lean elementwise core shared by the dense sum and the
+    cutoff scorer's compressed (within-cutoff only) reduction: two
+    temporaries instead of five, all ops in place. Accepts any shape as long
+    as ``sigma2``/``epsilon4`` broadcast against ``r2``.
 
     Parameters
     ----------
     r2:
-        ``(p, a, r)`` squared distances (consumed as scratch).
+        Squared distances (consumed as scratch).
     sigma2:
         ``σ²`` table broadcastable against ``r2`` (e.g. ``(a, r)``).
     epsilon4:
@@ -60,7 +67,7 @@ def lj_energy_sum_inplace(
     Returns
     -------
     numpy.ndarray
-        ``(p,)`` per-pose energy sums, in ``r2``'s dtype.
+        Per-pair energy terms, shaped like ``r2``, in ``r2``'s dtype.
     """
     min_r2 = r2.dtype.type(MIN_PAIR_DISTANCE * MIN_PAIR_DISTANCE)
     np.maximum(r2, min_r2, out=r2)
@@ -70,7 +77,14 @@ def lj_energy_sum_inplace(
     w = s6 - r2.dtype.type(1.0)
     w *= s6  # w := s¹² − s⁶
     w *= epsilon4  # w := 4ε (s¹² − s⁶)
-    return w.sum(axis=(1, 2))
+    return w
+
+
+def lj_energy_sum_inplace(
+    r2: np.ndarray, sigma2: np.ndarray, epsilon4: np.ndarray
+) -> np.ndarray:
+    """Per-pose LJ sums over a ``(p, a, r)`` pair block. **Destroys** ``r2``."""
+    return lj_energy_terms_inplace(r2, sigma2, epsilon4).sum(axis=(1, 2))
 
 
 class BoundLennardJones(BoundScorer):
@@ -81,10 +95,11 @@ class BoundLennardJones(BoundScorer):
         receptor: Receptor,
         ligand: Ligand,
         forcefield: ForceField,
-        chunk_size: int = 16,
+        chunk_size: int | None = None,
     ) -> None:
         super().__init__(receptor, ligand)
-        self.chunk_size = int(chunk_size)
+        if chunk_size is not None:
+            self.chunk_size = int(chunk_size)
         lig_classes = [str(e) for e in ligand.elements]
         rec_classes = [str(e) for e in receptor.elements]
         # (n_lig, n_rec) mixed parameter tables, precomputed once per complex.
@@ -126,11 +141,12 @@ class LennardJonesScoring(ScoringFunction):
     forcefield:
         LJ parameter table; defaults to the built-in AutoDock-like set.
     chunk_size:
-        Poses per dense evaluation chunk (memory/throughput trade-off).
+        Poses per dense evaluation chunk; ``None`` (default) derives it from
+        the pair-matrix memory budget (:func:`repro.scoring.base.auto_chunk_size`).
     """
 
     def __init__(
-        self, forcefield: ForceField | None = None, chunk_size: int = 16
+        self, forcefield: ForceField | None = None, chunk_size: int | None = None
     ) -> None:
         self.forcefield = forcefield if forcefield is not None else default_forcefield()
         self.chunk_size = chunk_size

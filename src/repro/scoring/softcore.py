@@ -37,13 +37,14 @@ class BoundSoftcoreLJ(BoundScorer):
         ligand: Ligand,
         forcefield: ForceField,
         alpha: float = 0.5,
-        chunk_size: int = 16,
+        chunk_size: int | None = None,
     ) -> None:
         super().__init__(receptor, ligand)
         if alpha <= 0:
             raise ScoringError(f"alpha must be positive, got {alpha}")
         self.alpha = float(alpha)
-        self.chunk_size = int(chunk_size)
+        if chunk_size is not None:
+            self.chunk_size = int(chunk_size)
         lig_classes = [str(e) for e in ligand.elements]
         rec_classes = [str(e) for e in receptor.elements]
         sigma, self.epsilon = forcefield.pair_tables(lig_classes, rec_classes)
@@ -79,7 +80,7 @@ class SoftcoreLJScoring(ScoringFunction):
         self,
         forcefield: ForceField | None = None,
         alpha: float = 0.5,
-        chunk_size: int = 16,
+        chunk_size: int | None = None,
     ) -> None:
         self.forcefield = forcefield if forcefield is not None else default_forcefield()
         self.alpha = alpha

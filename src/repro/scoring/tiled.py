@@ -40,13 +40,14 @@ class BoundTiledLennardJones(BoundScorer):
         ligand: Ligand,
         forcefield: ForceField,
         tile: int = DEFAULT_TILE,
-        chunk_size: int = 16,
+        chunk_size: int | None = None,
     ) -> None:
         super().__init__(receptor, ligand)
         if tile < 1:
             raise ScoringError(f"tile size must be >= 1, got {tile}")
         self.tile = int(tile)
-        self.chunk_size = int(chunk_size)
+        if chunk_size is not None:
+            self.chunk_size = int(chunk_size)
         lig_classes = [str(e) for e in ligand.elements]
         rec_classes = [str(e) for e in receptor.elements]
         self.sigma, self.epsilon = forcefield.pair_tables(lig_classes, rec_classes)
@@ -89,7 +90,7 @@ class TiledLennardJonesScoring(ScoringFunction):
         self,
         forcefield: ForceField | None = None,
         tile: int = DEFAULT_TILE,
-        chunk_size: int = 16,
+        chunk_size: int | None = None,
     ) -> None:
         self.forcefield = forcefield if forcefield is not None else default_forcefield()
         self.tile = tile

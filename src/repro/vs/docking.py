@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.executor import MultiGpuExecutor
+from repro.engine.host_runtime import ParallelSpotEvaluator
 from repro.errors import ReproError
 from repro.hardware.node import NodeSpec
 from repro.metaheuristics.context import SearchContext
@@ -21,6 +22,7 @@ from repro.molecules.spots import Spot, find_spots
 from repro.molecules.structures import Ligand, Receptor
 from repro.scoring.base import ScoringFunction
 from repro.scoring.cutoff import CutoffLennardJonesScoring
+from repro.scoring.pruned import prune_bound
 from repro.vs.results import DockingResult
 
 __all__ = ["dock"]
@@ -43,6 +45,9 @@ def dock(
     workload_scale: float = 1.0,
     node: NodeSpec | None = None,
     mode: str = "gpu-heterogeneous",
+    host_workers: int = 0,
+    parallel_mode: str = "static",
+    prune_spots: bool = False,
 ) -> DockingResult:
     """Dock ``ligand`` against every surface spot of ``receptor``.
 
@@ -71,27 +76,51 @@ def dock(
         under ``mode`` and the result carries ``simulated_seconds``.
     mode:
         Execution mode for the timing replay.
+    host_workers:
+        When > 0, score on this many real worker processes
+        (:class:`repro.engine.host_runtime.ParallelSpotEvaluator`). Results
+        are bitwise identical to the serial path for the same ``seed``.
+    parallel_mode:
+        ``"static"`` (warm-up-weighted shares) or ``"dynamic"``
+        (work-stealing spot queue); only used with ``host_workers > 0``.
+    prune_spots:
+        Wrap the scorer with per-spot receptor pruning
+        (:mod:`repro.scoring.pruned`): exact for the default cutoff scoring,
+        bounded-error for dense LJ.
 
     Returns
     -------
     DockingResult
         Best pose per spot and overall, with workload statistics.
     """
+    if host_workers < 0:
+        raise ReproError(f"host_workers must be >= 0, got {host_workers}")
     if spots is None:
         spots = find_spots(receptor, n_spots)
     if not spots:
         raise ReproError("docking needs at least one spot")
     scoring = scoring if scoring is not None else CutoffLennardJonesScoring(dtype=np.float32)
     scorer = scoring.bind(receptor, ligand)
+    if prune_spots:
+        scorer = prune_bound(scorer, spots)
     spec = _resolve_spec(metaheuristic, workload_scale)
 
-    evaluator = SerialEvaluator(scorer)
+    if host_workers > 0:
+        evaluator = ParallelSpotEvaluator(
+            scorer, n_workers=host_workers, mode=parallel_mode
+        )
+    else:
+        evaluator = SerialEvaluator(scorer)
     ctx = SearchContext(
         spots=spots,
         evaluator=evaluator,
         rng=SpotRngPool(seed, [s.index for s in spots]),
     )
-    result = run_metaheuristic(spec, ctx)
+    try:
+        result = run_metaheuristic(spec, ctx)
+    finally:
+        if isinstance(evaluator, ParallelSpotEvaluator):
+            evaluator.close()
 
     simulated = float("nan")
     if node is not None:

@@ -54,13 +54,18 @@ def screen(
     workload_scale: float = 1.0,
     node: NodeSpec | None = None,
     mode: str = "gpu-heterogeneous",
+    host_workers: int = 0,
+    parallel_mode: str = "static",
+    prune_spots: bool = False,
 ) -> ScreeningReport:
     """Screen a ligand library against the receptor surface.
 
     Each ligand is docked independently (ligand ``i`` uses search seed
     ``seed + i``); the report ranks ligands by their best score. When a
     ``node`` is supplied, per-ligand simulated times accumulate into
-    ``report.simulated_seconds``.
+    ``report.simulated_seconds``. ``host_workers``/``parallel_mode``/
+    ``prune_spots`` pass through to :func:`repro.vs.docking.dock` — real
+    process-parallel scoring with bitwise-identical rankings.
     """
     ligand_list = list(ligands)
     if not ligand_list:
@@ -78,6 +83,9 @@ def screen(
             workload_scale=workload_scale,
             node=node,
             mode=mode,
+            host_workers=host_workers,
+            parallel_mode=parallel_mode,
+            prune_spots=prune_spots,
         )
         report.add(
             ScreeningEntry(

@@ -1,0 +1,196 @@
+"""Tests for the real process-parallel host runtime.
+
+The headline contract: :class:`ParallelSpotEvaluator` returns *bitwise*
+identical energies to :class:`SerialEvaluator` for any worker count or
+balancing mode, and never leaks shared-memory segments — not on close, not
+when a worker dies mid-flight.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.engine.host_runtime import (
+    ParallelSpotEvaluator,
+    SharedArrayStage,
+    rebuild_scorer,
+    stage_scorer,
+)
+from repro.errors import ScoringError
+from repro.metaheuristics.evaluation import SerialEvaluator
+from repro.scoring.cutoff import CutoffLennardJonesScoring
+from repro.scoring.lennard_jones import LennardJonesScoring
+from repro.scoring.pruned import prune_bound
+
+
+@pytest.fixture()
+def launch(spots, rng):
+    """One launch: 18 poses spread over the four test spots."""
+    from repro.molecules.transforms import random_quaternion
+
+    spot_ids, translations = [], []
+    for s in spots:
+        t = s.center + rng.uniform(-s.radius, s.radius, size=(5, 3))
+        translations.append(t)
+        spot_ids.extend([s.index] * 5)
+    # A couple of repeat visits so spot groups are non-contiguous.
+    translations.append(spots[0].center[None, :] + rng.uniform(-1, 1, (2, 3)))
+    spot_ids.extend([spots[0].index] * 2)
+    translations = np.concatenate(translations)
+    return (
+        np.asarray(spot_ids, dtype=np.int64),
+        translations,
+        random_quaternion(rng, translations.shape[0]),
+    )
+
+
+def _assert_no_segments(names):
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+@pytest.mark.parametrize("mode", ["static", "dynamic"])
+def test_parallel_matches_serial_bitwise(fast_scorer, launch, n_workers, mode):
+    spot_ids, t, q = launch
+    serial = SerialEvaluator(fast_scorer).evaluate(spot_ids, t, q)
+    with ParallelSpotEvaluator(fast_scorer, n_workers=n_workers, mode=mode) as ev:
+        parallel = ev.evaluate(spot_ids, t, q)
+    assert np.array_equal(parallel, serial)
+
+
+@pytest.mark.parametrize("mode", ["static", "dynamic"])
+def test_parallel_pruned_matches_serial_bitwise(
+    receptor, ligand, spots, launch, mode
+):
+    scorer = prune_bound(
+        CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand), spots
+    )
+    spot_ids, t, q = launch
+    serial = SerialEvaluator(scorer).evaluate(spot_ids, t, q)
+    with ParallelSpotEvaluator(scorer, n_workers=2, mode=mode) as ev:
+        parallel = ev.evaluate(spot_ids, t, q)
+    assert np.array_equal(parallel, serial)
+
+
+def test_launch_trace_matches_serial(fast_scorer, launch):
+    spot_ids, t, q = launch
+    serial_eval = SerialEvaluator(fast_scorer)
+    serial_eval.evaluate(spot_ids, t, q, kind="improvement")
+    with ParallelSpotEvaluator(fast_scorer, n_workers=2) as ev:
+        ev.evaluate(spot_ids, t, q, kind="improvement")
+        assert ev.stats.launches == serial_eval.stats.launches
+        assert ev.stats.n_conformations == serial_eval.stats.n_conformations
+
+
+def test_empty_launch(fast_scorer):
+    with ParallelSpotEvaluator(fast_scorer, n_workers=2) as ev:
+        out = ev.evaluate(
+            np.empty(0, dtype=np.int64), np.zeros((0, 3)), np.zeros((0, 4))
+        )
+    assert out.shape == (0,)
+    assert ev.stats.n_launches == 1  # empty launches are still recorded
+
+
+def test_warmup_produces_eq1_weights(fast_scorer):
+    with ParallelSpotEvaluator(fast_scorer, n_workers=2) as ev:
+        res = ev.warmup_result
+    assert res.measured_s.shape == (2,)
+    assert res.percent.max() == 1.0
+    assert np.all(res.weights > 0)
+    assert res.weights.sum() == pytest.approx(1.0)
+    assert res.elapsed_s > 0
+
+
+def test_warmup_can_be_skipped(fast_scorer, launch):
+    spot_ids, t, q = launch
+    serial = SerialEvaluator(fast_scorer).evaluate(spot_ids, t, q)
+    with ParallelSpotEvaluator(fast_scorer, n_workers=2, warmup=False) as ev:
+        np.testing.assert_array_equal(ev.weights, [0.5, 0.5])
+        assert np.array_equal(ev.evaluate(spot_ids, t, q), serial)
+
+
+def test_close_unlinks_segments_and_is_idempotent(fast_scorer):
+    ev = ParallelSpotEvaluator(fast_scorer, n_workers=2)
+    names = ev.segment_names
+    assert names  # the staged receptor tables exist while open
+    shared_memory.SharedMemory(name=names[0]).close()  # attachable now
+    ev.close()
+    ev.close()  # second close is a no-op
+    _assert_no_segments(names)
+    with pytest.raises(ScoringError, match="closed"):
+        ev.evaluate(np.zeros(1, dtype=np.int64), np.zeros((1, 3)), np.zeros((1, 4)))
+
+
+def test_worker_crash_releases_segments(fast_scorer, launch):
+    spot_ids, t, q = launch
+    ev = ParallelSpotEvaluator(fast_scorer, n_workers=2)
+    names = ev.segment_names
+    # Kill the pool out from under the evaluator (simulates a worker dying).
+    ev._pool.submit(os._exit, 1)
+    with pytest.raises(ScoringError, match="crashed"):
+        for _ in range(50):  # the pool breaks within a launch or two
+            ev.evaluate(spot_ids, t, q)
+    _assert_no_segments(names)
+    assert ev._pool is None  # evaluator closed itself
+
+
+def test_constructor_validation(fast_scorer):
+    with pytest.raises(ScoringError, match="n_workers"):
+        ParallelSpotEvaluator(fast_scorer, n_workers=0)
+    with pytest.raises(ScoringError, match="mode"):
+        ParallelSpotEvaluator(fast_scorer, n_workers=1, mode="nope")
+
+
+@pytest.mark.parametrize("kind", ["cutoff", "dense", "pruned"])
+def test_stage_rebuild_round_trip_bitwise(receptor, ligand, spots, pose_batch, kind):
+    """stage_scorer -> rebuild_scorer reproduces the scorer bitwise in-process."""
+    if kind == "cutoff":
+        scorer = CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand)
+    elif kind == "dense":
+        scorer = LennardJonesScoring().bind(receptor, ligand)
+    else:
+        scorer = prune_bound(
+            CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand), spots
+        )
+    t, q = pose_batch
+    stage = SharedArrayStage()
+    try:
+        spec = stage_scorer(scorer, stage)
+        rebuilt = rebuild_scorer(spec)
+        assert np.array_equal(rebuilt.score(t, q), scorer.score(t, q))
+        if kind == "pruned":
+            sid = np.asarray([s.index for s in spots] * 3, dtype=np.int64)
+            assert np.array_equal(
+                rebuilt.score_spots(sid, t, q), scorer.score_spots(sid, t, q)
+            )
+    finally:
+        stage.close()
+    _assert_no_segments(stage.segment_names)
+
+
+def test_dock_parity_with_host_workers(receptor, ligand):
+    from repro.vs.docking import dock
+
+    serial = dock(
+        receptor, ligand, n_spots=4, metaheuristic="M1", seed=7, workload_scale=0.05
+    )
+    parallel = dock(
+        receptor,
+        ligand,
+        n_spots=4,
+        metaheuristic="M1",
+        seed=7,
+        workload_scale=0.05,
+        host_workers=2,
+        prune_spots=True,
+    )
+    assert parallel.best_score == serial.best_score
+    assert parallel.best.spot_index == serial.best.spot_index
+    assert [p.score for p in parallel.per_spot] == [p.score for p in serial.per_spot]
+    assert parallel.evaluations == serial.evaluations

@@ -80,3 +80,74 @@ def test_posed_ligand_coords_center_convention(dense_scorer):
     q = identity_quaternion()[None, :]
     posed = dense_scorer.posed_ligand_coords(t, q)
     np.testing.assert_allclose(posed[0].mean(axis=0), [5.0, 0.0, 0.0], atol=1e-9)
+
+
+def test_auto_chunk_size_budget_formula():
+    from repro.scoring.base import (
+        CHUNK_BUDGET_BYTES,
+        MAX_CHUNK_SIZE,
+        MIN_CHUNK_SIZE,
+        auto_chunk_size,
+    )
+
+    # Mid-range complex: the budget formula applies un-clamped.
+    n_rec, n_lig = 3000, 45
+    got = auto_chunk_size(n_rec, n_lig, itemsize=8)
+    assert got == CHUNK_BUDGET_BYTES // (n_rec * n_lig * 8)
+    assert MIN_CHUNK_SIZE <= got <= MAX_CHUNK_SIZE
+    # Tiny complex: clamped at the ceiling.
+    assert auto_chunk_size(10, 4, itemsize=4) == MAX_CHUNK_SIZE
+    # Enormous complex: clamped at the floor, never zero.
+    assert auto_chunk_size(10**6, 500, itemsize=8) == MIN_CHUNK_SIZE
+    # Halving the itemsize doubles the chunk (power-of-two pair size, so the
+    # floor division is exact and both values stay inside the clamp range).
+    assert auto_chunk_size(2048, 16, itemsize=4) == 2 * auto_chunk_size(
+        2048, 16, itemsize=8
+    )
+
+
+def test_auto_chunk_size_is_default_for_bound_scorers(receptor, ligand):
+    from repro.scoring.base import auto_chunk_size
+    from repro.scoring.cutoff import CutoffLennardJonesScoring
+
+    bound = CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand)
+    assert bound.chunk_size == auto_chunk_size(
+        receptor.n_atoms, ligand.n_atoms, itemsize=4
+    )
+    explicit = CutoffLennardJonesScoring(dtype=np.float32, chunk_size=7).bind(
+        receptor, ligand
+    )
+    assert explicit.chunk_size == 7
+
+
+def test_non_finite_error_names_poses_and_shape():
+    from repro.scoring.base import non_finite_error
+
+    out = np.zeros(6)
+    out[[1, 4]] = np.nan
+    err = non_finite_error(out, (6, 3))
+    msg = str(err)
+    assert "1" in msg and "4" in msg
+    assert "(6, 3)" in msg
+
+
+def test_non_finite_error_truncates_long_index_lists():
+    from repro.scoring.base import non_finite_error
+
+    out = np.full(64, np.inf)
+    msg = str(non_finite_error(out, (64, 3)))
+    assert "more" in msg  # long lists are elided, not dumped
+
+
+def test_score_raises_detailed_non_finite_error(receptor, ligand):
+    from repro.errors import ScoringError
+    from repro.scoring.lennard_jones import LennardJonesScoring
+
+    scorer = LennardJonesScoring().bind(receptor, ligand)
+    # A NaN translation propagates to a NaN energy for that pose only.
+    t = np.zeros((3, 3))
+    t[:, 0] = [0.0, 100.0, np.nan]
+    q = np.repeat(identity_quaternion()[None, :], 3, axis=0)
+    with pytest.raises(ScoringError, match=r"pose.*\b2\b") as excinfo:
+        scorer.score(t, q)
+    assert "(3, 3)" in str(excinfo.value)  # batch shape reported
