@@ -1,0 +1,64 @@
+"""Durable, resumable screening campaigns.
+
+The campaign subsystem treats a library screen as a persistent unit of work
+rather than an in-memory loop: ligands stream in lazily
+(:mod:`repro.campaign.library`), results land in a per-campaign SQLite
+database (:mod:`repro.campaign.store`), shard boundaries are journalled
+write-ahead (:mod:`repro.campaign.journal`), and the runner
+(:mod:`repro.campaign.runner`) drives everything through the process-parallel
+host runtime with bounded retries — so a crash, SIGKILL, or Ctrl-C costs at
+most the in-flight ligand, and ``resume()`` completes the remainder with
+bitwise-identical scores.
+
+Quickstart::
+
+    from repro.campaign import CampaignRunner, SyntheticSource
+
+    runner = CampaignRunner(
+        receptor, SyntheticSource(10_000, seed=3),
+        store_path="campaign.sqlite", n_spots=16, seed=7)
+    store = runner.run()          # interrupt any time...
+    store = runner.resume()       # ...and continue exactly where it stopped
+    for row in store.top(10):
+        print(row["title"], row["best_score"])
+"""
+
+from repro.campaign.journal import CampaignJournal, JournalState
+from repro.campaign.library import (
+    IterableSource,
+    LigandSource,
+    ListSource,
+    PDBDirectorySource,
+    Shard,
+    SyntheticSource,
+    iter_shards,
+    receptor_fingerprint,
+    resolve_title,
+)
+from repro.campaign.runner import (
+    CampaignProgress,
+    CampaignRunner,
+    campaign_config,
+    config_hash,
+)
+from repro.campaign.store import SCHEMA_VERSION, CampaignStore
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignProgress",
+    "CampaignRunner",
+    "CampaignStore",
+    "IterableSource",
+    "JournalState",
+    "LigandSource",
+    "ListSource",
+    "PDBDirectorySource",
+    "SCHEMA_VERSION",
+    "Shard",
+    "SyntheticSource",
+    "campaign_config",
+    "config_hash",
+    "iter_shards",
+    "receptor_fingerprint",
+    "resolve_title",
+]

@@ -1,0 +1,145 @@
+"""Crash-safe campaign journal: an append-only JSONL write-ahead log.
+
+The journal records campaign lifecycle events at *shard* granularity — one
+fsync'd line per shard start/finish, plus campaign start/resume/finish
+markers. It is deliberately redundant with the store: the store holds the
+science (per-ligand rows), the journal holds the *intent* ("shard 7
+started"), and resume reconciles the two — a shard that started but never
+finished is re-queued, and its already-committed ligand rows are skipped.
+
+Durability contract: every :meth:`append` flushes and ``fsync`` s before
+returning, so a record is either fully on disk or not there at all. A
+process killed mid-write leaves at most one truncated final line, which
+:meth:`replay` detects and drops (the corresponding shard simply re-queues).
+Corruption anywhere *before* the tail is a real integrity failure and
+raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CampaignError
+
+__all__ = ["CampaignJournal", "JournalState"]
+
+
+@dataclass
+class JournalState:
+    """Replay summary: which shards started/finished, campaign markers."""
+
+    config_hash: str | None = None
+    #: shard_id -> (start, stop) for every shard_start seen.
+    started: dict[int, tuple[int, int]] = field(default_factory=dict)
+    finished: set[int] = field(default_factory=set)
+    campaign_finished: bool = False
+    #: Records dropped from a truncated tail (0 or 1 under the fsync contract).
+    truncated_records: int = 0
+
+    def unfinished(self) -> set[int]:
+        """Shards that started but never finished — the resume work list."""
+        return set(self.started) - self.finished
+
+
+class CampaignJournal:
+    """Append-only JSONL journal for one campaign (see module docstring)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        if "record" not in record:
+            raise CampaignError(f"journal records need a 'record' key: {record}")
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def campaign_start(self, config_hash: str) -> None:
+        """Log campaign creation (binds the journal to one config)."""
+        self.append({"record": "campaign_start", "config_hash": config_hash})
+
+    def campaign_resume(self, config_hash: str) -> None:
+        """Log a resume attach."""
+        self.append({"record": "campaign_resume", "config_hash": config_hash})
+
+    def shard_start(self, shard_id: int, start: int, stop: int) -> None:
+        """Log that a shard entered execution."""
+        self.append(
+            {"record": "shard_start", "shard": shard_id, "start": start, "stop": stop}
+        )
+
+    def shard_finish(self, shard_id: int, n_done: int, n_failed: int) -> None:
+        """Log that a shard's every ligand is recorded in the store."""
+        self.append(
+            {
+                "record": "shard_finish",
+                "shard": shard_id,
+                "done": n_done,
+                "failed": n_failed,
+            }
+        )
+
+    def campaign_finish(self, n_ligands: int) -> None:
+        """Log that the whole library streamed through."""
+        self.append({"record": "campaign_finish", "n_ligands": n_ligands})
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def replay(self) -> JournalState:
+        """Parse the journal into a :class:`JournalState`.
+
+        Tolerates exactly one malformed record at the tail (the crash
+        artifact); malformed records elsewhere raise :class:`CampaignError`.
+        """
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        raw_lines = self.path.read_text(encoding="utf-8").split("\n")
+        # A well-formed file ends with "\n" → last split element is "".
+        lines = [line for line in raw_lines if line.strip()]
+        for index, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "record" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError:
+                if index == len(lines) - 1:
+                    state.truncated_records = 1
+                    break
+                raise CampaignError(
+                    f"corrupt journal record at {self.path}:{index + 1}: {line[:80]!r}"
+                ) from None
+            self._apply(state, record)
+        return state
+
+    @staticmethod
+    def _apply(state: JournalState, record: dict) -> None:
+        kind = record["record"]
+        if kind in ("campaign_start", "campaign_resume"):
+            previous = state.config_hash
+            state.config_hash = str(record.get("config_hash", ""))
+            if previous is not None and previous != state.config_hash:
+                raise CampaignError(
+                    "journal config hash changed mid-file: "
+                    f"{previous} -> {state.config_hash}"
+                )
+        elif kind == "shard_start":
+            state.started[int(record["shard"])] = (
+                int(record["start"]),
+                int(record["stop"]),
+            )
+        elif kind == "shard_finish":
+            state.finished.add(int(record["shard"]))
+        elif kind == "campaign_finish":
+            state.campaign_finished = True
+        # Unknown kinds are ignored: forward compatibility for new markers.

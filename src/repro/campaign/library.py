@@ -1,0 +1,293 @@
+"""Streaming ligand libraries for durable screening campaigns.
+
+The paper's premise is screening "large libraries of small molecules" (§1);
+a library that size never fits in memory. A :class:`LigandSource` therefore
+yields ligands *lazily* in a fixed global order, and the campaign layer cuts
+that stream into deterministic fixed-size :class:`Shard` s. Determinism is
+the load-bearing property: every ligand has a stable global **ordinal**, its
+search seed derives from that ordinal alone (``campaign seed + ordinal``,
+exactly as :func:`repro.vs.screening.screen` seeds ``seed + i``), so any
+execution order, shard size, worker count, or crash/resume boundary
+reproduces bitwise-identical scores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.synthetic import generate_ligand
+
+__all__ = [
+    "LigandSource",
+    "IterableSource",
+    "ListSource",
+    "SyntheticSource",
+    "PDBDirectorySource",
+    "Shard",
+    "iter_shards",
+    "resolve_title",
+    "receptor_fingerprint",
+]
+
+
+@runtime_checkable
+class LigandSource(Protocol):
+    """A lazily-iterable ligand library with a stable global order.
+
+    Implementations must yield the same ligands in the same order on every
+    iteration (campaign resume re-streams the source from the start), and
+    describe themselves via :meth:`descriptor` so a campaign store can record
+    — and a CLI ``campaign resume`` can reconstruct — the library.
+    """
+
+    def __iter__(self) -> Iterator[Ligand]: ...
+
+    def descriptor(self) -> dict:
+        """JSON-serialisable description of this library (hashed into the
+        campaign config)."""
+        ...
+
+    def count(self) -> int | None:
+        """Total ligands, or ``None`` when unknown before streaming."""
+        ...
+
+
+class IterableSource:
+    """Adapt an arbitrary iterable of ligands into a one-shot source.
+
+    The generic escape hatch :func:`repro.vs.screening.screen` uses: no
+    length, no reconstruction — a campaign built on it can run but not be
+    resumed from its descriptor alone.
+    """
+
+    def __init__(self, ligands: Iterable[Ligand]) -> None:
+        self._ligands = ligands
+
+    def __iter__(self) -> Iterator[Ligand]:
+        return iter(self._ligands)
+
+    def descriptor(self) -> dict:
+        return {"kind": "iterable"}
+
+    def count(self) -> int | None:
+        return None
+
+
+class ListSource:
+    """A materialised ligand list (small libraries, tests)."""
+
+    def __init__(self, ligands: list[Ligand]) -> None:
+        self._ligands = list(ligands)
+
+    def __iter__(self) -> Iterator[Ligand]:
+        return iter(self._ligands)
+
+    def __len__(self) -> int:
+        return len(self._ligands)
+
+    def descriptor(self) -> dict:
+        return {"kind": "list", "n_ligands": len(self._ligands)}
+
+    def count(self) -> int | None:
+        return len(self._ligands)
+
+
+class SyntheticSource:
+    """Generate the drug-like demo library lazily, one ligand at a time.
+
+    Ligand ``i`` is bitwise identical to ``synthetic_library(n, ...)[i]``
+    (same size draw, same ``seed + 1000 + i`` generation seed, same
+    ``LIG%04d`` title) without ever materialising the other ``n - 1``.
+    """
+
+    def __init__(
+        self,
+        n_ligands: int,
+        atoms_range: tuple[int, int] = (20, 50),
+        seed: int = 0,
+    ) -> None:
+        if n_ligands < 1:
+            raise CampaignError(f"n_ligands must be >= 1, got {n_ligands}")
+        lo, hi = atoms_range
+        if not 1 <= lo <= hi:
+            raise CampaignError(f"invalid atoms_range {atoms_range}")
+        self.n_ligands = int(n_ligands)
+        self.atoms_range = (int(lo), int(hi))
+        self.seed = int(seed)
+        # One cheap upfront draw fixes every ligand's size; generation of the
+        # atoms themselves stays lazy and per-ligand independent.
+        rng = np.random.default_rng(self.seed)
+        self._sizes = rng.integers(lo, hi + 1, size=self.n_ligands)
+
+    def ligand_at(self, ordinal: int) -> Ligand:
+        """Generate ligand ``ordinal`` directly (random access)."""
+        if not 0 <= ordinal < self.n_ligands:
+            raise CampaignError(
+                f"ordinal {ordinal} out of range for {self.n_ligands} ligands"
+            )
+        return generate_ligand(
+            int(self._sizes[ordinal]),
+            seed=self.seed + 1000 + ordinal,
+            title=f"LIG{ordinal:04d}",
+        )
+
+    def __iter__(self) -> Iterator[Ligand]:
+        for i in range(self.n_ligands):
+            yield self.ligand_at(i)
+
+    def __len__(self) -> int:
+        return self.n_ligands
+
+    def descriptor(self) -> dict:
+        return {
+            "kind": "synthetic",
+            "n_ligands": self.n_ligands,
+            "atoms_range": list(self.atoms_range),
+            "seed": self.seed,
+        }
+
+    def count(self) -> int | None:
+        return self.n_ligands
+
+
+class PDBDirectorySource:
+    """Stream ligands from a directory of PDB files.
+
+    Files are visited in sorted-name order (stable across runs); a file
+    holding several ``MODEL``/``ENDMDL`` blocks contributes one ligand per
+    model, in file order — the multi-ligand SD-file idiom transplanted to
+    PDB. Untitled ligands inherit ``<stem>`` / ``<stem>:<model>`` titles.
+    """
+
+    def __init__(self, path: str | Path, pattern: str = "*.pdb") -> None:
+        self.path = Path(path)
+        self.pattern = pattern
+        if not self.path.is_dir():
+            raise CampaignError(f"ligand library directory not found: {self.path}")
+        self._files = sorted(self.path.glob(pattern))
+        if not self._files:
+            raise CampaignError(
+                f"no files matching {pattern!r} under {self.path}"
+            )
+
+    @staticmethod
+    def _split_models(text: str) -> list[str]:
+        """Split a PDB document into per-MODEL chunks (whole doc if none)."""
+        if "\nMODEL" not in text and not text.startswith("MODEL"):
+            return [text]
+        chunks: list[str] = []
+        current: list[str] | None = None
+        for line in text.splitlines():
+            record = line[:6].strip()
+            if record == "MODEL":
+                current = []
+            elif record == "ENDMDL":
+                if current:
+                    chunks.append("\n".join(current) + "\nEND\n")
+                current = None
+            elif current is not None:
+                current.append(line)
+        if current:  # MODEL without ENDMDL — take what's there
+            chunks.append("\n".join(current) + "\nEND\n")
+        return chunks or [text]
+
+    def __iter__(self) -> Iterator[Ligand]:
+        from repro.molecules.pdb import loads_pdb
+
+        for path in self._files:
+            text = path.read_text(encoding="ascii", errors="replace")
+            chunks = self._split_models(text)
+            for model_index, chunk in enumerate(chunks):
+                ligand = loads_pdb(chunk, kind="ligand")
+                if not ligand.title:
+                    suffix = f":{model_index + 1}" if len(chunks) > 1 else ""
+                    ligand.title = f"{path.stem}{suffix}"
+                yield ligand
+
+    def descriptor(self) -> dict:
+        return {
+            "kind": "pdb-dir",
+            "path": str(self.path.resolve()),
+            "pattern": self.pattern,
+        }
+
+    def count(self) -> int | None:
+        return None  # multi-model files make the ligand count unknowable
+
+
+@dataclass(frozen=True, slots=True)
+class Shard:
+    """A contiguous slice of the global ligand ordering.
+
+    ``shard_id`` is derived from the ordinals (``start // shard size``), so
+    the shard plan is a pure function of the library order and shard size —
+    the property journal replay and resume rely on.
+    """
+
+    shard_id: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def ordinals(self) -> range:
+        """Global ligand ordinals covered by this shard."""
+        return range(self.start, self.stop)
+
+
+def iter_shards(
+    source: Iterable[Ligand], shard_size: int
+) -> Iterator[tuple[Shard, list[tuple[int, Ligand]]]]:
+    """Cut a ligand stream into fixed-size shards, one shard in memory.
+
+    Yields ``(shard, [(ordinal, ligand), ...])``; only the current shard's
+    ligands are ever materialised.
+    """
+    if shard_size < 1:
+        raise CampaignError(f"shard_size must be >= 1, got {shard_size}")
+    buffer: list[tuple[int, Ligand]] = []
+    start = 0
+    for ordinal, ligand in enumerate(source):
+        buffer.append((ordinal, ligand))
+        if len(buffer) == shard_size:
+            yield Shard(start // shard_size, start, start + len(buffer)), buffer
+            start += len(buffer)
+            buffer = []
+    if buffer:
+        yield Shard(start // shard_size, start, start + len(buffer)), buffer
+
+
+def resolve_title(title: str, ordinal: int, seen: set[str]) -> str:
+    """Collision-free display/store key for one ligand.
+
+    Empty titles become ``ligand-<ordinal>``; a title already taken by an
+    earlier ligand gets ``#<ordinal>`` suffixed. Deterministic given the
+    stream prefix, so resume re-derives identical keys.
+    """
+    name = title or f"ligand-{ordinal}"
+    if name in seen:
+        name = f"{name}#{ordinal}"
+    seen.add(name)
+    return name
+
+
+def receptor_fingerprint(receptor: Receptor) -> str:
+    """Content hash of a receptor (coordinates, elements, charges).
+
+    Stored in the campaign config; resume refuses to continue against a
+    receptor whose fingerprint drifted.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(receptor.coords, dtype=np.float64).tobytes())
+    digest.update("|".join(str(e) for e in receptor.elements).encode())
+    digest.update(np.ascontiguousarray(receptor.charges, dtype=np.float64).tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,405 @@
+"""Campaign orchestration: drive shards of ligands through the host runtime.
+
+A :class:`CampaignRunner` wraps the existing :func:`repro.vs.docking.dock`
+machinery (including the PR 1 process-parallel host runtime via
+``host_workers``/``parallel_mode``/``prune_spots``) with the durability
+layer: every completed ligand is committed to the :class:`CampaignStore`
+before the next one starts, shard boundaries are journalled write-ahead, and
+:meth:`resume` reconciles journal and store to continue exactly where a
+crash, SIGKILL, or Ctrl-C left off.
+
+Determinism: ligand ``ordinal`` is always docked with seed ``seed +
+ordinal`` (the same rule ``screen()`` has always used), so an interrupted
+and resumed campaign produces bitwise-identical scores to an uninterrupted
+one, for any shard size or worker count.
+
+Failure policy: per-ligand bounded retry with exponential backoff (a worker
+pool that died is rebuilt by the next ``dock()`` call); a ligand that
+exhausts its attempts is recorded ``failed`` with the exception text and the
+campaign continues past it. ``KeyboardInterrupt``/``SystemExit`` are never
+swallowed — they are the crash the journal exists for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import CampaignError
+from repro.hardware.node import NodeSpec
+from repro.metaheuristics.template import MetaheuristicSpec
+from repro.molecules.spots import find_spots
+from repro.molecules.structures import Ligand, Receptor
+from repro.scoring.base import ScoringFunction
+from repro.vs.docking import dock
+
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.library import (
+    LigandSource,
+    iter_shards,
+    receptor_fingerprint,
+    resolve_title,
+)
+from repro.campaign.store import CampaignStore
+
+__all__ = ["CampaignRunner", "CampaignProgress", "campaign_config", "config_hash"]
+
+#: Config keys that affect the science (scores/ranking); the hash covers
+#: exactly these. Execution knobs (host workers, balancing mode, node model)
+#: may change freely between run and resume — results are bitwise identical
+#: either way.
+HASHED_KEYS = (
+    "receptor_hash",
+    "library",
+    "n_spots",
+    "metaheuristic",
+    "scoring",
+    "seed",
+    "workload_scale",
+    "shard_size",
+    "prune_spots",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignProgress:
+    """One progress snapshot, emitted after every shard.
+
+    ``ligands_per_second`` measures *this session's* docking rate;
+    ``eta_seconds`` is ``nan`` while the library size is unknown.
+    """
+
+    shard_id: int
+    done: int
+    failed: int
+    total: int | None
+    elapsed_seconds: float
+    ligands_per_second: float
+    eta_seconds: float
+
+
+def campaign_config(
+    receptor: Receptor,
+    source: LigandSource,
+    *,
+    n_spots: int,
+    metaheuristic: str | MetaheuristicSpec,
+    scoring: ScoringFunction | None,
+    seed: int,
+    workload_scale: float,
+    shard_size: int,
+    prune_spots: bool,
+    node: NodeSpec | None,
+    mode: str,
+    receptor_descriptor: dict | None = None,
+) -> dict:
+    """Build the JSON-serialisable campaign configuration record."""
+    spec_name = (
+        metaheuristic.name
+        if isinstance(metaheuristic, MetaheuristicSpec)
+        else str(metaheuristic)
+    )
+    scoring_name = (
+        None if scoring is None else getattr(scoring, "name", type(scoring).__name__)
+    )
+    return {
+        "schema_version": 1,
+        "receptor_hash": receptor_fingerprint(receptor),
+        "receptor_title": receptor.title or "receptor",
+        "receptor": receptor_descriptor or {"kind": "opaque"},
+        "library": source.descriptor(),
+        "n_spots": int(n_spots),
+        "metaheuristic": spec_name,
+        "scoring": scoring_name,
+        "seed": int(seed),
+        "workload_scale": float(workload_scale),
+        "shard_size": int(shard_size),
+        "prune_spots": bool(prune_spots),
+        "node": None if node is None else node.name,
+        "mode": mode,
+    }
+
+
+def config_hash(config: dict) -> str:
+    """Hash the result-affecting subset of a campaign config."""
+    hashed = {key: config.get(key) for key in HASHED_KEYS}
+    return hashlib.sha256(
+        json.dumps(hashed, sort_keys=True).encode()
+    ).hexdigest()
+
+
+class CampaignRunner:
+    """Execute (or continue) one durable screening campaign.
+
+    Parameters mirror :func:`repro.vs.screening.screen` plus the durability
+    knobs. ``store_path=":memory:"`` gives the one-shot in-memory campaign
+    ``screen()`` itself is built on (no journal, failures raise).
+    """
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        source: LigandSource,
+        *,
+        store_path: str | Path,
+        journal_path: str | Path | None = None,
+        n_spots: int = 16,
+        metaheuristic: str | MetaheuristicSpec = "M2",
+        scoring: ScoringFunction | None = None,
+        seed: int = 0,
+        workload_scale: float = 1.0,
+        shard_size: int = 32,
+        node: NodeSpec | None = None,
+        mode: str = "gpu-heterogeneous",
+        host_workers: int = 0,
+        parallel_mode: str = "static",
+        prune_spots: bool = False,
+        max_attempts: int = 3,
+        backoff_base: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+        progress: Callable[[CampaignProgress], None] | None = None,
+        raise_on_failure: bool = False,
+        receptor_descriptor: dict | None = None,
+    ) -> None:
+        if host_workers < 0:
+            raise CampaignError(f"host_workers must be >= 0, got {host_workers}")
+        if parallel_mode not in ("static", "dynamic"):
+            raise CampaignError(
+                f"parallel_mode must be 'static' or 'dynamic', got {parallel_mode!r}"
+            )
+        if shard_size < 1:
+            raise CampaignError(f"shard_size must be >= 1, got {shard_size}")
+        if max_attempts < 1:
+            raise CampaignError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.receptor = receptor
+        self.source = source
+        self.store_path = str(store_path)
+        if journal_path is None and self.store_path != ":memory:":
+            journal_path = self.store_path + ".journal"
+        self.journal = CampaignJournal(journal_path) if journal_path else None
+        self.n_spots = n_spots
+        self.metaheuristic = metaheuristic
+        self.scoring = scoring
+        self.seed = seed
+        self.workload_scale = workload_scale
+        self.shard_size = shard_size
+        self.node = node
+        self.mode = mode
+        self.host_workers = host_workers
+        self.parallel_mode = parallel_mode
+        self.prune_spots = prune_spots
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self._sleep = sleep
+        self._progress = progress
+        self.raise_on_failure = raise_on_failure
+        self.config = campaign_config(
+            receptor,
+            source,
+            n_spots=n_spots,
+            metaheuristic=metaheuristic,
+            scoring=scoring,
+            seed=seed,
+            workload_scale=workload_scale,
+            shard_size=shard_size,
+            prune_spots=prune_spots,
+            node=node,
+            mode=mode,
+            receptor_descriptor=receptor_descriptor,
+        )
+        self.config_hash = config_hash(self.config)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignStore:
+        """Start a fresh campaign; refuses to clobber an existing store.
+
+        Returns the open store (caller closes it — or uses it as a context
+        manager).
+        """
+        store = CampaignStore.create(self.store_path, self.config, self.config_hash)
+        if self.journal is not None:
+            self.journal.campaign_start(self.config_hash)
+        return self._execute(store, finished=set())
+
+    def resume(self) -> CampaignStore:
+        """Continue an interrupted campaign from its store + journal.
+
+        Verifies the config hash, replays the journal, re-queues shards that
+        started but never finished, and docks only ligands without a
+        committed result. Resuming a completed campaign is a no-op.
+        """
+        store = CampaignStore.open(self.store_path)
+        try:
+            if store.config_hash != self.config_hash:
+                raise CampaignError(
+                    "campaign config mismatch: the store was created with "
+                    f"config hash {store.config_hash[:12]}… but resume was "
+                    f"given {self.config_hash[:12]}…. Receptor, library, "
+                    "seed, spots, metaheuristic, scoring, workload scale, "
+                    "shard size and pruning must all match the original run."
+                )
+            state = (
+                self.journal.replay() if self.journal is not None else None
+            )
+            if state is not None and state.config_hash not in (
+                None,
+                self.config_hash,
+            ):
+                raise CampaignError(
+                    f"journal {self.journal.path} belongs to config hash "
+                    f"{state.config_hash[:12]}…, not {self.config_hash[:12]}…"
+                )
+            if store.is_complete():
+                return store  # nothing to do; ranking is already final
+            # A shard is settled iff the store says so AND the journal agrees
+            # (store shard rows commit before the journal's shard_finish, so
+            # the store is authoritative; the journal catches a store that
+            # lost its very last update).
+            finished = store.finished_shards()
+            if state is not None:
+                finished |= state.finished
+            if self.journal is not None:
+                self.journal.campaign_resume(self.config_hash)
+        except Exception:
+            store.close()
+            raise
+        return self._execute(store, finished=finished)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, store: CampaignStore, finished: set[int]) -> CampaignStore:
+        spots = find_spots(self.receptor, self.n_spots)
+        total = self.source.count()
+        session_start = time.perf_counter()
+        session_docked = 0
+        seen_titles: set[str] = set()
+        n_streamed = 0
+        try:
+            for shard, items in iter_shards(self.source, self.shard_size):
+                titled = [
+                    (ordinal, ligand, resolve_title(ligand.title, ordinal, seen_titles))
+                    for ordinal, ligand in items
+                ]
+                n_streamed += len(items)
+                if shard.shard_id in finished:
+                    continue
+                shard_t0 = time.perf_counter()
+                if self.journal is not None:
+                    self.journal.shard_start(shard.shard_id, shard.start, shard.stop)
+                store.start_shard(shard.shard_id, shard.start, shard.stop)
+                store.register_ligands([(o, t) for o, _, t in titled])
+                already_done = store.done_ordinals(shard.start, shard.stop)
+                n_failed = 0
+                for ordinal, ligand, title in titled:
+                    if ordinal in already_done:
+                        continue
+                    ok = self._dock_one(store, spots, ordinal, ligand, title)
+                    session_docked += 1
+                    if not ok:
+                        n_failed += 1
+                store.finish_shard(shard.shard_id, time.perf_counter() - shard_t0)
+                if self.journal is not None:
+                    self.journal.shard_finish(
+                        shard.shard_id, shard.size - n_failed, n_failed
+                    )
+                self._emit_progress(
+                    store, shard.shard_id, total, session_start, session_docked
+                )
+            store.mark_complete(n_streamed)
+            if self.journal is not None:
+                self.journal.campaign_finish(n_streamed)
+        except BaseException:
+            # Crash path: everything committed so far is durable; close the
+            # connection so the WAL checkpoints cleanly, then let it fly.
+            store.close()
+            raise
+        return store
+
+    def _dock_one(
+        self,
+        store: CampaignStore,
+        spots,
+        ordinal: int,
+        ligand: Ligand,
+        title: str,
+    ) -> bool:
+        """Dock one ligand with bounded retry; returns False if it poisoned."""
+        store.mark_running(ordinal)
+        delay = self.backoff_base
+        for attempt in range(1, self.max_attempts + 1):
+            t0 = time.perf_counter()
+            try:
+                result = dock(
+                    self.receptor,
+                    ligand,
+                    spots=spots,
+                    metaheuristic=self.metaheuristic,
+                    scoring=self.scoring,
+                    seed=self.seed + ordinal,
+                    workload_scale=self.workload_scale,
+                    node=self.node,
+                    mode=self.mode,
+                    host_workers=self.host_workers,
+                    parallel_mode=self.parallel_mode,
+                    prune_spots=self.prune_spots,
+                )
+            except Exception as exc:
+                if attempt >= self.max_attempts:
+                    if self.raise_on_failure:
+                        raise
+                    store.record_failure(
+                        ordinal, title, f"{type(exc).__name__}: {exc}", attempt
+                    )
+                    return False
+                self._sleep(delay)
+                delay *= 2
+                continue
+            store.record_result(
+                ordinal,
+                title,
+                result.best_score,
+                result.best.spot_index,
+                result.evaluations,
+                wall_seconds=time.perf_counter() - t0,
+                simulated_seconds=result.simulated_seconds,
+                attempts=attempt,
+            )
+            return True
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _emit_progress(
+        self,
+        store: CampaignStore,
+        shard_id: int,
+        total: int | None,
+        session_start: float,
+        session_docked: int,
+    ) -> None:
+        if self._progress is None:
+            return
+        counts = store.counts()
+        elapsed = time.perf_counter() - session_start
+        rate = session_docked / elapsed if elapsed > 0 else 0.0
+        if total is None or rate <= 0:
+            eta = float("nan")
+        else:
+            remaining = max(0, total - counts["done"] - counts["failed"])
+            eta = remaining / rate
+        self._progress(
+            CampaignProgress(
+                shard_id=shard_id,
+                done=counts["done"],
+                failed=counts["failed"],
+                total=total,
+                elapsed_seconds=elapsed,
+                ligands_per_second=rate,
+                eta_seconds=eta,
+            )
+        )

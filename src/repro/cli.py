@@ -5,6 +5,8 @@ Subcommands:
 * ``dock`` — dock a synthetic (or PDB-file) complex and print the pose
   ranking per spot.
 * ``screen`` — screen a synthetic ligand library.
+* ``campaign`` — durable, resumable screening campaigns
+  (``run``/``resume``/``status``/``top``/``export``).
 * ``tables`` — regenerate the paper's Tables 6–9 (simulated seconds).
 * ``devices`` — list the modelled hardware (Tables 1–3).
 """
@@ -19,11 +21,33 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an int >= 0, rejected with a clear message otherwise."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an int >= 1, rejected with a clear message otherwise."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_host_runtime_args(sub: argparse.ArgumentParser) -> None:
     """Flags for the real process-parallel host runtime."""
     sub.add_argument(
         "--host-workers",
-        type=int,
+        type=_nonnegative_int,
         default=0,
         metavar="N",
         help="score on N real worker processes (0 = serial; results are "
@@ -80,6 +104,71 @@ def build_parser() -> argparse.ArgumentParser:
     scr.add_argument("--seed", type=int, default=0)
     scr.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
     _add_host_runtime_args(scr)
+
+    camp = sub.add_parser(
+        "campaign", help="durable, resumable screening campaigns"
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    crun = csub.add_parser("run", help="start a new campaign")
+    crun.add_argument("--store", required=True, help="campaign SQLite database path")
+    crun.add_argument("--receptor-pdb", help="receptor PDB file (default: synthetic)")
+    crun.add_argument("--receptor-atoms", type=_positive_int, default=1000)
+    crun.add_argument(
+        "--library-dir",
+        help="directory of ligand PDB files (default: synthetic library)",
+    )
+    crun.add_argument(
+        "--ligands", type=_positive_int, default=16, help="synthetic library size"
+    )
+    crun.add_argument("--atoms-min", type=_positive_int, default=20)
+    crun.add_argument("--atoms-max", type=_positive_int, default=50)
+    crun.add_argument("--spots", type=_positive_int, default=8)
+    crun.add_argument("--metaheuristic", default="M2")
+    crun.add_argument("--scale", type=float, default=0.1)
+    crun.add_argument("--seed", type=int, default=0)
+    crun.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help="ligands per durable shard (checkpoint granularity)",
+    )
+    crun.add_argument("--node", choices=("jupiter", "hertz", "none"), default="hertz")
+    crun.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=3,
+        help="docking attempts per ligand before it is recorded as failed",
+    )
+    _add_host_runtime_args(crun)
+
+    cres = csub.add_parser(
+        "resume", help="continue an interrupted campaign from its store"
+    )
+    cres.add_argument("--store", required=True)
+    cres.add_argument("--max-attempts", type=_positive_int, default=3)
+    # Execution knobs may change between run and resume — scores cannot.
+    cres.add_argument("--host-workers", type=_nonnegative_int, default=0, metavar="N")
+    cres.add_argument("--parallel-mode", choices=("static", "dynamic"), default="static")
+
+    cstat = csub.add_parser("status", help="summarise a campaign store")
+    cstat.add_argument("--store", required=True)
+
+    ctop = csub.add_parser("top", help="best ligands so far (indexed query)")
+    ctop.add_argument("--store", required=True)
+    ctop.add_argument("-k", "--top", type=_positive_int, default=10, dest="k")
+
+    cexp = csub.add_parser("export", help="dump campaign results to a file")
+    cexp.add_argument("--store", required=True)
+    cexp.add_argument("--out", required=True, help="output path")
+    cexp.add_argument(
+        "--format",
+        choices=("json", "csv", "report"),
+        default="json",
+        help="json = full streaming dump, csv = per-ligand rows, "
+        "report = ScreeningReport.to_json() of completed ligands",
+    )
 
     tab = sub.add_parser("tables", help="regenerate the paper's Tables 6-9")
     tab.add_argument(
@@ -198,6 +287,221 @@ def _cmd_screen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_progress(snapshot) -> None:
+    total = "?" if snapshot.total is None else snapshot.total
+    eta = "?" if np.isnan(snapshot.eta_seconds) else f"{snapshot.eta_seconds:.1f}s"
+    print(
+        f"shard {snapshot.shard_id} done: {snapshot.done}/{total} ligands "
+        f"({snapshot.failed} failed), {snapshot.ligands_per_second:.2f} lig/s, "
+        f"ETA {eta}"
+    )
+
+
+def _campaign_node(name: str | None):
+    from repro.hardware.node import hertz, jupiter
+
+    if name in (None, "none"):
+        return None
+    return jupiter() if name == "jupiter" else hertz()
+
+
+def _print_campaign_summary(store) -> int:
+    counts = store.counts()
+    print(
+        f"campaign {'complete' if store.is_complete() else 'in progress'}: "
+        f"{counts['done']} done, {counts['failed']} failed, "
+        f"{counts['pending'] + counts['running']} outstanding"
+    )
+    for row in store.top(5):
+        print(f"  {row['title']}: {row['best_score']:.3f} (spot {row['best_spot']})")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner, PDBDirectorySource, SyntheticSource
+    from repro.molecules.pdb import read_pdb
+    from repro.molecules.synthetic import generate_receptor
+
+    if args.receptor_pdb:
+        receptor = read_pdb(args.receptor_pdb, kind="receptor")
+        receptor_descriptor = {"kind": "pdb", "path": args.receptor_pdb}
+    else:
+        receptor = generate_receptor(args.receptor_atoms, seed=args.seed)
+        receptor_descriptor = {
+            "kind": "synthetic",
+            "n_atoms": args.receptor_atoms,
+            "seed": args.seed,
+        }
+    if args.library_dir:
+        source = PDBDirectorySource(args.library_dir)
+    else:
+        source = SyntheticSource(
+            args.ligands,
+            atoms_range=(args.atoms_min, args.atoms_max),
+            seed=args.seed + 10,
+        )
+    runner = CampaignRunner(
+        receptor,
+        source,
+        store_path=args.store,
+        n_spots=args.spots,
+        metaheuristic=args.metaheuristic,
+        seed=args.seed,
+        workload_scale=args.scale,
+        shard_size=args.shard_size,
+        node=_campaign_node(args.node),
+        host_workers=args.host_workers,
+        parallel_mode=args.parallel_mode,
+        prune_spots=args.prune_spots,
+        max_attempts=args.max_attempts,
+        progress=_print_progress,
+        receptor_descriptor=receptor_descriptor,
+    )
+    with runner.run() as store:
+        return _print_campaign_summary(store)
+
+
+def _rebuild_campaign_runner(args: argparse.Namespace):
+    """Reconstruct receptor/library from a store's recorded descriptors."""
+    from repro.campaign import (
+        CampaignRunner,
+        CampaignStore,
+        PDBDirectorySource,
+        SyntheticSource,
+    )
+    from repro.errors import CampaignError
+    from repro.molecules.pdb import read_pdb
+    from repro.molecules.synthetic import generate_receptor
+
+    with CampaignStore.open(args.store) as store:
+        config = store.config
+
+    receptor_desc = config.get("receptor", {})
+    if receptor_desc.get("kind") == "synthetic":
+        receptor = generate_receptor(
+            int(receptor_desc["n_atoms"]), seed=int(receptor_desc["seed"])
+        )
+    elif receptor_desc.get("kind") == "pdb":
+        receptor = read_pdb(receptor_desc["path"], kind="receptor")
+    else:
+        raise CampaignError(
+            "this campaign's receptor cannot be reconstructed from the store "
+            f"(descriptor {receptor_desc}); resume it via the Python API"
+        )
+    library_desc = config.get("library", {})
+    if library_desc.get("kind") == "synthetic":
+        source = SyntheticSource(
+            int(library_desc["n_ligands"]),
+            atoms_range=tuple(library_desc["atoms_range"]),
+            seed=int(library_desc["seed"]),
+        )
+    elif library_desc.get("kind") == "pdb-dir":
+        source = PDBDirectorySource(library_desc["path"], library_desc["pattern"])
+    else:
+        raise CampaignError(
+            "this campaign's ligand library cannot be reconstructed from the "
+            f"store (descriptor {library_desc}); resume it via the Python API"
+        )
+    if config.get("scoring") is not None:
+        raise CampaignError(
+            "campaigns with a custom scoring function can only be resumed via "
+            "the Python API"
+        )
+    return CampaignRunner(
+        receptor,
+        source,
+        store_path=args.store,
+        n_spots=int(config["n_spots"]),
+        metaheuristic=str(config["metaheuristic"]),
+        seed=int(config["seed"]),
+        workload_scale=float(config["workload_scale"]),
+        shard_size=int(config["shard_size"]),
+        node=_campaign_node(config.get("node")),
+        mode=str(config.get("mode", "gpu-heterogeneous")),
+        host_workers=args.host_workers,
+        parallel_mode=args.parallel_mode,
+        prune_spots=bool(config["prune_spots"]),
+        max_attempts=args.max_attempts,
+        progress=_print_progress,
+        receptor_descriptor=receptor_desc,
+    )
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    runner = _rebuild_campaign_runner(args)
+    with runner.resume() as store:
+        return _print_campaign_summary(store)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.campaign import CampaignStore
+
+    with CampaignStore.open(args.store) as store:
+        config = store.config
+        counts = store.counts()
+        print(f"campaign store: {args.store}")
+        print(f"  receptor: {config.get('receptor_title')}")
+        print(
+            f"  library: {config.get('library', {}).get('kind')}  "
+            f"metaheuristic: {config.get('metaheuristic')}  "
+            f"seed: {config.get('seed')}  spots: {config.get('n_spots')}  "
+            f"shard size: {config.get('shard_size')}"
+        )
+        print(f"  config hash: {store.config_hash[:16]}…")
+        print(f"  complete: {'yes' if store.is_complete() else 'no'}")
+        print(
+            f"  ligands: {counts['done']} done, {counts['failed']} failed, "
+            f"{counts['running']} running, {counts['pending']} pending"
+        )
+        if os.path.exists(args.store):
+            print(f"  store size: {os.path.getsize(args.store)} bytes")
+    return 0
+
+
+def _cmd_campaign_top(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore
+
+    with CampaignStore.open(args.store) as store:
+        rows = store.top(args.k)
+        print(f"{'rank':>4s}  {'score':>12s}  {'spot':>5s}  ligand")
+        for rank, row in enumerate(rows, start=1):
+            print(
+                f"{rank:4d}  {row['best_score']:12.3f}  {row['best_spot']:5d}  "
+                f"{row['title']}"
+            )
+    return 0
+
+
+def _cmd_campaign_export(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore
+
+    with CampaignStore.open(args.store) as store:
+        if args.format == "json":
+            n = store.export_json(args.out)
+        elif args.format == "csv":
+            n = store.export_csv(args.out)
+        else:
+            report = store.to_report()
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            n = len(report.entries)
+    print(f"exported {n} ligands to {args.out} ({args.format})")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    commands = {
+        "run": _cmd_campaign_run,
+        "resume": _cmd_campaign_resume,
+        "status": _cmd_campaign_status,
+        "top": _cmd_campaign_top,
+        "export": _cmd_campaign_export,
+    }
+    return commands[args.campaign_command](args)
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.runner import hertz_table, jupiter_table
     from repro.experiments.tables import format_hertz_table, format_jupiter_table
@@ -287,18 +591,29 @@ def _cmd_devices(_args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library errors (:class:`repro.errors.ReproError`) are reported as a
+    one-line ``error: …`` message with exit code 2, never a traceback.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
     commands = {
         "dock": _cmd_dock,
         "screen": _cmd_screen,
+        "campaign": _cmd_campaign,
         "tables": _cmd_tables,
         "devices": _cmd_devices,
         "trace": _cmd_trace,
         "replay": _cmd_replay,
     }
-    return commands[args.command](args)
+    try:
+        return commands[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

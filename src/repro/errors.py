@@ -49,3 +49,7 @@ class DeviceFailure(SimulationError):
 
 class ExperimentError(ReproError):
     """Experiment/benchmark harness misconfiguration."""
+
+
+class CampaignError(ReproError):
+    """Invalid campaign configuration, store corruption, or resume mismatch."""

@@ -94,14 +94,30 @@ class DockingResult:
         )
 
 
+def _encode_float(value: float) -> float | str:
+    """JSON-safe float: non-finite values become strings (strict JSON has no
+    NaN/Infinity literals)."""
+    return float(value) if np.isfinite(value) else str(value)
+
+
+def _decode_float(value: float | str | None) -> float:
+    return float("nan") if value is None else float(value)
+
+
 @dataclass(frozen=True)
 class ScreeningEntry:
-    """One ligand's outcome within a library screen."""
+    """One ligand's outcome within a library screen.
+
+    ``simulated_seconds`` is this ligand's modelled wall time (``nan`` when
+    no node model was attached) — kept per entry so campaign accounting
+    never loses per-ligand timing, even when some entries are non-finite.
+    """
 
     ligand_title: str
     best_score: float
     best_spot: int
     evaluations: int
+    simulated_seconds: float = float("nan")
 
 
 @dataclass
@@ -129,16 +145,82 @@ class ScreeningReport:
             raise ReproError(f"k must be >= 1, got {k}")
         return self.ranked()[: min(k, len(self.entries))]
 
-    def to_text(self) -> str:
-        """Human-readable ranking table."""
+    def to_text(self, limit: int | None = None) -> str:
+        """Human-readable ranking table.
+
+        ``limit`` caps the rows shown: selection uses a bounded heap
+        (``heapq.nsmallest``) rather than sorting the full entry list, so a
+        million-entry campaign can print a summary without materialising the
+        whole ranking into one string.
+        """
+        if limit is not None and limit < 1:
+            raise ReproError(f"limit must be >= 1, got {limit}")
+        if limit is None or limit >= len(self.entries):
+            shown = self.ranked()
+        else:
+            import heapq
+
+            shown = heapq.nsmallest(limit, self.entries, key=lambda e: e.best_score)
         lines = [
             f"Screening report — receptor: {self.receptor_title}",
             f"{'rank':>4s}  {'score':>12s}  {'spot':>5s}  ligand",
         ]
-        for rank, e in enumerate(self.ranked(), start=1):
+        for rank, e in enumerate(shown, start=1):
             lines.append(
                 f"{rank:4d}  {e.best_score:12.3f}  {e.best_spot:5d}  {e.ligand_title}"
             )
+        hidden = len(self.entries) - len(shown)
+        if hidden > 0:
+            lines.append(f"... ({hidden} more ligands not shown)")
         if np.isfinite(self.simulated_seconds) and self.simulated_seconds > 0:
             lines.append(f"simulated wall time: {self.simulated_seconds:.2f} s")
         return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Serialise the report as strict JSON (non-finite floats become
+        strings, e.g. ``"nan"``); inverse of :meth:`from_json`."""
+        import json
+
+        return json.dumps(
+            {
+                "receptor_title": self.receptor_title,
+                "simulated_seconds": _encode_float(self.simulated_seconds),
+                "entries": [
+                    {
+                        "ligand_title": e.ligand_title,
+                        "best_score": _encode_float(e.best_score),
+                        "best_spot": e.best_spot,
+                        "evaluations": e.evaluations,
+                        "simulated_seconds": _encode_float(e.simulated_seconds),
+                    }
+                    for e in self.entries
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScreeningReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        import json
+
+        try:
+            payload = json.loads(text)
+            entries = [
+                ScreeningEntry(
+                    ligand_title=str(item["ligand_title"]),
+                    best_score=_decode_float(item["best_score"]),
+                    best_spot=int(item["best_spot"]),
+                    evaluations=int(item["evaluations"]),
+                    simulated_seconds=_decode_float(item.get("simulated_seconds")),
+                )
+                for item in payload["entries"]
+            ]
+            report = cls(
+                receptor_title=str(payload["receptor_title"]),
+                entries=entries,
+                simulated_seconds=_decode_float(payload.get("simulated_seconds")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"not a screening-report document: {exc}") from None
+        return report

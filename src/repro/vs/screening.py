@@ -15,12 +15,10 @@ import numpy as np
 from repro.errors import ReproError
 from repro.hardware.node import NodeSpec
 from repro.metaheuristics.template import MetaheuristicSpec
-from repro.molecules.spots import find_spots
 from repro.molecules.structures import Ligand, Receptor
 from repro.molecules.synthetic import generate_ligand
 from repro.scoring.base import ScoringFunction
-from repro.vs.docking import dock
-from repro.vs.results import ScreeningEntry, ScreeningReport
+from repro.vs.results import ScreeningReport
 
 __all__ = ["screen", "synthetic_library"]
 
@@ -62,39 +60,45 @@ def screen(
 
     Each ligand is docked independently (ligand ``i`` uses search seed
     ``seed + i``); the report ranks ligands by their best score. When a
-    ``node`` is supplied, per-ligand simulated times accumulate into
-    ``report.simulated_seconds``. ``host_workers``/``parallel_mode``/
-    ``prune_spots`` pass through to :func:`repro.vs.docking.dock` — real
-    process-parallel scoring with bitwise-identical rankings.
+    ``node`` is supplied, per-ligand simulated times land on each entry and
+    their finite sum in ``report.simulated_seconds``. ``host_workers``/
+    ``parallel_mode``/``prune_spots`` pass through to
+    :func:`repro.vs.docking.dock` — real process-parallel scoring with
+    bitwise-identical rankings.
+
+    ``ligands`` may be any iterable — a generator streams through without
+    ever being materialised. This is a thin wrapper over a one-shot
+    in-memory campaign (:class:`repro.campaign.CampaignRunner` with a
+    ``:memory:`` store), so ``screen()`` and ``repro-vs campaign`` share one
+    execution path; ligands with duplicate or empty titles get their global
+    ordinal suffixed so report entries and store keys never collide.
     """
-    ligand_list = list(ligands)
-    if not ligand_list:
-        raise ReproError("screening needs at least one ligand")
-    spots = find_spots(receptor, n_spots)
-    report = ScreeningReport(receptor_title=receptor.title or "receptor")
-    for i, ligand in enumerate(ligand_list):
-        result = dock(
-            receptor,
-            ligand,
-            spots=spots,
-            metaheuristic=metaheuristic,
-            scoring=scoring,
-            seed=seed + i,
-            workload_scale=workload_scale,
-            node=node,
-            mode=mode,
-            host_workers=host_workers,
-            parallel_mode=parallel_mode,
-            prune_spots=prune_spots,
-        )
-        report.add(
-            ScreeningEntry(
-                ligand_title=ligand.title or f"ligand-{i}",
-                best_score=result.best_score,
-                best_spot=result.best.spot_index,
-                evaluations=result.evaluations,
-            )
-        )
-        if node is not None and np.isfinite(result.simulated_seconds):
-            report.simulated_seconds += result.simulated_seconds
-    return report
+    from itertools import chain
+
+    from repro.campaign.library import IterableSource
+    from repro.campaign.runner import CampaignRunner
+
+    iterator = iter(ligands)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ReproError("screening needs at least one ligand") from None
+    runner = CampaignRunner(
+        receptor,
+        IterableSource(chain([first], iterator)),
+        store_path=":memory:",
+        n_spots=n_spots,
+        metaheuristic=metaheuristic,
+        scoring=scoring,
+        seed=seed,
+        workload_scale=workload_scale,
+        node=node,
+        mode=mode,
+        host_workers=host_workers,
+        parallel_mode=parallel_mode,
+        prune_spots=prune_spots,
+        max_attempts=1,
+        raise_on_failure=True,
+    )
+    with runner.run() as store:
+        return store.to_report()

@@ -1,0 +1,179 @@
+"""End-to-end CLI coverage for ``repro-vs campaign`` and flag validation."""
+
+import json
+import sqlite3
+
+import pytest
+
+import repro.campaign.runner as runner_mod
+from repro.campaign import CampaignRunner, SyntheticSource
+from repro.cli import main
+from repro.molecules.synthetic import generate_receptor
+
+RUN_ARGS = [
+    "campaign", "run",
+    "--receptor-atoms", "60",
+    "--ligands", "4",
+    "--atoms-min", "8",
+    "--atoms-max", "12",
+    "--spots", "2",
+    "--metaheuristic", "M1",
+    "--scale", "0.05",
+    "--seed", "3",
+    "--shard-size", "2",
+    "--node", "none",
+]
+
+
+def run_campaign(store_path, capsys):
+    rc = main(RUN_ARGS + ["--store", str(store_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    return out
+
+
+def test_campaign_run_status_top_export(tmp_path, capsys):
+    store = tmp_path / "c.sqlite"
+    out = run_campaign(store, capsys)
+    assert "campaign complete: 4 done, 0 failed, 0 outstanding" in out
+    assert "shard 0" in out and "shard 1" in out  # progress lines
+
+    assert main(["campaign", "status", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "4 done" in out and "complete" in out
+
+    assert main(["campaign", "top", "--store", str(store), "-k", "2"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0].split() == ["rank", "score", "spot", "ligand"]
+    assert [line.split()[0] for line in lines[1:]] == ["1", "2"]
+
+    dump = tmp_path / "dump.json"
+    assert main([
+        "campaign", "export", "--store", str(store), "--out", str(dump),
+    ]) == 0
+    payload = json.loads(dump.read_text())
+    assert len(payload["results"]) == 4
+
+    report_path = tmp_path / "report.json"
+    assert main([
+        "campaign", "export", "--store", str(store),
+        "--out", str(report_path), "--format", "report",
+    ]) == 0
+    report = json.loads(report_path.read_text())
+    assert len(report["entries"]) == 4
+
+    csv_path = tmp_path / "dump.csv"
+    assert main([
+        "campaign", "export", "--store", str(store),
+        "--out", str(csv_path), "--format", "csv",
+    ]) == 0
+    assert csv_path.read_text().count("\n") == 5  # header + 4 rows
+
+
+def test_campaign_resume_completed_is_noop(tmp_path, capsys):
+    store = tmp_path / "c.sqlite"
+    run_campaign(store, capsys)
+    assert main(["campaign", "resume", "--store", str(store)]) == 0
+    assert "campaign complete" in capsys.readouterr().out
+
+
+def test_cli_resume_finishes_interrupted_campaign(tmp_path, capsys, monkeypatch):
+    # Build the identical campaign the CLI `run` above would, but kill it
+    # mid-flight; the CLI `resume` must reconstruct everything from the
+    # store's descriptors and finish the job.
+    receptor = generate_receptor(60, seed=3)
+    runner = CampaignRunner(
+        receptor,
+        SyntheticSource(4, atoms_range=(8, 12), seed=13),
+        store_path=tmp_path / "c.sqlite",
+        n_spots=2,
+        metaheuristic="M1",
+        seed=3,
+        workload_scale=0.05,
+        shard_size=2,
+        receptor_descriptor={"kind": "synthetic", "n_atoms": 60, "seed": 3},
+    )
+    real_dock = runner_mod.dock
+    calls = {"n": 0}
+
+    def dying_dock(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            raise KeyboardInterrupt
+        return real_dock(*args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "dock", dying_dock)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run()
+    monkeypatch.setattr(runner_mod, "dock", real_dock)
+
+    assert main(["campaign", "resume", "--store", str(tmp_path / "c.sqlite")]) == 0
+    out = capsys.readouterr().out
+    assert "campaign complete: 4 done" in out
+
+    # And it matches a never-interrupted CLI run bitwise.
+    reference = tmp_path / "ref.sqlite"
+    ref_out = run_campaign(reference, capsys)
+    assert [l for l in out.splitlines() if l.startswith("  ")] == [
+        l for l in ref_out.splitlines() if l.startswith("  ")
+    ]
+
+
+def test_negative_host_workers_rejected(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(RUN_ARGS + ["--store", str(tmp_path / "c.sqlite"),
+                         "--host-workers", "-2"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "must be >= 0, got -2" in err
+    assert "Traceback" not in err
+
+
+def test_unknown_parallel_mode_rejected(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(RUN_ARGS + ["--store", str(tmp_path / "c.sqlite"),
+                         "--parallel-mode", "quantum"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "invalid choice: 'quantum'" in err
+    assert "Traceback" not in err
+
+
+def test_run_onto_existing_store_is_clean_error(tmp_path, capsys):
+    store = tmp_path / "c.sqlite"
+    run_campaign(store, capsys)
+    assert main(RUN_ARGS + ["--store", str(store)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "already exists" in err
+    assert "Traceback" not in err
+
+
+def test_resume_missing_store_is_clean_error(tmp_path, capsys):
+    assert main(["campaign", "resume", "--store", str(tmp_path / "nope.sqlite")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "no campaign store" in err
+
+
+def test_resume_config_mismatch_is_clean_error(tmp_path, capsys):
+    store = tmp_path / "c.sqlite"
+    run_campaign(store, capsys)
+    # Tamper with a science-affecting config key behind the store's back.
+    conn = sqlite3.connect(store)
+    raw = conn.execute("SELECT value FROM meta WHERE key = 'config'").fetchone()[0]
+    config = json.loads(raw)
+    config["seed"] = 999
+    conn.execute(
+        "UPDATE meta SET value = ? WHERE key = 'config'", (json.dumps(config),)
+    )
+    conn.commit()
+    conn.close()
+
+    assert main(["campaign", "resume", "--store", str(store)]) == 2
+    err = capsys.readouterr().err
+    assert "config mismatch" in err
+    assert "Traceback" not in err
+
+
+def test_status_of_missing_store_is_clean_error(tmp_path, capsys):
+    assert main(["campaign", "status", "--store", str(tmp_path / "x.sqlite")]) == 2
+    assert "no campaign store" in capsys.readouterr().err

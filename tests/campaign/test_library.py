@@ -1,0 +1,141 @@
+"""Streaming library sources, sharding, and title resolution."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.library import (
+    IterableSource,
+    ListSource,
+    PDBDirectorySource,
+    Shard,
+    SyntheticSource,
+    iter_shards,
+    receptor_fingerprint,
+    resolve_title,
+)
+from repro.errors import CampaignError
+from repro.molecules.pdb import dumps_pdb, write_pdb
+from repro.molecules.synthetic import generate_ligand, generate_receptor
+from repro.vs.screening import synthetic_library
+
+
+def test_synthetic_source_matches_materialized_library():
+    # Lazy streaming must reproduce synthetic_library() ligand-for-ligand.
+    source = SyntheticSource(5, atoms_range=(8, 14), seed=9)
+    materialized = synthetic_library(5, atoms_range=(8, 14), seed=9)
+    streamed = list(source)
+    assert len(streamed) == 5
+    for lazy, eager in zip(streamed, materialized):
+        assert lazy.title == eager.title
+        assert np.array_equal(lazy.coords, eager.coords)
+        assert list(lazy.elements) == list(eager.elements)
+
+
+def test_synthetic_source_random_access():
+    source = SyntheticSource(6, atoms_range=(8, 12), seed=4)
+    assert source.count() == 6
+    third = source.ligand_at(3)
+    assert third.title == "LIG0003"
+    assert np.array_equal(third.coords, list(source)[3].coords)
+    with pytest.raises(CampaignError):
+        source.ligand_at(6)
+    with pytest.raises(CampaignError):
+        SyntheticSource(0)
+    with pytest.raises(CampaignError):
+        SyntheticSource(3, atoms_range=(10, 5))
+
+
+def test_list_and_iterable_sources():
+    ligands = [generate_ligand(8, seed=i) for i in range(3)]
+    listed = ListSource(ligands)
+    assert listed.count() == 3
+    assert listed.descriptor() == {"kind": "list", "n_ligands": 3}
+    assert [l.title for l in listed] == [l.title for l in ligands]
+
+    streaming = IterableSource(iter(ligands))
+    assert streaming.count() is None
+    assert streaming.descriptor() == {"kind": "iterable"}
+    assert len(list(streaming)) == 3
+
+
+def test_iter_shards_deterministic_plan():
+    source = ListSource([generate_ligand(6, seed=i) for i in range(7)])
+    shards = list(iter_shards(source, 3))
+    assert [s.shard_id for s, _ in shards] == [0, 1, 2]
+    assert [(s.start, s.stop) for s, _ in shards] == [(0, 3), (3, 6), (6, 7)]
+    assert shards[-1][0].size == 1
+    # Ordinals are global and contiguous across shards.
+    ordinals = [o for _, items in shards for o, _ in items]
+    assert ordinals == list(range(7))
+    assert list(shards[1][0].ordinals()) == [3, 4, 5]
+    with pytest.raises(CampaignError):
+        list(iter_shards(source, 0))
+
+
+def test_shard_is_value_object():
+    assert Shard(1, 3, 6) == Shard(1, 3, 6)
+    assert Shard(1, 3, 6).size == 3
+
+
+def test_resolve_title_collisions():
+    seen: set[str] = set()
+    assert resolve_title("LIGA", 0, seen) == "LIGA"
+    assert resolve_title("LIGB", 1, seen) == "LIGB"
+    # Duplicate gets the global ordinal suffixed.
+    assert resolve_title("LIGA", 2, seen) == "LIGA#2"
+    # Empty title falls back to the ordinal form.
+    assert resolve_title("", 3, seen) == "ligand-3"
+    # And even that collides safely with a hostile explicit title.
+    assert resolve_title("ligand-3", 4, seen) == "ligand-3#4"
+    assert len(seen) == 5
+
+
+def test_pdb_directory_source(tmp_path):
+    # Two single-ligand files plus one two-model file, in name order.
+    lig_a = generate_ligand(8, seed=1, title="")
+    lig_b = generate_ligand(9, seed=2, title="beta")
+    write_pdb(lig_a, tmp_path / "a_first.pdb")
+    write_pdb(lig_b, tmp_path / "b_second.pdb")
+    model_1 = generate_ligand(7, seed=3, title="")
+    model_2 = generate_ligand(6, seed=4, title="")
+    multi = []
+    for i, lig in enumerate((model_1, model_2), start=1):
+        body = "\n".join(
+            line
+            for line in dumps_pdb(lig).splitlines()
+            if not line.startswith("END")
+        )
+        multi.append(f"MODEL     {i}\n{body}\nENDMDL\n")
+    (tmp_path / "c_multi.pdb").write_text("".join(multi))
+
+    source = PDBDirectorySource(tmp_path)
+    ligands = list(source)
+    assert [l.title for l in ligands] == [
+        "a_first",  # untitled file inherits its stem
+        "beta",
+        "c_multi:1",  # untitled models get stem:model
+        "c_multi:2",
+    ]
+    assert [l.n_atoms for l in ligands] == [8, 9, 7, 6]
+    assert source.count() is None
+    descriptor = source.descriptor()
+    assert descriptor["kind"] == "pdb-dir"
+    # Two iterations stream identical content (resume re-streams).
+    assert [l.title for l in source] == [l.title for l in ligands]
+
+
+def test_pdb_directory_source_validation(tmp_path):
+    with pytest.raises(CampaignError):
+        PDBDirectorySource(tmp_path / "missing")
+    with pytest.raises(CampaignError):
+        PDBDirectorySource(tmp_path)  # exists but empty
+
+
+def test_receptor_fingerprint_sensitivity():
+    receptor = generate_receptor(50, seed=5)
+    same = generate_receptor(50, seed=5)
+    other = generate_receptor(50, seed=6)
+    assert receptor_fingerprint(receptor) == receptor_fingerprint(same)
+    assert receptor_fingerprint(receptor) != receptor_fingerprint(other)
+    moved = receptor.translated(np.array([0.1, 0.0, 0.0]))
+    assert receptor_fingerprint(receptor) != receptor_fingerprint(moved)

@@ -1,0 +1,244 @@
+"""Campaign orchestration: crash/resume determinism, retries, progress.
+
+The kill-mid-shard tests simulate a SIGKILL via exception injection: a
+monkeypatched ``dock`` raises ``KeyboardInterrupt`` partway through a shard,
+which the runner must never swallow. The acceptance bar: resume completes
+the *remaining* ligands only (nothing lost, nothing recomputed) and the
+final ranking is bitwise identical to an uninterrupted run — including under
+the real process-parallel host runtime (1 and 4 workers).
+"""
+
+import math
+
+import pytest
+
+import repro.campaign.runner as runner_mod
+from repro.campaign import CampaignRunner, SyntheticSource
+from repro.errors import CampaignError
+from repro.vs.docking import dock as real_dock
+from repro.vs.screening import screen, synthetic_library
+
+SEED = 11
+N_LIGANDS = 5
+
+
+def make_runner(receptor, tmp_path, name="c.sqlite", **overrides):
+    kwargs = dict(
+        store_path=tmp_path / name,
+        n_spots=2,
+        metaheuristic="M1",
+        seed=SEED,
+        workload_scale=0.05,
+        shard_size=2,
+        backoff_base=0.0,
+    )
+    kwargs.update(overrides)
+    return CampaignRunner(
+        receptor, SyntheticSource(N_LIGANDS, atoms_range=(8, 12), seed=2), **kwargs
+    )
+
+
+class DockSpy:
+    """Stand-in for ``runner.dock`` that records ordinals and can blow up."""
+
+    def __init__(self, interrupt_before_call=None, poison_ordinal=None):
+        self.ordinals = []
+        self.calls = 0
+        self.interrupt_before_call = interrupt_before_call
+        self.poison_ordinal = poison_ordinal
+
+    def __call__(self, receptor, ligand, **kwargs):
+        self.calls += 1
+        if (
+            self.interrupt_before_call is not None
+            and self.calls >= self.interrupt_before_call
+        ):
+            raise KeyboardInterrupt  # the simulated SIGKILL
+        ordinal = kwargs["seed"] - SEED
+        if ordinal == self.poison_ordinal:
+            raise ValueError(f"poisoned ligand {ordinal}")
+        self.ordinals.append(ordinal)
+        return real_dock(receptor, ligand, **kwargs)
+
+
+def ranking(store, k=N_LIGANDS):
+    return [(row["title"], row["best_score"]) for row in store.top(k)]
+
+
+def test_run_matches_screen_bitwise(receptor, tmp_path):
+    # The durable path and the in-memory screen() wrapper share one code
+    # path; different shard sizes must not change a single bit.
+    with make_runner(receptor, tmp_path).run() as store:
+        report = store.to_report()
+    library = synthetic_library(N_LIGANDS, atoms_range=(8, 12), seed=2)
+    direct = screen(
+        receptor, library, n_spots=2, metaheuristic="M1",
+        workload_scale=0.05, seed=SEED,
+    )
+    assert [e.ligand_title for e in report.entries] == [
+        e.ligand_title for e in direct.entries
+    ]
+    assert [e.best_score for e in report.entries] == [
+        e.best_score for e in direct.entries
+    ]
+
+
+def test_rerun_onto_existing_store_refused(receptor, tmp_path):
+    make_runner(receptor, tmp_path).run().close()
+    with pytest.raises(CampaignError, match="already exists"):
+        make_runner(receptor, tmp_path).run()
+
+
+def test_resume_completed_campaign_is_noop(receptor, tmp_path, monkeypatch):
+    make_runner(receptor, tmp_path).run().close()
+    spy = DockSpy()
+    monkeypatch.setattr(runner_mod, "dock", spy)
+    with make_runner(receptor, tmp_path).resume() as store:
+        assert store.is_complete()
+        assert store.counts()["done"] == N_LIGANDS
+    assert spy.calls == 0  # nothing recomputed
+
+
+@pytest.mark.parametrize("host_workers", [0, 1, 4])
+def test_kill_mid_shard_then_resume_is_bitwise_identical(
+    receptor, tmp_path, monkeypatch, host_workers
+):
+    # Uninterrupted reference run.
+    with make_runner(
+        receptor, tmp_path, name="ref.sqlite", host_workers=host_workers
+    ).run() as store:
+        expected = ranking(store)
+
+    # Interrupted run: the 4th dock call (ordinal 3, mid-shard-1) dies.
+    spy = DockSpy(interrupt_before_call=4)
+    monkeypatch.setattr(runner_mod, "dock", spy)
+    with pytest.raises(KeyboardInterrupt):
+        make_runner(
+            receptor, tmp_path, name="kill.sqlite", host_workers=host_workers
+        ).run()
+    assert spy.ordinals == [0, 1, 2]
+
+    # Resume: only the remaining ligands are docked, nothing is recomputed,
+    # and no completed result was lost.
+    resume_spy = DockSpy()
+    monkeypatch.setattr(runner_mod, "dock", resume_spy)
+    with make_runner(
+        receptor, tmp_path, name="kill.sqlite", host_workers=host_workers
+    ).resume() as store:
+        assert resume_spy.ordinals == [3, 4]
+        assert store.is_complete()
+        assert store.counts()["done"] == N_LIGANDS
+        # Bitwise-identical final ranking (scores compared exactly).
+        assert ranking(store) == expected
+
+
+def test_kill_then_resume_without_journal_uses_store(receptor, tmp_path, monkeypatch):
+    spy = DockSpy(interrupt_before_call=4)
+    monkeypatch.setattr(runner_mod, "dock", spy)
+    runner = make_runner(receptor, tmp_path)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run()
+    # Journal lost (e.g. different filesystem) — the store alone suffices.
+    runner.journal.path.unlink()
+    monkeypatch.setattr(runner_mod, "dock", DockSpy())
+    with make_runner(receptor, tmp_path).resume() as store:
+        assert store.counts()["done"] == N_LIGANDS
+
+
+def test_journal_records_crash_boundary(receptor, tmp_path, monkeypatch):
+    monkeypatch.setattr(runner_mod, "dock", DockSpy(interrupt_before_call=4))
+    runner = make_runner(receptor, tmp_path)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run()
+    state = runner.journal.replay()
+    assert state.finished == {0}
+    assert state.unfinished() == {1}  # started, never finished
+    assert not state.campaign_finished
+
+
+def test_poisoned_ligand_is_recorded_and_campaign_continues(
+    receptor, tmp_path, monkeypatch
+):
+    sleeps = []
+    monkeypatch.setattr(runner_mod, "dock", DockSpy(poison_ordinal=1))
+    with make_runner(
+        receptor, tmp_path, max_attempts=2, backoff_base=0.25,
+        sleep=sleeps.append,
+    ).run() as store:
+        counts = store.counts()
+        assert counts["done"] == N_LIGANDS - 1
+        assert counts["failed"] == 1
+        assert store.is_complete()
+        row = [r for r in store.iter_results() if r["ordinal"] == 1][0]
+        assert row["status"] == "failed"
+        assert "ValueError" in row["error"] and "poisoned" in row["error"]
+        assert row["attempts"] == 2
+        # Failed ligands are simply absent from the ranking.
+        assert len(store.top(N_LIGANDS)) == N_LIGANDS - 1
+    # One backoff sleep between the two attempts, at the base delay.
+    assert sleeps == [0.25]
+
+
+def test_transient_failure_retries_with_backoff(receptor, tmp_path, monkeypatch):
+    failures = {"left": 2}
+    sleeps = []
+
+    def flaky(receptor_arg, ligand, **kwargs):
+        if kwargs["seed"] - SEED == 1 and failures["left"] > 0:
+            failures["left"] -= 1
+            raise RuntimeError("transient worker death")
+        return real_dock(receptor_arg, ligand, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "dock", flaky)
+    with make_runner(
+        receptor, tmp_path, max_attempts=3, backoff_base=0.5, sleep=sleeps.append
+    ).run() as store:
+        assert store.counts()["done"] == N_LIGANDS
+        row = [r for r in store.iter_results() if r["ordinal"] == 1][0]
+        assert row["attempts"] == 3  # two transient failures, third try wins
+    assert sleeps == [0.5, 1.0]  # exponential backoff
+
+
+def test_screen_raises_instead_of_recording_failures(receptor, monkeypatch):
+    # screen() is a one-shot in-memory campaign with raise_on_failure.
+    monkeypatch.setattr(runner_mod, "dock", DockSpy(poison_ordinal=1))
+    library = synthetic_library(3, atoms_range=(8, 12), seed=2)
+    with pytest.raises(ValueError, match="poisoned"):
+        screen(receptor, library, n_spots=2, metaheuristic="M1",
+               workload_scale=0.05, seed=SEED)
+
+
+def test_progress_snapshots(receptor, tmp_path):
+    snapshots = []
+    with make_runner(receptor, tmp_path, progress=snapshots.append).run():
+        pass
+    assert [s.shard_id for s in snapshots] == [0, 1, 2]
+    assert [s.done for s in snapshots] == [2, 4, 5]
+    assert all(s.total == N_LIGANDS for s in snapshots)
+    assert all(s.ligands_per_second > 0 for s in snapshots)
+    assert all(not math.isnan(s.eta_seconds) for s in snapshots)
+    assert snapshots[-1].eta_seconds == 0.0
+
+
+def test_resume_config_mismatch_rejected(receptor, tmp_path):
+    make_runner(receptor, tmp_path).run().close()
+    with pytest.raises(CampaignError, match="config mismatch"):
+        make_runner(receptor, tmp_path, seed=SEED + 1).resume()
+    with pytest.raises(CampaignError, match="config mismatch"):
+        make_runner(receptor, tmp_path, n_spots=3).resume()
+
+
+def test_runner_validation(receptor, tmp_path):
+    with pytest.raises(CampaignError):
+        make_runner(receptor, tmp_path, host_workers=-1)
+    with pytest.raises(CampaignError):
+        make_runner(receptor, tmp_path, parallel_mode="magic")
+    with pytest.raises(CampaignError):
+        make_runner(receptor, tmp_path, shard_size=0)
+    with pytest.raises(CampaignError):
+        make_runner(receptor, tmp_path, max_attempts=0)
+
+
+def test_resume_missing_store_rejected(receptor, tmp_path):
+    with pytest.raises(CampaignError, match="no campaign store"):
+        make_runner(receptor, tmp_path).resume()

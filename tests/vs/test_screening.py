@@ -1,9 +1,13 @@
 """Library-screening tests."""
 
+import math
+
 import pytest
 
 from repro.errors import ReproError
 from repro.hardware.node import hertz
+from repro.molecules.synthetic import generate_ligand
+from repro.vs.results import ScreeningReport
 from repro.vs.screening import screen, synthetic_library
 
 
@@ -68,3 +72,88 @@ def test_top_k_validation(receptor):
     with pytest.raises(ReproError):
         report.top(0)
     assert len(report.top(100)) == 2  # clamped
+
+
+def test_screen_accepts_lazy_iterable(receptor):
+    # A generator must stream through without materialising, and match the
+    # list path bitwise (same ligands, same seed schedule).
+    lib = synthetic_library(3, atoms_range=(8, 12), seed=2)
+    lazy = screen(
+        receptor, (lig for lig in lib), n_spots=2, metaheuristic="M1",
+        workload_scale=0.05, seed=5,
+    )
+    eager = screen(
+        receptor, lib, n_spots=2, metaheuristic="M1",
+        workload_scale=0.05, seed=5,
+    )
+    assert [e.best_score for e in lazy.entries] == [
+        e.best_score for e in eager.entries
+    ]
+    # An exhausted generator is an empty library.
+    empty = iter(())
+    with pytest.raises(ReproError, match="at least one ligand"):
+        screen(receptor, empty)
+
+
+def test_screen_disambiguates_duplicate_and_empty_titles(receptor):
+    ligands = [
+        generate_ligand(8, seed=1, title="twin"),
+        generate_ligand(9, seed=2, title="twin"),
+        generate_ligand(10, seed=3, title=""),
+    ]
+    report = screen(
+        receptor, ligands, n_spots=2, metaheuristic="M1", workload_scale=0.05
+    )
+    assert [e.ligand_title for e in report.entries] == ["twin", "twin#1", "ligand-2"]
+
+
+def test_entries_carry_simulated_seconds(receptor):
+    lib = synthetic_library(2, atoms_range=(8, 12), seed=3)
+    timed = screen(
+        receptor, lib, n_spots=2, metaheuristic="M1", workload_scale=0.05,
+        node=hertz(),
+    )
+    assert all(e.simulated_seconds > 0 for e in timed.entries)
+    assert timed.simulated_seconds == pytest.approx(
+        sum(e.simulated_seconds for e in timed.entries)
+    )
+    untimed = screen(
+        receptor, lib, n_spots=2, metaheuristic="M1", workload_scale=0.05
+    )
+    assert all(math.isnan(e.simulated_seconds) for e in untimed.entries)
+
+
+def test_report_json_roundtrip(receptor):
+    lib = synthetic_library(3, atoms_range=(8, 12), seed=4)
+    report = screen(receptor, lib, n_spots=2, metaheuristic="M1", workload_scale=0.05)
+    clone = ScreeningReport.from_json(report.to_json())
+    assert clone.receptor_title == report.receptor_title
+    assert clone.simulated_seconds == report.simulated_seconds
+    # Per-entry NaN (no node → no simulated time) survives strict-JSON encoding.
+    for a, b in zip(clone.entries, report.entries):
+        assert a.ligand_title == b.ligand_title
+        assert a.best_score == b.best_score
+        assert a.best_spot == b.best_spot
+        assert a.evaluations == b.evaluations
+        assert math.isnan(a.simulated_seconds) == math.isnan(b.simulated_seconds)
+    with pytest.raises(ReproError, match="not a screening-report"):
+        ScreeningReport.from_json("{\"surprise\": true}")
+    with pytest.raises(ReproError, match="not a screening-report"):
+        ScreeningReport.from_json("[1, 2, 3]")
+
+
+def test_report_to_text_limit(receptor):
+    lib = synthetic_library(5, atoms_range=(8, 12), seed=4)
+    report = screen(receptor, lib, n_spots=2, metaheuristic="M1", workload_scale=0.05)
+    text = report.to_text(limit=2)
+    # Only the two best rows are rendered, plus a hidden-count footer.
+    assert len([l for l in text.splitlines() if "LIG" in l]) == 2
+    assert "3 more ligands not shown" in text
+    assert text.splitlines()[-1].endswith("not shown)")
+    full = report.to_text()
+    assert len([l for l in full.splitlines() if "LIG" in l]) == 5
+    assert "not shown" not in full
+    # A limit covering everything adds no footer.
+    assert "not shown" not in report.to_text(limit=5)
+    with pytest.raises(ReproError):
+        report.to_text(limit=0)
