@@ -103,8 +103,9 @@ def run_benchmark(smoke=False, out_path=None):
         ],
     }
     if out_path:
-        with open(out_path, "w") as fh:
-            json.dump(artifact, fh, indent=2)
+        from table_utils import write_bench_artifact
+
+        write_bench_artifact("campaign_throughput", artifact, path=out_path)
     return artifact
 
 
@@ -138,9 +139,10 @@ def test_campaign_throughput_smoke(benchmark, tmp_path):
         iterations=1,
     )
     from conftest import emit
+    from table_utils import load_bench_artifact
 
     emit("Campaign — durable throughput smoke", _report(artifact))
-    assert out.exists()
+    assert load_bench_artifact(out)["benchmark"] == "campaign_throughput"
     for case in artifact["cases"]:
         assert case["complete"], "campaign must run to completion"
         assert case["counts"]["done"] == case["ligands"]

@@ -37,7 +37,16 @@ def test_eq1_percent_hertz(benchmark):
         rounds=1,
         iterations=1,
     )
-    emit("Eq. 1 warm-up — Hertz (K40c + GTX 580)", _format(node, result))
+    emit(
+        "Eq. 1 warm-up — Hertz (K40c + GTX 580)",
+        _format(node, result),
+        name="eq1_warmup_hertz",
+        data={
+            "measured_s": result.measured_times.tolist(),
+            "percent": result.percent.tolist(),
+            "weights": result.weights.tolist(),
+        },
+    )
     assert result.percent.max() == 1.0
     assert result.percent[0] < result.percent[1]  # K40c faster
     assert result.weights[0] > 0.55  # K40c takes most of the work
@@ -51,7 +60,16 @@ def test_eq1_percent_jupiter(benchmark):
         rounds=1,
         iterations=1,
     )
-    emit("Eq. 1 warm-up — Jupiter (4× GTX 590 + 2× C2075)", _format(node, result))
+    emit(
+        "Eq. 1 warm-up — Jupiter (4× GTX 590 + 2× C2075)",
+        _format(node, result),
+        name="eq1_warmup_jupiter",
+        data={
+            "measured_s": result.measured_times.tolist(),
+            "percent": result.percent.tolist(),
+            "weights": result.weights.tolist(),
+        },
+    )
     # Near-uniform shares: the Fermi cards are nearly equal.
     assert result.weights.max() / result.weights.min() < 1.3
 
@@ -77,4 +95,9 @@ def test_five_to_ten_iterations_suffice(benchmark):
         rows.append(f"{iters:4d} iterations: shares {w.round(3)}  max dev {err:.4f}")
         if 5 <= iters <= 10:
             assert err < 0.03
-    emit("Warm-up length sweep (deviation from 100-iteration reference)", "\n".join(rows))
+    emit(
+        "Warm-up length sweep (deviation from 100-iteration reference)",
+        "\n".join(rows),
+        name="eq1_warmup_sweep",
+        data={"reference_weights": reference.tolist()},
+    )

@@ -122,8 +122,9 @@ def run_benchmark(smoke=False, out_path=None, worker_counts=(2, 4)):
         ],
     }
     if out_path:
-        with open(out_path, "w") as fh:
-            json.dump(artifact, fh, indent=2)
+        from table_utils import write_bench_artifact
+
+        write_bench_artifact("host_parallel", artifact, path=out_path)
     return artifact
 
 
@@ -156,9 +157,10 @@ def test_host_parallel_smoke(benchmark, tmp_path):
         iterations=1,
     )
     from conftest import emit
+    from table_utils import load_bench_artifact
 
     emit("Host runtime — process-parallel smoke", _report(artifact))
-    assert out.exists()
+    assert load_bench_artifact(out)["benchmark"] == "host_parallel"
     for case in artifact["cases"]:
         assert case["prune_ratio"] >= 1.0
         for run in case["parallel"]:

@@ -17,10 +17,21 @@ from repro.molecules.synthetic import generate_ligand, generate_receptor
 from repro.scoring.cutoff import CutoffLennardJonesScoring
 
 
-def emit(title: str, body: str) -> None:
-    """Print one regenerated artifact with a banner."""
+def emit(title: str, body: str, name: str | None = None, data: dict | None = None) -> None:
+    """Print one regenerated artifact with a banner — and persist it.
+
+    Every emit also writes a schema-versioned ``BENCH_<slug>.json`` document
+    (via :func:`table_utils.write_bench_artifact`), so any benchmark run
+    leaves a machine-readable artifact in ``$BENCH_ARTIFACT_DIR`` (default
+    ``bench_artifacts/``) without each script rolling its own writer. Pass
+    ``data`` to attach structured numbers beyond the text report; ``name``
+    overrides the slug derived from the title.
+    """
     bar = "=" * 78
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+    from table_utils import write_bench_artifact
+
+    write_bench_artifact(name or title, {"title": title, "report": body, **(data or {})})
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,113 @@
-"""Shared assertions for the Tables 6–9 benchmarks."""
+"""Shared benchmark helpers: Tables 6–9 assertions and the BENCH artifact writer.
+
+Every benchmark run leaves a machine-readable trace behind: a schema-versioned
+``BENCH_<name>.json`` document (the :data:`BENCH_FORMAT_VERSION` discipline
+mirrors ``TRACE_FORMAT_VERSION`` in :mod:`repro.engine.traceio`). That turns
+ad-hoc benchmark output into a tracked perf trajectory — artifacts from
+different commits/machines can be diffed because the envelope (version,
+benchmark name, host facts) is uniform while ``data`` stays benchmark-shaped.
+"""
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import re
+from pathlib import Path
+
+from repro.errors import ExperimentError
 from repro.experiments.runner import TableResult
 from repro.experiments.tables import paper_reference
+
+#: Bumped on any incompatible BENCH_*.json schema change.
+BENCH_FORMAT_VERSION: int = 1
+
+#: Keys every BENCH artifact document must carry.
+BENCH_REQUIRED_KEYS: tuple[str, ...] = ("format_version", "benchmark", "host", "data")
+
+#: Default artifact directory (overridden by $BENCH_ARTIFACT_DIR or ``path=``).
+BENCH_ARTIFACT_DIR_ENV = "BENCH_ARTIFACT_DIR"
+DEFAULT_BENCH_ARTIFACT_DIR = "bench_artifacts"
+
+_SLUG_RE = re.compile(r"[^a-zA-Z0-9]+")
+
+
+def bench_slug(name: str) -> str:
+    """Filesystem-safe benchmark name (``BENCH_<slug>.json``)."""
+    slug = _SLUG_RE.sub("_", name).strip("_").lower()
+    if not slug:
+        raise ExperimentError(f"cannot derive a benchmark slug from {name!r}")
+    return slug
+
+
+def bench_artifact(benchmark: str, data: dict) -> dict:
+    """Build a BENCH document: versioned envelope around benchmark data."""
+    if not isinstance(data, dict):
+        raise ExperimentError(
+            f"benchmark data must be a dict, got {type(data).__name__}"
+        )
+    return {
+        "format_version": BENCH_FORMAT_VERSION,
+        "benchmark": bench_slug(benchmark),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "data": data,
+    }
+
+
+def validate_bench_artifact(doc: dict) -> dict:
+    """Check a BENCH document's envelope; returns it unchanged."""
+    if not isinstance(doc, dict):
+        raise ExperimentError("BENCH artifact must be a JSON object")
+    version = doc.get("format_version")
+    if version != BENCH_FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported BENCH format version {version!r} "
+            f"(this harness reads {BENCH_FORMAT_VERSION})"
+        )
+    for key in BENCH_REQUIRED_KEYS:
+        if key not in doc:
+            raise ExperimentError(f"BENCH artifact missing {key!r}")
+    if not isinstance(doc["benchmark"], str) or not doc["benchmark"]:
+        raise ExperimentError("BENCH artifact 'benchmark' must be a non-empty string")
+    if not isinstance(doc["data"], dict):
+        raise ExperimentError("BENCH artifact 'data' must be an object")
+    return doc
+
+
+def write_bench_artifact(
+    benchmark: str, data: dict, path: str | Path | None = None
+) -> Path:
+    """Write one BENCH document; returns the path written.
+
+    ``path=None`` writes ``BENCH_<slug>.json`` into ``$BENCH_ARTIFACT_DIR``
+    (default ``bench_artifacts/`` under the current directory).
+    """
+    doc = bench_artifact(benchmark, data)
+    if path is None:
+        out_dir = Path(os.environ.get(BENCH_ARTIFACT_DIR_ENV, DEFAULT_BENCH_ARTIFACT_DIR))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{doc['benchmark']}.json"
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bench_artifact(path: str | Path) -> dict:
+    """Read and validate one BENCH document."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ExperimentError(f"cannot read BENCH artifact: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid BENCH artifact JSON: {exc}") from exc
+    return validate_bench_artifact(doc)
 
 
 def speedup(row, base="openmp", target="het_system_het_comp") -> float:

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import observability as obs
 from repro.errors import CampaignError
 
 __all__ = ["CampaignJournal", "JournalState"]
@@ -58,10 +60,15 @@ class CampaignJournal:
         if "record" not in record:
             raise CampaignError(f"journal records need a 'record' key: {record}")
         line = json.dumps(record, sort_keys=True)
+        t0 = time.perf_counter()
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        obs.counter("campaign.journal.appends").inc()
+        obs.histogram("campaign.journal.fsync_seconds").observe(
+            time.perf_counter() - t0
+        )
 
     def campaign_start(self, config_hash: str) -> None:
         """Log campaign creation (binds the journal to one config)."""

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from repro import observability as obs
 from repro.errors import CampaignError
 from repro.hardware.node import NodeSpec
 from repro.metaheuristics.template import MetaheuristicSpec
@@ -222,10 +223,13 @@ class CampaignRunner:
         Returns the open store (caller closes it — or uses it as a context
         manager).
         """
-        store = CampaignStore.create(self.store_path, self.config, self.config_hash)
-        if self.journal is not None:
-            self.journal.campaign_start(self.config_hash)
-        return self._execute(store, finished=set())
+        with obs.span("campaign.run", config=self.config_hash[:12]):
+            store = CampaignStore.create(
+                self.store_path, self.config, self.config_hash
+            )
+            if self.journal is not None:
+                self.journal.campaign_start(self.config_hash)
+            return self._execute(store, finished=set())
 
     def resume(self) -> CampaignStore:
         """Continue an interrupted campaign from its store + journal.
@@ -234,42 +238,47 @@ class CampaignRunner:
         started but never finished, and docks only ligands without a
         committed result. Resuming a completed campaign is a no-op.
         """
-        store = CampaignStore.open(self.store_path)
-        try:
-            if store.config_hash != self.config_hash:
-                raise CampaignError(
-                    "campaign config mismatch: the store was created with "
-                    f"config hash {store.config_hash[:12]}… but resume was "
-                    f"given {self.config_hash[:12]}…. Receptor, library, "
-                    "seed, spots, metaheuristic, scoring, workload scale, "
-                    "shard size and pruning must all match the original run."
+        with obs.span("campaign.resume", config=self.config_hash[:12]) as span_tags:
+            store = CampaignStore.open(self.store_path)
+            try:
+                if store.config_hash != self.config_hash:
+                    raise CampaignError(
+                        "campaign config mismatch: the store was created with "
+                        f"config hash {store.config_hash[:12]}… but resume was "
+                        f"given {self.config_hash[:12]}…. Receptor, library, "
+                        "seed, spots, metaheuristic, scoring, workload scale, "
+                        "shard size and pruning must all match the original run."
+                    )
+                state = (
+                    self.journal.replay() if self.journal is not None else None
                 )
-            state = (
-                self.journal.replay() if self.journal is not None else None
-            )
-            if state is not None and state.config_hash not in (
-                None,
-                self.config_hash,
-            ):
-                raise CampaignError(
-                    f"journal {self.journal.path} belongs to config hash "
-                    f"{state.config_hash[:12]}…, not {self.config_hash[:12]}…"
-                )
-            if store.is_complete():
-                return store  # nothing to do; ranking is already final
-            # A shard is settled iff the store says so AND the journal agrees
-            # (store shard rows commit before the journal's shard_finish, so
-            # the store is authoritative; the journal catches a store that
-            # lost its very last update).
-            finished = store.finished_shards()
-            if state is not None:
-                finished |= state.finished
-            if self.journal is not None:
-                self.journal.campaign_resume(self.config_hash)
-        except Exception:
-            store.close()
-            raise
-        return self._execute(store, finished=finished)
+                if state is not None and state.config_hash not in (
+                    None,
+                    self.config_hash,
+                ):
+                    raise CampaignError(
+                        f"journal {self.journal.path} belongs to config hash "
+                        f"{state.config_hash[:12]}…, not {self.config_hash[:12]}…"
+                    )
+                if store.is_complete():
+                    # Nothing to do; ranking is already final. Still a
+                    # telemetry event — resume no-ops must stay observable.
+                    span_tags["noop"] = True
+                    obs.counter("campaign.resumes.noop").inc()
+                    return store
+                # A shard is settled iff the store says so AND the journal
+                # agrees (store shard rows commit before the journal's
+                # shard_finish, so the store is authoritative; the journal
+                # catches a store that lost its very last update).
+                finished = store.finished_shards()
+                if state is not None:
+                    finished |= state.finished
+                if self.journal is not None:
+                    self.journal.campaign_resume(self.config_hash)
+            except Exception:
+                store.close()
+                raise
+            return self._execute(store, finished=finished)
 
     # ------------------------------------------------------------------
     # execution
@@ -289,26 +298,33 @@ class CampaignRunner:
                 ]
                 n_streamed += len(items)
                 if shard.shard_id in finished:
+                    obs.counter("campaign.shards.skipped").inc()
                     continue
                 shard_t0 = time.perf_counter()
-                if self.journal is not None:
-                    self.journal.shard_start(shard.shard_id, shard.start, shard.stop)
-                store.start_shard(shard.shard_id, shard.start, shard.stop)
-                store.register_ligands([(o, t) for o, _, t in titled])
-                already_done = store.done_ordinals(shard.start, shard.stop)
-                n_failed = 0
-                for ordinal, ligand, title in titled:
-                    if ordinal in already_done:
-                        continue
-                    ok = self._dock_one(store, spots, ordinal, ligand, title)
-                    session_docked += 1
-                    if not ok:
-                        n_failed += 1
-                store.finish_shard(shard.shard_id, time.perf_counter() - shard_t0)
-                if self.journal is not None:
-                    self.journal.shard_finish(
-                        shard.shard_id, shard.size - n_failed, n_failed
-                    )
+                with obs.span("campaign.shard", shard=shard.shard_id):
+                    if self.journal is not None:
+                        self.journal.shard_start(
+                            shard.shard_id, shard.start, shard.stop
+                        )
+                    store.start_shard(shard.shard_id, shard.start, shard.stop)
+                    store.register_ligands([(o, t) for o, _, t in titled])
+                    already_done = store.done_ordinals(shard.start, shard.stop)
+                    n_failed = 0
+                    for ordinal, ligand, title in titled:
+                        if ordinal in already_done:
+                            continue
+                        ok = self._dock_one(store, spots, ordinal, ligand, title)
+                        session_docked += 1
+                        if not ok:
+                            n_failed += 1
+                    shard_s = time.perf_counter() - shard_t0
+                    store.finish_shard(shard.shard_id, shard_s)
+                    if self.journal is not None:
+                        self.journal.shard_finish(
+                            shard.shard_id, shard.size - n_failed, n_failed
+                        )
+                obs.counter("campaign.shards.done").inc()
+                obs.histogram("campaign.shard.seconds").observe(shard_s)
                 self._emit_progress(
                     store, shard.shard_id, total, session_start, session_docked
                 )
@@ -357,10 +373,16 @@ class CampaignRunner:
                     store.record_failure(
                         ordinal, title, f"{type(exc).__name__}: {exc}", attempt
                     )
+                    obs.counter("campaign.ligands.failed").inc()
                     return False
+                obs.counter("campaign.retries").inc()
                 self._sleep(delay)
                 delay *= 2
                 continue
+            obs.counter("campaign.ligands.done").inc()
+            obs.histogram("campaign.dock.seconds").observe(
+                time.perf_counter() - t0
+            )
             store.record_result(
                 ordinal,
                 title,

@@ -7,6 +7,8 @@ Subcommands:
 * ``screen`` — screen a synthetic ligand library.
 * ``campaign`` — durable, resumable screening campaigns
   (``run``/``resume``/``status``/``top``/``export``).
+* ``metrics`` — inspect/convert a telemetry snapshot written by
+  ``--metrics-out`` (text summary, JSON, or Prometheus textfile).
 * ``tables`` — regenerate the paper's Tables 6–9 (simulated seconds).
 * ``devices`` — list the modelled hardware (Tables 1–3).
 """
@@ -68,6 +70,27 @@ def _add_host_runtime_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_args(sub: argparse.ArgumentParser) -> None:
+    """Telemetry snapshot flag, shared by every run-something subcommand."""
+    sub.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's telemetry snapshot (counters, histograms, "
+        "spans) to this JSON file; inspect it with `repro-vs metrics`",
+    )
+
+
+def _maybe_write_metrics(args: argparse.Namespace, default: str | None = None) -> None:
+    """Write the global telemetry snapshot if the command asked for one."""
+    path = getattr(args, "metrics_out", None) or default
+    if path is None:
+        return
+    from repro import observability as obs
+
+    obs.write_snapshot(obs.snapshot(), path)
+    print(f"wrote telemetry snapshot to {path}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -94,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dock.add_argument("--max-torsions", type=int, default=6)
     _add_host_runtime_args(dock)
+    _add_metrics_args(dock)
 
     scr = sub.add_parser("screen", help="screen a synthetic ligand library")
     scr.add_argument("--receptor-atoms", type=int, default=1000)
@@ -104,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     scr.add_argument("--seed", type=int, default=0)
     scr.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
     _add_host_runtime_args(scr)
+    _add_metrics_args(scr)
 
     camp = sub.add_parser(
         "campaign", help="durable, resumable screening campaigns"
@@ -142,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="docking attempts per ligand before it is recorded as failed",
     )
     _add_host_runtime_args(crun)
+    _add_metrics_args(crun)
 
     cres = csub.add_parser(
         "resume", help="continue an interrupted campaign from its store"
@@ -151,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Execution knobs may change between run and resume — scores cannot.
     cres.add_argument("--host-workers", type=_nonnegative_int, default=0, metavar="N")
     cres.add_argument("--parallel-mode", choices=("static", "dynamic"), default="static")
+    _add_metrics_args(cres)
 
     cstat = csub.add_parser("status", help="summarise a campaign store")
     cstat.add_argument("--store", required=True)
@@ -169,6 +196,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="json = full streaming dump, csv = per-ligand rows, "
         "report = ScreeningReport.to_json() of completed ligands",
     )
+
+    met = sub.add_parser(
+        "metrics", help="inspect a telemetry snapshot written by --metrics-out"
+    )
+    met.add_argument("snapshot", help="snapshot JSON path (from --metrics-out)")
+    met.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="text = human summary, json = validated snapshot document, "
+        "prom = Prometheus textfile exposition",
+    )
+    met.add_argument("--out", help="write the rendering here instead of stdout")
 
     tab = sub.add_parser("tables", help="regenerate the paper's Tables 6-9")
     tab.add_argument(
@@ -260,6 +300,7 @@ def _cmd_dock(args: argparse.Namespace) -> int:
     if args.out_pdb:
         write_pdb(result.complex_molecule(), args.out_pdb)
         print(f"wrote docked complex to {args.out_pdb}")
+    _maybe_write_metrics(args)
     return 0
 
 
@@ -284,6 +325,7 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         prune_spots=args.prune_spots,
     )
     print(report.to_text())
+    _maybe_write_metrics(args)
     return 0
 
 
@@ -358,7 +400,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         receptor_descriptor=receptor_descriptor,
     )
     with runner.run() as store:
-        return _print_campaign_summary(store)
+        rc = _print_campaign_summary(store)
+    _maybe_write_metrics(args, default=f"{args.store}.metrics.json")
+    return rc
 
 
 def _rebuild_campaign_runner(args: argparse.Namespace):
@@ -430,7 +474,12 @@ def _rebuild_campaign_runner(args: argparse.Namespace):
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     runner = _rebuild_campaign_runner(args)
     with runner.resume() as store:
-        return _print_campaign_summary(store)
+        rc = _print_campaign_summary(store)
+    # Even a no-op resume of a complete campaign leaves a valid snapshot
+    # behind (span campaign.resume{noop}, counters) — observability is part
+    # of the durability contract.
+    _maybe_write_metrics(args, default=f"{args.store}.metrics.json")
+    return rc
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -500,6 +549,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         "export": _cmd_campaign_export,
     }
     return commands[args.campaign_command](args)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        load_snapshot,
+        snapshot_to_json,
+        snapshot_to_prometheus,
+        snapshot_to_text,
+    )
+
+    render = {
+        "text": snapshot_to_text,
+        "json": snapshot_to_json,
+        "prom": snapshot_to_prometheus,
+    }[args.format]
+    text = render(load_snapshot(args.snapshot))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.format} rendering to {args.out}")
+    else:
+        try:
+            print(text)
+        except BrokenPipeError:  # e.g. `repro-vs metrics ... | head`
+            return 0
+    return 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -604,6 +679,7 @@ def main(argv: list[str] | None = None) -> int:
         "dock": _cmd_dock,
         "screen": _cmd_screen,
         "campaign": _cmd_campaign,
+        "metrics": _cmd_metrics,
         "tables": _cmd_tables,
         "devices": _cmd_devices,
         "trace": _cmd_trace,

@@ -45,6 +45,7 @@ from secrets import token_hex
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro import observability as obs
 from repro.constants import DEFAULT_SEED, FLOAT_DTYPE
 from repro.errors import ScoringError
 from repro.metaheuristics.evaluation import EvaluationStats, LaunchRecord
@@ -340,17 +341,53 @@ def _barrier_task(timeout_s: float) -> int:
     return _WORKER["index"]
 
 
-def _run_tasks(tasks: list[tuple[str, int, np.ndarray, np.ndarray]]) -> list[np.ndarray]:
-    """Score this worker's share of a launch: a list of (mode, spot, t, q)."""
+#: Pose-count histogram edges (powers of four up to 256k poses; fixed for
+#: snapshot determinism).
+_POSE_COUNT_EDGES: tuple[float, ...] = tuple(float(4**k) for k in range(10))
+
+
+def _run_tasks(
+    tasks: list[tuple[str, int, np.ndarray, np.ndarray]],
+) -> tuple[list[np.ndarray], dict | None]:
+    """Score this worker's share of a launch: a list of (mode, spot, t, q).
+
+    Returns ``(score_arrays, stats)``. ``stats`` is the worker's telemetry
+    for this task — a local snapshot document plus the task's monotonic
+    start time (the parent turns submit→start into the queue-wait metric)
+    — or ``None`` when telemetry was disabled at fork time. Collection
+    never touches the scoring arithmetic: energies are bitwise identical
+    with or without it.
+    """
+    started_s = time.monotonic()
     scorer = _WORKER["scorer"]
+    index = _WORKER["index"]
+    local = obs.Telemetry() if obs.enabled() else None
     out = []
+    n_poses = 0
+    busy_s = 0.0
     for mode, spot, translations, quaternions in tasks:
+        t0 = time.perf_counter()
         if mode == "spot":
             ids = np.full(translations.shape[0], spot, dtype=np.int64)
             out.append(scorer.score_spots(ids, translations, quaternions))
         else:
             out.append(scorer.score(translations, quaternions))
-    return out
+        if local is not None:
+            n_poses += translations.shape[0]
+            task_s = time.perf_counter() - t0
+            busy_s += task_s
+            local.histogram("host.worker.task_seconds", worker=index).observe(task_s)
+    if local is None:
+        return out, None
+    local.counter("host.worker.poses", worker=index).inc(n_poses)
+    local.counter("host.worker.tasks", worker=index).inc(len(tasks))
+    return out, {
+        "telemetry": local.snapshot(),
+        "worker": index,
+        "poses": n_poses,
+        "busy_s": busy_s,
+        "started_s": started_s,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -466,19 +503,22 @@ class ParallelSpotEvaluator:
 
     def _spawn_and_warm(self, slots, timed: bool) -> HostWarmupResult:
         """Force-spawn all workers via blocking barriers; reduce Eq. 1."""
-        t0 = time.perf_counter()
-        barriers = [
-            self._pool.submit(_barrier_task, _WARMUP_TIMEOUT_S)
-            for _ in range(self.n_workers)
-        ]
-        try:
-            for future in barriers:
-                future.result(timeout=_WARMUP_TIMEOUT_S)
-        except BrokenProcessPool as exc:
-            raise ScoringError(
-                f"host worker pool died during warm-up: {exc}"
-            ) from exc
-        elapsed = time.perf_counter() - t0
+        with obs.span(
+            "host.warmup", workers=self.n_workers, mode=self.mode, timed=timed
+        ):
+            t0 = time.perf_counter()
+            barriers = [
+                self._pool.submit(_barrier_task, _WARMUP_TIMEOUT_S)
+                for _ in range(self.n_workers)
+            ]
+            try:
+                for future in barriers:
+                    future.result(timeout=_WARMUP_TIMEOUT_S)
+            except BrokenProcessPool as exc:
+                raise ScoringError(
+                    f"host worker pool died during warm-up: {exc}"
+                ) from exc
+            elapsed = time.perf_counter() - t0
         measured = np.array(slots[:], dtype=np.float64)
         if not timed or not np.all(measured > 0.0):
             # untimed pool (or a straggler hit the barrier timeout): fall
@@ -487,6 +527,15 @@ class ParallelSpotEvaluator:
         percent = measured / measured.max()
         weights = 1.0 / percent
         weights /= weights.sum()
+        # The Eq. 1 share decision, with its inputs, on the record: what the
+        # warm-up measured, the Percent reduction, and the share each worker
+        # was assigned as a consequence.
+        obs.counter("host.warmups").inc()
+        obs.gauge("host.warmup.elapsed_s").set(elapsed)
+        for i in range(self.n_workers):
+            obs.gauge("host.warmup.measured_s", worker=i).set(float(measured[i]))
+            obs.gauge("host.warmup.percent", worker=i).set(float(percent[i]))
+            obs.gauge("host.warmup.weight", worker=i).set(float(weights[i]))
         return HostWarmupResult(
             measured_s=measured, percent=percent, weights=weights, elapsed_s=elapsed
         )
@@ -579,51 +628,106 @@ class ParallelSpotEvaluator:
             return np.empty(0, dtype=FLOAT_DTYPE)
         jobs = self._plan(spot_ids)
         out = np.empty(n, dtype=FLOAT_DTYPE)
+        obs.counter("host.launches", mode=self.mode).inc()
+        obs.counter("host.poses", mode=self.mode).inc(n)
+        for job in jobs:
+            obs.histogram("host.job.poses", edges=_POSE_COUNT_EDGES).observe(
+                job.rows.size
+            )
+        stats: list[dict] = []
         try:
-            if self.mode == "static":
-                buckets = self._assign(jobs)
-                futures = []
-                for bucket in buckets:
-                    if not bucket:
-                        continue
-                    tasks = [
-                        (job.mode, job.spot, translations[job.rows], quaternions[job.rows])
-                        for job in bucket
-                    ]
-                    futures.append((bucket, self._pool.submit(_run_tasks, tasks)))
-                for bucket, future in futures:
-                    for job, scores in zip(bucket, future.result()):
-                        out[job.rows] = scores
-            else:  # dynamic: one task per job, largest first, stolen freely
-                order = sorted(
-                    range(len(jobs)), key=lambda i: (-jobs[i].rows.size, jobs[i].spot)
-                )
-                futures = [
-                    (
-                        jobs[i],
-                        self._pool.submit(
-                            _run_tasks,
-                            [
-                                (
-                                    jobs[i].mode,
-                                    jobs[i].spot,
-                                    translations[jobs[i].rows],
-                                    quaternions[jobs[i].rows],
-                                )
-                            ],
-                        ),
+            with obs.span("host.launch", mode=self.mode, kind=kind, poses=n):
+                if self.mode == "static":
+                    buckets = self._assign(jobs)
+                    futures = []
+                    for bucket in buckets:
+                        if not bucket:
+                            continue
+                        tasks = [
+                            (job.mode, job.spot, translations[job.rows], quaternions[job.rows])
+                            for job in bucket
+                        ]
+                        submit_s = time.monotonic()
+                        futures.append(
+                            (bucket, submit_s, self._pool.submit(_run_tasks, tasks))
+                        )
+                    for bucket, submit_s, future in futures:
+                        scores_list, stat = future.result()
+                        for job, scores in zip(bucket, scores_list):
+                            out[job.rows] = scores
+                        if stat is not None:
+                            stat["submit_s"] = submit_s
+                            stats.append(stat)
+                else:  # dynamic: one task per job, largest first, stolen freely
+                    order = sorted(
+                        range(len(jobs)), key=lambda i: (-jobs[i].rows.size, jobs[i].spot)
                     )
-                    for i in order
-                ]
-                for job, future in futures:
-                    out[job.rows] = future.result()[0]
+                    futures = []
+                    for i in order:
+                        submit_s = time.monotonic()
+                        futures.append(
+                            (
+                                jobs[i],
+                                submit_s,
+                                self._pool.submit(
+                                    _run_tasks,
+                                    [
+                                        (
+                                            jobs[i].mode,
+                                            jobs[i].spot,
+                                            translations[jobs[i].rows],
+                                            quaternions[jobs[i].rows],
+                                        )
+                                    ],
+                                ),
+                            )
+                        )
+                    for job, submit_s, future in futures:
+                        scores_list, stat = future.result()
+                        out[job.rows] = scores_list[0]
+                        if stat is not None:
+                            stat["submit_s"] = submit_s
+                            stats.append(stat)
         except BrokenProcessPool as exc:
             self.close()
             raise ScoringError(
                 f"host worker pool crashed mid-launch ({exc}); shared-memory "
                 "segments have been released"
             ) from exc
+        self._harvest(stats, len(jobs))
         return out
+
+    def _harvest(self, stats: list[dict], n_jobs: int) -> None:
+        """Merge per-worker telemetry into this process's session.
+
+        The explicit merge-at-join step of the multiprocessing contract:
+        each worker returned a local snapshot; here they fold into the
+        parent registry, plus the parent-only derived metrics — queue wait
+        (task start minus submit, both on the shared monotonic clock),
+        per-worker throughput for this launch, and in dynamic mode the
+        steal count (tasks a worker pulled beyond the even per-worker
+        share, i.e. work it took from a slower sibling).
+        """
+        if not stats or not obs.enabled():
+            return
+        tasks_by_worker: dict[int, int] = {}
+        for stat in stats:
+            obs.merge(stat["telemetry"])
+            obs.histogram("host.queue_wait_seconds").observe(
+                max(0.0, stat["started_s"] - stat["submit_s"])
+            )
+            worker = int(stat["worker"])
+            tasks_by_worker[worker] = tasks_by_worker.get(worker, 0) + 1
+            if stat["busy_s"] > 0:
+                obs.gauge("host.worker.poses_per_s", worker=worker).set(
+                    stat["poses"] / stat["busy_s"]
+                )
+        if self.mode == "dynamic" and self.n_workers > 1:
+            even_share = -(-n_jobs // self.n_workers)  # ceil
+            steals = sum(
+                max(0, count - even_share) for count in tasks_by_worker.values()
+            )
+            obs.counter("host.steals").inc(steals)
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -53,3 +53,7 @@ class ExperimentError(ReproError):
 
 class CampaignError(ReproError):
     """Invalid campaign configuration, store corruption, or resume mismatch."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid metric registration, snapshot schema, or span misuse."""

@@ -1,0 +1,133 @@
+"""Lightweight span tracing: what phase ran, for how long, inside what.
+
+A span is one timed region with a name, free-form tags, and a parent — the
+warm-up inside the evaluator, the shard inside the campaign, the dock inside
+the shard. Spans nest via an explicit stack kept by the tracer, timed with
+the registry's injectable clock (monotonic by default), and are buffered in
+a bounded list so a million-ligand campaign cannot grow memory without
+bound: past the cap, spans are counted (``dropped``) instead of stored.
+
+Like the metrics registry, a tracer never crosses a process boundary live:
+workers snapshot their spans and the parent merges them (ids are offset so
+parent links survive the merge).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["SpanRecord", "SpanTracer", "DEFAULT_MAX_SPANS"]
+
+#: Buffered span cap per tracer; excess spans are counted, not stored.
+DEFAULT_MAX_SPANS: int = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed span (times are clock-relative seconds)."""
+
+    id: int
+    name: str
+    tags: dict
+    start_s: float
+    duration_s: float
+    parent: int | None
+    depth: int
+
+
+class SpanTracer:
+    """Collects completed spans; nesting comes from an explicit stack."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        self.clock = clock
+        self.max_spans = int(max_spans)
+        self.records: list[SpanRecord] = []
+        self.dropped = 0
+        self._stack: list[int] = []
+        self._next_id = 0
+
+    @contextmanager
+    def span(self, name: str, **tags) -> Iterator[dict]:
+        """Time a region; yields the (mutable) tag dict for late annotations."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(span_id)
+        start = self.clock()
+        try:
+            yield tags
+        finally:
+            duration = self.clock() - start
+            self._stack.pop()
+            if len(self.records) < self.max_spans:
+                self.records.append(
+                    SpanRecord(
+                        id=span_id,
+                        name=name,
+                        tags=dict(tags),
+                        start_s=start,
+                        duration_s=duration,
+                        parent=parent,
+                        depth=depth,
+                    )
+                )
+            else:
+                self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Freeze completed spans into a JSON-safe dict."""
+        return {
+            "spans": [
+                {
+                    "id": r.id,
+                    "name": r.name,
+                    "tags": r.tags,
+                    "start_s": r.start_s,
+                    "duration_s": r.duration_s,
+                    "parent": r.parent,
+                    "depth": r.depth,
+                }
+                for r in self.records
+            ],
+            "dropped": self.dropped,
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Append another tracer's spans, offsetting ids to stay unique."""
+        offset = self._next_id
+        max_seen = -1
+        for item in snapshot.get("spans", ()):
+            max_seen = max(max_seen, int(item["id"]))
+            if len(self.records) >= self.max_spans:
+                self.dropped += 1
+                continue
+            parent = item.get("parent")
+            self.records.append(
+                SpanRecord(
+                    id=int(item["id"]) + offset,
+                    name=str(item["name"]),
+                    tags=dict(item.get("tags", {})),
+                    start_s=float(item["start_s"]),
+                    duration_s=float(item["duration_s"]),
+                    parent=None if parent is None else int(parent) + offset,
+                    depth=int(item.get("depth", 0)),
+                )
+            )
+        self.dropped += int(snapshot.get("dropped", 0))
+        self._next_id = offset + max_seen + 1
+
+    def reset(self) -> None:
+        """Drop every buffered span (fresh run); open spans keep nesting."""
+        self.records.clear()
+        self.dropped = 0

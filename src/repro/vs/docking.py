@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.engine.executor import MultiGpuExecutor
 from repro.engine.host_runtime import ParallelSpotEvaluator
 from repro.errors import ReproError
@@ -117,10 +118,15 @@ def dock(
         rng=SpotRngPool(seed, [s.index for s in spots]),
     )
     try:
-        result = run_metaheuristic(spec, ctx)
+        with obs.span(
+            "vs.dock", metaheuristic=spec.name, host_workers=host_workers
+        ):
+            result = run_metaheuristic(spec, ctx)
     finally:
         if isinstance(evaluator, ParallelSpotEvaluator):
             evaluator.close()
+    obs.counter("vs.docks").inc()
+    obs.counter("vs.dock.evaluations").inc(evaluator.stats.n_conformations)
 
     simulated = float("nan")
     if node is not None:

@@ -75,6 +75,7 @@ def screen(
     """
     from itertools import chain
 
+    from repro import observability as obs
     from repro.campaign.library import IterableSource
     from repro.campaign.runner import CampaignRunner
 
@@ -100,5 +101,9 @@ def screen(
         max_attempts=1,
         raise_on_failure=True,
     )
-    with runner.run() as store:
-        return store.to_report()
+    with obs.span("vs.screen", host_workers=host_workers, mode=parallel_mode):
+        obs.counter("vs.screen.runs").inc()
+        with runner.run() as store:
+            report = store.to_report()
+    obs.counter("vs.screen.ligands").inc(len(report.entries))
+    return report

@@ -1,0 +1,113 @@
+"""Exporter coverage: JSON round-trip, Prometheus text format, validation."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    METRICS_SCHEMA_VERSION,
+    Telemetry,
+    load_snapshot,
+    loads_snapshot,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    snapshot_to_text,
+    write_snapshot,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.5
+        return self.now
+
+
+@pytest.fixture
+def session():
+    t = Telemetry(clock=FakeClock())
+    t.counter("campaign.ligands.done").inc(4)
+    t.counter("host.poses", mode="static").inc(256)
+    t.gauge("engine.warmup.weight", device=0).set(0.7)
+    t.histogram("campaign.dock.seconds", edges=(0.1, 1.0)).observe(0.05)
+    t.histogram("campaign.dock.seconds", edges=(0.1, 1.0)).observe(0.5)
+    t.histogram("campaign.dock.seconds", edges=(0.1, 1.0)).observe(5.0)
+    with t.span("vs.screen", ligands=4):
+        with t.span("campaign.shard", shard=0):
+            pass
+    return t
+
+
+def test_combined_snapshot_validates_and_round_trips(session):
+    snap = session.snapshot()
+    assert snap["schema_version"] == METRICS_SCHEMA_VERSION
+    assert "dropped_spans" in snap
+    restored = loads_snapshot(snapshot_to_json(snap))
+    assert restored == snap
+
+
+def test_write_and_load_snapshot(tmp_path, session):
+    path = tmp_path / "metrics.json"
+    write_snapshot(session.snapshot(), path)
+    doc = load_snapshot(path)
+    assert doc == session.snapshot()
+
+
+def test_load_missing_file_is_clean_error(tmp_path):
+    with pytest.raises(ObservabilityError, match="cannot read"):
+        load_snapshot(tmp_path / "nope.json")
+
+
+def test_loads_rejects_bad_json_and_bad_documents():
+    with pytest.raises(ObservabilityError, match="invalid metrics snapshot JSON"):
+        loads_snapshot("{nope")
+    with pytest.raises(ObservabilityError, match="must be a JSON object"):
+        loads_snapshot("[1, 2]")
+    with pytest.raises(ObservabilityError, match="version"):
+        loads_snapshot('{"schema_version": 99}')
+    doc = Telemetry().snapshot()
+    del doc["histograms"]
+    with pytest.raises(ObservabilityError, match="missing 'histograms'"):
+        snapshot_to_json(doc)
+    doc = Telemetry().snapshot()
+    doc["counters"] = "not-a-list"
+    with pytest.raises(ObservabilityError, match="must be a list"):
+        snapshot_to_json(doc)
+
+
+def test_prometheus_format_counters_gauges_and_types(session):
+    text = snapshot_to_prometheus(session.snapshot())
+    assert "# TYPE repro_campaign_ligands_done counter" in text
+    assert "repro_campaign_ligands_done 4.0" in text
+    assert 'repro_host_poses{mode="static"} 256.0' in text
+    assert "# TYPE repro_engine_warmup_weight gauge" in text
+    assert 'repro_engine_warmup_weight{device="0"} 0.7' in text
+
+
+def test_prometheus_histogram_buckets_are_cumulative(session):
+    text = snapshot_to_prometheus(session.snapshot())
+    assert 'repro_campaign_dock_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_campaign_dock_seconds_bucket{le="1.0"} 2' in text
+    assert 'repro_campaign_dock_seconds_bucket{le="+Inf"} 3' in text
+    assert "repro_campaign_dock_seconds_count 3" in text
+
+
+def test_prometheus_spans_export_as_summaries(session):
+    text = snapshot_to_prometheus(session.snapshot())
+    assert "# TYPE repro_span_seconds summary" in text
+    assert 'repro_span_seconds_count{span="vs.screen"} 1' in text
+    assert 'repro_span_seconds_sum{span="campaign.shard"}' in text
+
+
+def test_text_report_mentions_every_family(session):
+    text = snapshot_to_text(session.snapshot())
+    assert "counters:" in text and "campaign.ligands.done = 4" in text
+    assert "gauges:" in text
+    assert "histograms:" in text and "n=3" in text
+    assert "spans (2 recorded, 0 dropped):" in text
+    assert "vs.screen: n=1" in text
+
+
+def test_text_report_of_empty_snapshot():
+    assert snapshot_to_text(Telemetry().snapshot()) == "(empty snapshot)"

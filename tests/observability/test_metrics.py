@@ -1,0 +1,133 @@
+"""Unit coverage for the metrics primitives and the registry's merge seam."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability.metrics import (
+    DEFAULT_SECONDS_EDGES,
+    METRICS_SCHEMA_VERSION,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("events")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ObservabilityError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    reg = MetricsRegistry()
+    g = reg.gauge("share", device=0)
+    g.set(0.25)
+    g.set(0.75)
+    assert g.value == 0.75
+
+
+def test_registration_is_idempotent_and_tag_order_free():
+    reg = MetricsRegistry()
+    a = reg.counter("poses", worker=1, mode="static")
+    b = reg.counter("poses", mode="static", worker=1)
+    assert a is b
+    assert reg.counter("poses", worker=2) is not a
+
+
+def test_histogram_buckets_are_upper_inclusive():
+    h = Histogram("t", {}, edges=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0):
+        h.observe(v)
+    # <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=4: {3.0, 4.0}; +Inf: {9.0}
+    assert h.counts == [2, 2, 2, 1]
+    assert h.count == 7
+    assert h.sum == pytest.approx(sum((0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0)))
+
+
+def test_histogram_edge_validation():
+    with pytest.raises(ObservabilityError, match="at least one edge"):
+        Histogram("t", {}, edges=())
+    with pytest.raises(ObservabilityError, match="strictly increasing"):
+        Histogram("t", {}, edges=(2.0, 1.0))
+    with pytest.raises(ObservabilityError, match="strictly increasing"):
+        Histogram("t", {}, edges=(1.0, 1.0, 2.0))
+
+
+def test_histogram_reregistration_with_different_edges_raises():
+    reg = MetricsRegistry()
+    reg.histogram("t", edges=(1.0, 2.0))
+    assert reg.histogram("t") is reg.histogram("t")
+    with pytest.raises(ObservabilityError, match="different edges"):
+        reg.histogram("t", edges=(1.0, 3.0))
+
+
+def test_default_edges_are_fixed_and_increasing():
+    assert list(DEFAULT_SECONDS_EDGES) == sorted(DEFAULT_SECONDS_EDGES)
+    assert len(set(DEFAULT_SECONDS_EDGES)) == len(DEFAULT_SECONDS_EDGES)
+
+
+def test_snapshot_is_json_safe_and_versioned():
+    reg = MetricsRegistry()
+    reg.counter("a", k="v").inc(2)
+    reg.gauge("b").set(1.5)
+    reg.histogram("c", edges=(1.0,)).observe(0.5)
+    snap = reg.snapshot()
+    assert snap["schema_version"] == METRICS_SCHEMA_VERSION
+    restored = json.loads(json.dumps(snap))
+    assert restored == snap
+    assert restored["counters"][0] == {"name": "a", "tags": {"k": "v"}, "value": 2.0}
+
+
+def test_merge_adds_counters_and_histograms_sets_gauges():
+    worker = MetricsRegistry()
+    worker.counter("poses").inc(10)
+    worker.gauge("rate").set(3.0)
+    worker.histogram("t", edges=(1.0, 2.0)).observe(0.5)
+
+    parent = MetricsRegistry()
+    parent.counter("poses").inc(5)
+    parent.gauge("rate").set(1.0)
+    parent.histogram("t", edges=(1.0, 2.0)).observe(1.5)
+
+    parent.merge(worker.snapshot())
+    assert parent.counter("poses").value == 15
+    assert parent.gauge("rate").value == 3.0  # merged-in value wins
+    h = parent.histogram("t")
+    assert h.counts == [1, 1, 0]
+    assert h.count == 2
+
+
+def test_merge_rejects_wrong_version_and_bucket_mismatch():
+    parent = MetricsRegistry()
+    with pytest.raises(ObservabilityError, match="version"):
+        parent.merge({"schema_version": 99})
+
+    worker = MetricsRegistry()
+    worker.histogram("t", edges=(1.0, 2.0)).observe(0.5)
+    snap = worker.snapshot()
+    snap["histograms"][0]["counts"] = [1, 0]  # wrong length for those edges
+    with pytest.raises(ObservabilityError, match="bucket mismatch"):
+        parent.merge(snap)
+
+
+def test_merge_into_empty_registry_reconstructs_everything():
+    worker = MetricsRegistry()
+    worker.counter("n", worker=3).inc(7)
+    worker.histogram("t", edges=(0.1,), mode="static").observe(5.0)
+    parent = MetricsRegistry()
+    parent.merge(worker.snapshot())
+    assert parent.snapshot()["counters"] == worker.snapshot()["counters"]
+    assert parent.histogram("t", mode="static").counts == [0, 1]
+
+
+def test_reset_drops_all_instruments():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["counters"] == [] and snap["gauges"] == [] and snap["histograms"] == []

@@ -1,0 +1,74 @@
+"""The zero-perturbation contract: instrumented runs are bitwise identical.
+
+Telemetry only *observes* — it must never touch RNG state, work ordering, or
+arithmetic. This matrix runs the same screen with telemetry enabled and
+disabled across the serial path, a single-worker pool, and a multi-worker
+pool in both parallel modes, and requires exact (bitwise, not approximate)
+equality of every score.
+"""
+
+import math
+
+import pytest
+
+from repro import observability as obs
+from repro.molecules.synthetic import generate_ligand, generate_receptor
+from repro.vs.screening import screen
+
+
+@pytest.fixture(scope="module")
+def complex_set():
+    receptor = generate_receptor(150, seed=5, title="parity receptor")
+    ligands = [generate_ligand(8 + i, seed=40 + i) for i in range(3)]
+    return receptor, ligands
+
+
+def _run(receptor, ligands, host_workers, parallel_mode):
+    obs.reset()
+    report = screen(
+        receptor,
+        ligands,
+        n_spots=2,
+        metaheuristic="M1",
+        seed=9,
+        workload_scale=0.02,
+        host_workers=host_workers,
+        parallel_mode=parallel_mode,
+    )
+    return [
+        (e.ligand_title, e.best_score, e.best_spot, e.evaluations)
+        for e in report.entries
+    ]
+
+
+@pytest.mark.parametrize(
+    "host_workers,parallel_mode",
+    [(0, "static"), (1, "static"), (4, "static"), (4, "dynamic")],
+)
+def test_instrumented_run_is_bitwise_identical(
+    complex_set, host_workers, parallel_mode
+):
+    receptor, ligands = complex_set
+    enabled_entries = _run(receptor, ligands, host_workers, parallel_mode)
+    recorded = obs.snapshot()
+    with obs.disabled():
+        disabled_entries = _run(receptor, ligands, host_workers, parallel_mode)
+
+    assert len(enabled_entries) == len(disabled_entries) == len(ligands)
+    for a, b in zip(enabled_entries, disabled_entries):
+        assert a[0] == b[0] and a[2] == b[2] and a[3] == b[3]
+        # Bitwise float equality, not approx.
+        assert math.isfinite(a[1])
+        assert a[1] == b[1], f"score drifted under instrumentation: {a} vs {b}"
+
+    # The enabled side must actually have recorded telemetry, or this
+    # parity check is vacuous.
+    assert recorded["counters"] and recorded["spans"]
+
+
+def test_disabled_mode_records_nothing(complex_set):
+    receptor, ligands = complex_set
+    with obs.disabled():
+        _run(receptor, ligands, 0, "static")
+        snap = obs.snapshot()
+    assert snap["counters"] == [] and snap["spans"] == []

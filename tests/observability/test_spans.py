@@ -1,0 +1,117 @@
+"""Span tracer coverage: nesting, deterministic timing, cap, merge."""
+
+import pytest
+
+from repro.observability.spans import SpanTracer
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_span_durations_come_from_the_injected_clock():
+    tracer = SpanTracer(clock=FakeClock(step=1.0))
+    with tracer.span("work"):
+        pass
+    (record,) = tracer.records
+    assert record.start_s == 0.0
+    assert record.duration_s == 1.0  # exactly one clock step elapsed
+
+
+def test_nesting_tracks_parent_and_depth():
+    tracer = SpanTracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("sibling"):
+            pass
+    by_name = {r.name: r for r in tracer.records}
+    outer, inner, sibling = by_name["outer"], by_name["inner"], by_name["sibling"]
+    assert outer.parent is None and outer.depth == 0
+    assert inner.parent == outer.id and inner.depth == 1
+    assert sibling.parent == outer.id and sibling.depth == 1
+    # Children complete (and are recorded) before the outer span.
+    assert tracer.records[-1].name == "outer"
+
+
+def test_yielded_tags_allow_late_annotation():
+    tracer = SpanTracer(clock=FakeClock())
+    with tracer.span("dock", ligand="L1") as tags:
+        tags["evaluations"] = 128
+    (record,) = tracer.records
+    assert record.tags == {"ligand": "L1", "evaluations": 128}
+
+
+def test_span_recorded_even_when_body_raises():
+    tracer = SpanTracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert [r.name for r in tracer.records] == ["doomed"]
+    assert not tracer._stack  # stack unwound
+
+
+def test_bounded_buffer_counts_drops():
+    tracer = SpanTracer(clock=FakeClock(), max_spans=2)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 3
+    snap = tracer.snapshot()
+    assert snap["dropped"] == 3 and len(snap["spans"]) == 2
+
+
+def test_merge_offsets_ids_and_preserves_parent_links():
+    parent = SpanTracer(clock=FakeClock())
+    with parent.span("parent.run"):
+        pass
+
+    worker = SpanTracer(clock=FakeClock())
+    with worker.span("worker.outer"):
+        with worker.span("worker.inner"):
+            pass
+
+    parent.merge(worker.snapshot())
+    by_name = {r.name: r for r in parent.records}
+    ids = [r.id for r in parent.records]
+    assert len(set(ids)) == len(ids), "merged ids must stay unique"
+    assert by_name["worker.inner"].parent == by_name["worker.outer"].id
+
+    # A span opened after the merge must not collide with merged ids.
+    with parent.span("after"):
+        pass
+    ids = [r.id for r in parent.records]
+    assert len(set(ids)) == len(ids)
+
+
+def test_merge_respects_the_cap_and_accumulates_drops():
+    parent = SpanTracer(clock=FakeClock(), max_spans=1)
+    with parent.span("kept"):
+        pass
+    worker = SpanTracer(clock=FakeClock())
+    with worker.span("overflow"):
+        pass
+    snap = worker.snapshot()
+    snap["dropped"] = 2
+    parent.merge(snap)
+    assert len(parent.records) == 1
+    assert parent.dropped == 3  # 1 over cap + 2 carried in
+
+
+def test_reset_clears_records_and_drop_count():
+    tracer = SpanTracer(clock=FakeClock(), max_spans=1)
+    for _ in range(3):
+        with tracer.span("s"):
+            pass
+    tracer.reset()
+    assert tracer.records == [] and tracer.dropped == 0

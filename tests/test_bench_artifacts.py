@@ -1,0 +1,119 @@
+"""Schema tests for the shared BENCH_*.json benchmark artifact writer.
+
+Mirrors the ``TRACE_FORMAT_VERSION`` discipline: every artifact carries a
+format version and a uniform envelope, and the loader rejects anything it
+cannot faithfully interpret.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from table_utils import (  # noqa: E402
+    BENCH_ARTIFACT_DIR_ENV,
+    BENCH_FORMAT_VERSION,
+    BENCH_REQUIRED_KEYS,
+    bench_artifact,
+    bench_slug,
+    load_bench_artifact,
+    validate_bench_artifact,
+    write_bench_artifact,
+)
+
+from repro.errors import ExperimentError  # noqa: E402
+
+
+def test_slug_is_filesystem_safe():
+    assert bench_slug("Host runtime — smoke (2 workers)") == "host_runtime_smoke_2_workers"
+    assert bench_slug("already_fine") == "already_fine"
+    with pytest.raises(ExperimentError, match="slug"):
+        bench_slug("———")
+
+
+def test_envelope_has_version_and_required_keys():
+    doc = bench_artifact("my-bench", {"cases": [1, 2]})
+    assert doc["format_version"] == BENCH_FORMAT_VERSION
+    for key in BENCH_REQUIRED_KEYS:
+        assert key in doc
+    assert doc["benchmark"] == "my_bench"
+    assert doc["data"] == {"cases": [1, 2]}
+    assert doc["host"]["cpu_count"] >= 1
+
+
+def test_data_must_be_a_dict():
+    with pytest.raises(ExperimentError, match="must be a dict"):
+        bench_artifact("b", [1, 2])
+
+
+def test_round_trip_through_the_shared_writer(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    written = write_bench_artifact("x", {"value": 3.5}, path=path)
+    assert written == path
+    doc = load_bench_artifact(path)
+    assert doc["benchmark"] == "x"
+    assert doc["data"] == {"value": 3.5}
+
+
+def test_default_path_honours_artifact_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(BENCH_ARTIFACT_DIR_ENV, str(tmp_path / "out"))
+    path = write_bench_artifact("Env Bench", {"k": 1})
+    assert path == tmp_path / "out" / "BENCH_env_bench.json"
+    assert load_bench_artifact(path)["data"] == {"k": 1}
+
+
+def test_validate_rejects_wrong_version():
+    doc = bench_artifact("b", {})
+    doc["format_version"] = BENCH_FORMAT_VERSION + 1
+    with pytest.raises(ExperimentError, match="format version"):
+        validate_bench_artifact(doc)
+
+
+@pytest.mark.parametrize("missing", BENCH_REQUIRED_KEYS)
+def test_validate_rejects_missing_keys(missing):
+    doc = bench_artifact("b", {})
+    del doc[missing]
+    if missing == "format_version":
+        with pytest.raises(ExperimentError, match="format version"):
+            validate_bench_artifact(doc)
+    else:
+        with pytest.raises(ExperimentError, match=missing):
+            validate_bench_artifact(doc)
+
+
+def test_validate_rejects_malformed_fields():
+    with pytest.raises(ExperimentError, match="JSON object"):
+        validate_bench_artifact([1])
+    doc = bench_artifact("b", {})
+    doc["benchmark"] = ""
+    with pytest.raises(ExperimentError, match="non-empty"):
+        validate_bench_artifact(doc)
+    doc = bench_artifact("b", {})
+    doc["data"] = [1]
+    with pytest.raises(ExperimentError, match="object"):
+        validate_bench_artifact(doc)
+
+
+def test_load_rejects_missing_and_corrupt_files(tmp_path):
+    with pytest.raises(ExperimentError, match="cannot read"):
+        load_bench_artifact(tmp_path / "nope.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ExperimentError, match="invalid BENCH artifact JSON"):
+        load_bench_artifact(bad)
+
+
+def test_emit_writes_an_artifact(tmp_path, monkeypatch, capsys):
+    """The conftest ``emit`` banner doubles as the artifact writer."""
+    import conftest as bench_conftest
+
+    monkeypatch.setenv(BENCH_ARTIFACT_DIR_ENV, str(tmp_path))
+    bench_conftest.emit("My Table", "body text", data={"rows": [1]})
+    assert "My Table" in capsys.readouterr().out
+    doc = load_bench_artifact(tmp_path / "BENCH_my_table.json")
+    assert doc["data"]["title"] == "My Table"
+    assert doc["data"]["report"] == "body text"
+    assert doc["data"]["rows"] == [1]
