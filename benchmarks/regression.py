@@ -1,0 +1,54 @@
+"""Benchmark regression gate — standalone entry point.
+
+Thin wrapper over :mod:`repro.observability.regression` (the packaged
+implementation the ``repro-vs bench compare`` subcommand uses), so CI can
+run the gate without installing the console script::
+
+    python benchmarks/regression.py benchmarks/baselines bench_artifacts \
+        --threshold 25 [--report-only]
+
+Exit status: 0 when no metric moved past the threshold in its bad
+direction (or ``--report-only``), 1 otherwise, 2 on unreadable artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.observability.regression import compare_sets, format_delta_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH set (file or directory)")
+    parser.add_argument("current", help="current BENCH set (file or directory)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="percent a metric may move in its bad direction (default 10)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the delta table but always exit 0 (CI trend jobs)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        rows = compare_sets(args.baseline, args.current, threshold_pct=args.threshold)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_delta_table(rows, args.threshold))
+    regressions = sum(1 for row in rows if row.status == "regressed")
+    if regressions and args.report_only:
+        print(f"report-only: ignoring {regressions} regression(s)")
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

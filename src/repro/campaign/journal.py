@@ -61,10 +61,11 @@ class CampaignJournal:
             raise CampaignError(f"journal records need a 'record' key: {record}")
         line = json.dumps(record, sort_keys=True)
         t0 = time.perf_counter()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        with obs.span("campaign.journal.fsync", record=record["record"]):
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
         obs.counter("campaign.journal.appends").inc()
         obs.histogram("campaign.journal.fsync_seconds").observe(
             time.perf_counter() - t0

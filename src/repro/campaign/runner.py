@@ -325,6 +325,11 @@ class CampaignRunner:
                         )
                 obs.counter("campaign.shards.done").inc()
                 obs.histogram("campaign.shard.seconds").observe(shard_s)
+                # Shard boundary: worker-session telemetry has folded in and
+                # the store row is durable — force a live sample so the
+                # series shows every shard even when shards outpace the
+                # sampling interval.
+                obs.mark("campaign.shard", force=True)
                 self._emit_progress(
                     store, shard.shard_id, total, session_start, session_docked
                 )

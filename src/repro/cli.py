@@ -6,9 +6,13 @@ Subcommands:
   ranking per spot.
 * ``screen`` — screen a synthetic ligand library.
 * ``campaign`` — durable, resumable screening campaigns
-  (``run``/``resume``/``status``/``top``/``export``).
-* ``metrics`` — inspect/convert a telemetry snapshot written by
-  ``--metrics-out`` (text summary, JSON, or Prometheus textfile).
+  (``run``/``resume``/``status``/``top``/``export``), with live
+  observability: ``--progress``, ``--live-metrics``, ``--serve-metrics``.
+* ``metrics`` — inspect/convert a telemetry snapshot (``show``: text
+  summary, JSON, Prometheus textfile, or Chrome/Perfetto trace), or put it
+  behind an HTTP scrape endpoint (``serve``).
+* ``bench`` — benchmark artifact tooling (``compare``: regression-gate two
+  ``BENCH_*.json`` artifact sets).
 * ``tables`` — regenerate the paper's Tables 6–9 (simulated seconds).
 * ``devices`` — list the modelled hardware (Tables 1–3).
 """
@@ -16,7 +20,10 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import contextlib
+import math
 import sys
+import time
 
 import numpy as np
 
@@ -70,14 +77,67 @@ def _add_host_runtime_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0, rejected with a clear message otherwise."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _port(text: str) -> int:
+    """argparse type: a TCP port (0 = pick an ephemeral one)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(f"port must be in [0, 65535], got {value}")
+    return value
+
+
 def _add_metrics_args(sub: argparse.ArgumentParser) -> None:
-    """Telemetry snapshot flag, shared by every run-something subcommand."""
+    """Telemetry flags, shared by every run-something subcommand."""
     sub.add_argument(
         "--metrics-out",
         metavar="PATH",
         help="write the run's telemetry snapshot (counters, histograms, "
-        "spans) to this JSON file; inspect it with `repro-vs metrics`",
+        "spans) to this JSON file; inspect it with `repro-vs metrics show`",
     )
+    sub.add_argument(
+        "--live-metrics",
+        metavar="PATH",
+        help="append a live JSONL time series (rates, worker shares, queue "
+        "waits) to this file while the run is in progress",
+    )
+    sub.add_argument(
+        "--sample-interval",
+        type=_positive_float,
+        default=1.0,
+        metavar="S",
+        help="seconds between live samples (with --live-metrics; default 1)",
+    )
+
+
+@contextlib.contextmanager
+def _maybe_sampler(args: argparse.Namespace):
+    """Run a live sampler around a command when ``--live-metrics`` was given."""
+    path = getattr(args, "live_metrics", None)
+    if not path:
+        yield None
+        return
+    from repro import observability as obs
+
+    sampler = obs.TelemetrySampler(path, interval_s=args.sample_interval)
+    sampler.start()
+    try:
+        yield sampler
+    finally:
+        sampler.stop()
+        print(f"wrote live metrics series to {path}")
 
 
 def _maybe_write_metrics(args: argparse.Namespace, default: str | None = None) -> None:
@@ -168,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_host_runtime_args(crun)
     _add_metrics_args(crun)
+    _add_campaign_observability_args(crun)
 
     cres = csub.add_parser(
         "resume", help="continue an interrupted campaign from its store"
@@ -178,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     cres.add_argument("--host-workers", type=_nonnegative_int, default=0, metavar="N")
     cres.add_argument("--parallel-mode", choices=("static", "dynamic"), default="static")
     _add_metrics_args(cres)
+    _add_campaign_observability_args(cres)
 
     cstat = csub.add_parser("status", help="summarise a campaign store")
     cstat.add_argument("--store", required=True)
@@ -198,17 +260,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     met = sub.add_parser(
-        "metrics", help="inspect a telemetry snapshot written by --metrics-out"
+        "metrics", help="inspect or serve telemetry snapshots"
     )
-    met.add_argument("snapshot", help="snapshot JSON path (from --metrics-out)")
-    met.add_argument(
+    msub = met.add_subparsers(dest="metrics_command", required=True)
+    mshow = msub.add_parser(
+        "show", help="render a snapshot written by --metrics-out"
+    )
+    mshow.add_argument("snapshot", help="snapshot JSON path (from --metrics-out)")
+    mshow.add_argument(
         "--format",
-        choices=("text", "json", "prom"),
+        choices=("text", "json", "prom", "trace"),
         default="text",
         help="text = human summary, json = validated snapshot document, "
-        "prom = Prometheus textfile exposition",
+        "prom = Prometheus textfile exposition, trace = Chrome/Perfetto "
+        "trace_event timeline (open in ui.perfetto.dev)",
     )
-    met.add_argument("--out", help="write the rendering here instead of stdout")
+    mshow.add_argument("--out", help="write the rendering here instead of stdout")
+    mserve = msub.add_parser(
+        "serve",
+        help="serve a snapshot file over HTTP (/metrics + /healthz), "
+        "re-reading it on every scrape",
+    )
+    mserve.add_argument("snapshot", help="snapshot JSON path (from --metrics-out)")
+    mserve.add_argument("--port", type=_port, default=9464)
+    mserve.add_argument("--host", default="127.0.0.1")
+    mserve.add_argument(
+        "--for-seconds",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+
+    ben = sub.add_parser("bench", help="benchmark artifact tooling")
+    bsub = ben.add_subparsers(dest="bench_command", required=True)
+    bcmp = bsub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json artifact sets; non-zero exit on regression",
+    )
+    bcmp.add_argument("baseline", help="baseline artifact set (file or directory)")
+    bcmp.add_argument("current", help="current artifact set (file or directory)")
+    bcmp.add_argument(
+        "--threshold",
+        type=_positive_float,
+        default=10.0,
+        metavar="PCT",
+        help="percent a metric may move in its bad direction (default 10)",
+    )
+    bcmp.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the delta table but always exit 0 (CI trend jobs)",
+    )
 
     tab = sub.add_parser("tables", help="regenerate the paper's Tables 6-9")
     tab.add_argument(
@@ -329,14 +432,108 @@ def _cmd_screen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_progress(snapshot) -> None:
-    total = "?" if snapshot.total is None else snapshot.total
-    eta = "?" if np.isnan(snapshot.eta_seconds) else f"{snapshot.eta_seconds:.1f}s"
-    print(
-        f"shard {snapshot.shard_id} done: {snapshot.done}/{total} ligands "
-        f"({snapshot.failed} failed), {snapshot.ligands_per_second:.2f} lig/s, "
-        f"ETA {eta}"
+def _add_campaign_observability_args(sub: argparse.ArgumentParser) -> None:
+    """Live-run flags shared by ``campaign run`` and ``campaign resume``."""
+    sub.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a single refreshing status line (shard n/N, ligands/s, "
+        "ETA) to stderr; off by default so piped output stays clean",
     )
+    sub.add_argument(
+        "--serve-metrics",
+        type=_port,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics (Prometheus) and /healthz (campaign progress "
+        "JSON) on this port while the campaign runs (0 = ephemeral)",
+    )
+
+
+class _ProgressLine:
+    """One refreshing status line on stderr (``campaign --progress``)."""
+
+    def __init__(self, shard_size: int) -> None:
+        self.shard_size = max(1, int(shard_size))
+        self._last_len = 0
+
+    def __call__(self, progress) -> None:
+        if progress.total is None:
+            shards = "?"
+        else:
+            shards = -(-progress.total // self.shard_size)  # ceil
+        eta = (
+            "?"
+            if math.isnan(progress.eta_seconds)
+            else f"{progress.eta_seconds:.0f}s"
+        )
+        line = (
+            f"shard {progress.shard_id + 1}/{shards}  "
+            f"{progress.done} done, {progress.failed} failed  "
+            f"{progress.ligands_per_second:.2f} lig/s  ETA {eta}"
+        )
+        pad = " " * max(0, self._last_len - len(line))
+        sys.stderr.write("\r" + line + pad)
+        sys.stderr.flush()
+        self._last_len = len(line)
+
+    def close(self) -> None:
+        if self._last_len:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+@contextlib.contextmanager
+def _campaign_session(args: argparse.Namespace, shard_size: int):
+    """Wire the live pipeline around one campaign command.
+
+    Composes (all optional, all observation-only): a JSONL time-series
+    sampler (``--live-metrics``), an HTTP scrape endpoint with campaign
+    progress on ``/healthz`` (``--serve-metrics``), and the refreshing
+    stderr status line (``--progress``). Yields the combined progress
+    callback for :class:`~repro.campaign.runner.CampaignRunner` (or None).
+    """
+    from repro import observability as obs
+
+    callbacks = []
+    sampler = None
+    server = None
+    health = None
+    progress_line = None
+    if getattr(args, "live_metrics", None):
+        sampler = obs.TelemetrySampler(
+            args.live_metrics, interval_s=args.sample_interval
+        )
+        sampler.start()
+    if getattr(args, "serve_metrics", None) is not None:
+        health = obs.CampaignHealth(sampler=sampler)
+        server = obs.MetricsServer(
+            port=args.serve_metrics, health_fn=health.health
+        ).start()
+        print(
+            f"serving /metrics and /healthz on {server.url}", file=sys.stderr
+        )
+        callbacks.append(health.update)
+    if getattr(args, "progress", False):
+        progress_line = _ProgressLine(shard_size)
+        callbacks.append(progress_line)
+
+    def combined(progress) -> None:
+        for callback in callbacks:
+            callback(progress)
+
+    try:
+        yield combined if callbacks else None
+        if health is not None:
+            health.finish("complete")
+    finally:
+        if progress_line is not None:
+            progress_line.close()
+        if sampler is not None:
+            sampler.stop()
+            print(f"wrote live metrics series to {args.live_metrics}")
+        if server is not None:
+            server.stop()
 
 
 def _campaign_node(name: str | None):
@@ -382,30 +579,31 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             atoms_range=(args.atoms_min, args.atoms_max),
             seed=args.seed + 10,
         )
-    runner = CampaignRunner(
-        receptor,
-        source,
-        store_path=args.store,
-        n_spots=args.spots,
-        metaheuristic=args.metaheuristic,
-        seed=args.seed,
-        workload_scale=args.scale,
-        shard_size=args.shard_size,
-        node=_campaign_node(args.node),
-        host_workers=args.host_workers,
-        parallel_mode=args.parallel_mode,
-        prune_spots=args.prune_spots,
-        max_attempts=args.max_attempts,
-        progress=_print_progress,
-        receptor_descriptor=receptor_descriptor,
-    )
-    with runner.run() as store:
-        rc = _print_campaign_summary(store)
+    with _campaign_session(args, args.shard_size) as progress_cb:
+        runner = CampaignRunner(
+            receptor,
+            source,
+            store_path=args.store,
+            n_spots=args.spots,
+            metaheuristic=args.metaheuristic,
+            seed=args.seed,
+            workload_scale=args.scale,
+            shard_size=args.shard_size,
+            node=_campaign_node(args.node),
+            host_workers=args.host_workers,
+            parallel_mode=args.parallel_mode,
+            prune_spots=args.prune_spots,
+            max_attempts=args.max_attempts,
+            progress=progress_cb,
+            receptor_descriptor=receptor_descriptor,
+        )
+        with runner.run() as store:
+            rc = _print_campaign_summary(store)
     _maybe_write_metrics(args, default=f"{args.store}.metrics.json")
     return rc
 
 
-def _rebuild_campaign_runner(args: argparse.Namespace):
+def _rebuild_campaign_runner(args: argparse.Namespace, progress=None):
     """Reconstruct receptor/library from a store's recorded descriptors."""
     from repro.campaign import (
         CampaignRunner,
@@ -466,15 +664,20 @@ def _rebuild_campaign_runner(args: argparse.Namespace):
         parallel_mode=args.parallel_mode,
         prune_spots=bool(config["prune_spots"]),
         max_attempts=args.max_attempts,
-        progress=_print_progress,
+        progress=progress,
         receptor_descriptor=receptor_desc,
     )
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
-    runner = _rebuild_campaign_runner(args)
-    with runner.resume() as store:
-        rc = _print_campaign_summary(store)
+    from repro.campaign import CampaignStore
+
+    with CampaignStore.open(args.store) as store:
+        shard_size = int(store.config.get("shard_size", 1))
+    with _campaign_session(args, shard_size) as progress_cb:
+        runner = _rebuild_campaign_runner(args, progress=progress_cb)
+        with runner.resume() as store:
+            rc = _print_campaign_summary(store)
     # Even a no-op resume of a complete campaign leaves a valid snapshot
     # behind (span campaign.resume{noop}, counters) — observability is part
     # of the durability contract.
@@ -551,18 +754,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return commands[args.campaign_command](args)
 
 
-def _cmd_metrics(args: argparse.Namespace) -> int:
+def _cmd_metrics_show(args: argparse.Namespace) -> int:
     from repro.observability import (
         load_snapshot,
         snapshot_to_json,
         snapshot_to_prometheus,
         snapshot_to_text,
     )
+    from repro.observability.trace import trace_events_to_json
 
     render = {
         "text": snapshot_to_text,
         "json": snapshot_to_json,
         "prom": snapshot_to_prometheus,
+        "trace": trace_events_to_json,
     }[args.format]
     text = render(load_snapshot(args.snapshot))
     if args.out:
@@ -575,6 +780,53 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         except BrokenPipeError:  # e.g. `repro-vs metrics ... | head`
             return 0
     return 0
+
+
+def _cmd_metrics_serve(args: argparse.Namespace) -> int:
+    from repro.observability import MetricsServer, load_snapshot
+
+    snapshot_path = args.snapshot
+    load_snapshot(snapshot_path)  # fail fast on a bad file, before binding
+    server = MetricsServer(
+        port=args.port,
+        host=args.host,
+        snapshot_fn=lambda: load_snapshot(snapshot_path),
+        health_fn=lambda: {"status": "ok", "snapshot": str(snapshot_path)},
+    ).start()
+    try:
+        print(f"serving /metrics and /healthz on {server.url}")
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    commands = {"show": _cmd_metrics_show, "serve": _cmd_metrics_serve}
+    return commands[args.metrics_command](args)
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.observability.regression import compare_sets, format_delta_table
+
+    rows = compare_sets(args.baseline, args.current, threshold_pct=args.threshold)
+    print(format_delta_table(rows, args.threshold))
+    regressions = sum(1 for row in rows if row.status == "regressed")
+    if regressions and args.report_only:
+        print(f"report-only: ignoring {regressions} regression(s)")
+        return 0
+    return 1 if regressions else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    commands = {"compare": _cmd_bench_compare}
+    return commands[args.bench_command](args)
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -673,6 +925,17 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro.errors import ReproError
 
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Back-compat shim: `repro-vs metrics SNAPSHOT` predates the
+    # show/serve split and still means `metrics show SNAPSHOT`.
+    if (
+        len(argv) >= 2
+        and argv[0] == "metrics"
+        and argv[1] not in ("show", "serve", "-h", "--help")
+    ):
+        argv.insert(1, "show")
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
     commands = {
@@ -680,12 +943,16 @@ def main(argv: list[str] | None = None) -> int:
         "screen": _cmd_screen,
         "campaign": _cmd_campaign,
         "metrics": _cmd_metrics,
+        "bench": _cmd_bench,
         "tables": _cmd_tables,
         "devices": _cmd_devices,
         "trace": _cmd_trace,
         "replay": _cmd_replay,
     }
     try:
+        if args.command in ("dock", "screen"):
+            with _maybe_sampler(args):
+                return commands[args.command](args)
         return commands[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

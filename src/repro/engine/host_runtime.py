@@ -32,6 +32,7 @@ arithmetic is identical to its serial counterpart.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import os
 import pickle
@@ -365,18 +366,30 @@ def _run_tasks(
     out = []
     n_poses = 0
     busy_s = 0.0
-    for mode, spot, translations, quaternions in tasks:
-        t0 = time.perf_counter()
-        if mode == "spot":
-            ids = np.full(translations.shape[0], spot, dtype=np.int64)
-            out.append(scorer.score_spots(ids, translations, quaternions))
-        else:
-            out.append(scorer.score(translations, quaternions))
-        if local is not None:
-            n_poses += translations.shape[0]
-            task_s = time.perf_counter() - t0
-            busy_s += task_s
-            local.histogram("host.worker.task_seconds", worker=index).observe(task_s)
+    # The batch span rides back in the worker's snapshot and is offset-merged
+    # into the parent tracer at harvest — it is the worker-lane block the
+    # Chrome trace exporter draws. perf_counter shares CLOCK_MONOTONIC with
+    # the parent on Linux, so the timestamps line up across the process seam.
+    batch_span = (
+        local.span("host.worker.batch", worker=index)
+        if local is not None
+        else contextlib.nullcontext({})
+    )
+    with batch_span as batch_tags:
+        for mode, spot, translations, quaternions in tasks:
+            t0 = time.perf_counter()
+            if mode == "spot":
+                ids = np.full(translations.shape[0], spot, dtype=np.int64)
+                out.append(scorer.score_spots(ids, translations, quaternions))
+            else:
+                out.append(scorer.score(translations, quaternions))
+            if local is not None:
+                n_poses += translations.shape[0]
+                task_s = time.perf_counter() - t0
+                busy_s += task_s
+                local.histogram("host.worker.task_seconds", worker=index).observe(task_s)
+        batch_tags["tasks"] = len(tasks)
+        batch_tags["poses"] = n_poses
     if local is None:
         return out, None
     local.counter("host.worker.poses", worker=index).inc(n_poses)
@@ -636,7 +649,9 @@ class ParallelSpotEvaluator:
             )
         stats: list[dict] = []
         try:
-            with obs.span("host.launch", mode=self.mode, kind=kind, poses=n):
+            with obs.span(
+                "host.launch", mode=self.mode, kind=kind, poses=n
+            ) as launch_tags:
                 if self.mode == "static":
                     buckets = self._assign(jobs)
                     futures = []
@@ -688,16 +703,24 @@ class ParallelSpotEvaluator:
                         if stat is not None:
                             stat["submit_s"] = submit_s
                             stats.append(stat)
+                # Harvest inside the launch span so the steal count lands as
+                # a late annotation on its tags (the trace exporter turns it
+                # into an instant event at the launch's end).
+                steals = self._harvest(stats, len(jobs))
+                if steals:
+                    launch_tags["steals"] = steals
         except BrokenProcessPool as exc:
             self.close()
             raise ScoringError(
                 f"host worker pool crashed mid-launch ({exc}); shared-memory "
                 "segments have been released"
             ) from exc
-        self._harvest(stats, len(jobs))
+        # Worker-session telemetry just folded in — let any live sampler
+        # record the merge (rate-limited; a cheap registry check otherwise).
+        obs.mark("host.harvest")
         return out
 
-    def _harvest(self, stats: list[dict], n_jobs: int) -> None:
+    def _harvest(self, stats: list[dict], n_jobs: int) -> int:
         """Merge per-worker telemetry into this process's session.
 
         The explicit merge-at-join step of the multiprocessing contract:
@@ -706,10 +729,11 @@ class ParallelSpotEvaluator:
         (task start minus submit, both on the shared monotonic clock),
         per-worker throughput for this launch, and in dynamic mode the
         steal count (tasks a worker pulled beyond the even per-worker
-        share, i.e. work it took from a slower sibling).
+        share, i.e. work it took from a slower sibling). Returns the
+        launch's steal count (0 outside dynamic mode).
         """
         if not stats or not obs.enabled():
-            return
+            return 0
         tasks_by_worker: dict[int, int] = {}
         for stat in stats:
             obs.merge(stat["telemetry"])
@@ -728,6 +752,8 @@ class ParallelSpotEvaluator:
                 max(0, count - even_share) for count in tasks_by_worker.values()
             )
             obs.counter("host.steals").inc(steals)
+            return steals
+        return 0
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -37,6 +37,7 @@ from repro.observability.export import (
     snapshot_to_json,
     snapshot_to_prometheus,
     snapshot_to_text,
+    validate_snapshot,
     write_snapshot,
 )
 from repro.observability.metrics import (
@@ -78,7 +79,16 @@ __all__ = [
     "snapshot_to_json",
     "snapshot_to_prometheus",
     "snapshot_to_text",
+    "validate_snapshot",
     "write_snapshot",
+    "mark",
+    "TelemetrySampler",
+    "SERIES_SCHEMA_VERSION",
+    "read_series",
+    "MetricsServer",
+    "CampaignHealth",
+    "snapshot_to_trace_events",
+    "write_trace",
 ]
 
 
@@ -244,3 +254,32 @@ def merge(doc: dict) -> None:
 def reset() -> None:
     """Reset the global session (fresh run)."""
     _TELEMETRY.reset()
+
+
+def mark(reason: str, force: bool = False) -> None:
+    """Prompt live samplers for an event-driven sample (no-op otherwise).
+
+    Hot paths call this at natural boundaries — a shard commit, a harvest
+    after a parallel launch — so the time series shows worker-session folds
+    the moment they land. Without an active
+    :class:`~repro.observability.sampler.TelemetrySampler` (or while
+    telemetry is disabled) it returns immediately.
+    """
+    if not _ENABLED:
+        return
+    from repro.observability import sampler as _sampler
+
+    _sampler.mark_active(reason, force=force)
+
+
+# Live-pipeline pieces (imported last: they import the symbols above).
+from repro.observability.sampler import (  # noqa: E402
+    SERIES_SCHEMA_VERSION,
+    TelemetrySampler,
+    read_series,
+)
+from repro.observability.serve import CampaignHealth, MetricsServer  # noqa: E402
+from repro.observability.trace import (  # noqa: E402
+    snapshot_to_trace_events,
+    write_trace,
+)

@@ -24,6 +24,7 @@ __all__ = [
     "load_snapshot",
     "loads_snapshot",
     "write_snapshot",
+    "validate_snapshot",
 ]
 
 _REQUIRED_KEYS = ("schema_version", "counters", "gauges", "histograms", "spans")
@@ -47,6 +48,11 @@ def _validate(doc: dict) -> dict:
         if not isinstance(doc[family], list):
             raise ObservabilityError(f"snapshot {family!r} must be a list")
     return doc
+
+
+def validate_snapshot(doc: dict) -> dict:
+    """Public validation entry point (raises ObservabilityError; returns doc)."""
+    return _validate(doc)
 
 
 def snapshot_to_json(snapshot: dict) -> str:
@@ -84,12 +90,29 @@ def _prom_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
 
 
+def _prom_escape(value: object) -> str:
+    """Escape one label value per the exposition format.
+
+    Tag values flow in from user-supplied data (ligand titles, file paths),
+    so backslashes, double quotes, and newlines must be escaped or a single
+    hostile title corrupts the whole scrape. Order matters: backslashes
+    first, or the escapes themselves get re-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(tags: dict, extra: dict | None = None) -> str:
     items = {**tags, **(extra or {})}
     if not items:
         return ""
     body = ",".join(
-        f'{_NAME_RE.sub("_", str(k))}="{str(v)}"' for k, v in sorted(items.items())
+        f'{_NAME_RE.sub("_", str(k))}="{_prom_escape(v)}"'
+        for k, v in sorted(items.items())
     )
     return "{" + body + "}"
 

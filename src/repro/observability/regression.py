@@ -1,0 +1,237 @@
+"""Benchmark regression gate: diff two ``BENCH_*.json`` artifact sets.
+
+Every benchmark run leaves a schema-versioned ``BENCH_<name>.json`` artifact
+behind (``benchmarks/table_utils.py``), but until now nothing *compared*
+them — the perf trajectory accumulated unread. This module turns a pair of
+artifact sets (baseline vs current, each a directory of BENCH files or a
+single file) into an aligned per-metric delta table and a pass/fail
+verdict, so CI can refuse a PR that quietly slows a hot path.
+
+Direction inference: most metric names say which way is good.
+``*_seconds``/``*_ns``/``overhead*`` regress when they grow;
+``*_per_s``/``speedup*``/``throughput*`` regress when they shrink. Metrics
+whose name matches neither family are compared and reported but can never
+fail the gate — a silent wrong-direction guess would be worse than no gate
+at all.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "MetricDelta",
+    "flatten_metrics",
+    "metric_direction",
+    "load_artifact_set",
+    "compare_sets",
+    "format_delta_table",
+]
+
+#: The BENCH envelope version this gate reads (mirrors table_utils).
+BENCH_FORMAT_VERSION: int = 1
+
+#: Metric-name fragments meaning "lower is better".
+_LOWER_BETTER = re.compile(
+    r"(seconds|_s$|_ns$|_ms$|_us$|overhead|latency|elapsed|wait|waste|idle)",
+)
+#: Metric-name fragments meaning "higher is better".
+_HIGHER_BETTER = re.compile(
+    r"(per_s|per_sec|throughput|speedup|gain|poses_per|ligands_per|ratio)",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricDelta:
+    """One aligned metric comparison between baseline and current."""
+
+    benchmark: str
+    metric: str
+    baseline: float | None
+    current: float | None
+    delta_pct: float | None
+    direction: str  # "lower", "higher", or "none" (report-only)
+    status: str  # "ok", "regressed", "improved", "new", "missing"
+
+
+def metric_direction(name: str) -> str:
+    """Infer which way a metric should move: 'lower', 'higher', or 'none'.
+
+    Higher-is-better patterns are checked first: ``poses_per_s`` must read
+    as a throughput, not as a ``_s``-suffixed duration.
+    """
+    if _HIGHER_BETTER.search(name):
+        return "higher"
+    if _LOWER_BETTER.search(name):
+        return "lower"
+    return "none"
+
+
+def flatten_metrics(data: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of one artifact's ``data`` tree, dot-keyed.
+
+    Lists are indexed positionally (benchmark case order is deterministic),
+    booleans and strings are skipped — they are facts, not metrics.
+    """
+    out: dict[str, float] = {}
+    items: list[tuple[str, object]]
+    if isinstance(data, dict):
+        items = [(str(k), v) for k, v in data.items()]
+    elif isinstance(data, (list, tuple)):
+        items = [(str(i), v) for i, v in enumerate(data)]
+    else:
+        return out
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+        elif isinstance(value, (dict, list, tuple)):
+            out.update(flatten_metrics(value, path))
+    return out
+
+
+def _load_artifact(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ExperimentError(f"cannot read BENCH artifact: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid BENCH artifact JSON in {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format_version") != BENCH_FORMAT_VERSION:
+        raise ExperimentError(
+            f"{path} is not a format-version-{BENCH_FORMAT_VERSION} BENCH artifact"
+        )
+    for key in ("benchmark", "data"):
+        if key not in doc:
+            raise ExperimentError(f"BENCH artifact {path} missing {key!r}")
+    return doc
+
+
+def load_artifact_set(path: str | Path) -> dict[str, dict]:
+    """Load one artifact set: a BENCH file, or a directory of them.
+
+    Returns ``{benchmark_name: artifact_doc}``.
+    """
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(path.glob("BENCH_*.json"))
+        if not files:
+            raise ExperimentError(f"no BENCH_*.json artifacts under {path}")
+    elif path.is_file():
+        files = [path]
+    else:
+        raise ExperimentError(f"artifact set {path} does not exist")
+    out: dict[str, dict] = {}
+    for file in files:
+        doc = _load_artifact(file)
+        out[str(doc["benchmark"])] = doc
+    return out
+
+
+def compare_sets(
+    baseline: str | Path,
+    current: str | Path,
+    threshold_pct: float = 10.0,
+) -> list[MetricDelta]:
+    """Align two artifact sets metric-by-metric; flag regressions.
+
+    A metric regresses when it moves in its bad direction by strictly more
+    than ``threshold_pct`` percent of the baseline value. Metrics present
+    on only one side are reported (``new``/``missing``) but never fail.
+    """
+    if not threshold_pct >= 0:
+        raise ExperimentError(f"threshold must be >= 0, got {threshold_pct}")
+    base_set = load_artifact_set(baseline)
+    cur_set = load_artifact_set(current)
+    rows: list[MetricDelta] = []
+    for bench in sorted(set(base_set) | set(cur_set)):
+        base_metrics = (
+            flatten_metrics(base_set[bench]["data"]) if bench in base_set else {}
+        )
+        cur_metrics = (
+            flatten_metrics(cur_set[bench]["data"]) if bench in cur_set else {}
+        )
+        for metric in sorted(set(base_metrics) | set(cur_metrics)):
+            base_v = base_metrics.get(metric)
+            cur_v = cur_metrics.get(metric)
+            direction = metric_direction(metric)
+            if base_v is None:
+                rows.append(
+                    MetricDelta(bench, metric, None, cur_v, None, direction, "new")
+                )
+                continue
+            if cur_v is None:
+                rows.append(
+                    MetricDelta(bench, metric, base_v, None, None, direction, "missing")
+                )
+                continue
+            if base_v == 0.0:
+                delta_pct = 0.0 if cur_v == 0.0 else float("inf")
+            else:
+                delta_pct = (cur_v - base_v) / abs(base_v) * 100.0
+            if direction == "lower":
+                bad = delta_pct > threshold_pct
+                good = delta_pct < -threshold_pct
+            elif direction == "higher":
+                bad = delta_pct < -threshold_pct
+                good = delta_pct > threshold_pct
+            else:
+                bad = good = False
+            status = "regressed" if bad else ("improved" if good else "ok")
+            rows.append(
+                MetricDelta(bench, metric, base_v, cur_v, delta_pct, direction, status)
+            )
+    return rows
+
+
+def _fmt_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def _fmt_delta(delta_pct: float | None) -> str:
+    if delta_pct is None:
+        return "-"
+    return f"{delta_pct:+.1f}%"
+
+
+def format_delta_table(rows: list[MetricDelta], threshold_pct: float) -> str:
+    """Render aligned delta rows; regressions are shouted, noise stays calm."""
+    headers = ("benchmark", "metric", "baseline", "current", "delta", "dir", "status")
+    table = [
+        (
+            row.benchmark,
+            row.metric,
+            _fmt_value(row.baseline),
+            _fmt_value(row.current),
+            _fmt_delta(row.delta_pct),
+            row.direction,
+            "REGRESSED" if row.status == "regressed" else row.status,
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table)) if table else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in table:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    n_reg = sum(1 for row in rows if row.status == "regressed")
+    n_imp = sum(1 for row in rows if row.status == "improved")
+    lines.append(
+        f"\n{len(rows)} metrics compared (threshold {threshold_pct:g}%): "
+        f"{n_reg} regressed, {n_imp} improved"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Zero-dependency HTTP scrape endpoint: ``/metrics`` and ``/healthz``.
+
+The Prometheus textfile rendering already exists (:mod:`repro.observability.export`);
+this module puts it behind a socket so a running campaign can be scraped
+instead of inspected post-mortem. Built entirely on :mod:`http.server` —
+no third-party web framework, matching the rest of the observability
+stack's stdlib-only discipline.
+
+* ``GET /metrics`` — the watched telemetry session in the Prometheus text
+  exposition format (label values scrape-safely escaped).
+* ``GET /healthz`` — liveness JSON. When a :class:`CampaignHealth` is wired
+  in, it carries campaign progress: shard index, done/failed counts, the
+  current ligands/s, and an ETA taken from the live sampler's rate window
+  when one is attached (falling back to the runner's session rate).
+
+Binding to port 0 picks an ephemeral port (exposed as ``server.port``
+after :meth:`MetricsServer.start`), which is how the integration tests run
+a real scrape against a docking campaign without port collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.errors import ObservabilityError
+from repro.observability.export import snapshot_to_prometheus
+
+__all__ = ["MetricsServer", "CampaignHealth"]
+
+#: Prometheus text exposition content type.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _json_safe(value):
+    """Replace NaN/Inf with None so /healthz always emits strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+class CampaignHealth:
+    """Mutable progress holder feeding ``/healthz`` while a campaign runs.
+
+    Wire :meth:`update` as (one of) the runner's ``progress`` callbacks;
+    every shard refreshes the snapshot the handler serves. ``sampler`` may
+    be a live :class:`~repro.observability.sampler.TelemetrySampler`; its
+    latest window rate then drives the ETA instead of the runner's
+    whole-session average (a long warm-up stops skewing the estimate).
+    """
+
+    def __init__(self, total_shards: int | None = None, sampler=None) -> None:
+        self.total_shards = total_shards
+        self.sampler = sampler
+        self._lock = threading.Lock()
+        self._progress = None
+        self._status = "starting"
+
+    def update(self, progress) -> None:
+        """Record one CampaignProgress-shaped snapshot (thread-safe)."""
+        with self._lock:
+            self._progress = progress
+            self._status = "running"
+
+    def finish(self, status: str = "complete") -> None:
+        with self._lock:
+            self._status = status
+
+    def health(self) -> dict:
+        """The ``/healthz`` document for the current state."""
+        with self._lock:
+            progress = self._progress
+            status = self._status
+        doc: dict = {"status": status, "total_shards": self.total_shards}
+        if progress is not None:
+            eta = progress.eta_seconds
+            rate = progress.ligands_per_second
+            record = self.sampler.last_record if self.sampler is not None else None
+            if record is not None:
+                window_rate = record["derived"].get("ligands_per_s") or 0.0
+                if window_rate > 0 and progress.total is not None:
+                    remaining = max(
+                        0, progress.total - progress.done - progress.failed
+                    )
+                    eta = remaining / window_rate
+                    rate = window_rate
+            doc["campaign"] = {
+                "shard": progress.shard_id,
+                "done": progress.done,
+                "failed": progress.failed,
+                "total": progress.total,
+                "elapsed_seconds": progress.elapsed_seconds,
+                "ligands_per_second": rate,
+                "eta_seconds": eta,
+            }
+        return _json_safe(doc)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves /metrics and /healthz from the owning server's callables."""
+
+    server_version = "repro-vs-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = snapshot_to_prometheus(self.server.snapshot_fn())
+                self._reply(200, _METRICS_CONTENT_TYPE, body.encode("utf-8"))
+            elif path == "/healthz":
+                health_fn = self.server.health_fn
+                doc = health_fn() if health_fn is not None else {"status": "ok"}
+                self._reply(
+                    200,
+                    "application/json",
+                    json.dumps(_json_safe(doc), sort_keys=True).encode("utf-8"),
+                )
+            else:
+                self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+        except Exception as exc:  # a scrape must never kill the server
+            self._reply(
+                500, "text/plain; charset=utf-8", f"error: {exc}\n".encode("utf-8")
+            )
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # impatient scraper
+            pass
+
+    def log_message(self, fmt, *args) -> None:  # silence per-request noise
+        pass
+
+
+class MetricsServer:
+    """A background HTTP server exposing one telemetry session.
+
+    Parameters
+    ----------
+    port:
+        TCP port; 0 binds an ephemeral one (read ``.port`` after start).
+    host:
+        Bind address; loopback by default — exposing a run beyond the local
+        machine is an explicit decision.
+    snapshot_fn:
+        Zero-argument callable returning a snapshot document. Defaults to
+        the process-global session's live snapshot, so ``/metrics`` always
+        reflects the run in progress. Pass e.g.
+        ``lambda: load_snapshot(path)`` to serve a snapshot file instead
+        (textfile-collector mode, re-read on every scrape).
+    health_fn:
+        Zero-argument callable returning the ``/healthz`` JSON document
+        (e.g. :meth:`CampaignHealth.health`); omitted → ``{"status": "ok"}``.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        snapshot_fn: Callable[[], dict] | None = None,
+        health_fn: Callable[[], dict] | None = None,
+    ) -> None:
+        if not 0 <= int(port) <= 65535:
+            raise ObservabilityError(f"port must be in [0, 65535], got {port}")
+        self.host = host
+        self._requested_port = int(port)
+        self.port: int | None = None
+        if snapshot_fn is None:
+            from repro import observability as obs
+
+            snapshot_fn = obs.snapshot
+        self._snapshot_fn = snapshot_fn
+        self._health_fn = health_fn
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MetricsServer":
+        """Bind and serve in a daemon thread (idempotent)."""
+        if self._server is not None:
+            return self
+        try:
+            server = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot bind metrics server to {self.host}:{self._requested_port}: {exc}"
+            ) from exc
+        server.daemon_threads = True
+        server.snapshot_fn = self._snapshot_fn
+        server.health_fn = self._health_fn
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="metrics-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down and release the socket. Idempotent."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def url(self) -> str:
+        """Base URL once started (e.g. ``http://127.0.0.1:43121``)."""
+        if self.port is None:
+            raise ObservabilityError("metrics server is not started")
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,143 @@
+"""Chrome/Perfetto ``trace_event`` exporter for the span tracer's output.
+
+A snapshot document's span list is a tree of timed regions — campaign
+shards, docks, host launches, the per-worker task batches merged back from
+worker processes, journal fsyncs. This module converts it to the Trace
+Event Format that ``chrome://tracing`` and https://ui.perfetto.dev render
+as a timeline, which turns "worker 3 is slow" from a histogram guess into
+a visible gap.
+
+Lane assignment: spans carrying a ``worker`` tag land on that worker's
+thread lane (named ``worker N``); everything else lands on the ``main``
+lane. Worker spans come from other processes, but both sides time with
+``time.perf_counter``/``time.monotonic`` which share ``CLOCK_MONOTONIC``
+on Linux, so timestamps are directly comparable; the exporter rebases
+everything so the earliest span starts at t=0.
+
+Beyond the one complete ("X") event per span, two instant ("i") event
+families make scheduling pathologies pop visually:
+
+* a ``steal`` instant at the end of every launch span whose late-annotated
+  ``steals`` tag is non-zero (dynamic mode's work-stealing in action);
+* journal fsyncs are ordinary spans (``campaign.journal.fsync``) and need
+  no special casing — they show up as short blocks on the main lane.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observability.export import validate_snapshot
+
+__all__ = ["snapshot_to_trace_events", "trace_events_to_json", "write_trace"]
+
+#: Process id used for every event (one logical process per snapshot).
+_PID = 1
+#: Thread lane for spans without a ``worker`` tag.
+_MAIN_TID = 0
+
+
+def _lane(tags: dict) -> int:
+    """Thread lane for one span: worker tag -> worker lane, else main."""
+    worker = tags.get("worker")
+    if worker is None:
+        return _MAIN_TID
+    try:
+        return int(worker) + 1
+    except (TypeError, ValueError):
+        return _MAIN_TID
+
+
+def snapshot_to_trace_events(snapshot: dict) -> dict:
+    """Convert a snapshot document to a Trace Event Format JSON object."""
+    doc = validate_snapshot(snapshot)
+    spans = doc["spans"]
+    origin = min((float(s["start_s"]) for s in spans), default=0.0)
+
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _MAIN_TID,
+            "name": "process_name",
+            "args": {"name": "repro-vs"},
+        }
+    ]
+    lanes: dict[int, str] = {_MAIN_TID: "main"}
+    for span in spans:
+        lane = _lane(span.get("tags", {}))
+        if lane not in lanes:
+            lanes[lane] = f"worker {lane - 1}"
+    for tid, name in sorted(lanes.items()):
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+
+    for span in spans:
+        tags = dict(span.get("tags", {}))
+        tid = _lane(tags)
+        start_us = (float(span["start_s"]) - origin) * 1e6
+        dur_us = max(0.0, float(span["duration_s"]) * 1e6)
+        name = str(span["name"])
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ts": start_us,
+                "dur": dur_us,
+                "args": {
+                    **tags,
+                    "span_id": span["id"],
+                    "parent": span.get("parent"),
+                    "depth": span.get("depth", 0),
+                },
+            }
+        )
+        steals = tags.get("steals")
+        if steals:  # late-annotated by the host runtime's harvest
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "steal",
+                    "cat": "host",
+                    "s": "t",  # thread-scoped instant marker
+                    "ts": start_us + dur_us,
+                    "args": {"steals": steals, "launch_span": span["id"]},
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro-vs telemetry snapshot",
+            "spans": len(spans),
+            "dropped_spans": doc.get("dropped_spans", 0),
+        },
+    }
+
+
+def trace_events_to_json(snapshot: dict) -> str:
+    """Serialise the trace for ``chrome://tracing`` / Perfetto."""
+    return json.dumps(snapshot_to_trace_events(snapshot), indent=1, sort_keys=True)
+
+
+def write_trace(snapshot: dict, path: str | Path) -> int:
+    """Write the trace JSON to ``path``; returns the number of spans."""
+    trace = snapshot_to_trace_events(snapshot)
+    Path(path).write_text(
+        json.dumps(trace, indent=1, sort_keys=True), encoding="utf-8"
+    )
+    return int(trace["otherData"]["spans"])

@@ -36,7 +36,7 @@ def test_campaign_run_status_top_export(tmp_path, capsys):
     store = tmp_path / "c.sqlite"
     out = run_campaign(store, capsys)
     assert "campaign complete: 4 done, 0 failed, 0 outstanding" in out
-    assert "shard 0" in out and "shard 1" in out  # progress lines
+    assert "shard" not in out  # progress is opt-in (--progress) and on stderr
 
     assert main(["campaign", "status", "--store", str(store)]) == 0
     out = capsys.readouterr().out
@@ -68,6 +68,21 @@ def test_campaign_run_status_top_export(tmp_path, capsys):
         "--out", str(csv_path), "--format", "csv",
     ]) == 0
     assert csv_path.read_text().count("\n") == 5  # header + 4 rows
+
+
+def test_campaign_progress_flag_writes_refreshing_stderr_line(tmp_path, capsys):
+    store = tmp_path / "c.sqlite"
+    rc = main(RUN_ARGS + ["--store", str(store), "--progress"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "shard" not in captured.out  # stdout stays pipe-clean
+    # Carriage-return refresh, one frame per shard, with rate and ETA.
+    frames = [f for f in captured.err.split("\r") if f.strip()]
+    assert len(frames) == 2
+    assert frames[0].startswith("shard 1/2")
+    assert frames[1].startswith("shard 2/2")
+    assert "lig/s" in frames[1] and "ETA" in frames[1]
+    assert captured.err.endswith("\n")  # closed with a trailing newline
 
 
 def test_campaign_resume_completed_is_noop(tmp_path, capsys):

@@ -111,3 +111,34 @@ def test_text_report_mentions_every_family(session):
 
 def test_text_report_of_empty_snapshot():
     assert snapshot_to_text(Telemetry().snapshot()) == "(empty snapshot)"
+
+
+def test_prometheus_escapes_hostile_label_values():
+    """A hostile ligand title must not corrupt the scrape (satellite: escaping)."""
+    t = Telemetry()
+    t.counter("campaign.ligands.done", title='evil" name\nwith\\tricks').inc()
+    text = snapshot_to_prometheus(t.snapshot())
+    line = next(l for l in text.splitlines() if l.startswith("repro_campaign"))
+    # Raw specials never appear unescaped inside the label value.
+    assert '\\"' in line  # quote escaped
+    assert "\\n" in line and "\n" not in line  # newline escaped, line intact
+    assert "\\\\tricks" in line  # backslash doubled before 't'
+    # The whole exposition stays one-metric-per-line parseable.
+    for exposition_line in text.strip().splitlines():
+        assert exposition_line.startswith(("#", "repro_"))
+
+
+def test_prometheus_escape_order_backslash_first():
+    """Escaping backslashes after quotes would double the quote escapes."""
+    t = Telemetry()
+    t.counter("x", tag='already\\"escaped').inc()
+    text = snapshot_to_prometheus(t.snapshot())
+    assert 'tag="already\\\\\\"escaped"' in text
+
+
+def test_prometheus_escapes_tag_values_in_histograms():
+    t = Telemetry()
+    t.histogram("h.seconds", edges=(1.0,), source='a"b').observe(0.5)
+    text = snapshot_to_prometheus(t.snapshot())
+    assert 'source="a\\"b"' in text
+    assert 'le="+Inf"' in text

@@ -66,6 +66,27 @@ def test_instrumented_run_is_bitwise_identical(
     assert recorded["counters"] and recorded["spans"]
 
 
+@pytest.mark.parametrize(
+    "host_workers,parallel_mode",
+    [(0, "static"), (1, "static"), (4, "static"), (4, "dynamic")],
+)
+def test_live_sampler_preserves_bitwise_parity(
+    complex_set, tmp_path, host_workers, parallel_mode
+):
+    """An active background sampler must not perturb a single bit either."""
+    receptor, ligands = complex_set
+    series = tmp_path / f"parity_{host_workers}_{parallel_mode}.jsonl"
+    with obs.TelemetrySampler(series, interval_s=0.05):
+        sampled_entries = _run(receptor, ligands, host_workers, parallel_mode)
+    with obs.disabled():
+        plain_entries = _run(receptor, ligands, host_workers, parallel_mode)
+
+    assert sampled_entries == plain_entries
+    # The sampler must actually have been live (at least the final sample).
+    records = obs.read_series(series)
+    assert records and records[-1]["reason"] == "final"
+
+
 def test_disabled_mode_records_nothing(complex_set):
     receptor, ligands = complex_set
     with obs.disabled():

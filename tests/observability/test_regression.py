@@ -1,0 +1,201 @@
+"""Benchmark regression gate: direction inference, alignment, thresholds."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.observability.regression import (
+    compare_sets,
+    flatten_metrics,
+    format_delta_table,
+    load_artifact_set,
+    metric_direction,
+)
+
+
+def _artifact(benchmark, data):
+    return {
+        "format_version": 1,
+        "benchmark": benchmark,
+        "host": {"cpu_count": 4},
+        "data": data,
+    }
+
+
+def _write_set(path, artifacts):
+    path.mkdir(parents=True, exist_ok=True)
+    for doc in artifacts:
+        (path / f"BENCH_{doc['benchmark']}.json").write_text(
+            json.dumps(doc), encoding="utf-8"
+        )
+    return path
+
+
+# ----------------------------------------------------------------------
+# direction inference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,expected", [
+    ("run_seconds", "lower"),
+    ("baseline_seconds", "lower"),
+    ("counter_inc_ns", "lower"),
+    ("overhead_pct", "lower"),
+    ("queue_wait_mean", "lower"),
+    ("ligands_per_second", "higher"),
+    ("poses_per_s", "higher"),  # throughput, despite the _s suffix
+    ("speedup_vs_serial", "higher"),
+    ("cases.0.throughput", "higher"),
+    ("shard_size", "none"),
+    ("counts.done", "none"),
+])
+def test_metric_direction(name, expected):
+    assert metric_direction(name) == expected
+
+
+# ----------------------------------------------------------------------
+# flattening
+# ----------------------------------------------------------------------
+def test_flatten_nested_dicts_lists_skips_non_numeric():
+    flat = flatten_metrics({
+        "run_seconds": 1.5,
+        "cases": [{"n": 3}, {"n": 4}],
+        "label": "ignored",
+        "converged": True,
+        "nested": {"deep": {"value": 7}},
+    })
+    assert flat == {
+        "run_seconds": 1.5,
+        "cases.0.n": 3.0,
+        "cases.1.n": 4.0,
+        "nested.deep.value": 7.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def test_load_artifact_set_from_directory_and_file(tmp_path):
+    path = _write_set(tmp_path / "set", [
+        _artifact("alpha", {"x": 1}), _artifact("beta", {"y": 2}),
+    ])
+    loaded = load_artifact_set(path)
+    assert set(loaded) == {"alpha", "beta"}
+    single = load_artifact_set(path / "BENCH_alpha.json")
+    assert set(single) == {"alpha"}
+
+
+def test_load_rejects_missing_empty_and_malformed(tmp_path):
+    with pytest.raises(ExperimentError, match="does not exist"):
+        load_artifact_set(tmp_path / "nope")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ExperimentError, match="no BENCH"):
+        load_artifact_set(empty)
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ExperimentError, match="invalid BENCH artifact JSON"):
+        load_artifact_set(bad)
+    wrong = tmp_path / "BENCH_wrong.json"
+    wrong.write_text(json.dumps({"format_version": 99}), encoding="utf-8")
+    with pytest.raises(ExperimentError, match="format-version"):
+        load_artifact_set(wrong)
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def test_identical_sets_have_no_regressions(tmp_path):
+    base = _write_set(tmp_path / "a", [_artifact("bench", {"run_seconds": 2.0})])
+    rows = compare_sets(base, base)
+    assert [r.status for r in rows] == ["ok"]
+    assert rows[0].delta_pct == 0.0
+
+
+def test_regression_past_threshold_in_each_direction(tmp_path):
+    base = _write_set(tmp_path / "a", [
+        _artifact("bench", {"run_seconds": 1.0, "poses_per_s": 100.0}),
+    ])
+    cur = _write_set(tmp_path / "b", [
+        _artifact("bench", {"run_seconds": 1.5, "poses_per_s": 40.0}),
+    ])
+    rows = {r.metric: r for r in compare_sets(base, cur, threshold_pct=25.0)}
+    assert rows["run_seconds"].status == "regressed"  # +50% on lower-better
+    assert rows["run_seconds"].delta_pct == pytest.approx(50.0)
+    assert rows["poses_per_s"].status == "regressed"  # -60% on higher-better
+    # And the mirror image counts as improvement, not regression.
+    back = {r.metric: r for r in compare_sets(cur, base, threshold_pct=25.0)}
+    assert back["run_seconds"].status == "improved"
+    assert back["poses_per_s"].status == "improved"
+
+
+def test_within_threshold_is_ok_and_directionless_never_fails(tmp_path):
+    base = _write_set(tmp_path / "a", [
+        _artifact("bench", {"run_seconds": 1.0, "shard_size": 4}),
+    ])
+    cur = _write_set(tmp_path / "b", [
+        _artifact("bench", {"run_seconds": 1.05, "shard_size": 400}),
+    ])
+    rows = {r.metric: r for r in compare_sets(base, cur, threshold_pct=10.0)}
+    assert rows["run_seconds"].status == "ok"  # +5% < 10%
+    assert rows["shard_size"].status == "ok"  # no direction -> report-only
+    assert rows["shard_size"].direction == "none"
+
+
+def test_new_and_missing_metrics_reported_not_failed(tmp_path):
+    base = _write_set(tmp_path / "a", [_artifact("bench", {"old_seconds": 1.0})])
+    cur = _write_set(tmp_path / "b", [_artifact("bench", {"new_seconds": 2.0})])
+    rows = {r.metric: r for r in compare_sets(base, cur)}
+    assert rows["old_seconds"].status == "missing"
+    assert rows["new_seconds"].status == "new"
+
+
+def test_zero_baseline_handled(tmp_path):
+    base = _write_set(tmp_path / "a", [
+        _artifact("bench", {"wait_seconds": 0.0, "idle_seconds": 0.0}),
+    ])
+    cur = _write_set(tmp_path / "b", [
+        _artifact("bench", {"wait_seconds": 0.0, "idle_seconds": 0.5}),
+    ])
+    rows = {r.metric: r for r in compare_sets(base, cur, threshold_pct=10.0)}
+    assert rows["wait_seconds"].delta_pct == 0.0
+    assert rows["idle_seconds"].status == "regressed"  # 0 -> 0.5 is infinite %
+
+
+def test_negative_threshold_rejected(tmp_path):
+    base = _write_set(tmp_path / "a", [_artifact("bench", {"x": 1})])
+    with pytest.raises(ExperimentError, match="threshold"):
+        compare_sets(base, base, threshold_pct=-5.0)
+
+
+# ----------------------------------------------------------------------
+# the acceptance round-trip: real BENCH files from >=2 benchmarks
+# ----------------------------------------------------------------------
+def test_table_round_trips_from_committed_baselines():
+    from pathlib import Path
+
+    baselines = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+    loaded = load_artifact_set(baselines)
+    assert len(loaded) >= 2, "need baselines from at least two benchmarks"
+    rows = compare_sets(baselines, baselines, threshold_pct=10.0)
+    assert rows and all(r.status == "ok" for r in rows)
+    table = format_delta_table(rows, 10.0)
+    lines = table.splitlines()
+    # Header + rule + one line per row + blank + summary.
+    assert lines[0].split() == [
+        "benchmark", "metric", "baseline", "current", "delta", "dir", "status",
+    ]
+    assert len([l for l in lines if l.strip()]) == len(rows) + 3
+    assert "0 regressed" in lines[-1]
+    # Every benchmark shows up in its own rows.
+    for bench in loaded:
+        assert any(line.startswith(bench) for line in lines[2:])
+
+
+def test_format_delta_table_shouts_regressions(tmp_path):
+    base = _write_set(tmp_path / "a", [_artifact("bench", {"run_seconds": 1.0})])
+    cur = _write_set(tmp_path / "b", [_artifact("bench", {"run_seconds": 9.0})])
+    rows = compare_sets(base, cur, threshold_pct=10.0)
+    table = format_delta_table(rows, 10.0)
+    assert "REGRESSED" in table
+    assert "+800.0%" in table
+    assert "1 regressed" in table

@@ -1,0 +1,233 @@
+"""Sampler edge cases: intervals, empty registries, resets, torn tails."""
+
+import json
+import threading
+
+import pytest
+
+from repro import observability as obs
+from repro.errors import ObservabilityError
+from repro.observability import (
+    SERIES_SCHEMA_VERSION,
+    Telemetry,
+    TelemetrySampler,
+    read_series,
+)
+from repro.observability.sampler import compute_record, metric_key
+
+
+class ManualClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry()
+
+
+@pytest.fixture
+def sampler(tmp_path, telemetry):
+    return TelemetrySampler(
+        tmp_path / "series.jsonl",
+        interval_s=1.0,
+        telemetry=telemetry,
+        clock=ManualClock(),
+        wall_clock=lambda: 1.7e9,
+    )
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("interval", [0.0, -1.0, -0.001])
+def test_zero_or_negative_interval_rejected(tmp_path, interval):
+    with pytest.raises(ObservabilityError, match="interval must be > 0"):
+        TelemetrySampler(tmp_path / "s.jsonl", interval_s=interval)
+
+
+def test_nonnumeric_interval_rejected(tmp_path):
+    with pytest.raises((ObservabilityError, ValueError, TypeError)):
+        TelemetrySampler(tmp_path / "s.jsonl", interval_s="soon")
+
+
+# ----------------------------------------------------------------------
+# sampling semantics
+# ----------------------------------------------------------------------
+def test_empty_registry_samples_cleanly(sampler):
+    record = sampler.sample()
+    assert record["schema_version"] == SERIES_SCHEMA_VERSION
+    assert record["counters"] == {} and record["rates"] == {}
+    assert record["derived"]["poses_per_s"] == 0.0
+    assert record["derived"]["ligands_per_s"] == 0.0
+    assert record["derived"]["queue_wait_mean_s"] is None
+
+
+def test_rates_are_windowed_deltas(tmp_path, telemetry):
+    clock = ManualClock()
+    sampler = TelemetrySampler(
+        tmp_path / "s.jsonl", interval_s=1.0, telemetry=telemetry, clock=clock
+    )
+    counter = telemetry.counter("campaign.ligands.done")
+    counter.inc(10)
+    clock.advance(2.0)
+    first = sampler.sample()
+    assert first["rates"]["campaign.ligands.done"] == pytest.approx(5.0)
+    counter.inc(4)
+    clock.advance(2.0)
+    second = sampler.sample()
+    # Window rate, not lifetime rate: 4 new ligands over 2 seconds.
+    assert second["rates"]["campaign.ligands.done"] == pytest.approx(2.0)
+    assert second["derived"]["ligands_per_s"] == pytest.approx(2.0)
+
+
+def test_counter_reset_never_yields_negative_rates(tmp_path):
+    """A registry reset mid-series must read as a stall, not negative flow."""
+    telemetry = Telemetry()
+    clock = ManualClock()
+    sampler = TelemetrySampler(
+        tmp_path / "s.jsonl", interval_s=1.0, telemetry=telemetry, clock=clock
+    )
+    telemetry.counter("campaign.ligands.done").inc(100)
+    telemetry.histogram("host.queue_wait_seconds").observe(0.5)
+    clock.advance(1.0)
+    sampler.sample()
+    telemetry.reset()  # totals plummet to zero
+    telemetry.counter("campaign.ligands.done").inc(1)
+    clock.advance(1.0)
+    record = sampler.sample()
+    assert all(rate >= 0.0 for rate in record["rates"].values())
+    assert record["derived"]["ligands_per_s"] == 0.0  # clamped, not -99
+    window = record["histograms_window"].get("host.queue_wait_seconds")
+    if window is not None:
+        assert window["count"] >= 0.0 and window["sum"] >= 0.0
+
+
+def test_zero_dt_sample_does_not_divide_by_zero(sampler, telemetry):
+    telemetry.counter("campaign.ligands.done").inc(5)
+    first = sampler.sample()
+    second = sampler.sample()  # clock never advanced: dt == 0
+    assert first["rates"]["campaign.ligands.done"] == 0.0
+    assert second["rates"]["campaign.ligands.done"] == 0.0
+
+
+def test_mark_is_rate_limited_but_force_overrides(tmp_path, telemetry):
+    clock = ManualClock()
+    sampler = TelemetrySampler(
+        tmp_path / "s.jsonl", interval_s=1.0, telemetry=telemetry, clock=clock
+    )
+    sampler.sample()
+    sampler.mark("too-soon")  # inside interval/2: dropped
+    sampler.mark("forced", force=True)  # force bypasses the limiter
+    clock.advance(0.6)
+    sampler.mark("spaced")  # past interval/2: taken
+    reasons = [r["reason"] for r in read_series(sampler.path)]
+    assert reasons == ["interval", "forced", "spaced"]
+
+
+def test_worker_share_and_drift_derivation():
+    snapshot = Telemetry().snapshot()
+    snapshot["counters"] = [
+        {"name": "host.worker.poses", "tags": {"worker": 0}, "value": 75.0},
+        {"name": "host.worker.poses", "tags": {"worker": 1}, "value": 25.0},
+    ]
+    snapshot["gauges"] = [
+        {"name": "host.warmup.weight", "tags": {"worker": 0}, "value": 0.5},
+        {"name": "host.warmup.weight", "tags": {"worker": 1}, "value": 0.5},
+    ]
+    record = compute_record(
+        None, snapshot, dt=1.0, seq=0, reason="t", elapsed_s=1.0, wall_time=0.0
+    )
+    assert record["derived"]["worker_share"] == {"0": 0.75, "1": 0.25}
+    assert record["derived"]["share_drift"]["0"] == pytest.approx(0.25)
+    assert record["derived"]["share_drift"]["1"] == pytest.approx(-0.25)
+
+
+def test_metric_key_is_canonical():
+    assert metric_key("a.b", {}) == "a.b"
+    assert metric_key("a.b", {"z": 1, "a": 2}) == "a.b{a=2,z=1}"
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_stop_writes_final_sample_and_is_idempotent(tmp_path, telemetry):
+    sampler = TelemetrySampler(
+        tmp_path / "s.jsonl", interval_s=60.0, telemetry=telemetry
+    )
+    sampler.start()
+    sampler.stop()
+    sampler.stop()  # second stop is a no-op
+    records = read_series(tmp_path / "s.jsonl")
+    assert [r["reason"] for r in records] == ["final"]
+    assert records[0]["seq"] == 0
+
+
+def test_background_thread_appends_interval_samples(tmp_path, telemetry):
+    done = threading.Event()
+    with TelemetrySampler(
+        tmp_path / "s.jsonl", interval_s=0.02, telemetry=telemetry
+    ):
+        telemetry.counter("campaign.ligands.done").inc()
+        done.wait(0.15)
+    records = read_series(tmp_path / "s.jsonl")
+    assert len(records) >= 2  # at least one interval tick plus the final
+    assert records[-1]["reason"] == "final"
+    assert [r["seq"] for r in records] == list(range(len(records)))
+
+
+def test_obs_mark_fans_out_only_to_started_samplers(tmp_path, telemetry):
+    obs.mark("nobody-listening")  # no active sampler: silently fine
+    sampler = TelemetrySampler(
+        tmp_path / "s.jsonl", interval_s=60.0, telemetry=telemetry
+    )
+    with sampler:
+        obs.mark("shard-commit", force=True)
+    reasons = [r["reason"] for r in read_series(tmp_path / "s.jsonl")]
+    assert reasons == ["shard-commit", "final"]
+
+
+# ----------------------------------------------------------------------
+# reading a series back
+# ----------------------------------------------------------------------
+def test_read_series_tolerates_torn_final_line(tmp_path, telemetry):
+    path = tmp_path / "s.jsonl"
+    sampler = TelemetrySampler(path, telemetry=telemetry)
+    sampler.sample()
+    sampler.sample()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"schema_version": 1, "seq": 99, "trunca')  # killed writer
+    records = read_series(path)
+    assert len(records) == 2  # torn tail dropped, not raised
+
+
+def test_read_series_raises_on_mid_file_corruption(tmp_path, telemetry):
+    path = tmp_path / "s.jsonl"
+    sampler = TelemetrySampler(path, telemetry=telemetry)
+    sampler.sample()
+    text = path.read_text(encoding="utf-8")
+    path.write_text("GARBAGE NOT JSON\n" + text, encoding="utf-8")
+    with pytest.raises(ObservabilityError, match="corrupt metrics series"):
+        read_series(path)
+
+
+def test_read_series_rejects_wrong_schema_version(tmp_path):
+    path = tmp_path / "s.jsonl"
+    path.write_text(
+        json.dumps({"schema_version": 999, "seq": 0}) + "\n", encoding="utf-8"
+    )
+    with pytest.raises(ObservabilityError, match="unsupported series record"):
+        read_series(path)
+
+
+def test_read_series_missing_file_is_clean_error(tmp_path):
+    with pytest.raises(ObservabilityError, match="cannot read"):
+        read_series(tmp_path / "nope.jsonl")

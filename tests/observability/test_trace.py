@@ -1,0 +1,116 @@
+"""Chrome/Perfetto trace exporter: lanes, rebasing, steal instants."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    Telemetry,
+    snapshot_to_trace_events,
+    write_trace,
+)
+from repro.observability.trace import trace_events_to_json
+
+
+def _span_doc(spans):
+    doc = Telemetry().snapshot()
+    doc["spans"] = spans
+    return doc
+
+
+def _span(id, name, start_s, duration_s, tags=None, parent=None, depth=0):
+    return {
+        "id": id,
+        "name": name,
+        "start_s": start_s,
+        "duration_s": duration_s,
+        "tags": tags or {},
+        "parent": parent,
+        "depth": depth,
+    }
+
+
+def test_real_session_converts_with_complete_events():
+    t = Telemetry()
+    with t.span("campaign.shard", shard=0):
+        with t.span("campaign.journal.fsync", record="shard_start"):
+            pass
+    trace = snapshot_to_trace_events(t.snapshot())
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"campaign.shard", "campaign.journal.fsync"}
+    fsync = next(e for e in xs if e["name"] == "campaign.journal.fsync")
+    assert fsync["cat"] == "campaign"
+    assert fsync["args"]["record"] == "shard_start"
+    assert fsync["args"]["depth"] == 1
+    assert trace["otherData"]["spans"] == 2
+
+
+def test_timestamps_rebased_to_earliest_span():
+    doc = _span_doc([
+        _span(1, "a", start_s=1000.5, duration_s=0.25),
+        _span(2, "b", start_s=1000.0, duration_s=1.0),
+    ])
+    trace = snapshot_to_trace_events(doc)
+    xs = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert xs["b"]["ts"] == pytest.approx(0.0)  # earliest span is the origin
+    assert xs["a"]["ts"] == pytest.approx(0.5e6)  # microseconds
+    assert xs["a"]["dur"] == pytest.approx(0.25e6)
+
+
+def test_worker_tag_assigns_thread_lane_with_metadata():
+    doc = _span_doc([
+        _span(1, "host.launch", 0.0, 1.0),
+        _span(2, "host.worker.batch", 0.1, 0.4, tags={"worker": 0}),
+        _span(3, "host.worker.batch", 0.1, 0.5, tags={"worker": 2}),
+    ])
+    trace = snapshot_to_trace_events(doc)
+    xs = {e["args"]["span_id"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert xs[1]["tid"] == 0  # main lane
+    assert xs[2]["tid"] == 1  # worker 0's lane
+    assert xs[3]["tid"] == 3  # worker 2's lane
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names == {0: "main", 1: "worker 0", 3: "worker 2"}
+
+
+def test_nonzero_steals_tag_emits_instant_event():
+    doc = _span_doc([
+        _span(1, "host.launch", 0.0, 2.0, tags={"steals": 3}),
+        _span(2, "host.launch", 3.0, 1.0, tags={"steals": 0}),
+    ])
+    trace = snapshot_to_trace_events(doc)
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1  # zero-steal launches stay quiet
+    assert instants[0]["name"] == "steal"
+    assert instants[0]["args"] == {"steals": 3, "launch_span": 1}
+    assert instants[0]["ts"] == pytest.approx(2.0e6)  # at launch end
+
+
+def test_empty_snapshot_still_yields_valid_trace():
+    trace = snapshot_to_trace_events(Telemetry().snapshot())
+    assert trace["otherData"]["spans"] == 0
+    assert all(e["ph"] == "M" for e in trace["traceEvents"])
+
+
+def test_invalid_snapshot_rejected():
+    with pytest.raises(ObservabilityError, match="version"):
+        snapshot_to_trace_events({"schema_version": 99})
+
+
+def test_json_serialisation_and_write(tmp_path):
+    t = Telemetry()
+    with t.span("vs.dock"):
+        pass
+    snap = t.snapshot()
+    text = trace_events_to_json(snap)
+    doc = json.loads(text)
+    assert doc["displayTimeUnit"] == "ms"
+
+    out = tmp_path / "trace.json"
+    n = write_trace(snap, out)
+    assert n == 1
+    assert json.loads(out.read_text(encoding="utf-8")) == doc

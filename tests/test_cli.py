@@ -97,3 +97,139 @@ def test_trace_and_replay_commands(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "gpu-dynamic on jupiter" in out
     assert "balance" in out
+
+
+def test_screen_with_live_metrics_writes_series(capsys, tmp_path):
+    series = tmp_path / "screen.live.jsonl"
+    code = main(
+        [
+            "screen",
+            "--receptor-atoms", "150",
+            "--ligands", "2",
+            "--spots", "2",
+            "--scale", "0.05",
+            "--live-metrics", str(series),
+            "--sample-interval", "0.05",
+        ]
+    )
+    assert code == 0
+    assert "wrote live metrics series" in capsys.readouterr().out
+    from repro.observability import read_series
+
+    records = read_series(series)
+    assert records and records[-1]["reason"] == "final"
+
+
+def test_sample_interval_must_be_positive(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["screen", "--live-metrics", "x.jsonl", "--sample-interval", "0"])
+    assert excinfo.value.code == 2
+    assert "must be > 0" in capsys.readouterr().err
+
+
+def test_metrics_show_and_legacy_shim(capsys, tmp_path):
+    snap = tmp_path / "snap.json"
+    assert main([
+        "screen", "--receptor-atoms", "150", "--ligands", "2",
+        "--spots", "2", "--scale", "0.05", "--metrics-out", str(snap),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["metrics", "show", str(snap)]) == 0
+    shown = capsys.readouterr().out
+    assert "counters:" in shown
+
+    # Pre-split invocations still work: `metrics SNAPSHOT` means `show`.
+    assert main(["metrics", str(snap)]) == 0
+    assert capsys.readouterr().out == shown
+
+    trace_out = tmp_path / "trace.json"
+    assert main([
+        "metrics", "show", str(snap), "--format", "trace",
+        "--out", str(trace_out),
+    ]) == 0
+    import json
+
+    doc = json.loads(trace_out.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_metrics_serve_command_scrapes_snapshot_file(capsys, tmp_path):
+    import json
+    import threading
+    import urllib.request
+
+    snap = tmp_path / "snap.json"
+    assert main([
+        "screen", "--receptor-atoms", "150", "--ligands", "2",
+        "--spots", "2", "--scale", "0.05", "--metrics-out", str(snap),
+    ]) == 0
+    capsys.readouterr()
+
+    scraped = {}
+
+    def serve():
+        scraped["rc"] = main([
+            "metrics", "serve", str(snap), "--port", "0",
+            "--for-seconds", "1.5",
+        ])
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    try:
+        import re
+        import time
+
+        url = None
+        for _ in range(50):
+            time.sleep(0.05)
+            match = re.search(r"http://[\d.:]+", capsys.readouterr().out)
+            if match:
+                url = match.group(0)
+                break
+        assert url, "serve never printed its URL"
+        with urllib.request.urlopen(url + "/metrics", timeout=5) as response:
+            body = response.read().decode("utf-8")
+        assert "repro_" in body
+        with urllib.request.urlopen(url + "/healthz", timeout=5) as response:
+            health = json.loads(response.read().decode("utf-8"))
+        assert health["status"] == "ok" and health["snapshot"] == str(snap)
+    finally:
+        thread.join(timeout=10)
+    assert scraped["rc"] == 0
+
+
+def test_bench_compare_gate(capsys, tmp_path):
+    import json
+
+    def write(dirname, run_seconds):
+        d = tmp_path / dirname
+        d.mkdir()
+        (d / "BENCH_gate.json").write_text(json.dumps({
+            "format_version": 1,
+            "benchmark": "gate",
+            "host": {},
+            "data": {"run_seconds": run_seconds},
+        }))
+        return str(d)
+
+    base = write("base", 1.0)
+    same = write("same", 1.0)
+    slow = write("slow", 2.0)
+
+    assert main(["bench", "compare", base, same]) == 0
+    out = capsys.readouterr().out
+    assert "0 regressed" in out
+
+    assert main(["bench", "compare", base, slow, "--threshold", "25"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out and "+100.0%" in out
+
+    assert main([
+        "bench", "compare", base, slow, "--threshold", "25", "--report-only",
+    ]) == 0
+    assert "report-only" in capsys.readouterr().out
+
+    assert main(["bench", "compare", base, str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
