@@ -10,7 +10,11 @@ what durability costs:
   campaign (journal replay + store reconciliation, zero docking),
 * ``store_bytes_per_1k_ligands`` — on-disk footprint of the result store,
   normalised so different scales are comparable,
-* ``journal_bytes`` — the write-ahead journal's footprint.
+* ``journal_bytes`` — the write-ahead journal's footprint,
+* ``ligands_per_second_persistent_pool`` / ``ligands_per_second_fresh_pool``
+  / ``persistent_pool_speedup`` — the same campaign on 2 host worker
+  processes, with the campaign-owned persistent pool vs a fresh pool
+  (spawn + receptor staging + Eq. 1 warm-up) per ligand.
 
 The docking work itself dominates wall-clock by design (that is the honest
 baseline: durability overhead should be measured against real work, not an
@@ -42,16 +46,20 @@ FULL_CASES = [("steady", 600, 96, 16), ("fine-shards", 600, 96, 4)]
 SMOKE_CASES = [("smoke", 300, 12, 4)]
 
 
-def _make_runner(workdir, receptor, n_ligands, shard_size, seed=7):
+def _make_runner(
+    workdir, receptor, n_ligands, shard_size, seed=7,
+    name="campaign.sqlite", **overrides,
+):
     return CampaignRunner(
         receptor,
         SyntheticSource(n_ligands, atoms_range=(8, 14), seed=seed + 1),
-        store_path=os.path.join(workdir, "campaign.sqlite"),
+        store_path=os.path.join(workdir, name),
         n_spots=2,
         metaheuristic="M1",
         seed=seed,
         workload_scale=0.05,
         shard_size=shard_size,
+        **overrides,
     )
 
 
@@ -76,6 +84,21 @@ def bench_case(name, n_rec, n_ligands, shard_size, seed=7):
             resume_noop_seconds = time.perf_counter() - t0
             resumed_counts = store.counts()
 
+        # Host-pool mode comparison: the same campaign on 2 worker
+        # processes with one persistent pool for the whole run vs a fresh
+        # pool (spawn + receptor staging + warm-up) per ligand. Capped so
+        # the fresh-pool column stays affordable at full scale.
+        pool_ligands = min(n_ligands, 16)
+        pool_seconds = {}
+        for label, persistent in (("persistent_pool", True), ("fresh_pool", False)):
+            t0 = time.perf_counter()
+            with _make_runner(
+                workdir, receptor, pool_ligands, shard_size, seed=seed,
+                name=f"{label}.sqlite", host_workers=2,
+                persistent_pool=persistent,
+            ).run():
+                pool_seconds[label] = time.perf_counter() - t0
+
     return {
         "case": name,
         "receptor_atoms": n_rec,
@@ -87,6 +110,14 @@ def bench_case(name, n_rec, n_ligands, shard_size, seed=7):
         "store_bytes": store_bytes,
         "store_bytes_per_1k_ligands": store_bytes / n_ligands * 1000,
         "journal_bytes": journal_bytes,
+        "pool_ligands": pool_ligands,
+        "ligands_per_second_persistent_pool": (
+            pool_ligands / pool_seconds["persistent_pool"]
+        ),
+        "ligands_per_second_fresh_pool": pool_ligands / pool_seconds["fresh_pool"],
+        "persistent_pool_speedup": (
+            pool_seconds["fresh_pool"] / pool_seconds["persistent_pool"]
+        ),
         "complete": bool(complete),
         "counts": counts,
         "counts_after_resume": resumed_counts,
@@ -122,6 +153,12 @@ def _report(artifact):
             f"store: {case['store_bytes_per_1k_ligands'] / 1024:.1f} KiB per "
             f"1k ligands   journal: {case['journal_bytes']} B"
         )
+        lines.append(
+            f"  host pool x{case['pool_ligands']} ligands: persistent "
+            f"{case['ligands_per_second_persistent_pool']:.2f} lig/s, fresh "
+            f"{case['ligands_per_second_fresh_pool']:.2f} lig/s "
+            f"({case['persistent_pool_speedup']:.1f}x)"
+        )
         counts = case["counts"]
         lines.append(
             f"  done {counts['done']}, failed {counts['failed']}, "
@@ -152,6 +189,8 @@ def test_campaign_throughput_smoke(benchmark, tmp_path):
         # ...and its fixed cost must be a small fraction of the real run.
         assert case["resume_noop_seconds"] < case["run_seconds"]
         assert case["ligands_per_second"] > 0
+        # Reusing one pool must beat spawning one per ligand.
+        assert case["persistent_pool_speedup"] > 1.0
 
 
 def main(argv=None):

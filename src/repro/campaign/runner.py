@@ -13,11 +13,22 @@ ordinal`` (the same rule ``screen()`` has always used), so an interrupted
 and resumed campaign produces bitwise-identical scores to an uninterrupted
 one, for any shard size or worker count.
 
+Runtime ownership: with ``host_workers > 0`` and ``persistent_pool=True``
+(the default) the campaign owns one
+:class:`repro.engine.host_runtime.PersistentHostRuntime` for its whole
+lifetime — worker pool, staged receptor and Eq. 1 warm-up are paid once, and
+each ligand is swapped in through the versioned rebind protocol (with the
+next ligand prefetch-staged while the current one docks). ``dock()``
+receives the runtime through its ``evaluator_factory`` seam and never closes
+it.
+
 Failure policy: per-ligand bounded retry with exponential backoff (a worker
-pool that died is rebuilt by the next ``dock()`` call); a ligand that
-exhausts its attempts is recorded ``failed`` with the exception text and the
-campaign continues past it. ``KeyboardInterrupt``/``SystemExit`` are never
-swallowed — they are the crash the journal exists for.
+pool that died is recycled in place by the persistent runtime — workers are
+replaced, the staged receptor and warm-up weights survive — or rebuilt by
+the next ``dock()`` call on the fresh-pool path); a ligand that exhausts its
+attempts is recorded ``failed`` with the exception text and the campaign
+continues past it. ``KeyboardInterrupt``/``SystemExit`` are never swallowed
+— they are the crash the journal exists for.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro import observability as obs
+from repro.engine.host_runtime import PersistentHostRuntime
 from repro.errors import CampaignError
 from repro.hardware.node import NodeSpec
 from repro.metaheuristics.template import MetaheuristicSpec
@@ -159,6 +171,7 @@ class CampaignRunner:
         host_workers: int = 0,
         parallel_mode: str = "static",
         prune_spots: bool = False,
+        persistent_pool: bool = True,
         max_attempts: int = 3,
         backoff_base: float = 0.1,
         sleep: Callable[[float], None] = time.sleep,
@@ -193,6 +206,8 @@ class CampaignRunner:
         self.host_workers = host_workers
         self.parallel_mode = parallel_mode
         self.prune_spots = prune_spots
+        self.persistent_pool = bool(persistent_pool)
+        self._runtime: PersistentHostRuntime | None = None
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self._sleep = sleep
@@ -291,56 +306,81 @@ class CampaignRunner:
         seen_titles: set[str] = set()
         n_streamed = 0
         try:
-            for shard, items in iter_shards(self.source, self.shard_size):
-                titled = [
-                    (ordinal, ligand, resolve_title(ligand.title, ordinal, seen_titles))
-                    for ordinal, ligand in items
-                ]
-                n_streamed += len(items)
-                if shard.shard_id in finished:
-                    obs.counter("campaign.shards.skipped").inc()
-                    continue
-                shard_t0 = time.perf_counter()
-                with obs.span("campaign.shard", shard=shard.shard_id):
-                    if self.journal is not None:
-                        self.journal.shard_start(
-                            shard.shard_id, shard.start, shard.stop
-                        )
-                    store.start_shard(shard.shard_id, shard.start, shard.stop)
-                    store.register_ligands([(o, t) for o, _, t in titled])
-                    already_done = store.done_ordinals(shard.start, shard.stop)
-                    n_failed = 0
-                    for ordinal, ligand, title in titled:
-                        if ordinal in already_done:
-                            continue
-                        ok = self._dock_one(store, spots, ordinal, ligand, title)
-                        session_docked += 1
-                        if not ok:
-                            n_failed += 1
-                    shard_s = time.perf_counter() - shard_t0
-                    store.finish_shard(shard.shard_id, shard_s)
-                    if self.journal is not None:
-                        self.journal.shard_finish(
-                            shard.shard_id, shard.size - n_failed, n_failed
-                        )
-                obs.counter("campaign.shards.done").inc()
-                obs.histogram("campaign.shard.seconds").observe(shard_s)
-                # Shard boundary: worker-session telemetry has folded in and
-                # the store row is durable — force a live sample so the
-                # series shows every shard even when shards outpace the
-                # sampling interval.
-                obs.mark("campaign.shard", force=True)
-                self._emit_progress(
-                    store, shard.shard_id, total, session_start, session_docked
-                )
-            store.mark_complete(n_streamed)
-            if self.journal is not None:
-                self.journal.campaign_finish(n_streamed)
-        except BaseException:
-            # Crash path: everything committed so far is durable; close the
-            # connection so the WAL checkpoints cleanly, then let it fly.
-            store.close()
-            raise
+            try:
+                if self.host_workers > 0 and self.persistent_pool:
+                    # Campaign-owned runtime: pool spawn, receptor staging
+                    # and Eq. 1 warm-up are paid once, every ligand after
+                    # the first is a slot rebind.
+                    self._runtime = PersistentHostRuntime(
+                        self.receptor,
+                        spots,
+                        n_workers=self.host_workers,
+                        mode=self.parallel_mode,
+                        scoring=self.scoring,
+                        prune_spots=self.prune_spots,
+                    )
+                for shard, items in iter_shards(self.source, self.shard_size):
+                    titled = [
+                        (ordinal, ligand, resolve_title(ligand.title, ordinal, seen_titles))
+                        for ordinal, ligand in items
+                    ]
+                    n_streamed += len(items)
+                    if shard.shard_id in finished:
+                        obs.counter("campaign.shards.skipped").inc()
+                        continue
+                    shard_t0 = time.perf_counter()
+                    with obs.span("campaign.shard", shard=shard.shard_id):
+                        if self.journal is not None:
+                            self.journal.shard_start(
+                                shard.shard_id, shard.start, shard.stop
+                            )
+                        store.start_shard(shard.shard_id, shard.start, shard.stop)
+                        store.register_ligands([(o, t) for o, _, t in titled])
+                        already_done = store.done_ordinals(shard.start, shard.stop)
+                        pending = [
+                            (ordinal, ligand, title)
+                            for ordinal, ligand, title in titled
+                            if ordinal not in already_done
+                        ]
+                        n_failed = 0
+                        for pos, (ordinal, ligand, title) in enumerate(pending):
+                            if self._runtime is not None and pos + 1 < len(pending):
+                                # Double buffer: while this ligand docks, the
+                                # runtime's stager binds and stages the next
+                                # one into the inactive slot bank.
+                                self._runtime.hint_next(pending[pos + 1][1])
+                            ok = self._dock_one(store, spots, ordinal, ligand, title)
+                            session_docked += 1
+                            if not ok:
+                                n_failed += 1
+                        shard_s = time.perf_counter() - shard_t0
+                        store.finish_shard(shard.shard_id, shard_s)
+                        if self.journal is not None:
+                            self.journal.shard_finish(
+                                shard.shard_id, shard.size - n_failed, n_failed
+                            )
+                    obs.counter("campaign.shards.done").inc()
+                    obs.histogram("campaign.shard.seconds").observe(shard_s)
+                    # Shard boundary: worker-session telemetry has folded in and
+                    # the store row is durable — force a live sample so the
+                    # series shows every shard even when shards outpace the
+                    # sampling interval.
+                    obs.mark("campaign.shard", force=True)
+                    self._emit_progress(
+                        store, shard.shard_id, total, session_start, session_docked
+                    )
+                store.mark_complete(n_streamed)
+                if self.journal is not None:
+                    self.journal.campaign_finish(n_streamed)
+            except BaseException:
+                # Crash path: everything committed so far is durable; close the
+                # connection so the WAL checkpoints cleanly, then let it fly.
+                store.close()
+                raise
+        finally:
+            runtime, self._runtime = self._runtime, None
+            if runtime is not None:
+                runtime.close()
         return store
 
     def _dock_one(
@@ -370,6 +410,11 @@ class CampaignRunner:
                     host_workers=self.host_workers,
                     parallel_mode=self.parallel_mode,
                     prune_spots=self.prune_spots,
+                    evaluator_factory=(
+                        None
+                        if self._runtime is None
+                        else self._runtime.evaluator_factory
+                    ),
                 )
             except Exception as exc:
                 if attempt >= self.max_attempts:
@@ -384,17 +429,18 @@ class CampaignRunner:
                 self._sleep(delay)
                 delay *= 2
                 continue
+            # One clock read for both the histogram and the stored row —
+            # they must agree.
+            wall_s = time.perf_counter() - t0
             obs.counter("campaign.ligands.done").inc()
-            obs.histogram("campaign.dock.seconds").observe(
-                time.perf_counter() - t0
-            )
+            obs.histogram("campaign.dock.seconds").observe(wall_s)
             store.record_result(
                 ordinal,
                 title,
                 result.best_score,
                 result.best.spot_index,
                 result.evaluations,
-                wall_seconds=time.perf_counter() - t0,
+                wall_seconds=wall_s,
                 simulated_seconds=result.simulated_seconds,
                 attempts=attempt,
             )

@@ -52,8 +52,14 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _add_host_runtime_args(sub: argparse.ArgumentParser) -> None:
-    """Flags for the real process-parallel host runtime."""
+def _add_host_runtime_args(
+    sub: argparse.ArgumentParser, pool_flag: bool = False
+) -> None:
+    """Flags for the real process-parallel host runtime.
+
+    ``pool_flag`` adds ``--fresh-pool`` for multi-ligand commands, where the
+    worker pool persists across ligands by default.
+    """
     sub.add_argument(
         "--host-workers",
         type=_nonnegative_int,
@@ -75,6 +81,14 @@ def _add_host_runtime_args(sub: argparse.ArgumentParser) -> None:
         help="score each spot against its active-site receptor subset "
         "(exact for the default cutoff scoring)",
     )
+    if pool_flag:
+        sub.add_argument(
+            "--fresh-pool",
+            action="store_true",
+            help="spawn a fresh worker pool per ligand instead of keeping "
+            "one persistent pool (receptor staging + Eq. 1 warm-up) for the "
+            "whole run; scores are bitwise identical either way",
+        )
 
 
 def _positive_float(text: str) -> float:
@@ -187,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     scr.add_argument("--scale", type=float, default=0.1)
     scr.add_argument("--seed", type=int, default=0)
     scr.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
-    _add_host_runtime_args(scr)
+    _add_host_runtime_args(scr, pool_flag=True)
     _add_metrics_args(scr)
 
     camp = sub.add_parser(
@@ -226,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="docking attempts per ligand before it is recorded as failed",
     )
-    _add_host_runtime_args(crun)
+    _add_host_runtime_args(crun, pool_flag=True)
     _add_metrics_args(crun)
     _add_campaign_observability_args(crun)
 
@@ -238,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     # Execution knobs may change between run and resume — scores cannot.
     cres.add_argument("--host-workers", type=_nonnegative_int, default=0, metavar="N")
     cres.add_argument("--parallel-mode", choices=("static", "dynamic"), default="static")
+    cres.add_argument(
+        "--fresh-pool",
+        action="store_true",
+        help="spawn a fresh worker pool per ligand instead of one "
+        "persistent pool for the rest of the campaign",
+    )
     _add_metrics_args(cres)
     _add_campaign_observability_args(cres)
 
@@ -426,6 +446,7 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         host_workers=args.host_workers,
         parallel_mode=args.parallel_mode,
         prune_spots=args.prune_spots,
+        persistent_pool=not args.fresh_pool,
     )
     print(report.to_text())
     _maybe_write_metrics(args)
@@ -593,6 +614,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             host_workers=args.host_workers,
             parallel_mode=args.parallel_mode,
             prune_spots=args.prune_spots,
+            persistent_pool=not args.fresh_pool,
             max_attempts=args.max_attempts,
             progress=progress_cb,
             receptor_descriptor=receptor_descriptor,
@@ -663,6 +685,7 @@ def _rebuild_campaign_runner(args: argparse.Namespace, progress=None):
         host_workers=args.host_workers,
         parallel_mode=args.parallel_mode,
         prune_spots=bool(config["prune_spots"]),
+        persistent_pool=not args.fresh_pool,
         max_attempts=args.max_attempts,
         progress=progress,
         receptor_descriptor=receptor_desc,

@@ -28,6 +28,18 @@ along boundaries the serial path already has — whole chunks of the serial
 chunk grid for plain scorers, whole per-spot groups for spot-aware scorers —
 and workers rebuild the scorer from the staged arrays, so every chunk's
 arithmetic is identical to its serial counterpart.
+
+**Persistence** — the paper runs warm-up once and reuses the shares for the
+whole screening; a campaign should likewise pay for pool spawn, receptor
+staging and warm-up once, not per ligand. With ``persistent=True`` the
+evaluator keeps the receptor-side arrays in the long-lived
+:class:`SharedArrayStage` and routes the ligand-varying arrays through two
+:class:`LigandSlotStage` banks (double-buffered: ligand *i+1* can be staged
+while *i* docks). Each rebind bumps a version and every task carries the
+versioned rebind message, so workers swap scorers lazily in place — no
+process churn, no receptor restage, and the Eq. 1 weights survive until an
+explicit re-measure. :class:`PersistentHostRuntime` packages that into the
+campaign-facing lifecycle (``acquire``/``hint_next``/``evaluator_factory``).
 """
 
 from __future__ import annotations
@@ -37,7 +49,7 @@ import multiprocessing as mp
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -52,19 +64,23 @@ from repro.errors import ScoringError
 from repro.metaheuristics.evaluation import EvaluationStats, LaunchRecord
 from repro.molecules.transforms import normalize_quaternion
 from repro.scoring.base import BoundScorer
-from repro.scoring.cutoff import BoundCutoffLennardJones
+from repro.scoring.cutoff import BoundCutoffLennardJones, CutoffLennardJonesScoring
 from repro.scoring.lennard_jones import BoundLennardJones
-from repro.scoring.pruned import BoundSpotPruned
+from repro.scoring.pruned import BoundSpotPruned, prune_bound
 
 __all__ = [
     "ArrayHandle",
     "SharedArrayStage",
+    "LigandSlotStage",
     "HostWarmupResult",
     "ParallelSpotEvaluator",
+    "PersistentHostRuntime",
     "stage_scorer",
     "rebuild_scorer",
     "DEFAULT_WARMUP_POSES",
     "DEFAULT_WARMUP_REPEATS",
+    "DEFAULT_REMEASURE_INTERVAL",
+    "DEFAULT_DRIFT_THRESHOLD",
 ]
 
 #: Poses per warm-up timing launch ("a few candidate solutions", §3.3).
@@ -76,6 +92,17 @@ DEFAULT_WARMUP_REPEATS: int = 3
 #: Give slow machines this long to spawn+warm every worker before falling
 #: back to equal shares.
 _WARMUP_TIMEOUT_S: float = 120.0
+
+#: Persistent runtime: re-run the Eq. 1 warm-up after this many rebinds.
+DEFAULT_REMEASURE_INTERVAL: int = 64
+
+#: Persistent runtime: re-measure early when any worker's observed pose
+#: share drifts this far (absolute) from its Eq. 1 weight.
+DEFAULT_DRIFT_THRESHOLD: float = 0.25
+
+#: Headroom factor when sizing a reusable ligand slot, so ligands a little
+#: larger than the last one reuse the segment instead of retiring it.
+_SLOT_GROWTH: float = 1.5
 
 
 # ----------------------------------------------------------------------
@@ -139,22 +166,104 @@ class SharedArrayStage:
             pass
 
 
-def _attach(handle: ArrayHandle) -> np.ndarray:
-    """Attach a read-only view of a staged array (worker side)."""
-    try:
-        shm = shared_memory.SharedMemory(name=handle.name, track=False)
-    except TypeError:  # Python < 3.13 has no track= parameter
-        # The parent owns the segments. On forked workers the resource
-        # tracker process is shared, so registering here (and unregistering
-        # later) would clobber the parent's own registration — suppress the
-        # attach-time registration instead.
-        original_register = resource_tracker.register
-        resource_tracker.register = lambda name, rtype: None
+class LigandSlotStage:
+    """Reusable named shared-memory slots for the ligand-varying arrays.
+
+    Unlike :class:`SharedArrayStage` (stage once, unlink at close), a slot
+    stage exists to be *restaged*: each named role keeps one segment that is
+    rewritten in place on every ligand rebind. A slot only gets a new
+    segment when an incoming array outgrows its capacity (sized with
+    ``_SLOT_GROWTH`` headroom); the outgrown segment's name is remembered in
+    :attr:`retired` so workers can drop their cached attachments — the
+    rebind message carries the cumulative retired list, which keeps workers
+    that skipped versions (or were recycled in fresh) consistent.
+    """
+
+    def __init__(self, label: str = "a") -> None:
+        self._prefix = f"repro{os.getpid():x}{token_hex(4)}{label}"
+        self._slots: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+        self.retired: list[str] = []
+
+    def restage(self, role: str, array: np.ndarray) -> ArrayHandle:
+        """Write ``array`` into the slot for ``role``, growing if needed."""
+        array = np.ascontiguousarray(array)
+        entry = self._slots.get(role)
+        if entry is not None and entry[0].size >= array.nbytes:
+            shm, _ = entry
+        else:
+            generation = 0
+            if entry is not None:
+                old, generation = entry
+                self.retired.append(old.name)
+                try:
+                    old.close()
+                except (OSError, BufferError):
+                    pass
+                try:
+                    old.unlink()
+                except FileNotFoundError:
+                    pass
+                generation += 1
+            shm = shared_memory.SharedMemory(
+                create=True,
+                size=max(int(array.nbytes * _SLOT_GROWTH), 1),
+                name=f"{self._prefix}{role}g{generation}",
+            )
+            self._slots[role] = (shm, generation)
+        if array.size:
+            np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)[...] = array
+        return ArrayHandle(name=shm.name, shape=tuple(array.shape), dtype=str(array.dtype))
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of every live slot segment."""
+        return tuple(shm.name for shm, _ in self._slots.values())
+
+    def close(self) -> None:
+        """Close and unlink every slot segment. Idempotent."""
+        slots, self._slots = self._slots, {}
+        for shm, _ in slots.values():
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
-            shm = shared_memory.SharedMemory(name=handle.name)
-        finally:
-            resource_tracker.register = original_register
-    _WORKER.setdefault("segments", []).append(shm)  # keep the mmap alive
+            self.close()
+        except Exception:
+            pass
+
+
+def _attach(handle: ArrayHandle) -> np.ndarray:
+    """Attach a read-only view of a staged array (worker side).
+
+    Attachments are cached by segment name: under the persistent runtime a
+    rebind re-views the same slot segment with the new ligand's shape (same
+    mmap, freshly written by the parent — no reopen), and only segments the
+    rebind message lists as retired are ever dropped from the cache.
+    """
+    cache = _WORKER.setdefault("segments", {})
+    shm = cache.get(handle.name)
+    if shm is None:
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name, track=False)
+        except TypeError:  # Python < 3.13 has no track= parameter
+            # The parent owns the segments. On forked workers the resource
+            # tracker process is shared, so registering here (and
+            # unregistering later) would clobber the parent's own
+            # registration — suppress the attach-time registration instead.
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda name, rtype: None
+            try:
+                shm = shared_memory.SharedMemory(name=handle.name)
+            finally:
+                resource_tracker.register = original_register
+        cache[handle.name] = shm  # keep the mmap alive
     view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf)
     view.flags.writeable = False
     return view
@@ -163,7 +272,13 @@ def _attach(handle: ArrayHandle) -> np.ndarray:
 # ----------------------------------------------------------------------
 # scorer staging / rebuilding
 # ----------------------------------------------------------------------
-def stage_scorer(scorer: BoundScorer, stage: SharedArrayStage) -> dict:
+def stage_scorer(
+    scorer: BoundScorer,
+    stage: SharedArrayStage,
+    ligand_stage: LigandSlotStage | None = None,
+    receptor_cache: dict[str, ArrayHandle] | None = None,
+    _role: str = "",
+) -> dict:
     """Describe ``scorer`` as a pickle-small spec with shared-memory handles.
 
     The heavy per-complex arrays (receptor coordinates, σ²/4ε tables,
@@ -171,7 +286,39 @@ def stage_scorer(scorer: BoundScorer, stage: SharedArrayStage) -> dict:
     scorer with :func:`rebuild_scorer`. Scorer types without a dedicated
     stager fall back to pickling the whole object (correct, just not
     zero-copy).
+
+    ``ligand_stage``/``receptor_cache`` enable the persistent split: arrays
+    that change per ligand (ligand coordinates, the ligand×receptor σ²/4ε
+    pair tables, pruned subsets) are rewritten into reusable slots, while
+    receptor-side arrays (coordinates, KD-tree input, spot geometry) are
+    staged once and their handles cached for every later rebind. The
+    receptor, spots and scoring must stay fixed for the cache's lifetime —
+    the caller's contract, checked here only by shape/dtype.
     """
+
+    def fixed(role: str, array: np.ndarray) -> ArrayHandle:
+        role = _role + role
+        if receptor_cache is None:
+            return stage.stage(array)
+        handle = receptor_cache.get(role)
+        if handle is not None:
+            if handle.shape != tuple(array.shape) or handle.dtype != str(array.dtype):
+                raise ScoringError(
+                    f"persistent rebind changed a receptor-side array ({role}: "
+                    f"{handle.shape}/{handle.dtype} -> {tuple(array.shape)}/"
+                    f"{array.dtype}); receptor, spots and scoring must stay "
+                    "fixed for the lifetime of the runtime"
+                )
+            return handle
+        handle = stage.stage(array)
+        receptor_cache[role] = handle
+        return handle
+
+    def varying(role: str, array: np.ndarray) -> ArrayHandle:
+        if ligand_stage is None:
+            return stage.stage(array)
+        return ligand_stage.restage(_role + role, array)
+
     if isinstance(scorer, BoundSpotPruned):
         subset_offsets = np.zeros(len(scorer.spot_indices) + 1, dtype=np.int64)
         ordered = [scorer.subsets[int(s)] for s in scorer.spot_indices]
@@ -179,18 +326,22 @@ def stage_scorer(scorer: BoundScorer, stage: SharedArrayStage) -> dict:
         subset_data = (
             np.concatenate(ordered) if ordered else np.empty(0, dtype=np.int64)
         )
+        # Spot geometry and the spot index set are receptor+spots facts; the
+        # subsets are not — their margin includes the ligand's extent.
         return {
             "kind": "pruned",
-            "inner": stage_scorer(scorer.inner, stage),
+            "inner": stage_scorer(
+                scorer.inner, stage, ligand_stage, receptor_cache, _role + "i."
+            ),
             "mode": scorer.mode,
             "prune_cutoff": scorer.prune_cutoff,
             "lig_extent": scorer.lig_extent,
             "margin": scorer.margin,
-            "spot_indices": stage.stage(scorer.spot_indices),
-            "spot_centers": stage.stage(scorer.spot_centers),
-            "spot_radii": stage.stage(scorer.spot_radii),
-            "subset_data": stage.stage(subset_data),
-            "subset_offsets": stage.stage(subset_offsets),
+            "spot_indices": fixed("spot_indices", scorer.spot_indices),
+            "spot_centers": fixed("spot_centers", scorer.spot_centers),
+            "spot_radii": fixed("spot_radii", scorer.spot_radii),
+            "subset_data": varying("subset_data", subset_data),
+            "subset_offsets": varying("subset_offsets", subset_offsets),
         }
     if isinstance(scorer, BoundCutoffLennardJones):
         return {
@@ -200,11 +351,11 @@ def stage_scorer(scorer: BoundScorer, stage: SharedArrayStage) -> dict:
             "cutoff": scorer.cutoff,
             "chunk_size": scorer.chunk_size,
             "dtype": str(scorer.dtype),
-            "receptor_coords": stage.stage(scorer.receptor_coords),
-            "tree_coords": stage.stage(scorer._tree_coords),
-            "sigma2": stage.stage(scorer._sigma2),
-            "epsilon4": stage.stage(scorer._epsilon4),
-            "ligand_coords": stage.stage(scorer.ligand_coords),
+            "receptor_coords": fixed("receptor_coords", scorer.receptor_coords),
+            "tree_coords": fixed("tree_coords", scorer._tree_coords),
+            "sigma2": varying("sigma2", scorer._sigma2),
+            "epsilon4": varying("epsilon4", scorer._epsilon4),
+            "ligand_coords": varying("ligand_coords", scorer.ligand_coords),
         }
     if isinstance(scorer, BoundLennardJones):
         return {
@@ -212,11 +363,11 @@ def stage_scorer(scorer: BoundScorer, stage: SharedArrayStage) -> dict:
             "n_receptor": scorer.receptor.n_atoms,
             "n_ligand": scorer.ligand.n_atoms,
             "chunk_size": scorer.chunk_size,
-            "receptor_coords": stage.stage(scorer.receptor_coords),
-            "rec_sq": stage.stage(scorer._rec_sq),
-            "sigma2": stage.stage(scorer._sigma2),
-            "epsilon4": stage.stage(scorer._epsilon4),
-            "ligand_coords": stage.stage(scorer.ligand_coords),
+            "receptor_coords": fixed("receptor_coords", scorer.receptor_coords),
+            "rec_sq": fixed("rec_sq", scorer._rec_sq),
+            "sigma2": varying("sigma2", scorer._sigma2),
+            "epsilon4": varying("epsilon4", scorer._epsilon4),
+            "ligand_coords": varying("ligand_coords", scorer.ligand_coords),
         }
     return {"kind": "pickle", "blob": pickle.dumps(scorer)}
 
@@ -271,7 +422,15 @@ def rebuild_scorer(spec: dict) -> BoundScorer:
         scorer._sigma2 = _attach(spec["sigma2"])
         scorer._epsilon4 = _attach(spec["epsilon4"])
         # Same float64 input data as the parent's tree ⇒ identical gathers.
-        scorer._tree = cKDTree(scorer._tree_coords)
+        # Cached by segment name: the persistent runtime stages the tree
+        # coordinates once per campaign, so each worker builds this exactly
+        # once and every ligand rebind reuses it.
+        trees = _WORKER.setdefault("trees", {})
+        tree = trees.get(spec["tree_coords"].name)
+        if tree is None:
+            tree = cKDTree(scorer._tree_coords)
+            trees[spec["tree_coords"].name] = tree
+        scorer._tree = tree
         return scorer
     if kind == "dense":
         scorer = BoundLennardJones.__new__(BoundLennardJones)
@@ -302,15 +461,27 @@ def _worker_init(spec, claim, ready, slots, warm) -> None:
     ``claim`` hands out worker indices; ``ready`` counts workers that have
     finished warming up (the parent's barrier waits on it); ``slots[i]``
     receives worker ``i``'s mean warm-up launch time.
+
+    ``spec=None`` is the recycle path: a replacement worker comes up with no
+    scorer and no warm-up — the first task it runs carries a versioned
+    rebind message it rebuilds from (the staged receptor never went away).
     """
     with claim.get_lock():
         index = int(claim.value)
         claim.value += 1
-    scorer = rebuild_scorer(spec)
     _WORKER.update(
-        index=index, scorer=scorer, ready=ready, n_workers=len(slots) if slots else 0
+        index=index,
+        scorer=None,
+        version=None,
+        ready=ready,
+        slots=slots,
+        n_workers=len(slots) if slots else 0,
     )
-    if warm is not None:
+    scorer = None
+    if spec is not None:
+        scorer = rebuild_scorer(spec)
+        _WORKER.update(scorer=scorer, version=0)
+    if warm is not None and scorer is not None:
         translations, quaternions, repeats = warm
         scorer.score(translations, quaternions)  # page in tables, warm BLAS
         measured = []
@@ -322,6 +493,59 @@ def _worker_init(spec, claim, ready, slots, warm) -> None:
     if ready is not None:
         with ready.get_lock():
             ready.value += 1
+
+
+def _worker_rebind(version: int, spec: dict, retired: tuple[str, ...]) -> None:
+    """Swap a new ligand in place (worker side).
+
+    Rebuilds the scorer from the rebind spec — receptor-side handles hit
+    the attachment cache, so only the small ligand views are re-made — then
+    drops cached attachments for retired (outgrown) slot segments. The
+    cumulative retired list makes this correct for workers that skipped
+    intermediate versions or were recycled in with no scorer at all.
+    """
+    _WORKER.update(scorer=rebuild_scorer(spec), version=version)
+    cache = _WORKER.setdefault("segments", {})
+    for name in retired:
+        shm = cache.pop(name, None)
+        if shm is not None:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+
+
+def _measure_task(rebind, warm, timeout_s: float) -> int:
+    """Re-run the Eq. 1 measurement on a live worker (persistent runtime).
+
+    Submitted once per worker, like :func:`_barrier_task`: after timing,
+    each worker blocks until every sibling has reported, which pins exactly
+    one measurement to each process. The parent reset ``ready`` to zero
+    before the round (no tasks are in flight between launches).
+    """
+    version, spec, retired = rebind
+    if _WORKER.get("version") != version:
+        _worker_rebind(version, spec, retired)
+    scorer = _WORKER["scorer"]
+    index = _WORKER["index"]
+    translations, quaternions, repeats = warm
+    scorer.score(translations, quaternions)
+    measured = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        scorer.score(translations, quaternions)
+        measured.append(time.perf_counter() - t0)
+    _WORKER["slots"][index] = float(np.mean(measured))
+    ready = _WORKER["ready"]
+    with ready.get_lock():
+        ready.value += 1
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        with ready.get_lock():
+            if int(ready.value) >= _WORKER["n_workers"]:
+                break
+        time.sleep(0.002)
+    return index
 
 
 def _barrier_task(timeout_s: float) -> int:
@@ -349,8 +573,16 @@ _POSE_COUNT_EDGES: tuple[float, ...] = tuple(float(4**k) for k in range(10))
 
 def _run_tasks(
     tasks: list[tuple[str, int, np.ndarray, np.ndarray]],
+    rebind: tuple[int, dict, tuple[str, ...]] | None = None,
 ) -> tuple[list[np.ndarray], dict | None]:
     """Score this worker's share of a launch: a list of (mode, spot, t, q).
+
+    ``rebind`` is the persistent runtime's versioned rebind message
+    ``(version, spec, retired_segment_names)``; a worker whose cached
+    scorer is stale (or that was recycled in with none) rebuilds in place
+    before scoring. Rebuilding is pure attachment bookkeeping — the staged
+    bytes are what they are — so the energies stay bitwise identical to a
+    fresh pool's.
 
     Returns ``(score_arrays, stats)``. ``stats`` is the worker's telemetry
     for this task — a local snapshot document plus the task's monotonic
@@ -360,6 +592,8 @@ def _run_tasks(
     with or without it.
     """
     started_s = time.monotonic()
+    if rebind is not None and _WORKER.get("version") != rebind[0]:
+        _worker_rebind(*rebind)
     scorer = _WORKER["scorer"]
     index = _WORKER["index"]
     local = obs.Telemetry() if obs.enabled() else None
@@ -453,6 +687,12 @@ class ParallelSpotEvaluator:
         is still fully spawned up front.
     warmup_poses, warmup_repeats:
         Size of the Eq. 1 measurement.
+    persistent:
+        Keep the pool ligand-swappable: ligand-varying arrays go through
+        two double-buffered :class:`LigandSlotStage` banks and
+        :meth:`rebind` swaps a new ligand in without touching the pool,
+        the staged receptor, or the warm-up weights. A crashed pool is
+        then :meth:`recycle`-d instead of closed.
 
     Use as a context manager, or call :meth:`close`; shared segments are
     unlinked on close and on worker-pool failure.
@@ -466,6 +706,7 @@ class ParallelSpotEvaluator:
         warmup: bool = True,
         warmup_poses: int = DEFAULT_WARMUP_POSES,
         warmup_repeats: int = DEFAULT_WARMUP_REPEATS,
+        persistent: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ScoringError(f"n_workers must be >= 1, got {n_workers}")
@@ -479,23 +720,44 @@ class ParallelSpotEvaluator:
         self.scorer = scorer
         self.n_workers = int(n_workers)
         self.mode = mode
+        self.persistent = bool(persistent)
         self.stats = EvaluationStats()
         self._stage = SharedArrayStage()
+        self._banks: tuple[LigandSlotStage, LigandSlotStage] | None = (
+            (LigandSlotStage("a"), LigandSlotStage("b")) if self.persistent else None
+        )
+        self._active_bank = 0
+        self._receptor_cache: dict[str, ArrayHandle] | None = (
+            {} if self.persistent else None
+        )
+        self._version = 0
+        self._rebind_msg: tuple[int, dict, tuple[str, ...]] | None = None
+        self._drift_poses = np.zeros(self.n_workers)
         self._pool: ProcessPoolExecutor | None = None
         try:
-            spec = stage_scorer(scorer, self._stage)
+            spec = stage_scorer(
+                scorer,
+                self._stage,
+                ligand_stage=self._banks[0] if self.persistent else None,
+                receptor_cache=self._receptor_cache,
+            )
+            if self.persistent:
+                self._rebind_msg = (0, spec, ())
             ctx = mp.get_context("fork")
-            claim = ctx.Value("q", 0)
-            ready = ctx.Value("q", 0)
-            slots = ctx.Array("d", self.n_workers)
-            warm = self._warmup_batch(warmup_poses, warmup_repeats) if warmup else None
+            self._ctx = ctx
+            self._claim = ctx.Value("q", 0)
+            self._ready = ctx.Value("q", 0)
+            self._slots = ctx.Array("d", self.n_workers)
+            self._warm = (
+                self._warmup_batch(warmup_poses, warmup_repeats) if warmup else None
+            )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 mp_context=ctx,
                 initializer=_worker_init,
-                initargs=(spec, claim, ready, slots, warm),
+                initargs=(spec, self._claim, self._ready, self._slots, self._warm),
             )
-            self.warmup_result = self._spawn_and_warm(slots, timed=warmup)
+            self.warmup_result = self._spawn_and_warm(self._slots, timed=warmup)
             self.weights = self.warmup_result.weights
         except BaseException:
             self.close()
@@ -532,7 +794,13 @@ class ParallelSpotEvaluator:
                     f"host worker pool died during warm-up: {exc}"
                 ) from exc
             elapsed = time.perf_counter() - t0
-        measured = np.array(slots[:], dtype=np.float64)
+        obs.counter("host.warmups").inc()
+        return self._reduce_warmup(np.array(slots[:], dtype=np.float64), elapsed, timed)
+
+    def _reduce_warmup(
+        self, measured: np.ndarray, elapsed: float, timed: bool
+    ) -> HostWarmupResult:
+        """Turn per-worker timings into Eq. 1 shares; publish the decision."""
         if not timed or not np.all(measured > 0.0):
             # untimed pool (or a straggler hit the barrier timeout): fall
             # back to the homogeneous assumption
@@ -543,7 +811,6 @@ class ParallelSpotEvaluator:
         # The Eq. 1 share decision, with its inputs, on the record: what the
         # warm-up measured, the Percent reduction, and the share each worker
         # was assigned as a consequence.
-        obs.counter("host.warmups").inc()
         obs.gauge("host.warmup.elapsed_s").set(elapsed)
         for i in range(self.n_workers):
             obs.gauge("host.warmup.measured_s", worker=i).set(float(measured[i]))
@@ -664,7 +931,11 @@ class ParallelSpotEvaluator:
                         ]
                         submit_s = time.monotonic()
                         futures.append(
-                            (bucket, submit_s, self._pool.submit(_run_tasks, tasks))
+                            (
+                                bucket,
+                                submit_s,
+                                self._pool.submit(_run_tasks, tasks, self._rebind_msg),
+                            )
                         )
                     for bucket, submit_s, future in futures:
                         scores_list, stat = future.result()
@@ -694,6 +965,7 @@ class ParallelSpotEvaluator:
                                             quaternions[jobs[i].rows],
                                         )
                                     ],
+                                    self._rebind_msg,
                                 ),
                             )
                         )
@@ -710,6 +982,13 @@ class ParallelSpotEvaluator:
                 if steals:
                     launch_tags["steals"] = steals
         except BrokenProcessPool as exc:
+            if self.persistent:
+                self.recycle()
+                raise ScoringError(
+                    f"host worker pool crashed mid-launch ({exc}); workers "
+                    "recycled — the staged receptor and Eq. 1 weights survive, "
+                    "retry the launch"
+                ) from exc
             self.close()
             raise ScoringError(
                 f"host worker pool crashed mid-launch ({exc}); shared-memory "
@@ -742,6 +1021,10 @@ class ParallelSpotEvaluator:
             )
             worker = int(stat["worker"])
             tasks_by_worker[worker] = tasks_by_worker.get(worker, 0) + 1
+            if worker < self._drift_poses.size:
+                # feeds share_drift(): observed pose share vs the Eq. 1
+                # plan, the persistent runtime's re-measure trigger
+                self._drift_poses[worker] += stat["poses"]
             if stat["busy_s"] > 0:
                 obs.gauge("host.worker.poses_per_s", worker=worker).set(
                     stat["poses"] / stat["busy_s"]
@@ -756,6 +1039,151 @@ class ParallelSpotEvaluator:
         return 0
 
     # ------------------------------------------------------------------
+    # persistent rebind protocol
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Start a fresh launch trace (the persistent runtime calls this per dock)."""
+        self.stats = EvaluationStats()
+
+    def stage_inactive(self, scorer: BoundScorer) -> dict:
+        """Stage ``scorer``'s ligand arrays into the *inactive* slot bank.
+
+        Safe to run concurrently with an in-flight :meth:`evaluate`: workers
+        only read the active bank, and the receptor-side handle cache was
+        fully populated at construction, so nothing the pool can see is
+        touched. This is the double-buffer half the campaign's prefetch
+        thread runs — ligand *i+1* staged while *i* docks; pair with
+        :meth:`activate`, or call :meth:`rebind` to do both synchronously.
+        """
+        if not self.persistent:
+            raise ScoringError("stage_inactive requires persistent=True")
+        return stage_scorer(
+            scorer,
+            self._stage,
+            ligand_stage=self._banks[1 - self._active_bank],
+            receptor_cache=self._receptor_cache,
+        )
+
+    def activate(self, scorer: BoundScorer, spec: dict) -> None:
+        """Swap the staged inactive bank in and refresh the rebind message.
+
+        Call only between launches. Workers learn about the swap lazily:
+        every task carries the versioned rebind message, so a stale (or
+        freshly recycled) worker rebuilds before scoring, and the
+        cumulative retired-segment list lets it drop outgrown attachments
+        no matter how many versions it skipped.
+        """
+        if not self.persistent:
+            raise ScoringError("activate requires persistent=True")
+        if self._pool is None:
+            raise ScoringError("parallel evaluator is closed")
+        self._active_bank = 1 - self._active_bank
+        self._version += 1
+        retired = tuple(self._banks[0].retired) + tuple(self._banks[1].retired)
+        self._rebind_msg = (self._version, spec, retired)
+        self.scorer = scorer
+        self.reset_stats()
+        obs.counter("host.pool.reuses").inc()
+
+    def rebind(self, scorer: BoundScorer) -> None:
+        """Swap a new ligand in without touching pool, receptor, or warm-up."""
+        self.activate(scorer, self.stage_inactive(scorer))
+
+    def share_drift(self) -> float:
+        """Max |observed pose share − Eq. 1 weight| since the last measurement.
+
+        Observable only while telemetry is enabled (worker pose counts ride
+        in the harvest); returns 0.0 otherwise, so the drift re-measure
+        trigger degrades gracefully to the interval trigger.
+        """
+        total = float(self._drift_poses.sum())
+        if total <= 0.0:
+            return 0.0
+        return float(np.max(np.abs(self._drift_poses / total - self.weights)))
+
+    def remeasure(self) -> HostWarmupResult:
+        """Re-run the Eq. 1 warm-up on the live pool (persistent runtime).
+
+        Uses the same deterministic receptor-box poses as the initial
+        warm-up but the *current* ligand's scorer, so the refreshed weights
+        reflect today's arithmetic, not ligand 0's. Call only between
+        launches.
+        """
+        if not self.persistent:
+            raise ScoringError("remeasure requires persistent=True")
+        if self._pool is None:
+            raise ScoringError("parallel evaluator is closed")
+        warm = self._warm if self._warm is not None else self._warmup_batch(
+            DEFAULT_WARMUP_POSES, DEFAULT_WARMUP_REPEATS
+        )
+        with obs.span("host.remeasure", workers=self.n_workers):
+            t0 = time.perf_counter()
+            with self._ready.get_lock():
+                self._ready.value = 0
+            futures = [
+                self._pool.submit(
+                    _measure_task, self._rebind_msg, warm, _WARMUP_TIMEOUT_S
+                )
+                for _ in range(self.n_workers)
+            ]
+            try:
+                for future in futures:
+                    future.result(timeout=_WARMUP_TIMEOUT_S)
+            except BrokenProcessPool as exc:
+                self.recycle()
+                raise ScoringError(
+                    f"host worker pool died during re-measure ({exc}); workers "
+                    "recycled, previous Eq. 1 weights kept"
+                ) from exc
+            elapsed = time.perf_counter() - t0
+        self.warmup_result = self._reduce_warmup(
+            np.array(self._slots[:], dtype=np.float64), elapsed, timed=True
+        )
+        self.weights = self.warmup_result.weights
+        self._drift_poses[:] = 0.0
+        obs.counter("host.warmup.remeasures").inc()
+        return self.warmup_result
+
+    def recycle(self) -> None:
+        """Replace every worker process; keep the staged receptor and weights.
+
+        The poisoned-ligand crash path: the broken pool is torn down, the
+        shared counters reset, and fresh workers are spawned *uninitialised*
+        (``spec=None`` — no restage, no warm-up). Each new worker rebuilds
+        its scorer lazily from the first rebind message it sees; the Eq. 1
+        weights survive unchanged (the hardware didn't change, the ligand
+        did).
+        """
+        if not self.persistent:
+            raise ScoringError("recycle requires persistent=True")
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        with self._claim.get_lock():
+            self._claim.value = 0
+        with self._ready.get_lock():
+            self._ready.value = 0
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=self._ctx,
+            initializer=_worker_init,
+            initargs=(None, self._claim, self._ready, self._slots, None),
+        )
+        barriers = [
+            self._pool.submit(_barrier_task, _WARMUP_TIMEOUT_S)
+            for _ in range(self.n_workers)
+        ]
+        try:
+            for future in barriers:
+                future.result(timeout=_WARMUP_TIMEOUT_S)
+        except BrokenProcessPool as exc:
+            self.close()
+            raise ScoringError(
+                f"host worker pool could not be recycled: {exc}"
+            ) from exc
+        obs.counter("host.pool.recycles").inc()
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -764,13 +1192,258 @@ class ParallelSpotEvaluator:
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
         self._stage.close()
+        if self._banks is not None:
+            for bank in self._banks:
+                bank.close()
 
     @property
     def segment_names(self) -> tuple[str, ...]:
         """Shared-memory segment names owned by this evaluator."""
-        return self._stage.segment_names
+        names = self._stage.segment_names
+        if self._banks is not None:
+            for bank in self._banks:
+                names += bank.segment_names
+        return names
 
     def __enter__(self) -> "ParallelSpotEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# campaign-owned persistent runtime
+# ----------------------------------------------------------------------
+class PersistentHostRuntime:
+    """One pool, one receptor, many ligands: the campaign's host runtime.
+
+    Owns a ``persistent`` :class:`ParallelSpotEvaluator` for the lifetime of
+    a screening campaign and exposes the pieces the screening layers need:
+
+    * :meth:`acquire` — rebind the pool to a ligand (lazily creating pool +
+      receptor staging + Eq. 1 warm-up on the first call) and hand back the
+      evaluator with a fresh launch trace.
+    * :meth:`hint_next` — name ligand *i+1* before docking *i*; a
+      single-thread stager binds it and stages it into the inactive slot
+      bank while the pool scores, so the next :meth:`acquire` is a swap.
+    * :meth:`evaluator_factory` — the ``dock(evaluator_factory=...)`` seam:
+      validates receptor/spots and delegates to :meth:`acquire`.
+
+    Warm-up reuse policy: the Eq. 1 measurement from pool start is reused
+    for every ligand (``host.warmup.reuses``); it is re-run after
+    ``remeasure_interval`` rebinds, or early when the observed per-worker
+    pose share drifts more than ``drift_threshold`` from the plan
+    (``host.warmup.remeasures``). A poisoned ligand that kills a worker
+    recycles the pool (``host.pool.recycles``) without restaging the
+    receptor or dropping the weights; the raised :class:`ScoringError`
+    flows into the campaign's existing retry machinery.
+    """
+
+    def __init__(
+        self,
+        receptor,
+        spots,
+        *,
+        n_workers: int,
+        mode: str = "static",
+        scoring=None,
+        prune_spots: bool = False,
+        warmup: bool = True,
+        remeasure_interval: int = DEFAULT_REMEASURE_INTERVAL,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        prefetch: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ScoringError(f"n_workers must be >= 1, got {n_workers}")
+        if mode not in ("static", "dynamic"):
+            raise ScoringError(f"mode must be 'static' or 'dynamic', got {mode!r}")
+        if remeasure_interval < 1:
+            raise ScoringError(
+                f"remeasure_interval must be >= 1, got {remeasure_interval}"
+            )
+        self.receptor = receptor
+        self.spots = list(spots)
+        self.n_workers = int(n_workers)
+        self.mode = mode
+        self.scoring = (
+            scoring
+            if scoring is not None
+            else CutoffLennardJonesScoring(dtype=np.float32)
+        )
+        self.prune_spots = bool(prune_spots)
+        self.warmup = bool(warmup)
+        self.remeasure_interval = int(remeasure_interval)
+        self.drift_threshold = float(drift_threshold)
+        self.ligands_bound = 0
+        self._evaluator: ParallelSpotEvaluator | None = None
+        self._active_ligand = None
+        self._next_hint = None
+        self._pending = None  # (hinted ligand, Future[(scorer, spec)])
+        self._since_measure = 0
+        self._closed = False
+        self._stager = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="ligand-stage")
+            if prefetch
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def evaluator(self) -> ParallelSpotEvaluator | None:
+        """The owned evaluator, or ``None`` before the first acquire."""
+        return self._evaluator
+
+    def _bind(self, ligand) -> BoundScorer:
+        scorer = self.scoring.bind(self.receptor, ligand)
+        if self.prune_spots:
+            scorer = prune_bound(scorer, self.spots)
+        return scorer
+
+    def _bind_and_stage(self, ligand):
+        """Stager-thread job: bind + stage into the inactive bank."""
+        scorer = self._bind(ligand)
+        return scorer, self._evaluator.stage_inactive(scorer)
+
+    def _take_prefetched(self, ligand):
+        """Resolve any pending prefetch; return its (scorer, spec) on a hit.
+
+        Always waits the pending future out — the stager thread must be
+        done writing the inactive bank before anyone restages it.
+        """
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return None
+        hinted, future = pending
+        try:
+            staged = future.result()
+        except Exception:
+            # e.g. a ligand poisoned at bind time: surface the error on the
+            # synchronous bind below, in its own dock's context
+            obs.counter("host.prefetch.misses").inc()
+            return None
+        if hinted is not ligand:
+            obs.counter("host.prefetch.misses").inc()
+            return None
+        obs.counter("host.prefetch.hits").inc()
+        return staged
+
+    def _kick_prefetch(self, current) -> None:
+        hint, self._next_hint = self._next_hint, None
+        if (
+            self._stager is None
+            or self._evaluator is None
+            or hint is None
+            or hint is current
+            or self._pending is not None
+        ):
+            return
+        self._pending = (hint, self._stager.submit(self._bind_and_stage, hint))
+
+    # ------------------------------------------------------------------
+    def hint_next(self, ligand) -> None:
+        """Name the ligand expected after the current one.
+
+        The prefetch itself starts at the end of the next :meth:`acquire`
+        (never before: the inactive bank belongs to the in-flight acquire
+        until it swaps banks).
+        """
+        self._next_hint = ligand
+
+    def acquire(self, ligand) -> ParallelSpotEvaluator:
+        """Rebind the pool to ``ligand`` and return the evaluator.
+
+        First call pays the full cost (pool spawn, receptor staging, Eq. 1
+        warm-up); every later call restages only the ligand-varying slots —
+        or just swaps banks when the prefetch already staged this ligand.
+        Re-acquiring the active ligand (a campaign retry) restages nothing.
+        """
+        if self._closed:
+            raise ScoringError("persistent host runtime is closed")
+        if self._evaluator is not None and self._active_ligand is ligand:
+            self._evaluator.reset_stats()
+            obs.counter("host.pool.reuses").inc()
+            self._kick_prefetch(ligand)
+            return self._evaluator
+        prefetched = self._take_prefetched(ligand)
+        if self._evaluator is None:
+            scorer = prefetched[0] if prefetched is not None else self._bind(ligand)
+            self._evaluator = ParallelSpotEvaluator(
+                scorer,
+                n_workers=self.n_workers,
+                mode=self.mode,
+                warmup=self.warmup,
+                persistent=True,
+            )
+            self._active_ligand = ligand
+            self.ligands_bound = 1
+            self._since_measure = 0
+            self._kick_prefetch(ligand)
+            return self._evaluator
+        t0 = time.perf_counter()
+        if prefetched is not None:
+            scorer, spec = prefetched
+            self._evaluator.activate(scorer, spec)
+        else:
+            self._evaluator.rebind(self._bind(ligand))
+        obs.histogram("host.rebind.seconds").observe(time.perf_counter() - t0)
+        self._active_ligand = ligand
+        self.ligands_bound += 1
+        self._since_measure += 1
+        if self.warmup and (
+            self._since_measure >= self.remeasure_interval
+            or self._evaluator.share_drift() > self.drift_threshold
+        ):
+            self._evaluator.remeasure()
+            self._since_measure = 0
+        else:
+            obs.counter("host.warmup.reuses").inc()
+        self._kick_prefetch(ligand)
+        return self._evaluator
+
+    def evaluator_factory(self, receptor, ligand, spots) -> ParallelSpotEvaluator:
+        """The ``dock(evaluator_factory=...)`` seam.
+
+        Validates that dock was called for the receptor/spots this runtime
+        staged, then rebinds the pool to ``ligand``. The evaluator stays
+        owned by the runtime — ``dock()`` must not close it.
+        """
+        if receptor is not self.receptor and not np.array_equal(
+            receptor.coords, self.receptor.coords
+        ):
+            raise ScoringError(
+                "persistent host runtime was staged for a different receptor"
+            )
+        mine = [s.index for s in self.spots]
+        theirs = [s.index for s in spots]
+        if mine != theirs:
+            raise ScoringError(
+                f"persistent host runtime was staged for spots {mine}, "
+                f"dock() was called with {theirs}"
+            )
+        return self.acquire(ligand)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the stager thread and the pool; unlink everything. Idempotent."""
+        self._closed = True
+        stager, self._stager = self._stager, None
+        if stager is not None:
+            stager.shutdown(wait=True, cancel_futures=True)
+        self._pending = None
+        self._next_hint = None
+        self._active_ligand = None
+        evaluator, self._evaluator = self._evaluator, None
+        if evaluator is not None:
+            evaluator.close()
+
+    def __enter__(self) -> "PersistentHostRuntime":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -49,6 +49,7 @@ def dock(
     host_workers: int = 0,
     parallel_mode: str = "static",
     prune_spots: bool = False,
+    evaluator_factory=None,
 ) -> DockingResult:
     """Dock ``ligand`` against every surface spot of ``receptor``.
 
@@ -88,6 +89,14 @@ def dock(
         Wrap the scorer with per-spot receptor pruning
         (:mod:`repro.scoring.pruned`): exact for the default cutoff scoring,
         bounded-error for dense LJ.
+    evaluator_factory:
+        Externally-owned runtime seam: a callable ``(receptor, ligand,
+        spots) -> Evaluator`` (e.g.
+        :meth:`repro.engine.host_runtime.PersistentHostRuntime.evaluator_factory`).
+        When given it takes precedence over ``scoring``/``host_workers``/
+        ``parallel_mode``/``prune_spots`` — binding and pooling belong to
+        the owner — and the evaluator is *not* closed here; its lifecycle
+        stays with the caller (a campaign keeps one pool across ligands).
 
     Returns
     -------
@@ -100,18 +109,26 @@ def dock(
         spots = find_spots(receptor, n_spots)
     if not spots:
         raise ReproError("docking needs at least one spot")
-    scoring = scoring if scoring is not None else CutoffLennardJonesScoring(dtype=np.float32)
-    scorer = scoring.bind(receptor, ligand)
-    if prune_spots:
-        scorer = prune_bound(scorer, spots)
     spec = _resolve_spec(metaheuristic, workload_scale)
 
-    if host_workers > 0:
-        evaluator = ParallelSpotEvaluator(
-            scorer, n_workers=host_workers, mode=parallel_mode
-        )
+    if evaluator_factory is not None:
+        evaluator = evaluator_factory(receptor, ligand, spots)
+        owns_evaluator = False
     else:
-        evaluator = SerialEvaluator(scorer)
+        scoring = (
+            scoring if scoring is not None else CutoffLennardJonesScoring(dtype=np.float32)
+        )
+        scorer = scoring.bind(receptor, ligand)
+        if prune_spots:
+            scorer = prune_bound(scorer, spots)
+        if host_workers > 0:
+            evaluator = ParallelSpotEvaluator(
+                scorer, n_workers=host_workers, mode=parallel_mode
+            )
+            owns_evaluator = True
+        else:
+            evaluator = SerialEvaluator(scorer)
+            owns_evaluator = False
     ctx = SearchContext(
         spots=spots,
         evaluator=evaluator,
@@ -122,16 +139,21 @@ def dock(
             "vs.dock", metaheuristic=spec.name, host_workers=host_workers
         ):
             result = run_metaheuristic(spec, ctx)
+        # Read the launch trace before any close: an externally-owned
+        # evaluator may be rebound to the next ligand the moment this
+        # returns, and an owned one is closed in the finally below.
+        evaluations = evaluator.stats.n_conformations
+        launches = evaluator.stats.launches
+        obs.counter("vs.dock.evaluations").inc(evaluations)
     finally:
-        if isinstance(evaluator, ParallelSpotEvaluator):
+        if owns_evaluator:
             evaluator.close()
     obs.counter("vs.docks").inc()
-    obs.counter("vs.dock.evaluations").inc(evaluator.stats.n_conformations)
 
     simulated = float("nan")
     if node is not None:
         executor = MultiGpuExecutor(node, seed=seed)
-        timing, _ = executor.replay(evaluator.stats.launches, mode)
+        timing, _ = executor.replay(launches, mode)
         simulated = timing.total_s
 
     return DockingResult(
@@ -139,7 +161,7 @@ def dock(
         ligand=ligand,
         best=result.best,
         per_spot=result.best_per_spot,
-        evaluations=evaluator.stats.n_conformations,
+        evaluations=evaluations,
         metaheuristic=spec.name,
         simulated_seconds=simulated,
     )

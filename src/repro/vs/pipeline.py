@@ -45,6 +45,16 @@ class PipelineConfig:
         Execution mode used for simulated timing.
     seed:
         Base seed for all stochastic stages.
+    host_workers:
+        When > 0, score on real worker processes (bitwise identical to the
+        serial path).
+    parallel_mode:
+        ``"static"`` or ``"dynamic"`` host scheduling (with
+        ``host_workers > 0``).
+    persistent_pool:
+        Keep one pool/receptor-staging/warm-up across a whole
+        :meth:`VirtualScreeningPipeline.screen` library (default); False
+        builds a fresh evaluator per ligand.
     """
 
     n_spots: int = 16
@@ -52,6 +62,9 @@ class PipelineConfig:
     workload_scale: float = 1.0
     mode: str = "gpu-heterogeneous"
     seed: int = 0
+    host_workers: int = 0
+    parallel_mode: str = "static"
+    persistent_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.n_spots < 1:
@@ -59,6 +72,15 @@ class PipelineConfig:
         if self.mode not in EXECUTION_MODES:
             raise ReproError(
                 f"unknown mode {self.mode!r}; choose from {EXECUTION_MODES}"
+            )
+        if self.host_workers < 0:
+            raise ReproError(
+                f"host_workers must be >= 0, got {self.host_workers}"
+            )
+        if self.parallel_mode not in ("static", "dynamic"):
+            raise ReproError(
+                "parallel_mode must be 'static' or 'dynamic', "
+                f"got {self.parallel_mode!r}"
             )
 
 
@@ -114,6 +136,8 @@ class VirtualScreeningPipeline:
             workload_scale=self.config.workload_scale,
             node=self.node,
             mode=self.config.mode,
+            host_workers=self.config.host_workers,
+            parallel_mode=self.config.parallel_mode,
         )
 
     def screen(self, receptor: Receptor, ligands: list[Ligand]) -> ScreeningReport:
@@ -128,6 +152,9 @@ class VirtualScreeningPipeline:
             workload_scale=self.config.workload_scale,
             node=self.node,
             mode=self.config.mode,
+            host_workers=self.config.host_workers,
+            parallel_mode=self.config.parallel_mode,
+            persistent_pool=self.config.persistent_pool,
         )
 
     def compare_modes(

@@ -55,6 +55,7 @@ def screen(
     host_workers: int = 0,
     parallel_mode: str = "static",
     prune_spots: bool = False,
+    persistent_pool: bool = True,
 ) -> ScreeningReport:
     """Screen a ligand library against the receptor surface.
 
@@ -64,7 +65,12 @@ def screen(
     their finite sum in ``report.simulated_seconds``. ``host_workers``/
     ``parallel_mode``/``prune_spots`` pass through to
     :func:`repro.vs.docking.dock` — real process-parallel scoring with
-    bitwise-identical rankings.
+    bitwise-identical rankings. With ``host_workers > 0`` the worker pool,
+    staged receptor and Eq. 1 warm-up persist across the whole library
+    (``persistent_pool=True``, the default: each ligand is a slot rebind,
+    not a pool spawn); ``persistent_pool=False`` restores the
+    fresh-evaluator-per-ligand path — scores are bitwise identical either
+    way.
 
     ``ligands`` may be any iterable — a generator streams through without
     ever being materialised. This is a thin wrapper over a one-shot
@@ -98,6 +104,7 @@ def screen(
         host_workers=host_workers,
         parallel_mode=parallel_mode,
         prune_spots=prune_spots,
+        persistent_pool=persistent_pool,
         max_attempts=1,
         raise_on_failure=True,
     )

@@ -9,10 +9,12 @@ the real process-parallel host runtime (1 and 4 workers).
 """
 
 import math
+import os
 
 import pytest
 
 import repro.campaign.runner as runner_mod
+from repro import observability as obs
 from repro.campaign import CampaignRunner, SyntheticSource
 from repro.errors import CampaignError
 from repro.vs.docking import dock as real_dock
@@ -130,6 +132,89 @@ def test_kill_mid_shard_then_resume_is_bitwise_identical(
         assert store.counts()["done"] == N_LIGANDS
         # Bitwise-identical final ranking (scores compared exactly).
         assert ranking(store) == expected
+
+
+def test_persistent_pool_matches_fresh_pool_and_serial_bitwise(receptor, tmp_path):
+    # One pool reused across the campaign, a fresh pool per ligand, and the
+    # plain serial path must agree on every float.
+    warmups = obs.counter("host.warmups").value
+    with make_runner(
+        receptor, tmp_path, name="persistent.sqlite", host_workers=2
+    ).run() as store:
+        persistent = ranking(store)
+    # The whole campaign paid exactly one pool spawn + receptor staging.
+    assert obs.counter("host.warmups").value == warmups + 1
+    with make_runner(
+        receptor, tmp_path, name="fresh.sqlite", host_workers=2,
+        persistent_pool=False,
+    ).run() as store:
+        fresh = ranking(store)
+    with make_runner(receptor, tmp_path, name="serial.sqlite").run() as store:
+        serial = ranking(store)
+    assert persistent == fresh == serial
+
+
+def test_kill_mid_shard_resume_with_persistent_pool_matches_fresh(
+    receptor, tmp_path, monkeypatch
+):
+    # Fresh-pool-per-ligand reference ranking.
+    with make_runner(
+        receptor, tmp_path, name="fresh.sqlite", host_workers=2,
+        persistent_pool=False,
+    ).run() as store:
+        expected = ranking(store)
+
+    # Kill a persistent-pool campaign mid-shard...
+    spy = DockSpy(interrupt_before_call=4)
+    monkeypatch.setattr(runner_mod, "dock", spy)
+    runner = make_runner(
+        receptor, tmp_path, name="kill.sqlite", host_workers=2
+    )
+    with pytest.raises(KeyboardInterrupt):
+        runner.run()
+    assert spy.ordinals == [0, 1, 2]
+    assert runner._runtime is None  # the crash path closed the pool
+
+    # ...and resume with a persistent pool: only ordinals 3 and 4 are
+    # docked, and the ranking is bitwise identical to the fresh-pool run.
+    resume_spy = DockSpy()
+    monkeypatch.setattr(runner_mod, "dock", resume_spy)
+    with make_runner(
+        receptor, tmp_path, name="kill.sqlite", host_workers=2
+    ).resume() as store:
+        assert resume_spy.ordinals == [3, 4]
+        assert store.is_complete()
+        assert ranking(store) == expected
+
+
+def test_worker_death_recycles_pool_without_restaging(receptor, tmp_path):
+    # A ligand whose dock kills a worker must not poison the pool: the
+    # campaign recycles the workers, keeps the staged receptor and Eq. 1
+    # weights, retries the ligand, and finishes with nothing failed.
+    warmups = obs.counter("host.warmups").value
+    recycles = obs.counter("host.pool.recycles").value
+    runner = make_runner(receptor, tmp_path, host_workers=2, max_attempts=2)
+    killed = []
+
+    def sabotage(receptor_arg, ligand, **kwargs):
+        if kwargs["seed"] - SEED == 1 and not killed:
+            killed.append(True)
+            runner._runtime.evaluator._pool.submit(os._exit, 1)
+        return real_dock(receptor_arg, ligand, **kwargs)
+
+    original_dock = runner_mod.dock
+    runner_mod.dock = sabotage
+    try:
+        with runner.run() as store:
+            counts = store.counts()
+            assert counts["done"] == N_LIGANDS
+            assert counts["failed"] == 0
+    finally:
+        runner_mod.dock = original_dock
+    assert killed  # the sabotage actually fired
+    assert obs.counter("host.pool.recycles").value == recycles + 1
+    # Receptor staging + warm-up happened exactly once despite the crash.
+    assert obs.counter("host.warmups").value == warmups + 1
 
 
 def test_kill_then_resume_without_journal_uses_store(receptor, tmp_path, monkeypatch):

@@ -14,8 +14,10 @@ from multiprocessing import shared_memory
 import numpy as np
 import pytest
 
+from repro import observability as obs
 from repro.engine.host_runtime import (
     ParallelSpotEvaluator,
+    PersistentHostRuntime,
     SharedArrayStage,
     rebuild_scorer,
     stage_scorer,
@@ -172,6 +174,171 @@ def test_stage_rebuild_round_trip_bitwise(receptor, ligand, spots, pose_batch, k
     finally:
         stage.close()
     _assert_no_segments(stage.segment_names)
+
+
+# ----------------------------------------------------------------------
+# persistent campaign runtime: rebind protocol, recycle, warm-up reuse
+# ----------------------------------------------------------------------
+
+
+def _cutoff(receptor, ligand):
+    return CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand)
+
+
+def _ligands(sizes, base_seed=50):
+    from repro.molecules.synthetic import generate_ligand
+
+    return [generate_ligand(n, seed=base_seed + n) for n in sizes]
+
+
+def test_persistent_rebind_matches_serial_across_ligands(receptor, launch):
+    # 40 atoms after 14 forces the ligand slot bank to outgrow and retire
+    # its original segments mid-campaign.
+    ligands = _ligands((14, 18, 40))
+    spot_ids, t, q = launch
+    warmups = obs.counter("host.warmups").value
+    reuses = obs.counter("host.pool.reuses").value
+    ev = ParallelSpotEvaluator(
+        _cutoff(receptor, ligands[0]), n_workers=2, persistent=True
+    )
+    names = ()
+    try:
+        receptor_segments = ev._stage.segment_names
+        for i, lig in enumerate(ligands):
+            scorer = _cutoff(receptor, lig)
+            if i:
+                ev.rebind(scorer)
+            serial = SerialEvaluator(scorer).evaluate(spot_ids, t, q)
+            assert np.array_equal(ev.evaluate(spot_ids, t, q), serial)
+            # The receptor tables are staged once and never move.
+            assert ev._stage.segment_names == receptor_segments
+        assert obs.counter("host.warmups").value == warmups + 1
+        assert obs.counter("host.pool.reuses").value == reuses + 2
+        names = ev.segment_names
+    finally:
+        ev.close()
+    _assert_no_segments(names)
+
+
+def test_worker_crash_recycles_pool_and_keeps_receptor(receptor, ligand, launch):
+    spot_ids, t, q = launch
+    scorer = _cutoff(receptor, ligand)
+    serial = SerialEvaluator(scorer).evaluate(spot_ids, t, q)
+    recycles = obs.counter("host.pool.recycles").value
+    warmups = obs.counter("host.warmups").value
+    ev = ParallelSpotEvaluator(scorer, n_workers=2, persistent=True)
+    try:
+        names = ev.segment_names
+        ev._pool.submit(os._exit, 1)
+        with pytest.raises(ScoringError, match="recycled"):
+            for _ in range(50):
+                ev.evaluate(spot_ids, t, q)
+        # The pool was replaced in place: every staged segment survives...
+        for name in names:
+            shared_memory.SharedMemory(name=name).close()
+        assert obs.counter("host.pool.recycles").value == recycles + 1
+        # ...and the fresh workers rebuild lazily from the rebind message —
+        # no restage, no new warm-up, bitwise-identical energies.
+        ev.reset_stats()
+        assert np.array_equal(ev.evaluate(spot_ids, t, q), serial)
+        assert obs.counter("host.warmups").value == warmups + 1
+    finally:
+        ev.close()
+    _assert_no_segments(names)
+
+
+def test_persistent_runtime_reuses_then_remeasures_warmup(receptor, spots, launch):
+    spot_ids, t, q = launch
+    ligands = _ligands((10, 11, 12, 13), base_seed=80)
+    reuses = obs.counter("host.warmup.reuses").value
+    remeasures = obs.counter("host.warmup.remeasures").value
+    with PersistentHostRuntime(
+        receptor,
+        spots,
+        n_workers=2,
+        remeasure_interval=3,
+        drift_threshold=2.0,  # unreachable: only the interval can trigger
+        prefetch=False,
+    ) as rt:
+        for lig in ligands:
+            ev = rt.acquire(lig)
+            serial = SerialEvaluator(rt._bind(lig)).evaluate(spot_ids, t, q)
+            assert np.array_equal(ev.evaluate(spot_ids, t, q), serial)
+        assert rt.ligands_bound == len(ligands)
+    # Ligand 0 pays the initial warm-up; rebinds 1 and 2 reuse it; rebind 3
+    # hits the interval and re-measures.
+    assert obs.counter("host.warmup.reuses").value == reuses + 2
+    assert obs.counter("host.warmup.remeasures").value == remeasures + 1
+
+
+def test_persistent_runtime_prefetch_stages_next_ligand(receptor, spots, launch):
+    spot_ids, t, q = launch
+    ligands = _ligands((9, 12, 15), base_seed=70)
+    hits = obs.counter("host.prefetch.hits").value
+    with PersistentHostRuntime(receptor, spots, n_workers=2) as rt:
+        for i, lig in enumerate(ligands):
+            if i + 1 < len(ligands):
+                rt.hint_next(ligands[i + 1])
+            ev = rt.acquire(lig)
+            serial = SerialEvaluator(rt._bind(lig)).evaluate(spot_ids, t, q)
+            assert np.array_equal(ev.evaluate(spot_ids, t, q), serial)
+    # Ligands 1 and 2 were bound + staged by the stager thread while their
+    # predecessors were active.
+    assert obs.counter("host.prefetch.hits").value == hits + 2
+
+
+def test_persistent_runtime_same_ligand_reacquire_restages_nothing(
+    receptor, spots, ligand, launch
+):
+    spot_ids, t, q = launch
+    with PersistentHostRuntime(receptor, spots, n_workers=1, prefetch=False) as rt:
+        first = rt.acquire(ligand)
+        first.evaluate(spot_ids, t, q)
+        assert first.stats.n_launches == 1
+        again = rt.acquire(ligand)  # a campaign retry of the active ligand
+        assert again is first
+        assert again.stats.n_launches == 0  # fresh trace for the retry
+        assert rt.ligands_bound == 1
+    with pytest.raises(ScoringError, match="closed"):
+        rt.acquire(ligand)
+
+
+def test_evaluator_factory_validates_receptor_and_spots(receptor, spots, ligand):
+    from repro.molecules.synthetic import generate_receptor
+
+    other = generate_receptor(120, seed=99)
+    rt = PersistentHostRuntime(receptor, spots, n_workers=1, prefetch=False)
+    try:
+        with pytest.raises(ScoringError, match="different receptor"):
+            rt.evaluator_factory(other, ligand, spots)
+        with pytest.raises(ScoringError, match="spots"):
+            rt.evaluator_factory(receptor, ligand, spots[:2])
+    finally:
+        rt.close()
+
+
+def test_dock_with_persistent_runtime_matches_serial(receptor, spots):
+    from repro.vs.docking import dock
+
+    ligands = _ligands((10, 12), base_seed=90)
+    with PersistentHostRuntime(receptor, spots, n_workers=2) as rt:
+        for i, lig in enumerate(ligands):
+            persistent = dock(
+                receptor, lig, spots=spots, metaheuristic="M1", seed=7 + i,
+                workload_scale=0.05, evaluator_factory=rt.evaluator_factory,
+            )
+            serial = dock(
+                receptor, lig, spots=spots, metaheuristic="M1", seed=7 + i,
+                workload_scale=0.05,
+            )
+            assert persistent.best_score == serial.best_score
+            assert [p.score for p in persistent.per_spot] == [
+                p.score for p in serial.per_spot
+            ]
+            assert persistent.evaluations == serial.evaluations
+        # dock() must not have closed the campaign-owned evaluator.
+        assert rt.evaluator is not None
+        assert rt.evaluator._pool is not None
 
 
 def test_dock_parity_with_host_workers(receptor, ligand):
