@@ -64,7 +64,11 @@ __all__ = ["CampaignRunner", "CampaignProgress", "campaign_config", "config_hash
 #: Config keys that affect the science (scores/ranking); the hash covers
 #: exactly these. Execution knobs (host workers, balancing mode, node model)
 #: may change freely between run and resume — results are bitwise identical
-#: either way.
+#: either way. Autotuning is hashed by the *content* of its calibration
+#: table, not the file path: a different table selects different kernels
+#: (low-order bits move with the GEMM shape), so a resume must replay the
+#: same selections; with autotune off both keys are omitted, keeping hashes
+#: of pre-autotune stores valid.
 HASHED_KEYS = (
     "receptor_hash",
     "library",
@@ -75,6 +79,8 @@ HASHED_KEYS = (
     "workload_scale",
     "shard_size",
     "prune_spots",
+    "autotune",
+    "calibration_hash",
 )
 
 
@@ -109,6 +115,8 @@ def campaign_config(
     node: NodeSpec | None,
     mode: str,
     receptor_descriptor: dict | None = None,
+    autotune: bool = False,
+    calibration_hash: str | None = None,
 ) -> dict:
     """Build the JSON-serialisable campaign configuration record."""
     spec_name = (
@@ -119,7 +127,7 @@ def campaign_config(
     scoring_name = (
         None if scoring is None else getattr(scoring, "name", type(scoring).__name__)
     )
-    return {
+    config = {
         "schema_version": 1,
         "receptor_hash": receptor_fingerprint(receptor),
         "receptor_title": receptor.title or "receptor",
@@ -135,6 +143,11 @@ def campaign_config(
         "node": None if node is None else node.name,
         "mode": mode,
     }
+    if autotune:
+        # Omitted entirely when off, so pre-autotune store hashes stay valid.
+        config["autotune"] = True
+        config["calibration_hash"] = calibration_hash
+    return config
 
 
 def config_hash(config: dict) -> str:
@@ -172,6 +185,9 @@ class CampaignRunner:
         parallel_mode: str = "static",
         prune_spots: bool = False,
         persistent_pool: bool = True,
+        autotune=False,
+        calibration_file: str | Path | None = None,
+        refine_calibration: bool = False,
         max_attempts: int = 3,
         backoff_base: float = 0.1,
         sleep: Callable[[float], None] = time.sleep,
@@ -208,6 +224,46 @@ class CampaignRunner:
         self.prune_spots = prune_spots
         self.persistent_pool = bool(persistent_pool)
         self._runtime: PersistentHostRuntime | None = None
+        # --- input-aware kernel autotuning -----------------------------
+        # `autotune` is False, True (load `calibration_file`), or a
+        # ready-made AutotuneController (screen()/tests share one). The
+        # controller is built here so the table's content hash can enter
+        # the campaign config before any store is created.
+        from repro.scoring.autotune import AutotuneController, CalibrationTable
+
+        self.calibration_file = (
+            None if calibration_file is None else str(calibration_file)
+        )
+        self.refine_calibration = bool(refine_calibration)
+        self._autotune: AutotuneController | None = None
+        calibration_hash = None
+        if isinstance(autotune, AutotuneController):
+            self._autotune = autotune
+        elif autotune:
+            if self.calibration_file is None:
+                raise CampaignError(
+                    "autotune=True needs a calibration_file "
+                    "(write one with `repro-vs calibrate`)"
+                )
+            try:
+                table = CalibrationTable.load(self.calibration_file)
+            except Exception as exc:
+                raise CampaignError(str(exc)) from exc
+            self._autotune = AutotuneController(table, prune_spots=bool(prune_spots))
+        self.autotune = self._autotune is not None
+        if self._autotune is not None:
+            calibration_hash = hashlib.sha256(
+                json.dumps(
+                    self._autotune.selector.table.to_json(), sort_keys=True
+                ).encode()
+            ).hexdigest()
+        if self.refine_calibration and (
+            not self.autotune or self.calibration_file is None
+        ):
+            raise CampaignError(
+                "refine_calibration needs autotune plus a calibration_file "
+                "to write the refined table back to"
+            )
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self._sleep = sleep
@@ -226,6 +282,8 @@ class CampaignRunner:
             node=node,
             mode=mode,
             receptor_descriptor=receptor_descriptor,
+            autotune=self.autotune,
+            calibration_hash=calibration_hash,
         )
         self.config_hash = config_hash(self.config)
 
@@ -262,7 +320,8 @@ class CampaignRunner:
                         f"config hash {store.config_hash[:12]}… but resume was "
                         f"given {self.config_hash[:12]}…. Receptor, library, "
                         "seed, spots, metaheuristic, scoring, workload scale, "
-                        "shard size and pruning must all match the original run."
+                        "shard size, pruning and autotune calibration must "
+                        "all match the original run."
                     )
                 state = (
                     self.journal.replay() if self.journal is not None else None
@@ -318,6 +377,7 @@ class CampaignRunner:
                         mode=self.parallel_mode,
                         scoring=self.scoring,
                         prune_spots=self.prune_spots,
+                        autotune=self._autotune,
                     )
                 for shard, items in iter_shards(self.source, self.shard_size):
                     titled = [
@@ -372,6 +432,14 @@ class CampaignRunner:
                 store.mark_complete(n_streamed)
                 if self.journal is not None:
                     self.journal.campaign_finish(n_streamed)
+                if (
+                    self._autotune is not None
+                    and self.refine_calibration
+                    and self.calibration_file is not None
+                ):
+                    # Only on clean completion: a crashed campaign must not
+                    # overwrite the table its resume will be hashed against.
+                    self._autotune.refined_table().save(self.calibration_file)
             except BaseException:
                 # Crash path: everything committed so far is durable; close the
                 # connection so the WAL checkpoints cleanly, then let it fly.
@@ -415,6 +483,7 @@ class CampaignRunner:
                         if self._runtime is None
                         else self._runtime.evaluator_factory
                     ),
+                    autotune=self._autotune,
                 )
             except Exception as exc:
                 if attempt >= self.max_attempts:
@@ -434,6 +503,8 @@ class CampaignRunner:
             wall_s = time.perf_counter() - t0
             obs.counter("campaign.ligands.done").inc()
             obs.histogram("campaign.dock.seconds").observe(wall_s)
+            if self._autotune is not None:
+                self._observe_throughput(result, wall_s)
             store.record_result(
                 ordinal,
                 title,
@@ -446,6 +517,25 @@ class CampaignRunner:
             )
             return True
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _observe_throughput(self, result, wall_s: float) -> None:
+        """Feed measured poses/s back into the autotune controller.
+
+        Prefers the per-worker telemetry gauges (they exclude campaign
+        overhead: staging, store writes, journal flushes); falls back to
+        evaluations / wall-clock when no worker gauge carries a sample —
+        the serial path, or a run without the persistent pool.
+        """
+        rate = 0.0
+        for w in range(self.host_workers):
+            g = obs.gauge("host.worker.poses_per_s", worker=w)
+            v = float(getattr(g, "value", 0.0) or 0.0)
+            if v > 0.0:
+                rate += v
+        if rate <= 0.0 and wall_s > 0.0:
+            rate = result.evaluations / wall_s
+        if rate > 0.0:
+            self._autotune.observe(rate)
 
     def _emit_progress(
         self,

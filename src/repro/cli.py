@@ -11,6 +11,8 @@ Subcommands:
 * ``metrics`` — inspect/convert a telemetry snapshot (``show``: text
   summary, JSON, Prometheus textfile, or Chrome/Perfetto trace), or put it
   behind an HTTP scrape endpoint (``serve``).
+* ``calibrate`` — sweep the scoring kernel variants over a grid of complex
+  sizes and write the calibration table that ``--autotune`` consumes.
 * ``bench`` — benchmark artifact tooling (``compare``: regression-gate two
   ``BENCH_*.json`` artifact sets).
 * ``tables`` — regenerate the paper's Tables 6–9 (simulated seconds).
@@ -88,6 +90,34 @@ def _add_host_runtime_args(
             help="spawn a fresh worker pool per ligand instead of keeping "
             "one persistent pool (receptor staging + Eq. 1 warm-up) for the "
             "whole run; scores are bitwise identical either way",
+        )
+
+
+def _add_autotune_args(sub: argparse.ArgumentParser, refine_flag: bool = False) -> None:
+    """Input-aware kernel-selection flags (``repro-vs calibrate`` output).
+
+    ``refine_flag`` adds ``--refine-calibration`` for campaign runs, where
+    online throughput observations can be persisted for the next campaign.
+    """
+    sub.add_argument(
+        "--autotune",
+        action="store_true",
+        help="pick the scoring kernel variant and chunk size per complex "
+        "size from a calibration table (requires --calibration-file); "
+        "scores stay bitwise identical to the serial reference path",
+    )
+    sub.add_argument(
+        "--calibration-file",
+        metavar="PATH",
+        help="calibration table written by `repro-vs calibrate`",
+    )
+    if refine_flag:
+        sub.add_argument(
+            "--refine-calibration",
+            action="store_true",
+            help="on clean completion, write throughput-refined cell "
+            "expectations back to --calibration-file for the next campaign "
+            "(selections never change mid-campaign)",
         )
 
 
@@ -191,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dock.add_argument("--max-torsions", type=int, default=6)
     _add_host_runtime_args(dock)
+    _add_autotune_args(dock)
     _add_metrics_args(dock)
 
     scr = sub.add_parser("screen", help="screen a synthetic ligand library")
@@ -202,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     scr.add_argument("--seed", type=int, default=0)
     scr.add_argument("--node", choices=("jupiter", "hertz"), default="hertz")
     _add_host_runtime_args(scr, pool_flag=True)
+    _add_autotune_args(scr)
     _add_metrics_args(scr)
 
     camp = sub.add_parser(
@@ -241,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="docking attempts per ligand before it is recorded as failed",
     )
     _add_host_runtime_args(crun, pool_flag=True)
+    _add_autotune_args(crun, refine_flag=True)
     _add_metrics_args(crun)
     _add_campaign_observability_args(crun)
 
@@ -258,6 +291,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="spawn a fresh worker pool per ligand instead of one "
         "persistent pool for the rest of the campaign",
     )
+    # Autotuned campaigns are score-affecting config: resuming one needs
+    # the same calibration file so the config hash matches the store.
+    _add_autotune_args(cres, refine_flag=True)
     _add_metrics_args(cres)
     _add_campaign_observability_args(cres)
 
@@ -278,6 +314,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="json = full streaming dump, csv = per-ligand rows, "
         "report = ScreeningReport.to_json() of completed ligands",
     )
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="measure kernel-variant throughput over a grid of complex "
+        "sizes and write the table that --autotune consumes",
+    )
+    cal.add_argument("--out", required=True, help="calibration table JSON path")
+    cal.add_argument(
+        "--receptor-atoms",
+        type=_positive_int,
+        nargs="+",
+        default=[256, 1000, 3264],
+        metavar="N",
+        help="receptor sizes to sweep (default: 256 1000 3264 — the "
+        "paper's 2BSM/2BXG scale plus a small cell)",
+    )
+    cal.add_argument(
+        "--ligand-atoms",
+        type=_positive_int,
+        nargs="+",
+        default=[16, 32, 48],
+        metavar="N",
+        help="ligand sizes to sweep (default: 16 32 48)",
+    )
+    cal.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        nargs="+",
+        default=[0],
+        metavar="N",
+        help="host worker counts to sweep (0 = serial; default: 0)",
+    )
+    cal.add_argument(
+        "--families",
+        choices=("exact", "cutoff-float32", "cutoff-float64"),
+        nargs="+",
+        default=["exact", "cutoff-float32"],
+        help="numerics families to calibrate (default: exact cutoff-float32)",
+    )
+    cal.add_argument(
+        "--poses",
+        type=_positive_int,
+        default=256,
+        help="poses per timing batch (default 256)",
+    )
+    cal.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="timing repeats per candidate; best-of is recorded (default 3)",
+    )
+    cal.add_argument("--seed", type=int, default=0)
 
     met = sub.add_parser(
         "metrics", help="inspect or serve telemetry snapshots"
@@ -411,6 +499,8 @@ def _cmd_dock(args: argparse.Namespace) -> int:
         host_workers=args.host_workers,
         parallel_mode=args.parallel_mode,
         prune_spots=args.prune_spots,
+        autotune=args.autotune,
+        calibration_file=args.calibration_file,
     )
     print(
         f"best score {result.best_score:.3f} kcal/mol at spot "
@@ -447,6 +537,8 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         parallel_mode=args.parallel_mode,
         prune_spots=args.prune_spots,
         persistent_pool=not args.fresh_pool,
+        autotune=args.autotune,
+        calibration_file=args.calibration_file,
     )
     print(report.to_text())
     _maybe_write_metrics(args)
@@ -615,6 +707,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             parallel_mode=args.parallel_mode,
             prune_spots=args.prune_spots,
             persistent_pool=not args.fresh_pool,
+            autotune=args.autotune,
+            calibration_file=args.calibration_file,
+            refine_calibration=args.refine_calibration,
             max_attempts=args.max_attempts,
             progress=progress_cb,
             receptor_descriptor=receptor_descriptor,
@@ -686,6 +781,9 @@ def _rebuild_campaign_runner(args: argparse.Namespace, progress=None):
         parallel_mode=args.parallel_mode,
         prune_spots=bool(config["prune_spots"]),
         persistent_pool=not args.fresh_pool,
+        autotune=args.autotune or bool(config.get("autotune", False)),
+        calibration_file=args.calibration_file,
+        refine_calibration=args.refine_calibration,
         max_attempts=args.max_attempts,
         progress=progress,
         receptor_descriptor=receptor_desc,
@@ -775,6 +873,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         "export": _cmd_campaign_export,
     }
     return commands[args.campaign_command](args)
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.scoring.autotune import run_calibration_sweep
+
+    table = run_calibration_sweep(
+        receptor_atoms=tuple(args.receptor_atoms),
+        ligand_atoms=tuple(args.ligand_atoms),
+        worker_counts=tuple(args.workers),
+        families=tuple(args.families),
+        poses=args.poses,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    table.save(args.out)
+    print(
+        f"calibrated {len(table.cells)} cells "
+        f"({len(args.receptor_atoms)} receptor x {len(args.ligand_atoms)} "
+        f"ligand sizes, workers {args.workers}, "
+        f"families {' '.join(args.families)})"
+    )
+    header = f"{'receptor':>9s} {'ligand':>7s} {'workers':>7s}  {'family':<15s} {'variant':<22s} {'chunk':>6s} {'poses/s':>12s}"
+    print(header)
+    for cell in table.cells:
+        print(
+            f"{cell.receptor_atoms:9d} {cell.ligand_atoms:7d} "
+            f"{cell.worker_count:7d}  {cell.family:<15s} "
+            f"{cell.variant:<22s} {cell.chunk_size:6d} "
+            f"{cell.poses_per_s:12.0f}"
+        )
+    print(f"wrote calibration table to {args.out}")
+    return 0
 
 
 def _cmd_metrics_show(args: argparse.Namespace) -> int:
@@ -965,6 +1095,7 @@ def main(argv: list[str] | None = None) -> int:
         "dock": _cmd_dock,
         "screen": _cmd_screen,
         "campaign": _cmd_campaign,
+        "calibrate": _cmd_calibrate,
         "metrics": _cmd_metrics,
         "bench": _cmd_bench,
         "tables": _cmd_tables,

@@ -64,6 +64,7 @@ from repro.errors import ScoringError
 from repro.metaheuristics.evaluation import EvaluationStats, LaunchRecord
 from repro.molecules.transforms import normalize_quaternion
 from repro.scoring.base import BoundScorer
+from repro.scoring.batched import BoundBatchedLJ
 from repro.scoring.cutoff import BoundCutoffLennardJones, CutoffLennardJonesScoring
 from repro.scoring.lennard_jones import BoundLennardJones
 from repro.scoring.pruned import BoundSpotPruned, prune_bound
@@ -357,6 +358,20 @@ def stage_scorer(
             "epsilon4": varying("epsilon4", scorer._epsilon4),
             "ligand_coords": varying("ligand_coords", scorer.ligand_coords),
         }
+    if isinstance(scorer, BoundBatchedLJ):
+        # The tuned chunk_size rides in the spec, so persistent-pool rebind
+        # messages carry the autotuner's (variant, chunk_size) decision and
+        # workers rebuild exactly the kernel the parent selected.
+        return {
+            "kind": "batched",
+            "n_receptor": scorer.receptor.n_atoms,
+            "n_ligand": scorer.ligand.n_atoms,
+            "chunk_size": scorer.chunk_size,
+            "rec_aug": fixed("rec_aug", scorer._rec_aug),
+            "sigma2": varying("sigma2", scorer._sigma2),
+            "epsilon4": varying("epsilon4", scorer._epsilon4),
+            "ligand_coords": varying("ligand_coords", scorer.ligand_coords),
+        }
     if isinstance(scorer, BoundLennardJones):
         return {
             "kind": "dense",
@@ -431,6 +446,19 @@ def rebuild_scorer(spec: dict) -> BoundScorer:
             tree = cKDTree(scorer._tree_coords)
             trees[spec["tree_coords"].name] = tree
         scorer._tree = tree
+        return scorer
+    if kind == "batched":
+        scorer = BoundBatchedLJ.__new__(BoundBatchedLJ)
+        scorer.receptor = _StagedMolecule(spec["n_receptor"])
+        scorer.ligand = _StagedMolecule(spec["n_ligand"])
+        scorer.chunk_size = int(spec["chunk_size"])
+        scorer.ligand_coords = _attach(spec["ligand_coords"])
+        scorer._rec_aug = _attach(spec["rec_aug"])
+        scorer._sigma2 = _attach(spec["sigma2"])
+        scorer._epsilon4 = _attach(spec["epsilon4"])
+        scorer.sigma = None  # full tables stay in the parent
+        scorer.epsilon = None
+        scorer._scratch = None  # rebuilt lazily on first score
         return scorer
     if kind == "dense":
         scorer = BoundLennardJones.__new__(BoundLennardJones)
@@ -1259,6 +1287,7 @@ class PersistentHostRuntime:
         remeasure_interval: int = DEFAULT_REMEASURE_INTERVAL,
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
         prefetch: bool = True,
+        autotune=None,
     ) -> None:
         if n_workers < 1:
             raise ScoringError(f"n_workers must be >= 1, got {n_workers}")
@@ -1278,6 +1307,11 @@ class PersistentHostRuntime:
             else CutoffLennardJonesScoring(dtype=np.float32)
         )
         self.prune_spots = bool(prune_spots)
+        #: Optional :class:`repro.scoring.autotune.AutotuneController`; when
+        #: set, every ligand bind resolves (variant, chunk_size) through it,
+        #: and the tuned scorer flows through staging/rebind to the workers
+        #: (so the Eq. 1 warm-up measures the tuned kernel too).
+        self.autotune = autotune
         self.warmup = bool(warmup)
         self.remeasure_interval = int(remeasure_interval)
         self.drift_threshold = float(drift_threshold)
@@ -1301,7 +1335,12 @@ class PersistentHostRuntime:
         return self._evaluator
 
     def _bind(self, ligand) -> BoundScorer:
-        scorer = self.scoring.bind(self.receptor, ligand)
+        scoring = self.scoring
+        if self.autotune is not None:
+            scoring = self.autotune.resolve(
+                scoring, self.receptor.n_atoms, ligand.n_atoms, self.n_workers
+            )
+        scorer = scoring.bind(self.receptor, ligand)
         if self.prune_spots:
             scorer = prune_bound(scorer, self.spots)
         return scorer

@@ -1,5 +1,13 @@
 """Scoring functions: the fitness landscape the metaheuristics optimise."""
 
+from repro.scoring.autotune import (
+    AutotuneController,
+    CalibrationCell,
+    CalibrationTable,
+    KernelSelector,
+    run_calibration_sweep,
+    scoring_family,
+)
 from repro.scoring.base import (
     CHUNK_BUDGET_BYTES,
     OPS_PER_LJ_PAIR,
@@ -7,8 +15,14 @@ from repro.scoring.base import (
     ScoringFunction,
     auto_chunk_size,
     available_scorings,
+    check_spot_ids,
     get_scoring,
     register_scoring,
+)
+from repro.scoring.batched import (
+    BatchedLJScoring,
+    BoundBatchedLJ,
+    batched_chunk_size,
 )
 from repro.scoring.pruned import (
     BoundSpotPruned,
@@ -38,6 +52,9 @@ __all__ = [
     "CHUNK_BUDGET_BYTES",
     "DEFAULT_TILE",
     "OPS_PER_LJ_PAIR",
+    "AutotuneController",
+    "BatchedLJScoring",
+    "BoundBatchedLJ",
     "BoundComposite",
     "BoundCoulomb",
     "BoundCutoffLennardJones",
@@ -49,11 +66,14 @@ __all__ = [
     "BoundSoftcoreLJ",
     "BoundSpotPruned",
     "BoundTiledLennardJones",
+    "CalibrationCell",
+    "CalibrationTable",
     "CompositeScoring",
     "CoulombScoring",
     "CutoffLennardJonesScoring",
     "GridMapScoring",
     "HydrogenBondScoring",
+    "KernelSelector",
     "LennardJonesScoring",
     "ReferenceLJScoring",
     "ScoringFunction",
@@ -62,10 +82,14 @@ __all__ = [
     "TiledLennardJonesScoring",
     "auto_chunk_size",
     "available_scorings",
+    "batched_chunk_size",
+    "check_spot_ids",
     "get_scoring",
     "lj_energy_from_r2",
     "make_lj_coulomb",
     "prune_bound",
     "register_scoring",
+    "run_calibration_sweep",
+    "scoring_family",
     "spot_prune_indices",
 ]

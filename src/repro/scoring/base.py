@@ -34,6 +34,7 @@ __all__ = [
     "get_scoring",
     "available_scorings",
     "auto_chunk_size",
+    "check_spot_ids",
     "OPS_PER_LJ_PAIR",
     "CHUNK_BUDGET_BYTES",
     "MIN_CHUNK_SIZE",
@@ -73,6 +74,26 @@ def auto_chunk_size(
     """
     pair_bytes = max(1, int(n_receptor) * int(n_ligand) * int(itemsize))
     return int(np.clip(budget_bytes // pair_bytes, MIN_CHUNK_SIZE, MAX_CHUNK_SIZE))
+
+
+def check_spot_ids(spot_ids: np.ndarray, n_poses: int) -> np.ndarray:
+    """Validate one spot id per pose; return the ids as an int64 array.
+
+    A shorter-than-batch id array used to be silently accepted (base scorers
+    ignore the ids entirely; NumPy indexing would broadcast or truncate in
+    spot-aware ones) — which turns a caller-side bookkeeping bug into wrong
+    scores attributed to wrong spots. Both lengths are named in the error.
+    """
+    spot_ids = np.asarray(spot_ids, dtype=np.int64)
+    if spot_ids.shape != (int(n_poses),):
+        got = (
+            spot_ids.shape[0] if spot_ids.ndim == 1 else f"shape {spot_ids.shape}"
+        )
+        raise ScoringError(
+            f"score_spots got {got} spot ids for {int(n_poses)} poses; "
+            "exactly one spot id per pose is required"
+        )
+    return spot_ids
 
 
 def non_finite_error(out: np.ndarray, batch_shape: tuple[int, ...]) -> ScoringError:
@@ -174,20 +195,38 @@ class BoundScorer(ABC):
     ) -> np.ndarray:
         """Score a batch whose poses are tagged with global spot indices.
 
-        The base implementation ignores the spot ids; scorers with
-        ``supports_spot_scoring = True`` override this to use per-spot
-        precomputation (receptor pruning).
+        The base implementation ignores the spot ids for scoring (scorers
+        with ``supports_spot_scoring = True`` override this to use per-spot
+        precomputation), but still validates that there is exactly one id
+        per pose — a mismatch is a caller bookkeeping bug, not something to
+        broadcast away.
         """
+        translations = np.asarray(translations, dtype=FLOAT_DTYPE)
+        if translations.ndim == 2:
+            check_spot_ids(spot_ids, translations.shape[0])
         return self.score(translations, quaternions)
 
     def score_one(self, translation: np.ndarray, quaternion: np.ndarray) -> float:
-        """Score a single pose."""
-        return float(
-            self.score(
-                np.asarray(translation, dtype=FLOAT_DTYPE)[None, :],
-                np.asarray(quaternion, dtype=FLOAT_DTYPE)[None, :],
-            )[0]
-        )
+        """Score a single pose.
+
+        Fast path for per-candidate calls (improvement loops evaluate one
+        neighbour at a time): builds the ``(1, 3)``/``(1, 4)`` views and
+        calls ``_score_chunk`` directly, skipping :meth:`score`'s batch
+        bookkeeping — bitwise identical to ``score(t[None], q[None])[0]``,
+        since a one-pose batch is exactly one chunk.
+        """
+        translation = np.asarray(translation, dtype=FLOAT_DTYPE)
+        quaternion = np.asarray(quaternion, dtype=FLOAT_DTYPE)
+        if translation.shape != (3,) or quaternion.shape != (4,):
+            raise ScoringError(
+                "score_one expects one pose — shapes (3,) and (4,), got "
+                f"{translation.shape} and {quaternion.shape}"
+            )
+        out = self._score_chunk(translation[None, :], quaternion[None, :])
+        value = float(out[0])
+        if not np.isfinite(value):
+            raise non_finite_error(np.asarray(out), (1, 3))
+        return value
 
     def posed_ligand_coords(
         self, translations: np.ndarray, quaternions: np.ndarray

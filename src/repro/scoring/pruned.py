@@ -43,7 +43,12 @@ from scipy.spatial import cKDTree
 from repro.constants import DEFAULT_CUTOFF, FLOAT_DTYPE
 from repro.errors import ScoringError
 from repro.molecules.spots import Spot
-from repro.scoring.base import BoundScorer, ScoringFunction, non_finite_error
+from repro.scoring.base import (
+    BoundScorer,
+    ScoringFunction,
+    check_spot_ids,
+    non_finite_error,
+)
 from repro.scoring.cutoff import GATHER_SLACK, BoundCutoffLennardJones
 from repro.scoring.lennard_jones import BoundLennardJones, lj_energy_sum_inplace
 
@@ -275,10 +280,8 @@ class BoundSpotPruned(BoundScorer):
                 "quaternions must have shape "
                 f"({translations.shape[0]}, 4), got {quaternions.shape}"
             )
-        spot_ids = np.asarray(spot_ids, dtype=np.int64)
         n = translations.shape[0]
-        if spot_ids.shape != (n,):
-            raise ScoringError(f"{spot_ids.shape} spot ids for {n} poses")
+        spot_ids = check_spot_ids(spot_ids, n)
         if n == 0:
             return np.empty(0, dtype=FLOAT_DTYPE)
         out = np.empty(n, dtype=FLOAT_DTYPE)

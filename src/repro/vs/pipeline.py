@@ -55,6 +55,13 @@ class PipelineConfig:
         Keep one pool/receptor-staging/warm-up across a whole
         :meth:`VirtualScreeningPipeline.screen` library (default); False
         builds a fresh evaluator per ligand.
+    autotune:
+        Input-aware kernel selection (:mod:`repro.scoring.autotune`):
+        pick ``(variant, chunk_size)`` per complex-size cell from a
+        calibration table. Requires ``calibration_file``.
+    calibration_file:
+        Path to a ``repro-vs calibrate`` table; required when
+        ``autotune`` is on.
     """
 
     n_spots: int = 16
@@ -65,6 +72,8 @@ class PipelineConfig:
     host_workers: int = 0
     parallel_mode: str = "static"
     persistent_pool: bool = True
+    autotune: bool = False
+    calibration_file: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_spots < 1:
@@ -81,6 +90,11 @@ class PipelineConfig:
             raise ReproError(
                 "parallel_mode must be 'static' or 'dynamic', "
                 f"got {self.parallel_mode!r}"
+            )
+        if self.autotune and self.calibration_file is None:
+            raise ReproError(
+                "autotune=True needs a calibration_file "
+                "(write one with `repro-vs calibrate`)"
             )
 
 
@@ -138,6 +152,8 @@ class VirtualScreeningPipeline:
             mode=self.config.mode,
             host_workers=self.config.host_workers,
             parallel_mode=self.config.parallel_mode,
+            autotune=self.config.autotune,
+            calibration_file=self.config.calibration_file,
         )
 
     def screen(self, receptor: Receptor, ligands: list[Ligand]) -> ScreeningReport:
@@ -155,6 +171,8 @@ class VirtualScreeningPipeline:
             host_workers=self.config.host_workers,
             parallel_mode=self.config.parallel_mode,
             persistent_pool=self.config.persistent_pool,
+            autotune=self.config.autotune,
+            calibration_file=self.config.calibration_file,
         )
 
     def compare_modes(

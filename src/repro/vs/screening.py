@@ -56,6 +56,8 @@ def screen(
     parallel_mode: str = "static",
     prune_spots: bool = False,
     persistent_pool: bool = True,
+    autotune=False,
+    calibration_file: str | None = None,
 ) -> ScreeningReport:
     """Screen a ligand library against the receptor surface.
 
@@ -71,6 +73,13 @@ def screen(
     not a pool spawn); ``persistent_pool=False`` restores the
     fresh-evaluator-per-ligand path — scores are bitwise identical either
     way.
+
+    ``autotune`` (with ``calibration_file``, or a ready-made
+    :class:`~repro.scoring.autotune.AutotuneController`) turns on
+    input-aware kernel selection: one controller is shared across the whole
+    library, so every ligand that lands in the same feature cell reuses the
+    pinned ``(variant, chunk_size)``. For a fixed calibration table the
+    scores stay bitwise identical to the serial reference path.
 
     ``ligands`` may be any iterable — a generator streams through without
     ever being materialised. This is a thin wrapper over a one-shot
@@ -105,6 +114,8 @@ def screen(
         parallel_mode=parallel_mode,
         prune_spots=prune_spots,
         persistent_pool=persistent_pool,
+        autotune=autotune,
+        calibration_file=calibration_file,
         max_attempts=1,
         raise_on_failure=True,
     )

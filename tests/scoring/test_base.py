@@ -59,6 +59,64 @@ def test_score_one_matches_batch(dense_scorer, pose_batch):
     assert single == pytest.approx(batch[0])
 
 
+def test_score_one_fast_path_is_bitwise(dense_scorer, fast_scorer, pose_batch):
+    """The chunk-direct fast path returns exactly score(t[None])[0] bits."""
+    translations, quaternions = pose_batch
+    for scorer in (dense_scorer, fast_scorer):
+        for i in range(3):
+            single = scorer.score_one(translations[i], quaternions[i])
+            batch = scorer.score(
+                translations[i][None, :], quaternions[i][None, :]
+            )
+            assert single == batch[0], "score_one must not drift from score"
+
+
+def test_score_one_validates_shapes(dense_scorer):
+    with pytest.raises(ScoringError, match="score_one expects one pose"):
+        dense_scorer.score_one(np.zeros((2, 3)), np.zeros((2, 4)))
+    with pytest.raises(ScoringError, match="score_one expects one pose"):
+        dense_scorer.score_one(np.zeros(3), np.zeros(3))
+
+
+def test_score_spots_rejects_mismatched_spot_ids(dense_scorer, pose_batch):
+    """A spot-id array shorter or longer than the batch is a caller bug the
+    base scorer must name, not broadcast away (both lengths in the error)."""
+    translations, quaternions = pose_batch
+    n = translations.shape[0]
+    with pytest.raises(ScoringError, match=rf"\b{n - 2}\b.*\b{n}\b"):
+        dense_scorer.score_spots(
+            np.zeros(n - 2, dtype=np.int64), translations, quaternions
+        )
+    with pytest.raises(ScoringError, match=rf"\b{n + 3}\b.*\b{n}\b"):
+        dense_scorer.score_spots(
+            np.zeros(n + 3, dtype=np.int64), translations, quaternions
+        )
+    ok = dense_scorer.score_spots(
+        np.zeros(n, dtype=np.int64), translations, quaternions
+    )
+    assert ok.shape == (n,)
+
+
+def test_pruned_score_spots_rejects_mismatched_spot_ids(
+    receptor, ligand, spots, pose_batch
+):
+    """The pruned scorer shares the same validation (and error wording)."""
+    from repro.scoring.cutoff import CutoffLennardJonesScoring
+    from repro.scoring.pruned import prune_bound
+
+    pruned = prune_bound(
+        CutoffLennardJonesScoring(dtype=np.float32).bind(receptor, ligand), spots
+    )
+    translations, quaternions = pose_batch
+    n = translations.shape[0]
+    with pytest.raises(ScoringError, match="spot ids"):
+        pruned.score_spots(
+            np.full(n - 1, spots[0].index, dtype=np.int64),
+            translations,
+            quaternions,
+        )
+
+
 def test_chunking_is_invisible(receptor, ligand, pose_batch):
     """Different chunk sizes give identical dense results."""
     translations, quaternions = pose_batch

@@ -1,0 +1,208 @@
+"""Tests for the fused batched-pose LJ kernel.
+
+The batched scorer restructures the dense arithmetic into one augmented
+GEMM per pose block; these tests pin its two contracts: agreement with the
+pure-Python reference to tolerance, and *bitwise* stability under the
+grid-aligned splits the host runtime's planner produces.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.molecules.structures import Ligand, Receptor
+from repro.molecules.transforms import random_quaternion
+from repro.scoring.base import available_scorings, get_scoring
+from repro.scoring.batched import (
+    BATCHED_MAX_CHUNK_SIZE,
+    BatchedLJScoring,
+    BoundBatchedLJ,
+    batched_chunk_size,
+)
+from repro.scoring.lennard_jones import LennardJonesScoring
+from repro.scoring.reference import ReferenceLJScoring
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - container ships hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.fixture(scope="module")
+def batched_scorer(receptor, ligand):
+    return BatchedLJScoring().bind(receptor, ligand)
+
+
+def test_registered_in_scoring_registry():
+    assert "lennard-jones-batched" in available_scorings()
+    assert isinstance(get_scoring("lennard-jones-batched"), BatchedLJScoring)
+
+
+def test_batched_chunk_size_budget_and_ceiling():
+    from repro.scoring.base import CHUNK_BUDGET_BYTES, MIN_CHUNK_SIZE
+
+    n_rec, n_lig = 3000, 45
+    assert batched_chunk_size(n_rec, n_lig, itemsize=8) == CHUNK_BUDGET_BYTES // (
+        n_rec * n_lig * 8
+    )
+    # Tiny complexes clamp at the batched ceiling, above the dense one.
+    assert batched_chunk_size(10, 4) == BATCHED_MAX_CHUNK_SIZE
+    assert batched_chunk_size(10**6, 500) == MIN_CHUNK_SIZE
+
+
+def test_default_chunk_size_is_batched_auto(receptor, ligand, batched_scorer):
+    assert batched_scorer.chunk_size == batched_chunk_size(
+        receptor.n_atoms, ligand.n_atoms, itemsize=8
+    )
+    assert BatchedLJScoring(chunk_size=9).bind(receptor, ligand).chunk_size == 9
+
+
+def test_matches_dense_scorer(dense_scorer, batched_scorer, pose_batch):
+    translations, quaternions = pose_batch
+    dense = dense_scorer.score(translations, quaternions)
+    batched = batched_scorer.score(translations, quaternions)
+    np.testing.assert_allclose(batched, dense, rtol=1e-9)
+
+
+def test_matches_pure_python_reference(receptor, ligand, batched_scorer, pose_batch):
+    translations, quaternions = pose_batch
+    reference = ReferenceLJScoring().bind(receptor, ligand).score(
+        translations[:3], quaternions[:3]
+    )
+    batched = batched_scorer.score(translations[:3], quaternions[:3])
+    np.testing.assert_allclose(batched, reference, rtol=1e-8)
+
+
+def test_grid_aligned_splits_are_bitwise(receptor, ligand, rng):
+    """Splitting a batch on the chunk grid reproduces the serial bits.
+
+    This is the planner's contract: `ParallelSpotEvaluator._plan` cuts
+    worker shares on the absolute pose-index grid of the scorer's
+    chunk_size, so every block BLAS sees has the same shape as in the
+    serial pass — the whole reason parallel scores equal serial ones.
+    """
+    chunk = 7
+    scorer = BatchedLJScoring(chunk_size=chunk).bind(receptor, ligand)
+    n = 4 * chunk + 3  # a ragged tail exercises the short final block
+    translations = receptor.coords.mean(axis=0) + rng.normal(0, 3.0, (n, 3))
+    quaternions = random_quaternion(rng, n)
+    serial = scorer.score(translations, quaternions)
+    split = np.concatenate(
+        [
+            scorer.score(translations[lo : lo + chunk], quaternions[lo : lo + chunk])
+            for lo in range(0, n, chunk)
+        ]
+    )
+    assert np.array_equal(serial, split), "grid-aligned split must be bitwise"
+
+
+def test_empty_batch_and_shape_validation(batched_scorer):
+    out = batched_scorer.score(np.zeros((0, 3)), np.zeros((0, 4)))
+    assert out.shape == (0,)
+    with pytest.raises(ScoringError, match=r"\(n, 3\)"):
+        batched_scorer.score(np.zeros((3, 2)), np.zeros((3, 4)))
+    with pytest.raises(ScoringError, match="quaternions"):
+        batched_scorer.score(np.zeros((3, 3)), np.zeros((2, 4)))
+
+
+def test_score_coords_matches_score(batched_scorer, pose_batch):
+    translations, quaternions = pose_batch
+    posed = batched_scorer.posed_ligand_coords(translations, quaternions)
+    via_coords = batched_scorer.score_coords(posed)
+    direct = batched_scorer.score(translations, quaternions)
+    assert np.array_equal(via_coords, direct)
+    with pytest.raises(ScoringError, match="posed coords"):
+        batched_scorer.score_coords(np.zeros((2, 3)))
+
+
+def test_non_finite_poses_are_reported(batched_scorer):
+    t = np.zeros((2, 3))
+    t[1, 0] = np.nan
+    q = np.zeros((2, 4))
+    q[:, 0] = 1.0
+    with pytest.raises(ScoringError, match="non-finite"):
+        batched_scorer.score(t, q)
+
+
+def test_pickle_roundtrip_drops_scratch_and_scores_identically(
+    receptor, ligand, pose_batch
+):
+    translations, quaternions = pose_batch
+    scorer = BatchedLJScoring().bind(receptor, ligand)
+    before = scorer.score(translations, quaternions)
+    assert scorer._scratch is not None  # scratch exists after a pass
+    clone = pickle.loads(pickle.dumps(scorer))
+    assert clone._scratch is None  # ...but never travels
+    after = clone.score(translations, quaternions)
+    assert np.array_equal(before, after)
+
+
+# ----------------------------------------------------------------------
+# Property: batched == reference on random tiny complexes (satellite c)
+# ----------------------------------------------------------------------
+def check_batched_reference_parity(n_rec, n_lig, n_poses, chunk, case_seed):
+    rng = np.random.default_rng(case_seed)
+    receptor = Receptor(
+        coords=rng.normal(0.0, 4.0, (n_rec, 3)),
+        elements=[("C", "N", "O")[i % 3] for i in range(n_rec)],
+    )
+    ligand = Ligand(
+        coords=rng.normal(0.0, 1.0, (n_lig, 3)),
+        elements=[("C", "N", "O", "S")[i % 4] for i in range(n_lig)],
+    )
+    translations = rng.normal(0.0, 5.0, (n_poses, 3))
+    quaternions = random_quaternion(rng, n_poses)
+    batched = BatchedLJScoring(chunk_size=chunk).bind(receptor, ligand)
+    reference = ReferenceLJScoring().bind(receptor, ligand)
+    got = batched.score(translations, quaternions)
+    want = reference.score(translations, quaternions)
+    np.testing.assert_allclose(got, want, rtol=1e-8)
+    # And the dense kernel sits in the same family at the same tolerance.
+    dense = LennardJonesScoring().bind(receptor, ligand)
+    np.testing.assert_allclose(got, dense.score(translations, quaternions), rtol=1e-8)
+
+
+def _seeded_cases(draw, n=25, seed=20260805):
+    rng = np.random.default_rng(seed)
+    return [draw(rng) for _ in range(n)]
+
+
+def _draw_parity(rng):
+    return (
+        int(rng.integers(1, 30)),
+        int(rng.integers(1, 10)),
+        int(rng.integers(1, 12)),
+        int(rng.integers(1, 8)),
+        int(rng.integers(0, 2**31)),
+    )
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_rec=st.integers(1, 30),
+        n_lig=st.integers(1, 10),
+        n_poses=st.integers(1, 12),
+        chunk=st.integers(1, 8),
+        case_seed=st.integers(0, 2**31),
+    )
+    def test_batched_matches_reference_property(
+        n_rec, n_lig, n_poses, chunk, case_seed
+    ):
+        check_batched_reference_parity(n_rec, n_lig, n_poses, chunk, case_seed)
+
+else:
+
+    @pytest.mark.parametrize(
+        "n_rec,n_lig,n_poses,chunk,case_seed", _seeded_cases(_draw_parity)
+    )
+    def test_batched_matches_reference_property(
+        n_rec, n_lig, n_poses, chunk, case_seed
+    ):
+        check_batched_reference_parity(n_rec, n_lig, n_poses, chunk, case_seed)
