@@ -79,22 +79,38 @@ class CampaignJournal:
         """Log a resume attach."""
         self.append({"record": "campaign_resume", "config_hash": config_hash})
 
-    def shard_start(self, shard_id: int, start: int, stop: int) -> None:
-        """Log that a shard entered execution."""
-        self.append(
-            {"record": "shard_start", "shard": shard_id, "start": start, "stop": stop}
-        )
+    def shard_start(
+        self, shard_id: int, start: int, stop: int, node: int | None = None
+    ) -> None:
+        """Log that a shard entered execution.
 
-    def shard_finish(self, shard_id: int, n_done: int, n_failed: int) -> None:
+        ``node`` attributes the shard to a cluster worker node; replay
+        ignores it (extra keys are forward-compatible), it exists for
+        post-mortem reads of a distributed campaign's journal.
+        """
+        record = {
+            "record": "shard_start",
+            "shard": shard_id,
+            "start": start,
+            "stop": stop,
+        }
+        if node is not None:
+            record["node"] = int(node)
+        self.append(record)
+
+    def shard_finish(
+        self, shard_id: int, n_done: int, n_failed: int, node: int | None = None
+    ) -> None:
         """Log that a shard's every ligand is recorded in the store."""
-        self.append(
-            {
-                "record": "shard_finish",
-                "shard": shard_id,
-                "done": n_done,
-                "failed": n_failed,
-            }
-        )
+        record = {
+            "record": "shard_finish",
+            "shard": shard_id,
+            "done": n_done,
+            "failed": n_failed,
+        }
+        if node is not None:
+            record["node"] = int(node)
+        self.append(record)
 
     def campaign_finish(self, n_ligands: int) -> None:
         """Log that the whole library streamed through."""

@@ -34,6 +34,9 @@ __all__ = [
     "iter_shards",
     "resolve_title",
     "receptor_fingerprint",
+    "build_receptor",
+    "build_source",
+    "materialize_ordinals",
 ]
 
 
@@ -278,6 +281,85 @@ def resolve_title(title: str, ordinal: int, seen: set[str]) -> str:
         name = f"{name}#{ordinal}"
     seen.add(name)
     return name
+
+
+def build_receptor(descriptor: dict) -> Receptor:
+    """Reconstruct a receptor from its campaign-config descriptor.
+
+    The inverse of what ``campaign run`` records: ``synthetic`` descriptors
+    regenerate (bitwise, same seed), ``pdb`` descriptors re-read the file.
+    Anything else (an ``opaque`` in-memory receptor) cannot be rebuilt in
+    another process and raises :class:`~repro.errors.CampaignError`.
+    """
+    kind = descriptor.get("kind")
+    if kind == "synthetic":
+        from repro.molecules.synthetic import generate_receptor
+
+        return generate_receptor(
+            int(descriptor["n_atoms"]), seed=int(descriptor["seed"])
+        )
+    if kind == "pdb":
+        from repro.molecules.pdb import read_pdb
+
+        return read_pdb(descriptor["path"], kind="receptor")
+    raise CampaignError(
+        "this campaign's receptor cannot be reconstructed from its "
+        f"descriptor {descriptor}; resume it via the Python API"
+    )
+
+
+def build_source(descriptor: dict) -> LigandSource:
+    """Reconstruct a ligand source from its campaign-config descriptor.
+
+    Same contract as :func:`build_receptor`: ``synthetic`` and ``pdb-dir``
+    libraries rebuild exactly; one-shot ``iterable``/``list`` sources raise.
+    """
+    kind = descriptor.get("kind")
+    if kind == "synthetic":
+        return SyntheticSource(
+            int(descriptor["n_ligands"]),
+            atoms_range=tuple(descriptor["atoms_range"]),
+            seed=int(descriptor["seed"]),
+        )
+    if kind == "pdb-dir":
+        return PDBDirectorySource(
+            descriptor["path"], descriptor.get("pattern", "*.pdb")
+        )
+    raise CampaignError(
+        "this campaign's ligand library cannot be reconstructed from its "
+        f"descriptor {descriptor}; resume it via the Python API"
+    )
+
+
+def materialize_ordinals(
+    source: LigandSource, ordinals: list[int]
+) -> dict[int, Ligand]:
+    """Fetch specific ligands by global ordinal.
+
+    Random-access sources (:meth:`SyntheticSource.ligand_at`) jump straight
+    to each ordinal; streaming sources are scanned once up to the largest
+    requested ordinal. Worker nodes use this to materialise a lease's
+    ligands locally instead of shipping them over the wire.
+    """
+    wanted = set(ordinals)
+    if not wanted:
+        return {}
+    out: dict[int, Ligand] = {}
+    ligand_at = getattr(source, "ligand_at", None)
+    if callable(ligand_at):
+        return {ordinal: ligand_at(ordinal) for ordinal in sorted(wanted)}
+    last = max(wanted)
+    for ordinal, ligand in enumerate(source):
+        if ordinal in wanted:
+            out[ordinal] = ligand
+        if ordinal >= last:
+            break
+    missing = wanted - set(out)
+    if missing:
+        raise CampaignError(
+            f"library ended before ordinals {sorted(missing)} were reached"
+        )
+    return out
 
 
 def receptor_fingerprint(receptor: Receptor) -> str:

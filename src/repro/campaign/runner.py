@@ -194,9 +194,13 @@ class CampaignRunner:
         progress: Callable[[CampaignProgress], None] | None = None,
         raise_on_failure: bool = False,
         receptor_descriptor: dict | None = None,
+        nodes: int = 0,
+        cluster=None,
     ) -> None:
         if host_workers < 0:
             raise CampaignError(f"host_workers must be >= 0, got {host_workers}")
+        if nodes < 0:
+            raise CampaignError(f"nodes must be >= 0, got {nodes}")
         if parallel_mode not in ("static", "dynamic"):
             raise CampaignError(
                 f"parallel_mode must be 'static' or 'dynamic', got {parallel_mode!r}"
@@ -264,6 +268,15 @@ class CampaignRunner:
                 "refine_calibration needs autotune plus a calibration_file "
                 "to write the refined table back to"
             )
+        # --- distributed execution -------------------------------------
+        # nodes >= 2 delegates _execute to the cluster fleet (nodes in
+        # {0, 1} keeps the in-process single-node path — a "1-node cluster"
+        # exists only through the explicit ClusterCampaign API, where the
+        # benchmark uses it for apples-to-apples scaling baselines).
+        self.nodes = int(nodes)
+        self.cluster = cluster
+        self.cluster_spawn = True  # False = serve remote workers only (CLI)
+        self.fleet = None  # set by execute_fleet; tests reach processes here
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self._sleep = sleep
@@ -358,6 +371,23 @@ class CampaignRunner:
     # execution
     # ------------------------------------------------------------------
     def _execute(self, store: CampaignStore, finished: set[int]) -> CampaignStore:
+        # A 1-node fleet is only explicit opt-in: an attached ClusterConfig
+        # (the multinode benchmark's apples-to-apples baseline) or a
+        # remote-serving coordinator (cluster_spawn=False). Bare nodes=1
+        # keeps the classic in-process path.
+        if self.nodes >= 2 or (
+            self.nodes == 1 and (self.cluster is not None or not self.cluster_spawn)
+        ):
+            from repro.cluster.fleet import execute_fleet
+
+            return execute_fleet(
+                self,
+                store,
+                finished,
+                nodes=self.nodes,
+                cluster=self.cluster,
+                spawn=self.cluster_spawn,
+            )
         spots = find_spots(self.receptor, self.n_spots)
         total = self.source.count()
         session_start = time.perf_counter()

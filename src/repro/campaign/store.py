@@ -19,8 +19,10 @@ points:
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import sqlite3
+import time
 from pathlib import Path
 from typing import Iterator, TextIO
 
@@ -28,6 +30,14 @@ from repro.errors import CampaignError
 from repro.vs.results import ScreeningEntry, ScreeningReport
 
 __all__ = ["CampaignStore", "SCHEMA_VERSION"]
+
+#: Bounded retry on SQLite "database is locked": a campaign store is
+#: single-writer by design, but `campaign status`/`top` readers, WAL
+#: checkpoints, and (in cluster mode) coordinator handler threads can
+#: briefly contend. 6 doubling sleeps from 10 ms cover ~0.6 s of contention
+#: before surfacing a CampaignError.
+_LOCK_ATTEMPTS = 6
+_LOCK_BACKOFF_S = 0.01
 
 #: Bump on any incompatible schema change; ``open`` refuses mismatches.
 SCHEMA_VERSION = 1
@@ -131,15 +141,39 @@ class CampaignStore:
     @staticmethod
     def _connect(path: str) -> sqlite3.Connection:
         # Autocommit: every statement is its own durable transaction, so a
-        # SIGKILL loses at most the in-flight ligand.
+        # SIGKILL loses at most the in-flight ligand. check_same_thread is
+        # off because the cluster coordinator commits results from its
+        # per-node handler threads (serialised under the coordinator lock).
         try:
-            conn = sqlite3.connect(path, isolation_level=None)
+            conn = sqlite3.connect(path, isolation_level=None, check_same_thread=False)
             conn.row_factory = sqlite3.Row
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=2000")
         except sqlite3.DatabaseError as exc:
             raise CampaignError(f"{path} is not a campaign store: {exc}") from None
         return conn
+
+    def _execute(self, sql: str, params=(), many: bool = False):
+        """Run one write statement with bounded backoff on lock contention."""
+        delay = _LOCK_BACKOFF_S
+        for attempt in range(1, _LOCK_ATTEMPTS + 1):
+            try:
+                if many:
+                    return self._conn.executemany(sql, params)
+                return self._conn.execute(sql, params)
+            except sqlite3.OperationalError as exc:
+                text = str(exc).lower()
+                if "locked" not in text and "busy" not in text:
+                    raise
+                if attempt >= _LOCK_ATTEMPTS:
+                    raise CampaignError(
+                        f"campaign store at {self.path} stayed locked after "
+                        f"{_LOCK_ATTEMPTS} attempts: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
         """Close the database connection."""
@@ -155,7 +189,7 @@ class CampaignStore:
     # metadata
     # ------------------------------------------------------------------
     def _set_meta(self, key: str, value: str) -> None:
-        self._conn.execute(
+        self._execute(
             "INSERT INTO meta (key, value) VALUES (?, ?) "
             "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
             (key, value),
@@ -206,7 +240,7 @@ class CampaignStore:
     # ------------------------------------------------------------------
     def start_shard(self, shard_id: int, start: int, stop: int) -> None:
         """Mark a shard running (idempotent across resume replays)."""
-        self._conn.execute(
+        self._execute(
             "INSERT INTO shards (shard_id, start, stop, status) "
             "VALUES (?, ?, ?, 'running') "
             "ON CONFLICT(shard_id) DO UPDATE SET status = 'running'",
@@ -215,7 +249,7 @@ class CampaignStore:
 
     def finish_shard(self, shard_id: int, wall_seconds: float) -> None:
         """Mark a shard done."""
-        self._conn.execute(
+        self._execute(
             "UPDATE shards SET status = 'done', wall_seconds = ? WHERE shard_id = ?",
             (wall_seconds, shard_id),
         )
@@ -232,14 +266,15 @@ class CampaignStore:
     # ------------------------------------------------------------------
     def register_ligands(self, items: list[tuple[int, str]]) -> None:
         """Insert pending rows for (ordinal, title) pairs; existing rows win."""
-        self._conn.executemany(
+        self._execute(
             "INSERT OR IGNORE INTO ligands (ordinal, title) VALUES (?, ?)",
             items,
+            many=True,
         )
 
     def mark_running(self, ordinal: int) -> None:
         """Flag one ligand as in flight."""
-        self._conn.execute(
+        self._execute(
             "UPDATE ligands SET status = 'running' WHERE ordinal = ?", (ordinal,)
         )
 
@@ -255,7 +290,7 @@ class CampaignStore:
         attempts: int = 1,
     ) -> None:
         """Upsert one completed ligand (idempotent on ordinal)."""
-        self._conn.execute(
+        self._execute(
             "INSERT INTO ligands (ordinal, title, status, best_score, best_spot,"
             " evaluations, wall_seconds, simulated_seconds, attempts, error) "
             "VALUES (?, ?, 'done', ?, ?, ?, ?, ?, ?, NULL) "
@@ -282,7 +317,7 @@ class CampaignStore:
         self, ordinal: int, title: str, error: str, attempts: int
     ) -> None:
         """Record a ligand that exhausted its attempts; the campaign moves on."""
-        self._conn.execute(
+        self._execute(
             "INSERT INTO ligands (ordinal, title, status, attempts, error) "
             "VALUES (?, ?, 'failed', ?, ?) "
             "ON CONFLICT(ordinal) DO UPDATE SET "
@@ -328,6 +363,36 @@ class CampaignStore:
             "ORDER BY best_score ASC, ordinal ASC LIMIT ?",
             (k,),
         ).fetchall()
+
+    def science_rows(self) -> Iterator[tuple]:
+        """Stream the result-affecting columns only, in ordinal order.
+
+        Excludes wall-clock timings and attempt counts — everything that
+        legitimately varies between two executions of the same campaign.
+        What remains (ordinal, title, status, score, spot, evaluations) is
+        bitwise identical across shard sizes, worker counts, node counts,
+        and crash/resume boundaries.
+        """
+        cursor = self._conn.execute(
+            "SELECT ordinal, title, status, best_score, best_spot, evaluations "
+            "FROM ligands ORDER BY ordinal"
+        )
+        for row in cursor:
+            yield tuple(row)
+
+    def science_digest(self) -> str:
+        """SHA-256 over :meth:`science_rows` — the store-parity fingerprint.
+
+        Two stores of the same campaign config compare equal here iff their
+        science is identical; parity tests and the multinode benchmark use
+        this instead of comparing whole database files (which differ in
+        timings and page layout).
+        """
+        digest = hashlib.sha256()
+        for row in self.science_rows():
+            digest.update(json.dumps(row, sort_keys=True).encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
 
     def iter_results(self) -> Iterator[dict]:
         """Stream every ligand row as a dict, in ordinal order."""

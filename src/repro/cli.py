@@ -7,7 +7,10 @@ Subcommands:
 * ``screen`` — screen a synthetic ligand library.
 * ``campaign`` — durable, resumable screening campaigns
   (``run``/``resume``/``status``/``top``/``export``), with live
-  observability: ``--progress``, ``--live-metrics``, ``--serve-metrics``.
+  observability: ``--progress``, ``--live-metrics``, ``--serve-metrics``,
+  and distributed execution: ``--nodes N``.
+* ``cluster`` — the same distributed fleet over real sockets:
+  ``coordinator`` serves a campaign, ``worker`` dials in and docks leases.
 * ``metrics`` — inspect/convert a telemetry snapshot (``show``: text
   summary, JSON, Prometheus textfile, or Chrome/Perfetto trace), or put it
   behind an HTTP scrape endpoint (``serve``).
@@ -143,6 +146,54 @@ def _port(text: str) -> int:
     return value
 
 
+def _add_cluster_args(sub: argparse.ArgumentParser, nodes_flag: bool = True) -> None:
+    """Distributed-fleet flags (``repro.cluster``).
+
+    ``nodes_flag`` adds ``--nodes`` for campaign commands; the dedicated
+    ``cluster coordinator`` subcommand sizes its fleet with
+    ``--expect-nodes`` instead.
+    """
+    if nodes_flag:
+        sub.add_argument(
+            "--nodes",
+            type=_nonnegative_int,
+            default=0,
+            metavar="N",
+            help="distribute the campaign over N worker-node processes "
+            "(coordinator + Eq. 1 node shares + inter-node stealing); "
+            "0 = classic in-process run, results bitwise identical",
+        )
+    sub.add_argument(
+        "--heartbeat-timeout",
+        type=_positive_float,
+        default=5.0,
+        metavar="S",
+        help="seconds of heartbeat silence before a worker node is declared "
+        "dead and its leases reassigned (default 5)",
+    )
+    sub.add_argument(
+        "--lease-window",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="shard leases a worker node may hold at once (default 2)",
+    )
+
+
+def _cluster_config(args: argparse.Namespace, host: str | None = None, port: int = 0):
+    """Build a ClusterConfig from CLI flags (None when not clustering)."""
+    from repro.cluster import ClusterConfig
+
+    kwargs = {
+        "heartbeat_timeout_s": args.heartbeat_timeout,
+        "lease_window": args.lease_window,
+    }
+    if host is not None:
+        kwargs["host"] = host
+        kwargs["port"] = port
+    return ClusterConfig(**kwargs)
+
+
 def _add_metrics_args(sub: argparse.ArgumentParser) -> None:
     """Telemetry flags, shared by every run-something subcommand."""
     sub.add_argument(
@@ -274,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_host_runtime_args(crun, pool_flag=True)
     _add_autotune_args(crun, refine_flag=True)
+    _add_cluster_args(crun)
     _add_metrics_args(crun)
     _add_campaign_observability_args(crun)
 
@@ -294,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Autotuned campaigns are score-affecting config: resuming one needs
     # the same calibration file so the config hash matches the store.
     _add_autotune_args(cres, refine_flag=True)
+    _add_cluster_args(cres)
     _add_metrics_args(cres)
     _add_campaign_observability_args(cres)
 
@@ -313,6 +366,92 @@ def build_parser() -> argparse.ArgumentParser:
         default="json",
         help="json = full streaming dump, csv = per-ligand rows, "
         "report = ScreeningReport.to_json() of completed ligands",
+    )
+
+    clu = sub.add_parser(
+        "cluster",
+        help="distributed campaign fleet over real sockets "
+        "(coordinator + worker nodes)",
+    )
+    clsub = clu.add_subparsers(dest="cluster_command", required=True)
+
+    ccoord = clsub.add_parser(
+        "coordinator",
+        help="serve a campaign to remote worker nodes (spawns none locally); "
+        "start workers with `repro-vs cluster worker --connect HOST:PORT`",
+    )
+    ccoord.add_argument(
+        "--listen",
+        default="127.0.0.1:7641",
+        metavar="HOST:PORT",
+        help="address to accept worker connections on (default 127.0.0.1:7641)",
+    )
+    ccoord.add_argument(
+        "--expect-nodes",
+        type=_positive_int,
+        required=True,
+        metavar="N",
+        help="worker nodes that must dial in before shards are partitioned",
+    )
+    ccoord.add_argument("--store", required=True, help="campaign SQLite database path")
+    ccoord.add_argument("--receptor-pdb", help="receptor PDB file (default: synthetic)")
+    ccoord.add_argument("--receptor-atoms", type=_positive_int, default=1000)
+    ccoord.add_argument(
+        "--library-dir",
+        help="directory of ligand PDB files (default: synthetic library)",
+    )
+    ccoord.add_argument(
+        "--ligands", type=_positive_int, default=16, help="synthetic library size"
+    )
+    ccoord.add_argument("--atoms-min", type=_positive_int, default=20)
+    ccoord.add_argument("--atoms-max", type=_positive_int, default=50)
+    ccoord.add_argument("--spots", type=_positive_int, default=8)
+    ccoord.add_argument("--metaheuristic", default="M2")
+    ccoord.add_argument("--scale", type=float, default=0.1)
+    ccoord.add_argument("--seed", type=int, default=0)
+    ccoord.add_argument(
+        "--shard-size", type=_positive_int, default=32, metavar="N",
+        help="ligands per durable shard (checkpoint granularity)",
+    )
+    ccoord.add_argument(
+        "--node", choices=("jupiter", "hertz", "none"), default="hertz"
+    )
+    ccoord.add_argument("--max-attempts", type=_positive_int, default=3)
+    ccoord.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign from its store (library/"
+        "receptor flags are ignored; the store's descriptors win)",
+    )
+    _add_host_runtime_args(ccoord, pool_flag=True)
+    _add_autotune_args(ccoord)
+    _add_cluster_args(ccoord, nodes_flag=False)
+    _add_metrics_args(ccoord)
+    _add_campaign_observability_args(ccoord)
+
+    cwork = clsub.add_parser(
+        "worker",
+        help="run one worker node: dial a coordinator, dock leased ligands "
+        "until drained or told to shut down",
+    )
+    cwork.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to dial",
+    )
+    cwork.add_argument(
+        "--connect-attempts",
+        type=_positive_int,
+        default=10,
+        help="dial retries before giving up (exponential backoff; default 10)",
+    )
+    cwork.add_argument(
+        "--connect-backoff",
+        type=_positive_float,
+        default=0.1,
+        metavar="S",
+        help="initial retry backoff in seconds (default 0.1)",
     )
 
     cal = sub.add_parser(
@@ -669,8 +808,9 @@ def _print_campaign_summary(store) -> int:
     return 0
 
 
-def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignRunner, PDBDirectorySource, SyntheticSource
+def _campaign_inputs(args: argparse.Namespace):
+    """Receptor + descriptor + ligand source for a new campaign."""
+    from repro.campaign import PDBDirectorySource, SyntheticSource
     from repro.molecules.pdb import read_pdb
     from repro.molecules.synthetic import generate_receptor
 
@@ -692,27 +832,46 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             atoms_range=(args.atoms_min, args.atoms_max),
             seed=args.seed + 10,
         )
+    return receptor, receptor_descriptor, source
+
+
+def _new_campaign_runner(
+    args: argparse.Namespace, progress=None, *, nodes: int = 0, cluster=None
+):
+    """Build a fresh CampaignRunner from `campaign run`-style flags."""
+    from repro.campaign import CampaignRunner
+
+    receptor, receptor_descriptor, source = _campaign_inputs(args)
+    return CampaignRunner(
+        receptor,
+        source,
+        store_path=args.store,
+        n_spots=args.spots,
+        metaheuristic=args.metaheuristic,
+        seed=args.seed,
+        workload_scale=args.scale,
+        shard_size=args.shard_size,
+        node=_campaign_node(args.node),
+        host_workers=args.host_workers,
+        parallel_mode=args.parallel_mode,
+        prune_spots=args.prune_spots,
+        persistent_pool=not args.fresh_pool,
+        autotune=args.autotune,
+        calibration_file=args.calibration_file,
+        refine_calibration=getattr(args, "refine_calibration", False),
+        max_attempts=args.max_attempts,
+        progress=progress,
+        receptor_descriptor=receptor_descriptor,
+        nodes=nodes,
+        cluster=cluster,
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    cluster = _cluster_config(args) if args.nodes >= 2 else None
     with _campaign_session(args, args.shard_size) as progress_cb:
-        runner = CampaignRunner(
-            receptor,
-            source,
-            store_path=args.store,
-            n_spots=args.spots,
-            metaheuristic=args.metaheuristic,
-            seed=args.seed,
-            workload_scale=args.scale,
-            shard_size=args.shard_size,
-            node=_campaign_node(args.node),
-            host_workers=args.host_workers,
-            parallel_mode=args.parallel_mode,
-            prune_spots=args.prune_spots,
-            persistent_pool=not args.fresh_pool,
-            autotune=args.autotune,
-            calibration_file=args.calibration_file,
-            refine_calibration=args.refine_calibration,
-            max_attempts=args.max_attempts,
-            progress=progress_cb,
-            receptor_descriptor=receptor_descriptor,
+        runner = _new_campaign_runner(
+            args, progress_cb, nodes=args.nodes, cluster=cluster
         )
         with runner.run() as store:
             rc = _print_campaign_summary(store)
@@ -720,47 +879,20 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return rc
 
 
-def _rebuild_campaign_runner(args: argparse.Namespace, progress=None):
+def _rebuild_campaign_runner(
+    args: argparse.Namespace, progress=None, *, nodes: int = 0, cluster=None
+):
     """Reconstruct receptor/library from a store's recorded descriptors."""
-    from repro.campaign import (
-        CampaignRunner,
-        CampaignStore,
-        PDBDirectorySource,
-        SyntheticSource,
-    )
+    from repro.campaign import CampaignRunner, CampaignStore
+    from repro.campaign.library import build_receptor, build_source
     from repro.errors import CampaignError
-    from repro.molecules.pdb import read_pdb
-    from repro.molecules.synthetic import generate_receptor
 
     with CampaignStore.open(args.store) as store:
         config = store.config
 
     receptor_desc = config.get("receptor", {})
-    if receptor_desc.get("kind") == "synthetic":
-        receptor = generate_receptor(
-            int(receptor_desc["n_atoms"]), seed=int(receptor_desc["seed"])
-        )
-    elif receptor_desc.get("kind") == "pdb":
-        receptor = read_pdb(receptor_desc["path"], kind="receptor")
-    else:
-        raise CampaignError(
-            "this campaign's receptor cannot be reconstructed from the store "
-            f"(descriptor {receptor_desc}); resume it via the Python API"
-        )
-    library_desc = config.get("library", {})
-    if library_desc.get("kind") == "synthetic":
-        source = SyntheticSource(
-            int(library_desc["n_ligands"]),
-            atoms_range=tuple(library_desc["atoms_range"]),
-            seed=int(library_desc["seed"]),
-        )
-    elif library_desc.get("kind") == "pdb-dir":
-        source = PDBDirectorySource(library_desc["path"], library_desc["pattern"])
-    else:
-        raise CampaignError(
-            "this campaign's ligand library cannot be reconstructed from the "
-            f"store (descriptor {library_desc}); resume it via the Python API"
-        )
+    receptor = build_receptor(receptor_desc)
+    source = build_source(config.get("library", {}))
     if config.get("scoring") is not None:
         raise CampaignError(
             "campaigns with a custom scoring function can only be resumed via "
@@ -783,10 +915,12 @@ def _rebuild_campaign_runner(args: argparse.Namespace, progress=None):
         persistent_pool=not args.fresh_pool,
         autotune=args.autotune or bool(config.get("autotune", False)),
         calibration_file=args.calibration_file,
-        refine_calibration=args.refine_calibration,
+        refine_calibration=getattr(args, "refine_calibration", False),
         max_attempts=args.max_attempts,
         progress=progress,
         receptor_descriptor=receptor_desc,
+        nodes=nodes,
+        cluster=cluster,
     )
 
 
@@ -795,8 +929,11 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
 
     with CampaignStore.open(args.store) as store:
         shard_size = int(store.config.get("shard_size", 1))
+    cluster = _cluster_config(args) if args.nodes >= 2 else None
     with _campaign_session(args, shard_size) as progress_cb:
-        runner = _rebuild_campaign_runner(args, progress=progress_cb)
+        runner = _rebuild_campaign_runner(
+            args, progress=progress_cb, nodes=args.nodes, cluster=cluster
+        )
         with runner.resume() as store:
             rc = _print_campaign_summary(store)
     # Even a no-op resume of a complete campaign leaves a valid snapshot
@@ -873,6 +1010,80 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         "export": _cmd_campaign_export,
     }
     return commands[args.campaign_command](args)
+
+
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """Split ``HOST:PORT``, with a clear error on malformed input."""
+    from repro.errors import ClusterError
+
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ClusterError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterError(f"invalid port in {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ClusterError(f"port must be in [0, 65535], got {port}")
+    return host, port
+
+
+def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
+    """Serve one campaign over real sockets; workers dial in separately."""
+    host, port = _parse_hostport(args.listen)
+    cluster = _cluster_config(args, host=host, port=port)
+    with _campaign_session(args, args.shard_size) as progress_cb:
+        if args.resume:
+            runner = _rebuild_campaign_runner(
+                args, progress=progress_cb, nodes=args.expect_nodes, cluster=cluster
+            )
+        else:
+            runner = _new_campaign_runner(
+                args, progress_cb, nodes=args.expect_nodes, cluster=cluster
+            )
+        runner.cluster_spawn = False  # remote workers only
+        print(
+            f"coordinator listening on {host}:{port} for "
+            f"{args.expect_nodes} worker node(s); start each with "
+            f"`repro-vs cluster worker --connect {host}:{port}`",
+            file=sys.stderr,
+        )
+        run = runner.resume if args.resume else runner.run
+        with run() as store:
+            rc = _print_campaign_summary(store)
+        if runner.fleet is not None and runner.fleet.summary is not None:
+            summary = runner.fleet.summary
+            print(
+                f"fleet: {summary['nodes']} nodes, {summary['shards']} shards, "
+                f"{summary['steals']} steals, "
+                f"{summary['node_deaths']} node deaths"
+            )
+    _maybe_write_metrics(args, default=f"{args.store}.metrics.json")
+    return rc
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    """One worker node process: exit 0 on clean drain, 1 on lost coordinator."""
+    from repro.cluster import run_worker
+
+    host, port = _parse_hostport(args.connect)
+    rc = run_worker(
+        host,
+        port,
+        connect_attempts=args.connect_attempts,
+        connect_backoff_s=args.connect_backoff,
+    )
+    if rc != 0:
+        print(f"worker lost coordinator at {host}:{port}", file=sys.stderr)
+    return rc
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    commands = {
+        "coordinator": _cmd_cluster_coordinator,
+        "worker": _cmd_cluster_worker,
+    }
+    return commands[args.cluster_command](args)
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -1095,6 +1306,7 @@ def main(argv: list[str] | None = None) -> int:
         "dock": _cmd_dock,
         "screen": _cmd_screen,
         "campaign": _cmd_campaign,
+        "cluster": _cmd_cluster,
         "calibrate": _cmd_calibrate,
         "metrics": _cmd_metrics,
         "bench": _cmd_bench,

@@ -1,0 +1,208 @@
+"""Fleet tuning knobs and cross-process reconstruction helpers.
+
+:class:`ClusterConfig` carries every execution-side setting of a distributed
+campaign — addresses, timeouts, lease window, warm-up probe policy. None of
+it is science-affecting: like ``host_workers`` or ``parallel_mode``, the
+fleet shape may change freely between a run and its resume, and scores stay
+bitwise identical for any node count.
+
+Scoring functions are the one constructor argument a worker process cannot
+receive by reference, so :func:`scoring_descriptor` /:func:`build_scoring`
+round-trip the reconstructable ones (the registered scorers with
+JSON-representable constructor args) through the config message. A custom
+scorer instance raises :class:`~repro.errors.ClusterError` up front rather
+than silently docking with different numerics on the far side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.errors import ClusterError
+from repro.scoring.base import ScoringFunction, get_scoring
+
+__all__ = ["ClusterConfig", "scoring_descriptor", "build_scoring"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Execution settings for one campaign fleet (see module docstring).
+
+    Attributes
+    ----------
+    host, port:
+        Coordinator listen address. Port 0 binds an ephemeral port (the
+        local fleet's default — workers are told the real port).
+    heartbeat_interval_s:
+        How often an idle/busy worker proves liveness.
+    heartbeat_timeout_s:
+        Silence threshold after which the coordinator declares a node dead
+        and reclaims its leases.
+    message_timeout_s:
+        Per-message completion timeout once a frame has started.
+    connect_attempts, connect_backoff_s:
+        Worker dial retry policy (workers race the coordinator's bind).
+    lease_window:
+        Outstanding leases per node — 2 keeps a node busy while its next
+        shard is in flight, without hoarding work a thief could use.
+    warmup_probe:
+        Measure one probe dock per node for Eq. 1 shares; off = equal
+        shares (stealing still balances).
+    warmup_deadline_s:
+        How long the coordinator waits for hellos + probes before
+        partitioning over whichever nodes made it.
+    probe_atoms:
+        Probe ligand size (science-neutral: probe results are discarded).
+    probe_seconds_override:
+        Test/bench seam: ``((node_id, seconds), ...)`` pairs that replace
+        the measured probe time per node, making Eq. 1 shares — and
+        therefore steal traffic — deterministic.
+    service_time_s:
+        Synthetic per-ligand device service time (a worker sleeps this long
+        after each dock). The multinode benchmark uses it to emulate the
+        device-bound regime on oversubscribed CI hosts, where N CPU-bound
+        node processes on one core cannot show real overlap. 0 (default)
+        for every real campaign.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    heartbeat_interval_s: float = 0.5
+    heartbeat_timeout_s: float = 5.0
+    message_timeout_s: float = 30.0
+    connect_attempts: int = 10
+    connect_backoff_s: float = 0.1
+    lease_window: int = 2
+    warmup_probe: bool = True
+    warmup_deadline_s: float = 120.0
+    probe_atoms: int = 24
+    probe_seconds_override: tuple[tuple[int, float], ...] = field(default=())
+    service_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= int(self.port) <= 65535:
+            raise ClusterError(f"port must be in [0, 65535], got {self.port}")
+        if self.heartbeat_interval_s <= 0:
+            raise ClusterError(
+                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
+            )
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ClusterError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s "
+                f"({self.heartbeat_timeout_s} <= {self.heartbeat_interval_s})"
+            )
+        if self.lease_window < 1:
+            raise ClusterError(f"lease_window must be >= 1, got {self.lease_window}")
+        if self.service_time_s < 0:
+            raise ClusterError(
+                f"service_time_s must be >= 0, got {self.service_time_s}"
+            )
+
+    # -- wire form -----------------------------------------------------
+    def to_wire(self) -> dict:
+        """JSON-serialisable form for the ``config`` message."""
+        doc = asdict(self)
+        doc["probe_seconds_override"] = [
+            [int(n), float(s)] for n, s in self.probe_seconds_override
+        ]
+        return doc
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "ClusterConfig":
+        try:
+            override = tuple(
+                (int(n), float(s)) for n, s in doc.get("probe_seconds_override", [])
+            )
+            return cls(
+                host=str(doc.get("host", "127.0.0.1")),
+                port=int(doc.get("port", 0)),
+                heartbeat_interval_s=float(doc["heartbeat_interval_s"]),
+                heartbeat_timeout_s=float(doc["heartbeat_timeout_s"]),
+                message_timeout_s=float(doc["message_timeout_s"]),
+                connect_attempts=int(doc["connect_attempts"]),
+                connect_backoff_s=float(doc["connect_backoff_s"]),
+                lease_window=int(doc["lease_window"]),
+                warmup_probe=bool(doc["warmup_probe"]),
+                warmup_deadline_s=float(doc["warmup_deadline_s"]),
+                probe_atoms=int(doc["probe_atoms"]),
+                probe_seconds_override=override,
+                service_time_s=float(doc.get("service_time_s", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ClusterError(f"malformed cluster config on the wire: {exc}") from exc
+
+    def probe_override_for(self, node_id: int) -> float | None:
+        for node, seconds in self.probe_seconds_override:
+            if node == node_id:
+                return seconds
+        return None
+
+
+# ----------------------------------------------------------------------
+# scoring reconstruction across the process boundary
+# ----------------------------------------------------------------------
+def scoring_descriptor(scoring: ScoringFunction | None) -> dict | None:
+    """Describe a scoring function so a worker can rebuild it by value."""
+    if scoring is None:
+        return None
+    from repro.molecules.forcefield import default_forcefield
+    from repro.scoring.cutoff import CutoffLennardJonesScoring
+    from repro.scoring.lennard_jones import LennardJonesScoring
+
+    if isinstance(scoring, CutoffLennardJonesScoring):
+        if scoring.forcefield is not None and not _is_default_forcefield(
+            scoring.forcefield, default_forcefield()
+        ):
+            raise ClusterError(
+                "a custom forcefield cannot cross the cluster node boundary; "
+                "run with nodes=0 or use the default forcefield"
+            )
+        return {
+            "kind": "lennard-jones-cutoff",
+            "cutoff": float(scoring.cutoff),
+            "chunk_size": scoring.chunk_size,
+            "dtype": np.dtype(scoring.dtype).name,
+        }
+    if type(scoring) is LennardJonesScoring:
+        if not _is_default_forcefield(scoring.forcefield, default_forcefield()):
+            raise ClusterError(
+                "a custom forcefield cannot cross the cluster node boundary; "
+                "run with nodes=0 or use the default forcefield"
+            )
+        return {"kind": "lennard-jones", "chunk_size": scoring.chunk_size}
+    name = getattr(scoring, "name", "")
+    raise ClusterError(
+        f"scoring function {name or type(scoring).__name__!r} cannot be "
+        "reconstructed on a worker node; distributed campaigns support the "
+        "default scorer, lennard-jones, and lennard-jones-cutoff"
+    )
+
+
+def _is_default_forcefield(candidate, default) -> bool:
+    try:
+        return candidate is default or vars(candidate) == vars(default)
+    except TypeError:
+        return candidate is default
+
+
+def build_scoring(descriptor: dict | None) -> ScoringFunction | None:
+    """Worker-side inverse of :func:`scoring_descriptor`."""
+    if descriptor is None:
+        return None
+    kind = descriptor.get("kind")
+    if kind == "lennard-jones-cutoff":
+        chunk = descriptor.get("chunk_size")
+        return get_scoring(
+            "lennard-jones-cutoff",
+            cutoff=float(descriptor["cutoff"]),
+            chunk_size=None if chunk is None else int(chunk),
+            dtype=np.dtype(str(descriptor["dtype"])),
+        )
+    if kind == "lennard-jones":
+        chunk = descriptor.get("chunk_size")
+        return get_scoring(
+            "lennard-jones", chunk_size=None if chunk is None else int(chunk)
+        )
+    raise ClusterError(f"unknown scoring descriptor on the wire: {descriptor}")

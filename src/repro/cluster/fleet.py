@@ -1,0 +1,299 @@
+"""Local campaign fleet: spawn N worker-node processes and coordinate them.
+
+:class:`ClusterCampaign` is the bridge between :class:`~repro.campaign.runner.
+CampaignRunner` (which owns the science config, store lifecycle, and resume
+reconciliation) and the cluster subsystem (which owns distribution). The
+runner delegates its ``_execute`` phase here when ``nodes >= 2``; everything
+before (config hashing, journal replay, completed-campaign no-ops) and the
+result contract after (an open store, bitwise identical to a single-node
+run) are unchanged.
+
+Execution shape, in order:
+
+1. **Plan** — stream the library once, cutting it into the same shards the
+   single-node runner would execute, with the same collision-free titles.
+   Descriptor-backed libraries (synthetic, pdb-dir) lease ordinals only and
+   workers regenerate ligands locally; one-shot in-memory sources ship each
+   ligand inline in its lease.
+2. **Listen, then fork** — the coordinator socket binds first (workers never
+   race it), worker processes fork *before* any coordinator thread starts
+   (fork + threads don't mix), and each worker resets its inherited
+   telemetry and dials back in.
+3. **Serve** — the :class:`~repro.cluster.coordinator.Coordinator` runs the
+   warm-up barrier, Eq. 1 partition, leasing/stealing, and death recovery.
+4. **Finalise** — on full completion, ``mark_complete`` + journal finish,
+   exactly as the single-node path; on fatal fleet errors the store is
+   closed and the error propagates (the store remains resumable).
+
+``spawn=False`` runs the coordinator without local workers: ``repro-vs
+cluster coordinator`` uses it to serve remote ``repro-vs cluster worker``
+processes over real sockets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import sys
+
+from repro import observability as obs
+from repro.campaign.library import iter_shards, resolve_title
+from repro.campaign.store import CampaignStore
+from repro.errors import ClusterError
+from repro.metaheuristics.template import MetaheuristicSpec
+
+from repro.cluster.config import ClusterConfig, scoring_descriptor
+from repro.cluster.coordinator import Coordinator, ShardTask
+from repro.cluster.protocol import ligand_to_payload, molecule_to_payload
+
+__all__ = ["ClusterCampaign", "execute_fleet"]
+
+#: Library kinds whose descriptors rebuild bitwise on a worker — their
+#: leases carry ordinals only, never ligand payloads.
+_DESCRIPTOR_KINDS = frozenset({"synthetic", "pdb-dir"})
+
+
+def _worker_main(host: str, port: int, attempts: int, backoff_s: float) -> None:
+    """Child-process entry point (top-level so spawn contexts can pickle it)."""
+    from repro.cluster.worker import run_worker
+
+    sys.exit(
+        run_worker(host, port, connect_attempts=attempts, connect_backoff_s=backoff_s)
+    )
+
+
+def _mp_context():
+    """Prefer fork: workers inherit loaded modules instead of re-importing
+    the scientific stack per process (seconds each on small CI hosts)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+class ClusterCampaign:
+    """One distributed execution of a campaign (see module docstring).
+
+    Tests and benchmarks reach the moving parts through ``processes`` (the
+    local worker ``multiprocessing.Process`` handles — SIGKILL one to
+    exercise recovery) and ``coordinator`` (live fleet state); ``summary``
+    holds the serve() outcome (steals, node deaths, recovery seconds) after
+    completion.
+    """
+
+    def __init__(
+        self,
+        runner,
+        *,
+        nodes: int,
+        cluster: ClusterConfig | None = None,
+        spawn: bool = True,
+    ) -> None:
+        if nodes < 1:
+            raise ClusterError(f"a fleet needs nodes >= 1, got {nodes}")
+        if isinstance(runner.metaheuristic, MetaheuristicSpec):
+            raise ClusterError(
+                "a custom MetaheuristicSpec cannot cross the cluster node "
+                "boundary; use a preset name (M1-M4) or run with nodes=0"
+            )
+        if runner.refine_calibration:
+            raise ClusterError(
+                "refine_calibration is not supported with nodes >= 2: worker "
+                "nodes cannot fold their observations into one table safely"
+            )
+        self.runner = runner
+        self.nodes = int(nodes)
+        self.cluster = cluster if cluster is not None else ClusterConfig()
+        self.spawn = bool(spawn)
+        # Fail fast on anything that cannot be rebuilt on a worker.
+        self._scoring_descriptor = scoring_descriptor(runner.scoring)
+        self._node_name = self._validate_node_spec(runner.node)
+        self.processes: list = []
+        self.coordinator: Coordinator | None = None
+        self.summary: dict | None = None
+
+    @staticmethod
+    def _validate_node_spec(node) -> str | None:
+        if node is None:
+            return None
+        from repro.hardware.node import hertz, jupiter
+
+        factories = {"jupiter": jupiter, "hertz": hertz}
+        expected = factories.get(node.name)
+        if expected is None or expected() != node:
+            raise ClusterError(
+                f"node spec {node.name!r} cannot be reconstructed on a worker "
+                "node; distributed campaigns support the built-in "
+                "jupiter/hertz models"
+            )
+        return node.name
+
+    # ------------------------------------------------------------------
+    # plan
+    # ------------------------------------------------------------------
+    def _plan(self, finished: set[int]) -> tuple[list[ShardTask], int]:
+        """Stream the library into leasable shard tasks (single pass)."""
+        runner = self.runner
+        library_kind = runner.config["library"].get("kind")
+        ship = library_kind not in _DESCRIPTOR_KINDS
+        seen_titles: set[str] = set()
+        tasks: list[ShardTask] = []
+        n_streamed = 0
+        for shard, items in iter_shards(runner.source, runner.shard_size):
+            titled = [
+                (ordinal, ligand, resolve_title(ligand.title, ordinal, seen_titles))
+                for ordinal, ligand in items
+            ]
+            n_streamed += len(items)
+            if shard.shard_id in finished:
+                obs.counter("campaign.shards.skipped").inc()
+                continue
+            tasks.append(
+                ShardTask(
+                    shard_id=shard.shard_id,
+                    start=shard.start,
+                    stop=shard.stop,
+                    items=tuple(
+                        (ordinal, title, ligand_to_payload(ligand) if ship else None)
+                        for ordinal, ligand, title in titled
+                    ),
+                )
+            )
+        return tasks, n_streamed
+
+    def _config_base(self) -> dict:
+        """Everything a worker needs to rebuild the campaign locally."""
+        runner = self.runner
+        library_kind = runner.config["library"].get("kind")
+        calibration = (
+            None
+            if runner._autotune is None
+            else runner._autotune.selector.table.to_json()
+        )
+        return {
+            "campaign": {
+                "seed": runner.seed,
+                "n_spots": runner.n_spots,
+                "metaheuristic": str(runner.metaheuristic),
+                "workload_scale": runner.workload_scale,
+                "mode": runner.mode,
+                "max_attempts": runner.max_attempts,
+                "backoff_base": runner.backoff_base,
+            },
+            "execution": {
+                "host_workers": runner.host_workers,
+                "parallel_mode": runner.parallel_mode,
+                "prune_spots": runner.prune_spots,
+                "persistent_pool": runner.persistent_pool,
+                "scoring": self._scoring_descriptor,
+                "node": self._node_name,
+            },
+            "cluster": self.cluster.to_wire(),
+            "receptor": molecule_to_payload(runner.receptor),
+            "library": (
+                runner.config["library"]
+                if library_kind in _DESCRIPTOR_KINDS
+                else None
+            ),
+            "calibration": calibration,
+        }
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, store: CampaignStore, finished: set[int]) -> CampaignStore:
+        """Run the planned fleet to completion against an open store."""
+        runner = self.runner
+        try:
+            with obs.span("cluster.fleet", nodes=self.nodes):
+                tasks, n_streamed = self._plan(finished)
+                obs.gauge("cluster.fleet.nodes").set(self.nodes)
+                obs.gauge("cluster.fleet.shards").set(len(tasks))
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                try:
+                    listener.bind((self.cluster.host, self.cluster.port))
+                except OSError as exc:
+                    listener.close()
+                    raise ClusterError(
+                        f"cannot bind cluster coordinator to "
+                        f"{self.cluster.host}:{self.cluster.port}: {exc}"
+                    ) from exc
+                listener.listen(self.nodes + 2)
+                port = listener.getsockname()[1]
+                try:
+                    if self.spawn:
+                        # Fork strictly before the coordinator spins up its
+                        # accept/handler threads: forking a multithreaded
+                        # process is where deadlocks live.
+                        ctx = _mp_context()
+                        self.processes = [
+                            ctx.Process(
+                                target=_worker_main,
+                                args=(
+                                    self.cluster.host,
+                                    port,
+                                    self.cluster.connect_attempts,
+                                    self.cluster.connect_backoff_s,
+                                ),
+                                name=f"cluster-node-{i}",
+                                daemon=True,
+                            )
+                            for i in range(self.nodes)
+                        ]
+                        for process in self.processes:
+                            process.start()
+                    self.coordinator = Coordinator(
+                        listener,
+                        store=store,
+                        journal=runner.journal,
+                        tasks=tasks,
+                        config_base=self._config_base(),
+                        cluster=self.cluster,
+                        expected_nodes=self.nodes,
+                        total=runner.source.count(),
+                        progress=runner._progress,
+                        raise_on_failure=runner.raise_on_failure,
+                    )
+                    self.summary = self.coordinator.serve()
+                finally:
+                    self._reap_workers()
+                store.mark_complete(n_streamed)
+                if runner.journal is not None:
+                    runner.journal.campaign_finish(n_streamed)
+        except BaseException:
+            store.close()
+            raise
+        return store
+
+    def _reap_workers(self) -> None:
+        """Join worker processes; anything still alive gets terminated."""
+        for process in self.processes:
+            process.join(timeout=self.cluster.message_timeout_s)
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=2.0)
+
+
+def execute_fleet(
+    runner,
+    store: CampaignStore,
+    finished: set[int],
+    *,
+    nodes: int,
+    cluster: ClusterConfig | None = None,
+    spawn: bool = True,
+) -> CampaignStore:
+    """Runner delegation hook: distribute one campaign execution phase.
+
+    Called by :meth:`CampaignRunner._execute` when the runner was built with
+    ``nodes >= 2``. The fleet object stays reachable as ``runner.fleet`` so
+    tests can reach the worker processes (e.g. to SIGKILL one mid-run).
+    """
+    fleet = ClusterCampaign(runner, nodes=nodes, cluster=cluster, spawn=spawn)
+    runner.fleet = fleet
+    return fleet.execute(store, finished)

@@ -1,0 +1,416 @@
+"""Worker-node process: one node of a distributed campaign fleet.
+
+A worker owns the same execution stack a single-node campaign does — its own
+:class:`~repro.engine.host_runtime.PersistentHostRuntime` (pool spawned
+once, receptor staged once, Eq. 1 warm-up paid once), the same bounded-retry
+dock loop, the same ``seed + ordinal`` seeding rule — and reports each
+ligand's outcome to the coordinator as a ``result`` message the moment it is
+docked. The coordinator, not the worker, owns the store: a worker that dies
+mid-shard loses nothing that was already reported.
+
+Lifecycle (one TCP channel, messages per :mod:`repro.cluster.protocol`):
+
+1. dial the coordinator (bounded retry), send ``hello``;
+2. receive ``config`` — campaign science settings, execution knobs, the
+   receptor inline, optionally the library descriptor and autotune table;
+3. dock one warm-up probe ligand, send ``warmup`` with the measured seconds
+   (the coordinator's Eq. 1 input — this same dock also warms the pool);
+4. serve: process leased ligands one at a time, interleaving protocol
+   receives between docks so shutdown/lease top-ups are handled promptly;
+   when idle, ask to ``steal``; heartbeat from a side thread throughout;
+5. on ``shutdown``, send ``bye`` carrying the full local telemetry snapshot
+   (the coordinator retags it ``node=<id>`` and merges it).
+
+The worker is deliberately single-threaded around docking: message handling
+happens *between* ligands, which bounds the protocol latency by one dock but
+keeps the science path identical to the single-node runner.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro import observability as obs
+from repro.errors import ClusterError, ConnectionClosed, ProtocolError
+
+from repro.cluster.config import ClusterConfig, build_scoring
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    Channel,
+    connect,
+    ligand_from_payload,
+    receptor_from_payload,
+)
+
+__all__ = ["run_worker", "WorkerNode"]
+
+#: Seed offset for the warm-up probe ligand — far outside any campaign's
+#: ordinal range so the probe can never collide with a real ligand's stream.
+PROBE_SEED_OFFSET = 999_331
+
+
+def _build_node_spec(name: str | None):
+    """Rebuild a named hardware model on the worker side (or ``None``)."""
+    if name is None:
+        return None
+    from repro.hardware.node import hertz, jupiter
+
+    factories = {"jupiter": jupiter, "hertz": hertz}
+    if name not in factories:
+        raise ClusterError(
+            f"node spec {name!r} cannot be reconstructed on a worker node; "
+            "distributed campaigns support the built-in jupiter/hertz models"
+        )
+    return factories[name]()
+
+
+@dataclass
+class _Lease:
+    """One granted shard: ordinals with titles, ligands lazy or inline."""
+
+    shard_id: int
+    start: int
+    stop: int
+    stolen: bool
+    items: deque = field(default_factory=deque)  # (ordinal, title, Ligand)
+
+
+class WorkerNode:
+    """The serving half of a worker process (post-``config``)."""
+
+    def __init__(self, channel: Channel, config_message: dict) -> None:
+        try:
+            self.node_id = int(config_message["node"])
+            campaign = config_message["campaign"]
+            execution = config_message["execution"]
+            self.cluster = ClusterConfig.from_wire(config_message["cluster"])
+            self.receptor = receptor_from_payload(config_message["receptor"])
+            self.library = config_message.get("library")
+            calibration = config_message.get("calibration")
+            self.seed = int(campaign["seed"])
+            self.n_spots = int(campaign["n_spots"])
+            self.metaheuristic = str(campaign["metaheuristic"])
+            self.workload_scale = float(campaign["workload_scale"])
+            self.mode = str(campaign["mode"])
+            self.max_attempts = int(campaign["max_attempts"])
+            self.backoff_base = float(campaign["backoff_base"])
+            self.host_workers = int(execution["host_workers"])
+            self.parallel_mode = str(execution["parallel_mode"])
+            self.prune_spots = bool(execution["prune_spots"])
+            self.persistent_pool = bool(execution["persistent_pool"])
+            self.scoring = build_scoring(execution.get("scoring"))
+            self.node_spec = _build_node_spec(execution.get("node"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed config message: {exc}") from exc
+        self.channel = channel
+        self.channel.timeout = self.cluster.message_timeout_s
+        self._autotune = None
+        if calibration is not None:
+            from repro.scoring.autotune import AutotuneController, CalibrationTable
+
+            self._autotune = AutotuneController(
+                CalibrationTable.from_json(calibration),
+                prune_spots=self.prune_spots,
+            )
+        self._source = None  # built lazily from the library descriptor
+        self._runtime = None
+        self._leases: deque[_Lease] = deque()
+        self._done = 0
+        self._failed = 0
+        self._stop = threading.Event()
+        self._heartbeat_error: Exception | None = None
+        from repro.molecules.spots import find_spots
+
+        self.spots = find_spots(self.receptor, self.n_spots)
+
+    # ------------------------------------------------------------------
+    # warm-up
+    # ------------------------------------------------------------------
+    def start_runtime(self) -> None:
+        if self.host_workers > 0 and self.persistent_pool:
+            from repro.engine.host_runtime import PersistentHostRuntime
+
+            self._runtime = PersistentHostRuntime(
+                self.receptor,
+                self.spots,
+                n_workers=self.host_workers,
+                mode=self.parallel_mode,
+                scoring=self.scoring,
+                prune_spots=self.prune_spots,
+                autotune=self._autotune,
+            )
+
+    def probe(self) -> float:
+        """Dock one throwaway ligand at campaign settings; return seconds.
+
+        This is the fleet-level Eq. 1 measurement *and* the pool warm-up in
+        one: the first dock pays pool spawn + receptor staging, so the probe
+        time reflects steady-state per-ligand cost only if the pool is
+        already warm — which is exactly why the probe dock happens after
+        :meth:`start_runtime` and is itself discarded.
+        """
+        from repro.molecules.synthetic import generate_ligand
+
+        probe_ligand = generate_ligand(
+            self.cluster.probe_atoms,
+            seed=self.seed + PROBE_SEED_OFFSET,
+            title="__probe__",
+        )
+        t0 = time.perf_counter()
+        self._dock(probe_ligand, ordinal=0)
+        measured = time.perf_counter() - t0
+        override = self.cluster.probe_override_for(self.node_id)
+        return measured if override is None else float(override)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve(self) -> int:
+        """Main loop: alternate protocol receives with single-ligand docks."""
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="cluster-heartbeat", daemon=True
+        )
+        heartbeat.start()
+        asked_at: float | None = None
+        try:
+            while True:
+                if self._heartbeat_error is not None:
+                    return 1
+                busy = bool(self._leases)
+                idle = 0.0 if busy else self.cluster.heartbeat_interval_s
+                message = self.channel.recv(idle_timeout=idle)
+                if message is not None:
+                    kind = message["kind"]
+                    if kind == "lease":
+                        self._leases.append(self._accept_lease(message))
+                        asked_at = None
+                        continue
+                    if kind == "drain":
+                        # Nothing unleased right now; keep listening (work
+                        # can reappear via node-death reclamation).
+                        asked_at = time.monotonic()
+                        continue
+                    if kind == "shutdown":
+                        self._send_bye()
+                        return 0
+                    raise ProtocolError(
+                        f"worker received unexpected {kind} message"
+                    )
+                if busy:
+                    self._process_one()
+                    continue
+                now = time.monotonic()
+                if asked_at is None or now - asked_at > self.cluster.heartbeat_timeout_s:
+                    # Idle with nothing queued: ask the coordinator to steal
+                    # from another node's backlog (re-ask defensively after a
+                    # heartbeat timeout in case the grant got lost).
+                    self.channel.send({"kind": "steal", "node": self.node_id})
+                    asked_at = now
+        finally:
+            self._stop.set()
+            runtime, self._runtime = self._runtime, None
+            if runtime is not None:
+                runtime.close()
+
+    def _accept_lease(self, message: dict) -> _Lease:
+        try:
+            lease = _Lease(
+                shard_id=int(message["shard_id"]),
+                start=int(message["start"]),
+                stop=int(message["stop"]),
+                stolen=bool(message.get("stolen", False)),
+            )
+            raw_items = list(message["items"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed lease: {exc}") from exc
+        obs.counter("cluster.worker.leases").inc()
+        if lease.stolen:
+            obs.counter("cluster.worker.leases.stolen").inc()
+        # Materialise ligands now: inline payloads decode directly, payload-
+        # free items rebuild from the shared library descriptor by ordinal.
+        missing = [int(o) for o, _, payload in raw_items if payload is None]
+        local = self._materialize(missing)
+        for ordinal, title, payload in raw_items:
+            ordinal = int(ordinal)
+            ligand = (
+                local[ordinal] if payload is None else ligand_from_payload(payload)
+            )
+            lease.items.append((ordinal, str(title), ligand))
+        return lease
+
+    def _materialize(self, ordinals: list[int]) -> dict:
+        if not ordinals:
+            return {}
+        if self.library is None:
+            raise ProtocolError(
+                "lease references library ordinals but no library descriptor "
+                "was shipped in the config message"
+            )
+        from repro.campaign.library import build_source, materialize_ordinals
+
+        if self._source is None:
+            self._source = build_source(self.library)
+        return materialize_ordinals(self._source, ordinals)
+
+    def _process_one(self) -> None:
+        """Dock the next leased ligand and report its result."""
+        lease = self._leases[0]
+        ordinal, title, ligand = lease.items.popleft()
+        if not lease.items and len(self._leases) == 1:
+            pass  # nothing to prefetch
+        elif self._runtime is not None:
+            nxt = lease.items[0] if lease.items else self._leases[1].items[0]
+            if nxt is not None:
+                self._runtime.hint_next(nxt[2])
+        result_message = self._dock_with_retry(lease, ordinal, title, ligand)
+        self.channel.send(result_message)
+        if self.cluster.service_time_s > 0:
+            # Synthetic device service time (benchmark emulation mode).
+            time.sleep(self.cluster.service_time_s)
+        if not lease.items:
+            self._leases.popleft()
+
+    def _dock(self, ligand, ordinal: int):
+        from repro.vs.docking import dock
+
+        return dock(
+            self.receptor,
+            ligand,
+            spots=self.spots,
+            metaheuristic=self.metaheuristic,
+            scoring=self.scoring,
+            seed=self.seed + ordinal,
+            workload_scale=self.workload_scale,
+            node=self.node_spec,
+            mode=self.mode,
+            host_workers=self.host_workers,
+            parallel_mode=self.parallel_mode,
+            prune_spots=self.prune_spots,
+            evaluator_factory=(
+                None if self._runtime is None else self._runtime.evaluator_factory
+            ),
+            autotune=self._autotune,
+        )
+
+    def _dock_with_retry(
+        self, lease: _Lease, ordinal: int, title: str, ligand
+    ) -> dict:
+        """Mirror of ``CampaignRunner._dock_one``: same retry, same seeding."""
+        delay = self.backoff_base
+        for attempt in range(1, self.max_attempts + 1):
+            t0 = time.perf_counter()
+            try:
+                result = self._dock(ligand, ordinal)
+            except Exception as exc:
+                if attempt >= self.max_attempts:
+                    self._failed += 1
+                    obs.counter("campaign.ligands.failed").inc()
+                    return {
+                        "kind": "result",
+                        "node": self.node_id,
+                        "shard_id": lease.shard_id,
+                        "ordinal": ordinal,
+                        "title": title,
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "attempts": attempt,
+                    }
+                obs.counter("campaign.retries").inc()
+                time.sleep(delay)
+                delay *= 2
+                continue
+            wall_s = time.perf_counter() - t0
+            self._done += 1
+            obs.counter("campaign.ligands.done").inc()
+            obs.histogram("campaign.dock.seconds").observe(wall_s)
+            return {
+                "kind": "result",
+                "node": self.node_id,
+                "shard_id": lease.shard_id,
+                "ordinal": ordinal,
+                "title": title,
+                "ok": True,
+                "score": float(result.best_score),
+                "spot_index": int(result.best.spot_index),
+                "evaluations": int(result.evaluations),
+                "wall_seconds": float(wall_s),
+                "simulated_seconds": float(result.simulated_seconds),
+                "attempts": attempt,
+            }
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # liveness + farewell
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.cluster.heartbeat_interval_s):
+            try:
+                self.channel.send(
+                    {
+                        "kind": "heartbeat",
+                        "node": self.node_id,
+                        "done": self._done,
+                        "failed": self._failed,
+                    }
+                )
+            except Exception as exc:  # channel gone -> the worker is over
+                self._heartbeat_error = exc
+                return
+
+    def _send_bye(self) -> None:
+        self._stop.set()
+        self.channel.send(
+            {
+                "kind": "bye",
+                "node": self.node_id,
+                "done": self._done,
+                "failed": self._failed,
+                "telemetry": obs.snapshot(),
+            }
+        )
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    connect_attempts: int = 10,
+    connect_backoff_s: float = 0.1,
+) -> int:
+    """Process entry point for one worker node; returns an exit status.
+
+    Top-level and picklable on purpose: the local fleet forks/spawns it via
+    ``multiprocessing``, and ``repro-vs cluster worker`` calls it directly.
+    Resets process-global telemetry first — a forked child inherits the
+    parent's counters, and the coordinator must see only this node's numbers
+    in the final ``bye`` snapshot.
+    """
+    obs.reset()
+    sock = connect(host, port, attempts=connect_attempts, backoff_s=connect_backoff_s)
+    with Channel(sock) as channel:
+        channel.send(
+            {"kind": "hello", "protocol": PROTOCOL_VERSION, "pid": os.getpid()}
+        )
+        message = channel.recv()
+        if message is None:
+            raise ProtocolError("coordinator sent no config message")
+        if message["kind"] == "shutdown":
+            return 0  # fleet aborted during startup
+        if message["kind"] != "config":
+            raise ProtocolError(f"expected config, got {message['kind']}")
+        node = WorkerNode(channel, message)
+        try:
+            node.start_runtime()
+            seconds = node.probe() if node.cluster.warmup_probe else 1.0
+            channel.send(
+                {"kind": "warmup", "node": node.node_id, "seconds": seconds}
+            )
+            return node.serve()
+        except (ConnectionClosed, ProtocolError):
+            # Coordinator died or the stream broke: durable state lives on
+            # the coordinator side, so the worker just exits nonzero.
+            return 1

@@ -57,3 +57,16 @@ class CampaignError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid metric registration, snapshot schema, or span misuse."""
+
+
+class ClusterError(ReproError):
+    """Distributed-campaign failure: node loss, bad fleet config, or a
+    coordinator/worker that cannot continue."""
+
+
+class ProtocolError(ClusterError):
+    """Malformed, oversized, or timed-out cluster protocol message."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed its end of a cluster channel (EOF)."""

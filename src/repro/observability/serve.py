@@ -20,9 +20,11 @@ a real scrape against a docking campaign without port collisions.
 
 from __future__ import annotations
 
+import errno
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
@@ -100,6 +102,11 @@ class CampaignHealth:
                 "ligands_per_second": rate,
                 "eta_seconds": eta,
             }
+            # Distributed campaigns report a per-node table
+            # (ClusterProgress.nodes): id, state, weight, done/failed.
+            nodes = getattr(progress, "nodes", None)
+            if nodes:
+                doc["nodes"] = [dict(node) for node in nodes]
         return _json_safe(doc)
 
 
@@ -185,17 +192,45 @@ class MetricsServer:
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
+    #: Bind retries on EADDRINUSE — a just-stopped server (or the previous
+    #: campaign's scrape endpoint) can hold the port for a beat.
+    _BIND_ATTEMPTS = 5
+    _BIND_BACKOFF_S = 0.2
+
     # ------------------------------------------------------------------
     def start(self) -> "MetricsServer":
-        """Bind and serve in a daemon thread (idempotent)."""
+        """Bind and serve in a daemon thread (idempotent).
+
+        A fixed port that is momentarily occupied is retried with
+        exponential backoff; a port that stays occupied raises an
+        :class:`~repro.errors.ObservabilityError` naming it.
+        """
         if self._server is not None:
             return self
-        try:
-            server = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
-        except OSError as exc:
-            raise ObservabilityError(
-                f"cannot bind metrics server to {self.host}:{self._requested_port}: {exc}"
-            ) from exc
+        delay = self._BIND_BACKOFF_S
+        for attempt in range(1, self._BIND_ATTEMPTS + 1):
+            try:
+                server = ThreadingHTTPServer(
+                    (self.host, self._requested_port), _Handler
+                )
+                break
+            except OSError as exc:
+                in_use = exc.errno == errno.EADDRINUSE
+                if in_use and attempt < self._BIND_ATTEMPTS:
+                    time.sleep(delay)
+                    delay *= 2
+                    continue
+                detail = (
+                    f"port {self._requested_port} is already in use "
+                    f"(gave up after {attempt} attempts); pass a different "
+                    "--serve-metrics port, or 0 for an ephemeral one"
+                    if in_use
+                    else str(exc)
+                )
+                raise ObservabilityError(
+                    f"cannot bind metrics server to "
+                    f"{self.host}:{self._requested_port}: {detail}"
+                ) from exc
         server.daemon_threads = True
         server.snapshot_fn = self._snapshot_fn
         server.health_fn = self._health_fn

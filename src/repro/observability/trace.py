@@ -9,7 +9,11 @@ a visible gap.
 
 Lane assignment: spans carrying a ``worker`` tag land on that worker's
 thread lane (named ``worker N``); everything else lands on the ``main``
-lane. Worker spans come from other processes, but both sides time with
+lane. Distributed campaigns add a ``node`` tag when worker-node telemetry
+is merged back (:func:`repro.cluster.retag_snapshot`); each node then gets
+its own lane block — ``node N`` plus ``node N worker M`` — so per-node
+timelines sit side by side under the coordinator's ``main`` lane.
+Worker spans come from other processes, but both sides time with
 ``time.perf_counter``/``time.monotonic`` which share ``CLOCK_MONOTONIC``
 on Linux, so timestamps are directly comparable; the exporter rebases
 everything so the earliest span starts at t=0.
@@ -36,17 +40,35 @@ __all__ = ["snapshot_to_trace_events", "trace_events_to_json", "write_trace"]
 _PID = 1
 #: Thread lane for spans without a ``worker`` tag.
 _MAIN_TID = 0
+#: Lane stride per cluster node: node ``n``'s lanes start at ``(n+1) * 1000``.
+_NODE_STRIDE = 1000
 
 
 def _lane(tags: dict) -> int:
-    """Thread lane for one span: worker tag -> worker lane, else main."""
+    """Thread lane for one span: (node, worker) tags -> lane, else main."""
+    base = _MAIN_TID
     worker = tags.get("worker")
-    if worker is None:
-        return _MAIN_TID
+    if worker is not None:
+        try:
+            base = int(worker) + 1
+        except (TypeError, ValueError):
+            base = _MAIN_TID
+    node = tags.get("node")
+    if node is None:
+        return base
     try:
-        return int(worker) + 1
+        return (int(node) + 1) * _NODE_STRIDE + base
     except (TypeError, ValueError):
-        return _MAIN_TID
+        return base
+
+
+def _lane_name(tid: int) -> str:
+    """Human label for a lane id (inverse of :func:`_lane`)."""
+    if tid >= _NODE_STRIDE:
+        node, base = divmod(tid, _NODE_STRIDE)
+        label = f"node {node - 1}"
+        return label if base == _MAIN_TID else f"{label} worker {base - 1}"
+    return "main" if tid == _MAIN_TID else f"worker {tid - 1}"
 
 
 def snapshot_to_trace_events(snapshot: dict) -> dict:
@@ -68,7 +90,7 @@ def snapshot_to_trace_events(snapshot: dict) -> dict:
     for span in spans:
         lane = _lane(span.get("tags", {}))
         if lane not in lanes:
-            lanes[lane] = f"worker {lane - 1}"
+            lanes[lane] = _lane_name(lane)
     for tid, name in sorted(lanes.items()):
         events.append(
             {

@@ -62,6 +62,12 @@ class PipelineConfig:
     calibration_file:
         Path to a ``repro-vs calibrate`` table; required when
         ``autotune`` is on.
+    nodes:
+        When >= 2, :meth:`VirtualScreeningPipeline.screen` distributes the
+        library over a local fleet of worker-node processes
+        (:mod:`repro.cluster`); rankings stay bitwise identical to
+        ``nodes=0``. Single-ligand :meth:`~VirtualScreeningPipeline.dock`
+        always runs in-process.
     """
 
     n_spots: int = 16
@@ -74,6 +80,7 @@ class PipelineConfig:
     persistent_pool: bool = True
     autotune: bool = False
     calibration_file: str | None = None
+    nodes: int = 0
 
     def __post_init__(self) -> None:
         if self.n_spots < 1:
@@ -96,6 +103,8 @@ class PipelineConfig:
                 "autotune=True needs a calibration_file "
                 "(write one with `repro-vs calibrate`)"
             )
+        if self.nodes < 0:
+            raise ReproError(f"nodes must be >= 0, got {self.nodes}")
 
 
 class VirtualScreeningPipeline:
@@ -173,6 +182,7 @@ class VirtualScreeningPipeline:
             persistent_pool=self.config.persistent_pool,
             autotune=self.config.autotune,
             calibration_file=self.config.calibration_file,
+            nodes=self.config.nodes,
         )
 
     def compare_modes(

@@ -58,6 +58,8 @@ def screen(
     persistent_pool: bool = True,
     autotune=False,
     calibration_file: str | None = None,
+    nodes: int = 0,
+    cluster=None,
 ) -> ScreeningReport:
     """Screen a ligand library against the receptor surface.
 
@@ -80,6 +82,12 @@ def screen(
     library, so every ligand that lands in the same feature cell reuses the
     pinned ``(variant, chunk_size)``. For a fixed calibration table the
     scores stay bitwise identical to the serial reference path.
+
+    ``nodes >= 2`` distributes the screen over a local fleet of worker-node
+    processes (:mod:`repro.cluster`): ligands ship inline over the lease
+    protocol, every node runs its own persistent host runtime, and the
+    ranking is bitwise identical to ``nodes=0``. ``cluster`` optionally
+    carries a :class:`repro.cluster.ClusterConfig` with fleet tuning knobs.
 
     ``ligands`` may be any iterable — a generator streams through without
     ever being materialised. This is a thin wrapper over a one-shot
@@ -118,6 +126,8 @@ def screen(
         calibration_file=calibration_file,
         max_attempts=1,
         raise_on_failure=True,
+        nodes=nodes,
+        cluster=cluster,
     )
     with obs.span("vs.screen", host_workers=host_workers, mode=parallel_mode):
         obs.counter("vs.screen.runs").inc()

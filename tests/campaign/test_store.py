@@ -195,3 +195,64 @@ def test_in_memory_store_works():
     with CampaignStore.create(":memory:", CONFIG, "h") as store:
         store.record_result(0, "L0", -1.0, 0, 1, 0.1, 0.0)
         assert store.counts()["done"] == 1
+
+
+# ----------------------------------------------------------------------
+# science digest + busy-database backoff (cluster durability satellites)
+# ----------------------------------------------------------------------
+def test_science_digest_covers_science_and_ignores_timing(tmp_path):
+    a = CampaignStore.create(tmp_path / "a.sqlite", CONFIG, "h")
+    b = CampaignStore.create(tmp_path / "b.sqlite", CONFIG, "h")
+    a.record_result(0, "L0", -3.0, 1, 10, wall_seconds=0.1, simulated_seconds=0.2)
+    b.record_result(0, "L0", -3.0, 1, 10, wall_seconds=9.9, simulated_seconds=0.3)
+    a.record_failure(1, "L1", "boom", 2)
+    b.record_failure(1, "L1", "boom", 7)  # attempt counts are not science
+    assert a.science_digest() == b.science_digest()
+    assert list(a.science_rows()) == [
+        (0, "L0", "done", -3.0, 1, 10),
+        (1, "L1", "failed", None, None, None),
+    ]
+    b.record_result(2, "L2", -1.0, 0, 5, 0.1, 0.1)  # science diverges
+    assert a.science_digest() != b.science_digest()
+    a.close()
+    b.close()
+
+
+class _FlakyConn:
+    """Wraps the real connection; first N execute calls report a busy DB."""
+
+    def __init__(self, real, failures, message="database is locked"):
+        self._real = real
+        self.failures = failures
+        self.message = message
+        self.attempts = 0
+
+    def execute(self, sql, params=()):
+        self.attempts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise sqlite3.OperationalError(self.message)
+        return self._real.execute(sql, params)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+def test_busy_database_is_retried_with_backoff(store):
+    store._conn = _FlakyConn(store._conn, failures=2)
+    store.record_result(0, "L0", -1.0, 0, 1, 0.1, 0.0)  # survives the lock
+    assert store.counts()["done"] == 1
+    assert store._conn.attempts >= 3
+
+
+def test_persistently_locked_database_raises_campaign_error(store):
+    store._conn = _FlakyConn(store._conn, failures=10_000)
+    with pytest.raises(CampaignError, match="stayed locked"):
+        store.record_result(0, "L0", -1.0, 0, 1, 0.1, 0.0)
+
+
+def test_non_lock_operational_errors_propagate_unchanged(store):
+    store._conn = _FlakyConn(store._conn, failures=1, message="no such table: x")
+    with pytest.raises(sqlite3.OperationalError, match="no such table"):
+        store.record_result(0, "L0", -1.0, 0, 1, 0.1, 0.0)
+    assert store._conn.attempts == 1  # no retry on a real error

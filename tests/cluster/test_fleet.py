@@ -1,0 +1,214 @@
+"""Distributed fleet: parity, stealing, node death, coordinator crash.
+
+The contract under test is the determinism invariant: ligand ``i`` docks
+with seed ``campaign_seed + i`` on whichever node holds its lease, so the
+science rows (and their :meth:`CampaignStore.science_digest`) are bitwise
+identical across node counts, shard assignments, SIGKILLed workers, and
+crash-resume — the same single-node store every time.
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, SyntheticSource
+from repro.campaign.store import CampaignStore
+from repro.cluster import ClusterCampaign, ClusterConfig
+from repro.errors import ClusterError
+from repro.metaheuristics.presets import make_preset
+from repro.molecules.synthetic import generate_receptor
+from repro.scoring.lennard_jones import LennardJonesScoring
+
+N_LIGANDS = 16
+
+
+def make_runner(store_path, *, nodes=0, cluster=None, progress=None, **overrides):
+    """One campaign definition shared by every test (same science rows)."""
+    kwargs = dict(
+        store_path=str(store_path),
+        n_spots=2,
+        metaheuristic="M1",
+        seed=42,
+        workload_scale=0.04,
+        shard_size=2,
+        node=None,
+        max_attempts=1,
+        raise_on_failure=True,
+        nodes=nodes,
+        cluster=cluster,
+        progress=progress,
+    )
+    kwargs.update(overrides)
+    return CampaignRunner(
+        generate_receptor(80, seed=5),
+        SyntheticSource(N_LIGANDS, atoms_range=(8, 14), seed=52),
+        **kwargs,
+    )
+
+
+def completed_digest(path):
+    with CampaignStore.open(path) as store:
+        assert store.is_complete()
+        counts = store.counts()
+        assert counts["done"] == N_LIGANDS and counts["failed"] == 0
+        return store.science_digest()
+
+
+@pytest.fixture(scope="module")
+def baseline_digest(tmp_path_factory):
+    """The single-node store fingerprint every fleet run must reproduce."""
+    path = tmp_path_factory.mktemp("baseline") / "c.sqlite"
+    with make_runner(path).run():
+        pass
+    return completed_digest(path)
+
+
+def test_two_node_fleet_matches_single_node_bitwise(tmp_path, baseline_digest):
+    seen = []
+    runner = make_runner(tmp_path / "c.sqlite", nodes=2, progress=seen.append)
+    with runner.run():
+        pass
+    assert completed_digest(tmp_path / "c.sqlite") == baseline_digest
+    summary = runner.fleet.summary
+    assert summary["nodes"] == 2
+    assert summary["node_deaths"] == 0
+    assert summary["shards"] == N_LIGANDS // 2
+    # Progress snapshots carry the per-node fleet table (ClusterProgress).
+    assert seen, "fleet emitted no progress"
+    table = seen[-1].nodes
+    assert {row["node"] for row in table} == {0, 1}
+    assert sum(row["done"] for row in table) == N_LIGANDS
+
+
+def test_skewed_probe_weights_trigger_stealing(tmp_path, baseline_digest):
+    # Node 1 reports a 4x slower probe, so Eq. 1 hands it a quarter of the
+    # shards — but both nodes actually dock at the same (service-limited)
+    # rate, so node 1 drains early and steals from node 0's queue.
+    cluster = ClusterConfig(
+        probe_seconds_override=((0, 1.0), (1, 4.0)),
+        service_time_s=0.05,
+        heartbeat_interval_s=0.1,
+    )
+    runner = make_runner(tmp_path / "c.sqlite", nodes=2, cluster=cluster)
+    with runner.run():
+        pass
+    assert completed_digest(tmp_path / "c.sqlite") == baseline_digest
+    assert runner.fleet.summary["steals"] >= 1
+
+
+def test_sigkilled_worker_node_recovers_bitwise(tmp_path, baseline_digest):
+    cluster = ClusterConfig(
+        heartbeat_interval_s=0.1,
+        heartbeat_timeout_s=1.0,
+        service_time_s=0.2,  # hard floor: 8 ligands/node * 0.2s > kill time
+    )
+    runner = make_runner(tmp_path / "c.sqlite", nodes=2, cluster=cluster)
+
+    def kill_one_worker():
+        time.sleep(1.0)
+        fleet = runner.fleet
+        if fleet is not None and fleet.processes:
+            os.kill(fleet.processes[0].pid, signal.SIGKILL)
+
+    killer = threading.Thread(target=kill_one_worker, daemon=True)
+    killer.start()
+    with runner.run():
+        pass
+    killer.join()
+    assert completed_digest(tmp_path / "c.sqlite") == baseline_digest
+    summary = runner.fleet.summary
+    assert summary["node_deaths"] >= 1
+    assert summary["recovery_seconds"] is not None
+
+
+def test_shutdown_collects_byes_without_stalling(tmp_path, baseline_digest):
+    # Regression: a handler thread that bails on its idle tick once the
+    # fleet starts closing strands the worker's in-flight bye, and
+    # _shutdown_fleet then waits the full message timeout (30 s). The
+    # service sleep delays each bye past several 0.1 s idle ticks, which
+    # made the stall deterministic before the fix.
+    cluster = ClusterConfig(service_time_s=0.1, heartbeat_interval_s=0.1)
+    runner = make_runner(tmp_path / "c.sqlite", nodes=2, cluster=cluster)
+    t0 = time.monotonic()
+    with runner.run():
+        pass
+    wall = time.monotonic() - t0
+    assert completed_digest(tmp_path / "c.sqlite") == baseline_digest
+    assert wall < 15.0, f"fleet shutdown stalled ({wall:.1f}s)"
+
+
+def _run_fleet_campaign(store_path):
+    """Child-process entry: a 2-node campaign slow enough to kill mid-run."""
+    cluster = ClusterConfig(service_time_s=0.25, heartbeat_interval_s=0.1)
+    with make_runner(store_path, nodes=2, cluster=cluster).run():
+        pass
+
+
+def test_sigkilled_coordinator_resumes_bitwise(tmp_path, baseline_digest):
+    path = tmp_path / "c.sqlite"
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=_run_fleet_campaign, args=(str(path),))
+    child.start()
+    # Wait for real progress, then kill the whole coordinator process.
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            with CampaignStore.open(path) as store:
+                if store.counts()["done"] >= 2:
+                    break
+        except Exception:
+            pass
+        time.sleep(0.1)
+    else:
+        pytest.fail("campaign never made progress before the kill")
+    os.kill(child.pid, signal.SIGKILL)
+    child.join(timeout=10.0)
+
+    with CampaignStore.open(path) as store:
+        assert not store.is_complete()
+        assert store.counts()["done"] < N_LIGANDS
+    # `campaign resume` path: same config, fresh fleet, journal replay.
+    runner = make_runner(
+        path, nodes=2, cluster=ClusterConfig(heartbeat_interval_s=0.1)
+    )
+    with runner.resume():
+        pass
+    assert completed_digest(path) == baseline_digest
+
+
+def test_custom_metaheuristic_cannot_cross_node_boundary(tmp_path):
+    runner = make_runner(
+        tmp_path / "c.sqlite", metaheuristic=make_preset("M1", 0.04)
+    )
+    with pytest.raises(ClusterError, match="MetaheuristicSpec"):
+        ClusterCampaign(runner, nodes=2)
+
+
+def test_custom_scoring_cannot_cross_node_boundary(tmp_path):
+    class TweakedScoring(LennardJonesScoring):
+        pass
+
+    runner = make_runner(tmp_path / "c.sqlite", scoring=TweakedScoring())
+    with pytest.raises(ClusterError):
+        ClusterCampaign(runner, nodes=2)
+
+
+def test_custom_node_spec_cannot_cross_node_boundary(tmp_path):
+    from repro.hardware.node import custom_node
+
+    runner = make_runner(
+        tmp_path / "c.sqlite",
+        node=custom_node("franken", "Xeon E5-2620", 1, ["Tesla K40c"]),
+    )
+    with pytest.raises(ClusterError, match="jupiter/hertz"):
+        ClusterCampaign(runner, nodes=2)
+
+
+def test_fleet_needs_at_least_one_node(tmp_path):
+    runner = make_runner(tmp_path / "c.sqlite")
+    with pytest.raises(ClusterError, match="nodes >= 1"):
+        ClusterCampaign(runner, nodes=0)

@@ -202,3 +202,63 @@ def test_scrape_live_campaign_while_docking(tmp_path):
     assert doc["campaign"]["total"] is None or doc["campaign"]["total"] >= 6
     assert "eta_seconds" in doc["campaign"]
     assert "ligands_per_second" in doc["campaign"]
+
+
+# ----------------------------------------------------------------------
+# distributed-campaign surface: bind retry + /healthz node table
+# ----------------------------------------------------------------------
+def test_occupied_port_error_names_the_port(monkeypatch, session):
+    monkeypatch.setattr(MetricsServer, "_BIND_ATTEMPTS", 2)
+    monkeypatch.setattr(MetricsServer, "_BIND_BACKOFF_S", 0.01)
+    with MetricsServer(port=0, snapshot_fn=session.snapshot) as occupant:
+        with pytest.raises(ObservabilityError) as err:
+            MetricsServer(port=occupant.port, snapshot_fn=session.snapshot).start()
+    message = str(err.value)
+    assert str(occupant.port) in message
+    assert "already in use" in message
+    assert "--serve-metrics" in message  # tells the operator what to change
+
+
+def test_bind_retries_until_the_port_frees_up(monkeypatch, session):
+    monkeypatch.setattr(MetricsServer, "_BIND_BACKOFF_S", 0.05)
+    occupant = MetricsServer(port=0, snapshot_fn=session.snapshot).start()
+    port = occupant.port
+    threading.Timer(0.15, occupant.stop).start()
+    with MetricsServer(port=port, snapshot_fn=session.snapshot) as server:
+        assert server.port == port  # bound once the occupant released it
+
+
+def test_healthz_serves_cluster_node_table():
+    from repro.cluster import ClusterProgress
+
+    health = CampaignHealth()
+    health.update(
+        ClusterProgress(
+            shard_id=3,
+            done=10,
+            failed=0,
+            total=16,
+            elapsed_seconds=2.0,
+            ligands_per_second=5.0,
+            eta_seconds=1.2,
+            nodes=(
+                {"node": 0, "state": "active", "done": 6, "failed": 0,
+                 "queued": 1, "outstanding": 1, "weight": 0.6},
+                {"node": 1, "state": "active", "done": 4, "failed": 0,
+                 "queued": 1, "outstanding": 1, "weight": 0.4},
+            ),
+        )
+    )
+    doc = health.health()
+    assert doc["campaign"]["done"] == 10
+    assert [row["node"] for row in doc["nodes"]] == [0, 1]
+    assert doc["nodes"][0]["weight"] == pytest.approx(0.6)
+    # Single-node progress keeps the document shape unchanged.
+    health2 = CampaignHealth()
+    health2.update(
+        ClusterProgress(
+            shard_id=0, done=1, failed=0, total=2, elapsed_seconds=0.1,
+            ligands_per_second=1.0, eta_seconds=1.0,
+        )
+    )
+    assert "nodes" not in health2.health()

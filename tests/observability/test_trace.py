@@ -114,3 +114,40 @@ def test_json_serialisation_and_write(tmp_path):
     n = write_trace(snap, out)
     assert n == 1
     assert json.loads(out.read_text(encoding="utf-8")) == doc
+
+
+def test_node_tag_assigns_per_node_lane_blocks():
+    doc = _span_doc([
+        _span(1, "campaign.shard", 0.0, 1.0),                      # coordinator
+        _span(2, "campaign.dock", 0.1, 0.4, tags={"node": 0}),
+        _span(3, "host.worker.batch", 0.1, 0.2, tags={"node": 0, "worker": 1}),
+        _span(4, "campaign.dock", 0.1, 0.5, tags={"node": 1}),
+    ])
+    trace = snapshot_to_trace_events(doc)
+    xs = {e["args"]["span_id"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert xs[1]["tid"] == 0          # coordinator stays on main
+    assert xs[2]["tid"] == 1000       # node 0's block
+    assert xs[3]["tid"] == 1002       # node 0, worker 1
+    assert xs[4]["tid"] == 2000       # node 1's block
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names[0] == "main"
+    assert names[1000] == "node 0"
+    assert names[1002] == "node 0 worker 1"
+    assert names[2000] == "node 1"
+
+
+def test_retagged_worker_snapshot_lands_on_node_lanes():
+    from repro.cluster import retag_snapshot
+
+    worker = Telemetry()
+    with worker.span("campaign.dock", ordinal=5):
+        pass
+    doc = retag_snapshot(worker.snapshot(), node_id=2)
+    trace = snapshot_to_trace_events(doc)
+    dock = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+    assert dock["tid"] == 3000  # (node 2 + 1) * stride
+    assert dock["args"]["node"] == 2
