@@ -23,13 +23,23 @@ Quickstart::
         print(row["title"], row["best_score"])
 """
 
+from repro.campaign.backends import (
+    STORE_BACKENDS,
+    create_store,
+    detect_backend,
+    open_store,
+    store_disk_bytes,
+)
+from repro.campaign.colstore import COLSTORE_SCHEMA_VERSION, ColumnarStore
 from repro.campaign.journal import CampaignJournal, JournalState
 from repro.campaign.library import (
+    CsvSource,
     IterableSource,
     LigandSource,
     ListSource,
     PDBDirectorySource,
     Shard,
+    SmilesSource,
     SyntheticSource,
     iter_shards,
     receptor_fingerprint,
@@ -41,24 +51,34 @@ from repro.campaign.runner import (
     campaign_config,
     config_hash,
 )
-from repro.campaign.store import SCHEMA_VERSION, CampaignStore
+from repro.campaign.store import SCHEMA_VERSION, CampaignStore, export_report
 
 __all__ = [
     "CampaignJournal",
     "CampaignProgress",
     "CampaignRunner",
     "CampaignStore",
+    "COLSTORE_SCHEMA_VERSION",
+    "ColumnarStore",
+    "CsvSource",
     "IterableSource",
     "JournalState",
     "LigandSource",
     "ListSource",
     "PDBDirectorySource",
     "SCHEMA_VERSION",
+    "STORE_BACKENDS",
     "Shard",
+    "SmilesSource",
     "SyntheticSource",
     "campaign_config",
     "config_hash",
+    "create_store",
+    "detect_backend",
+    "export_report",
     "iter_shards",
+    "open_store",
     "receptor_fingerprint",
     "resolve_title",
+    "store_disk_bytes",
 ]

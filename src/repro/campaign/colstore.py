@@ -1,0 +1,1428 @@
+"""Columnar append-only result store for million-ligand campaigns.
+
+The SQLite :class:`~repro.campaign.store.CampaignStore` upserts row-at-a-time
+and costs ~2 MB per 1k ligands — at 10^6–10^7 ligands the store, not the
+kernels, is the bottleneck. :class:`ColumnarStore` is a drop-in backend with
+the same interface and the same crash/resume semantics, built for scale:
+
+* **Append-only CRC-framed logs** for in-flight shards. Every record is a
+  fixed header (magic, kind, payload length, CRC32) plus payload, so a torn
+  tail from a SIGKILL is *detected and physically truncated* on open, while
+  corruption anywhere before the tail raises — exactly the journal's
+  durability contract, applied to the result stream.
+* **Sealed columnar segments**. When a shard finishes, its rows are frozen
+  into an immutable segment file: fixed-width numeric column arrays
+  (ordinal/status/score/spot/…) plus varlen string heaps per row group,
+  CRC-protected, ~80 bytes per ligand instead of SQLite's ~2 KB.
+* **A manifest** (atomic tmp+fsync+rename) naming the live segments. Segment
+  files not in the manifest are crash debris and are deleted on open.
+* **Tiered compaction**: once the segment count reaches ``compact_fanin``,
+  the adjacent run with the fewest rows is stream-merged into one segment,
+  group by group — memory stays O(row group), the manifest stays small.
+* **An incrementally maintained top-K index** persisted beside the manifest
+  and loaded via ``mmap``; stamped with the manifest generation so a stale
+  index is detected and lazily rebuilt rather than trusted.
+
+Durability model (mirrors SQLite WAL + ``synchronous=NORMAL``): active-log
+appends are write+flush (a process crash loses at most the torn tail — the
+ligand simply re-docks on resume); segment, manifest, and meta writes are
+tmp+fsync+rename (rare, one per shard seal). The store is the authoritative
+record — the journal's shard markers only corroborate it.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import heapq
+import json
+import mmap
+import os
+import re
+import struct
+import threading
+import zlib
+from collections import OrderedDict
+from itertools import chain
+from pathlib import Path
+from typing import Iterator, TextIO
+
+import numpy as np
+
+from repro import observability as obs
+from repro.errors import CampaignError
+from repro.vs.results import ScreeningEntry, ScreeningReport
+
+__all__ = ["ColumnarStore", "COLSTORE_SCHEMA_VERSION"]
+
+#: Bump on any incompatible on-disk layout change; ``open`` refuses mismatches.
+COLSTORE_SCHEMA_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# record framing (active logs + shards.log)
+# ---------------------------------------------------------------------------
+
+#: magic, kind, payload length, CRC32(payload) — 11 bytes, then the payload.
+_FRAME = struct.Struct("<HBII")
+_FRAME_MAGIC = 0xC01A
+
+_K_REGISTER = 1
+_K_RUNNING = 2
+_K_RESULT = 3
+_K_FAILURE = 4
+_K_SHARD_START = 5
+_K_SHARD_FINISH = 6
+
+_REGISTER = struct.Struct("<q")
+_RUNNING = struct.Struct("<q")
+_RESULT = struct.Struct("<qdqqddq")  # ordinal, score, spot, evals, wall, sim, attempts
+_FAILURE = struct.Struct("<qq")  # ordinal, attempts
+_SHARD_START = struct.Struct("<qqq")  # shard_id, start, stop
+_SHARD_FINISH = struct.Struct("<qd")  # shard_id, wall_seconds
+
+_STATUSES = ("pending", "running", "done", "failed")
+_STATUS_CODE = {name: code for code, name in enumerate(_STATUSES)}
+_DONE_CODE = _STATUS_CODE["done"]
+
+# Row layout in the in-memory overlay (and materialised segment reads).
+_TITLE, _STATUS, _SCORE, _SPOT, _EVALS, _WALL, _SIM, _ATTEMPTS, _ERROR = range(9)
+
+_RESULT_COLUMNS = (
+    "ordinal",
+    "title",
+    "status",
+    "best_score",
+    "best_spot",
+    "evaluations",
+    "wall_seconds",
+    "simulated_seconds",
+    "attempts",
+    "error",
+)
+
+
+def _pack_frame(kind: int, payload: bytes) -> bytes:
+    return _FRAME.pack(_FRAME_MAGIC, kind, len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_frames(data: bytes, label: str) -> tuple[list[tuple[int, bytes]], int]:
+    """Parse CRC-framed records; returns ``(records, clean_length)``.
+
+    A record that runs past EOF — or whose CRC fails *at* EOF — is a torn
+    tail: scanning stops and ``clean_length`` marks where to truncate. A CRC
+    or magic failure with complete bytes after it is real corruption and
+    raises :class:`CampaignError`.
+    """
+    records: list[tuple[int, bytes]] = []
+    offset, size = 0, len(data)
+    while offset < size:
+        if size - offset < _FRAME.size:
+            return records, offset  # torn header at the tail
+        magic, kind, length, crc = _FRAME.unpack_from(data, offset)
+        if magic != _FRAME_MAGIC:
+            raise CampaignError(
+                f"corrupt record frame in {label} at byte {offset}: bad magic"
+            )
+        end = offset + _FRAME.size + length
+        if end > size:
+            return records, offset  # torn payload at the tail
+        payload = data[offset + _FRAME.size : end]
+        if zlib.crc32(payload) != crc:
+            if end == size:
+                return records, offset  # torn final record (crash artifact)
+            raise CampaignError(
+                f"CRC mismatch in {label} at byte {offset}: store is corrupt"
+            )
+        records.append((kind, payload))
+        offset = end
+    return records, offset
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def _unpack_str(payload: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    return payload[offset : offset + length].decode("utf-8"), offset + length
+
+
+# ---------------------------------------------------------------------------
+# segment files
+# ---------------------------------------------------------------------------
+
+_SEG_MAGIC = b"RVSCOL01"
+_SEG_END = b"RVSCOLEN"
+_TRAILER = struct.Struct("<QII")  # footer offset, footer length, footer CRC32
+
+# Per-row presence flags (NULL-ability mirrors the SQLite schema).
+_F_SCORE, _F_SPOT, _F_EVALS, _F_WALL, _F_SIM, _F_ERROR = 1, 2, 4, 8, 16, 32
+
+_SEG_NAME = re.compile(r"^seg-(\d+)\.col$")
+_ACTIVE_NAME = re.compile(r"^shard-(\d+)\.log$")
+
+
+def _encode_group(items: list[tuple[int, list]]) -> tuple[bytes, dict]:
+    """Encode ``[(ordinal, row), ...]`` (ascending) as one columnar block."""
+    n = len(items)
+    ordinals = np.fromiter((o for o, _ in items), dtype="<i8", count=n)
+    status = np.zeros(n, dtype="u1")
+    flags = np.zeros(n, dtype="u1")
+    score = np.zeros(n, dtype="<f8")
+    spot = np.zeros(n, dtype="<i8")
+    evals = np.zeros(n, dtype="<i8")
+    wall = np.zeros(n, dtype="<f8")
+    sim = np.zeros(n, dtype="<f8")
+    attempts = np.zeros(n, dtype="<i8")
+    title_offsets = np.zeros(n + 1, dtype="<u4")
+    error_offsets = np.zeros(n + 1, dtype="<u4")
+    title_heap = bytearray()
+    error_heap = bytearray()
+    counts = {name: 0 for name in _STATUSES}
+    for i, (_, row) in enumerate(items):
+        counts[row[_STATUS]] += 1
+        status[i] = _STATUS_CODE[row[_STATUS]]
+        fl = 0
+        if row[_SCORE] is not None:
+            fl |= _F_SCORE
+            score[i] = row[_SCORE]
+        if row[_SPOT] is not None:
+            fl |= _F_SPOT
+            spot[i] = row[_SPOT]
+        if row[_EVALS] is not None:
+            fl |= _F_EVALS
+            evals[i] = row[_EVALS]
+        if row[_WALL] is not None:
+            fl |= _F_WALL
+            wall[i] = row[_WALL]
+        if row[_SIM] is not None:
+            fl |= _F_SIM
+            sim[i] = row[_SIM]
+        attempts[i] = row[_ATTEMPTS]
+        title_heap += row[_TITLE].encode("utf-8")
+        title_offsets[i + 1] = len(title_heap)
+        if row[_ERROR] is not None:
+            fl |= _F_ERROR
+            error_heap += row[_ERROR].encode("utf-8")
+        error_offsets[i + 1] = len(error_heap)
+        flags[i] = fl
+    block = b"".join(
+        (
+            ordinals.tobytes(),
+            status.tobytes(),
+            flags.tobytes(),
+            score.tobytes(),
+            spot.tobytes(),
+            evals.tobytes(),
+            wall.tobytes(),
+            sim.tobytes(),
+            attempts.tobytes(),
+            title_offsets.tobytes(),
+            bytes(title_heap),
+            error_offsets.tobytes(),
+            bytes(error_heap),
+        )
+    )
+    meta = {
+        "rows": n,
+        "lo": int(ordinals[0]),
+        "hi": int(ordinals[-1]),
+        "crc": zlib.crc32(block),
+        "title_heap": len(title_heap),
+        "error_heap": len(error_heap),
+        "counts": counts,
+    }
+    return block, meta
+
+
+def _decode_group(block: bytes, meta: dict) -> dict:
+    if zlib.crc32(block) != meta["crc"]:
+        raise CampaignError("segment row group failed its CRC check")
+    n = int(meta["rows"])
+    offset = 0
+
+    def take(dtype: str, count: int, width: int):
+        nonlocal offset
+        array = np.frombuffer(block, dtype=dtype, count=count, offset=offset)
+        offset += count * width
+        return array
+
+    group = {
+        "ordinals": take("<i8", n, 8),
+        "status": take("u1", n, 1),
+        "flags": take("u1", n, 1),
+        "score": take("<f8", n, 8),
+        "spot": take("<i8", n, 8),
+        "evals": take("<i8", n, 8),
+        "wall": take("<f8", n, 8),
+        "sim": take("<f8", n, 8),
+        "attempts": take("<i8", n, 8),
+        "title_offsets": take("<u4", n + 1, 4),
+    }
+    group["title_heap"] = block[offset : offset + meta["title_heap"]]
+    offset += meta["title_heap"]
+    group["error_offsets"] = np.frombuffer(block, dtype="<u4", count=n + 1, offset=offset)
+    offset += (n + 1) * 4
+    group["error_heap"] = block[offset : offset + meta["error_heap"]]
+    return group
+
+
+def _group_row(group: dict, i: int) -> list:
+    """Materialise row ``i`` of a decoded group as python-typed fields."""
+    fl = int(group["flags"][i])
+    toff = group["title_offsets"]
+    eoff = group["error_offsets"]
+    return [
+        group["title_heap"][toff[i] : toff[i + 1]].decode("utf-8"),
+        _STATUSES[int(group["status"][i])],
+        float(group["score"][i]) if fl & _F_SCORE else None,
+        int(group["spot"][i]) if fl & _F_SPOT else None,
+        int(group["evals"][i]) if fl & _F_EVALS else None,
+        float(group["wall"][i]) if fl & _F_WALL else None,
+        float(group["sim"][i]) if fl & _F_SIM else None,
+        int(group["attempts"][i]),
+        group["error_heap"][eoff[i] : eoff[i + 1]].decode("utf-8")
+        if fl & _F_ERROR
+        else None,
+    ]
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """tmp + fsync + rename (+ best-effort directory fsync)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+
+
+def _merge_rows(seg_iter, overlay: list[tuple[int, list]]):
+    """Merge a sorted segment stream with sorted overlay items; overlay wins."""
+    oi = 0
+    for ordinal, row in seg_iter:
+        while oi < len(overlay) and overlay[oi][0] < ordinal:
+            yield overlay[oi]
+            oi += 1
+        if oi < len(overlay) and overlay[oi][0] == ordinal:
+            yield overlay[oi]
+            oi += 1
+        else:
+            yield ordinal, row
+    while oi < len(overlay):
+        yield overlay[oi]
+        oi += 1
+
+
+# ---------------------------------------------------------------------------
+# top-K index file
+# ---------------------------------------------------------------------------
+
+_TOPK_MAGIC = b"RVSTOPK1"
+_TOPK_HEADER = struct.Struct("<QII")  # generation, capacity, count
+_TOPK_ENTRY = struct.Struct("<dq")  # score, ordinal
+
+
+class ColumnarStore:
+    """Append-only sharded columnar campaign store (see module docstring).
+
+    Drop-in for :class:`repro.campaign.store.CampaignStore`: same methods,
+    same semantics (idempotent upserts keyed on ordinal, ``science_digest``
+    byte-parity), selected via ``store_backend="columnar"``. The store path
+    is a *directory*.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.root = Path(path)
+        self._lock = threading.RLock()
+        self._meta: dict = {}
+        self._manifest: dict = {"generation": 0, "next_seq": 0, "segments": []}
+        self._segments: list[dict] = []  # manifest entries sorted by lo
+        self._shards: dict[int, dict] = {}
+        self._open_ranges: dict[int, tuple[int, int]] = {}
+        self._active_rows: dict[int, list] = {}
+        self._counts = {name: 0 for name in _STATUSES}
+        self._handles: dict[tuple, object] = {}
+        self._footers: dict[int, dict] = {}
+        self._groups: OrderedDict[tuple[int, int], dict] = OrderedDict()
+        self._group_cache_max = 8
+        self._topk_heap: list[tuple[float, int]] = []  # (-score, -ordinal)
+        self._topk_saturated = False
+        self._topk_dirty = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        config: dict,
+        config_hash: str,
+        *,
+        group_rows: int = 65536,
+        compact_fanin: int = 16,
+        topk_capacity: int = 512,
+    ) -> "ColumnarStore":
+        """Create a fresh columnar store; refuses to overwrite an existing one."""
+        path = str(path)
+        if path == ":memory:":
+            raise CampaignError(
+                "the columnar store backend persists to a directory; "
+                ":memory: campaigns use the sqlite backend"
+            )
+        if group_rows < 1 or compact_fanin < 2 or topk_capacity < 1:
+            raise CampaignError(
+                "invalid columnar store options: group_rows >= 1, "
+                "compact_fanin >= 2, topk_capacity >= 1 required"
+            )
+        root = Path(path)
+        if root.exists() and (root.is_file() or any(root.iterdir())):
+            raise CampaignError(
+                f"campaign store already exists at {path}; "
+                "use resume to continue it"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "active").mkdir(exist_ok=True)
+        (root / "segments").mkdir(exist_ok=True)
+        store = cls(path)
+        store._meta = {
+            "schema_version": COLSTORE_SCHEMA_VERSION,
+            "backend": "columnar",
+            "config": config,
+            "config_hash": config_hash,
+            "completed": False,
+            "n_ligands": None,
+            "options": {
+                "group_rows": int(group_rows),
+                "compact_fanin": int(compact_fanin),
+                "topk_capacity": int(topk_capacity),
+            },
+        }
+        store._write_meta()
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ColumnarStore":
+        """Attach to an existing store, recovering from any crash debris."""
+        path = str(path)
+        root = Path(path)
+        if not root.exists():
+            raise CampaignError(f"no campaign store at {path}")
+        if not root.is_dir() or not (root / "meta.json").exists():
+            raise CampaignError(f"{path} is not a campaign store (no metadata)")
+        store = cls(path)
+        try:
+            store._meta = json.loads((root / "meta.json").read_text("utf-8"))
+        except ValueError as exc:
+            raise CampaignError(f"{path} is not a campaign store: {exc}") from None
+        version = store._meta.get("schema_version")
+        if version != COLSTORE_SCHEMA_VERSION:
+            raise CampaignError(
+                f"campaign store schema v{version} != supported "
+                f"v{COLSTORE_SCHEMA_VERSION}"
+            )
+        store._recover()
+        return store
+
+    @property
+    def _options(self) -> dict:
+        return self._meta.get("options", {})
+
+    @property
+    def _group_rows(self) -> int:
+        return int(self._options.get("group_rows", 65536))
+
+    @property
+    def _compact_fanin(self) -> int:
+        return int(self._options.get("compact_fanin", 16))
+
+    @property
+    def _topk_capacity(self) -> int:
+        return int(self._options.get("topk_capacity", 512))
+
+    def close(self) -> None:
+        """Flush and close every open log handle."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in self._handles.values():
+                try:
+                    handle.flush()
+                    handle.close()
+                except OSError:  # pragma: no cover - best effort on teardown
+                    pass
+            self._handles.clear()
+            self._groups.clear()
+
+    def __enter__(self) -> "ColumnarStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def _write_meta(self) -> None:
+        _atomic_write(
+            self.root / "meta.json",
+            json.dumps(self._meta, sort_keys=True, default=str).encode("utf-8"),
+        )
+
+    @property
+    def config(self) -> dict:
+        """The campaign configuration recorded at creation."""
+        config = self._meta.get("config")
+        if config is None:
+            raise CampaignError("campaign store has no recorded config")
+        return config
+
+    @property
+    def config_hash(self) -> str:
+        """Hash of the result-affecting configuration."""
+        value = self._meta.get("config_hash")
+        if value is None:
+            raise CampaignError("campaign store has no recorded config hash")
+        return str(value)
+
+    def is_complete(self) -> bool:
+        """True once every shard has finished (set by the runner)."""
+        return bool(self._meta.get("completed"))
+
+    def mark_complete(self, n_ligands: int) -> None:
+        """Record that the campaign streamed and processed the whole library."""
+        with self._lock:
+            self._meta["n_ligands"] = int(n_ligands)
+            self._meta["completed"] = True
+            self._write_meta()
+
+    @property
+    def n_ligands(self) -> int | None:
+        """Total library size, known once the campaign completed."""
+        value = self._meta.get("n_ligands")
+        return None if value is None else int(value)
+
+    # ------------------------------------------------------------------
+    # log handles
+    # ------------------------------------------------------------------
+    def _log_path(self, key: tuple) -> Path:
+        if key[0] == "shards":
+            return self.root / "shards.log"
+        if key[0] == "orphan":
+            return self.root / "active" / "orphan.log"
+        return self.root / "active" / f"shard-{key[1]}.log"
+
+    def _handle(self, key: tuple):
+        handle = self._handles.get(key)
+        if handle is None:
+            handle = open(self._log_path(key), "ab")
+            self._handles[key] = handle
+        return handle
+
+    def _drop_active_log(self, shard_id: int) -> None:
+        key = ("shard", shard_id)
+        handle = self._handles.pop(key, None)
+        if handle is not None:
+            handle.close()
+        path = self._log_path(key)
+        if path.exists():
+            path.unlink()
+
+    def _log_key_for(self, ordinal: int) -> tuple:
+        for shard_id, (start, stop) in self._open_ranges.items():
+            if start <= ordinal < stop:
+                return ("shard", shard_id)
+        return ("orphan",)
+
+    def _append(self, key: tuple, frames: bytes) -> None:
+        handle = self._handle(key)
+        handle.write(frames)
+        handle.flush()
+
+    # ------------------------------------------------------------------
+    # in-memory row transitions (shared by live writes and replay)
+    # ------------------------------------------------------------------
+    def _transition(self, prev: str | None, new: str | None) -> None:
+        if prev is not None:
+            self._counts[prev] -= 1
+        if new is not None:
+            self._counts[new] += 1
+
+    def _status_of(self, ordinal: int) -> str | None:
+        row = self._active_rows.get(ordinal)
+        if row is not None:
+            return row[_STATUS]
+        sealed = self._segment_row(ordinal)
+        return None if sealed is None else sealed[_STATUS]
+
+    def _apply_register(self, ordinal: int, title: str) -> bool:
+        """INSERT OR IGNORE semantics: existing rows (anywhere) win."""
+        if ordinal in self._active_rows or self._segment_row(ordinal) is not None:
+            return False
+        self._active_rows[ordinal] = [
+            title, "pending", None, None, None, None, None, 0, None,
+        ]
+        self._transition(None, "pending")
+        return True
+
+    def _apply_running(self, ordinal: int) -> bool:
+        """UPDATE semantics: a no-op if the ordinal was never registered."""
+        row = self._active_rows.get(ordinal)
+        if row is None:
+            sealed = self._segment_row(ordinal)
+            if sealed is None:
+                return False
+            row = list(sealed)
+            self._active_rows[ordinal] = row
+        if row[_STATUS] != "running":
+            self._transition(row[_STATUS], "running")
+            row[_STATUS] = "running"
+        return True
+
+    @staticmethod
+    def _null_nan(value: float) -> float | None:
+        # SQLite cannot store NaN (it binds as NULL); mirror that here so
+        # the two backends stay row-for-row identical.
+        return None if value != value else value
+
+    def _apply_result(
+        self,
+        ordinal: int,
+        title: str,
+        best_score: float,
+        best_spot: int,
+        evaluations: int,
+        wall_seconds: float,
+        simulated_seconds: float,
+        attempts: int,
+    ) -> None:
+        """Full upsert: every column is replaced, error cleared."""
+        prev = self._status_of(ordinal)
+        score = self._null_nan(best_score)
+        self._active_rows[ordinal] = [
+            title, "done", score, best_spot, evaluations,
+            self._null_nan(wall_seconds), self._null_nan(simulated_seconds),
+            attempts, None,
+        ]
+        if prev != "done":
+            self._transition(prev, "done")
+        if score is not None:
+            self._topk_push(score, ordinal)
+
+    def _apply_failure(
+        self, ordinal: int, title: str, error: str, attempts: int
+    ) -> None:
+        """Partial upsert: prior score columns survive (mirrors SQLite)."""
+        prior = self._active_rows.get(ordinal)
+        if prior is None:
+            prior = self._segment_row(ordinal)
+        if prior is None:
+            prev = None
+            row = [title, "failed", None, None, None, None, None, attempts, error]
+        else:
+            prev = prior[_STATUS]
+            row = list(prior)
+            row[_TITLE], row[_STATUS] = title, "failed"
+            row[_ATTEMPTS], row[_ERROR] = attempts, error
+        self._active_rows[ordinal] = row
+        if prev != "failed":
+            self._transition(prev, "failed")
+
+    def _apply_record(self, kind: int, payload: bytes) -> None:
+        """Replay one framed record (idempotent against sealed state)."""
+        if kind == _K_REGISTER:
+            (ordinal,) = _REGISTER.unpack_from(payload)
+            title, _ = _unpack_str(payload, _REGISTER.size)
+            self._apply_register(ordinal, title)
+        elif kind == _K_RUNNING:
+            (ordinal,) = _RUNNING.unpack_from(payload)
+            self._apply_running(ordinal)
+        elif kind == _K_RESULT:
+            ordinal, score, spot, evals, wall, sim, attempts = _RESULT.unpack_from(
+                payload
+            )
+            title, _ = _unpack_str(payload, _RESULT.size)
+            self._apply_result(ordinal, title, score, spot, evals, wall, sim, attempts)
+        elif kind == _K_FAILURE:
+            ordinal, attempts = _FAILURE.unpack_from(payload)
+            title, offset = _unpack_str(payload, _FAILURE.size)
+            error, _ = _unpack_str(payload, offset)
+            self._apply_failure(ordinal, title, error, attempts)
+        # Unknown kinds are ignored: forward compatibility.
+
+    # ------------------------------------------------------------------
+    # shards
+    # ------------------------------------------------------------------
+    def start_shard(self, shard_id: int, start: int, stop: int) -> None:
+        """Mark a shard running (idempotent across resume replays)."""
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            wall = None if shard is None else shard.get("wall")
+            self._shards[shard_id] = {
+                "start": int(start), "stop": int(stop), "status": "running",
+                "wall": wall,
+            }
+            self._open_ranges[shard_id] = (int(start), int(stop))
+            self._append(
+                ("shards",),
+                _pack_frame(_K_SHARD_START, _SHARD_START.pack(shard_id, start, stop)),
+            )
+            obs.counter("campaign.store.appends").inc()
+
+    def finish_shard(self, shard_id: int, wall_seconds: float) -> None:
+        """Mark a shard done and seal its rows into a columnar segment."""
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                return  # mirrors SQLite's UPDATE on a missing row
+            self._append(
+                ("shards",),
+                _pack_frame(
+                    _K_SHARD_FINISH,
+                    _SHARD_FINISH.pack(shard_id, float(wall_seconds)),
+                ),
+            )
+            shard["status"] = "done"
+            shard["wall"] = float(wall_seconds)
+            self._open_ranges.pop(shard_id, None)
+            self._seal_range(shard["start"], shard["stop"], shard_id=shard_id)
+            self._maybe_compact()
+            self._update_gauges()
+
+    def finished_shards(self) -> set[int]:
+        """IDs of shards whose every ligand is recorded."""
+        with self._lock:
+            return {
+                shard_id
+                for shard_id, shard in self._shards.items()
+                if shard["status"] == "done"
+            }
+
+    # ------------------------------------------------------------------
+    # ligands
+    # ------------------------------------------------------------------
+    def register_ligands(self, items: list[tuple[int, str]]) -> None:
+        """Insert pending rows for (ordinal, title) pairs; existing rows win."""
+        with self._lock:
+            buffers: dict[tuple, bytearray] = {}
+            for ordinal, title in items:
+                ordinal, title = int(ordinal), str(title)
+                if not self._apply_register(ordinal, title):
+                    continue
+                frame = _pack_frame(
+                    _K_REGISTER, _REGISTER.pack(ordinal) + _pack_str(title)
+                )
+                buffers.setdefault(self._log_key_for(ordinal), bytearray()).extend(
+                    frame
+                )
+            for key, buffer in buffers.items():
+                self._append(key, bytes(buffer))
+            obs.counter("campaign.store.appends").inc(len(items))
+
+    def mark_running(self, ordinal: int) -> None:
+        """Flag one ligand as in flight."""
+        with self._lock:
+            ordinal = int(ordinal)
+            if self._apply_running(ordinal):
+                self._append(
+                    self._log_key_for(ordinal),
+                    _pack_frame(_K_RUNNING, _RUNNING.pack(ordinal)),
+                )
+                obs.counter("campaign.store.appends").inc()
+
+    def record_result(
+        self,
+        ordinal: int,
+        title: str,
+        best_score: float,
+        best_spot: int,
+        evaluations: int,
+        wall_seconds: float,
+        simulated_seconds: float,
+        attempts: int = 1,
+    ) -> None:
+        """Upsert one completed ligand (idempotent on ordinal)."""
+        with self._lock:
+            ordinal = int(ordinal)
+            values = (
+                float(best_score), int(best_spot), int(evaluations),
+                float(wall_seconds), float(simulated_seconds), int(attempts),
+            )
+            self._apply_result(ordinal, str(title), *values)
+            payload = _RESULT.pack(ordinal, *values) + _pack_str(str(title))
+            self._append(self._log_key_for(ordinal), _pack_frame(_K_RESULT, payload))
+            obs.counter("campaign.store.appends").inc()
+
+    def record_failure(
+        self, ordinal: int, title: str, error: str, attempts: int
+    ) -> None:
+        """Record a ligand that exhausted its attempts; the campaign moves on."""
+        with self._lock:
+            ordinal = int(ordinal)
+            self._apply_failure(ordinal, str(title), str(error), int(attempts))
+            payload = (
+                _FAILURE.pack(ordinal, int(attempts))
+                + _pack_str(str(title))
+                + _pack_str(str(error))
+            )
+            self._append(self._log_key_for(ordinal), _pack_frame(_K_FAILURE, payload))
+            obs.counter("campaign.store.appends").inc()
+
+    def done_ordinals(self, start: int, stop: int) -> set[int]:
+        """Ordinals already completed in ``[start, stop)`` — never redone."""
+        with self._lock:
+            done: set[int] = set()
+            for entry in self._segments:
+                if entry["hi"] < start or entry["lo"] >= stop:
+                    continue
+                for meta, group in self._iter_groups(entry):
+                    if meta["hi"] < start or meta["lo"] >= stop:
+                        continue
+                    ordinals = group["ordinals"]
+                    mask = (
+                        (ordinals >= start)
+                        & (ordinals < stop)
+                        & (group["status"] == _DONE_CODE)
+                    )
+                    done.update(int(o) for o in ordinals[mask])
+            for ordinal, row in self._active_rows.items():
+                if start <= ordinal < stop:
+                    if row[_STATUS] == "done":
+                        done.add(ordinal)
+                    else:
+                        done.discard(ordinal)
+            return done
+
+    def counts(self) -> dict[str, int]:
+        """Ligand counts per status (absent statuses are 0)."""
+        with self._lock:
+            return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # segment reads
+    # ------------------------------------------------------------------
+    def _segment_path(self, entry: dict) -> Path:
+        return self.root / "segments" / entry["name"]
+
+    def _footer(self, entry: dict) -> dict:
+        footer = self._footers.get(entry["seq"])
+        if footer is not None:
+            return footer
+        path = self._segment_path(entry)
+        with open(path, "rb") as handle:
+            if handle.read(8) != _SEG_MAGIC:
+                raise CampaignError(f"{path} is not a columnar segment")
+            handle.seek(-(_TRAILER.size + 8), os.SEEK_END)
+            trailer = handle.read(_TRAILER.size)
+            if handle.read(8) != _SEG_END:
+                raise CampaignError(f"{path} has a corrupt segment trailer")
+            offset, length, crc = _TRAILER.unpack(trailer)
+            handle.seek(offset)
+            raw = handle.read(length)
+        if zlib.crc32(raw) != crc:
+            raise CampaignError(f"{path} has a corrupt segment footer")
+        footer = json.loads(raw.decode("utf-8"))
+        self._footers[entry["seq"]] = footer
+        return footer
+
+    def _load_group(self, entry: dict, index: int) -> tuple[dict, dict]:
+        footer = self._footer(entry)
+        meta = footer["groups"][index]
+        key = (entry["seq"], index)
+        group = self._groups.get(key)
+        if group is None:
+            with open(self._segment_path(entry), "rb") as handle:
+                handle.seek(meta["offset"])
+                block = handle.read(meta["nbytes"])
+            group = _decode_group(block, meta)
+            self._groups[key] = group
+            if len(self._groups) > self._group_cache_max:
+                self._groups.popitem(last=False)
+        else:
+            self._groups.move_to_end(key)
+        return meta, group
+
+    def _iter_groups(self, entry: dict) -> Iterator[tuple[dict, dict]]:
+        footer = self._footer(entry)
+        for index in range(len(footer["groups"])):
+            yield self._load_group(entry, index)
+
+    def _iter_segment_rows(self, entry: dict) -> Iterator[tuple[int, list]]:
+        for _, group in self._iter_groups(entry):
+            ordinals = group["ordinals"]
+            for i in range(len(ordinals)):
+                yield int(ordinals[i]), _group_row(group, i)
+
+    def _covering_segment(self, lo: int, hi: int) -> dict | None:
+        """The manifest segment fully covering ``[lo, hi]``, if any.
+
+        Segments have disjoint ordinal ranges, so a partial overlap is an
+        invariant violation and raises.
+        """
+        for entry in self._segments:
+            if entry["hi"] < lo or entry["lo"] > hi:
+                continue
+            if entry["lo"] <= lo and entry["hi"] >= hi:
+                return entry
+            raise CampaignError(
+                f"segment {entry['name']} partially overlaps range "
+                f"[{lo}, {hi}]: store invariant violated"
+            )
+        return None
+
+    def _segment_row(self, ordinal: int) -> list | None:
+        """Read one sealed row by ordinal (binary search, cached groups)."""
+        segments = self._segments
+        lo_index, hi_index = 0, len(segments)
+        while lo_index < hi_index:
+            mid = (lo_index + hi_index) // 2
+            if segments[mid]["hi"] < ordinal:
+                lo_index = mid + 1
+            else:
+                hi_index = mid
+        if lo_index >= len(segments) or segments[lo_index]["lo"] > ordinal:
+            return None
+        entry = segments[lo_index]
+        footer = self._footer(entry)
+        for index, meta in enumerate(footer["groups"]):
+            if meta["lo"] <= ordinal <= meta["hi"]:
+                _, group = self._load_group(entry, index)
+                position = int(np.searchsorted(group["ordinals"], ordinal))
+                if (
+                    position < len(group["ordinals"])
+                    and int(group["ordinals"][position]) == ordinal
+                ):
+                    return _group_row(group, position)
+        return None
+
+    # ------------------------------------------------------------------
+    # sealing and compaction
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        self._manifest["segments"] = self._segments
+        _atomic_write(
+            self.root / "MANIFEST.json",
+            json.dumps(self._manifest, sort_keys=True).encode("utf-8"),
+        )
+
+    def _write_segment_file(self, rows_iter) -> dict | None:
+        """Stream rows into ``seg-<seq>.col``; returns the manifest entry."""
+        seq = int(self._manifest["next_seq"])
+        name = f"seg-{seq:08d}.col"
+        path = self.root / "segments" / name
+        tmp = path.with_name(name + ".tmp")
+        groups: list[dict] = []
+        counts = {status: 0 for status in _STATUSES}
+        rows = 0
+        buffer: list[tuple[int, list]] = []
+        with open(tmp, "wb") as handle:
+            handle.write(_SEG_MAGIC)
+            offset = len(_SEG_MAGIC)
+
+            def flush_group():
+                nonlocal offset, rows
+                block, meta = _encode_group(buffer)
+                meta["offset"] = offset
+                meta["nbytes"] = len(block)
+                handle.write(block)
+                offset += len(block)
+                for status, n in meta["counts"].items():
+                    counts[status] += n
+                rows += meta["rows"]
+                groups.append(meta)
+                buffer.clear()
+
+            for item in rows_iter:
+                buffer.append(item)
+                if len(buffer) >= self._group_rows:
+                    flush_group()
+            if buffer:
+                flush_group()
+            if not groups:
+                handle.close()
+                tmp.unlink()
+                return None
+            footer = json.dumps(
+                {
+                    "groups": groups,
+                    "rows": rows,
+                    "lo": groups[0]["lo"],
+                    "hi": groups[-1]["hi"],
+                    "counts": counts,
+                }
+            ).encode("utf-8")
+            handle.write(footer)
+            handle.write(_TRAILER.pack(offset, len(footer), zlib.crc32(footer)))
+            handle.write(_SEG_END)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._manifest["next_seq"] = seq + 1
+        return {
+            "name": name,
+            "seq": seq,
+            "lo": groups[0]["lo"],
+            "hi": groups[-1]["hi"],
+            "rows": rows,
+            "counts": counts,
+            "nbytes": path.stat().st_size,
+        }
+
+    def _insert_entry(self, entry: dict) -> None:
+        position = 0
+        while position < len(self._segments) and (
+            self._segments[position]["lo"] < entry["lo"]
+        ):
+            position += 1
+        self._segments.insert(position, entry)
+
+    def _invalidate_segment(self, entry: dict) -> None:
+        self._footers.pop(entry["seq"], None)
+        for key in [k for k in self._groups if k[0] == entry["seq"]]:
+            del self._groups[key]
+
+    def _seal_range(self, start: int, stop: int, shard_id: int | None = None) -> None:
+        """Freeze every overlay row in ``[start, stop)`` into a segment.
+
+        If a sealed segment already covers the range (crash replay, cluster
+        lease reclaim), it is merged and replaced — overlay rows win. Overlay
+        rows inside the covering segment's wider range are folded in too,
+        garbage-collecting stale orphan updates.
+        """
+        covering = self._covering_segment(start, stop - 1)
+        if covering is not None:
+            fold_lo, fold_hi = covering["lo"], covering["hi"]
+        else:
+            fold_lo, fold_hi = start, stop - 1
+        overlay = sorted(
+            (ordinal, row)
+            for ordinal, row in self._active_rows.items()
+            if fold_lo <= ordinal <= fold_hi
+        )
+        if covering is None and not overlay:
+            if shard_id is not None:
+                self._drop_active_log(shard_id)
+            return
+        if covering is not None:
+            if not overlay:
+                # Already sealed and nothing new: just drop the leftover log.
+                if shard_id is not None:
+                    self._drop_active_log(shard_id)
+                return
+            rows_iter = _merge_rows(self._iter_segment_rows(covering), overlay)
+        else:
+            rows_iter = iter(overlay)
+        entry = self._write_segment_file(rows_iter)
+        if covering is not None:
+            self._segments.remove(covering)
+        if entry is not None:
+            self._insert_entry(entry)
+        self._manifest["generation"] = int(self._manifest["generation"]) + 1
+        self._write_manifest()
+        if covering is not None:
+            self._invalidate_segment(covering)
+            old = self._segment_path(covering)
+            if old.exists():
+                old.unlink()
+        for ordinal, _ in overlay:
+            self._active_rows.pop(ordinal, None)
+        if shard_id is not None:
+            self._drop_active_log(shard_id)
+        self._write_topk()
+        obs.counter("campaign.store.seals").inc()
+
+    def _maybe_compact(self) -> None:
+        """Merge the adjacent run of segments with the fewest rows.
+
+        Triggered once the manifest holds ``compact_fanin`` segments; the
+        merge streams group by group, so memory stays O(group_rows) no matter
+        how large the inputs are.
+        """
+        fanin = self._compact_fanin
+        if len(self._segments) < fanin:
+            return
+        row_counts = [entry["rows"] for entry in self._segments]
+        best_start, best_total = 0, None
+        window = sum(row_counts[:fanin])
+        best_total = window
+        for i in range(1, len(row_counts) - fanin + 1):
+            window += row_counts[i + fanin - 1] - row_counts[i - 1]
+            if window < best_total:
+                best_start, best_total = i, window
+        run = self._segments[best_start : best_start + fanin]
+        folded: list[int] = []
+
+        def merged_rows():
+            for ordinal, row in chain.from_iterable(
+                self._iter_segment_rows(entry) for entry in run
+            ):
+                overlay_row = self._active_rows.get(ordinal)
+                if overlay_row is not None:
+                    folded.append(ordinal)
+                    yield ordinal, overlay_row
+                else:
+                    yield ordinal, row
+
+        entry = self._write_segment_file(merged_rows())
+        del self._segments[best_start : best_start + fanin]
+        if entry is not None:
+            self._insert_entry(entry)
+        self._manifest["generation"] = int(self._manifest["generation"]) + 1
+        self._write_manifest()
+        for old in run:
+            self._invalidate_segment(old)
+            path = self._segment_path(old)
+            if path.exists():
+                path.unlink()
+        for ordinal in folded:
+            self._active_rows.pop(ordinal, None)
+        self._write_topk()
+        obs.counter("campaign.store.compactions").inc()
+
+    def _update_gauges(self) -> None:
+        obs.gauge("campaign.store.segments").set(len(self._segments))
+        sealed_rows = sum(entry["rows"] for entry in self._segments)
+        if sealed_rows:
+            sealed_bytes = sum(entry.get("nbytes", 0) for entry in self._segments)
+            obs.gauge("campaign.store.bytes_per_ligand").set(
+                sealed_bytes / sealed_rows
+            )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _replay_log(self, path: Path) -> None:
+        """Replay one CRC-framed log, truncating a torn tail in place."""
+        data = path.read_bytes()
+        records, clean = _scan_frames(data, str(path))
+        if clean < len(data):
+            with open(path, "r+b") as handle:
+                handle.truncate(clean)
+        for kind, payload in records:
+            self._apply_record(kind, payload)
+
+    def _recover(self) -> None:
+        root = self.root
+        (root / "active").mkdir(exist_ok=True)
+        (root / "segments").mkdir(exist_ok=True)
+        manifest_path = root / "MANIFEST.json"
+        if manifest_path.exists():
+            try:
+                self._manifest = json.loads(manifest_path.read_text("utf-8"))
+            except ValueError as exc:
+                raise CampaignError(
+                    f"{self.path} has a corrupt manifest: {exc}"
+                ) from None
+        self._segments = sorted(
+            self._manifest.get("segments", []), key=lambda entry: entry["lo"]
+        )
+        # Crash debris: segment files written but never published.
+        live = {entry["name"] for entry in self._segments}
+        for path in (root / "segments").iterdir():
+            if path.name not in live:
+                path.unlink()
+        # Counts start from the sealed state; replay adjusts them.
+        self._counts = {status: 0 for status in _STATUSES}
+        for entry in self._segments:
+            for status, n in entry["counts"].items():
+                self._counts[status] += int(n)
+        # Load the persisted top-K *before* replaying logs: replayed results
+        # push on top of the sealed index (loading afterwards would wipe
+        # them — exactly the staleness the generation stamp can't see,
+        # because appends don't bump the manifest generation).
+        self._load_topk()
+        # Shard table (torn tail tolerated like any framed log).
+        shards_log = root / "shards.log"
+        if shards_log.exists():
+            data = shards_log.read_bytes()
+            records, clean = _scan_frames(data, str(shards_log))
+            if clean < len(data):
+                with open(shards_log, "r+b") as handle:
+                    handle.truncate(clean)
+            for kind, payload in records:
+                if kind == _K_SHARD_START:
+                    shard_id, start, stop = _SHARD_START.unpack(payload)
+                    self._shards[shard_id] = {
+                        "start": start, "stop": stop, "status": "running",
+                        "wall": None,
+                    }
+                    self._open_ranges[shard_id] = (start, stop)
+                elif kind == _K_SHARD_FINISH:
+                    shard_id, wall = _SHARD_FINISH.unpack(payload)
+                    if shard_id in self._shards:
+                        self._shards[shard_id]["status"] = "done"
+                        self._shards[shard_id]["wall"] = wall
+                        self._open_ranges.pop(shard_id, None)
+        # Active per-shard logs: replay running shards; re-seal shards that
+        # finished in shards.log but crashed before their manifest publish;
+        # drop logs whose rows are already sealed.
+        reseal: list[int] = []
+        for path in sorted((root / "active").iterdir()):
+            match = _ACTIVE_NAME.match(path.name)
+            if not match:
+                continue
+            shard_id = int(match.group(1))
+            shard = self._shards.get(shard_id)
+            if (
+                shard is not None
+                and shard["status"] == "done"
+                and self._covering_segment(shard["start"], shard["stop"] - 1)
+                is not None
+            ):
+                path.unlink()
+                continue
+            self._replay_log(path)
+            if shard is not None and shard["status"] == "done":
+                reseal.append(shard_id)
+        for shard_id in reseal:
+            shard = self._shards[shard_id]
+            self._seal_range(shard["start"], shard["stop"], shard_id=shard_id)
+        # Orphan log last: its records postdate the shard logs they shadow.
+        orphan = root / "active" / "orphan.log"
+        if orphan.exists():
+            self._replay_log(orphan)
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # top-K index
+    # ------------------------------------------------------------------
+    def _topk_push(self, score: float, ordinal: int) -> None:
+        heapq.heappush(self._topk_heap, (-score, -ordinal))
+        if len(self._topk_heap) > self._topk_capacity:
+            heapq.heappop(self._topk_heap)
+            self._topk_saturated = True
+
+    def _write_topk(self) -> None:
+        entries = sorted((-s, -o) for s, o in self._topk_heap)
+        body = b"".join(_TOPK_ENTRY.pack(score, ordinal) for score, ordinal in entries)
+        data = (
+            _TOPK_MAGIC
+            + _TOPK_HEADER.pack(
+                int(self._manifest["generation"]),
+                self._topk_capacity,
+                len(entries),
+            )
+            + body
+            + struct.pack("<I", zlib.crc32(body))
+        )
+        _atomic_write(self.root / "topk.idx", data)
+
+    def _load_topk(self) -> None:
+        path = self.root / "topk.idx"
+        if not path.exists() or path.stat().st_size < len(_TOPK_MAGIC):
+            self._topk_dirty = bool(self._segments)
+            return
+        try:
+            with open(path, "rb") as handle, mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            ) as view:
+                if view[: len(_TOPK_MAGIC)] != _TOPK_MAGIC:
+                    raise ValueError("bad magic")
+                generation, capacity, count = _TOPK_HEADER.unpack_from(
+                    view, len(_TOPK_MAGIC)
+                )
+                body_off = len(_TOPK_MAGIC) + _TOPK_HEADER.size
+                body = bytes(view[body_off : body_off + count * _TOPK_ENTRY.size])
+                (crc,) = struct.unpack_from("<I", view, body_off + len(body))
+                if zlib.crc32(body) != crc:
+                    raise ValueError("CRC mismatch")
+        except (ValueError, struct.error):
+            self._topk_dirty = bool(self._segments)
+            return
+        if generation != int(self._manifest["generation"]):
+            self._topk_dirty = bool(self._segments)
+            return
+        heap = []
+        for i in range(count):
+            score, ordinal = _TOPK_ENTRY.unpack_from(body, i * _TOPK_ENTRY.size)
+            heap.append((-score, -ordinal))
+        heapq.heapify(heap)
+        self._topk_heap = heap
+        self._topk_saturated = count >= capacity
+
+    def _rebuild_topk(self) -> None:
+        self._topk_heap = []
+        self._topk_saturated = False
+        for ordinal, row in self._iter_logical():
+            if row[_STATUS] == "done" and row[_SCORE] is not None:
+                self._topk_push(row[_SCORE], ordinal)
+        self._topk_dirty = False
+
+    # ------------------------------------------------------------------
+    # queries and export
+    # ------------------------------------------------------------------
+    def _lookup(self, ordinal: int) -> list | None:
+        row = self._active_rows.get(ordinal)
+        if row is not None:
+            return row
+        return self._segment_row(ordinal)
+
+    def _iter_logical(self) -> Iterator[tuple[int, list]]:
+        """Every live row in ordinal order: sealed segments + overlay merge."""
+        overlay = sorted(self._active_rows.items())
+        seg_stream = chain.from_iterable(
+            self._iter_segment_rows(entry) for entry in self._segments
+        )
+        yield from _merge_rows(seg_stream, overlay)
+
+    def _top_row(self, ordinal: int, row: list) -> dict:
+        return {
+            "ordinal": ordinal,
+            "title": row[_TITLE],
+            "best_score": row[_SCORE],
+            "best_spot": row[_SPOT],
+            "evaluations": row[_EVALS],
+            "wall_seconds": row[_WALL],
+            "simulated_seconds": row[_SIM],
+        }
+
+    def top(self, k: int = 10) -> list[dict]:
+        """The ``k`` best completed ligands, ascending score.
+
+        Served by the incrementally maintained top-K index; a stale or
+        overflowed index falls back to a streaming full scan (and the index
+        rebuilds itself on the way).
+        """
+        if k < 1:
+            raise CampaignError(f"k must be >= 1, got {k}")
+        with self._lock:
+            if self._topk_dirty:
+                self._rebuild_topk()
+            candidates = sorted((-s, -o) for s, o in self._topk_heap)
+            validated: list[tuple[int, list]] = []
+            seen: set[int] = set()
+            for score, ordinal in candidates:
+                if ordinal in seen:
+                    continue
+                row = self._lookup(ordinal)
+                if (
+                    row is not None
+                    and row[_STATUS] == "done"
+                    and row[_SCORE] is not None
+                    and row[_SCORE] == score
+                ):
+                    validated.append((ordinal, row))
+                    seen.add(ordinal)
+                if len(validated) == k:
+                    break
+            if len(validated) < k and (self._topk_saturated or k > self._topk_capacity):
+                best = heapq.nsmallest(
+                    k,
+                    (
+                        (row[_SCORE], ordinal, row)
+                        for ordinal, row in self._iter_logical()
+                        if row[_STATUS] == "done" and row[_SCORE] is not None
+                    ),
+                    key=lambda item: (item[0], item[1]),
+                )
+                return [self._top_row(ordinal, row) for _, ordinal, row in best]
+            return [self._top_row(ordinal, row) for ordinal, row in validated]
+
+    def science_rows(self) -> Iterator[tuple]:
+        """Stream the result-affecting columns only, in ordinal order.
+
+        Byte-compatible with the SQLite backend's rows — the parity
+        fingerprint :meth:`science_digest` hashes these.
+        """
+        for ordinal, row in self._iter_logical():
+            yield (
+                ordinal, row[_TITLE], row[_STATUS],
+                row[_SCORE], row[_SPOT], row[_EVALS],
+            )
+
+    def science_digest(self) -> str:
+        """SHA-256 over :meth:`science_rows` — the store-parity fingerprint."""
+        digest = hashlib.sha256()
+        for row in self.science_rows():
+            digest.update(json.dumps(row, sort_keys=True).encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def iter_results(self) -> Iterator[dict]:
+        """Stream every ligand row as a dict, in ordinal order."""
+        for ordinal, row in self._iter_logical():
+            yield {
+                "ordinal": ordinal,
+                "title": row[_TITLE],
+                "status": row[_STATUS],
+                "best_score": row[_SCORE],
+                "best_spot": row[_SPOT],
+                "evaluations": row[_EVALS],
+                "wall_seconds": row[_WALL],
+                "simulated_seconds": row[_SIM],
+                "attempts": row[_ATTEMPTS],
+                "error": row[_ERROR],
+            }
+
+    def export_json(self, destination: str | Path | TextIO) -> int:
+        """Write the full campaign dump as JSON; returns rows written.
+
+        Rows stream one at a time — the full table is never in memory.
+        """
+        if isinstance(destination, (str, Path)):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return self.export_json(handle)
+        destination.write('{"campaign": ')
+        destination.write(json.dumps(self.config, sort_keys=True))
+        destination.write(f', "config_hash": {json.dumps(self.config_hash)}')
+        destination.write(f', "counts": {json.dumps(self.counts())}')
+        destination.write(', "results": [')
+        n = 0
+        for row in self.iter_results():
+            destination.write(("," if n else "") + "\n" + json.dumps(row))
+            n += 1
+        destination.write("\n]}\n")
+        return n
+
+    def export_csv(self, destination: str | Path | TextIO) -> int:
+        """Write per-ligand rows as CSV; returns rows written."""
+        if isinstance(destination, (str, Path)):
+            with open(destination, "w", encoding="utf-8", newline="") as handle:
+                return self.export_csv(handle)
+        writer = csv.writer(destination)
+        writer.writerow(_RESULT_COLUMNS)
+        n = 0
+        for row in self.iter_results():
+            writer.writerow([row[column] for column in _RESULT_COLUMNS])
+            n += 1
+        return n
+
+    def to_report(self) -> ScreeningReport:
+        """Materialise completed ligands as a :class:`ScreeningReport`."""
+        config = self.config
+        report = ScreeningReport(
+            receptor_title=str(config.get("receptor_title") or "receptor")
+        )
+        for row in self.iter_results():
+            if row["status"] != "done":
+                continue
+            simulated = row["simulated_seconds"]
+            report.add(
+                ScreeningEntry(
+                    ligand_title=str(row["title"]),
+                    best_score=float(row["best_score"]),
+                    best_spot=int(row["best_spot"]),
+                    evaluations=int(row["evaluations"]),
+                    simulated_seconds=(
+                        float("nan") if simulated is None else float(simulated)
+                    ),
+                )
+            )
+            if simulated is not None:
+                report.simulated_seconds += float(simulated)
+        return report

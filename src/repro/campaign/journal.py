@@ -7,12 +7,22 @@ science (per-ligand rows), the journal holds the *intent* ("shard 7
 started"), and resume reconciles the two — a shard that started but never
 finished is re-queued, and its already-committed ligand rows are skipped.
 
-Durability contract: every :meth:`append` flushes and ``fsync`` s before
-returning, so a record is either fully on disk or not there at all. A
+Durability contract: by default every :meth:`append` flushes and ``fsync`` s
+before returning, so a record is either fully on disk or not there at all. A
 process killed mid-write leaves at most one truncated final line, which
 :meth:`replay` detects and drops (the corresponding shard simply re-queues).
 Corruption anywhere *before* the tail is a real integrity failure and
 raises.
+
+Group commit: at million-ligand scale one fsync per shard becomes the
+bottleneck, so ``batch_records``/``batch_seconds`` buffer shard markers and
+commit them in one write+fsync per batch. Campaign lifecycle markers
+(start/resume/finish) always flush immediately. Batching is safe because the
+store is authoritative for finished shards — ``store.finish_shard`` commits
+before the journal's ``shard_finish``, so a SIGKILL that loses buffered
+markers at worst re-queues shards whose ligands are already committed, and
+resume skips them row by row (the same idempotent replay a torn tail relies
+on).
 """
 
 from __future__ import annotations
@@ -47,37 +57,87 @@ class JournalState:
 
 
 class CampaignJournal:
-    """Append-only JSONL journal for one campaign (see module docstring)."""
+    """Append-only JSONL journal for one campaign (see module docstring).
 
-    def __init__(self, path: str | Path) -> None:
+    ``batch_records=1`` (the default) keeps the original one-fsync-per-record
+    contract; larger values group-commit up to that many records — or
+    whatever accumulated within ``batch_seconds`` of the oldest buffered
+    record — per fsync.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        batch_records: int = 1,
+        batch_seconds: float = 0.0,
+    ) -> None:
+        if batch_records < 1:
+            raise CampaignError(
+                f"batch_records must be >= 1, got {batch_records}"
+            )
+        if batch_seconds < 0:
+            raise CampaignError(
+                f"batch_seconds must be >= 0, got {batch_seconds}"
+            )
         self.path = Path(path)
+        self.batch_records = int(batch_records)
+        self.batch_seconds = float(batch_seconds)
+        self._buffer: list[str] = []
+        self._buffer_t0 = 0.0
 
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------
-    def append(self, record: dict) -> None:
-        """Durably append one record (flush + fsync before returning)."""
+    def append(self, record: dict, urgent: bool = False) -> None:
+        """Append one record; durable before returning unless batched.
+
+        ``urgent`` forces an immediate group commit of everything buffered
+        (campaign lifecycle markers use it).
+        """
         if "record" not in record:
             raise CampaignError(f"journal records need a 'record' key: {record}")
-        line = json.dumps(record, sort_keys=True)
+        if not self._buffer:
+            self._buffer_t0 = time.monotonic()
+        self._buffer.append(json.dumps(record, sort_keys=True))
+        obs.counter("campaign.journal.appends").inc()
+        if (
+            urgent
+            or len(self._buffer) >= self.batch_records
+            or (
+                self.batch_seconds > 0.0
+                and time.monotonic() - self._buffer_t0 >= self.batch_seconds
+            )
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Group-commit every buffered record in one write + fsync."""
+        if not self._buffer:
+            return
+        lines, self._buffer = self._buffer, []
         t0 = time.perf_counter()
-        with obs.span("campaign.journal.fsync", record=record["record"]):
+        with obs.span("campaign.journal.fsync", records=len(lines)):
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                handle.write("\n".join(lines) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
-        obs.counter("campaign.journal.appends").inc()
+        obs.counter("campaign.journal.flushes").inc()
         obs.histogram("campaign.journal.fsync_seconds").observe(
             time.perf_counter() - t0
         )
 
     def campaign_start(self, config_hash: str) -> None:
         """Log campaign creation (binds the journal to one config)."""
-        self.append({"record": "campaign_start", "config_hash": config_hash})
+        self.append(
+            {"record": "campaign_start", "config_hash": config_hash}, urgent=True
+        )
 
     def campaign_resume(self, config_hash: str) -> None:
         """Log a resume attach."""
-        self.append({"record": "campaign_resume", "config_hash": config_hash})
+        self.append(
+            {"record": "campaign_resume", "config_hash": config_hash}, urgent=True
+        )
 
     def shard_start(
         self, shard_id: int, start: int, stop: int, node: int | None = None
@@ -114,7 +174,9 @@ class CampaignJournal:
 
     def campaign_finish(self, n_ligands: int) -> None:
         """Log that the whole library streamed through."""
-        self.append({"record": "campaign_finish", "n_ligands": n_ligands})
+        self.append(
+            {"record": "campaign_finish", "n_ligands": n_ligands}, urgent=True
+        )
 
     # ------------------------------------------------------------------
     # reading
@@ -125,6 +187,7 @@ class CampaignJournal:
         Tolerates exactly one malformed record at the tail (the crash
         artifact); malformed records elsewhere raise :class:`CampaignError`.
         """
+        self.flush()  # a same-process replay must see buffered records
         state = JournalState()
         if not self.path.exists():
             return state

@@ -14,6 +14,7 @@ reproduces bitwise-identical scores.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol, runtime_checkable
@@ -30,6 +31,8 @@ __all__ = [
     "ListSource",
     "SyntheticSource",
     "PDBDirectorySource",
+    "SmilesSource",
+    "CsvSource",
     "Shard",
     "iter_shards",
     "resolve_title",
@@ -225,6 +228,165 @@ class PDBDirectorySource:
         return None  # multi-model files make the ligand count unknowable
 
 
+#: Tokens counted as one heavy atom when sizing a ligand from its SMILES.
+#: Bracket atoms ([NH3+], [Se], …) count as one; hydrogens don't count.
+_SMILES_ATOM = re.compile(r"Cl|Br|\[[^\]]*\]|[BCNOPSFI]|[bcnops]")
+
+
+def _line_ligand(
+    smiles: str, title: str, seed: int, atoms_range: tuple[int, int]
+) -> Ligand:
+    """Deterministically synthesise a ligand for one library line.
+
+    Real conformer generation is out of scope (the paper's inputs are
+    pre-built poses); what matters for the campaign layer is that each line
+    maps to a *stable* ligand — same atom count (a heavy-atom estimate from
+    the SMILES) and same generation seed (a content hash, NOT python's
+    per-process ``hash()``) on every stream, every process, every node.
+    """
+    lo, hi = atoms_range
+    heavy = len([m for m in _SMILES_ATOM.findall(smiles) if m != "[H]"])
+    n_atoms = min(max(heavy, lo), hi)
+    digest = hashlib.blake2b(
+        f"{smiles}\x00{title}\x00{seed}".encode("utf-8"), digest_size=8
+    ).digest()
+    return generate_ligand(
+        n_atoms, seed=int.from_bytes(digest, "big"), title=title
+    )
+
+
+def _title_key(title: str) -> bytes:
+    """8-byte dedup key: bounded memory even for 10^7-title libraries."""
+    return hashlib.blake2b(title.encode("utf-8"), digest_size=8).digest()
+
+
+class SmilesSource:
+    """Stream ligands from a line-delimited SMILES file (``.smi``).
+
+    Each non-blank, non-``#`` line is ``SMILES[ whitespace title]``; an
+    untitled line uses its SMILES string as the title. With ``dedup=True``
+    (the default) a line whose title was already seen is skipped — the
+    dedup set holds 8-byte content hashes, so memory stays bounded at any
+    library size. Iteration order is the file order minus duplicates, hence
+    stable across runs — the determinism resume depends on.
+    """
+
+    kind = "smiles"
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        seed: int = 0,
+        dedup: bool = True,
+        atoms_range: tuple[int, int] = (4, 64),
+    ) -> None:
+        self.path = Path(path)
+        if not self.path.is_file():
+            raise CampaignError(f"ligand library file not found: {self.path}")
+        lo, hi = atoms_range
+        if not 1 <= lo <= hi:
+            raise CampaignError(f"invalid atoms_range {atoms_range}")
+        self.seed = int(seed)
+        self.dedup = bool(dedup)
+        self.atoms_range = (int(lo), int(hi))
+
+    def _entries(self) -> Iterator[tuple[str, str]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split(None, 1)
+                smiles = parts[0]
+                title = parts[1].strip() if len(parts) > 1 else smiles
+                yield smiles, title
+
+    def __iter__(self) -> Iterator[Ligand]:
+        seen: set[bytes] = set()
+        for smiles, title in self._entries():
+            if self.dedup:
+                key = _title_key(title)
+                if key in seen:
+                    continue
+                seen.add(key)
+            yield _line_ligand(smiles, title, self.seed, self.atoms_range)
+
+    def descriptor(self) -> dict:
+        return {
+            "kind": self.kind,
+            "path": str(self.path.resolve()),
+            "seed": self.seed,
+            "dedup": self.dedup,
+            "atoms_range": list(self.atoms_range),
+        }
+
+    def count(self) -> int | None:
+        return None  # knowable only by streaming (dedup skips lines)
+
+
+class CsvSource(SmilesSource):
+    """Stream ligands from a CSV with SMILES (and optionally title) columns.
+
+    The header row names the columns (matched case-insensitively); rows
+    missing the SMILES cell are skipped. Everything else — synthetic ligand
+    mapping, bounded-memory title dedup, deterministic order — matches
+    :class:`SmilesSource`.
+    """
+
+    kind = "csv"
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        smiles_column: str = "smiles",
+        title_column: str = "title",
+        seed: int = 0,
+        dedup: bool = True,
+        atoms_range: tuple[int, int] = (4, 64),
+    ) -> None:
+        super().__init__(path, seed=seed, dedup=dedup, atoms_range=atoms_range)
+        self.smiles_column = str(smiles_column)
+        self.title_column = str(title_column)
+
+    def _entries(self) -> Iterator[tuple[str, str]]:
+        import csv
+
+        with open(self.path, "r", encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise CampaignError(f"{self.path} is empty") from None
+            columns = {name.strip().lower(): i for i, name in enumerate(header)}
+            smiles_at = columns.get(self.smiles_column.lower())
+            if smiles_at is None:
+                raise CampaignError(
+                    f"{self.path} has no {self.smiles_column!r} column "
+                    f"(found {sorted(columns)})"
+                )
+            title_at = columns.get(self.title_column.lower())
+            for row in reader:
+                if smiles_at >= len(row) or not row[smiles_at].strip():
+                    continue
+                smiles = row[smiles_at].strip()
+                title = (
+                    row[title_at].strip()
+                    if title_at is not None
+                    and title_at < len(row)
+                    and row[title_at].strip()
+                    else smiles
+                )
+                yield smiles, title
+
+    def descriptor(self) -> dict:
+        descriptor = super().descriptor()
+        descriptor["smiles_column"] = self.smiles_column
+        descriptor["title_column"] = self.title_column
+        return descriptor
+
+
 @dataclass(frozen=True, slots=True)
 class Shard:
     """A contiguous slice of the global ligand ordering.
@@ -325,6 +487,17 @@ def build_source(descriptor: dict) -> LigandSource:
         return PDBDirectorySource(
             descriptor["path"], descriptor.get("pattern", "*.pdb")
         )
+    if kind in ("smiles", "csv"):
+        cls = SmilesSource if kind == "smiles" else CsvSource
+        kwargs = dict(
+            seed=int(descriptor.get("seed", 0)),
+            dedup=bool(descriptor.get("dedup", True)),
+            atoms_range=tuple(descriptor.get("atoms_range", (4, 64))),
+        )
+        if kind == "csv":
+            kwargs["smiles_column"] = descriptor.get("smiles_column", "smiles")
+            kwargs["title_column"] = descriptor.get("title_column", "title")
+        return cls(descriptor["path"], **kwargs)
     raise CampaignError(
         "this campaign's ligand library cannot be reconstructed from its "
         f"descriptor {descriptor}; resume it via the Python API"

@@ -50,6 +50,7 @@ from repro.molecules.structures import Ligand, Receptor
 from repro.scoring.base import ScoringFunction
 from repro.vs.docking import dock
 
+from repro.campaign.backends import STORE_BACKENDS, create_store, open_store
 from repro.campaign.journal import CampaignJournal
 from repro.campaign.library import (
     LigandSource,
@@ -172,7 +173,10 @@ class CampaignRunner:
         source: LigandSource,
         *,
         store_path: str | Path,
+        store_backend: str = "sqlite",
         journal_path: str | Path | None = None,
+        journal_batch_records: int = 1,
+        journal_batch_seconds: float = 0.0,
         n_spots: int = 16,
         metaheuristic: str | MetaheuristicSpec = "M2",
         scoring: ScoringFunction | None = None,
@@ -209,12 +213,31 @@ class CampaignRunner:
             raise CampaignError(f"shard_size must be >= 1, got {shard_size}")
         if max_attempts < 1:
             raise CampaignError(f"max_attempts must be >= 1, got {max_attempts}")
+        if store_backend not in STORE_BACKENDS:
+            raise CampaignError(
+                f"store_backend must be one of {STORE_BACKENDS}, "
+                f"got {store_backend!r}"
+            )
+        if store_backend == "columnar" and str(store_path) == ":memory:":
+            raise CampaignError(
+                "the columnar store backend persists to a directory; "
+                ":memory: campaigns use the sqlite backend"
+            )
         self.receptor = receptor
         self.source = source
         self.store_path = str(store_path)
+        self.store_backend = store_backend
         if journal_path is None and self.store_path != ":memory:":
             journal_path = self.store_path + ".journal"
-        self.journal = CampaignJournal(journal_path) if journal_path else None
+        self.journal = (
+            CampaignJournal(
+                journal_path,
+                batch_records=journal_batch_records,
+                batch_seconds=journal_batch_seconds,
+            )
+            if journal_path
+            else None
+        )
         self.n_spots = n_spots
         self.metaheuristic = metaheuristic
         self.scoring = scoring
@@ -298,6 +321,10 @@ class CampaignRunner:
             autotune=self.autotune,
             calibration_hash=calibration_hash,
         )
+        # Recorded for visibility only: the backend is an execution knob,
+        # deliberately outside HASHED_KEYS — sqlite and columnar stores of
+        # the same campaign share one config hash and science digest.
+        self.config["store_backend"] = self.store_backend
         self.config_hash = config_hash(self.config)
 
     # ------------------------------------------------------------------
@@ -310,8 +337,11 @@ class CampaignRunner:
         manager).
         """
         with obs.span("campaign.run", config=self.config_hash[:12]):
-            store = CampaignStore.create(
-                self.store_path, self.config, self.config_hash
+            store = create_store(
+                self.store_path,
+                self.config,
+                self.config_hash,
+                backend=self.store_backend,
             )
             if self.journal is not None:
                 self.journal.campaign_start(self.config_hash)
@@ -325,7 +355,7 @@ class CampaignRunner:
         committed result. Resuming a completed campaign is a no-op.
         """
         with obs.span("campaign.resume", config=self.config_hash[:12]) as span_tags:
-            store = CampaignStore.open(self.store_path)
+            store = open_store(self.store_path)
             try:
                 if store.config_hash != self.config_hash:
                     raise CampaignError(
@@ -476,6 +506,11 @@ class CampaignRunner:
                 store.close()
                 raise
         finally:
+            if self.journal is not None:
+                # Group-commit stragglers: a batched journal must not lose
+                # markers to a clean exit or a raised exception (SIGKILL is
+                # the one case this can't cover, and resume tolerates it).
+                self.journal.flush()
             runtime, self._runtime = self._runtime, None
             if runtime is not None:
                 runtime.close()

@@ -29,7 +29,7 @@ from typing import Iterator, TextIO
 from repro.errors import CampaignError
 from repro.vs.results import ScreeningEntry, ScreeningReport
 
-__all__ = ["CampaignStore", "SCHEMA_VERSION"]
+__all__ = ["CampaignStore", "SCHEMA_VERSION", "export_report"]
 
 #: Bounded retry on SQLite "database is locked": a campaign store is
 #: single-writer by design, but `campaign status`/`top` readers, WAL
@@ -84,6 +84,54 @@ _RESULT_COLUMNS = (
     "attempts",
     "error",
 )
+
+
+def export_report(store, destination: str | Path | TextIO) -> int:
+    """Stream a store's completed ligands as ``ScreeningReport`` JSON.
+
+    Produces output :meth:`repro.vs.results.ScreeningReport.from_json` reads
+    back, without ever materialising the report: rows stream one at a time
+    from :meth:`iter_results`, and the ``simulated_seconds`` total — only
+    known once the stream ends — is written *after* the entries
+    (``from_json`` is key-order agnostic). This is the export path a
+    million-row campaign report relies on; ``to_report()`` remains for
+    callers that want the in-memory object. Works on any store backend.
+    Returns the number of entries written.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return export_report(store, handle)
+    from repro.vs.results import _encode_float
+
+    config = store.config
+    title = str(config.get("receptor_title") or "receptor")
+    destination.write(
+        f'{{"receptor_title": {json.dumps(title)}, "entries": ['
+    )
+    n = 0
+    simulated_total = 0.0
+    for row in store.iter_results():
+        if row["status"] != "done":
+            continue
+        simulated = row["simulated_seconds"]
+        entry = {
+            "ligand_title": str(row["title"]),
+            "best_score": _encode_float(float(row["best_score"])),
+            "best_spot": int(row["best_spot"]),
+            "evaluations": int(row["evaluations"]),
+            "simulated_seconds": _encode_float(
+                float("nan") if simulated is None else float(simulated)
+            ),
+        }
+        destination.write(("," if n else "") + "\n" + json.dumps(entry))
+        if simulated is not None:
+            simulated_total += float(simulated)
+        n += 1
+    destination.write(
+        '\n], "simulated_seconds": '
+        f"{json.dumps(_encode_float(simulated_total))}}}\n"
+    )
+    return n
 
 
 class CampaignStore:

@@ -135,6 +135,17 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonnegative_float(text: str) -> float:
+    """argparse type: a float >= 0, rejected with a clear message otherwise."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _port(text: str) -> int:
     """argparse type: a TCP port (0 = pick an ephemeral one)."""
     try:
@@ -217,6 +228,49 @@ def _add_metrics_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_campaign_store_args(sub: argparse.ArgumentParser) -> None:
+    """Store-backend and journal-batching flags for campaign-starting commands."""
+    sub.add_argument(
+        "--store-backend",
+        choices=("sqlite", "columnar"),
+        default="sqlite",
+        help="result store layout: sqlite = one database file, columnar = "
+        "append-only sharded directory built for million-ligand libraries",
+    )
+    sub.add_argument(
+        "--journal-batch",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="group-commit the shard journal every N records instead of "
+        "fsyncing each one (default 1 = every record)",
+    )
+    sub.add_argument(
+        "--journal-batch-seconds",
+        type=_nonnegative_float,
+        default=0.0,
+        metavar="S",
+        help="flush a partially filled journal batch after S seconds "
+        "(default 0 = only on --journal-batch boundaries)",
+    )
+
+
+def _add_campaign_library_args(sub: argparse.ArgumentParser) -> None:
+    """Streaming line-delimited library flags shared by run/coordinator."""
+    sub.add_argument(
+        "--library-smiles",
+        metavar="PATH",
+        help="line-delimited SMILES file streamed with bounded memory "
+        "(overrides --library-dir and the synthetic library)",
+    )
+    sub.add_argument(
+        "--library-csv",
+        metavar="PATH",
+        help="CSV file with smiles/title columns, streamed with bounded "
+        "memory (overrides --library-dir and the synthetic library)",
+    )
+
+
 @contextlib.contextmanager
 def _maybe_sampler(args: argparse.Namespace):
     """Run a live sampler around a command when ``--live-metrics`` was given."""
@@ -293,13 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
     csub = camp.add_subparsers(dest="campaign_command", required=True)
 
     crun = csub.add_parser("run", help="start a new campaign")
-    crun.add_argument("--store", required=True, help="campaign SQLite database path")
+    crun.add_argument(
+        "--store",
+        required=True,
+        help="campaign store path (SQLite file, or a directory with "
+        "--store-backend columnar)",
+    )
     crun.add_argument("--receptor-pdb", help="receptor PDB file (default: synthetic)")
     crun.add_argument("--receptor-atoms", type=_positive_int, default=1000)
     crun.add_argument(
         "--library-dir",
         help="directory of ligand PDB files (default: synthetic library)",
     )
+    _add_campaign_library_args(crun)
     crun.add_argument(
         "--ligands", type=_positive_int, default=16, help="synthetic library size"
     )
@@ -323,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="docking attempts per ligand before it is recorded as failed",
     )
+    _add_campaign_store_args(crun)
     _add_host_runtime_args(crun, pool_flag=True)
     _add_autotune_args(crun, refine_flag=True)
     _add_cluster_args(crun)
@@ -342,6 +403,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="spawn a fresh worker pool per ligand instead of one "
         "persistent pool for the rest of the campaign",
+    )
+    cres.add_argument(
+        "--journal-batch",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="group-commit the shard journal every N records (default 1)",
+    )
+    cres.add_argument(
+        "--journal-batch-seconds",
+        type=_nonnegative_float,
+        default=0.0,
+        metavar="S",
+        help="flush a partially filled journal batch after S seconds",
     )
     # Autotuned campaigns are score-affecting config: resuming one needs
     # the same calibration file so the config hash matches the store.
@@ -393,13 +468,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker nodes that must dial in before shards are partitioned",
     )
-    ccoord.add_argument("--store", required=True, help="campaign SQLite database path")
+    ccoord.add_argument(
+        "--store",
+        required=True,
+        help="campaign store path (SQLite file, or a directory with "
+        "--store-backend columnar)",
+    )
     ccoord.add_argument("--receptor-pdb", help="receptor PDB file (default: synthetic)")
     ccoord.add_argument("--receptor-atoms", type=_positive_int, default=1000)
     ccoord.add_argument(
         "--library-dir",
         help="directory of ligand PDB files (default: synthetic library)",
     )
+    _add_campaign_library_args(ccoord)
     ccoord.add_argument(
         "--ligands", type=_positive_int, default=16, help="synthetic library size"
     )
@@ -423,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue an interrupted campaign from its store (library/"
         "receptor flags are ignored; the store's descriptors win)",
     )
+    _add_campaign_store_args(ccoord)
     _add_host_runtime_args(ccoord, pool_flag=True)
     _add_autotune_args(ccoord)
     _add_cluster_args(ccoord, nodes_flag=False)
@@ -810,7 +892,12 @@ def _print_campaign_summary(store) -> int:
 
 def _campaign_inputs(args: argparse.Namespace):
     """Receptor + descriptor + ligand source for a new campaign."""
-    from repro.campaign import PDBDirectorySource, SyntheticSource
+    from repro.campaign import (
+        CsvSource,
+        PDBDirectorySource,
+        SmilesSource,
+        SyntheticSource,
+    )
     from repro.molecules.pdb import read_pdb
     from repro.molecules.synthetic import generate_receptor
 
@@ -824,7 +911,11 @@ def _campaign_inputs(args: argparse.Namespace):
             "n_atoms": args.receptor_atoms,
             "seed": args.seed,
         }
-    if args.library_dir:
+    if getattr(args, "library_smiles", None):
+        source = SmilesSource(args.library_smiles, seed=args.seed + 10)
+    elif getattr(args, "library_csv", None):
+        source = CsvSource(args.library_csv, seed=args.seed + 10)
+    elif args.library_dir:
         source = PDBDirectorySource(args.library_dir)
     else:
         source = SyntheticSource(
@@ -846,6 +937,9 @@ def _new_campaign_runner(
         receptor,
         source,
         store_path=args.store,
+        store_backend=getattr(args, "store_backend", "sqlite"),
+        journal_batch_records=getattr(args, "journal_batch", 1),
+        journal_batch_seconds=getattr(args, "journal_batch_seconds", 0.0),
         n_spots=args.spots,
         metaheuristic=args.metaheuristic,
         seed=args.seed,
@@ -883,11 +977,11 @@ def _rebuild_campaign_runner(
     args: argparse.Namespace, progress=None, *, nodes: int = 0, cluster=None
 ):
     """Reconstruct receptor/library from a store's recorded descriptors."""
-    from repro.campaign import CampaignRunner, CampaignStore
+    from repro.campaign import CampaignRunner, open_store
     from repro.campaign.library import build_receptor, build_source
     from repro.errors import CampaignError
 
-    with CampaignStore.open(args.store) as store:
+    with open_store(args.store) as store:
         config = store.config
 
     receptor_desc = config.get("receptor", {})
@@ -902,6 +996,9 @@ def _rebuild_campaign_runner(
         receptor,
         source,
         store_path=args.store,
+        store_backend=str(config.get("store_backend", "sqlite")),
+        journal_batch_records=getattr(args, "journal_batch", 1),
+        journal_batch_seconds=getattr(args, "journal_batch_seconds", 0.0),
         n_spots=int(config["n_spots"]),
         metaheuristic=str(config["metaheuristic"]),
         seed=int(config["seed"]),
@@ -925,9 +1022,9 @@ def _rebuild_campaign_runner(
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignStore
+    from repro.campaign import open_store
 
-    with CampaignStore.open(args.store) as store:
+    with open_store(args.store) as store:
         shard_size = int(store.config.get("shard_size", 1))
     cluster = _cluster_config(args) if args.nodes >= 2 else None
     with _campaign_session(args, shard_size) as progress_cb:
@@ -946,12 +1043,13 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     import os
 
-    from repro.campaign import CampaignStore
+    from repro.campaign import detect_backend, open_store, store_disk_bytes
 
-    with CampaignStore.open(args.store) as store:
+    with open_store(args.store) as store:
         config = store.config
         counts = store.counts()
         print(f"campaign store: {args.store}")
+        print(f"  backend: {detect_backend(args.store)}")
         print(f"  receptor: {config.get('receptor_title')}")
         print(
             f"  library: {config.get('library', {}).get('kind')}  "
@@ -966,14 +1064,14 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             f"{counts['running']} running, {counts['pending']} pending"
         )
         if os.path.exists(args.store):
-            print(f"  store size: {os.path.getsize(args.store)} bytes")
+            print(f"  store size: {store_disk_bytes(args.store)} bytes")
     return 0
 
 
 def _cmd_campaign_top(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignStore
+    from repro.campaign import open_store
 
-    with CampaignStore.open(args.store) as store:
+    with open_store(args.store) as store:
         rows = store.top(args.k)
         print(f"{'rank':>4s}  {'score':>12s}  {'spot':>5s}  ligand")
         for rank, row in enumerate(rows, start=1):
@@ -985,18 +1083,17 @@ def _cmd_campaign_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_export(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignStore
+    from repro.campaign import export_report, open_store
 
-    with CampaignStore.open(args.store) as store:
+    with open_store(args.store) as store:
         if args.format == "json":
             n = store.export_json(args.out)
         elif args.format == "csv":
             n = store.export_csv(args.out)
         else:
-            report = store.to_report()
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(report.to_json())
-            n = len(report.entries)
+            # Streams row by row — a million-ligand report never
+            # materialises in memory.
+            n = export_report(store, args.out)
     print(f"exported {n} ligands to {args.out} ({args.format})")
     return 0
 

@@ -50,7 +50,7 @@ __all__ = ["ClusterCampaign", "execute_fleet"]
 
 #: Library kinds whose descriptors rebuild bitwise on a worker — their
 #: leases carry ordinals only, never ligand payloads.
-_DESCRIPTOR_KINDS = frozenset({"synthetic", "pdb-dir"})
+_DESCRIPTOR_KINDS = frozenset({"synthetic", "pdb-dir", "smiles", "csv"})
 
 
 def _worker_main(host: str, port: int, attempts: int, backoff_s: float) -> None:

@@ -1,0 +1,350 @@
+"""Columnar campaign store: SQLite parity, sealing, compaction, top-K.
+
+Every behavioural test here runs the same operation sequence against both
+backends and asserts identical observable state — counts, science digest,
+top-K ranking, export bytes — because the columnar store's whole contract
+is "drop-in behind the store interface".
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.campaign.backends import (
+    create_store,
+    detect_backend,
+    open_store,
+    store_disk_bytes,
+)
+from repro.campaign.colstore import COLSTORE_SCHEMA_VERSION, ColumnarStore
+from repro.campaign.store import CampaignStore
+from repro.errors import CampaignError
+
+CONFIG = {
+    "receptor_title": "colstore-test receptor",
+    "n_spots": 4,
+    "metaheuristic": "M1",
+    "seed": 7,
+}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ColumnarStore.create(
+        tmp_path / "c.col", CONFIG, "hash-1", group_rows=16, compact_fanin=3
+    ) as s:
+        yield s
+
+
+def both_stores(tmp_path, **options):
+    """A fresh (sqlite, columnar) pair sharing one config."""
+    sq = CampaignStore.create(tmp_path / "pair.sqlite", CONFIG, "hash-1")
+    co = ColumnarStore.create(tmp_path / "pair.col", CONFIG, "hash-1", **options)
+    return sq, co
+
+
+def assert_parity(sq, co, k=10):
+    assert sq.counts() == co.counts()
+    assert sq.science_digest() == co.science_digest()
+    assert sq.finished_shards() == co.finished_shards()
+    assert [
+        (r["ordinal"], r["title"], r["best_score"], r["best_spot"])
+        for r in sq.top(k)
+    ] == [
+        (r["ordinal"], r["title"], r["best_score"], r["best_spot"])
+        for r in co.top(k)
+    ]
+    assert list(sq.iter_results()) == list(co.iter_results())
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_create_and_reopen_roundtrip(tmp_path):
+    path = tmp_path / "c.col"
+    store = ColumnarStore.create(path, CONFIG, "hash-1")
+    store.record_result(0, "L0", -5.0, 1, 100, 0.1, 0.2)
+    store.close()
+
+    with ColumnarStore.open(path) as reopened:
+        assert reopened.config == CONFIG
+        assert reopened.config_hash == "hash-1"
+        assert reopened.counts()["done"] == 1
+        assert not reopened.is_complete()
+
+
+def test_create_refuses_existing_and_memory(tmp_path):
+    path = tmp_path / "c.col"
+    ColumnarStore.create(path, CONFIG, "h").close()
+    with pytest.raises(CampaignError, match="already exists"):
+        ColumnarStore.create(path, CONFIG, "h")
+    with pytest.raises(CampaignError, match=":memory:"):
+        ColumnarStore.create(":memory:", CONFIG, "h")
+    with pytest.raises(CampaignError, match="invalid columnar store options"):
+        ColumnarStore.create(tmp_path / "bad.col", CONFIG, "h", compact_fanin=1)
+
+
+def test_open_missing_and_garbage(tmp_path):
+    with pytest.raises(CampaignError, match="no campaign store"):
+        ColumnarStore.open(tmp_path / "nope.col")
+    garbage = tmp_path / "garbage.col"
+    garbage.mkdir()
+    with pytest.raises(CampaignError, match="not a campaign store"):
+        ColumnarStore.open(garbage)
+    (garbage / "meta.json").write_text("definitely not json")
+    with pytest.raises(CampaignError, match="not a campaign store"):
+        ColumnarStore.open(garbage)
+
+
+def test_open_rejects_schema_mismatch(tmp_path):
+    path = tmp_path / "c.col"
+    ColumnarStore.create(path, CONFIG, "h").close()
+    meta = json.loads((path / "meta.json").read_text())
+    meta["schema_version"] = COLSTORE_SCHEMA_VERSION + 1
+    (path / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(CampaignError, match="schema"):
+        ColumnarStore.open(path)
+
+
+def test_completion_flag_survives_reopen(tmp_path):
+    path = tmp_path / "c.col"
+    store = ColumnarStore.create(path, CONFIG, "h")
+    assert not store.is_complete()
+    store.mark_complete(42)
+    store.close()
+    with ColumnarStore.open(path) as reopened:
+        assert reopened.is_complete()
+        assert reopened.n_ligands == 42
+
+
+# ----------------------------------------------------------------------
+# backend registry
+# ----------------------------------------------------------------------
+def test_backend_detection_and_open_store(tmp_path):
+    sq, co = both_stores(tmp_path)
+    sq.close()
+    co.close()
+    assert detect_backend(tmp_path / "pair.sqlite") == "sqlite"
+    assert detect_backend(tmp_path / "pair.col") == "columnar"
+    assert detect_backend(":memory:") == "sqlite"
+    with open_store(tmp_path / "pair.sqlite") as store:
+        assert isinstance(store, CampaignStore)
+    with open_store(tmp_path / "pair.col") as store:
+        assert isinstance(store, ColumnarStore)
+    assert store_disk_bytes(tmp_path / "pair.col") > 0
+    assert store_disk_bytes(tmp_path / "pair.sqlite") > 0
+    with pytest.raises(CampaignError):
+        detect_backend(tmp_path / "missing")
+
+
+def test_create_store_dispatches_and_validates(tmp_path):
+    with create_store(tmp_path / "a.sqlite", CONFIG, "h") as store:
+        assert isinstance(store, CampaignStore)
+    with create_store(
+        tmp_path / "a.col", CONFIG, "h", backend="columnar", group_rows=8
+    ) as store:
+        assert isinstance(store, ColumnarStore)
+    with pytest.raises(CampaignError, match="backend"):
+        create_store(tmp_path / "b", CONFIG, "h", backend="parquet")
+    with pytest.raises(CampaignError):
+        # store options are a columnar-only concept
+        create_store(tmp_path / "b.sqlite", CONFIG, "h", group_rows=8)
+
+
+# ----------------------------------------------------------------------
+# SQLite-parity semantics (same sequences, same observable state)
+# ----------------------------------------------------------------------
+def test_upsert_is_idempotent(store):
+    store.record_result(3, "L3", -4.0, 0, 50, 0.1, 0.0)
+    store.record_result(3, "L3", -4.5, 2, 60, 0.2, 0.0, attempts=2)
+    assert store.counts()["done"] == 1
+    row = store.top(1)[0]
+    assert row["best_score"] == -4.5
+    assert row["best_spot"] == 2
+
+
+def test_failure_then_success_transitions(store):
+    store.register_ligands([(0, "L0")])
+    assert store.counts()["pending"] == 1
+    store.mark_running(0)
+    assert store.counts()["running"] == 1
+    store.record_failure(0, "L0", "ScoringError: pose 3 non-finite", attempts=3)
+    counts = store.counts()
+    assert counts["failed"] == 1 and counts["running"] == 0
+    store.record_result(0, "L0", -1.0, 0, 10, 0.1, 0.0)
+    counts = store.counts()
+    assert counts["done"] == 1 and counts["failed"] == 0
+    assert store.top(1)[0]["title"] == "L0"
+
+
+def test_register_ligands_never_downgrades(store):
+    store.record_result(1, "L1", -2.0, 0, 10, 0.1, 0.0)
+    store.register_ligands([(1, "L1"), (2, "L2")])
+    counts = store.counts()
+    assert counts["done"] == 1 and counts["pending"] == 1
+
+
+def test_top_k_ordering_and_ties(store):
+    store.record_result(0, "A", -3.0, 0, 10, 0.1, 0.0)
+    store.record_result(1, "B", -5.0, 1, 10, 0.1, 0.0)
+    store.record_result(2, "C", -5.0, 2, 10, 0.1, 0.0)  # tie → ordinal order
+    store.record_failure(3, "D", "boom", 1)
+    top = store.top(10)
+    assert [r["title"] for r in top] == ["B", "C", "A"]
+    assert [r["title"] for r in store.top(1)] == ["B"]
+    with pytest.raises(CampaignError):
+        store.top(0)
+
+
+def test_shard_tracking(store):
+    store.start_shard(0, 0, 4)
+    store.start_shard(1, 4, 8)
+    assert store.finished_shards() == set()
+    store.finish_shard(0, 1.5)
+    assert store.finished_shards() == {0}
+    store.start_shard(0, 0, 4)  # resume replay re-marks it running
+    assert store.finished_shards() == set()
+
+
+def test_done_ordinals_range_spans_sealed_and_overlay(store):
+    store.start_shard(0, 0, 4)
+    for ordinal in (0, 1):
+        store.record_result(ordinal, f"L{ordinal}", -1.0, 0, 1, 0.1, 0.0)
+    store.record_failure(2, "L2", "x", 1)
+    store.finish_shard(0, 0.5)  # seals [0, 4) into a segment
+    store.record_result(5, "L5", -1.0, 0, 1, 0.1, 0.0)  # overlay only
+    assert store.done_ordinals(0, 4) == {0, 1}
+    assert store.done_ordinals(4, 8) == {5}
+
+
+def test_random_operation_sequence_matches_sqlite(tmp_path):
+    rng = random.Random(20260808)
+    sq, co = both_stores(tmp_path, group_rows=8, compact_fanin=3)
+    n, shard = 120, 10
+    for shard_id in range(n // shard):
+        start, stop = shard_id * shard, (shard_id + 1) * shard
+        for st in (sq, co):
+            st.start_shard(shard_id, start, stop)
+            st.register_ligands([(o, f"L{o}") for o in range(start, stop)])
+        for ordinal in range(start, stop):
+            roll = rng.random()
+            score = round(rng.uniform(-9.0, -1.0), 6)
+            spot = rng.randrange(4)
+            for st in (sq, co):
+                st.mark_running(ordinal)
+                if roll < 0.15:
+                    st.record_failure(ordinal, f"L{ordinal}", "boom", 2)
+                elif roll < 0.2:
+                    pass  # left running: a crash mid-ligand
+                else:
+                    st.record_result(ordinal, f"L{ordinal}", score, spot, 64, 0.1, 0.2)
+        if rng.random() < 0.8:  # some shards stay open (crash window)
+            wall = rng.random()
+            for st in (sq, co):
+                st.finish_shard(shard_id, wall)
+    assert_parity(sq, co, k=25)
+    for start, stop in ((0, n), (15, 37), (100, 200)):
+        assert sq.done_ordinals(start, stop) == co.done_ordinals(start, stop)
+    # Parity survives a full reopen (columnar recovery path included).
+    sq.close()
+    co.close()
+    with open_store(tmp_path / "pair.sqlite") as sq2, open_store(
+        tmp_path / "pair.col"
+    ) as co2:
+        assert_parity(sq2, co2, k=25)
+
+
+# ----------------------------------------------------------------------
+# sealing, compaction, and the top-K index
+# ----------------------------------------------------------------------
+def fill_shards(store, n_shards, shard_size=8):
+    for shard_id in range(n_shards):
+        start, stop = shard_id * shard_size, (shard_id + 1) * shard_size
+        store.start_shard(shard_id, start, stop)
+        for ordinal in range(start, stop):
+            store.record_result(
+                ordinal, f"L{ordinal}", -1.0 - (ordinal % 17) * 0.25, 0, 8, 0.1, 0.0
+            )
+        store.finish_shard(shard_id, 0.1)
+
+
+def test_sealed_shards_become_segments_and_drop_logs(store):
+    fill_shards(store, 2)
+    assert len(store._segments) == 2
+    assert store._active_rows == {}  # overlay drained into segments
+    assert not list((store.root / "active").glob("shard-*.log"))
+    # Sealed rows stay queryable.
+    assert store.counts()["done"] == 16
+    assert len(store.top(16)) == 16
+
+
+def test_compaction_preserves_rows_and_bounds_segment_count(tmp_path):
+    store = ColumnarStore.create(
+        tmp_path / "c.col", CONFIG, "h", group_rows=8, compact_fanin=3
+    )
+    fill_shards(store, 9)
+    before = list(store.science_rows())
+    # fanin=3 keeps the manifest small no matter how many shards sealed.
+    assert len(store._segments) < 3 + 2
+    assert store.counts()["done"] == 72
+    store.close()
+    with ColumnarStore.open(tmp_path / "c.col") as reopened:
+        assert list(reopened.science_rows()) == before
+
+
+def test_update_to_sealed_row_goes_to_orphan_log_and_wins(store):
+    fill_shards(store, 1)
+    # Ordinal 3 is sealed; a later cluster retry re-records it.
+    store.record_result(3, "L3", -99.0, 1, 8, 0.1, 0.0, attempts=2)
+    assert (store.root / "active" / "orphan.log").exists()
+    assert store.top(1)[0]["ordinal"] == 3
+    store.close()
+    with ColumnarStore.open(store.path) as reopened:
+        assert reopened.top(1)[0]["ordinal"] == 3
+        assert reopened.counts()["done"] == 8
+
+
+def test_stale_topk_index_is_detected_and_rebuilt(store):
+    fill_shards(store, 2)
+    (store.root / "topk.idx").write_bytes(b"RVSTOPK1" + b"\x00" * 16)
+    store.close()
+    with ColumnarStore.open(store.path) as reopened:
+        assert reopened._topk_dirty
+        assert [r["ordinal"] for r in reopened.top(3)] == [
+            r["ordinal"] for r in store.top(3)
+        ]
+        assert not reopened._topk_dirty  # the query rebuilt it
+
+
+def test_top_overflows_capacity_with_full_scan(tmp_path):
+    store = ColumnarStore.create(
+        tmp_path / "c.col", CONFIG, "h", group_rows=8, topk_capacity=4
+    )
+    fill_shards(store, 2)  # 16 done rows, index holds only the best 4
+    top = store.top(10)
+    assert len(top) == 10
+    scores = [r["best_score"] for r in top]
+    assert scores == sorted(scores)
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# export parity
+# ----------------------------------------------------------------------
+def test_exports_match_sqlite_byte_for_byte(tmp_path):
+    sq, co = both_stores(tmp_path)
+    for st in (sq, co):
+        st.record_result(0, "L0", -2.5, 1, 20, 0.125, 0.25)
+        st.record_failure(1, "L1", "ValueError: poisoned", 3)
+        st.record_result(2, "L2", -3.5, 0, 20, 0.125, float("nan"))
+    for fmt in ("export_csv", "export_json"):
+        a, b = tmp_path / f"sq-{fmt}.out", tmp_path / f"co-{fmt}.out"
+        assert getattr(sq, fmt)(a) == getattr(co, fmt)(b) == 3
+    assert (tmp_path / "sq-export_csv.out").read_bytes() == (
+        tmp_path / "co-export_csv.out"
+    ).read_bytes()
+    ra, rb = sq.to_report(), co.to_report()
+    assert ra.to_json() == rb.to_json()
+    sq.close()
+    co.close()

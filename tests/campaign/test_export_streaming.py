@@ -1,0 +1,100 @@
+"""Exports must stream: bounded-memory regression tests.
+
+A million-ligand campaign report cannot be built as an in-memory list of
+row dicts. These tests write several thousand rows (enough that a
+materialised export would allocate multiple megabytes), then put a
+``tracemalloc`` ceiling on the export paths of *both* backends. The
+ceiling is far below what ``list(iter_results())`` would cost, so any
+regression back to collect-then-write trips it immediately.
+"""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.campaign import CampaignStore, export_report
+from repro.campaign.colstore import ColumnarStore
+from repro.vs.results import ScreeningReport
+
+CONFIG = {"receptor_title": "stream receptor", "n_spots": 4, "seed": 9}
+N_ROWS = 6000
+SHARD = 500
+# list(iter_results()) over 6000 rows costs >3 MB of dicts; a streaming
+# export touches one row at a time and stays far under this.
+CEILING_BYTES = 2 * 1024 * 1024
+
+
+def _fill(store):
+    for start in range(0, N_ROWS, SHARD):
+        shard_id = start // SHARD
+        store.start_shard(shard_id, start, start + SHARD)
+        for ordinal in range(start, start + SHARD):
+            store.record_result(
+                ordinal, f"LIG-{ordinal:06d}", -1.0 - (ordinal % 97) / 7.0,
+                ordinal % 4, 128, 0.01, 0.25,
+            )
+        store.finish_shard(shard_id, 0.5)
+    return store
+
+
+@pytest.fixture(scope="module", params=["sqlite", "columnar"])
+def filled_store(request, tmp_path_factory):
+    root = tmp_path_factory.mktemp(f"export-{request.param}")
+    if request.param == "sqlite":
+        store = _fill(CampaignStore.create(root / "c.sqlite", CONFIG, "h"))
+    else:
+        store = _fill(
+            ColumnarStore.create(root / "c.col", CONFIG, "h", group_rows=512)
+        )
+    yield store
+    store.close()
+
+
+def _peak_during(fn):
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def test_report_export_streams(filled_store, tmp_path):
+    out = tmp_path / "report.json"
+    n, peak = _peak_during(lambda: export_report(filled_store, out))
+    assert n == N_ROWS
+    assert peak < CEILING_BYTES, f"report export allocated {peak} bytes"
+    report = ScreeningReport.from_json(out.read_text())
+    assert len(report.entries) == N_ROWS
+    assert report.entries[0].ligand_title == "LIG-000000"
+
+
+def test_json_export_streams(filled_store, tmp_path):
+    out = tmp_path / "rows.json"
+    n, peak = _peak_during(lambda: filled_store.export_json(out))
+    assert n == N_ROWS
+    assert peak < CEILING_BYTES, f"json export allocated {peak} bytes"
+    rows = json.loads(out.read_text())["results"]
+    assert len(rows) == N_ROWS and rows[-1]["ordinal"] == N_ROWS - 1
+
+
+def test_csv_export_streams(filled_store, tmp_path):
+    out = tmp_path / "rows.csv"
+    n, peak = _peak_during(lambda: filled_store.export_csv(out))
+    assert n == N_ROWS
+    assert peak < CEILING_BYTES, f"csv export allocated {peak} bytes"
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == N_ROWS + 1  # header + rows
+
+
+def test_iter_results_is_lazy(filled_store):
+    # Pulling three rows from the iterator must not decode the world.
+    def take3():
+        iterator = filled_store.iter_results()
+        return [next(iterator) for _ in range(3)]
+
+    rows, peak = _peak_during(take3)
+    assert [r["ordinal"] for r in rows] == [0, 1, 2]
+    assert peak < CEILING_BYTES / 2

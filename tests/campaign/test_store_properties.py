@@ -1,0 +1,218 @@
+"""Property-based invariants of the columnar store and streaming readers.
+
+Uses hypothesis when the container provides it; otherwise the same
+properties run over a seeded-random case battery (deterministic across
+runs), mirroring ``tests/engine/test_partition_properties.py``.
+
+The three invariants: (1) sealing + compaction is a pure re-layout — the
+logical row set is exactly the written row set, at any group size or
+fan-in; (2) the incremental top-K index agrees with a full sort for any
+score stream, at any capacity, including ties; (3) the bounded-memory
+streaming dedup keeps exactly the lines an unbounded in-memory dedup would.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.campaign.colstore import ColumnarStore
+from repro.campaign.library import SmilesSource
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - container ships hypothesis
+    HAVE_HYPOTHESIS = False
+
+CONFIG = {"receptor_title": "prop receptor", "n_spots": 2, "seed": 1}
+
+
+def _seeded_cases(draw, n=25, seed=20260808):
+    rng = np.random.default_rng(seed)
+    return [draw(rng) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# (1) seal + compact round-trip
+# ----------------------------------------------------------------------
+def check_compaction_roundtrip(scores, shard_size, group_rows, fanin):
+    model = {}  # ordinal -> (title, score or None if failed)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ColumnarStore.create(
+            Path(tmp) / "c.col", CONFIG, "h",
+            group_rows=group_rows, compact_fanin=fanin, topk_capacity=4,
+        )
+        for start in range(0, len(scores), shard_size):
+            stop = min(start + shard_size, len(scores))
+            shard_id = start // shard_size
+            store.start_shard(shard_id, start, stop)
+            for ordinal in range(start, stop):
+                title = f"L{ordinal}"
+                score = scores[ordinal]
+                if score is None:
+                    store.record_failure(ordinal, title, "boom", 1)
+                else:
+                    store.record_result(ordinal, title, score, 0, 8, 0.1, 0.0)
+                model[ordinal] = (title, score)
+            store.finish_shard(shard_id, 0.1)
+        # Compaction kicked in (unless too few segments formed) and the
+        # logical rows survived the re-layout exactly.
+        got = {
+            row["ordinal"]: (row["title"], row["best_score"])
+            for row in store.iter_results()
+        }
+        assert got == model
+        done = sorted(
+            (score, ordinal)
+            for ordinal, (_, score) in model.items()
+            if score is not None
+        )
+        top = store.top(max(1, len(model)))
+        assert [(r["best_score"], r["ordinal"]) for r in top] == done
+        # ...and again through the recovery path.
+        store.close()
+        with ColumnarStore.open(Path(tmp) / "c.col") as reopened:
+            assert {
+                row["ordinal"]: (row["title"], row["best_score"])
+                for row in reopened.iter_results()
+            } == model
+
+
+def _draw_roundtrip(rng):
+    n = int(rng.integers(1, 60))
+    scores = [
+        None if rng.random() < 0.15 else round(float(rng.uniform(-9, -1)), 4)
+        for _ in range(n)
+    ]
+    return (
+        scores,
+        int(rng.integers(1, 9)),  # shard_size
+        int(rng.integers(1, 9)),  # group_rows
+        int(rng.integers(2, 5)),  # compact_fanin
+    )
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scores=st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(-9, -1, allow_nan=False).map(lambda s: round(s, 4)),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        shard_size=st.integers(1, 8),
+        group_rows=st.integers(1, 8),
+        fanin=st.integers(2, 4),
+    )
+    def test_compaction_roundtrip_properties(scores, shard_size, group_rows, fanin):
+        check_compaction_roundtrip(scores, shard_size, group_rows, fanin)
+
+else:
+
+    @pytest.mark.parametrize(
+        "scores,shard_size,group_rows,fanin", _seeded_cases(_draw_roundtrip)
+    )
+    def test_compaction_roundtrip_properties(scores, shard_size, group_rows, fanin):
+        check_compaction_roundtrip(scores, shard_size, group_rows, fanin)
+
+
+# ----------------------------------------------------------------------
+# (2) top-K index == full sort
+# ----------------------------------------------------------------------
+def check_topk_matches_full_sort(scores, capacity):
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ColumnarStore.create(
+            Path(tmp) / "c.col", CONFIG, "h",
+            group_rows=8, topk_capacity=capacity,
+        )
+        for ordinal, score in enumerate(scores):
+            store.record_result(ordinal, f"L{ordinal}", score, 0, 8, 0.1, 0.0)
+        # Ascending score, ordinal breaking ties — for every k, saturated
+        # index or not.
+        expected = sorted((score, ordinal) for ordinal, score in enumerate(scores))
+        for k in (1, capacity, capacity + 3, len(scores) + 5):
+            got = [(r["best_score"], r["ordinal"]) for r in store.top(k)]
+            assert got == expected[:k], f"k={k} capacity={capacity}"
+        store.close()
+
+
+def _draw_topk(rng):
+    n = int(rng.integers(1, 80))
+    # Coarse rounding forces score ties, the ordering's hard case.
+    scores = [round(float(rng.uniform(-5, -1)), 1) for _ in range(n)]
+    return scores, int(rng.integers(1, 12))
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scores=st.lists(
+            st.floats(-5, -1, allow_nan=False).map(lambda s: round(s, 1)),
+            min_size=1,
+            max_size=80,
+        ),
+        capacity=st.integers(1, 12),
+    )
+    def test_topk_matches_full_sort(scores, capacity):
+        check_topk_matches_full_sort(scores, capacity)
+
+else:
+
+    @pytest.mark.parametrize("scores,capacity", _seeded_cases(_draw_topk))
+    def test_topk_matches_full_sort(scores, capacity):
+        check_topk_matches_full_sort(scores, capacity)
+
+
+# ----------------------------------------------------------------------
+# (3) streaming dedup == in-memory dedup
+# ----------------------------------------------------------------------
+def check_reader_dedup(titles):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "lib.smi"
+        path.write_text(
+            "".join(f"CCO {title}\n" for title in titles), encoding="utf-8"
+        )
+        streamed = [lig.title for lig in SmilesSource(path, seed=3)]
+        seen, expected = set(), []
+        for title in titles:
+            if title not in seen:
+                seen.add(title)
+                expected.append(title)
+        assert streamed == expected
+        # dedup=False keeps every line, order intact.
+        assert [
+            lig.title for lig in SmilesSource(path, seed=3, dedup=False)
+        ] == list(titles)
+
+
+def _draw_titles(rng):
+    n = int(rng.integers(1, 60))
+    pool = [f"mol{i}" for i in range(max(1, n // 3))]
+    return ([pool[int(rng.integers(0, len(pool)))] for _ in range(n)],)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        titles=st.lists(
+            st.sampled_from([f"mol{i}" for i in range(12)]), min_size=1, max_size=60
+        )
+    )
+    def test_reader_dedup_matches_in_memory(titles):
+        check_reader_dedup(titles)
+
+else:
+
+    @pytest.mark.parametrize("titles", _seeded_cases(_draw_titles))
+    def test_reader_dedup_matches_in_memory(titles):
+        check_reader_dedup(titles)
