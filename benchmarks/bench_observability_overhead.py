@@ -41,6 +41,7 @@ import time
 
 from repro import observability as obs
 from repro.molecules.synthetic import generate_ligand, generate_receptor
+from repro.observability.flight import flight_event, flight_recorder, reset_flight
 from repro.vs.screening import screen
 
 #: The documented telemetry overhead budget (docs/architecture.md).
@@ -63,6 +64,7 @@ def _workload(smoke: bool):
 
 def _time_screen(receptor, ligands, scale) -> float:
     obs.reset()
+    reset_flight()
     t0 = time.perf_counter()
     screen(receptor, ligands, n_spots=2, seed=3, workload_scale=scale)
     return time.perf_counter() - t0
@@ -101,6 +103,16 @@ def _micro_costs() -> dict:
         return time_loop(span_op, MICRO_ITERS // 10)
 
     costs["span_ns"] = _best_of(span_rep)
+
+    # Flight recorder: priced through the real flight_event() entry point so
+    # the enabled-check and ring-append cost are both billed. The ring is
+    # bounded, so a full ring still pays the same O(1) append.
+    def flight_rep():
+        reset_flight()
+        return time_loop(lambda: flight_event("micro.flight", i=0), MICRO_ITERS)
+
+    costs["flight_event_ns"] = _best_of(flight_rep)
+    reset_flight()
     return costs
 
 
@@ -158,9 +170,11 @@ def run_benchmark(smoke: bool = False, out_path: str | None = None) -> dict:
     deltas = []
     disabled_times = []
     snapshot = None
+    flight_ops = 0
     for _ in range(pairs):
         enabled_t = _time_screen(receptor, ligands, scale)
         snapshot = obs.snapshot()  # from an enabled run — must be non-empty
+        flight_ops = flight_recorder().recorded
         with obs.disabled():
             disabled_t = _time_screen(receptor, ligands, scale)
         deltas.append(enabled_t - disabled_t)
@@ -169,11 +183,15 @@ def run_benchmark(smoke: bool = False, out_path: str | None = None) -> dict:
     baseline_s = min(disabled_times)
     micro = _micro_costs()
     ops = _op_counts(snapshot)
+    # The black-box flight recorder bills inside the same budget: every
+    # event the instrumented run recorded, at the measured per-event cost.
+    ops["flight_events"] = int(flight_ops)
     # Gauges share the counter code path; bill sets at the counter rate.
     telemetry_s = (
         (ops["counter_incs"] + ops["gauge_sets"]) * micro["counter_inc_ns"]
         + ops["histogram_observes"] * micro["histogram_observe_ns"]
         + ops["spans"] * micro["span_ns"]
+        + ops["flight_events"] * micro["flight_event_ns"]
     ) * 1e-9
 
     # Live sampler amortisation: periodic ticks over the run plus one
@@ -235,7 +253,8 @@ def _report(artifact: dict) -> str:
             f"telemetry ops     : {ops['counter_incs']} counter incs, "
             f"{ops['gauge_sets']} gauge sets, "
             f"{ops['histogram_observes']} histogram observes, "
-            f"{ops['spans']} spans",
+            f"{ops['spans']} spans, "
+            f"{ops['flight_events']} flight events",
             f"telemetry cost    : {artifact['telemetry_seconds'] * 1e6:8.1f} us "
             f"(ops x measured per-op cost)",
             f"overhead          : {artifact['overhead_pct']:8.3f} %  "
@@ -246,6 +265,7 @@ def _report(artifact: dict) -> str:
             f"counter.inc       : {micro['counter_inc_ns']:8.0f} ns/op",
             f"histogram.observe : {micro['histogram_observe_ns']:8.0f} ns/op",
             f"span enter/exit   : {micro['span_ns']:8.0f} ns/op",
+            f"flight.event      : {micro['flight_event_ns']:8.0f} ns/op",
             f"live sample       : "
             f"{artifact['sampler']['sample_cost_s'] * 1e6:8.1f} us/sample "
             f"({artifact['sampler']['estimated_samples']:.1f} samples -> "

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro import observability as obs
 from repro.errors import CampaignError
+from repro.observability.flight import flight_event
 from repro.vs.results import ScreeningEntry, ScreeningReport
 
 __all__ = ["ColumnarStore", "COLSTORE_SCHEMA_VERSION"]
@@ -1093,6 +1094,12 @@ class ColumnarStore:
             self._active_rows.pop(ordinal, None)
         self._write_topk()
         obs.counter("campaign.store.compactions").inc()
+        flight_event(
+            "store.compaction",
+            merged_segments=fanin,
+            merged_rows=best_total,
+            segments_after=len(self._segments),
+        )
 
     def _update_gauges(self) -> None:
         obs.gauge("campaign.store.segments").set(len(self._segments))

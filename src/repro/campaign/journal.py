@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro import observability as obs
 from repro.errors import CampaignError
+from repro.observability.flight import flight_event
 
 __all__ = ["CampaignJournal", "JournalState"]
 
@@ -99,6 +100,9 @@ class CampaignJournal:
             raise CampaignError(f"journal records need a 'record' key: {record}")
         if not self._buffer:
             self._buffer_t0 = time.monotonic()
+        # Wall-clock stamp (ms resolution): replay ignores it, the doctor
+        # rebuilds campaign timelines from it. Caller-provided keys win.
+        record = {"t": round(time.time(), 3), **record}
         self._buffer.append(json.dumps(record, sort_keys=True))
         obs.counter("campaign.journal.appends").inc()
         if (
@@ -123,9 +127,13 @@ class CampaignJournal:
                 handle.flush()
                 os.fsync(handle.fileno())
         obs.counter("campaign.journal.flushes").inc()
-        obs.histogram("campaign.journal.fsync_seconds").observe(
-            time.perf_counter() - t0
-        )
+        fsync_s = time.perf_counter() - t0
+        obs.histogram("campaign.journal.fsync_seconds").observe(fsync_s)
+        if fsync_s >= 0.1:
+            # A stalled fsync is exactly what the black box should remember.
+            flight_event(
+                "journal.stall", records=len(lines), seconds=round(fsync_s, 6)
+            )
 
     def campaign_start(self, config_hash: str) -> None:
         """Log campaign creation (binds the journal to one config)."""

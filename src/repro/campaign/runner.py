@@ -50,7 +50,12 @@ from repro.molecules.structures import Ligand, Receptor
 from repro.scoring.base import ScoringFunction
 from repro.vs.docking import dock
 
-from repro.campaign.backends import STORE_BACKENDS, create_store, open_store
+from repro.campaign.backends import (
+    STORE_BACKENDS,
+    create_store,
+    open_store,
+    store_disk_bytes,
+)
 from repro.campaign.journal import CampaignJournal
 from repro.campaign.library import (
     LigandSource,
@@ -59,6 +64,12 @@ from repro.campaign.library import (
     resolve_title,
 )
 from repro.campaign.store import CampaignStore
+from repro.observability.flight import (
+    dump_flight,
+    flight_dir,
+    flight_event,
+    flight_recorder,
+)
 
 __all__ = ["CampaignRunner", "CampaignProgress", "campaign_config", "config_hash"]
 
@@ -481,6 +492,12 @@ class CampaignRunner:
                             )
                     obs.counter("campaign.shards.done").inc()
                     obs.histogram("campaign.shard.seconds").observe(shard_s)
+                    flight_event(
+                        "shard.finish",
+                        shard=shard.shard_id,
+                        wall=round(shard_s, 6),
+                    )
+                    self._update_disk_gauge()
                     # Shard boundary: worker-session telemetry has folded in and
                     # the store row is durable — force a live sample so the
                     # series shows every shard even when shards outpace the
@@ -514,7 +531,24 @@ class CampaignRunner:
             runtime, self._runtime = self._runtime, None
             if runtime is not None:
                 runtime.close()
+            if str(self.store_path) != ":memory:" and obs.enabled():
+                # Black-box dump for the post-mortem doctor; best-effort.
+                # A fleet run retags this process "coordinator"; only the
+                # still-default role means this was a single-node campaign.
+                if flight_recorder().role == "process":
+                    flight_recorder().role = "runner"
+                dump_flight(flight_dir(self.store_path) / "runner.flight")
         return store
+
+    def _update_disk_gauge(self) -> None:
+        """Satellite gauge: on-disk store footprint at each shard boundary.
+
+        Lands in every sampler series record and on ``/metrics``, so the
+        columnar-vs-SQLite growth curves are comparable over time.
+        """
+        if str(self.store_path) == ":memory:":
+            return
+        obs.gauge("store.disk.bytes").set(float(store_disk_bytes(self.store_path)))
 
     def _dock_one(
         self,
@@ -560,6 +594,12 @@ class CampaignRunner:
                     obs.counter("campaign.ligands.failed").inc()
                     return False
                 obs.counter("campaign.retries").inc()
+                flight_event(
+                    "dock.retry",
+                    ordinal=ordinal,
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 self._sleep(delay)
                 delay *= 2
                 continue

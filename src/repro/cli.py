@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import math
 import sys
 import time
@@ -605,6 +606,14 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_event timeline (open in ui.perfetto.dev)",
     )
     mshow.add_argument("--out", help="write the rendering here instead of stdout")
+    mtrace = msub.add_parser(
+        "trace",
+        help="render a snapshot as a Chrome/Perfetto trace_event timeline "
+        "(shorthand for `metrics show --format trace`); distributed "
+        "snapshots get per-node lanes and cross-node ligand flow arrows",
+    )
+    mtrace.add_argument("snapshot", help="snapshot JSON path (from --metrics-out)")
+    mtrace.add_argument("--out", help="write the trace here instead of stdout")
     mserve = msub.add_parser(
         "serve",
         help="serve a snapshot file over HTTP (/metrics + /healthz), "
@@ -650,6 +659,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="which paper table to regenerate",
     )
     tab.add_argument("--scale", type=float, default=1.0)
+
+    doc = sub.add_parser(
+        "doctor",
+        help="post-mortem a campaign: fuse its journal, flight dumps, "
+        "metrics snapshot, and series file into a slow/stuck diagnosis",
+    )
+    doc.add_argument("--store", required=True, help="campaign store path")
+    doc.add_argument(
+        "--series",
+        help="optional live-metrics series file (from --live-metrics)",
+    )
+    doc.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    doc.add_argument("--out", help="write the report here instead of stdout")
 
     sub.add_parser("devices", help="list the modelled hardware")
 
@@ -835,8 +859,11 @@ def _campaign_session(args: argparse.Namespace, shard_size: int):
     health = None
     progress_line = None
     if getattr(args, "live_metrics", None):
+        store = str(getattr(args, "store", ":memory:") or ":memory:")
         sampler = obs.TelemetrySampler(
-            args.live_metrics, interval_s=args.sample_interval
+            args.live_metrics,
+            interval_s=args.sample_interval,
+            disk_path=None if store == ":memory:" else store,
         )
         sampler.start()
     if getattr(args, "serve_metrics", None) is not None:
@@ -1268,9 +1295,35 @@ def _cmd_metrics_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_trace(args: argparse.Namespace) -> int:
+    args.format = "trace"
+    return _cmd_metrics_show(args)
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    commands = {"show": _cmd_metrics_show, "serve": _cmd_metrics_serve}
+    commands = {
+        "show": _cmd_metrics_show,
+        "serve": _cmd_metrics_serve,
+        "trace": _cmd_metrics_trace,
+    }
     return commands[args.metrics_command](args)
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.observability import diagnose_campaign
+
+    report = diagnose_campaign(args.store, series_path=args.series)
+    if args.json:
+        text = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    else:
+        text = report.to_text()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote doctor report to {args.out}")
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
@@ -1394,7 +1447,7 @@ def main(argv: list[str] | None = None) -> int:
     if (
         len(argv) >= 2
         and argv[0] == "metrics"
-        and argv[1] not in ("show", "serve", "-h", "--help")
+        and argv[1] not in ("show", "serve", "trace", "-h", "--help")
     ):
         argv.insert(1, "show")
     args = build_parser().parse_args(argv)
@@ -1406,6 +1459,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "calibrate": _cmd_calibrate,
         "metrics": _cmd_metrics,
+        "doctor": _cmd_doctor,
         "bench": _cmd_bench,
         "tables": _cmd_tables,
         "devices": _cmd_devices,

@@ -65,6 +65,13 @@ class ClusterConfig:
         device-bound regime on oversubscribed CI hosts, where N CPU-bound
         node processes on one core cannot show real overlap. 0 (default)
         for every real campaign.
+    heartbeat_telemetry:
+        Ship incremental telemetry snapshots inside heartbeats (at most one
+        every ``heartbeat_timeout_s / 2``). The coordinator keeps only the
+        latest per node and merges it when the node *dies* — so a SIGKILLed
+        worker still has lanes in the fleet trace. Clean exits merge the
+        ``bye`` snapshot instead; a node's telemetry is merged exactly once
+        either way.
     """
 
     host: str = "127.0.0.1"
@@ -80,6 +87,7 @@ class ClusterConfig:
     probe_atoms: int = 24
     probe_seconds_override: tuple[tuple[int, float], ...] = field(default=())
     service_time_s: float = 0.0
+    heartbeat_telemetry: bool = True
 
     def __post_init__(self) -> None:
         if not 0 <= int(self.port) <= 65535:
@@ -129,6 +137,7 @@ class ClusterConfig:
                 probe_atoms=int(doc["probe_atoms"]),
                 probe_seconds_override=override,
                 service_time_s=float(doc.get("service_time_s", 0.0)),
+                heartbeat_telemetry=bool(doc.get("heartbeat_telemetry", True)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ClusterError(f"malformed cluster config on the wire: {exc}") from exc

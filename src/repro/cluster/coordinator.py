@@ -34,10 +34,12 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro import observability as obs
+from repro.campaign.backends import store_disk_bytes
 from repro.campaign.journal import CampaignJournal
 from repro.campaign.runner import CampaignProgress
 from repro.campaign.store import CampaignStore
 from repro.errors import ClusterError, ConnectionClosed, ProtocolError
+from repro.observability.flight import dump_flight, flight_event
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.protocol import PROTOCOL_VERSION, Channel
@@ -94,6 +96,7 @@ class _NodeState:
     __slots__ = (
         "node_id", "channel", "state", "last_seen", "probe_seconds",
         "weight", "queue", "outstanding", "done", "failed",
+        "pending_telemetry",
     )
 
     def __init__(self, node_id: int, channel: Channel) -> None:
@@ -107,6 +110,10 @@ class _NodeState:
         self.outstanding: dict[int, _Lease] = {}
         self.done = 0
         self.failed = 0
+        # Latest heartbeat-shipped telemetry snapshot: merged only if the
+        # node dies (a clean bye supersedes it), so each node's telemetry
+        # lands exactly once.
+        self.pending_telemetry: dict | None = None
 
     @property
     def live(self) -> bool:
@@ -156,6 +163,8 @@ class Coordinator:
         total: int | None = None,
         progress=None,
         raise_on_failure: bool = False,
+        trace_id: str | None = None,
+        flight_path=None,
     ) -> None:
         if expected_nodes < 1:
             raise ClusterError(f"expected_nodes must be >= 1, got {expected_nodes}")
@@ -170,6 +179,9 @@ class Coordinator:
         self._total = total
         self._progress = progress
         self._raise_on_failure = raise_on_failure
+        self.trace_id = trace_id
+        self._flight_path = flight_path
+        self._disk_gauge_t = 0.0
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -210,6 +222,8 @@ class Coordinator:
         finally:
             self._shutdown_fleet()
             accept.join(timeout=2.0)
+            if self._flight_path is not None:
+                dump_flight(self._flight_path)
         if self._fatal is not None:
             raise self._fatal
         return self.summary()
@@ -228,18 +242,33 @@ class Coordinator:
     def node_table(self) -> tuple:
         """JSON-safe per-node rows (the ``/healthz`` fleet table)."""
         with self._lock:
-            return tuple(
-                {
-                    "node": node.node_id,
-                    "state": node.state,
-                    "done": node.done,
-                    "failed": node.failed,
-                    "queued": len(node.queue),
-                    "outstanding": len(node.outstanding),
-                    "weight": round(node.weight, 6),
-                }
-                for node in sorted(self._nodes.values(), key=lambda n: n.node_id)
-            )
+            return self._node_rows()
+
+    def _node_rows(self) -> tuple:
+        """Per-node status rows (lock held).
+
+        ``last_heartbeat_age_s`` and ``lease_queue_depth`` make a *stalling*
+        node visible on ``/healthz`` before the heartbeat timeout declares
+        it dead: the age creeps toward the timeout while the depth stops
+        draining.
+        """
+        now = time.monotonic()
+        return tuple(
+            {
+                "node": node.node_id,
+                "state": node.state,
+                "done": node.done,
+                "failed": node.failed,
+                "queued": len(node.queue),
+                "outstanding": len(node.outstanding),
+                "lease_queue_depth": node.backlog(),
+                "last_heartbeat_age_s": (
+                    round(now - node.last_seen, 3) if node.live else None
+                ),
+                "weight": round(node.weight, 6),
+            }
+            for node in sorted(self._nodes.values(), key=lambda n: n.node_id)
+        )
 
     @property
     def port(self) -> int:
@@ -257,7 +286,11 @@ class Coordinator:
             except OSError:
                 return  # listener closed underneath us: shutting down
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            channel = Channel(sock, timeout=self.cluster.message_timeout_s)
+            channel = Channel(
+                sock,
+                timeout=self.cluster.message_timeout_s,
+                trace_id=self.trace_id,
+            )
             threading.Thread(
                 target=self._serve_connection,
                 args=(channel,),
@@ -287,6 +320,7 @@ class Coordinator:
             self._next_id += 1
             self._nodes[node.node_id] = node
             obs.counter("cluster.nodes.connected").inc()
+        flight_event("node.connect", node=node.node_id, peer=channel.peer)
         try:
             channel.send(
                 {**self._config_base, "kind": "config", "node": node.node_id}
@@ -326,6 +360,15 @@ class Coordinator:
                 elif kind == "heartbeat":
                     node.done = int(message.get("done", node.done))
                     node.failed = int(message.get("failed", node.failed))
+                    telemetry = message.get("telemetry")
+                    if isinstance(telemetry, dict):
+                        node.pending_telemetry = telemetry
+                        flight_event(
+                            "node.heartbeat",
+                            node=node.node_id,
+                            done=node.done,
+                            failed=node.failed,
+                        )
                 elif kind == "bye":
                     self._on_bye(node, message)
                     return
@@ -404,6 +447,12 @@ class Coordinator:
                 stolen = True
                 self.steals += 1
                 obs.counter("cluster.steals").inc()
+                flight_event(
+                    "steal",
+                    thief=node.node_id,
+                    victim=victim.node_id,
+                    shard=shard_id,
+                )
             else:
                 break
             if self._grant_shard(node, shard_id, stolen):
@@ -464,6 +513,13 @@ class Coordinator:
             self._node_lost(node, f"lease send failed: {exc}")
             return False
         obs.counter("cluster.leases").inc()
+        flight_event(
+            "lease.grant",
+            shard=shard_id,
+            node=node.node_id,
+            stolen=stolen,
+            pending=len(pending),
+        )
         return True
 
     def _on_steal(self, node: _NodeState) -> None:
@@ -482,32 +538,51 @@ class Coordinator:
         shard_id = int(message["shard_id"])
         ordinal = int(message["ordinal"])
         title = str(message["title"])
-        if message.get("ok"):
-            self._store.record_result(
-                ordinal,
-                title,
-                float(message["score"]),
-                int(message["spot_index"]),
-                int(message["evaluations"]),
-                wall_seconds=float(message["wall_seconds"]),
-                simulated_seconds=float(message["simulated_seconds"]),
-                attempts=int(message["attempts"]),
-            )
-            node.done += 1
-            obs.counter("campaign.ligands.done").inc()
-        else:
-            self._store.record_failure(
-                ordinal, title, str(message.get("error", "unknown")),
-                int(message.get("attempts", 1)),
-            )
-            node.failed += 1
-            obs.counter("campaign.ligands.failed").inc()
-            if self._raise_on_failure and self._fatal is None:
-                self._fatal = ClusterError(
-                    f"ligand {title!r} (ordinal {ordinal}) failed on node "
-                    f"{node.node_id}: {message.get('error', 'unknown')}"
+        sent_s = message.get("sent_s")
+        # Worker and coordinator perf_counter share CLOCK_MONOTONIC on one
+        # host, so wire time is directly computable; across hosts it is
+        # best-effort and clamped at zero.
+        wire_s = (
+            max(0.0, time.perf_counter() - float(sent_s))
+            if sent_s is not None
+            else None
+        )
+        with obs.span(
+            "cluster.ligand.commit",
+            ordinal=ordinal,
+            shard=shard_id,
+            src_node=node.node_id,
+        ) as commit_tags:
+            if wire_s is not None:
+                commit_tags["wire_s"] = round(wire_s, 6)
+            if message.get("ok"):
+                self._store.record_result(
+                    ordinal,
+                    title,
+                    float(message["score"]),
+                    int(message["spot_index"]),
+                    int(message["evaluations"]),
+                    wall_seconds=float(message["wall_seconds"]),
+                    simulated_seconds=float(message["simulated_seconds"]),
+                    attempts=int(message["attempts"]),
                 )
-                self._cond.notify_all()
+                node.done += 1
+                obs.counter("campaign.ligands.done").inc()
+            else:
+                self._store.record_failure(
+                    ordinal, title, str(message.get("error", "unknown")),
+                    int(message.get("attempts", 1)),
+                )
+                node.failed += 1
+                obs.counter("campaign.ligands.failed").inc()
+                if self._raise_on_failure and self._fatal is None:
+                    self._fatal = ClusterError(
+                        f"ligand {title!r} (ordinal {ordinal}) failed on node "
+                        f"{node.node_id}: {message.get('error', 'unknown')}"
+                    )
+                    self._cond.notify_all()
+        if wire_s is not None:
+            obs.histogram("cluster.wire.seconds").observe(wire_s)
         self._session_results += 1
         lease = node.outstanding.get(shard_id)
         if lease is None:
@@ -517,6 +592,7 @@ class Coordinator:
             # work is kept, just counted as stale.
             self.stale_results += 1
             obs.counter("cluster.results.stale").inc()
+            flight_event("result.stale", node=node.node_id, ordinal=ordinal)
             return
         lease.pending.discard(ordinal)
         if not lease.pending:
@@ -543,7 +619,25 @@ class Coordinator:
         obs.counter("campaign.shards.done").inc()
         obs.histogram("campaign.shard.seconds").observe(wall)
         obs.histogram("cluster.lease.seconds").observe(wall)
+        flight_event(
+            "shard.finish",
+            shard=shard_id,
+            node=node.node_id,
+            wall=round(wall, 6),
+        )
+        self._update_disk_gauge()
         obs.mark("campaign.shard", force=True)
+
+    def _update_disk_gauge(self) -> None:
+        """Refresh ``store.disk.bytes`` (throttled: the probe walks files)."""
+        path = getattr(self._store, "path", None)
+        if path is None or str(path) == ":memory:":
+            return
+        now = time.monotonic()
+        if now - self._disk_gauge_t < 0.5:
+            return
+        self._disk_gauge_t = now
+        obs.gauge("store.disk.bytes").set(float(store_disk_bytes(path)))
 
     def _emit_progress(self, shard_id: int) -> None:
         if self._progress is None:
@@ -556,18 +650,7 @@ class Coordinator:
         else:
             remaining = max(0, self._total - counts["done"] - counts["failed"])
             eta = remaining / rate
-        nodes = tuple(
-            {
-                "node": n.node_id,
-                "state": n.state,
-                "done": n.done,
-                "failed": n.failed,
-                "queued": len(n.queue),
-                "outstanding": len(n.outstanding),
-                "weight": round(n.weight, 6),
-            }
-            for n in sorted(self._nodes.values(), key=lambda n: n.node_id)
-        )
+        nodes = self._node_rows()
         self._progress(
             ClusterProgress(
                 shard_id=shard_id,
@@ -652,6 +735,22 @@ class Coordinator:
                 )
         self.recovery_seconds = time.monotonic() - t0
         obs.gauge("cluster.recovery.seconds").set(self.recovery_seconds)
+        # The bye will never come: fold in whatever telemetry the node
+        # shipped in its last heartbeat so its trace lanes survive the kill.
+        if node.pending_telemetry is not None:
+            obs.merge(retag_snapshot(node.pending_telemetry, node.node_id))
+            node.pending_telemetry = None
+        flight_event(
+            "node.dead",
+            node=node.node_id,
+            reason=reason,
+            reclaimed=reclaimed,
+            requeued=len(requeue),
+        )
+        if self._flight_path is not None:
+            # Best-effort black-box dump the moment a death is detected,
+            # so the forensic record survives even if *we* die next.
+            dump_flight(self._flight_path)
         self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -661,9 +760,13 @@ class Coordinator:
         node.state = "done"
         node.done = int(message.get("done", node.done))
         node.failed = int(message.get("failed", node.failed))
+        # A clean bye carries the node's final telemetry; drop the
+        # heartbeat-shipped snapshot so nothing merges twice.
+        node.pending_telemetry = None
         telemetry = message.get("telemetry")
         if isinstance(telemetry, dict):
             obs.merge(retag_snapshot(telemetry, node.node_id))
+        flight_event("node.bye", node=node.node_id, done=node.done)
         node.channel.close()
         self._cond.notify_all()
 

@@ -35,12 +35,15 @@ from __future__ import annotations
 import multiprocessing
 import socket
 import sys
+import uuid
 
 from repro import observability as obs
 from repro.campaign.library import iter_shards, resolve_title
 from repro.campaign.store import CampaignStore
 from repro.errors import ClusterError
 from repro.metaheuristics.template import MetaheuristicSpec
+from repro.observability.flight import flight_dir as _flight_dir
+from repro.observability.flight import flight_event, flight_recorder
 
 from repro.cluster.config import ClusterConfig, scoring_descriptor
 from repro.cluster.coordinator import Coordinator, ShardTask
@@ -111,6 +114,14 @@ class ClusterCampaign:
         self.processes: list = []
         self.coordinator: Coordinator | None = None
         self.summary: dict | None = None
+        # Campaign-scoped trace id: stamped on every protocol frame in both
+        # directions and tagged onto worker spans, so one wire capture or
+        # merged timeline is attributable to exactly one fleet execution.
+        self.trace_id = uuid.uuid4().hex[:16]
+        store_path = str(getattr(runner, "store_path", ":memory:"))
+        self.flight_dir = (
+            None if store_path == ":memory:" else _flight_dir(store_path)
+        )
 
     @staticmethod
     def _validate_node_spec(node) -> str | None:
@@ -196,6 +207,10 @@ class ClusterCampaign:
                 else None
             ),
             "calibration": calibration,
+            "trace": self.trace_id,
+            "flight_dir": (
+                None if self.flight_dir is None else str(self.flight_dir)
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -205,8 +220,17 @@ class ClusterCampaign:
         """Run the planned fleet to completion against an open store."""
         runner = self.runner
         try:
-            with obs.span("cluster.fleet", nodes=self.nodes):
+            with obs.span("cluster.fleet", nodes=self.nodes, trace=self.trace_id):
+                # This process is the fleet's coordinator from here on; the
+                # black-box dump should say so (workers retag in run_worker).
+                flight_recorder().role = "coordinator"
                 tasks, n_streamed = self._plan(finished)
+                flight_event(
+                    "fleet.start",
+                    nodes=self.nodes,
+                    shards=len(tasks),
+                    trace=self.trace_id,
+                )
                 obs.gauge("cluster.fleet.nodes").set(self.nodes)
                 obs.gauge("cluster.fleet.shards").set(len(tasks))
                 listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -254,6 +278,12 @@ class ClusterCampaign:
                         total=runner.source.count(),
                         progress=runner._progress,
                         raise_on_failure=runner.raise_on_failure,
+                        trace_id=self.trace_id,
+                        flight_path=(
+                            None
+                            if self.flight_dir is None
+                            else self.flight_dir / "coordinator.flight"
+                        ),
                     )
                     self.summary = self.coordinator.serve()
                 finally:

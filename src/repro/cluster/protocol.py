@@ -31,6 +31,13 @@ detect a SIGKILLed peer immediately instead of waiting out a heartbeat.
 Ligands cross the wire as plain JSON payloads (coords/elements/charges/
 title) — :func:`ligand_to_payload` / :func:`ligand_from_payload` round-trip
 bitwise because coordinates serialise through ``repr``-exact ``float``.
+
+Trace context: a :class:`Channel` can be bound to a campaign-scoped trace
+id (``channel.trace_id = ...``); from then on every outgoing frame carries
+a ``"trace"`` key, so any capture of the wire can be attributed to its
+campaign. The coordinator mints the id, ships it in ``config``, and the
+worker binds its own channel to the same id — both directions of every
+conversation are stamped.
 """
 
 from __future__ import annotations
@@ -222,19 +229,27 @@ class Channel:
     while another thread broadcasts shutdown) never interleave frames.
     Receives are single-consumer by construction — exactly one thread per
     side reads a channel.
+
+    When ``trace_id`` is set, every outgoing frame that does not already
+    carry a ``"trace"`` key is stamped with it (the caller's dict is not
+    mutated).
     """
 
     def __init__(
         self,
         sock: socket.socket,
         timeout: float = DEFAULT_MESSAGE_TIMEOUT_S,
+        trace_id: str | None = None,
     ) -> None:
         self._sock = sock
         self.timeout = timeout
+        self.trace_id = trace_id
         self._send_lock = threading.Lock()
         self._closed = False
 
     def send(self, message: dict) -> None:
+        if self.trace_id is not None and "trace" not in message:
+            message = {**message, "trace": self.trace_id}
         with self._send_lock:
             if self._closed:
                 raise ConnectionClosed("channel is closed")

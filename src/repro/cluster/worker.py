@@ -34,8 +34,16 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from repro import observability as obs
 from repro.errors import ClusterError, ConnectionClosed, ProtocolError
+from repro.observability.flight import (
+    dump_flight,
+    flight_event,
+    flight_recorder,
+    install_flight_signal_dump,
+)
 
 from repro.cluster.config import ClusterConfig, build_scoring
 from repro.cluster.protocol import (
@@ -77,6 +85,7 @@ class _Lease:
     stop: int
     stolen: bool
     items: deque = field(default_factory=deque)  # (ordinal, title, Ligand)
+    accepted_s: float = 0.0  # perf_counter at acceptance, for lease-wait
 
 
 class WorkerNode:
@@ -108,6 +117,18 @@ class WorkerNode:
             raise ProtocolError(f"malformed config message: {exc}") from exc
         self.channel = channel
         self.channel.timeout = self.cluster.message_timeout_s
+        # Campaign-scoped trace context: every frame we send from here on
+        # carries the coordinator-minted trace id, and our spans are tagged
+        # with it so the merged fleet timeline is campaign-attributable.
+        self.trace_id = config_message.get("trace")
+        self.channel.trace_id = self.trace_id
+        flight_dir = config_message.get("flight_dir")
+        self.flight_path = (
+            None
+            if flight_dir is None
+            else Path(flight_dir) / f"node{self.node_id}.flight"
+        )
+        self._telemetry_shipped_t = 0.0
         self._autotune = None
         if calibration is not None:
             from repro.scoring.autotune import AutotuneController, CalibrationTable
@@ -126,6 +147,9 @@ class WorkerNode:
         from repro.molecules.spots import find_spots
 
         self.spots = find_spots(self.receptor, self.n_spots)
+
+    def _trace_tags(self) -> dict:
+        return {} if self.trace_id is None else {"trace": self.trace_id}
 
     # ------------------------------------------------------------------
     # warm-up
@@ -161,8 +185,10 @@ class WorkerNode:
             title="__probe__",
         )
         t0 = time.perf_counter()
-        self._dock(probe_ligand, ordinal=0)
+        with obs.span("cluster.worker.probe", **self._trace_tags()):
+            self._dock(probe_ligand, ordinal=0)
         measured = time.perf_counter() - t0
+        flight_event("probe", node=self.node_id, seconds=round(measured, 6))
         override = self.cluster.probe_override_for(self.node_id)
         return measured if override is None else float(override)
 
@@ -227,9 +253,17 @@ class WorkerNode:
             raw_items = list(message["items"])
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed lease: {exc}") from exc
+        lease.accepted_s = time.perf_counter()
         obs.counter("cluster.worker.leases").inc()
         if lease.stolen:
             obs.counter("cluster.worker.leases.stolen").inc()
+        flight_event(
+            "lease.accept",
+            node=self.node_id,
+            shard=lease.shard_id,
+            stolen=lease.stolen,
+            items=len(raw_items),
+        )
         # Materialise ligands now: inline payloads decode directly, payload-
         # free items rebuild from the shared library descriptor by ordinal.
         missing = [int(o) for o, _, payload in raw_items if payload is None]
@@ -301,10 +335,21 @@ class WorkerNode:
     ) -> dict:
         """Mirror of ``CampaignRunner._dock_one``: same retry, same seeding."""
         delay = self.backoff_base
+        tracer = obs.get_telemetry().tracer
         for attempt in range(1, self.max_attempts + 1):
             t0 = time.perf_counter()
+            span_id = None
             try:
-                result = self._dock(ligand, ordinal)
+                with obs.span(
+                    "cluster.ligand.dock",
+                    ordinal=ordinal,
+                    shard=lease.shard_id,
+                    lease_wait_s=round(max(0.0, t0 - lease.accepted_s), 6),
+                    **self._trace_tags(),
+                ) as dock_tags:
+                    span_id = tracer.current
+                    result = self._dock(ligand, ordinal)
+                    dock_tags["attempt"] = attempt
             except Exception as exc:
                 if attempt >= self.max_attempts:
                     self._failed += 1
@@ -318,8 +363,16 @@ class WorkerNode:
                         "ok": False,
                         "error": f"{type(exc).__name__}: {exc}",
                         "attempts": attempt,
+                        "sent_s": time.perf_counter(),
                     }
                 obs.counter("campaign.retries").inc()
+                flight_event(
+                    "dock.retry",
+                    node=self.node_id,
+                    ordinal=ordinal,
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 time.sleep(delay)
                 delay *= 2
                 continue
@@ -340,6 +393,10 @@ class WorkerNode:
                 "wall_seconds": float(wall_s),
                 "simulated_seconds": float(result.simulated_seconds),
                 "attempts": attempt,
+                # sent_s/span let the coordinator compute wire time and
+                # correlate its commit span with this dock (node-local id).
+                "sent_s": time.perf_counter(),
+                "span": span_id,
             }
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -349,20 +406,49 @@ class WorkerNode:
     def _heartbeat_loop(self) -> None:
         while not self._stop.wait(self.cluster.heartbeat_interval_s):
             try:
-                self.channel.send(
-                    {
-                        "kind": "heartbeat",
-                        "node": self.node_id,
-                        "done": self._done,
-                        "failed": self._failed,
-                    }
-                )
+                message = {
+                    "kind": "heartbeat",
+                    "node": self.node_id,
+                    "done": self._done,
+                    "failed": self._failed,
+                }
+                telemetry = self._heartbeat_telemetry()
+                if telemetry is not None:
+                    message["telemetry"] = telemetry
+                    with obs.span(
+                        "cluster.worker.heartbeat", **self._trace_tags()
+                    ):
+                        self.channel.send(message)
+                else:
+                    self.channel.send(message)
+                obs.counter("cluster.worker.heartbeats").inc()
             except Exception as exc:  # channel gone -> the worker is over
                 self._heartbeat_error = exc
                 return
 
+    def _heartbeat_telemetry(self) -> dict | None:
+        """A telemetry snapshot to ride this heartbeat, rate-limited.
+
+        At most one snapshot per ``heartbeat_timeout_s / 2`` crosses the
+        wire, so a SIGKILLed node's trace lanes are at most about half a
+        death-detection window stale — without paying the snapshot cost on
+        every liveness ping.
+        """
+        if not self.cluster.heartbeat_telemetry or not obs.enabled():
+            return None
+        now = time.monotonic()
+        if now - self._telemetry_shipped_t < self.cluster.heartbeat_timeout_s / 2:
+            return None
+        try:
+            snapshot = obs.snapshot()
+        except RuntimeError:  # lost a race with metric creation; next beat
+            return None
+        self._telemetry_shipped_t = now
+        return snapshot
+
     def _send_bye(self) -> None:
         self._stop.set()
+        flight_event("shutdown.recv", node=self.node_id, done=self._done)
         self.channel.send(
             {
                 "kind": "bye",
@@ -385,11 +471,12 @@ def run_worker(
 
     Top-level and picklable on purpose: the local fleet forks/spawns it via
     ``multiprocessing``, and ``repro-vs cluster worker`` calls it directly.
-    Resets process-global telemetry first — a forked child inherits the
-    parent's counters, and the coordinator must see only this node's numbers
-    in the final ``bye`` snapshot.
+    Resets process-global telemetry (and the flight ring) first — a forked
+    child inherits the parent's counters, and the coordinator must see only
+    this node's numbers in the final ``bye`` snapshot.
     """
     obs.reset()
+    obs.reset_flight("worker")
     sock = connect(host, port, attempts=connect_attempts, backoff_s=connect_backoff_s)
     with Channel(sock) as channel:
         channel.send(
@@ -403,6 +490,11 @@ def run_worker(
         if message["kind"] != "config":
             raise ProtocolError(f"expected config, got {message['kind']}")
         node = WorkerNode(channel, message)
+        flight_recorder().role = f"worker-node{node.node_id}"
+        if node.flight_path is not None:
+            # Black-box semantics: a SIGTERM'd worker still leaves a dump.
+            # (SIGKILL cannot; the coordinator's own dump records the death.)
+            install_flight_signal_dump(node.flight_path)
         try:
             node.start_runtime()
             seconds = node.probe() if node.cluster.warmup_probe else 1.0
@@ -414,3 +506,6 @@ def run_worker(
             # Coordinator died or the stream broke: durable state lives on
             # the coordinator side, so the worker just exits nonzero.
             return 1
+        finally:
+            if node.flight_path is not None:
+                dump_flight(node.flight_path)

@@ -61,6 +61,7 @@ from scipy.spatial import cKDTree
 from repro import observability as obs
 from repro.constants import DEFAULT_SEED, FLOAT_DTYPE
 from repro.errors import ScoringError
+from repro.observability.flight import flight_event
 from repro.metaheuristics.evaluation import EvaluationStats, LaunchRecord
 from repro.molecules.transforms import normalize_quaternion
 from repro.scoring.base import BoundScorer
@@ -1431,7 +1432,13 @@ class PersistentHostRuntime:
             self._evaluator.activate(scorer, spec)
         else:
             self._evaluator.rebind(self._bind(ligand))
-        obs.histogram("host.rebind.seconds").observe(time.perf_counter() - t0)
+        rebind_s = time.perf_counter() - t0
+        obs.histogram("host.rebind.seconds").observe(rebind_s)
+        flight_event(
+            "pool.rebind",
+            prefetched=prefetched is not None,
+            seconds=round(rebind_s, 6),
+        )
         self._active_ligand = ligand
         self.ligands_bound += 1
         self._since_measure += 1

@@ -89,6 +89,18 @@ __all__ = [
     "CampaignHealth",
     "snapshot_to_trace_events",
     "write_trace",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "flight_recorder",
+    "flight_event",
+    "flight_dir",
+    "dump_flight",
+    "reset_flight",
+    "read_flight",
+    "read_flight_dir",
+    "install_flight_signal_dump",
+    "DoctorReport",
+    "diagnose_campaign",
 ]
 
 
@@ -282,4 +294,20 @@ from repro.observability.serve import CampaignHealth, MetricsServer  # noqa: E40
 from repro.observability.trace import (  # noqa: E402
     snapshot_to_trace_events,
     write_trace,
+)
+from repro.observability.flight import (  # noqa: E402
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    dump_flight,
+    flight_dir,
+    flight_event,
+    flight_recorder,
+    install_flight_signal_dump,
+    read_flight,
+    read_flight_dir,
+    reset_flight,
+)
+from repro.observability.doctor import (  # noqa: E402
+    DoctorReport,
+    diagnose_campaign,
 )

@@ -86,8 +86,35 @@ def write_snapshot(snapshot: dict, path: str | Path) -> None:
 # ----------------------------------------------------------------------
 # Prometheus textfile format
 # ----------------------------------------------------------------------
+#: ``# HELP`` text per dotted metric name. Families not listed here still
+#: get a generic HELP line — the exposition format wants metadata on every
+#: family, not just the famous ones.
+_HELP: dict[str, str] = {
+    "host.poses": "Poses scored by the host runtime",
+    "host.queue_wait_seconds": "Seconds tasks waited in the host queue",
+    "host.worker.poses": "Poses scored per worker session",
+    "campaign.ligands.done": "Ligands completed by the campaign runner",
+    "campaign.ligands.failed": "Ligands that exhausted their dock retries",
+    "campaign.journal.appends": "Records appended to the campaign journal",
+    "campaign.journal.flushes": "Journal group commits (write + fsync)",
+    "campaign.journal.fsync_seconds": "Journal fsync latency",
+    "campaign.shard.seconds": "Wall seconds per campaign shard",
+    "store.disk.bytes": "On-disk footprint of the campaign store",
+    "cluster.wire.seconds": "Result wire time from worker send to "
+    "coordinator receive",
+    "cluster.worker.heartbeats": "Heartbeat frames sent by a worker node",
+    "cluster.nodes.lost": "Worker nodes declared dead by the coordinator",
+    "span_seconds": "Span durations summarised per span name",
+}
+
+
 def _prom_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_help_escape(value: str) -> str:
+    """Escape HELP text: the format escapes only backslash and newline."""
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_escape(value: object) -> str:
@@ -128,22 +155,24 @@ def snapshot_to_prometheus(snapshot: dict) -> str:
     lines: list[str] = []
     typed: set[str] = set()
 
-    def header(name: str, kind: str) -> None:
+    def header(name: str, kind: str, raw_name: str) -> None:
         if name not in typed:
             typed.add(name)
+            help_text = _HELP.get(raw_name, f"repro-vs metric {raw_name}")
+            lines.append(f"# HELP {name} {_prom_help_escape(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
 
     for item in doc["counters"]:
         name = _prom_name(item["name"])
-        header(name, "counter")
+        header(name, "counter", item["name"])
         lines.append(f"{name}{_prom_labels(item['tags'])} {item['value']!r}")
     for item in doc["gauges"]:
         name = _prom_name(item["name"])
-        header(name, "gauge")
+        header(name, "gauge", item["name"])
         lines.append(f"{name}{_prom_labels(item['tags'])} {item['value']!r}")
     for item in doc["histograms"]:
         name = _prom_name(item["name"])
-        header(name, "histogram")
+        header(name, "histogram", item["name"])
         cumulative = 0
         for edge, count in zip(item["edges"], item["counts"]):
             cumulative += count
@@ -160,7 +189,7 @@ def snapshot_to_prometheus(snapshot: dict) -> str:
         by_name.setdefault(span["name"], []).append(span)
     for span_name in sorted(by_name):
         name = _prom_name("span_seconds")
-        header(name, "summary")
+        header(name, "summary", "span_seconds")
         labels = _prom_labels({"span": span_name})
         total = sum(s["duration_s"] for s in by_name[span_name])
         lines.append(f"{name}_sum{labels} {total!r}")

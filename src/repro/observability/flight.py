@@ -1,0 +1,312 @@
+"""Black-box flight recorder: a bounded ring of structured events.
+
+Coordinators, workers, and single-node campaign runners append small
+structured events (leases, steals, heartbeats, retries, compactions,
+rebinds, node deaths) to a process-global in-memory ring buffer.  The
+ring is bounded, so recording is O(1) and safe on any hot-ish path; the
+newest events win, exactly like an aircraft flight recorder.
+
+On clean exit, on SIGTERM, and best-effort when the coordinator detects
+a node death, the ring is flushed to a CRC-framed ``*.flight`` dump:
+
+    frame   := header (magic u16, kind u8, length u32, crc32 u32) payload
+    kind 1  := JSON header record (schema, role, pid, clock references)
+    kind 2  := JSON event record  (seq, t monotonic, wall, kind, fields)
+
+The framing mirrors ``repro.campaign.colstore``: a torn tail (partial
+header, partial payload, or a CRC mismatch at end-of-file) is tolerated
+and reported, while corruption *before* the end of the file raises
+:class:`~repro.errors.ObservabilityError`.  Dumps from a campaign land
+in a ``<store>.flight.d/`` directory, one file per process role, where
+``repro-vs doctor`` picks them up.
+
+Recording is gated on the telemetry master switch: when
+``repro.observability.disable()`` is in effect, :func:`flight_event`
+is a no-op, so the recorder stays inside the telemetry overhead budget
+and cannot perturb the bitwise science path.
+"""
+from __future__ import annotations
+
+import json
+import os
+import signal
+import struct
+import threading
+import time
+import zlib
+from collections import deque
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+
+FLIGHT_SCHEMA_VERSION = 1
+DEFAULT_MAX_EVENTS = 4096
+FLIGHT_SUFFIX = ".flight"
+
+_FRAME = struct.Struct("<HBII")  # magic, kind, payload length, crc32
+_FLIGHT_MAGIC = 0xF117
+_K_HEADER = 1
+_K_EVENT = 2
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring buffer of structured events."""
+
+    def __init__(
+        self,
+        role: str = "process",
+        *,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        clock=time.perf_counter,
+        wall_clock=time.time,
+    ) -> None:
+        if max_events < 1:
+            raise ObservabilityError("flight recorder needs max_events >= 1")
+        self.role = role
+        self.max_events = int(max_events)
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self._events: deque[dict] = deque(maxlen=self.max_events)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._started_wall = wall_clock()
+        self._started_clock = clock()
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; O(1), oldest events are evicted when full."""
+        t = self._clock()
+        wall = self._wall_clock()
+        with self._lock:
+            self._seq += 1
+            self._events.append(
+                {"seq": self._seq, "t": t, "wall": wall, "kind": kind, **fields}
+            )
+
+    def events(self) -> list[dict]:
+        """The current ring contents, oldest first."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (>= len(events()) once evicting)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        with self._lock:
+            return max(0, self._seq - len(self._events))
+
+    def reset(self, role: str | None = None) -> None:
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+            self._started_wall = self._wall_clock()
+            self._started_clock = self._clock()
+            if role is not None:
+                self.role = role
+
+    def header(self) -> dict:
+        with self._lock:
+            return {
+                "schema_version": FLIGHT_SCHEMA_VERSION,
+                "role": self.role,
+                "pid": os.getpid(),
+                "started_wall": self._started_wall,
+                "started_clock": self._started_clock,
+                "dumped_wall": self._wall_clock(),
+                "recorded": self._seq,
+                "dropped": max(0, self._seq - len(self._events)),
+            }
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the ring to ``path`` as a CRC-framed ``*.flight`` file.
+
+        The write goes through a temp file and ``os.replace`` so readers
+        never see a half-written dump from *this* writer; torn tails only
+        arise when the process dies mid-write, which the reader tolerates.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        chunks = [_pack_frame(_K_HEADER, _json_bytes(self.header()))]
+        for event in self.events():
+            chunks.append(_pack_frame(_K_EVENT, _json_bytes(event)))
+        tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            handle.write(b"".join(chunks))
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+        os.replace(tmp, target)
+        return target
+
+
+def _json_bytes(doc: dict) -> bytes:
+    return json.dumps(doc, separators=(",", ":"), sort_keys=True).encode()
+
+
+def _pack_frame(kind: int, payload: bytes) -> bytes:
+    return (
+        _FRAME.pack(_FLIGHT_MAGIC, kind, len(payload), zlib.crc32(payload))
+        + payload
+    )
+
+
+def read_flight(path: str | Path) -> dict:
+    """Read a ``*.flight`` dump, tolerating a torn tail.
+
+    Returns ``{"header": dict | None, "events": [dict, ...], "torn": bool,
+    "clean_bytes": int}``.  A partial frame at end-of-file (torn header,
+    torn payload, or CRC mismatch on the final frame) sets ``torn`` and
+    drops only the tail; corruption anywhere before the end raises
+    :class:`ObservabilityError`.
+    """
+    data = Path(path).read_bytes()
+    label = str(path)
+    header: dict | None = None
+    events: list[dict] = []
+    offset = 0
+    size = len(data)
+    torn = False
+    while offset < size:
+        if offset + _FRAME.size > size:
+            torn = True  # torn frame header at EOF
+            break
+        magic, kind, length, crc = _FRAME.unpack_from(data, offset)
+        if magic != _FLIGHT_MAGIC:
+            raise ObservabilityError(
+                f"{label}: bad flight frame magic 0x{magic:04x} at byte {offset}"
+            )
+        end = offset + _FRAME.size + length
+        if end > size:
+            torn = True  # torn payload at EOF
+            break
+        payload = data[offset + _FRAME.size : end]
+        if zlib.crc32(payload) != crc:
+            if end >= size:
+                torn = True  # torn final frame
+                break
+            raise ObservabilityError(
+                f"{label}: flight frame CRC mismatch at byte {offset}"
+            )
+        try:
+            doc = json.loads(payload)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"{label}: undecodable flight payload at byte {offset}: {exc}"
+            ) from None
+        if kind == _K_HEADER:
+            header = doc
+        elif kind == _K_EVENT:
+            events.append(doc)
+        # unknown kinds are skipped for forward compatibility
+        offset = end
+    return {
+        "header": header,
+        "events": events,
+        "torn": torn,
+        "clean_bytes": offset,
+    }
+
+
+# ----------------------------------------------------------------------
+# process-global recorder
+# ----------------------------------------------------------------------
+
+_RECORDER = FlightRecorder()
+
+
+def flight_recorder() -> FlightRecorder:
+    """The process-global flight recorder."""
+    return _RECORDER
+
+
+def reset_flight(role: str | None = None) -> FlightRecorder:
+    """Clear the global ring (e.g. at worker start) and retag its role."""
+    _RECORDER.reset(role)
+    return _RECORDER
+
+
+def flight_event(kind: str, **fields) -> None:
+    """Record one event on the global ring; no-op while telemetry is off."""
+    from repro import observability as obs
+
+    if not obs.enabled():
+        return
+    _RECORDER.record(kind, **fields)
+
+
+def flight_dir(store_path: str | Path) -> Path:
+    """The flight-dump directory convention for a campaign store path."""
+    return Path(str(store_path) + ".flight.d")
+
+
+def dump_flight(path: str | Path) -> Path | None:
+    """Best-effort dump of the global ring; never raises."""
+    try:
+        return _RECORDER.dump(path)
+    except OSError:
+        return None
+
+
+def read_flight_dir(directory: str | Path) -> list[dict]:
+    """Read every ``*.flight`` dump in a directory, skipping unreadable ones.
+
+    Each entry is the :func:`read_flight` document plus a ``"path"`` key.
+    Corrupt files are reported as ``{"path": ..., "error": str}`` rather
+    than aborting the whole scan — the doctor wants maximum forensics.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    dumps: list[dict] = []
+    for path in sorted(directory.glob("*" + FLIGHT_SUFFIX)):
+        try:
+            doc = read_flight(path)
+        except (ObservabilityError, OSError) as exc:
+            dumps.append({"path": str(path), "error": str(exc)})
+            continue
+        doc["path"] = str(path)
+        dumps.append(doc)
+    return dumps
+
+
+def install_flight_signal_dump(path: str | Path) -> bool:
+    """Dump the global ring to ``path`` when SIGTERM arrives, then die.
+
+    Returns ``False`` when the handler cannot be installed (non-main
+    thread, unsupported platform) — callers treat that as best-effort.
+    The previous handler is restored and the signal re-raised so the
+    process still terminates with conventional SIGTERM semantics.
+    """
+    target = Path(path)
+
+    def _handler(signum, frame):  # pragma: no cover - exercised via subprocess
+        dump_flight(target)
+        signal.signal(signal.SIGTERM, previous or signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):
+        return False
+    return True
+
+
+__all__ = [
+    "FLIGHT_SCHEMA_VERSION",
+    "DEFAULT_MAX_EVENTS",
+    "FlightRecorder",
+    "read_flight",
+    "read_flight_dir",
+    "flight_recorder",
+    "reset_flight",
+    "flight_event",
+    "flight_dir",
+    "dump_flight",
+    "install_flight_signal_dump",
+]

@@ -205,6 +205,14 @@ class TelemetrySampler:
         so ``set_telemetry`` swaps are honoured).
     clock / wall_clock:
         Injectable monotonic and epoch clocks (tests).
+    disk_path:
+        Optional campaign store path. When set, every sample probes the
+        store's on-disk footprint (via the backend-agnostic
+        ``store_disk_bytes`` seam) and writes it into the record's gauges
+        as ``store.disk.bytes`` — so a series file shows columnar-vs-SQLite
+        growth over time even between the runner's shard-boundary gauge
+        updates. The probe goes straight into the *record*, never into the
+        watched registry, preserving the observation-only contract.
 
     Use as a context manager (``with TelemetrySampler(...)``) or pair
     :meth:`start`/:meth:`stop`. ``stop`` writes one final sample so a series
@@ -218,6 +226,7 @@ class TelemetrySampler:
         telemetry=None,
         clock: Callable[[], float] = time.monotonic,
         wall_clock: Callable[[], float] = time.time,
+        disk_path: str | Path | None = None,
     ) -> None:
         interval_s = float(interval_s)
         if not interval_s > 0:
@@ -226,6 +235,9 @@ class TelemetrySampler:
             )
         self.path = Path(path)
         self.interval_s = interval_s
+        if disk_path is not None and str(disk_path) == ":memory:":
+            disk_path = None
+        self.disk_path = disk_path
         self._telemetry = telemetry
         self._clock = clock
         self._wall_clock = wall_clock
@@ -256,6 +268,17 @@ class TelemetrySampler:
                 continue
         return session.snapshot()
 
+    def _disk_bytes(self) -> float | None:
+        """Probe the store's on-disk size; None when unset or unreadable."""
+        if self.disk_path is None:
+            return None
+        from repro.campaign.backends import store_disk_bytes  # lazy: cycle
+
+        try:
+            return float(store_disk_bytes(self.disk_path))
+        except Exception:
+            return None
+
     def sample(self, reason: str = "interval") -> dict:
         """Take one sample now; append it to the series file; return it."""
         with self._lock:
@@ -270,6 +293,9 @@ class TelemetrySampler:
                 elapsed_s=now - self._t0,
                 wall_time=self._wall_clock(),
             )
+            disk_bytes = self._disk_bytes()
+            if disk_bytes is not None:
+                record["gauges"]["store.disk.bytes"] = disk_bytes
             self._prev = {
                 "counters": _counter_totals(snapshot),
                 "histograms": _histogram_totals(snapshot),

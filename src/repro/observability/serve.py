@@ -103,7 +103,12 @@ class CampaignHealth:
                 "eta_seconds": eta,
             }
             # Distributed campaigns report a per-node table
-            # (ClusterProgress.nodes): id, state, weight, done/failed.
+            # (ClusterProgress.nodes): id, state, weight, done/failed, plus
+            # the early-warning columns lease_queue_depth and
+            # last_heartbeat_age_s — a node whose heartbeat age climbs
+            # toward the death timeout is visibly stalling here before the
+            # coordinator's death detection ever fires. Rows pass through
+            # verbatim so new coordinator columns appear without edits.
             nodes = getattr(progress, "nodes", None)
             if nodes:
                 doc["nodes"] = [dict(node) for node in nodes]

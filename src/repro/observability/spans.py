@@ -82,6 +82,15 @@ class SpanTracer:
             else:
                 self.dropped += 1
 
+    @property
+    def current(self) -> int | None:
+        """The id of the innermost open span, or None outside any span.
+
+        Worker nodes stamp this onto result frames so the coordinator can
+        correlate its store-commit span with the remote dock span.
+        """
+        return self._stack[-1] if self._stack else None
+
     # ------------------------------------------------------------------
     # snapshot / merge
     # ------------------------------------------------------------------
@@ -104,15 +113,25 @@ class SpanTracer:
         }
 
     def merge(self, snapshot: dict) -> None:
-        """Append another tracer's spans, offsetting ids to stay unique."""
+        """Append another tracer's spans, offsetting ids to stay unique.
+
+        A parent id absent from the incoming snapshot is dropped rather
+        than offset: it names a span that was still open when the snapshot
+        froze (e.g. a worker's session span at SIGKILL time), so after the
+        merge it would dangle. The child becomes a root span instead —
+        merged snapshots never contain orphan parent references.
+        """
         offset = self._next_id
         max_seen = -1
+        incoming = {int(item["id"]) for item in snapshot.get("spans", ())}
         for item in snapshot.get("spans", ()):
             max_seen = max(max_seen, int(item["id"]))
             if len(self.records) >= self.max_spans:
                 self.dropped += 1
                 continue
             parent = item.get("parent")
+            if parent is not None:
+                parent = int(parent) + offset if int(parent) in incoming else None
             self.records.append(
                 SpanRecord(
                     id=int(item["id"]) + offset,
@@ -120,7 +139,7 @@ class SpanTracer:
                     tags=dict(item.get("tags", {})),
                     start_s=float(item["start_s"]),
                     duration_s=float(item["duration_s"]),
-                    parent=None if parent is None else int(parent) + offset,
+                    parent=parent,
                     depth=int(item.get("depth", 0)),
                 )
             )

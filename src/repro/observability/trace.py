@@ -25,6 +25,15 @@ families make scheduling pathologies pop visually:
   ``steals`` tag is non-zero (dynamic mode's work-stealing in action);
 * journal fsyncs are ordinary spans (``campaign.journal.fsync``) and need
   no special casing — they show up as short blocks on the main lane.
+
+Cross-node ligand lifecycle: a distributed campaign's merged snapshot holds
+each ligand's dock span on its node's lane (``cluster.ligand.dock``, tagged
+with the ordinal, its lease wait, and the campaign trace id) and the
+coordinator's commit span on the main lane (``cluster.ligand.commit``, same
+ordinal, tagged with the measured wire time). The exporter pairs them by
+ordinal into Chrome flow events (``s``/``f``) so Perfetto draws an arrow
+from the dock's end to the commit's start — lease wait, dock, wire, store
+commit, and journal fsync read as one end-to-end story per ligand.
 """
 
 from __future__ import annotations
@@ -140,6 +149,9 @@ def snapshot_to_trace_events(snapshot: dict) -> dict:
                 }
             )
 
+    flows = _lifecycle_flows(spans, origin)
+    events.extend(flows)
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -147,8 +159,66 @@ def snapshot_to_trace_events(snapshot: dict) -> dict:
             "source": "repro-vs telemetry snapshot",
             "spans": len(spans),
             "dropped_spans": doc.get("dropped_spans", 0),
+            "lifecycle_flows": len(flows) // 2,
         },
     }
+
+
+def _lifecycle_flows(spans: list, origin: float) -> list[dict]:
+    """Flow-event pairs stitching each ligand's dock to its store commit.
+
+    Pairing key is the ``ordinal`` tag: the worker's ``cluster.ligand.dock``
+    span (node lane) flows into the coordinator's ``cluster.ligand.commit``
+    span (main lane). Emitted as Chrome flow events — ``s`` at the dock's
+    end, ``f`` (binding to the enclosing slice) at the commit's start — so
+    Perfetto draws the cross-lane arrow. Ordinals seen on only one side
+    (e.g. a commit whose dock span was lost with a SIGKILLed node) emit
+    nothing.
+    """
+    docks: dict[int, dict] = {}
+    commits: dict[int, dict] = {}
+    for span in spans:
+        name = span.get("name")
+        if name not in ("cluster.ligand.dock", "cluster.ligand.commit"):
+            continue
+        ordinal = span.get("tags", {}).get("ordinal")
+        try:
+            ordinal = int(ordinal)
+        except (TypeError, ValueError):
+            continue
+        # First span per side wins: a retried dock keeps its initial attempt.
+        side = docks if name == "cluster.ligand.dock" else commits
+        side.setdefault(ordinal, span)
+    flows: list[dict] = []
+    for ordinal, dock in sorted(docks.items()):
+        commit = commits.get(ordinal)
+        if commit is None:
+            continue
+        dock_end_us = (
+            float(dock["start_s"]) + float(dock["duration_s"]) - origin
+        ) * 1e6
+        commit_start_us = (float(commit["start_s"]) - origin) * 1e6
+        common = {"pid": _PID, "cat": "lifecycle", "name": "ligand", "id": ordinal}
+        flows.append(
+            {
+                **common,
+                "ph": "s",
+                "tid": _lane(dock.get("tags", {})),
+                "ts": dock_end_us,
+                "args": {"ordinal": ordinal, "from": "dock"},
+            }
+        )
+        flows.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",  # bind to the enclosing commit slice
+                "tid": _lane(commit.get("tags", {})),
+                "ts": max(commit_start_us, dock_end_us),
+                "args": {"ordinal": ordinal, "to": "commit"},
+            }
+        )
+    return flows
 
 
 def trace_events_to_json(snapshot: dict) -> str:

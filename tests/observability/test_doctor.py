@@ -1,0 +1,214 @@
+"""Doctor coverage: artifact fusion, dead-node naming, verdict synthesis."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import diagnose_campaign
+from repro.observability.flight import FlightRecorder, flight_dir
+
+
+class FakeClock:
+    def __init__(self, start=0.0, step=0.5):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def write_journal(store, records):
+    lines = [json.dumps(r, sort_keys=True) for r in records]
+    (store.parent / (store.name + ".journal")).write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+
+
+def write_flight(store, role, events):
+    rec = FlightRecorder(role, clock=FakeClock(), wall_clock=FakeClock(1e9))
+    for kind, fields in events:
+        rec.record(kind, **fields)
+    rec.dump(flight_dir(store) / f"{role}.flight")
+
+
+def write_metrics(store, doc):
+    base = {
+        "schema_version": 1,
+        "counters": [],
+        "gauges": [],
+        "histograms": [],
+        "spans": [],
+        "dropped_spans": 0,
+    }
+    base.update(doc)
+    (store.parent / (store.name + ".metrics.json")).write_text(
+        json.dumps(base), encoding="utf-8"
+    )
+
+
+def test_nothing_to_diagnose_raises(tmp_path):
+    with pytest.raises(ObservabilityError, match="nothing to diagnose"):
+        diagnose_campaign(tmp_path / "ghost.sqlite")
+
+
+def test_dead_node_is_named_with_evidence(tmp_path):
+    store = tmp_path / "campaign.sqlite"
+    write_journal(
+        store,
+        [
+            {"t": 1.0, "record": "campaign_start", "config_hash": "abc"},
+            {"t": 1.1, "record": "shard_start", "shard": 0, "start": 0,
+             "stop": 4, "node": 0},
+            {"t": 1.2, "record": "shard_start", "shard": 1, "start": 4,
+             "stop": 8, "node": 1},
+            {"t": 2.0, "record": "shard_finish", "shard": 0, "done": 4,
+             "failed": 0, "node": 0},
+        ],
+    )
+    write_flight(
+        store,
+        "coordinator",
+        [
+            ("node.connect", {"node": 0, "peer": "127.0.0.1:1"}),
+            ("node.connect", {"node": 1, "peer": "127.0.0.1:2"}),
+            ("lease.grant", {"shard": 0, "node": 0, "stolen": False}),
+            ("lease.grant", {"shard": 1, "node": 1, "stolen": False}),
+            ("node.heartbeat", {"node": 1, "done": 2, "failed": 0}),
+            ("node.dead", {"node": 1, "reason": "heartbeat timeout",
+                           "reclaimed": [1], "requeued": 1}),
+        ],
+    )
+    report = diagnose_campaign(store)
+    text = report.to_text()
+    assert "node 1 died" in text
+    assert "heartbeat timeout" in text
+    assert "1 lease(s) reclaimed" in text
+    assert "last telemetry heartbeat" in text
+    assert report.verdict == "bad"  # campaign never finished
+    diagnosis = next(s for s in report.sections if s.title == "diagnosis")
+    assert diagnosis.headline == "campaign is INCOMPLETE"
+    assert any("reclaimed but the campaign never finished" in line
+               for line in diagnosis.lines)
+
+
+def test_healthy_completed_campaign_reads_ok(tmp_path):
+    store = tmp_path / "campaign.sqlite"
+    write_journal(
+        store,
+        [
+            {"t": 1.0, "record": "campaign_start", "config_hash": "abc"},
+            {"t": 1.1, "record": "shard_start", "shard": 0, "start": 0,
+             "stop": 4},
+            {"t": 2.0, "record": "shard_finish", "shard": 0, "done": 4,
+             "failed": 0},
+            {"t": 2.1, "record": "campaign_finish", "n_ligands": 4},
+        ],
+    )
+    write_flight(store, "runner", [("shard.finish", {"shard": 0, "wall": 1.5})])
+    report = diagnose_campaign(store)
+    assert report.verdict == "ok"
+    assert "nothing anomalous" in report.to_text()
+
+
+def test_steal_storm_flagged(tmp_path):
+    store = tmp_path / "campaign.sqlite"
+    grants = [("lease.grant", {"shard": i, "node": i % 2, "stolen": i >= 4})
+              for i in range(10)]
+    steals = [("steal", {"thief": 1, "victim": 0, "shard": i})
+              for i in range(4, 10)]
+    write_journal(store, [
+        {"t": 1.0, "record": "campaign_start", "config_hash": "x"},
+        {"t": 9.0, "record": "campaign_finish", "n_ligands": 40},
+    ])
+    write_flight(store, "coordinator", grants + steals)
+    report = diagnose_campaign(store)
+    stealing = next(s for s in report.sections if s.title == "work stealing")
+    assert stealing.verdict == "warn"
+    assert "steal storm" in stealing.headline
+    assert any("node 0 was stolen from 6 time(s)" in line
+               for line in stealing.lines)
+
+
+def test_fsync_stalls_and_slow_shards_surface(tmp_path):
+    store = tmp_path / "campaign.sqlite"
+    write_journal(store, [
+        {"t": 1.0, "record": "campaign_start", "config_hash": "x"},
+        {"t": 1.1, "record": "shard_start", "shard": 3, "start": 0,
+         "stop": 4, "node": 0},
+        {"t": 9.0, "record": "campaign_finish", "n_ligands": 40},
+    ])
+    finishes = [("shard.finish", {"shard": i, "wall": 0.5}) for i in range(6)]
+    write_flight(
+        store,
+        "coordinator",
+        finishes
+        + [
+            ("shard.finish", {"shard": 3, "wall": 5.0}),
+            ("journal.stall", {"records": 8, "seconds": 0.42}),
+        ],
+    )
+    report = diagnose_campaign(store)
+    fsync = next(s for s in report.sections if s.title == "journal fsync")
+    assert fsync.verdict == "warn"
+    assert any("0.420s" in line for line in fsync.lines)
+    slow = next(s for s in report.sections if s.title == "slow shards")
+    assert slow.verdict == "warn"
+    assert any("shard 3 on node 0" in line and "10.0x median" in line
+               for line in slow.lines)
+
+
+def test_share_drift_from_metrics_snapshot(tmp_path):
+    store = tmp_path / "campaign.sqlite"
+    write_journal(store, [
+        {"t": 1.0, "record": "campaign_start", "config_hash": "x"},
+        {"t": 9.0, "record": "campaign_finish", "n_ligands": 8},
+    ])
+    write_metrics(store, {
+        "gauges": [
+            {"name": "host.warmup.weight", "tags": {"worker": 0}, "value": 0.5},
+            {"name": "host.warmup.weight", "tags": {"worker": 1}, "value": 0.5},
+        ],
+        "counters": [
+            {"name": "host.worker.poses", "tags": {"worker": 0}, "value": 90.0},
+            {"name": "host.worker.poses", "tags": {"worker": 1}, "value": 10.0},
+        ],
+    })
+    report = diagnose_campaign(store)
+    drift = next(s for s in report.sections if s.title == "Eq. 1 share drift")
+    assert drift.verdict == "warn"
+    assert "worker 0 drifted +40.0%" in drift.headline
+
+
+def test_report_json_shape(tmp_path):
+    store = tmp_path / "campaign.sqlite"
+    write_journal(store, [
+        {"t": 1.0, "record": "campaign_start", "config_hash": "x"},
+        {"t": 2.0, "record": "campaign_finish", "n_ligands": 1},
+    ])
+    report = diagnose_campaign(store)
+    doc = json.loads(json.dumps(report.to_json()))
+    assert doc["schema_version"] == 1
+    assert doc["verdict"] in ("ok", "warn", "bad")
+    titles = [s["title"] for s in doc["sections"]]
+    assert titles == [
+        "summary", "dead nodes", "work stealing", "Eq. 1 share drift",
+        "journal fsync", "slow shards", "diagnosis",
+    ]
+    for section in doc["sections"]:
+        assert set(section) == {"title", "verdict", "headline", "evidence"}
+
+
+def test_torn_journal_tail_is_tolerated(tmp_path):
+    store = tmp_path / "campaign.sqlite"
+    journal = store.parent / (store.name + ".journal")
+    records = [
+        {"t": 1.0, "record": "campaign_start", "config_hash": "x"},
+        {"t": 2.0, "record": "campaign_finish", "n_ligands": 1},
+    ]
+    text = "\n".join(json.dumps(r) for r in records) + "\n"
+    journal.write_text(text + '{"t": 3.0, "record": "shard_st', encoding="utf-8")
+    report = diagnose_campaign(store)
+    summary = next(s for s in report.sections if s.title == "summary")
+    assert "campaign_finish=yes" in " ".join(summary.lines)

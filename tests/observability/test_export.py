@@ -142,3 +142,47 @@ def test_prometheus_escapes_tag_values_in_histograms():
     text = snapshot_to_prometheus(t.snapshot())
     assert 'source="a\\"b"' in text
     assert 'le="+Inf"' in text
+
+
+def test_prometheus_every_family_gets_help_and_type(session):
+    """Each metric family leads with # HELP then # TYPE, exactly once."""
+    text = snapshot_to_prometheus(session.snapshot())
+    lines = text.splitlines()
+    assert "# HELP repro_campaign_ligands_done Ligands completed by the campaign runner" in lines
+    assert "# HELP repro_span_seconds Span durations summarised per span name" in lines
+    # Unknown families still get a generic HELP line.
+    assert "# HELP repro_engine_warmup_weight repro-vs metric engine.warmup.weight" in lines
+    helped = [l.split()[2] for l in lines if l.startswith("# HELP")]
+    typed = [l.split()[2] for l in lines if l.startswith("# TYPE")]
+    assert helped == typed  # same families, same order, no duplicates
+    assert len(set(helped)) == len(helped)
+    for name in typed:
+        help_idx = lines.index(f"# HELP {name} " + next(
+            l.split(" ", 3)[3] for l in lines if l.startswith(f"# HELP {name} ")
+        ))
+        type_idx = next(
+            i for i, l in enumerate(lines) if l.startswith(f"# TYPE {name} ")
+        )
+        assert help_idx == type_idx - 1  # HELP immediately precedes TYPE
+
+
+def test_prometheus_help_text_escapes_backslash_and_newline():
+    """HELP escaping is narrower than label escaping: \\ and newline only."""
+    from repro.observability import export
+
+    original = dict(export._HELP)
+    export._HELP["evil.metric"] = 'back\\slash and\nnewline and "quote"'
+    try:
+        t = Telemetry()
+        t.counter("evil.metric").inc()
+        text = snapshot_to_prometheus(t.snapshot())
+    finally:
+        export._HELP.clear()
+        export._HELP.update(original)
+    line = next(
+        l for l in text.splitlines()
+        if l.startswith("# HELP repro_evil_metric")
+    )
+    assert "back\\\\slash" in line  # backslash doubled
+    assert "and\\nnewline" in line and "\n" not in line  # newline escaped
+    assert '"quote"' in line  # quotes stay raw in HELP (unlike labels)

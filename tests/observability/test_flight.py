@@ -1,0 +1,243 @@
+"""Flight recorder coverage: ring bounds, CRC framing, torn-tail recovery."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro import observability as obs
+from repro.errors import ObservabilityError
+from repro.observability.flight import (
+    FLIGHT_SCHEMA_VERSION,
+    _FLIGHT_MAGIC,
+    _FRAME,
+    _K_EVENT,
+    FlightRecorder,
+    _pack_frame,
+    dump_flight,
+    flight_dir,
+    flight_event,
+    flight_recorder,
+    read_flight,
+    read_flight_dir,
+    reset_flight,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0, step=0.25):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def clean_global_ring():
+    reset_flight("process")
+    yield
+    reset_flight("process")
+
+
+# ----------------------------------------------------------------------
+# the ring
+# ----------------------------------------------------------------------
+def test_ring_is_bounded_and_keeps_newest():
+    rec = FlightRecorder("test", max_events=4)
+    for i in range(10):
+        rec.record("tick", i=i)
+    events = rec.events()
+    assert [e["i"] for e in events] == [6, 7, 8, 9]
+    assert [e["seq"] for e in events] == [7, 8, 9, 10]
+    assert rec.recorded == 10
+    assert rec.dropped == 6
+
+
+def test_record_preserves_fields_and_clocks():
+    rec = FlightRecorder(
+        "test", clock=FakeClock(), wall_clock=FakeClock(start=1000.0)
+    )
+    rec.record("steal", thief=1, victim=0, shard=7)
+    (event,) = rec.events()
+    assert event["kind"] == "steal"
+    assert (event["thief"], event["victim"], event["shard"]) == (1, 0, 7)
+    assert event["t"] > 0 and event["wall"] > 1000.0
+
+
+def test_max_events_must_be_positive():
+    with pytest.raises(ObservabilityError, match="max_events"):
+        FlightRecorder(max_events=0)
+
+
+def test_reset_clears_ring_and_retags_role():
+    rec = flight_recorder()
+    rec.record("x")
+    reset_flight("worker-node3")
+    assert rec.events() == []
+    assert rec.recorded == 0
+    assert rec.role == "worker-node3"
+
+
+def test_flight_event_is_gated_on_telemetry_switch():
+    with obs.disabled():
+        flight_event("invisible")
+    assert flight_recorder().events() == []
+    flight_event("visible", n=1)
+    events = flight_recorder().events()
+    assert [e["kind"] for e in events] == ["visible"]
+
+
+# ----------------------------------------------------------------------
+# dump / read round trip
+# ----------------------------------------------------------------------
+def test_dump_read_round_trip(tmp_path):
+    rec = FlightRecorder("coordinator", max_events=8)
+    for i in range(12):
+        rec.record("lease.grant", shard=i, node=i % 2)
+    path = rec.dump(tmp_path / "coordinator.flight")
+    doc = read_flight(path)
+    assert doc["torn"] is False
+    assert doc["clean_bytes"] == path.stat().st_size
+    header = doc["header"]
+    assert header["schema_version"] == FLIGHT_SCHEMA_VERSION
+    assert header["role"] == "coordinator"
+    assert header["recorded"] == 12 and header["dropped"] == 4
+    assert doc["events"] == rec.events()
+
+
+def test_dump_creates_parent_directory(tmp_path):
+    rec = FlightRecorder("runner")
+    rec.record("shard.finish", shard=0)
+    path = rec.dump(tmp_path / "store.flight.d" / "runner.flight")
+    assert path.exists()
+    assert read_flight(path)["events"][0]["shard"] == 0
+
+
+def test_dump_flight_never_raises(tmp_path):
+    blocker = tmp_path / "file"
+    blocker.write_text("not a directory")
+    assert dump_flight(blocker / "sub" / "x.flight") is None
+
+
+def test_flight_dir_convention():
+    assert str(flight_dir("/tmp/campaign.sqlite")).endswith(
+        "campaign.sqlite.flight.d"
+    )
+
+
+# ----------------------------------------------------------------------
+# torn tails and corruption (satellite: byte-truncation fuzz)
+# ----------------------------------------------------------------------
+def test_every_byte_truncation_recovers_a_prefix(tmp_path):
+    """No truncation point may raise; parsed events are always a prefix."""
+    rec = FlightRecorder("fuzz", clock=FakeClock(), wall_clock=FakeClock())
+    for i in range(6):
+        rec.record("tick", i=i)
+    path = rec.dump(tmp_path / "full.flight")
+    data = path.read_bytes()
+    full = read_flight(path)
+    assert not full["torn"]
+    truncated_path = tmp_path / "torn.flight"
+    for cut in range(len(data) + 1):
+        truncated_path.write_bytes(data[:cut])
+        doc = read_flight(truncated_path)  # must never raise
+        got = [e["i"] for e in doc["events"]]
+        assert got == [e["i"] for e in full["events"]][: len(got)]
+        # Torn exactly when the cut falls inside a frame; a cut on a frame
+        # boundary reads as a clean (shorter) dump.
+        assert doc["torn"] == (cut != doc["clean_bytes"])
+        if cut == len(data):
+            assert not doc["torn"]
+            assert doc["header"] == full["header"]
+
+
+def test_midfile_corruption_raises(tmp_path):
+    rec = FlightRecorder("corrupt", clock=FakeClock(), wall_clock=FakeClock())
+    for i in range(6):
+        rec.record("tick", i=i)
+    path = rec.dump(tmp_path / "x.flight")
+    data = bytearray(path.read_bytes())
+    # Flip one payload byte inside the *first* frame: CRC mismatch that is
+    # not at EOF must raise, not be silently dropped.
+    data[_FRAME.size + 2] ^= 0xFF
+    bad = tmp_path / "bad.flight"
+    bad.write_bytes(bytes(data))
+    with pytest.raises(ObservabilityError, match="CRC|magic|undecodable"):
+        read_flight(bad)
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "bad.flight"
+    path.write_bytes(b"\x00\x00" + b"\x00" * 20)
+    with pytest.raises(ObservabilityError, match="magic"):
+        read_flight(path)
+
+
+def test_unknown_frame_kinds_are_skipped(tmp_path):
+    rec = FlightRecorder("fwd", clock=FakeClock(), wall_clock=FakeClock())
+    rec.record("tick", i=0)
+    path = rec.dump(tmp_path / "x.flight")
+    data = path.read_bytes()
+    # Splice a validly framed but unknown-kind record between the frames.
+    future = _pack_frame(9, b'{"from":"the future"}')
+    spliced = tmp_path / "spliced.flight"
+    spliced.write_bytes(data + future + _pack_frame(_K_EVENT, b'{"seq":2,"t":1,"wall":1,"kind":"tock"}'))
+    doc = read_flight(spliced)
+    assert not doc["torn"]
+    assert [e["kind"] for e in doc["events"]] == ["tick", "tock"]
+
+
+def test_read_flight_dir_mixes_good_and_broken(tmp_path):
+    directory = tmp_path / "store.flight.d"
+    rec = FlightRecorder("good", clock=FakeClock(), wall_clock=FakeClock())
+    rec.record("ok")
+    rec.dump(directory / "good.flight")
+    (directory / "broken.flight").write_bytes(b"\xde\xad" + b"\x00" * 16)
+    dumps = read_flight_dir(directory)
+    assert len(dumps) == 2
+    broken, good = dumps  # sorted by filename
+    assert "error" in broken and "magic" in broken["error"]
+    assert good["header"]["role"] == "good"
+    assert not good["torn"]
+
+
+def test_read_flight_dir_missing_directory_is_empty(tmp_path):
+    assert read_flight_dir(tmp_path / "nope.d") == []
+
+
+# ----------------------------------------------------------------------
+# SIGTERM dump (exercised in a real subprocess)
+# ----------------------------------------------------------------------
+def test_sigterm_handler_dumps_then_dies(tmp_path):
+    dump_path = tmp_path / "victim.flight"
+    code = textwrap.dedent(
+        f"""
+        import os, signal, time
+        from repro.observability.flight import (
+            flight_event, install_flight_signal_dump, reset_flight,
+        )
+        reset_flight("victim")
+        assert install_flight_signal_dump({str(dump_path)!r})
+        flight_event("before.sigterm", answer=42)
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(30)  # never reached
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env, timeout=60,
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == -signal.SIGTERM, proc.stderr
+    doc = read_flight(dump_path)
+    assert doc["header"]["role"] == "victim"
+    assert [e["kind"] for e in doc["events"]] == ["before.sigterm"]
+    assert doc["events"][0]["answer"] == 42
