@@ -1,0 +1,205 @@
+"""Docking pipeline depth: campaign ligands/second at depth 1 vs 2 vs 4.
+
+At ``pipeline_depth=1`` the campaign docks one ligand at a time: every
+generation barrier, every host-side Select/Combine/Include, and every
+ligand rebind leaves the worker pool idle. At depth D the runner keeps D
+ligands resident (D+1 slot banks) and in flight at once, so one ligand's
+barrier tails and host bookkeeping are filled with another ligand's poses
+— the paper's keep-every-device-busy discipline applied across ligand
+boundaries.
+
+This benchmark runs the *same* campaign (same receptor, library, seeds)
+at depth 1, 2, and 4 with 4 host workers and reports:
+
+* ``ligands_per_s_depthD`` — end-to-end campaign throughput (pool spawn
+  and warm-up included; every depth pays them identically),
+* ``pipeline_speedup_depthD`` — throughput at depth D over depth 1; the
+  acceptance bar is **>= 1.3x at depth >= 2** for the smoke config,
+* ``pool_idle_seconds_depthD`` / ``pipeline_fill_poses_depthD`` — how much
+  worker-pool idle time the pipeline drains, and how many poses landed in
+  another ligand's barrier gaps,
+* ``science_digest_identical`` — the store's science digest compared
+  byte-for-byte across all depths (the pipeline is an execution knob,
+  never a science knob).
+
+Honesty note: wall-clock speedup is bounded by the cores the container
+actually grants. On a single-core host the workers timeshare one CPU, so
+lig/s cannot improve no matter how well the pipeline fills the pool — the
+smoke test then gates on the mechanism (pool idle drained, digests
+identical) and enforces the >= 1.3x bar only where >= 2 cores exist. The
+artifact records ``available_cores`` so numbers read honestly either way.
+
+Run standalone::
+
+    python benchmarks/bench_pipeline_depth.py [--smoke] [--out artifact.json]
+
+or through pytest (smoke scale): ``pytest benchmarks/bench_pipeline_depth.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro import observability as obs
+from repro.campaign import CampaignRunner, SyntheticSource
+from repro.molecules.synthetic import generate_receptor
+
+#: (name, receptor atoms, ligands, workload scale)
+FULL_CASES = [("full", 600, 32, 0.25)]
+#: CI regenerates this one; it must clear the >= 1.3x acceptance bar.
+SMOKE_CASES = [("smoke", 400, 16, 0.15)]
+
+DEPTHS = (1, 2, 4)
+N_SPOTS = 4
+N_WORKERS = 4
+SEED = 7
+
+
+def _run_campaign(receptor, n_ligands, scale, depth):
+    runner = CampaignRunner(
+        receptor,
+        SyntheticSource(n_ligands, atoms_range=(16, 32), seed=3),
+        store_path=":memory:",
+        n_spots=N_SPOTS,
+        metaheuristic="M1",
+        seed=SEED,
+        workload_scale=scale,
+        shard_size=n_ligands,
+        host_workers=N_WORKERS,
+        pipeline_depth=depth,
+    )
+    idle0 = obs.counter("host.pool.idle.seconds").value
+    fill0 = obs.counter("host.pipeline.fill.poses").value
+    start = time.perf_counter()
+    with runner.run() as store:
+        wall = time.perf_counter() - start
+        if store.counts()["done"] != n_ligands:
+            raise RuntimeError(f"campaign at depth {depth} lost ligands")
+        digest = store.science_digest()
+    idle = obs.counter("host.pool.idle.seconds").value - idle0
+    fill = obs.counter("host.pipeline.fill.poses").value - fill0
+    return n_ligands / wall, digest, idle, fill
+
+
+def bench_case(name, n_rec, n_ligands, scale):
+    receptor = generate_receptor(n_rec, seed=SEED, title=name)
+    rates, digests, idles, fills = {}, {}, {}, {}
+    for depth in DEPTHS:
+        rates[depth], digests[depth], idles[depth], fills[depth] = _run_campaign(
+            receptor, n_ligands, scale, depth
+        )
+    result = {
+        "case": name,
+        "receptor_atoms": n_rec,
+        "ligands": n_ligands,
+        "workload_scale": scale,
+        "host_workers": N_WORKERS,
+        "available_cores": os.cpu_count() or 1,
+        "science_digest_identical": len(set(digests.values())) == 1,
+    }
+    for depth in DEPTHS:
+        result[f"ligands_per_s_depth{depth}"] = rates[depth]
+        result[f"pool_idle_seconds_depth{depth}"] = idles[depth]
+        result[f"pipeline_fill_poses_depth{depth}"] = fills[depth]
+        if depth > 1:
+            result[f"pipeline_speedup_depth{depth}"] = rates[depth] / rates[1]
+    return result
+
+
+def run_benchmark(smoke=False, out_path=None):
+    cases = SMOKE_CASES if smoke else FULL_CASES
+    artifact = {
+        "benchmark": "pipeline_depth",
+        "cases": [bench_case(*case) for case in cases],
+    }
+    if out_path:
+        from table_utils import write_bench_artifact
+
+        write_bench_artifact("pipeline_depth", artifact, path=out_path)
+    return artifact
+
+
+def _report(artifact):
+    lines = []
+    for case in artifact["cases"]:
+        lines.append(
+            f"{case['case']}: {case['ligands']} ligands, "
+            f"{case['host_workers']} workers, scale {case['workload_scale']}, "
+            f"{case['available_cores']} core(s)"
+        )
+        rates = "  ".join(
+            f"depth {d}: {case[f'ligands_per_s_depth{d}']:.1f} lig/s"
+            for d in DEPTHS
+        )
+        lines.append(f"  {rates}")
+        idles = "  ".join(
+            f"depth {d}: {case[f'pool_idle_seconds_depth{d}']:.3f}s idle"
+            f" / {case[f'pipeline_fill_poses_depth{d}']} fill poses"
+            for d in DEPTHS
+        )
+        lines.append(f"  {idles}")
+        speedups = "  ".join(
+            f"depth {d}: {case[f'pipeline_speedup_depth{d}']:.2f}x"
+            for d in DEPTHS
+            if d > 1
+        )
+        lines.append(
+            f"  speedup over depth 1: {speedups}, science digest "
+            f"{'identical' if case['science_digest_identical'] else 'DIVERGED'}"
+        )
+    return "\n".join(lines)
+
+
+def test_pipeline_depth_smoke(benchmark, tmp_path):
+    """CI smoke: digests byte-identical at every depth; on hosts with >= 2
+    cores, >= 1.3x lig/s at depth >= 2; on single-core hosts (where workers
+    timeshare one CPU and wall-clock gains are impossible) the pipeline must
+    still demonstrably drain pool idle time with barrier-gap fill poses."""
+    out = tmp_path / "pipeline_depth.json"
+    artifact = benchmark.pedantic(
+        lambda: run_benchmark(smoke=True, out_path=str(out)),
+        rounds=1,
+        iterations=1,
+    )
+    from conftest import emit
+    from table_utils import load_bench_artifact
+
+    emit("Docking pipeline — depth sweep smoke", _report(artifact))
+    assert load_bench_artifact(out)["benchmark"] == "pipeline_depth"
+    for case in artifact["cases"]:
+        assert case["science_digest_identical"], "pipeline moved a float"
+        assert case["host_workers"] == 4
+        if (os.cpu_count() or 1) >= 2:
+            best = max(
+                case[f"pipeline_speedup_depth{d}"] for d in DEPTHS if d > 1
+            )
+            assert best >= 1.3, case
+        else:
+            # Mechanism check: the pipeline filled barrier gaps with the
+            # next ligand's poses and drained most of the pool idle time.
+            assert case["pipeline_fill_poses_depth1"] == 0, case
+            assert case["pipeline_fill_poses_depth2"] > 0, case
+            assert (
+                case["pool_idle_seconds_depth2"]
+                < 0.67 * case["pool_idle_seconds_depth1"]
+            ), case
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small/fast variant")
+    parser.add_argument(
+        "--out", default="pipeline_depth.json", help="JSON artifact"
+    )
+    args = parser.parse_args(argv)
+    artifact = run_benchmark(smoke=args.smoke, out_path=args.out)
+    print(_report(artifact))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

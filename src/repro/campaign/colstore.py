@@ -43,6 +43,7 @@ import struct
 import threading
 import zlib
 from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from itertools import chain
 from pathlib import Path
 from typing import Iterator, TextIO
@@ -362,6 +363,11 @@ class ColumnarStore:
         self._topk_saturated = False
         self._topk_dirty = False
         self._closed = False
+        # Tiered compaction runs on a background thread so finish_shard
+        # latency never includes a multi-segment merge (lazily created;
+        # at most one compaction in flight).
+        self._compact_executor: ThreadPoolExecutor | None = None
+        self._compact_future: Future | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -456,7 +462,18 @@ class ColumnarStore:
         return int(self._options.get("topk_capacity", 512))
 
     def close(self) -> None:
-        """Flush and close every open log handle."""
+        """Flush and close every open log handle.
+
+        Any in-flight background compaction is drained *before* taking the
+        store lock (the compaction thread needs that lock to finish, so
+        joining it while holding the lock would deadlock). A compaction
+        failure surfaces here rather than being swallowed.
+        """
+        self.wait_for_compaction()
+        executor = self._compact_executor
+        if executor is not None:
+            executor.shutdown(wait=True)
+            self._compact_executor = None
         with self._lock:
             if self._closed:
                 return
@@ -702,7 +719,7 @@ class ColumnarStore:
             shard["wall"] = float(wall_seconds)
             self._open_ranges.pop(shard_id, None)
             self._seal_range(shard["start"], shard["stop"], shard_id=shard_id)
-            self._maybe_compact()
+            self._schedule_compaction()
             self._update_gauges()
 
     def finished_shards(self) -> set[int]:
@@ -1047,6 +1064,68 @@ class ColumnarStore:
         self._write_topk()
         obs.counter("campaign.store.seals").inc()
 
+    def _schedule_compaction(self) -> None:
+        """Kick tiered compaction onto the background thread (caller holds lock).
+
+        ``finish_shard`` latency must exclude compaction, so the merge runs
+        on a single lazily created worker thread; it serialises against the
+        store lock like any other operation, but the shard commit returns
+        immediately. At most one compaction is in flight — if one is still
+        running, the next ``finish_shard`` simply re-checks. A previous
+        *failed* compaction re-raises here so errors never vanish silently;
+        a rejected submit (interpreter teardown) falls back to compacting
+        inline.
+        """
+        if len(self._segments) < self._compact_fanin:
+            return
+        future = self._compact_future
+        if future is not None:
+            if not future.done():
+                return
+            self._compact_future = None
+            future.result()  # surface a failed background compaction
+        if self._compact_executor is None:
+            self._compact_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="colstore-compact"
+            )
+        try:
+            self._compact_future = self._compact_executor.submit(
+                self._compact_in_background
+            )
+        except RuntimeError:
+            self._maybe_compact()
+
+    def _compact_in_background(self) -> None:
+        # Re-check after every merge: shards sealed while a merge ran may
+        # have pushed the manifest back over the fan-in threshold (their
+        # finish_shard skipped scheduling because this run was in flight).
+        # The lock is released between merges so writers interleave.
+        while True:
+            with self._lock:
+                if self._closed or len(self._segments) < self._compact_fanin:
+                    return
+                self._maybe_compact()
+
+    def wait_for_compaction(self) -> None:
+        """Block until the manifest satisfies the tier invariant again.
+
+        Drains any in-flight background compaction (re-raising its failure),
+        then compacts inline if sealing raced past the background loop's
+        last check. Tests and shutdown paths call this to make segment
+        counts deterministic before asserting or closing.
+        """
+        future = self._compact_future
+        if future is not None:
+            try:
+                future.result()
+            finally:
+                self._compact_future = None
+        with self._lock:
+            if self._closed:
+                return
+            while len(self._segments) >= self._compact_fanin:
+                self._maybe_compact()
+
     def _maybe_compact(self) -> None:
         """Merge the adjacent run of segments with the fewest rows.
 
@@ -1280,12 +1359,21 @@ class ColumnarStore:
         return self._segment_row(ordinal)
 
     def _iter_logical(self) -> Iterator[tuple[int, list]]:
-        """Every live row in ordinal order: sealed segments + overlay merge."""
-        overlay = sorted(self._active_rows.items())
-        seg_stream = chain.from_iterable(
-            self._iter_segment_rows(entry) for entry in self._segments
-        )
-        yield from _merge_rows(seg_stream, overlay)
+        """Every live row in ordinal order: sealed segments + overlay merge.
+
+        Holds the store lock for the whole stream: background compaction
+        rewrites ``self._segments`` (and unlinks the merged files) from the
+        compaction thread, so an unlocked iterator could observe a
+        half-swapped segment list. Rows still stream one at a time — the
+        lock bounds concurrency, not memory. The RLock keeps this reentrant
+        for locked callers like :meth:`top`.
+        """
+        with self._lock:
+            overlay = sorted(self._active_rows.items())
+            seg_stream = chain.from_iterable(
+                self._iter_segment_rows(entry) for entry in self._segments
+            )
+            yield from _merge_rows(seg_stream, overlay)
 
     def _top_row(self, ordinal: int, row: list) -> dict:
         return {

@@ -20,7 +20,11 @@ lifetime — worker pool, staged receptor and Eq. 1 warm-up are paid once, and
 each ligand is swapped in through the versioned rebind protocol (with the
 next ligand prefetch-staged while the current one docks). ``dock()``
 receives the runtime through its ``evaluator_factory`` seam and never closes
-it.
+it. With ``pipeline_depth > 1`` the runner drives that many ligands'
+metaheuristics concurrently through the shared pool (each on a lease, each
+with its own seed and launch trace), committing results in ordinal order so
+the durability layer cannot tell the difference; depth 1 is bit-for-bit the
+classic serial loop.
 
 Failure policy: per-ligand bounded retry with exponential backoff (a worker
 pool that died is recycled in place by the persistent runtime — workers are
@@ -36,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -200,6 +205,7 @@ class CampaignRunner:
         parallel_mode: str = "static",
         prune_spots: bool = False,
         persistent_pool: bool = True,
+        pipeline_depth: int = 2,
         autotune=False,
         calibration_file: str | Path | None = None,
         refine_calibration: bool = False,
@@ -224,6 +230,10 @@ class CampaignRunner:
             raise CampaignError(f"shard_size must be >= 1, got {shard_size}")
         if max_attempts < 1:
             raise CampaignError(f"max_attempts must be >= 1, got {max_attempts}")
+        if pipeline_depth < 1:
+            raise CampaignError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
         if store_backend not in STORE_BACKENDS:
             raise CampaignError(
                 f"store_backend must be one of {STORE_BACKENDS}, "
@@ -261,6 +271,11 @@ class CampaignRunner:
         self.parallel_mode = parallel_mode
         self.prune_spots = prune_spots
         self.persistent_pool = bool(persistent_pool)
+        #: Ligands docked concurrently through the shared pool (needs
+        #: ``host_workers > 0`` and the persistent pool). Depth 1 is the
+        #: exact legacy serial loop. An execution knob — never hashed;
+        #: results are bitwise identical at every depth.
+        self.pipeline_depth = int(pipeline_depth)
         self._runtime: PersistentHostRuntime | None = None
         # --- input-aware kernel autotuning -----------------------------
         # `autotune` is False, True (load `calibration_file`), or a
@@ -332,10 +347,12 @@ class CampaignRunner:
             autotune=self.autotune,
             calibration_hash=calibration_hash,
         )
-        # Recorded for visibility only: the backend is an execution knob,
-        # deliberately outside HASHED_KEYS — sqlite and columnar stores of
-        # the same campaign share one config hash and science digest.
+        # Recorded for visibility only: the backend and pipeline depth are
+        # execution knobs, deliberately outside HASHED_KEYS — sqlite and
+        # columnar stores (at any depth) of the same campaign share one
+        # config hash and science digest.
         self.config["store_backend"] = self.store_backend
+        self.config["pipeline_depth"] = self.pipeline_depth
         self.config_hash = config_hash(self.config)
 
     # ------------------------------------------------------------------
@@ -449,8 +466,21 @@ class CampaignRunner:
                         scoring=self.scoring,
                         prune_spots=self.prune_spots,
                         autotune=self._autotune,
+                        pipeline_depth=self.pipeline_depth,
                     )
-                for shard, items in iter_shards(self.source, self.shard_size):
+                # One shard of lookahead so the current shard's tail can
+                # hint the *next* shard's first ligand — without it, every
+                # shard boundary paid a cold rebind (prefetch miss).
+                shards = iter_shards(self.source, self.shard_size)
+                upcoming = next(shards, None)
+                while upcoming is not None:
+                    shard, items = upcoming
+                    upcoming = next(shards, None)
+                    next_first = (
+                        upcoming[1][0][1]
+                        if upcoming is not None and upcoming[1]
+                        else None
+                    )
                     titled = [
                         (ordinal, ligand, resolve_title(ligand.title, ordinal, seen_titles))
                         for ordinal, ligand in items
@@ -473,17 +503,27 @@ class CampaignRunner:
                             for ordinal, ligand, title in titled
                             if ordinal not in already_done
                         ]
-                        n_failed = 0
-                        for pos, (ordinal, ligand, title) in enumerate(pending):
-                            if self._runtime is not None and pos + 1 < len(pending):
-                                # Double buffer: while this ligand docks, the
-                                # runtime's stager binds and stages the next
-                                # one into the inactive slot bank.
-                                self._runtime.hint_next(pending[pos + 1][1])
-                            ok = self._dock_one(store, spots, ordinal, ligand, title)
-                            session_docked += 1
-                            if not ok:
-                                n_failed += 1
+                        if self._runtime is not None and self.pipeline_depth > 1:
+                            n_failed = self._dock_shard_pipelined(
+                                store, spots, pending, next_first
+                            )
+                            session_docked += len(pending)
+                        else:
+                            n_failed = 0
+                            for pos, (ordinal, ligand, title) in enumerate(pending):
+                                if self._runtime is not None:
+                                    # Double buffer: while this ligand docks,
+                                    # the runtime's stager binds and stages the
+                                    # next one (tail position: the next shard's
+                                    # first) into a free slot bank.
+                                    if pos + 1 < len(pending):
+                                        self._runtime.hint_next(pending[pos + 1][1])
+                                    elif next_first is not None:
+                                        self._runtime.hint_next(next_first)
+                                ok = self._dock_one(store, spots, ordinal, ligand, title)
+                                session_docked += 1
+                                if not ok:
+                                    n_failed += 1
                         shard_s = time.perf_counter() - shard_t0
                         store.finish_shard(shard.shard_id, shard_s)
                         if self.journal is not None:
@@ -560,6 +600,21 @@ class CampaignRunner:
     ) -> bool:
         """Dock one ligand with bounded retry; returns False if it poisoned."""
         store.mark_running(ordinal)
+        factory = (
+            None if self._runtime is None else self._runtime.evaluator_factory
+        )
+        outcome = self._dock_attempts(spots, ordinal, ligand, factory)
+        return self._commit_outcome(store, ordinal, title, outcome)
+
+    def _dock_attempts(
+        self, spots, ordinal: int, ligand: Ligand, evaluator_factory
+    ) -> dict:
+        """The bounded-retry dock loop, store-free (safe on a dock thread).
+
+        Returns an outcome dict for :meth:`_commit_outcome`; never touches
+        the store, so the pipelined scheduler can run it concurrently and
+        commit results in ordinal order from the main thread.
+        """
         delay = self.backoff_base
         for attempt in range(1, self.max_attempts + 1):
             t0 = time.perf_counter()
@@ -577,22 +632,12 @@ class CampaignRunner:
                     host_workers=self.host_workers,
                     parallel_mode=self.parallel_mode,
                     prune_spots=self.prune_spots,
-                    evaluator_factory=(
-                        None
-                        if self._runtime is None
-                        else self._runtime.evaluator_factory
-                    ),
+                    evaluator_factory=evaluator_factory,
                     autotune=self._autotune,
                 )
             except Exception as exc:
                 if attempt >= self.max_attempts:
-                    if self.raise_on_failure:
-                        raise
-                    store.record_failure(
-                        ordinal, title, f"{type(exc).__name__}: {exc}", attempt
-                    )
-                    obs.counter("campaign.ligands.failed").inc()
-                    return False
+                    return {"ok": False, "exc": exc, "attempts": attempt}
                 obs.counter("campaign.retries").inc()
                 flight_event(
                     "dock.retry",
@@ -606,22 +651,105 @@ class CampaignRunner:
             # One clock read for both the histogram and the stored row —
             # they must agree.
             wall_s = time.perf_counter() - t0
-            obs.counter("campaign.ligands.done").inc()
-            obs.histogram("campaign.dock.seconds").observe(wall_s)
-            if self._autotune is not None:
-                self._observe_throughput(result, wall_s)
-            store.record_result(
-                ordinal,
-                title,
-                result.best_score,
-                result.best.spot_index,
-                result.evaluations,
-                wall_seconds=wall_s,
-                simulated_seconds=result.simulated_seconds,
-                attempts=attempt,
-            )
-            return True
+            return {
+                "ok": True,
+                "result": result,
+                "wall_s": wall_s,
+                "attempts": attempt,
+            }
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _commit_outcome(
+        self, store: CampaignStore, ordinal: int, title: str, outcome: dict
+    ) -> bool:
+        """Commit one dock outcome (main thread only); False if it poisoned."""
+        if not outcome["ok"]:
+            exc = outcome["exc"]
+            if self.raise_on_failure:
+                raise exc
+            store.record_failure(
+                ordinal, title, f"{type(exc).__name__}: {exc}", outcome["attempts"]
+            )
+            obs.counter("campaign.ligands.failed").inc()
+            return False
+        result, wall_s = outcome["result"], outcome["wall_s"]
+        obs.counter("campaign.ligands.done").inc()
+        obs.histogram("campaign.dock.seconds").observe(wall_s)
+        if self._autotune is not None:
+            self._observe_throughput(result, wall_s)
+        store.record_result(
+            ordinal,
+            title,
+            result.best_score,
+            result.best.spot_index,
+            result.evaluations,
+            wall_seconds=wall_s,
+            simulated_seconds=result.simulated_seconds,
+            attempts=outcome["attempts"],
+        )
+        return True
+
+    def _dock_shard_pipelined(
+        self, store: CampaignStore, spots, pending: list, next_first
+    ) -> int:
+        """Dock one shard's pending ligands depth-at-a-time; commit in order.
+
+        The bounded in-flight scheduler of the docking pipeline: up to
+        ``pipeline_depth`` ligands hold leases on the shared persistent
+        pool, each docking on its own thread, so one ligand's launches
+        fill another's host-side gaps. The main thread does everything
+        stateful — leases (the first one forks the pool), ``mark_running``,
+        and ordinal-ordered commits — so journal/store/resume semantics are
+        byte-for-byte the serial loop's. Per-ligand seeds and launch
+        sequences are untouched; only inter-ligand interleaving differs.
+        ``next_first`` is the following shard's first ligand, hinted at the
+        shard tail so the boundary rebind is warm.
+        """
+        depth = min(self.pipeline_depth, max(1, len(pending)))
+        n_failed = 0
+        submit_pos = 0
+        inflight: dict[int, tuple] = {}  # ordinal -> (future, lease)
+        executor = ThreadPoolExecutor(
+            max_workers=depth, thread_name_prefix="dock-pipeline"
+        )
+
+        def docked(ordinal, ligand, lease, lane):
+            with obs.span("campaign.pipeline.dock", ordinal=ordinal, pipeline_lane=lane):
+                return self._dock_attempts(
+                    spots, ordinal, ligand, lease.evaluator_factory
+                )
+
+        try:
+            for commit_pos, (ordinal, ligand, title) in enumerate(pending):
+                while submit_pos < len(pending) and len(inflight) < depth:
+                    next_ordinal, next_ligand, _ = pending[submit_pos]
+                    # Hint before leasing: lease() kicks the stager for the
+                    # ligand after this one as its last step.
+                    if submit_pos + 1 < len(pending):
+                        self._runtime.hint_next(pending[submit_pos + 1][1])
+                    elif next_first is not None:
+                        self._runtime.hint_next(next_first)
+                    store.mark_running(next_ordinal)
+                    lease = self._runtime.lease(next_ligand)
+                    future = executor.submit(
+                        docked, next_ordinal, next_ligand, lease, submit_pos % depth
+                    )
+                    inflight[next_ordinal] = (future, lease)
+                    submit_pos += 1
+                future, lease = inflight.pop(ordinal)
+                try:
+                    outcome = future.result()
+                finally:
+                    lease.release()
+                if not self._commit_outcome(store, ordinal, title, outcome):
+                    n_failed += 1
+        finally:
+            # Error path: let started docks drain (their pool is still
+            # alive), then free any leases the commits never reached.
+            executor.shutdown(wait=True, cancel_futures=True)
+            for future, lease in inflight.values():
+                lease.release()
+        return n_failed
 
     def _observe_throughput(self, result, wall_s: float) -> None:
         """Feed measured poses/s back into the autotune controller.

@@ -227,6 +227,9 @@ class CampaignStore:
         """Close the database connection."""
         self._conn.close()
 
+    def wait_for_compaction(self) -> None:
+        """No-op: SQLite has no tiered compaction (columnar-store parity)."""
+
     def __enter__(self) -> "CampaignStore":
         return self
 

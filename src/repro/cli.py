@@ -87,6 +87,16 @@ def _add_host_runtime_args(
         help="score each spot against its active-site receptor subset "
         "(exact for the default cutoff scoring)",
     )
+    sub.add_argument(
+        "--pipeline-depth",
+        type=_positive_int,
+        default=2,
+        metavar="D",
+        help="co-schedule up to D ligands through the persistent pool so "
+        "one ligand's barrier tails overlap another's scoring (default 2; "
+        "1 = strictly serial ligand loop; only affects multi-ligand runs; "
+        "results are bitwise identical at every depth)",
+    )
     if pool_flag:
         sub.add_argument(
             "--fresh-pool",
@@ -399,6 +409,14 @@ def build_parser() -> argparse.ArgumentParser:
     # Execution knobs may change between run and resume — scores cannot.
     cres.add_argument("--host-workers", type=_nonnegative_int, default=0, metavar="N")
     cres.add_argument("--parallel-mode", choices=("static", "dynamic"), default="static")
+    cres.add_argument(
+        "--pipeline-depth",
+        type=_positive_int,
+        default=2,
+        metavar="D",
+        help="co-schedule up to D ligands through the persistent pool for "
+        "the rest of the campaign (default 2; 1 = serial ligand loop)",
+    )
     cres.add_argument(
         "--fresh-pool",
         action="store_true",
@@ -784,6 +802,7 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         persistent_pool=not args.fresh_pool,
         autotune=args.autotune,
         calibration_file=args.calibration_file,
+        pipeline_depth=args.pipeline_depth,
     )
     print(report.to_text())
     _maybe_write_metrics(args)
@@ -985,6 +1004,7 @@ def _new_campaign_runner(
         receptor_descriptor=receptor_descriptor,
         nodes=nodes,
         cluster=cluster,
+        pipeline_depth=getattr(args, "pipeline_depth", 2),
     )
 
 
@@ -1045,6 +1065,7 @@ def _rebuild_campaign_runner(
         receptor_descriptor=receptor_desc,
         nodes=nodes,
         cluster=cluster,
+        pipeline_depth=getattr(args, "pipeline_depth", 2),
     )
 
 

@@ -33,13 +33,24 @@ arithmetic is identical to its serial counterpart.
 whole screening; a campaign should likewise pay for pool spawn, receptor
 staging and warm-up once, not per ligand. With ``persistent=True`` the
 evaluator keeps the receptor-side arrays in the long-lived
-:class:`SharedArrayStage` and routes the ligand-varying arrays through two
-:class:`LigandSlotStage` banks (double-buffered: ligand *i+1* can be staged
-while *i* docks). Each rebind bumps a version and every task carries the
-versioned rebind message, so workers swap scorers lazily in place — no
-process churn, no receptor restage, and the Eq. 1 weights survive until an
-explicit re-measure. :class:`PersistentHostRuntime` packages that into the
-campaign-facing lifecycle (``acquire``/``hint_next``/``evaluator_factory``).
+:class:`SharedArrayStage` and routes the ligand-varying arrays through
+``slot_banks`` :class:`LigandSlotStage` banks (two by default — the classic
+double buffer: ligand *i+1* staged while *i* docks). Each bind bumps a
+version and every task carries the versioned rebind message, so workers
+swap scorers lazily in place — no process churn, no receptor restage, and
+the Eq. 1 weights survive until an explicit re-measure.
+
+**Docking pipeline** — with more than two banks, several ligands can be
+*resident at once*: :meth:`ParallelSpotEvaluator.stage_ligand` /
+:meth:`~ParallelSpotEvaluator.bind_ligand` hand out independent
+:class:`_LigandBinding` versions, and :meth:`~ParallelSpotEvaluator.submit`
+/ :meth:`~ParallelSpotEvaluator.harvest` split the old synchronous
+``evaluate()`` barrier into a ticketed pair, so one ligand's poses fill the
+queue while another ligand's metaheuristic does host-side bookkeeping.
+Workers key a small scorer cache by version and evict entries the rebind
+message no longer lists as live. :class:`PersistentHostRuntime` packages
+all of it into the campaign-facing lifecycle
+(``acquire``/``lease``/``hint_next``/``evaluator_factory``).
 """
 
 from __future__ import annotations
@@ -48,8 +59,9 @@ import contextlib
 import multiprocessing as mp
 import os
 import pickle
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -75,6 +87,8 @@ __all__ = [
     "SharedArrayStage",
     "LigandSlotStage",
     "HostWarmupResult",
+    "LaunchTicket",
+    "LigandLease",
     "ParallelSpotEvaluator",
     "PersistentHostRuntime",
     "stage_scorer",
@@ -105,6 +119,10 @@ DEFAULT_DRIFT_THRESHOLD: float = 0.25
 #: Headroom factor when sizing a reusable ligand slot, so ligands a little
 #: larger than the last one reuse the segment instead of retiring it.
 _SLOT_GROWTH: float = 1.5
+
+#: Longest a blocking slot-bank reservation waits for a binding release
+#: before concluding the pipeline is wedged (leaked leases, usually).
+_BANK_WAIT_S: float = 120.0
 
 
 # ----------------------------------------------------------------------
@@ -509,7 +527,7 @@ def _worker_init(spec, claim, ready, slots, warm) -> None:
     scorer = None
     if spec is not None:
         scorer = rebuild_scorer(spec)
-        _WORKER.update(scorer=scorer, version=0)
+        _WORKER.update(scorer=scorer, version=0, scorers={0: scorer})
     if warm is not None and scorer is not None:
         translations, quaternions, repeats = warm
         scorer.score(translations, quaternions)  # page in tables, warm BLAS
@@ -524,16 +542,34 @@ def _worker_init(spec, claim, ready, slots, warm) -> None:
             ready.value += 1
 
 
-def _worker_rebind(version: int, spec: dict, retired: tuple[str, ...]) -> None:
-    """Swap a new ligand in place (worker side).
+def _worker_rebind(
+    version: int,
+    spec: dict,
+    retired: tuple[str, ...],
+    live: tuple[int, ...] | None = None,
+) -> None:
+    """Swap a ligand's scorer in place (worker side).
 
-    Rebuilds the scorer from the rebind spec — receptor-side handles hit
-    the attachment cache, so only the small ligand views are re-made — then
-    drops cached attachments for retired (outgrown) slot segments. The
+    Scorers are cached by slot version: under the docking pipeline several
+    ligands are live at once and consecutive tasks ping-pong between their
+    versions, so a switch back to a version this worker already built is a
+    dict lookup, not a rebuild. A first-seen version rebuilds from the spec
+    — receptor-side handles hit the attachment cache, so only the small
+    ligand views are re-made. ``live`` (when present) names every version
+    still bound in the parent; cached scorers outside it are evicted, and
+    attachments for retired (outgrown) slot segments are dropped. The
     cumulative retired list makes this correct for workers that skipped
     intermediate versions or were recycled in with no scorer at all.
     """
-    _WORKER.update(scorer=rebuild_scorer(spec), version=version)
+    scorers = _WORKER.setdefault("scorers", {})
+    scorer = scorers.get(version)
+    if scorer is None:
+        scorer = rebuild_scorer(spec)
+        scorers[version] = scorer
+    _WORKER.update(scorer=scorer, version=version)
+    if live is not None:
+        for stale in [v for v in scorers if v != version and v not in live]:
+            del scorers[stale]
     cache = _WORKER.setdefault("segments", {})
     for name in retired:
         shm = cache.pop(name, None)
@@ -552,9 +588,8 @@ def _measure_task(rebind, warm, timeout_s: float) -> int:
     one measurement to each process. The parent reset ``ready`` to zero
     before the round (no tasks are in flight between launches).
     """
-    version, spec, retired = rebind
-    if _WORKER.get("version") != version:
-        _worker_rebind(version, spec, retired)
+    if _WORKER.get("version") != rebind[0]:
+        _worker_rebind(*rebind)
     scorer = _WORKER["scorer"]
     index = _WORKER["index"]
     translations, quaternions, repeats = warm
@@ -602,16 +637,16 @@ _POSE_COUNT_EDGES: tuple[float, ...] = tuple(float(4**k) for k in range(10))
 
 def _run_tasks(
     tasks: list[tuple[str, int, np.ndarray, np.ndarray]],
-    rebind: tuple[int, dict, tuple[str, ...]] | None = None,
+    rebind: tuple[int, dict, tuple[str, ...], tuple[int, ...]] | None = None,
 ) -> tuple[list[np.ndarray], dict | None]:
     """Score this worker's share of a launch: a list of (mode, spot, t, q).
 
     ``rebind`` is the persistent runtime's versioned rebind message
-    ``(version, spec, retired_segment_names)``; a worker whose cached
-    scorer is stale (or that was recycled in with none) rebuilds in place
-    before scoring. Rebuilding is pure attachment bookkeeping — the staged
-    bytes are what they are — so the energies stay bitwise identical to a
-    fresh pool's.
+    ``(version, spec, retired_segment_names, live_versions)``; a worker
+    whose current scorer is a different version switches (or rebuilds) in
+    place before scoring — see :func:`_worker_rebind`. Rebuilding is pure
+    attachment bookkeeping — the staged bytes are what they are — so the
+    energies stay bitwise identical to a fresh pool's.
 
     Returns ``(score_arrays, stats)``. ``stats`` is the worker's telemetry
     for this task — a local snapshot document plus the task's monotonic
@@ -692,6 +727,51 @@ class _Job:
     rows: np.ndarray  # positions in the launch's pose batch
 
 
+@dataclass(frozen=True, eq=False)
+class _LigandBinding:
+    """One ligand resident in a slot bank, addressable by version.
+
+    The pipeline's unit of residency: :meth:`ParallelSpotEvaluator.bind_ligand`
+    mints one per staged ligand, every :meth:`~ParallelSpotEvaluator.submit`
+    names one, and :meth:`~ParallelSpotEvaluator.release_binding` frees its
+    bank for the next ligand. ``spec`` is ``None`` only for the
+    non-persistent evaluator's synthetic binding (no banks, no rebind).
+    """
+
+    version: int
+    bank: int
+    spec: dict | None
+    scorer: BoundScorer
+
+
+class LaunchTicket:
+    """One in-flight launch: the handle between ``submit`` and ``harvest``.
+
+    Holds the jobs' futures, the preallocated output array, and the launch
+    span (opened at submit, closed at harvest, so the traced duration spans
+    queue wait + scoring). Submit and harvest a ticket from the *same*
+    thread — the span nests on the submitting thread's stack.
+    """
+
+    __slots__ = (
+        "binding", "n", "kind", "epoch", "out", "pending", "n_jobs",
+        "span", "span_tags", "done", "registered",
+    )
+
+    def __init__(self, binding: _LigandBinding, n: int, kind: str, epoch: int) -> None:
+        self.binding = binding
+        self.n = n
+        self.kind = kind
+        self.epoch = epoch
+        self.out: np.ndarray | None = None
+        self.pending: list = []  # (jobs_bucket, submit_s, Future) triples
+        self.n_jobs = 0
+        self.span = None
+        self.span_tags: dict | None = None
+        self.done = False
+        self.registered = False  # counted in the evaluator's in-flight map
+
+
 class ParallelSpotEvaluator:
     """Evaluator that scores launches across a persistent process pool.
 
@@ -718,10 +798,14 @@ class ParallelSpotEvaluator:
         Size of the Eq. 1 measurement.
     persistent:
         Keep the pool ligand-swappable: ligand-varying arrays go through
-        two double-buffered :class:`LigandSlotStage` banks and
-        :meth:`rebind` swaps a new ligand in without touching the pool,
-        the staged receptor, or the warm-up weights. A crashed pool is
-        then :meth:`recycle`-d instead of closed.
+        reusable :class:`LigandSlotStage` banks and :meth:`rebind` (or the
+        pipeline's :meth:`bind_ligand`) swaps a new ligand in without
+        touching the pool, the staged receptor, or the warm-up weights. A
+        crashed pool is then :meth:`recycle`-d instead of closed.
+    slot_banks:
+        Number of ligand slot banks (persistent only, ≥ 2). Two is the
+        classic double buffer; a depth-``D`` docking pipeline wants
+        ``D + 1`` so D ligands are resident while the next one stages.
 
     Use as a context manager, or call :meth:`close`; shared segments are
     unlinked on close and on worker-pool failure.
@@ -736,11 +820,14 @@ class ParallelSpotEvaluator:
         warmup_poses: int = DEFAULT_WARMUP_POSES,
         warmup_repeats: int = DEFAULT_WARMUP_REPEATS,
         persistent: bool = False,
+        slot_banks: int = 2,
     ) -> None:
         if n_workers < 1:
             raise ScoringError(f"n_workers must be >= 1, got {n_workers}")
         if mode not in ("static", "dynamic"):
             raise ScoringError(f"mode must be 'static' or 'dynamic', got {mode!r}")
+        if persistent and slot_banks < 2:
+            raise ScoringError(f"slot_banks must be >= 2, got {slot_banks}")
         if "fork" not in mp.get_all_start_methods():  # pragma: no cover
             raise ScoringError(
                 "the parallel host runtime requires the 'fork' start method "
@@ -752,15 +839,26 @@ class ParallelSpotEvaluator:
         self.persistent = bool(persistent)
         self.stats = EvaluationStats()
         self._stage = SharedArrayStage()
-        self._banks: tuple[LigandSlotStage, LigandSlotStage] | None = (
-            (LigandSlotStage("a"), LigandSlotStage("b")) if self.persistent else None
+        self._banks: list[LigandSlotStage] | None = (
+            [LigandSlotStage(f"b{i}x") for i in range(int(slot_banks))]
+            if self.persistent
+            else None
         )
-        self._active_bank = 0
         self._receptor_cache: dict[str, ArrayHandle] | None = (
             {} if self.persistent else None
         )
         self._version = 0
-        self._rebind_msg: tuple[int, dict, tuple[str, ...]] | None = None
+        # Bank/binding bookkeeping and the in-flight launch map share one
+        # condition: bank release notifies blocked reservations.
+        self._lock = threading.Condition()
+        self._bank_free: list[bool] = [False] + [True] * (int(slot_banks) - 1)
+        self._bindings: dict[int, _LigandBinding] = {}
+        self._active: _LigandBinding | None = None
+        self._inflight: dict[int, int] = {}  # binding version -> live tickets
+        self._idle_mark: float | None = None
+        self._pool_epoch = 0
+        self._recycle_lock = threading.Lock()
+        self._obs_lock = threading.Lock()  # serializes telemetry merges
         self._drift_poses = np.zeros(self.n_workers)
         self._pool: ProcessPoolExecutor | None = None
         try:
@@ -770,8 +868,14 @@ class ParallelSpotEvaluator:
                 ligand_stage=self._banks[0] if self.persistent else None,
                 receptor_cache=self._receptor_cache,
             )
+            self._active = _LigandBinding(
+                version=0,
+                bank=0 if self.persistent else -1,
+                spec=spec if self.persistent else None,
+                scorer=scorer,
+            )
             if self.persistent:
-                self._rebind_msg = (0, spec, ())
+                self._bindings[0] = self._active
             ctx = mp.get_context("fork")
             self._ctx = ctx
             self._claim = ctx.Value("q", 0)
@@ -788,6 +892,7 @@ class ParallelSpotEvaluator:
             )
             self.warmup_result = self._spawn_and_warm(self._slots, timed=warmup)
             self.weights = self.warmup_result.weights
+            self._idle_mark = time.monotonic()
         except BaseException:
             self.close()
             raise
@@ -852,7 +957,7 @@ class ParallelSpotEvaluator:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def _plan(self, spot_ids: np.ndarray) -> list[_Job]:
+    def _plan(self, spot_ids: np.ndarray, scorer: BoundScorer) -> list[_Job]:
         """Split one launch along serial-equivalent boundaries.
 
         Spot-aware scorers group by spot serially, so the job unit is the
@@ -862,7 +967,7 @@ class ParallelSpotEvaluator:
         chunks the serial loop would have computed).
         """
         n = spot_ids.shape[0]
-        if self.scorer.supports_spot_scoring:
+        if scorer.supports_spot_scoring:
             order = np.argsort(spot_ids, kind="stable")
             sorted_ids = spot_ids[order]
             jobs = []
@@ -876,7 +981,7 @@ class ParallelSpotEvaluator:
                 )
                 start = end
             return jobs
-        chunk = self.scorer.chunk_size
+        chunk = scorer.chunk_size
         jobs = []
         run_lo = 0
         run_spot = int(spot_ids[0])
@@ -912,9 +1017,43 @@ class ParallelSpotEvaluator:
         quaternions: np.ndarray,
         kind: str = "population",
     ) -> np.ndarray:
-        """Score one launch across the pool; record it like the serial path."""
+        """Score one launch across the pool; record it like the serial path.
+
+        The synchronous barrier form: ``harvest(submit(...))`` against the
+        active binding. The docking pipeline keeps the two halves apart so
+        another ligand's poses can fill the gap.
+        """
+        return self.harvest(self.submit(spot_ids, translations, quaternions, kind))
+
+    def submit(
+        self,
+        spot_ids: np.ndarray,
+        translations: np.ndarray,
+        quaternions: np.ndarray,
+        kind: str = "population",
+        *,
+        binding: _LigandBinding | None = None,
+        stats: EvaluationStats | None = None,
+    ) -> LaunchTicket:
+        """Queue one launch without blocking; returns its :class:`LaunchTicket`.
+
+        ``binding`` selects which resident ligand the poses belong to
+        (default: the active one); ``stats`` the launch trace to record
+        into (default: the evaluator's own — per-ligand pipelines pass
+        their own so traces stay bitwise identical to a serial run's).
+        """
         if self._pool is None:
             raise ScoringError("parallel evaluator is closed")
+        if binding is None:
+            binding = self._active
+        if binding is None:
+            raise ScoringError("no active ligand binding (was it released?)")
+        if self.persistent and self._bindings.get(binding.version) is not binding:
+            raise ScoringError(
+                f"launch submitted against released ligand binding v{binding.version}"
+            )
+        if stats is None:
+            stats = self.stats
         spot_ids = np.asarray(spot_ids)
         translations = np.asarray(translations, dtype=FLOAT_DTYPE)
         quaternions = np.asarray(quaternions, dtype=FLOAT_DTYPE)
@@ -923,110 +1062,163 @@ class ParallelSpotEvaluator:
                 f"{spot_ids.shape[0]} spot ids for {translations.shape[0]} poses"
             )
         unique, counts = np.unique(spot_ids, return_counts=True)
-        self.stats.record(
+        stats.record(
             LaunchRecord(
                 n_conformations=int(translations.shape[0]),
-                flops_per_pose=self.scorer.flops_per_pose,
+                flops_per_pose=binding.scorer.flops_per_pose,
                 spot_counts={int(s): int(c) for s, c in zip(unique, counts)},
                 kind=kind,
-                n_receptor_atoms=self.scorer.receptor.n_atoms,
+                n_receptor_atoms=binding.scorer.receptor.n_atoms,
             )
         )
-        n = translations.shape[0]
+        n = int(translations.shape[0])
+        ticket = LaunchTicket(binding=binding, n=n, kind=kind, epoch=self._pool_epoch)
         if n == 0:
-            return np.empty(0, dtype=FLOAT_DTYPE)
-        jobs = self._plan(spot_ids)
-        out = np.empty(n, dtype=FLOAT_DTYPE)
+            ticket.out = np.empty(0, dtype=FLOAT_DTYPE)
+            ticket.done = True
+            return ticket
+        jobs = self._plan(spot_ids, binding.scorer)
+        ticket.out = np.empty(n, dtype=FLOAT_DTYPE)
+        ticket.n_jobs = len(jobs)
         obs.counter("host.launches", mode=self.mode).inc()
         obs.counter("host.poses", mode=self.mode).inc(n)
         for job in jobs:
             obs.histogram("host.job.poses", edges=_POSE_COUNT_EDGES).observe(
                 job.rows.size
             )
+        rebind = self._binding_message(binding) if self.persistent else None
+        span = obs.span("host.launch", mode=self.mode, kind=kind, poses=n)
+        ticket.span = span
+        ticket.span_tags = span.__enter__()
+        try:
+            if self.mode == "static":
+                for bucket in self._assign(jobs):
+                    if not bucket:
+                        continue
+                    tasks = [
+                        (job.mode, job.spot, translations[job.rows], quaternions[job.rows])
+                        for job in bucket
+                    ]
+                    submit_s = time.monotonic()
+                    ticket.pending.append(
+                        (bucket, submit_s, self._pool.submit(_run_tasks, tasks, rebind))
+                    )
+            else:  # dynamic: one task per job, largest first, stolen freely
+                order = sorted(
+                    range(len(jobs)), key=lambda i: (-jobs[i].rows.size, jobs[i].spot)
+                )
+                for i in order:
+                    job = jobs[i]
+                    task = (job.mode, job.spot, translations[job.rows], quaternions[job.rows])
+                    submit_s = time.monotonic()
+                    ticket.pending.append(
+                        ([job], submit_s, self._pool.submit(_run_tasks, [task], rebind))
+                    )
+        except (BrokenProcessPool, RuntimeError) as exc:
+            # RuntimeError: pool shut down under us (a sibling ticket's
+            # recycle); both resolve the same way.
+            self._finish_ticket(ticket)
+            self._pool_failure(ticket.epoch, exc)
+        except BaseException:
+            self._finish_ticket(ticket)
+            raise
+        with self._lock:
+            now = time.monotonic()
+            if not self._inflight and self._idle_mark is not None:
+                # the pool sat idle between the last harvest and this submit
+                obs.counter("host.pool.idle.seconds").inc(max(0.0, now - self._idle_mark))
+            if any(version != binding.version for version in self._inflight):
+                # poses overlapping another resident ligand's in-flight work:
+                # the pipeline is actually filling barrier gaps
+                obs.counter("host.pipeline.fill.poses").inc(n)
+            self._inflight[binding.version] = self._inflight.get(binding.version, 0) + 1
+            ticket.registered = True
+        return ticket
+
+    def poll(self, ticket: LaunchTicket) -> bool:
+        """True once ``ticket``'s futures are all settled (harvest won't block)."""
+        return ticket.done or all(future.done() for _, _, future in ticket.pending)
+
+    def harvest(self, ticket: LaunchTicket) -> np.ndarray:
+        """Block on a submitted launch and return its energies.
+
+        Folds the workers' telemetry snapshots into this process's session
+        and closes the ticket's launch span. Harvest from the thread that
+        submitted. Idempotent on success; a pool crash recycles the workers
+        (persistent) and raises a retryable :class:`ScoringError`.
+        """
+        if ticket.done:
+            if ticket.out is None:
+                raise ScoringError("launch ticket already failed")
+            return ticket.out
         stats: list[dict] = []
         try:
-            with obs.span(
-                "host.launch", mode=self.mode, kind=kind, poses=n
-            ) as launch_tags:
-                if self.mode == "static":
-                    buckets = self._assign(jobs)
-                    futures = []
-                    for bucket in buckets:
-                        if not bucket:
-                            continue
-                        tasks = [
-                            (job.mode, job.spot, translations[job.rows], quaternions[job.rows])
-                            for job in bucket
-                        ]
-                        submit_s = time.monotonic()
-                        futures.append(
-                            (
-                                bucket,
-                                submit_s,
-                                self._pool.submit(_run_tasks, tasks, self._rebind_msg),
-                            )
-                        )
-                    for bucket, submit_s, future in futures:
-                        scores_list, stat = future.result()
-                        for job, scores in zip(bucket, scores_list):
-                            out[job.rows] = scores
-                        if stat is not None:
-                            stat["submit_s"] = submit_s
-                            stats.append(stat)
-                else:  # dynamic: one task per job, largest first, stolen freely
-                    order = sorted(
-                        range(len(jobs)), key=lambda i: (-jobs[i].rows.size, jobs[i].spot)
-                    )
-                    futures = []
-                    for i in order:
-                        submit_s = time.monotonic()
-                        futures.append(
-                            (
-                                jobs[i],
-                                submit_s,
-                                self._pool.submit(
-                                    _run_tasks,
-                                    [
-                                        (
-                                            jobs[i].mode,
-                                            jobs[i].spot,
-                                            translations[jobs[i].rows],
-                                            quaternions[jobs[i].rows],
-                                        )
-                                    ],
-                                    self._rebind_msg,
-                                ),
-                            )
-                        )
-                    for job, submit_s, future in futures:
-                        scores_list, stat = future.result()
-                        out[job.rows] = scores_list[0]
-                        if stat is not None:
-                            stat["submit_s"] = submit_s
-                            stats.append(stat)
-                # Harvest inside the launch span so the steal count lands as
-                # a late annotation on its tags (the trace exporter turns it
-                # into an instant event at the launch's end).
-                steals = self._harvest(stats, len(jobs))
-                if steals:
-                    launch_tags["steals"] = steals
-        except BrokenProcessPool as exc:
-            if self.persistent:
-                self.recycle()
-                raise ScoringError(
-                    f"host worker pool crashed mid-launch ({exc}); workers "
-                    "recycled — the staged receptor and Eq. 1 weights survive, "
-                    "retry the launch"
-                ) from exc
+            for bucket, submit_s, future in ticket.pending:
+                scores_list, stat = future.result()
+                for job, scores in zip(bucket, scores_list):
+                    ticket.out[job.rows] = scores
+                if stat is not None:
+                    stat["submit_s"] = submit_s
+                    stats.append(stat)
+            # Harvest inside the launch span so the steal count lands as
+            # a late annotation on its tags (the trace exporter turns it
+            # into an instant event at the launch's end).
+            steals = self._harvest(stats, ticket.n_jobs)
+            if steals and ticket.span_tags is not None:
+                ticket.span_tags["steals"] = steals
+        except (BrokenProcessPool, CancelledError) as exc:
+            ticket.out = None
+            self._finish_ticket(ticket)
+            self._pool_failure(ticket.epoch, exc)
+        except BaseException:
+            ticket.out = None
+            self._finish_ticket(ticket)
+            raise
+        self._finish_ticket(ticket)
+        # Worker-session telemetry just folded in — let any live sampler
+        # record the merge (rate-limited; a cheap registry check otherwise).
+        obs.mark("host.harvest")
+        return ticket.out
+
+    def _finish_ticket(self, ticket: LaunchTicket) -> None:
+        """Close out a ticket: in-flight accounting, idle clock, launch span."""
+        if ticket.done:
+            return
+        ticket.done = True
+        if ticket.registered:
+            with self._lock:
+                left = self._inflight.get(ticket.binding.version, 0) - 1
+                if left > 0:
+                    self._inflight[ticket.binding.version] = left
+                else:
+                    self._inflight.pop(ticket.binding.version, None)
+                if not self._inflight:
+                    self._idle_mark = time.monotonic()
+        if ticket.span is not None:
+            span, ticket.span = ticket.span, None
+            span.__exit__(None, None, None)
+
+    def _pool_failure(self, epoch: int, exc: BaseException) -> None:
+        """Shared crash path: recycle (persistent) or close, raise retryable.
+
+        ``epoch`` is the pool generation the failed ticket was submitted
+        against; with several tickets in flight only the first to notice
+        recycles — the rest see the bumped epoch and just re-raise.
+        """
+        if not self.persistent:
             self.close()
             raise ScoringError(
                 f"host worker pool crashed mid-launch ({exc}); shared-memory "
                 "segments have been released"
             ) from exc
-        # Worker-session telemetry just folded in — let any live sampler
-        # record the merge (rate-limited; a cheap registry check otherwise).
-        obs.mark("host.harvest")
-        return out
+        with self._recycle_lock:
+            if self._pool_epoch == epoch and self._pool is not None:
+                self.recycle()
+        raise ScoringError(
+            f"host worker pool crashed mid-launch ({exc}); workers "
+            "recycled — the staged receptor and Eq. 1 weights survive, "
+            "retry the launch"
+        ) from exc
 
     def _harvest(self, stats: list[dict], n_jobs: int) -> int:
         """Merge per-worker telemetry into this process's session.
@@ -1038,81 +1230,193 @@ class ParallelSpotEvaluator:
         per-worker throughput for this launch, and in dynamic mode the
         steal count (tasks a worker pulled beyond the even per-worker
         share, i.e. work it took from a slower sibling). Returns the
-        launch's steal count (0 outside dynamic mode).
+        launch's steal count (0 outside dynamic mode). Serialized under
+        ``_obs_lock``: concurrent pipeline harvests must not interleave
+        their merges or drift updates.
         """
         if not stats or not obs.enabled():
             return 0
-        tasks_by_worker: dict[int, int] = {}
-        for stat in stats:
-            obs.merge(stat["telemetry"])
-            obs.histogram("host.queue_wait_seconds").observe(
-                max(0.0, stat["started_s"] - stat["submit_s"])
-            )
-            worker = int(stat["worker"])
-            tasks_by_worker[worker] = tasks_by_worker.get(worker, 0) + 1
-            if worker < self._drift_poses.size:
-                # feeds share_drift(): observed pose share vs the Eq. 1
-                # plan, the persistent runtime's re-measure trigger
-                self._drift_poses[worker] += stat["poses"]
-            if stat["busy_s"] > 0:
-                obs.gauge("host.worker.poses_per_s", worker=worker).set(
-                    stat["poses"] / stat["busy_s"]
+        with self._obs_lock:
+            tasks_by_worker: dict[int, int] = {}
+            for stat in stats:
+                obs.merge(stat["telemetry"])
+                obs.histogram("host.queue_wait_seconds").observe(
+                    max(0.0, stat["started_s"] - stat["submit_s"])
                 )
-        if self.mode == "dynamic" and self.n_workers > 1:
-            even_share = -(-n_jobs // self.n_workers)  # ceil
-            steals = sum(
-                max(0, count - even_share) for count in tasks_by_worker.values()
-            )
-            obs.counter("host.steals").inc(steals)
-            return steals
-        return 0
+                worker = int(stat["worker"])
+                tasks_by_worker[worker] = tasks_by_worker.get(worker, 0) + 1
+                if worker < self._drift_poses.size:
+                    # feeds share_drift(): observed pose share vs the Eq. 1
+                    # plan, the persistent runtime's re-measure trigger
+                    self._drift_poses[worker] += stat["poses"]
+                if stat["busy_s"] > 0:
+                    obs.gauge("host.worker.poses_per_s", worker=worker).set(
+                        stat["poses"] / stat["busy_s"]
+                    )
+            if self.mode == "dynamic" and self.n_workers > 1:
+                even_share = -(-n_jobs // self.n_workers)  # ceil
+                steals = sum(
+                    max(0, count - even_share) for count in tasks_by_worker.values()
+                )
+                obs.counter("host.steals").inc(steals)
+                return steals
+            return 0
 
     # ------------------------------------------------------------------
-    # persistent rebind protocol
+    # persistent rebind protocol: versioned ligand bindings over slot banks
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         """Start a fresh launch trace (the persistent runtime calls this per dock)."""
         self.stats = EvaluationStats()
 
-    def stage_inactive(self, scorer: BoundScorer) -> dict:
-        """Stage ``scorer``'s ligand arrays into the *inactive* slot bank.
+    @property
+    def active_binding(self) -> _LigandBinding | None:
+        """The binding :meth:`evaluate` scores against (legacy single-ligand path)."""
+        return self._active
 
-        Safe to run concurrently with an in-flight :meth:`evaluate`: workers
-        only read the active bank, and the receptor-side handle cache was
-        fully populated at construction, so nothing the pool can see is
-        touched. This is the double-buffer half the campaign's prefetch
-        thread runs — ligand *i+1* staged while *i* docks; pair with
-        :meth:`activate`, or call :meth:`rebind` to do both synchronously.
+    @property
+    def inflight_launches(self) -> int:
+        """Live (submitted, unharvested) tickets across every binding."""
+        with self._lock:
+            return sum(self._inflight.values())
+
+    def _reserve_bank(self, blocking: bool = True) -> int | None:
+        """Claim a free slot bank; block for one (or return None) if all busy."""
+        deadline = time.monotonic() + _BANK_WAIT_S
+        with self._lock:
+            while True:
+                for i, free in enumerate(self._bank_free):
+                    if free:
+                        self._bank_free[i] = False
+                        return i
+                if not blocking:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._lock.wait(timeout=remaining):
+                    raise ScoringError(
+                        f"no ligand slot bank freed within {_BANK_WAIT_S:.0f}s: "
+                        f"{len(self._bindings)} live bindings on "
+                        f"{len(self._banks)} banks — release a binding or "
+                        "raise pipeline_depth"
+                    )
+
+    def stage_ligand(self, scorer: BoundScorer, *, blocking: bool = True) -> dict | None:
+        """Stage ``scorer``'s ligand arrays into a free slot bank.
+
+        Safe to run concurrently with in-flight launches: workers only read
+        banks whose bindings are live, and the receptor-side handle cache
+        was fully populated at construction. Returns the staged spec (its
+        bank rides in ``spec["_slot_bank"]``) for :meth:`bind_ligand`, or
+        ``None`` when ``blocking=False`` and every bank is taken (the
+        prefetch thread's case — a miss, not an error). An unwanted spec
+        must go back through :meth:`discard_staged` or its bank leaks.
+        """
+        if not self.persistent:
+            raise ScoringError("stage_ligand requires persistent=True")
+        bank = self._reserve_bank(blocking=blocking)
+        if bank is None:
+            return None
+        try:
+            spec = stage_scorer(
+                scorer,
+                self._stage,
+                ligand_stage=self._banks[bank],
+                receptor_cache=self._receptor_cache,
+            )
+        except BaseException:
+            with self._lock:
+                self._bank_free[bank] = True
+                self._lock.notify_all()
+            raise
+        spec["_slot_bank"] = bank
+        return spec
+
+    def discard_staged(self, spec: dict | None) -> None:
+        """Return a staged-but-never-bound spec's bank to the free list."""
+        bank = spec.get("_slot_bank") if spec else None
+        if bank is None:
+            return
+        with self._lock:
+            if not any(b.bank == bank for b in self._bindings.values()):
+                self._bank_free[bank] = True
+                self._lock.notify_all()
+
+    def bind_ligand(self, scorer: BoundScorer, spec: dict) -> _LigandBinding:
+        """Mint a live binding for a staged ligand (pipeline path).
+
+        The binding is *additional*: nothing else is released, so up to
+        ``slot_banks`` ligands can be resident at once. Pair every bind
+        with a :meth:`release_binding` or the pipeline runs out of banks.
+        """
+        if not self.persistent:
+            raise ScoringError("bind_ligand requires persistent=True")
+        if self._pool is None:
+            raise ScoringError("parallel evaluator is closed")
+        bank = spec.get("_slot_bank")
+        if bank is None:
+            raise ScoringError("bind_ligand needs a spec from stage_ligand")
+        with self._lock:
+            self._version += 1
+            binding = _LigandBinding(
+                version=self._version, bank=int(bank), spec=spec, scorer=scorer
+            )
+            self._bindings[binding.version] = binding
+        obs.counter("host.pool.reuses").inc()
+        return binding
+
+    def release_binding(self, binding: _LigandBinding) -> None:
+        """Retire a binding and free its bank for the next ligand. Idempotent."""
+        with self._lock:
+            live = self._bindings.pop(binding.version, None)
+            if live is not None and 0 <= binding.bank < len(self._bank_free):
+                self._bank_free[binding.bank] = True
+            if self._active is binding:
+                self._active = None
+            self._lock.notify_all()
+
+    def _binding_message(self, binding: _LigandBinding) -> tuple:
+        """The versioned rebind message every one of this binding's tasks carries.
+
+        ``(version, spec, retired_segments, live_versions)`` — cumulative
+        retired list across all banks (workers drop outgrown attachments no
+        matter how many versions they skipped), live set so workers evict
+        scorers for released ligands.
+        """
+        with self._lock:
+            retired: tuple[str, ...] = ()
+            for bank in self._banks:
+                retired += tuple(bank.retired)
+            live = tuple(sorted(self._bindings))
+        return (binding.version, binding.spec, retired, live)
+
+    # -- legacy double-buffer surface (depth-1 campaigns, existing tests) --
+    def stage_inactive(self, scorer: BoundScorer) -> dict:
+        """Stage ``scorer``'s ligand arrays into a free (inactive) slot bank.
+
+        The double-buffer half the campaign's prefetch thread runs —
+        ligand *i+1* staged while *i* docks; pair with :meth:`activate`,
+        or call :meth:`rebind` to do both synchronously.
         """
         if not self.persistent:
             raise ScoringError("stage_inactive requires persistent=True")
-        return stage_scorer(
-            scorer,
-            self._stage,
-            ligand_stage=self._banks[1 - self._active_bank],
-            receptor_cache=self._receptor_cache,
-        )
+        return self.stage_ligand(scorer)
 
     def activate(self, scorer: BoundScorer, spec: dict) -> None:
-        """Swap the staged inactive bank in and refresh the rebind message.
+        """Swap the staged bank in as the single active ligand.
 
         Call only between launches. Workers learn about the swap lazily:
         every task carries the versioned rebind message, so a stale (or
-        freshly recycled) worker rebuilds before scoring, and the
-        cumulative retired-segment list lets it drop outgrown attachments
-        no matter how many versions it skipped.
+        freshly recycled) worker rebuilds before scoring.
         """
         if not self.persistent:
             raise ScoringError("activate requires persistent=True")
         if self._pool is None:
             raise ScoringError("parallel evaluator is closed")
-        self._active_bank = 1 - self._active_bank
-        self._version += 1
-        retired = tuple(self._banks[0].retired) + tuple(self._banks[1].retired)
-        self._rebind_msg = (self._version, spec, retired)
+        old, self._active = self._active, self.bind_ligand(scorer, spec)
+        if old is not None:
+            self.release_binding(old)
         self.scorer = scorer
         self.reset_stats()
-        obs.counter("host.pool.reuses").inc()
 
     def rebind(self, scorer: BoundScorer) -> None:
         """Swap a new ligand in without touching pool, receptor, or warm-up."""
@@ -1142,6 +1446,14 @@ class ParallelSpotEvaluator:
             raise ScoringError("remeasure requires persistent=True")
         if self._pool is None:
             raise ScoringError("parallel evaluator is closed")
+        if self._active is None:
+            raise ScoringError("remeasure needs an active binding")
+        with self._lock:
+            if self._inflight:
+                raise ScoringError(
+                    "remeasure requires an idle pool (launches are in flight)"
+                )
+        rebind = self._binding_message(self._active)
         warm = self._warm if self._warm is not None else self._warmup_batch(
             DEFAULT_WARMUP_POSES, DEFAULT_WARMUP_REPEATS
         )
@@ -1150,9 +1462,7 @@ class ParallelSpotEvaluator:
             with self._ready.get_lock():
                 self._ready.value = 0
             futures = [
-                self._pool.submit(
-                    _measure_task, self._rebind_msg, warm, _WARMUP_TIMEOUT_S
-                )
+                self._pool.submit(_measure_task, rebind, warm, _WARMUP_TIMEOUT_S)
                 for _ in range(self.n_workers)
             ]
             try:
@@ -1210,6 +1520,9 @@ class ParallelSpotEvaluator:
             raise ScoringError(
                 f"host worker pool could not be recycled: {exc}"
             ) from exc
+        with self._lock:
+            self._pool_epoch += 1
+            self._idle_mark = time.monotonic()
         obs.counter("host.pool.recycles").inc()
 
     # ------------------------------------------------------------------
@@ -1247,6 +1560,76 @@ class ParallelSpotEvaluator:
             pass
 
 
+class _BindingEvaluator:
+    """Per-ligand Evaluator view over one shared :class:`ParallelSpotEvaluator`.
+
+    What a :class:`LigandLease` hands to ``dock()``: implements the
+    Evaluator protocol (``evaluate`` + ``stats``) by routing every launch
+    through the shared pool with this ligand's binding and its *own*
+    launch-trace stats — so the per-ligand trace is bitwise identical to a
+    run that had the pool to itself. Never closed by dock (the runtime owns
+    the pool); a fresh view per dock attempt gives retries a fresh trace.
+    """
+
+    def __init__(self, evaluator: ParallelSpotEvaluator, binding: _LigandBinding) -> None:
+        self._evaluator = evaluator
+        self._binding = binding
+        self.stats = EvaluationStats()
+
+    def evaluate(
+        self,
+        spot_ids: np.ndarray,
+        translations: np.ndarray,
+        quaternions: np.ndarray,
+        kind: str = "population",
+    ) -> np.ndarray:
+        evaluator = self._evaluator
+        return evaluator.harvest(
+            evaluator.submit(
+                spot_ids,
+                translations,
+                quaternions,
+                kind,
+                binding=self._binding,
+                stats=self.stats,
+            )
+        )
+
+
+class LigandLease:
+    """One ligand's residency in the docking pipeline (see ``lease()``).
+
+    Holds the ligand's :class:`_LigandBinding` between :meth:`PersistentHostRuntime.lease`
+    and :meth:`release`; :meth:`evaluator_factory` is the ``dock()`` seam for
+    this ligand only.
+    """
+
+    def __init__(self, runtime: "PersistentHostRuntime", ligand, binding) -> None:
+        self.runtime = runtime
+        self.ligand = ligand
+        self.binding = binding
+        self._released = False
+
+    def evaluator_factory(self, receptor, ligand, spots) -> _BindingEvaluator:
+        """Per-lease ``dock(evaluator_factory=...)``: validates, fresh stats per call."""
+        if self._released:
+            raise ScoringError("ligand lease was already released")
+        self.runtime._validate_complex(receptor, spots)
+        if ligand is not self.ligand:
+            raise ScoringError(
+                "ligand lease was taken for a different ligand "
+                "(one lease per pipelined dock)"
+            )
+        return _BindingEvaluator(self.runtime.evaluator, self.binding)
+
+    def release(self) -> None:
+        """Free this ligand's slot bank for the next one. Idempotent."""
+        if self._released:
+            return
+        self._released = True
+        self.runtime._release_lease(self)
+
+
 # ----------------------------------------------------------------------
 # campaign-owned persistent runtime
 # ----------------------------------------------------------------------
@@ -1259,9 +1642,15 @@ class PersistentHostRuntime:
     * :meth:`acquire` — rebind the pool to a ligand (lazily creating pool +
       receptor staging + Eq. 1 warm-up on the first call) and hand back the
       evaluator with a fresh launch trace.
+    * :meth:`lease` — the docking pipeline's concurrent sibling of
+      ``acquire``: bind a ligand as one of up to ``pipeline_depth``
+      simultaneous residents and get a :class:`LigandLease` whose
+      ``evaluator_factory`` scores only that ligand. Leases from different
+      threads share the pool; their launches interleave freely.
     * :meth:`hint_next` — name ligand *i+1* before docking *i*; a
-      single-thread stager binds it and stages it into the inactive slot
-      bank while the pool scores, so the next :meth:`acquire` is a swap.
+      single-thread stager binds it and stages it into a free slot
+      bank while the pool scores, so the next :meth:`acquire`/:meth:`lease`
+      is a swap.
     * :meth:`evaluator_factory` — the ``dock(evaluator_factory=...)`` seam:
       validates receptor/spots and delegates to :meth:`acquire`.
 
@@ -1289,6 +1678,7 @@ class PersistentHostRuntime:
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
         prefetch: bool = True,
         autotune=None,
+        pipeline_depth: int = 1,
     ) -> None:
         if n_workers < 1:
             raise ScoringError(f"n_workers must be >= 1, got {n_workers}")
@@ -1298,6 +1688,8 @@ class PersistentHostRuntime:
             raise ScoringError(
                 f"remeasure_interval must be >= 1, got {remeasure_interval}"
             )
+        if pipeline_depth < 1:
+            raise ScoringError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
         self.receptor = receptor
         self.spots = list(spots)
         self.n_workers = int(n_workers)
@@ -1316,6 +1708,10 @@ class PersistentHostRuntime:
         self.warmup = bool(warmup)
         self.remeasure_interval = int(remeasure_interval)
         self.drift_threshold = float(drift_threshold)
+        #: How many ligands may be resident at once (slot banks = depth + 1,
+        #: so one more can stage while ``depth`` dock). Depth 1 is the
+        #: legacy serial campaign: one active ligand, double-buffered.
+        self.pipeline_depth = int(pipeline_depth)
         self.ligands_bound = 0
         self._evaluator: ParallelSpotEvaluator | None = None
         self._active_ligand = None
@@ -1323,11 +1719,16 @@ class PersistentHostRuntime:
         self._pending = None  # (hinted ligand, Future[(scorer, spec)])
         self._since_measure = 0
         self._closed = False
+        self._live_leases = 0
+        # Serializes lease/acquire bookkeeping; the stager thread and dock
+        # threads contend on it only for pointer-sized state, never scoring.
+        self._lease_lock = threading.RLock()
         self._stager = (
             ThreadPoolExecutor(max_workers=1, thread_name_prefix="ligand-stage")
             if prefetch
             else None
         )
+        obs.gauge("host.pipeline.depth").set(self.pipeline_depth)
 
     # ------------------------------------------------------------------
     @property
@@ -1346,16 +1747,33 @@ class PersistentHostRuntime:
             scorer = prune_bound(scorer, self.spots)
         return scorer
 
+    def _make_evaluator(self, scorer: BoundScorer) -> ParallelSpotEvaluator:
+        """First bind: spawn the pool (banks sized for the pipeline depth)."""
+        return ParallelSpotEvaluator(
+            scorer,
+            n_workers=self.n_workers,
+            mode=self.mode,
+            warmup=self.warmup,
+            persistent=True,
+            slot_banks=self.pipeline_depth + 1,
+        )
+
     def _bind_and_stage(self, ligand):
-        """Stager-thread job: bind + stage into the inactive bank."""
+        """Stager-thread job: bind + stage into a free slot bank.
+
+        The reservation is non-blocking — with every bank held by live
+        bindings the prefetch simply skips staging (``spec=None``) rather
+        than deadlock the stager behind a dock thread's release.
+        """
         scorer = self._bind(ligand)
-        return scorer, self._evaluator.stage_inactive(scorer)
+        return scorer, self._evaluator.stage_ligand(scorer, blocking=False)
 
     def _take_prefetched(self, ligand):
         """Resolve any pending prefetch; return its (scorer, spec) on a hit.
 
         Always waits the pending future out — the stager thread must be
-        done writing the inactive bank before anyone restages it.
+        done writing its slot bank before anyone restages it. A wrong-ligand
+        hit hands the staged bank straight back (``discard_staged``).
         """
         pending, self._pending = self._pending, None
         if pending is None:
@@ -1370,6 +1788,8 @@ class PersistentHostRuntime:
             return None
         if hinted is not ligand:
             obs.counter("host.prefetch.misses").inc()
+            if self._evaluator is not None:
+                self._evaluator.discard_staged(staged[1])
             return None
         obs.counter("host.prefetch.hits").inc()
         return staged
@@ -1406,6 +1826,11 @@ class PersistentHostRuntime:
         """
         if self._closed:
             raise ScoringError("persistent host runtime is closed")
+        if self._live_leases:
+            raise ScoringError(
+                "acquire() cannot run while pipeline leases are live "
+                "(use lease() for every concurrent ligand)"
+            )
         if self._evaluator is not None and self._active_ligand is ligand:
             self._evaluator.reset_stats()
             obs.counter("host.pool.reuses").inc()
@@ -1414,13 +1839,7 @@ class PersistentHostRuntime:
         prefetched = self._take_prefetched(ligand)
         if self._evaluator is None:
             scorer = prefetched[0] if prefetched is not None else self._bind(ligand)
-            self._evaluator = ParallelSpotEvaluator(
-                scorer,
-                n_workers=self.n_workers,
-                mode=self.mode,
-                warmup=self.warmup,
-                persistent=True,
-            )
+            self._evaluator = self._make_evaluator(scorer)
             self._active_ligand = ligand
             self.ligands_bound = 1
             self._since_measure = 0
@@ -1429,6 +1848,8 @@ class PersistentHostRuntime:
         t0 = time.perf_counter()
         if prefetched is not None:
             scorer, spec = prefetched
+            if spec is None:  # prefetch bound the ligand but found no free bank
+                spec = self._evaluator.stage_ligand(scorer)
             self._evaluator.activate(scorer, spec)
         else:
             self._evaluator.rebind(self._bind(ligand))
@@ -1453,13 +1874,77 @@ class PersistentHostRuntime:
         self._kick_prefetch(ligand)
         return self._evaluator
 
-    def evaluator_factory(self, receptor, ligand, spots) -> ParallelSpotEvaluator:
-        """The ``dock(evaluator_factory=...)`` seam.
+    def lease(self, ligand) -> "LigandLease":
+        """Bind ``ligand`` as one of the pipeline's concurrent residents.
 
-        Validates that dock was called for the receptor/spots this runtime
-        staged, then rebinds the pool to ``ligand``. The evaluator stays
-        owned by the runtime — ``dock()`` must not close it.
+        The pipelined sibling of :meth:`acquire`: up to ``pipeline_depth``
+        leases are live at once, each scoring through its own
+        :class:`_LigandBinding`, so one ligand's launches fill another's
+        host-side gaps. Take leases from the owning (main) thread — the
+        first one forks the worker pool — then dock each lease on its own
+        thread and :meth:`LigandLease.release` it when the ligand commits.
+        The Eq. 1 re-measure triggers (interval / drift) run at the first
+        lease after the pipeline drains, when the pool is briefly idle.
         """
+        if self._closed:
+            raise ScoringError("persistent host runtime is closed")
+        with self._lease_lock:
+            if self._evaluator is None:
+                scorer = self._bind(ligand)
+                self._evaluator = self._make_evaluator(scorer)
+                binding = self._evaluator.active_binding
+                self._active_ligand = ligand
+                self.ligands_bound = 1
+                self._since_measure = 0
+            else:
+                self._active_ligand = None  # leases supersede the acquire pointer
+                staged = self._take_prefetched(ligand)
+                t0 = time.perf_counter()
+                if staged is not None:
+                    scorer, spec = staged
+                    if spec is None:  # bound by the prefetch, banks were full
+                        spec = self._evaluator.stage_ligand(scorer)
+                else:
+                    scorer = self._bind(ligand)
+                    spec = self._evaluator.stage_ligand(scorer)
+                binding = self._evaluator.bind_ligand(scorer, spec)
+                self._evaluator._active = binding  # re-measure target
+                rebind_s = time.perf_counter() - t0
+                obs.histogram("host.rebind.seconds").observe(rebind_s)
+                flight_event(
+                    "pool.rebind",
+                    prefetched=staged is not None,
+                    seconds=round(rebind_s, 6),
+                )
+                self.ligands_bound += 1
+                self._since_measure += 1
+                if (
+                    self.warmup
+                    and self._live_leases == 0
+                    and self._evaluator.inflight_launches == 0
+                    and (
+                        self._since_measure >= self.remeasure_interval
+                        or self._evaluator.share_drift() > self.drift_threshold
+                    )
+                ):
+                    self._evaluator.remeasure()
+                    self._since_measure = 0
+                else:
+                    obs.counter("host.warmup.reuses").inc()
+            self._live_leases += 1
+            lease = LigandLease(self, ligand, binding)
+            self._kick_prefetch(ligand)
+            return lease
+
+    def _release_lease(self, lease: "LigandLease") -> None:
+        with self._lease_lock:
+            self._live_leases -= 1
+        evaluator = self._evaluator
+        if evaluator is not None:
+            evaluator.release_binding(lease.binding)
+
+    def _validate_complex(self, receptor, spots) -> None:
+        """Check dock() was called for the receptor/spots this runtime staged."""
         if receptor is not self.receptor and not np.array_equal(
             receptor.coords, self.receptor.coords
         ):
@@ -1473,6 +1958,15 @@ class PersistentHostRuntime:
                 f"persistent host runtime was staged for spots {mine}, "
                 f"dock() was called with {theirs}"
             )
+
+    def evaluator_factory(self, receptor, ligand, spots) -> ParallelSpotEvaluator:
+        """The ``dock(evaluator_factory=...)`` seam.
+
+        Validates that dock was called for the receptor/spots this runtime
+        staged, then rebinds the pool to ``ligand``. The evaluator stays
+        owned by the runtime — ``dock()`` must not close it.
+        """
+        self._validate_complex(receptor, spots)
         return self.acquire(ligand)
 
     # ------------------------------------------------------------------

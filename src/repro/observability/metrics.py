@@ -23,6 +23,7 @@ twice returns the same instrument.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -138,6 +139,11 @@ class MetricsRegistry:
         self._counters: dict[tuple, Counter] = {}
         self._gauges: dict[tuple, Gauge] = {}
         self._histograms: dict[tuple, Histogram] = {}
+        # Registration and merge are locked: the docking pipeline's threads
+        # register instruments and fold worker snapshots concurrently, and
+        # two racing get-or-creates must never hand out two instruments for
+        # one identity (the loser's counts would silently vanish).
+        self._reg_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # registration (idempotent: same identity returns the same instrument)
@@ -146,14 +152,20 @@ class MetricsRegistry:
         key = (name, _tags_key(tags))
         found = self._counters.get(key)
         if found is None:
-            found = self._counters[key] = Counter(name, tags)
+            with self._reg_lock:
+                found = self._counters.get(key)
+                if found is None:
+                    found = self._counters[key] = Counter(name, tags)
         return found
 
     def gauge(self, name: str, **tags) -> Gauge:
         key = (name, _tags_key(tags))
         found = self._gauges.get(key)
         if found is None:
-            found = self._gauges[key] = Gauge(name, tags)
+            with self._reg_lock:
+                found = self._gauges.get(key)
+                if found is None:
+                    found = self._gauges[key] = Gauge(name, tags)
         return found
 
     def histogram(
@@ -162,10 +174,16 @@ class MetricsRegistry:
         key = (name, _tags_key(tags))
         found = self._histograms.get(key)
         if found is None:
-            found = self._histograms[key] = Histogram(
-                name, tags, edges if edges is not None else DEFAULT_SECONDS_EDGES
-            )
-        elif edges is not None and tuple(edges) != found.edges:
+            with self._reg_lock:
+                found = self._histograms.get(key)
+                if found is None:
+                    found = self._histograms[key] = Histogram(
+                        name,
+                        tags,
+                        edges if edges is not None else DEFAULT_SECONDS_EDGES,
+                    )
+                    return found
+        if edges is not None and tuple(edges) != found.edges:
             raise ObservabilityError(
                 f"histogram {name!r} re-registered with different edges"
             )

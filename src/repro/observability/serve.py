@@ -75,6 +75,25 @@ class CampaignHealth:
         with self._lock:
             self._status = status
 
+    @staticmethod
+    def _pool_idle_fraction(elapsed_seconds) -> float | None:
+        """Fraction of the session the worker pool sat fully idle.
+
+        Derived from the ``host.pool.idle.seconds`` counter (accumulated by
+        the host runtime whenever no launch is in flight) over campaign
+        elapsed time, so the doctor and a future multi-tenant server can see
+        saturation: near 0.0 means the docking pipeline keeps the pool busy,
+        near 1.0 means workers are waiting on the host. ``None`` before any
+        elapsed time (or without a worker pool the counter stays 0, which
+        reads as fully saturated serial execution).
+        """
+        from repro import observability as obs
+
+        if not elapsed_seconds or elapsed_seconds <= 0:
+            return None
+        idle = obs.counter("host.pool.idle.seconds").value
+        return min(1.0, idle / float(elapsed_seconds))
+
     def health(self) -> dict:
         """The ``/healthz`` document for the current state."""
         with self._lock:
@@ -101,6 +120,9 @@ class CampaignHealth:
                 "elapsed_seconds": progress.elapsed_seconds,
                 "ligands_per_second": rate,
                 "eta_seconds": eta,
+                "pool_idle_fraction": self._pool_idle_fraction(
+                    progress.elapsed_seconds
+                ),
             }
             # Distributed campaigns report a per-node table
             # (ClusterProgress.nodes): id, state, weight, done/failed, plus

@@ -10,10 +10,17 @@ bound: past the cap, spans are counted (``dropped``) instead of stored.
 Like the metrics registry, a tracer never crosses a process boundary live:
 workers snapshot their spans and the parent merges them (ids are offset so
 parent links survive the merge).
+
+Thread model: the nesting stack is *thread-local* (each thread nests its
+own spans; a dock-pipeline thread's spans become roots rather than
+mis-parenting under whatever the main thread happens to have open), while
+id allocation and the completed-record buffer are shared under a lock so
+concurrent threads never collide on ids or lose records.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -50,52 +57,68 @@ class SpanTracer:
         self.max_spans = int(max_spans)
         self.records: list[SpanRecord] = []
         self.dropped = 0
-        self._stack: list[int] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 0
+
+    @property
+    def _stack(self) -> list[int]:
+        """This thread's nesting stack (created lazily per thread)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str, **tags) -> Iterator[dict]:
         """Time a region; yields the (mutable) tag dict for late annotations."""
-        span_id = self._next_id
-        self._next_id += 1
-        parent = self._stack[-1] if self._stack else None
-        depth = len(self._stack)
-        self._stack.append(span_id)
+        stack = self._stack
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = stack[-1] if stack else None
+        depth = len(stack)
+        stack.append(span_id)
         start = self.clock()
         try:
             yield tags
         finally:
             duration = self.clock() - start
-            self._stack.pop()
-            if len(self.records) < self.max_spans:
-                self.records.append(
-                    SpanRecord(
-                        id=span_id,
-                        name=name,
-                        tags=dict(tags),
-                        start_s=start,
-                        duration_s=duration,
-                        parent=parent,
-                        depth=depth,
+            stack.pop()
+            with self._lock:
+                if len(self.records) < self.max_spans:
+                    self.records.append(
+                        SpanRecord(
+                            id=span_id,
+                            name=name,
+                            tags=dict(tags),
+                            start_s=start,
+                            duration_s=duration,
+                            parent=parent,
+                            depth=depth,
+                        )
                     )
-                )
-            else:
-                self.dropped += 1
+                else:
+                    self.dropped += 1
 
     @property
     def current(self) -> int | None:
-        """The id of the innermost open span, or None outside any span.
+        """The id of this thread's innermost open span, or None outside any.
 
         Worker nodes stamp this onto result frames so the coordinator can
         correlate its store-commit span with the remote dock span.
         """
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     # ------------------------------------------------------------------
     # snapshot / merge
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Freeze completed spans into a JSON-safe dict."""
+        with self._lock:
+            records = list(self.records)
+            dropped = self.dropped
         return {
             "spans": [
                 {
@@ -107,9 +130,9 @@ class SpanTracer:
                     "parent": r.parent,
                     "depth": r.depth,
                 }
-                for r in self.records
+                for r in records
             ],
-            "dropped": self.dropped,
+            "dropped": dropped,
         }
 
     def merge(self, snapshot: dict) -> None:
@@ -121,32 +144,34 @@ class SpanTracer:
         merge it would dangle. The child becomes a root span instead —
         merged snapshots never contain orphan parent references.
         """
-        offset = self._next_id
-        max_seen = -1
-        incoming = {int(item["id"]) for item in snapshot.get("spans", ())}
-        for item in snapshot.get("spans", ()):
-            max_seen = max(max_seen, int(item["id"]))
-            if len(self.records) >= self.max_spans:
-                self.dropped += 1
-                continue
-            parent = item.get("parent")
-            if parent is not None:
-                parent = int(parent) + offset if int(parent) in incoming else None
-            self.records.append(
-                SpanRecord(
-                    id=int(item["id"]) + offset,
-                    name=str(item["name"]),
-                    tags=dict(item.get("tags", {})),
-                    start_s=float(item["start_s"]),
-                    duration_s=float(item["duration_s"]),
-                    parent=parent,
-                    depth=int(item.get("depth", 0)),
+        with self._lock:
+            offset = self._next_id
+            max_seen = -1
+            incoming = {int(item["id"]) for item in snapshot.get("spans", ())}
+            for item in snapshot.get("spans", ()):
+                max_seen = max(max_seen, int(item["id"]))
+                if len(self.records) >= self.max_spans:
+                    self.dropped += 1
+                    continue
+                parent = item.get("parent")
+                if parent is not None:
+                    parent = int(parent) + offset if int(parent) in incoming else None
+                self.records.append(
+                    SpanRecord(
+                        id=int(item["id"]) + offset,
+                        name=str(item["name"]),
+                        tags=dict(item.get("tags", {})),
+                        start_s=float(item["start_s"]),
+                        duration_s=float(item["duration_s"]),
+                        parent=parent,
+                        depth=int(item.get("depth", 0)),
+                    )
                 )
-            )
-        self.dropped += int(snapshot.get("dropped", 0))
-        self._next_id = offset + max_seen + 1
+            self.dropped += int(snapshot.get("dropped", 0))
+            self._next_id = offset + max_seen + 1
 
     def reset(self) -> None:
         """Drop every buffered span (fresh run); open spans keep nesting."""
-        self.records.clear()
-        self.dropped = 0
+        with self._lock:
+            self.records.clear()
+            self.dropped = 0

@@ -8,7 +8,11 @@ as a timeline, which turns "worker 3 is slow" from a histogram guess into
 a visible gap.
 
 Lane assignment: spans carrying a ``worker`` tag land on that worker's
-thread lane (named ``worker N``); everything else lands on the ``main``
+thread lane (named ``worker N``); spans carrying a ``pipeline_lane`` tag —
+the campaign runner's per-ligand dock spans when ``pipeline_depth > 1`` —
+land on a dedicated ``pipeline N`` lane so co-scheduled ligands render as
+overlapping blocks (the visual proof that one ligand's barrier tail is
+filled with another's poses); everything else lands on the ``main``
 lane. Distributed campaigns add a ``node`` tag when worker-node telemetry
 is merged back (:func:`repro.cluster.retag_snapshot`); each node then gets
 its own lane block — ``node N`` plus ``node N worker M`` — so per-node
@@ -51,15 +55,23 @@ _PID = 1
 _MAIN_TID = 0
 #: Lane stride per cluster node: node ``n``'s lanes start at ``(n+1) * 1000``.
 _NODE_STRIDE = 1000
+#: Pipeline dock lanes: overlap lane ``k`` renders as tid ``500 + k`` —
+#: above every worker lane, below the next node block.
+_PIPELINE_BASE = 500
 
 
 def _lane(tags: dict) -> int:
-    """Thread lane for one span: (node, worker) tags -> lane, else main."""
+    """Thread lane for one span: (node, worker, pipeline_lane) -> lane."""
     base = _MAIN_TID
     worker = tags.get("worker")
     if worker is not None:
         try:
             base = int(worker) + 1
+        except (TypeError, ValueError):
+            base = _MAIN_TID
+    elif tags.get("pipeline_lane") is not None:
+        try:
+            base = _PIPELINE_BASE + int(tags["pipeline_lane"])
         except (TypeError, ValueError):
             base = _MAIN_TID
     node = tags.get("node")
@@ -76,7 +88,13 @@ def _lane_name(tid: int) -> str:
     if tid >= _NODE_STRIDE:
         node, base = divmod(tid, _NODE_STRIDE)
         label = f"node {node - 1}"
-        return label if base == _MAIN_TID else f"{label} worker {base - 1}"
+        if base == _MAIN_TID:
+            return label
+        if base >= _PIPELINE_BASE:
+            return f"{label} pipeline {base - _PIPELINE_BASE}"
+        return f"{label} worker {base - 1}"
+    if tid >= _PIPELINE_BASE:
+        return f"pipeline {tid - _PIPELINE_BASE}"
     return "main" if tid == _MAIN_TID else f"worker {tid - 1}"
 
 

@@ -68,6 +68,12 @@ class PipelineConfig:
         (:mod:`repro.cluster`); rankings stay bitwise identical to
         ``nodes=0``. Single-ligand :meth:`~VirtualScreeningPipeline.dock`
         always runs in-process.
+    pipeline_depth:
+        Ligands co-scheduled through the persistent pool during
+        :meth:`VirtualScreeningPipeline.screen` (default 2): one ligand's
+        barrier tails and host bookkeeping overlap another's scoring.
+        Depth 1 restores the strictly serial ligand loop. Purely an
+        execution knob — rankings are bitwise identical at every depth.
     """
 
     n_spots: int = 16
@@ -81,6 +87,7 @@ class PipelineConfig:
     autotune: bool = False
     calibration_file: str | None = None
     nodes: int = 0
+    pipeline_depth: int = 2
 
     def __post_init__(self) -> None:
         if self.n_spots < 1:
@@ -105,6 +112,10 @@ class PipelineConfig:
             )
         if self.nodes < 0:
             raise ReproError(f"nodes must be >= 0, got {self.nodes}")
+        if self.pipeline_depth < 1:
+            raise ReproError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
 
 
 class VirtualScreeningPipeline:
@@ -183,6 +194,7 @@ class VirtualScreeningPipeline:
             autotune=self.config.autotune,
             calibration_file=self.config.calibration_file,
             nodes=self.config.nodes,
+            pipeline_depth=self.config.pipeline_depth,
         )
 
     def compare_modes(

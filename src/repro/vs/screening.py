@@ -60,6 +60,7 @@ def screen(
     calibration_file: str | None = None,
     nodes: int = 0,
     cluster=None,
+    pipeline_depth: int = 2,
 ) -> ScreeningReport:
     """Screen a ligand library against the receptor surface.
 
@@ -82,6 +83,13 @@ def screen(
     library, so every ligand that lands in the same feature cell reuses the
     pinned ``(variant, chunk_size)``. For a fixed calibration table the
     scores stay bitwise identical to the serial reference path.
+
+    ``pipeline_depth`` (default 2) co-schedules that many ligands through
+    the persistent pool at once: one ligand's generation-barrier tails and
+    host-side Select/Combine/Include gaps are filled with another ligand's
+    poses. Per-ligand launch sequences and seeds are untouched, so the
+    ranking is bitwise identical at every depth; ``pipeline_depth=1``
+    restores the strictly serial ligand loop.
 
     ``nodes >= 2`` distributes the screen over a local fleet of worker-node
     processes (:mod:`repro.cluster`): ligands ship inline over the lease
@@ -128,6 +136,7 @@ def screen(
         raise_on_failure=True,
         nodes=nodes,
         cluster=cluster,
+        pipeline_depth=pipeline_depth,
     )
     with obs.span("vs.screen", host_workers=host_workers, mode=parallel_mode):
         obs.counter("vs.screen.runs").inc()

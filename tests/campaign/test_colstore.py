@@ -284,6 +284,7 @@ def test_compaction_preserves_rows_and_bounds_segment_count(tmp_path):
         tmp_path / "c.col", CONFIG, "h", group_rows=8, compact_fanin=3
     )
     fill_shards(store, 9)
+    store.wait_for_compaction()  # compaction is async; settle the manifest
     before = list(store.science_rows())
     # fanin=3 keeps the manifest small no matter how many shards sealed.
     assert len(store._segments) < 3 + 2
@@ -291,6 +292,104 @@ def test_compaction_preserves_rows_and_bounds_segment_count(tmp_path):
     store.close()
     with ColumnarStore.open(tmp_path / "c.col") as reopened:
         assert list(reopened.science_rows()) == before
+
+
+def test_compaction_runs_off_the_finish_shard_thread(tmp_path, monkeypatch):
+    import threading
+
+    store = ColumnarStore.create(
+        tmp_path / "c.col", CONFIG, "h", group_rows=8, compact_fanin=3
+    )
+    threads = []
+    original = ColumnarStore._maybe_compact
+
+    def spying(self):
+        threads.append(threading.current_thread().name)
+        return original(self)
+
+    monkeypatch.setattr(ColumnarStore, "_maybe_compact", spying)
+    fill_shards(store, 3)
+    store.wait_for_compaction()
+    # finish_shard only scheduled the merge; the work ran on the background
+    # compaction thread, not inline on the committing thread.
+    assert any(name.startswith("colstore-compact") for name in threads)
+    store.close()
+    assert len(store._segments) < 3
+
+
+def test_failed_background_compaction_surfaces_on_wait(tmp_path, monkeypatch):
+    store = ColumnarStore.create(
+        tmp_path / "c.col", CONFIG, "h", group_rows=8, compact_fanin=3
+    )
+
+    def boom(self):
+        raise RuntimeError("compaction exploded")
+
+    monkeypatch.setattr(ColumnarStore, "_maybe_compact", boom)
+    fill_shards(store, 3)
+    with pytest.raises(RuntimeError, match="compaction exploded"):
+        store.wait_for_compaction()
+    monkeypatch.undo()
+    store.close()  # drains cleanly once compaction works again
+    with ColumnarStore.open(tmp_path / "c.col") as reopened:
+        assert reopened.counts()["done"] == 24  # no rows lost to the failure
+
+
+def test_streaming_reads_are_consistent_during_background_compaction(tmp_path):
+    # Regression: background compaction rewrites the segment list (and
+    # unlinks the merged files) from its own thread while _iter_logical
+    # streams it — an unlocked reader sees a half-swapped list and drops
+    # whole merged runs. Hammer iter_results from a reader thread while the
+    # writer seals shards; every sealed row must be visible in every pass.
+    import threading
+
+    store = ColumnarStore.create(
+        tmp_path / "c.col", CONFIG, "h", group_rows=8, compact_fanin=3
+    )
+    halt = threading.Event()
+    sealed: dict[int, bool] = {}
+    problems: list[str] = []
+
+    def reader():
+        while not halt.is_set():
+            snapshot = dict(sealed)
+            try:
+                rows = {row["ordinal"] for row in store.iter_results()}
+            except Exception as err:  # unlinked segment file, torn manifest
+                problems.append(repr(err))
+                continue
+            missing = {o for o, done in snapshot.items() if done} - rows
+            if missing:
+                problems.append(f"missing {len(missing)} sealed rows")
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for shard_id in range(40):
+            start, stop = shard_id * 8, (shard_id + 1) * 8
+            store.start_shard(shard_id, start, stop)
+            for ordinal in range(start, stop):
+                store.record_result(
+                    ordinal, f"L{ordinal}", -1.0 - (ordinal % 17) * 0.25,
+                    0, 8, 0.1, 0.0,
+                )
+                sealed[ordinal] = False
+            store.finish_shard(shard_id, 0.1)
+            for ordinal in range(start, stop):
+                sealed[ordinal] = True
+        store.wait_for_compaction()
+    finally:
+        halt.set()
+        thread.join()
+    assert not problems, problems[:3]
+    assert {row["ordinal"] for row in store.iter_results()} == set(range(320))
+    store.close()
+
+
+def test_sqlite_store_wait_for_compaction_is_noop(tmp_path):
+    store = CampaignStore.create(tmp_path / "c.sqlite", CONFIG, "h")
+    store.wait_for_compaction()  # interface parity with the columnar store
+    store.close()
 
 
 def test_update_to_sealed_row_goes_to_orphan_log_and_wins(store):

@@ -361,3 +361,141 @@ def test_dock_parity_with_host_workers(receptor, ligand):
     assert parallel.best.spot_index == serial.best.spot_index
     assert [p.score for p in parallel.per_spot] == [p.score for p in serial.per_spot]
     assert parallel.evaluations == serial.evaluations
+
+
+# ----------------------------------------------------------------------
+# docking pipeline: submit/poll/harvest tickets, multi-ligand residency
+# ----------------------------------------------------------------------
+def test_submit_poll_harvest_matches_evaluate(fast_scorer, launch):
+    import time
+
+    spot_ids, t, q = launch
+    serial = SerialEvaluator(fast_scorer).evaluate(spot_ids, t, q)
+    with ParallelSpotEvaluator(fast_scorer, n_workers=2) as ev:
+        ticket = ev.submit(spot_ids, t, q)
+        deadline = time.monotonic() + 30.0
+        while not ev.poll(ticket):
+            assert time.monotonic() < deadline, "launch never settled"
+            time.sleep(0.001)
+        out = ev.harvest(ticket)
+    assert np.array_equal(out, serial)
+
+
+def test_harvest_is_idempotent(fast_scorer, launch):
+    spot_ids, t, q = launch
+    with ParallelSpotEvaluator(fast_scorer, n_workers=2) as ev:
+        ticket = ev.submit(spot_ids, t, q)
+        first = ev.harvest(ticket)
+        again = ev.harvest(ticket)
+    assert again is first
+
+
+def test_persistent_evaluator_rejects_single_slot_bank(receptor, ligand):
+    with pytest.raises(ScoringError, match="slot_banks"):
+        ParallelSpotEvaluator(
+            _cutoff(receptor, ligand), n_workers=1, persistent=True, slot_banks=1
+        )
+
+
+def test_runtime_rejects_bad_pipeline_depth(receptor, spots):
+    with pytest.raises(ScoringError, match="pipeline_depth"):
+        PersistentHostRuntime(receptor, spots, n_workers=1, pipeline_depth=0)
+
+
+def test_interleaved_leases_are_bitwise_identical(receptor, spots, launch):
+    # Two ligands resident at once; their launches interleave through one
+    # pool (submit A, submit B, harvest B, harvest A) and each must still be
+    # bitwise identical to a serial evaluator that had the ligand to itself.
+    lig_a, lig_b = _ligands((16, 20), base_seed=120)
+    spot_ids, t, q = launch
+    serial_a = SerialEvaluator(_cutoff(receptor, lig_a)).evaluate(spot_ids, t, q)
+    serial_b = SerialEvaluator(_cutoff(receptor, lig_b)).evaluate(spot_ids, t, q)
+    fill = obs.counter("host.pipeline.fill.poses").value
+    with PersistentHostRuntime(
+        receptor, spots, n_workers=2, warmup=False, pipeline_depth=2
+    ) as rt:
+        lease_a = rt.lease(lig_a)
+        lease_b = rt.lease(lig_b)
+        ev_a = lease_a.evaluator_factory(receptor, lig_a, spots)
+        ev_b = lease_b.evaluator_factory(receptor, lig_b, spots)
+        pool = rt.evaluator
+        ticket_a = pool.submit(
+            spot_ids, t, q, binding=lease_a.binding, stats=ev_a.stats
+        )
+        ticket_b = pool.submit(
+            spot_ids, t, q, binding=lease_b.binding, stats=ev_b.stats
+        )
+        out_b = pool.harvest(ticket_b)
+        out_a = pool.harvest(ticket_a)
+        # B was submitted while A was still in flight: the overlap counter
+        # saw B's poses fill A's barrier gap.
+        assert (
+            obs.counter("host.pipeline.fill.poses").value
+            == fill + t.shape[0]
+        )
+        lease_a.release()
+        lease_b.release()
+    assert np.array_equal(out_a, serial_a)
+    assert np.array_equal(out_b, serial_b)
+
+
+def test_lease_evaluator_keeps_per_ligand_launch_trace(receptor, spots, launch):
+    lig_a, lig_b = _ligands((14, 15), base_seed=140)
+    spot_ids, t, q = launch
+    reference = SerialEvaluator(_cutoff(receptor, lig_a))
+    reference.evaluate(spot_ids, t, q, kind="improvement")
+    with PersistentHostRuntime(
+        receptor, spots, n_workers=2, warmup=False, pipeline_depth=2
+    ) as rt:
+        lease_a = rt.lease(lig_a)
+        lease_b = rt.lease(lig_b)
+        ev_a = lease_a.evaluator_factory(receptor, lig_a, spots)
+        ev_b = lease_b.evaluator_factory(receptor, lig_b, spots)
+        ev_a.evaluate(spot_ids, t, q, kind="improvement")
+        ev_b.evaluate(spot_ids, t, q)
+        ev_b.evaluate(spot_ids, t, q)
+        # A's trace is exactly what a solo serial run records — B's two
+        # launches never leak into it.
+        assert ev_a.stats.launches == reference.stats.launches
+        assert ev_b.stats.n_launches == 2
+        lease_a.release()
+        lease_b.release()
+
+
+def test_submit_against_released_lease_rejected(receptor, spots, launch):
+    (lig,) = _ligands((13,), base_seed=160)
+    spot_ids, t, q = launch
+    with PersistentHostRuntime(
+        receptor, spots, n_workers=1, warmup=False, pipeline_depth=2
+    ) as rt:
+        lease = rt.lease(lig)
+        binding = lease.binding
+        lease.release()
+        with pytest.raises(ScoringError, match="released"):
+            rt.evaluator.submit(spot_ids, t, q, binding=binding)
+        with pytest.raises(ScoringError, match="released"):
+            lease.evaluator_factory(receptor, lig, spots)
+
+
+def test_released_bank_is_reused_by_next_lease(receptor, spots, launch):
+    # depth 2 -> 3 banks. Three sequential lease/release cycles must recycle
+    # banks rather than exhaust them, and leave no shared-memory segments.
+    ligands = _ligands((12, 13, 14, 15), base_seed=180)
+    spot_ids, t, q = launch
+    rt = PersistentHostRuntime(
+        receptor, spots, n_workers=1, warmup=False, prefetch=False,
+        pipeline_depth=2,
+    )
+    try:
+        for lig in ligands:
+            serial = SerialEvaluator(_cutoff(receptor, lig)).evaluate(
+                spot_ids, t, q
+            )
+            lease = rt.lease(lig)
+            ev = lease.evaluator_factory(receptor, lig, spots)
+            assert np.array_equal(ev.evaluate(spot_ids, t, q), serial)
+            lease.release()
+        names = rt.evaluator.segment_names
+    finally:
+        rt.close()
+    _assert_no_segments(names)

@@ -128,6 +128,25 @@ def test_campaign_health_nan_eta_is_json_null():
     json.dumps(doc)  # round-trips without allow_nan leniency
 
 
+def test_campaign_health_reports_pool_idle_fraction():
+    from repro import observability as obs
+
+    health = CampaignHealth()
+    idle = obs.counter("host.pool.idle.seconds")
+    baseline = idle.value
+    idle.inc(1.0)
+    health.update(FakeProgress(elapsed_seconds=(baseline + 1.0) * 2))
+    doc = health.health()
+    # idle counter over elapsed time: (baseline + 1.0) / (2 * (baseline + 1.0))
+    assert doc["campaign"]["pool_idle_fraction"] == pytest.approx(0.5)
+    # Never above 1.0 even when the counter outruns a stale elapsed figure.
+    health.update(FakeProgress(elapsed_seconds=1e-9))
+    assert health.health()["campaign"]["pool_idle_fraction"] == 1.0
+    # No elapsed time yet -> unknown, not a division error.
+    health.update(FakeProgress(elapsed_seconds=0.0))
+    assert health.health()["campaign"]["pool_idle_fraction"] is None
+
+
 def test_campaign_health_prefers_sampler_window_rate():
     class FakeSampler:
         last_record = {"derived": {"ligands_per_s": 4.0}}

@@ -77,6 +77,45 @@ def test_worker_tag_assigns_thread_lane_with_metadata():
     assert names == {0: "main", 1: "worker 0", 3: "worker 2"}
 
 
+def test_pipeline_lane_tag_assigns_overlap_lane():
+    doc = _span_doc([
+        _span(1, "campaign.shard", 0.0, 3.0),
+        _span(2, "campaign.pipeline.dock", 0.1, 1.5,
+              tags={"ordinal": 0, "pipeline_lane": 0}),
+        _span(3, "campaign.pipeline.dock", 0.3, 1.8,
+              tags={"ordinal": 1, "pipeline_lane": 1}),
+        _span(4, "host.worker.batch", 0.2, 0.4, tags={"worker": 1}),
+    ])
+    trace = snapshot_to_trace_events(doc)
+    xs = {e["args"]["span_id"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert xs[1]["tid"] == 0  # shard stays on main
+    assert xs[2]["tid"] == 500  # pipeline lane 0
+    assert xs[3]["tid"] == 501  # pipeline lane 1 — overlapping dock visible
+    assert xs[4]["tid"] == 2  # worker tag wins its usual lane
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names[500] == "pipeline 0" and names[501] == "pipeline 1"
+
+
+def test_pipeline_lane_composes_with_node_blocks():
+    doc = _span_doc([
+        _span(1, "campaign.pipeline.dock", 0.0, 1.0,
+              tags={"pipeline_lane": 2, "node": 0}),
+    ])
+    trace = snapshot_to_trace_events(doc)
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert xs[0]["tid"] == 1000 + 500 + 2
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names[1502] == "node 0 pipeline 2"
+
+
 def test_nonzero_steals_tag_emits_instant_event():
     doc = _span_doc([
         _span(1, "host.launch", 0.0, 2.0, tags={"steals": 3}),
